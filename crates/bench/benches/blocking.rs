@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for the blocker executors (§2's "efficient
+//! execution of blockers"): hash partitioning, prefix-filter SIM joins,
+//! q-gram edit joins, sorted neighborhood and overlap joins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc_blocking::{Blocker, KeyFunc};
+use mc_datagen::profiles::DatasetProfile;
+use mc_strsim::measures::SetMeasure;
+use mc_strsim::tokenize::Tokenizer;
+use std::hint::black_box;
+
+fn bench_executors(c: &mut Criterion) {
+    let ds = DatasetProfile::FodorsZagats.generate(7);
+    let schema = ds.a.schema().clone();
+    let name = schema.expect_id("name");
+    let city = schema.expect_id("city");
+    let addr = schema.expect_id("addr");
+    let cases: Vec<(&str, Blocker)> = vec![
+        ("hash_city", Blocker::Hash(KeyFunc::Attr(city))),
+        ("hash_lastword_name", Blocker::Hash(KeyFunc::LastWord(name))),
+        ("soundex_name", Blocker::Hash(KeyFunc::Soundex(name))),
+        (
+            "sn_name_w5",
+            Blocker::SortedNeighborhood { key: KeyFunc::Attr(name), window: 5 },
+        ),
+        (
+            "overlap_name_2",
+            Blocker::Overlap { attr: name, tokenizer: Tokenizer::Word, min_common: 2 },
+        ),
+        (
+            "jac3gram_addr_0.3",
+            Blocker::Sim {
+                attr: addr,
+                tokenizer: Tokenizer::QGram(3),
+                measure: SetMeasure::Jaccard,
+                threshold: 0.3,
+            },
+        ),
+        ("ed2_name", Blocker::EditSim { key: KeyFunc::Attr(name), max_ed: 2 }),
+    ];
+    let mut group = c.benchmark_group("blocking_fz");
+    group.sample_size(10);
+    for (label, blocker) in cases {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(blocker.apply(&ds.a, &ds.b).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executors);
+criterion_main!(benches);

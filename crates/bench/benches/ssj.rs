@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the top-k SSJ engine: QJoin vs the
+//! TopKJoin baseline (the §4.1 improvement) and joint vs individual
+//! multi-config execution (the §4.2 improvement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matchcatcher::config::ConfigGenerator;
+use matchcatcher::joint::{run_individual, run_joint, JointParams};
+use matchcatcher::ssj::{topk_join, ExactScorer, SsjInstance, SsjParams};
+use mc_datagen::profiles::DatasetProfile;
+use mc_strsim::dict::TokenizedTable;
+use mc_strsim::measures::SetMeasure;
+use mc_strsim::tokenize::Tokenizer;
+use mc_table::PairSet;
+use std::hint::black_box;
+
+fn ssj_records() -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    // Long-ish records (the regime where QJoin's deferred scoring pays).
+    let ds = DatasetProfile::AmazonGoogle.generate_scaled(3, 0.25);
+    let gen = ConfigGenerator::default();
+    let promising = gen.promising(&ds.a, &ds.b);
+    let (ta, tb, _) = TokenizedTable::build_pair(&ds.a, &ds.b, &promising.attrs, Tokenizer::Word);
+    let all: Vec<usize> = (0..promising.attrs.len()).collect();
+    let ra = (0..ta.rows() as u32).map(|t| ta.merged(&all, t)).collect();
+    let rb = (0..tb.rows() as u32).map(|t| tb.merged(&all, t)).collect();
+    (ra, rb)
+}
+
+fn bench_qjoin_vs_topkjoin(c: &mut Criterion) {
+    let (ra, rb) = ssj_records();
+    let killed = PairSet::new();
+    let inst = SsjInstance { records_a: &ra, records_b: &rb, killed: &killed };
+    let scorer = ExactScorer(SetMeasure::Jaccard);
+    let mut group = c.benchmark_group("topk_ssj");
+    group.sample_size(10);
+    for q in [1usize, 2, 3] {
+        group.bench_function(format!("k200_q{q}"), |b| {
+            b.iter(|| {
+                let list = topk_join(
+                    inst,
+                    SsjParams { k: 200, q, measure: SetMeasure::Jaccard },
+                    &scorer,
+                    &[],
+                    None,
+                );
+                black_box(list.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_joint_vs_individual(c: &mut Criterion) {
+    let ds = DatasetProfile::AmazonGoogle.generate_scaled(3, 0.25);
+    let gen = ConfigGenerator::default();
+    let promising = gen.promising(&ds.a, &ds.b);
+    let tree = gen.build_tree(&promising);
+    let (ta, tb, _) = TokenizedTable::build_pair(&ds.a, &ds.b, &promising.attrs, Tokenizer::Word);
+    let killed = PairSet::new();
+    let mut group = c.benchmark_group("multi_config");
+    group.sample_size(10);
+    group.bench_function("individual_serial", |b| {
+        b.iter(|| {
+            let out = run_individual(&ta, &tb, &killed, &tree, 100, SetMeasure::Jaccard);
+            black_box(out.lists.len())
+        })
+    });
+    group.bench_function("joint_reuse_parallel", |b| {
+        b.iter(|| {
+            let out = run_joint(
+                &ta,
+                &tb,
+                &killed,
+                &tree,
+                JointParams { k: 100, reuse_min_avg_tokens: 0.0, ..Default::default() },
+            );
+            black_box(out.lists.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qjoin_vs_topkjoin, bench_joint_vs_individual);
+criterion_main!(benches);

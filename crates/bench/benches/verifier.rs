@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the Match Verifier's per-iteration
+//! costs: rank aggregation (< 0.1 s in the paper) and feedback
+//! processing / forest retraining (0.14–0.18 s in the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matchcatcher::debugger::MatchCatcher;
+use matchcatcher::joint::CandidateUnion;
+use matchcatcher::rank::{medrank_order, RankedLists};
+use mc_bench::harness::paper_params;
+use mc_blocking::{Blocker, KeyFunc};
+use mc_datagen::profiles::DatasetProfile;
+use mc_ml::{ForestParams, RandomForest};
+use std::hint::black_box;
+
+fn setup_union() -> CandidateUnion {
+    let ds = DatasetProfile::FodorsZagats.generate(7);
+    let blocker = Blocker::Hash(KeyFunc::Attr(ds.a.schema().expect_id("city")));
+    let c = blocker.apply(&ds.a, &ds.b);
+    let mc = MatchCatcher::new(paper_params());
+    let prepared = mc.prepare(&ds.a, &ds.b);
+    let joint = mc.topk(&prepared, &c);
+    CandidateUnion::build(&joint.lists)
+}
+
+fn bench_rank_aggregation(c: &mut Criterion) {
+    let union = setup_union();
+    let mut group = c.benchmark_group("verifier");
+    group.sample_size(20);
+    group.bench_function(format!("medrank_{}_pairs", union.len()), |b| {
+        b.iter(|| {
+            let ranked = RankedLists::from_union(&union);
+            black_box(medrank_order(&ranked).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_forest_retrain(c: &mut Criterion) {
+    // 200 labeled pairs with 20 features — a late verifier iteration.
+    let x: Vec<Vec<f64>> = (0..200)
+        .map(|i| (0..20).map(|j| ((i * 31 + j * 17) % 100) as f64 / 100.0).collect())
+        .collect();
+    let y: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+    let mut group = c.benchmark_group("verifier");
+    group.sample_size(20);
+    group.bench_function("forest_retrain_200x20", |b| {
+        b.iter(|| {
+            let f = RandomForest::fit(&x, &y, &ForestParams::default());
+            black_box(f.len())
+        })
+    });
+    group.bench_function("forest_score_1000", |b| {
+        let f = RandomForest::fit(&x, &y, &ForestParams::default());
+        b.iter(|| {
+            let s: f64 = x.iter().cycle().take(1000).map(|s| f.confidence(s)).sum();
+            black_box(s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_aggregation, bench_forest_retrain);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! **§6.5 ablation: multiple configs vs a single config.**
+//!
+//! The paper reports that using the config tree instead of only the root
+//! config (all promising attributes concatenated — the strategy of the
+//! related work \[29\]) retrieves 10–74% more killed-off matches.
+//! We compare `ME` (gold matches inside the candidate union `E`).
+//!
+//! `cargo run --release -p mc-bench --bin ablation_configs [--scale X]`
+
+use matchcatcher::config::{ConfigNode, ConfigTree};
+use matchcatcher::debugger::MatchCatcher;
+use matchcatcher::joint::{run_joint, CandidateUnion};
+use mc_bench::blockers::table2_suite;
+use mc_bench::harness::CliArgs;
+use mc_datagen::profiles::DatasetProfile;
+use mc_datagen::EmDataset;
+use mc_table::split_pair_key;
+
+fn gold_in(union: &CandidateUnion, ds: &EmDataset) -> usize {
+    union
+        .pairs
+        .iter()
+        .filter(|&&k| {
+            let (x, y) = split_pair_key(k);
+            ds.gold.is_match(x, y)
+        })
+        .count()
+}
+
+fn main() {
+    let args = CliArgs::parse(0.0);
+    let sets = [
+        (DatasetProfile::AmazonGoogle, 1.0),
+        (DatasetProfile::WalmartAmazon, 1.0),
+        (DatasetProfile::AcmDblp, 1.0),
+        (DatasetProfile::FodorsZagats, 1.0),
+        (DatasetProfile::Music1, 0.05),
+    ];
+    println!(
+        "{:<16} {:<6} {:>10} {:>12} {:>8}",
+        "dataset", "Q", "ME single", "ME multi", "gain"
+    );
+    for (profile, default_scale) in sets {
+        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let ds = profile.generate_scaled(args.seed, scale);
+        let suite = table2_suite(profile, ds.a.schema());
+        let nb = &suite[0];
+        let c = nb.blocker.apply(&ds.a, &ds.b);
+
+        let mc = MatchCatcher::new(args.params());
+        let prepared = mc.prepare(&ds.a, &ds.b);
+
+        // Multi-config (the full tree).
+        let multi = run_joint(&prepared.tok_a, &prepared.tok_b, &c, &prepared.tree, args.params().joint);
+        let me_multi = gold_in(&CandidateUnion::build(&multi.lists), &ds);
+
+        // Single config: just the root (all promising attributes).
+        let single_tree = ConfigTree {
+            nodes: vec![ConfigNode {
+                config: prepared.tree.nodes[0].config,
+                parent: None,
+                expanded: false,
+            }],
+        };
+        let single =
+            run_joint(&prepared.tok_a, &prepared.tok_b, &c, &single_tree, args.params().joint);
+        let me_single = gold_in(&CandidateUnion::build(&single.lists), &ds);
+
+        let gain = if me_single == 0 {
+            f64::INFINITY
+        } else {
+            100.0 * (me_multi as f64 - me_single as f64) / me_single as f64
+        };
+        println!(
+            "{:<16} {:<6} {:>10} {:>12} {:>7.1}%",
+            ds.name, nb.label, me_single, me_multi, gain
+        );
+    }
+}

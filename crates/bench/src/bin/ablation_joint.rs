@@ -1,0 +1,73 @@
+//! **§6.5 ablation: joint vs individual top-k execution.**
+//!
+//! The paper reports the joint strategy (overlap reuse + top-k seeding +
+//! one config per core) outperforms executing each config independently
+//! by up to 3.5×. We time three variants:
+//!
+//! * `individual` — each config alone, serial, exact scorer;
+//! * `joint-1t`   — reuse enabled, one worker (isolates reuse);
+//! * `joint`      — reuse + all cores (the full §4.2 design).
+//!
+//! `cargo run --release -p mc-bench --bin ablation_joint [--scale X]`
+
+use matchcatcher::debugger::MatchCatcher;
+use matchcatcher::joint::{run_individual, run_joint, JointParams};
+use mc_bench::blockers::table2_suite;
+use mc_bench::harness::CliArgs;
+use mc_datagen::profiles::DatasetProfile;
+use mc_strsim::measures::SetMeasure;
+
+fn main() {
+    let args = CliArgs::parse(0.0);
+    let sets = [
+        (DatasetProfile::AmazonGoogle, 1.0),
+        (DatasetProfile::WalmartAmazon, 0.5),
+        (DatasetProfile::Music1, 0.05),
+    ];
+    println!(
+        "{:<16} {:<6} {:>12} {:>12} {:>12} {:>9} {:>10}",
+        "dataset", "Q", "indiv (s)", "joint1t (s)", "joint (s)", "speedup", "reuse hits"
+    );
+    for (profile, default_scale) in sets {
+        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let ds = profile.generate_scaled(args.seed, scale);
+        let suite = table2_suite(profile, ds.a.schema());
+        let nb = &suite[0];
+        let c = nb.blocker.apply(&ds.a, &ds.b);
+        let mc = MatchCatcher::new(args.params());
+        let prepared = mc.prepare(&ds.a, &ds.b);
+
+        let indiv = run_individual(
+            &prepared.tok_a,
+            &prepared.tok_b,
+            &c,
+            &prepared.tree,
+            args.k,
+            SetMeasure::Jaccard,
+        );
+        let joint1 = run_joint(
+            &prepared.tok_a,
+            &prepared.tok_b,
+            &c,
+            &prepared.tree,
+            JointParams { k: args.k, threads: 1, ..Default::default() },
+        );
+        let joint = run_joint(
+            &prepared.tok_a,
+            &prepared.tok_b,
+            &c,
+            &prepared.tree,
+            JointParams { k: args.k, threads: args.threads, ..Default::default() },
+        );
+        println!(
+            "{:<16} {:<6} {:>12.2} {:>12.2} {:>12.2} {:>8.2}x {:>10}",
+            ds.name,
+            nb.label,
+            indiv.elapsed.as_secs_f64(),
+            joint1.elapsed.as_secs_f64(),
+            joint.elapsed.as_secs_f64(),
+            indiv.elapsed.as_secs_f64() / joint.elapsed.as_secs_f64().max(1e-9),
+            joint.reuse_hits
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Regenerates **Figure 9** — runtime of the top-k module as table size
+//! grows (10% / 40% / 70% / 100% of the dataset) for `k ∈ {100, 1000}`,
+//! on the two largest datasets: Music2 (blockers HASH1, HASH2, SIM1) and
+//! Papers (its three rule blockers).
+//!
+//! The paper's claim is *shape*, not absolute numbers: runtime grows
+//! linearly or sublinearly in table size.
+//!
+//! `cargo run --release -p mc-bench --bin figure9 [--scale X]`
+//! `--scale` sets the 100% size as a fraction of the paper's 500–628K
+//! rows per table (default 0.04 ⇒ 20–25K rows at 100%).
+
+use mc_bench::blockers::table2_suite;
+use mc_bench::harness::{topk_time, CliArgs};
+use mc_datagen::profiles::DatasetProfile;
+use mc_datagen::EmDataset;
+use mc_table::{GoldMatches, PairSet};
+
+/// Restricts a dataset to its first `pct` percent of rows (gold and
+/// candidate pairs are filtered to the surviving tuples).
+fn shrink(ds: &EmDataset, pct: f64) -> EmDataset {
+    let na = (ds.a.len() as f64 * pct) as usize;
+    let nb = (ds.b.len() as f64 * pct) as usize;
+    let a = ds.a.head(na);
+    let b = ds.b.head(nb);
+    let gold = GoldMatches::from_pairs(
+        ds.gold.iter().filter(|&(x, y)| (x as usize) < na && (y as usize) < nb),
+    );
+    EmDataset { a, b, gold, errors: Vec::new(), name: ds.name.clone() }
+}
+
+fn main() {
+    let args = CliArgs::parse(0.04);
+    let sets = [
+        (DatasetProfile::Music2, vec!["HASH1", "HASH2", "SIM1"]),
+        (DatasetProfile::Papers, vec!["R1", "R2", "R3"]),
+    ];
+    for (profile, labels) in sets {
+        let ds = profile.generate_scaled(args.seed, args.scale);
+        println!("== {} (100% = |A|={} |B|={})", ds.name, ds.a.len(), ds.b.len());
+        for k in [100usize, 1000] {
+            println!("-- k = {k}");
+            println!("{:<8} {:>6} {:>12} {:>10}", "blocker", "size%", "topk (s)", "|E|");
+            for label in &labels {
+                for pct in [0.1, 0.4, 0.7, 1.0] {
+                    let small = shrink(&ds, pct);
+                    let suite = table2_suite(profile, small.a.schema());
+                    let nb = suite
+                        .iter()
+                        .find(|n| n.label == *label)
+                        .expect("blocker label");
+                    let c: PairSet = nb.blocker.apply(&small.a, &small.b);
+                    let mut params = args.params();
+                    params.joint.k = k;
+                    let (elapsed, e) = topk_time(&small, &c, params);
+                    println!(
+                        "{:<8} {:>5.0}% {:>12.3} {:>10}",
+                        label,
+                        pct * 100.0,
+                        elapsed.as_secs_f64(),
+                        e
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates the **§6.4 runtime numbers**: wall time of the top-k
+//! module per dataset (for one blocker of each suite) and the Match
+//! Verifier's per-iteration latency.
+//!
+//! Paper (Cython, Intel E5-1650): top-k took 6.6–9.4 s (A-G), 97–310
+//! (W-A), 2.8–3.2 (A-D), 0.2 (F-Z), 12.1–24.4 (M1), 57–230 (M2), 65–344
+//! (Papers); aggregation < 0.1 s; feedback processing 0.14–0.18 s.
+//!
+//! `cargo run --release -p mc-bench --bin sec64_runtime [--scale X]`
+
+use matchcatcher::debugger::MatchCatcher;
+use matchcatcher::joint::CandidateUnion;
+use mc_bench::blockers::table2_suite;
+use mc_bench::harness::CliArgs;
+use mc_datagen::profiles::DatasetProfile;
+use std::time::Instant;
+
+fn main() {
+    let args = CliArgs::parse(0.0);
+    let sets = [
+        (DatasetProfile::AmazonGoogle, 1.0),
+        (DatasetProfile::WalmartAmazon, 1.0),
+        (DatasetProfile::AcmDblp, 1.0),
+        (DatasetProfile::FodorsZagats, 1.0),
+        (DatasetProfile::Music1, 0.05),
+        (DatasetProfile::Music2, 0.02),
+        (DatasetProfile::Papers, 0.02),
+    ];
+    println!(
+        "{:<16} {:>8} {:<6} {:>10} {:>10} {:>12}",
+        "dataset", "scale", "Q", "topk (s)", "agg (s)", "configs"
+    );
+    for (profile, default_scale) in sets {
+        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let ds = profile.generate_scaled(args.seed, scale);
+        for nb in table2_suite(profile, ds.a.schema()).iter().take(2) {
+            let c = nb.blocker.apply(&ds.a, &ds.b);
+            let mc = MatchCatcher::new(args.params());
+            let prepared = mc.prepare(&ds.a, &ds.b);
+            let t0 = Instant::now();
+            let joint = mc.topk(&prepared, &c);
+            let topk = t0.elapsed();
+            let t1 = Instant::now();
+            let union = CandidateUnion::build(&joint.lists);
+            let agg = t1.elapsed();
+            println!(
+                "{:<16} {:>8} {:<6} {:>10.2} {:>10.3} {:>12} (|E|={})",
+                ds.name,
+                scale,
+                nb.label,
+                topk.as_secs_f64(),
+                agg.as_secs_f64(),
+                joint.configs.len(),
+                union.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! **§6.5 sensitivity analysis.**
+//!
+//! 1. Varying `k` (pairs retrieved per config): more matches retrieved
+//!    up to a point, at higher runtime — the paper's observed
+//!    diminishing returns.
+//! 2. Varying the number of active-learning iterations (the paper uses
+//!    3): a balance between classifier accuracy and quickly surfacing
+//!    matches.
+//!
+//! `cargo run --release -p mc-bench --bin sensitivity [--scale X]`
+
+use matchcatcher::debugger::MatchCatcher;
+use matchcatcher::joint::CandidateUnion;
+use matchcatcher::oracle::GoldOracle;
+use mc_bench::blockers::table2_suite;
+use mc_bench::harness::CliArgs;
+use mc_datagen::profiles::DatasetProfile;
+use mc_table::split_pair_key;
+use std::time::Instant;
+
+fn main() {
+    let args = CliArgs::parse(1.0);
+    let ds = DatasetProfile::AmazonGoogle.generate_scaled(args.seed, args.scale.min(1.0));
+    let suite = table2_suite(DatasetProfile::AmazonGoogle, ds.a.schema());
+    let nb = suite.iter().find(|n| n.label == "HASH").unwrap();
+    let c = nb.blocker.apply(&ds.a, &ds.b);
+    let md = ds.gold.killed(&c);
+    println!("dataset {} blocker {} MD={md}", ds.name, nb.label);
+
+    println!("\n-- sensitivity to k --");
+    println!("{:>6} {:>8} {:>8} {:>10}", "k", "|E|", "ME", "topk (s)");
+    for k in [100usize, 250, 500, 1000, 2000] {
+        let mut params = args.params();
+        params.joint.k = k;
+        let mc = MatchCatcher::new(params);
+        let prepared = mc.prepare(&ds.a, &ds.b);
+        let t = Instant::now();
+        let joint = mc.topk(&prepared, &c);
+        let elapsed = t.elapsed();
+        let union = CandidateUnion::build(&joint.lists);
+        let me = union
+            .pairs
+            .iter()
+            .filter(|&&key| {
+                let (x, y) = split_pair_key(key);
+                ds.gold.is_match(x, y)
+            })
+            .count();
+        println!("{:>6} {:>8} {:>8} {:>10.2}", k, union.len(), me, elapsed.as_secs_f64());
+    }
+
+    println!("\n-- sensitivity to active-learning iterations --");
+    println!("{:>9} {:>8} {:>8} {:>8}", "al_iters", "F", "iters", "labels");
+    for al in [0usize, 1, 2, 3, 4, 6] {
+        let mut params = args.params();
+        params.verifier.al_iters = al;
+        let mc = MatchCatcher::new(params);
+        let mut oracle = GoldOracle::exact(&ds.gold);
+        let report = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+        println!(
+            "{:>9} {:>8} {:>8} {:>8}",
+            al,
+            report.confirmed_matches.len(),
+            report.iteration_count(),
+            report.labeled
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Table 1** — dataset statistics for the seven synthetic
+//! profiles.
+//!
+//! `cargo run --release -p mc-bench --bin table1 [--scale X] [--seed N]`
+//!
+//! With `--scale 1` (default 0.1 for the two 500K-row profiles) the sizes
+//! match the paper's exactly; the other columns (matches, attrs, average
+//! lengths) are properties of the generators.
+
+use mc_bench::harness::CliArgs;
+use mc_datagen::profiles::DatasetProfile;
+
+fn main() {
+    let args = CliArgs::parse(0.1);
+    println!(
+        "{:<16} {:>8} {:>8} {:>9} {:>6} {:>14}",
+        "dataset", "|A|", "|B|", "matches", "attrs", "avg len (A,B)"
+    );
+    for p in DatasetProfile::ALL {
+        let scale = match p {
+            DatasetProfile::Music2 | DatasetProfile::Papers | DatasetProfile::Music1 => {
+                args.scale
+            }
+            _ => 1.0,
+        };
+        let ds = p.generate_scaled(args.seed, scale);
+        let (a, b, m, attrs, la, lb) = ds.table1_row();
+        println!(
+            "{:<16} {:>8} {:>8} {:>9} {:>6} {:>7.0},{:>5.0}   (scale {scale})",
+            ds.name, a, b, m, attrs, la, lb
+        );
+    }
+    println!("\npaper (Table 1):");
+    for p in DatasetProfile::ALL {
+        let (a, b, m) = p.paper_sizes();
+        println!("{:<16} {:>8} {:>8} {:>9}", p.name(), a, b, m);
+    }
+}

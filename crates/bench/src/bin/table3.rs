@@ -1,0 +1,50 @@
+//! Regenerates **Table 3** — accuracy of MatchCatcher in retrieving
+//! killed-off matches, for every Table 2 blocker on the first six
+//! datasets (as in the paper; Papers has no gold and appears in §6.2).
+//!
+//! Columns: `|C|` (blocker output), `MD` (matches killed), `|E|` (union
+//! of top-k lists, k = 1000), `ME` (matches in E, % of MD), `F` (matches
+//! the verifier retrieves by its natural stop, % of ME), `I` (verifier
+//! iterations).
+//!
+//! `cargo run --release -p mc-bench --bin table3 [--scale X] [--k N] [--only prefix]`
+//! Default scale 0.05 for Music1, 0.02 for Music2 (full-size runs take
+//! tens of minutes on a single core; pass `--scale 1` to match the
+//! paper's sizes). `--only music` restricts to matching dataset names.
+
+use mc_bench::blockers::table2_suite;
+use mc_bench::harness::{table3_cell, CliArgs, Table3Row};
+use mc_datagen::profiles::DatasetProfile;
+
+fn main() {
+    let args = CliArgs::parse(0.0);
+    let only: Option<String> = {
+        let argv: Vec<String> = std::env::args().collect();
+        argv.iter().position(|a| a == "--only").and_then(|i| argv.get(i + 1).cloned())
+    };
+    println!("{}", Table3Row::header());
+    let sets = [
+        (DatasetProfile::AmazonGoogle, 1.0),
+        (DatasetProfile::WalmartAmazon, 1.0),
+        (DatasetProfile::AcmDblp, 1.0),
+        (DatasetProfile::FodorsZagats, 1.0),
+        (DatasetProfile::Music1, 0.05),
+        (DatasetProfile::Music2, 0.02),
+    ];
+    for (profile, default_scale) in sets {
+        if let Some(prefix) = &only {
+            if !profile.name().starts_with(prefix.as_str()) {
+                continue;
+            }
+        }
+        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let ds = profile.generate_scaled(args.seed, scale);
+        // Print the blocker definitions once per dataset (Table 2).
+        eprintln!("# {} (scale {scale}):", ds.name);
+        for nb in table2_suite(profile, ds.a.schema()) {
+            eprintln!("#   ({}) {}", nb.label, nb.blocker.describe(ds.a.schema()));
+            let row = table3_cell(&ds, nb.label, &nb.blocker, args.params());
+            println!("{row}");
+        }
+    }
+}

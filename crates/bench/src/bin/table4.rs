@@ -1,0 +1,54 @@
+//! Regenerates **Table 4** — matches found and blocker problems
+//! diagnosed within the **first three verifier iterations**, for one
+//! representative blocker per dataset (the paper shows OL/A-G,
+//! HASH/W-A, SIM/A-D, R/F-Z, R/M1).
+//!
+//! The paper's volunteers needed 7–10 minutes to label 3 × 20 pairs; our
+//! oracle labels instantly, so the time column is replaced by the label
+//! count. The "blocker problems" column is the debugger's aggregated
+//! per-attribute diagnoses, which the `dataset_tour` example shows can
+//! be checked against the generator's injected error log.
+//!
+//! `cargo run --release -p mc-bench --bin table4 [--scale X]`
+
+use matchcatcher::debugger::MatchCatcher;
+use matchcatcher::oracle::GoldOracle;
+use mc_bench::blockers::table2_suite;
+use mc_bench::harness::CliArgs;
+use mc_datagen::profiles::DatasetProfile;
+
+fn main() {
+    let args = CliArgs::parse(0.0);
+    let picks = [
+        (DatasetProfile::AmazonGoogle, "OL", 1.0),
+        (DatasetProfile::WalmartAmazon, "HASH", 1.0),
+        (DatasetProfile::AcmDblp, "SIM", 1.0),
+        (DatasetProfile::FodorsZagats, "R", 1.0),
+        (DatasetProfile::Music1, "R", 0.05),
+    ];
+    for (profile, label, default_scale) in picks {
+        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let ds = profile.generate_scaled(args.seed, scale);
+        let suite = table2_suite(profile, ds.a.schema());
+        let nb = suite.iter().find(|n| n.label == label).expect("blocker in suite");
+        let c = nb.blocker.apply(&ds.a, &ds.b);
+
+        let mut params = args.params();
+        params.verifier.max_iters = 3; // the paper's first-3-iterations cut
+        let mc = MatchCatcher::new(params);
+        let mut oracle = GoldOracle::exact(&ds.gold);
+        let report = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+
+        println!(
+            "{} ({}): 3 iterations, {} matches, {} labels given",
+            label,
+            ds.name,
+            report.matches_in_first(3),
+            report.labeled
+        );
+        for (p, n) in report.problems.iter().take(4) {
+            println!("    {n}x {p}");
+        }
+        println!();
+    }
+}

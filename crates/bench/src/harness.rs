@@ -1,0 +1,234 @@
+//! Experiment drivers shared by the table/figure binaries.
+
+use matchcatcher::debugger::{DebuggerParams, MatchCatcher};
+use matchcatcher::joint::CandidateUnion;
+use matchcatcher::oracle::GoldOracle;
+use mc_blocking::Blocker;
+use mc_datagen::EmDataset;
+use mc_table::{split_pair_key, PairSet};
+use std::time::{Duration, Instant};
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Blocker label.
+    pub blocker: String,
+    /// `|C|` — blocker output size.
+    pub c: usize,
+    /// `MD` — true matches killed by the blocker.
+    pub md: usize,
+    /// `|E|` — union of the top-k lists.
+    pub e: usize,
+    /// `ME` — true matches inside `E`.
+    pub me: usize,
+    /// `F` — matches the verifier retrieved by its natural stop.
+    pub f: usize,
+    /// `I` — verifier iterations.
+    pub i: usize,
+    /// Top-k module wall time.
+    pub topk: Duration,
+    /// Verifier wall time.
+    pub verify: Duration,
+}
+
+impl Table3Row {
+    /// `ME / MD` as a percentage (the parenthesized number in Table 3).
+    pub fn me_pct(&self) -> f64 {
+        if self.md == 0 {
+            0.0
+        } else {
+            100.0 * self.me as f64 / self.md as f64
+        }
+    }
+
+    /// `F / ME` as a percentage.
+    pub fn f_pct(&self) -> f64 {
+        if self.me == 0 {
+            0.0
+        } else {
+            100.0 * self.f as f64 / self.me as f64
+        }
+    }
+
+    /// Table header for aligned printing.
+    pub fn header() -> String {
+        format!(
+            "{:<14} {:<6} {:>9} {:>6} {:>6} {:>12} {:>12} {:>4} {:>8}",
+            "dataset", "Q", "|C|", "MD", "|E|", "ME(%MD)", "F(%ME)", "I", "topk(s)"
+        )
+    }
+}
+
+impl std::fmt::Display for Table3Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<14} {:<6} {:>9} {:>6} {:>6} {:>6} ({:>4.1}) {:>6} ({:>4.1}) {:>4} {:>8.2}",
+            self.dataset,
+            self.blocker,
+            self.c,
+            self.md,
+            self.e,
+            self.me,
+            self.me_pct(),
+            self.f,
+            self.f_pct(),
+            self.i,
+            self.topk.as_secs_f64()
+        )
+    }
+}
+
+/// Runs the full debugger for one `(dataset, blocker)` cell of Table 3.
+pub fn table3_cell(
+    ds: &EmDataset,
+    label: &str,
+    blocker: &Blocker,
+    params: DebuggerParams,
+) -> Table3Row {
+    let c = blocker.apply(&ds.a, &ds.b);
+    table3_cell_from_candidates(ds, label, &c, params)
+}
+
+/// Like [`table3_cell`] but with a precomputed candidate set.
+pub fn table3_cell_from_candidates(
+    ds: &EmDataset,
+    label: &str,
+    c: &PairSet,
+    params: DebuggerParams,
+) -> Table3Row {
+    let md = ds.gold.killed(c);
+    let mc = MatchCatcher::new(params);
+    let prepared = mc.prepare(&ds.a, &ds.b);
+    let t0 = Instant::now();
+    let joint = mc.topk(&prepared, c);
+    let topk = t0.elapsed();
+    let union = CandidateUnion::build(&joint.lists);
+    let me = union
+        .pairs
+        .iter()
+        .filter(|&&k| {
+            let (x, y) = split_pair_key(k);
+            ds.gold.is_match(x, y)
+        })
+        .count();
+    let mut oracle = GoldOracle::exact(&ds.gold);
+    let t1 = Instant::now();
+    let (_, outcome) = mc.verify(&ds.a, &ds.b, &prepared, &joint.lists, &mut oracle);
+    let verify = t1.elapsed();
+    Table3Row {
+        dataset: ds.name.clone(),
+        blocker: label.to_string(),
+        c: c.len(),
+        md,
+        e: union.len(),
+        me,
+        f: outcome.matches.len(),
+        i: outcome.iteration_count(),
+        topk,
+        verify,
+    }
+}
+
+/// Measures just the top-k module's wall time for one candidate set
+/// (Figure 9 / §6.4).
+pub fn topk_time(ds: &EmDataset, c: &PairSet, params: DebuggerParams) -> (Duration, usize) {
+    let mc = MatchCatcher::new(params);
+    let prepared = mc.prepare(&ds.a, &ds.b);
+    let t0 = Instant::now();
+    let joint = mc.topk(&prepared, c);
+    let elapsed = t0.elapsed();
+    let union = CandidateUnion::build(&joint.lists);
+    (elapsed, union.len())
+}
+
+/// Standard bench parameters: the paper's `k = 1000`, `n = 20`.
+pub fn paper_params() -> DebuggerParams {
+    DebuggerParams::default()
+}
+
+/// Parse `--scale X`, `--seed N`, `--k N` style CLI overrides.
+pub struct CliArgs {
+    /// Dataset scale factor.
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+    /// Top-k list size.
+    pub k: usize,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl CliArgs {
+    /// Parses from `std::env::args`, with the given default scale.
+    pub fn parse(default_scale: f64) -> Self {
+        let mut out = CliArgs { scale: default_scale, seed: 42, k: 1000, threads: 0 };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            match args[i].as_str() {
+                "--scale" => out.scale = args[i + 1].parse().expect("bad --scale"),
+                "--seed" => out.seed = args[i + 1].parse().expect("bad --seed"),
+                "--k" => out.k = args[i + 1].parse().expect("bad --k"),
+                "--threads" => out.threads = args[i + 1].parse().expect("bad --threads"),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 2;
+        }
+        out
+    }
+
+    /// Debugger params with these overrides applied.
+    pub fn params(&self) -> DebuggerParams {
+        let mut p = paper_params();
+        p.joint.k = self.k;
+        p.joint.threads = self.threads;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_blocking::KeyFunc;
+    use mc_datagen::profiles::DatasetProfile;
+
+    #[test]
+    fn table3_cell_counts_are_consistent() {
+        let ds = DatasetProfile::FodorsZagats.generate(11);
+        let blocker = Blocker::Hash(KeyFunc::Attr(ds.a.schema().expect_id("city")));
+        let mut params = DebuggerParams::default();
+        params.joint.k = 200;
+        let row = table3_cell(&ds, "HASH", &blocker, params);
+        assert!(row.me <= row.md, "ME ≤ MD");
+        assert!(row.f <= row.me, "F ≤ ME");
+        assert!(row.e >= row.me);
+        assert!(row.i >= 1);
+        let s = row.to_string();
+        assert!(s.contains("HASH"));
+        assert!(!Table3Row::header().is_empty());
+    }
+
+    #[test]
+    fn percentages_handle_zero_denominators() {
+        let row = Table3Row {
+            dataset: "x".into(),
+            blocker: "y".into(),
+            c: 0,
+            md: 0,
+            e: 0,
+            me: 0,
+            f: 0,
+            i: 0,
+            topk: Duration::ZERO,
+            verify: Duration::ZERO,
+        };
+        assert_eq!(row.me_pct(), 0.0);
+        assert_eq!(row.f_pct(), 0.0);
+    }
+}

@@ -1,0 +1,722 @@
+//! Blocker construction and execution.
+//!
+//! A [`Blocker`] is a **keep predicate** over tuple pairs, with an
+//! efficient set-at-a-time executor ([`Blocker::apply`]) per §2's
+//! "Efficient Execution of Blockers": hash blockers partition on keys,
+//! SIM blockers run prefix-filter joins, edit-distance blockers use
+//! q-gram count filtering, and rule blockers combine sub-blockers
+//! (disjunction = union of outputs, conjunction = generate with the first
+//! conjunct and filter with the rest).
+
+use crate::canopy::{canopy_block, CanopyParams};
+use crate::key::KeyFunc;
+use mc_strsim::measures::{within_edit_distance, SetMeasure};
+use mc_strsim::tokenize::{qgram_tokens, Tokenizer};
+use mc_strsim::{dict::TokenizedTable, join};
+use mc_table::hash::{fx_map, FxHashMap};
+use mc_table::{AttrId, PairSet, Schema, Table, TupleId};
+
+/// An executable blocker.
+#[derive(Debug, Clone)]
+pub enum Blocker {
+    /// Keep pairs sharing a blocking key (hash / attribute-equivalence
+    /// blocking).
+    Hash(KeyFunc),
+    /// Keep pairs whose keys are within `window` positions of each other
+    /// in the sorted key order (sorted-neighborhood blocking).
+    SortedNeighborhood {
+        /// Key function.
+        key: KeyFunc,
+        /// Window size in sort positions (≥ 1).
+        window: usize,
+    },
+    /// Keep pairs whose attribute values share at least `min_common`
+    /// tokens (overlap blocking).
+    Overlap {
+        /// Attribute to compare.
+        attr: AttrId,
+        /// Tokenizer for the attribute.
+        tokenizer: Tokenizer,
+        /// Minimum shared tokens.
+        min_common: usize,
+    },
+    /// Keep pairs with `measure(attr_a, attr_b) ≥ threshold` (SIM
+    /// blocking).
+    Sim {
+        /// Attribute to compare.
+        attr: AttrId,
+        /// Tokenizer for the attribute.
+        tokenizer: Tokenizer,
+        /// Set-based measure.
+        measure: SetMeasure,
+        /// Keep threshold.
+        threshold: f64,
+    },
+    /// Keep pairs whose *keys* are within edit distance `max_ed`
+    /// (e.g. `ed(lastword(a.Name), lastword(b.Name)) ≤ 2`).
+    EditSim {
+        /// Key function producing the compared strings.
+        key: KeyFunc,
+        /// Maximum edit distance.
+        max_ed: usize,
+    },
+    /// Keep pairs whose numeric values differ by at most `width`
+    /// (`price_absdiff ≤ 20`).
+    NumBand {
+        /// Numeric attribute.
+        attr: AttrId,
+        /// Maximum absolute difference.
+        width: f64,
+    },
+    /// Keep pairs whose canopy-clustering canopies intersect (§2's
+    /// canopy blocking). Set-at-a-time only: membership depends on
+    /// center selection, so there is no pairwise form.
+    Canopy {
+        /// Attribute driving the cheap similarity.
+        attr: AttrId,
+        /// Tokenizer for the attribute.
+        tokenizer: Tokenizer,
+        /// Loose (join-canopy) Jaccard threshold.
+        loose: f64,
+        /// Tight (remove-from-centers) threshold, ≥ `loose`.
+        tight: f64,
+    },
+    /// Keep pairs whose keys share a suffix of at least `suffix_len`
+    /// characters (suffix blocking; equivalent to hashing the last
+    /// `suffix_len` characters of the key).
+    SuffixKey {
+        /// Key function producing the suffixed strings.
+        key: KeyFunc,
+        /// Minimum shared suffix length.
+        suffix_len: usize,
+    },
+    /// Keep pairs kept by **any** sub-blocker (rule disjunction).
+    Union(Vec<Blocker>),
+    /// Keep pairs kept by **all** sub-blockers (rule conjunction). The
+    /// first sub-blocker generates candidates; it must not be a
+    /// sorted-neighborhood blocker in a non-leading position (its
+    /// pairwise form is undefined).
+    Intersect(Vec<Blocker>),
+}
+
+impl Blocker {
+    /// Applies the blocker to two tables, producing the candidate set `C`.
+    pub fn apply(&self, a: &Table, b: &Table) -> PairSet {
+        match self {
+            Blocker::Hash(key) => hash_join(a, b, key),
+            Blocker::SortedNeighborhood { key, window } => sorted_neighborhood(a, b, key, *window),
+            Blocker::Overlap { attr, tokenizer, min_common } => {
+                let (ta, tb, _) = TokenizedTable::build_pair(a, b, &[*attr], *tokenizer);
+                let ra: Vec<Vec<u32>> = (0..ta.rows()).map(|i| ta.ranks(0, i as u32).to_vec()).collect();
+                let rb: Vec<Vec<u32>> = (0..tb.rows()).map(|i| tb.ranks(0, i as u32).to_vec()).collect();
+                join::overlap_join(&ra, &rb, *min_common)
+            }
+            Blocker::Sim { attr, tokenizer, measure, threshold } => {
+                let (ta, tb, _) = TokenizedTable::build_pair(a, b, &[*attr], *tokenizer);
+                let ra: Vec<Vec<u32>> = (0..ta.rows()).map(|i| ta.ranks(0, i as u32).to_vec()).collect();
+                let rb: Vec<Vec<u32>> = (0..tb.rows()).map(|i| tb.ranks(0, i as u32).to_vec()).collect();
+                join::sim_join(&ra, &rb, *measure, *threshold)
+            }
+            Blocker::EditSim { key, max_ed } => edit_join(a, b, key, *max_ed),
+            Blocker::NumBand { attr, width } => num_band(a, b, *attr, *width),
+            Blocker::Canopy { attr, tokenizer, loose, tight } => canopy_block(
+                a,
+                b,
+                CanopyParams { attr: *attr, tokenizer: *tokenizer, loose: *loose, tight: *tight },
+            ),
+            Blocker::SuffixKey { key, suffix_len } => suffix_join(a, b, key, *suffix_len),
+            Blocker::Union(parts) => {
+                let mut out = PairSet::new();
+                for p in parts {
+                    out.union_with(&p.apply(a, b));
+                }
+                out
+            }
+            Blocker::Intersect(parts) => {
+                assert!(!parts.is_empty(), "empty conjunction");
+                let mut out = parts[0].apply(a, b);
+                if parts.len() > 1 {
+                    let keys: Vec<(TupleId, TupleId)> = out.iter().collect();
+                    for (ai, bi) in keys {
+                        if !parts[1..].iter().all(|p| p.keeps(a, b, ai, bi)) {
+                            out.remove(ai, bi);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Pairwise form of the keep predicate (used to filter conjunctions
+    /// and by tests). Panics for sorted-neighborhood blockers, whose
+    /// semantics are inherently set-at-a-time.
+    pub fn keeps(&self, a: &Table, b: &Table, ai: TupleId, bi: TupleId) -> bool {
+        match self {
+            Blocker::Hash(key) => match (key.key(a, ai), key.key(b, bi)) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+            Blocker::SortedNeighborhood { .. } => {
+                panic!("sorted-neighborhood blockers have no pairwise form")
+            }
+            Blocker::Overlap { attr, tokenizer, min_common } => {
+                let ta = tokenizer.tokens(a.value(ai, *attr).unwrap_or(""));
+                let tb = tokenizer.tokens(b.value(bi, *attr).unwrap_or(""));
+                shared_tokens(&ta, &tb) >= *min_common
+            }
+            Blocker::Sim { attr, tokenizer, measure, threshold } => {
+                let ta = tokenizer.tokens(a.value(ai, *attr).unwrap_or(""));
+                let tb = tokenizer.tokens(b.value(bi, *attr).unwrap_or(""));
+                if ta.is_empty() || tb.is_empty() {
+                    return false;
+                }
+                let o = shared_tokens(&ta, &tb);
+                measure.from_overlap(o, ta.len(), tb.len()) >= *threshold - 1e-12
+            }
+            Blocker::EditSim { key, max_ed } => match (key.key(a, ai), key.key(b, bi)) {
+                (Some(x), Some(y)) => within_edit_distance(&x, &y, *max_ed),
+                _ => false,
+            },
+            Blocker::NumBand { attr, width } => {
+                let va: Option<f64> = a.value(ai, *attr).and_then(|v| v.trim().parse().ok());
+                let vb: Option<f64> = b.value(bi, *attr).and_then(|v| v.trim().parse().ok());
+                match (va, vb) {
+                    (Some(x), Some(y)) => (x - y).abs() <= *width + 1e-9,
+                    _ => false,
+                }
+            }
+            Blocker::Canopy { .. } => {
+                panic!("canopy blockers have no pairwise form")
+            }
+            Blocker::SuffixKey { key, suffix_len } => {
+                match (key.key(a, ai), key.key(b, bi)) {
+                    (Some(x), Some(y)) => match (suffix_of(&x, *suffix_len), suffix_of(&y, *suffix_len)) {
+                        (Some(sx), Some(sy)) => sx == sy,
+                        _ => false,
+                    },
+                    _ => false,
+                }
+            }
+            Blocker::Union(parts) => parts.iter().any(|p| p.keeps(a, b, ai, bi)),
+            Blocker::Intersect(parts) => parts.iter().all(|p| p.keeps(a, b, ai, bi)),
+        }
+    }
+
+    /// Readable description, e.g.
+    /// `hash(lastword(name)) OR jac_word(title) >= 0.4`.
+    pub fn describe(&self, schema: &Schema) -> String {
+        match self {
+            Blocker::Hash(k) => format!("hash({})", k.describe(schema)),
+            Blocker::SortedNeighborhood { key, window } => {
+                format!("sn({}, w={})", key.describe(schema), window)
+            }
+            Blocker::Overlap { attr, tokenizer, min_common } => format!(
+                "overlap_{}({}) >= {}",
+                tokenizer.label(),
+                schema.name(*attr),
+                min_common
+            ),
+            Blocker::Sim { attr, tokenizer, measure, threshold } => format!(
+                "{}_{}({}) >= {}",
+                measure.label(),
+                tokenizer.label(),
+                schema.name(*attr),
+                threshold
+            ),
+            Blocker::EditSim { key, max_ed } => {
+                format!("ed({}) <= {}", key.describe(schema), max_ed)
+            }
+            Blocker::NumBand { attr, width } => {
+                format!("absdiff({}) <= {}", schema.name(*attr), width)
+            }
+            Blocker::Canopy { attr, tokenizer, loose, tight } => format!(
+                "canopy_{}({}, loose={}, tight={})",
+                tokenizer.label(),
+                schema.name(*attr),
+                loose,
+                tight
+            ),
+            Blocker::SuffixKey { key, suffix_len } => {
+                format!("suffix{}({})", suffix_len, key.describe(schema))
+            }
+            Blocker::Union(parts) => parts
+                .iter()
+                .map(|p| p.describe(schema))
+                .collect::<Vec<_>>()
+                .join(" OR "),
+            Blocker::Intersect(parts) => parts
+                .iter()
+                .map(|p| format!("({})", p.describe(schema)))
+                .collect::<Vec<_>>()
+                .join(" AND "),
+        }
+    }
+}
+
+/// Shared-token count for small pairwise checks (quadratic-free: sorts).
+fn shared_tokens(a: &[String], b: &[String]) -> usize {
+    let mut a: Vec<&str> = a.iter().map(|s| s.as_str()).collect();
+    let mut b: Vec<&str> = b.iter().map(|s| s.as_str()).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    let (mut i, mut j, mut o) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                o += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    o
+}
+
+/// The last `n` characters of `s`, `None` when `s` is shorter than `n`.
+fn suffix_of(s: &str, n: usize) -> Option<String> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < n {
+        return None;
+    }
+    Some(chars[chars.len() - n..].iter().collect())
+}
+
+/// Suffix blocking: two keys share a suffix of length ≥ `n` iff their
+/// last `n` characters agree, so this reduces to a hash join on key
+/// suffixes.
+fn suffix_join(a: &Table, b: &Table, key: &KeyFunc, n: usize) -> PairSet {
+    let n = n.max(1);
+    let mut blocks: FxHashMap<String, Vec<TupleId>> = fx_map();
+    for id in a.ids() {
+        if let Some(sfx) = key.key(a, id).and_then(|k| suffix_of(&k, n)) {
+            blocks.entry(sfx).or_default().push(id);
+        }
+    }
+    let mut out = PairSet::new();
+    for bid in b.ids() {
+        if let Some(sfx) = key.key(b, bid).and_then(|k| suffix_of(&k, n)) {
+            if let Some(aids) = blocks.get(&sfx) {
+                for &aid in aids {
+                    out.insert(aid, bid);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Hash blocking: partition `A` by key, probe with `B`'s keys.
+fn hash_join(a: &Table, b: &Table, key: &KeyFunc) -> PairSet {
+    let mut blocks: FxHashMap<String, Vec<TupleId>> = fx_map();
+    for id in a.ids() {
+        if let Some(k) = key.key(a, id) {
+            blocks.entry(k).or_default().push(id);
+        }
+    }
+    let mut out = PairSet::new();
+    for bid in b.ids() {
+        if let Some(k) = key.key(b, bid) {
+            if let Some(aids) = blocks.get(&k) {
+                for &aid in aids {
+                    out.insert(aid, bid);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sorted-neighborhood blocking: sort all keyed tuples from both tables
+/// by key, then output every A-B pair within `window` positions.
+fn sorted_neighborhood(a: &Table, b: &Table, key: &KeyFunc, window: usize) -> PairSet {
+    let window = window.max(1);
+    // (key, side, id); side 0 = A, 1 = B.
+    let mut rows: Vec<(String, u8, TupleId)> = Vec::with_capacity(a.len() + b.len());
+    for id in a.ids() {
+        if let Some(k) = key.key(a, id) {
+            rows.push((k, 0, id));
+        }
+    }
+    for id in b.ids() {
+        if let Some(k) = key.key(b, id) {
+            rows.push((k, 1, id));
+        }
+    }
+    rows.sort_unstable();
+    let mut out = PairSet::new();
+    for (i, (_, side_i, id_i)) in rows.iter().enumerate() {
+        for (_, side_j, id_j) in rows.iter().skip(i + 1).take(window) {
+            match (side_i, side_j) {
+                (0, 1) => {
+                    out.insert(*id_i, *id_j);
+                }
+                (1, 0) => {
+                    out.insert(*id_j, *id_i);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Edit-distance join over blocking keys with q-gram count filtering.
+///
+/// Two strings within edit distance `k` share at least
+/// `max(|G_x|, |G_y|) − k·q` padded q-grams (each edit destroys ≤ q
+/// grams); when that bound is non-positive (very short keys) we fall back
+/// to comparing against all length-compatible short keys.
+fn edit_join(a: &Table, b: &Table, key: &KeyFunc, max_ed: usize) -> PairSet {
+    const Q: usize = 2;
+    let keys_a = collect_keys(a, key);
+    let keys_b = collect_keys(b, key);
+
+    // q-gram index over B's distinct keys.
+    let mut gram_index: FxHashMap<String, Vec<u32>> = fx_map();
+    let b_keys: Vec<&String> = keys_b.keys().collect();
+    let b_grams: Vec<Vec<String>> = b_keys.iter().map(|k| qgram_tokens(k, Q)).collect();
+    for (i, grams) in b_grams.iter().enumerate() {
+        let mut sorted = grams.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for g in sorted {
+            gram_index.entry(g).or_default().push(i as u32);
+        }
+    }
+    // Short B keys (count filter vacuous) bucketed by length.
+    let mut short_b: Vec<u32> = Vec::new();
+    for (i, k) in b_keys.iter().enumerate() {
+        if k.chars().count() + Q - 1 <= max_ed * Q {
+            short_b.push(i as u32);
+        }
+    }
+
+    let mut out = PairSet::new();
+    let mut counts: FxHashMap<u32, usize> = fx_map();
+    for (ka, ids_a) in &keys_a {
+        let la = ka.chars().count();
+        counts.clear();
+        let grams_a = qgram_tokens(ka, Q);
+        for g in &grams_a {
+            if let Some(list) = gram_index.get(g) {
+                for &bi in list {
+                    *counts.entry(bi).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut candidates: Vec<u32> = Vec::new();
+        for (&bi, &shared) in counts.iter() {
+            let lb = b_keys[bi as usize].chars().count();
+            if la.abs_diff(lb) > max_ed {
+                continue;
+            }
+            let need = (la.max(lb) + Q - 1).saturating_sub(max_ed * Q).max(1);
+            if shared >= need {
+                candidates.push(bi);
+            }
+        }
+        // Short keys may share zero grams with a within-k partner.
+        if la + Q - 1 <= max_ed * Q {
+            for &bi in &short_b {
+                if counts.get(&bi).is_none_or(|&c| {
+                    let lb = b_keys[bi as usize].chars().count();
+                    c < (la.max(lb) + Q - 1).saturating_sub(max_ed * Q).max(1)
+                }) && la.abs_diff(b_keys[bi as usize].chars().count()) <= max_ed
+                {
+                    candidates.push(bi);
+                }
+            }
+        } else {
+            for &bi in &short_b {
+                let lb = b_keys[bi as usize].chars().count();
+                if la.abs_diff(lb) <= max_ed && !counts.contains_key(&bi) {
+                    candidates.push(bi);
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        for bi in candidates {
+            let kb = b_keys[bi as usize];
+            if within_edit_distance(ka, kb, max_ed) {
+                for &aid in ids_a {
+                    for &bid in &keys_b[kb] {
+                        out.insert(aid, bid);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn collect_keys(t: &Table, key: &KeyFunc) -> FxHashMap<String, Vec<TupleId>> {
+    let mut m: FxHashMap<String, Vec<TupleId>> = fx_map();
+    for id in t.ids() {
+        if let Some(k) = key.key(t, id) {
+            m.entry(k).or_default().push(id);
+        }
+    }
+    m
+}
+
+/// Numeric band join: bucket by `width`, probe adjacent buckets, verify.
+fn num_band(a: &Table, b: &Table, attr: AttrId, width: f64) -> PairSet {
+    assert!(width > 0.0, "band width must be positive");
+    let parse = |t: &Table, id: TupleId| -> Option<f64> {
+        t.value(id, attr).and_then(|v| v.trim().parse().ok())
+    };
+    let mut buckets: FxHashMap<i64, Vec<(TupleId, f64)>> = fx_map();
+    for id in a.ids() {
+        if let Some(v) = parse(a, id) {
+            buckets.entry((v / width).floor() as i64).or_default().push((id, v));
+        }
+    }
+    let mut out = PairSet::new();
+    for bid in b.ids() {
+        let Some(v) = parse(b, bid) else { continue };
+        let bucket = (v / width).floor() as i64;
+        for probe in [bucket - 1, bucket, bucket + 1] {
+            if let Some(list) = buckets.get(&probe) {
+                for &(aid, va) in list {
+                    if (va - v).abs() <= width + 1e-9 {
+                        out.insert(aid, bid);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_table::{Schema, Tuple};
+    use std::sync::Arc;
+
+    fn tables() -> (Table, Table) {
+        // Figure 1 of the paper.
+        let schema = Arc::new(Schema::from_names(["name", "city", "age"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::from_present(["Dave Smith", "Altanta", "18"])); // a1
+        a.push(Tuple::from_present(["Daniel Smith", "LA", "18"])); // a2
+        a.push(Tuple::from_present(["Joe Welson", "New York", "25"])); // a3
+        a.push(Tuple::from_present(["Charles Williams", "Chicago", "45"])); // a4
+        a.push(Tuple::from_present(["Charlie William", "Atlanta", "28"])); // a5
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["David Smith", "Atlanta", "18"])); // b1
+        b.push(Tuple::from_present(["Joe Wilson", "NY", "25"])); // b2
+        b.push(Tuple::from_present(["Daniel W. Smith", "LA", "30"])); // b3
+        b.push(Tuple::from_present(["Charles Williams", "Chicago", "45"])); // b4
+        (a, b)
+    }
+
+    #[test]
+    fn figure1_q1_city_equivalence() {
+        let (a, b) = tables();
+        let q1 = Blocker::Hash(KeyFunc::Attr(AttrId(1)));
+        let c1 = q1.apply(&a, &b);
+        // C1 = {(a2,b3), (a4,b4), (a5,b1)} — exactly the paper's Figure 1.b.
+        assert_eq!(c1.to_sorted_vec(), vec![(1, 2), (3, 3), (4, 0)]);
+    }
+
+    #[test]
+    fn figure1_q2_adds_lastword_matches() {
+        let (a, b) = tables();
+        let q2 = Blocker::Union(vec![
+            Blocker::Hash(KeyFunc::Attr(AttrId(1))),
+            Blocker::Hash(KeyFunc::LastWord(AttrId(0))),
+        ]);
+        let c2 = q2.apply(&a, &b);
+        // Q2 keeps (a1,b1) [smith = smith] but still kills (a3,b2)
+        // [welson vs wilson].
+        assert!(c2.contains(0, 0));
+        assert!(!c2.contains(2, 1));
+        // Figure 1.c: C2 = {(a1,b1),(a1,b3),(a2,b1),(a2,b3),(a4,b4),(a5,b1)}
+        assert_eq!(
+            c2.to_sorted_vec(),
+            vec![(0, 0), (0, 2), (1, 0), (1, 2), (3, 3), (4, 0)]
+        );
+    }
+
+    #[test]
+    fn figure1_q3_edit_distance_recovers_welson() {
+        let (a, b) = tables();
+        let q3 = Blocker::Union(vec![
+            Blocker::Hash(KeyFunc::Attr(AttrId(1))),
+            Blocker::EditSim { key: KeyFunc::LastWord(AttrId(0)), max_ed: 2 },
+        ]);
+        let c3 = q3.apply(&a, &b);
+        // (a3,b2): welson vs wilson, ed = 1 ≤ 2 — now kept.
+        assert!(c3.contains(2, 1));
+        // (a5,b4): william vs williams, ed = 1 — kept.
+        assert!(c3.contains(4, 3));
+    }
+
+    #[test]
+    fn edit_join_agrees_with_brute_force() {
+        let (a, b) = tables();
+        for k in 0..4usize {
+            let blocker = Blocker::EditSim { key: KeyFunc::LastWord(AttrId(0)), max_ed: k };
+            let fast = blocker.apply(&a, &b).to_sorted_vec();
+            let mut slow = Vec::new();
+            for ai in a.ids() {
+                for bi in b.ids() {
+                    if blocker.keeps(&a, &b, ai, bi) {
+                        slow.push((ai, bi));
+                    }
+                }
+            }
+            slow.sort_unstable();
+            assert_eq!(fast, slow, "k={k}");
+        }
+    }
+
+    #[test]
+    fn overlap_blocker_keeps_sharing_pairs() {
+        let (a, b) = tables();
+        let ol = Blocker::Overlap { attr: AttrId(0), tokenizer: Tokenizer::Word, min_common: 1 };
+        let c = ol.apply(&a, &b);
+        assert!(c.contains(0, 0)); // share "smith"
+        assert!(c.contains(2, 1)); // share "joe"
+        assert!(!c.contains(0, 1)); // no shared name word
+    }
+
+    #[test]
+    fn sim_blocker_matches_pairwise_form() {
+        let (a, b) = tables();
+        let sim = Blocker::Sim {
+            attr: AttrId(0),
+            tokenizer: Tokenizer::Word,
+            measure: SetMeasure::Jaccard,
+            threshold: 0.3,
+        };
+        let fast = sim.apply(&a, &b).to_sorted_vec();
+        let mut slow = Vec::new();
+        for ai in a.ids() {
+            for bi in b.ids() {
+                if sim.keeps(&a, &b, ai, bi) {
+                    slow.push((ai, bi));
+                }
+            }
+        }
+        slow.sort_unstable();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn num_band_blocker() {
+        let (a, b) = tables();
+        let nb = Blocker::NumBand { attr: AttrId(2), width: 5.0 };
+        let c = nb.apply(&a, &b);
+        assert!(c.contains(0, 0)); // 18 vs 18
+        assert!(!c.contains(1, 2)); // (a2=18, b3=30) differ by 12 > 5
+        assert!(c.contains(2, 1)); // 25 vs 25
+        // brute-force agreement
+        for ai in a.ids() {
+            for bi in b.ids() {
+                assert_eq!(c.contains(ai, bi), nb.keeps(&a, &b, ai, bi), "({ai},{bi})");
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_filters_with_remaining_conjuncts() {
+        let (a, b) = tables();
+        let conj = Blocker::Intersect(vec![
+            Blocker::Hash(KeyFunc::LastWord(AttrId(0))),
+            Blocker::NumBand { attr: AttrId(2), width: 1.0 },
+        ]);
+        let c = conj.apply(&a, &b);
+        assert!(c.contains(0, 0)); // smith & age equal
+        assert!(!c.contains(1, 2)); // smith but ages 18 vs 30
+    }
+
+    #[test]
+    fn sorted_neighborhood_finds_near_keys() {
+        let (a, b) = tables();
+        let sn = Blocker::SortedNeighborhood { key: KeyFunc::LastWord(AttrId(0)), window: 2 };
+        let c = sn.apply(&a, &b);
+        // "william" (a5) and "williams" (b4) are adjacent in sorted order.
+        assert!(c.contains(4, 3));
+        // every pair with equal keys within the window also appears
+        assert!(c.len() >= 3);
+    }
+
+    #[test]
+    fn describe_mentions_structure() {
+        let (a, _) = tables();
+        let s = a.schema();
+        let q3 = Blocker::Union(vec![
+            Blocker::Hash(KeyFunc::Attr(AttrId(1))),
+            Blocker::EditSim { key: KeyFunc::LastWord(AttrId(0)), max_ed: 2 },
+        ]);
+        let d = q3.describe(s);
+        assert!(d.contains("hash(city)"));
+        assert!(d.contains("OR"));
+        assert!(d.contains("ed(lastword(name)) <= 2"));
+    }
+
+    #[test]
+    fn suffix_key_blocker() {
+        let (a, b) = tables();
+        // Last 4 chars of lastword(name): "mith" pairs smith/smith;
+        // "liam" pairs william(s)... williams' last4 = "iams" vs
+        // william's "liam" → no pair.
+        let sfx = Blocker::SuffixKey { key: KeyFunc::LastWord(AttrId(0)), suffix_len: 4 };
+        let c = sfx.apply(&a, &b);
+        assert!(c.contains(0, 0));
+        assert!(!c.contains(4, 3));
+        // brute-force agreement with the pairwise form
+        for ai in a.ids() {
+            for bi in b.ids() {
+                assert_eq!(c.contains(ai, bi), sfx.keeps(&a, &b, ai, bi));
+            }
+        }
+    }
+
+    #[test]
+    fn canopy_blocker_applies() {
+        let (a, b) = tables();
+        let cb = Blocker::Canopy {
+            attr: AttrId(0),
+            tokenizer: Tokenizer::Word,
+            loose: 0.3,
+            tight: 0.8,
+        };
+        let c = cb.apply(&a, &b);
+        // dave smith / david smith share "smith": jaccard 1/3 ≥ 0.3.
+        assert!(c.contains(0, 0));
+        assert!(cb.describe(a.schema()).contains("canopy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no pairwise form")]
+    fn canopy_has_no_pairwise_form() {
+        let (a, b) = tables();
+        let cb = Blocker::Canopy {
+            attr: AttrId(0),
+            tokenizer: Tokenizer::Word,
+            loose: 0.3,
+            tight: 0.8,
+        };
+        let _ = cb.keeps(&a, &b, 0, 0);
+    }
+
+    #[test]
+    fn missing_keys_block_nothing() {
+        let schema = Arc::new(Schema::from_names(["x"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::new(vec![None]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::new(vec![None]));
+        let c = Blocker::Hash(KeyFunc::Attr(AttrId(0))).apply(&a, &b);
+        assert!(c.is_empty());
+        let c = Blocker::EditSim { key: KeyFunc::Attr(AttrId(0)), max_ed: 2 }.apply(&a, &b);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Canopy blocking (§2 "other types of blockers": canopy clustering).
+//!
+//! Classic canopy clustering (McCallum et al.): repeatedly pick an
+//! unprocessed record as a *center*; every record whose cheap similarity
+//! to the center is at least the **loose** threshold joins the canopy;
+//! records within the **tight** threshold are removed from the center
+//! pool. Pairs of A/B records sharing a canopy survive blocking.
+//!
+//! The cheap similarity here is word-level Jaccard over one attribute,
+//! evaluated with an inverted index, so canopy formation is near-linear
+//! in practice. Canopy membership depends on center choice, so this
+//! blocker has **no pairwise form** — like sorted-neighborhood blocking
+//! it is inherently set-at-a-time.
+
+use mc_strsim::dict::TokenizedTable;
+use mc_strsim::measures::SetMeasure;
+use mc_strsim::tokenize::Tokenizer;
+use mc_table::hash::{fx_map, FxHashMap};
+use mc_table::{AttrId, PairSet, Table, TupleId};
+
+/// Parameters of canopy blocking.
+#[derive(Debug, Clone, Copy)]
+pub struct CanopyParams {
+    /// Attribute whose tokens drive the cheap similarity.
+    pub attr: AttrId,
+    /// Tokenizer for that attribute.
+    pub tokenizer: Tokenizer,
+    /// Loose threshold: records this similar to a center join its canopy.
+    pub loose: f64,
+    /// Tight threshold (≥ loose): records this similar stop being future
+    /// centers.
+    pub tight: f64,
+}
+
+/// Runs canopy blocking over two tables, returning the surviving pairs.
+pub fn canopy_block(a: &Table, b: &Table, params: CanopyParams) -> PairSet {
+    assert!(
+        params.tight >= params.loose,
+        "tight threshold must be at least the loose threshold"
+    );
+    let (ta, tb, _) = TokenizedTable::build_pair(a, b, &[params.attr], params.tokenizer);
+    // Unified record space: A records first, then B.
+    let n_a = ta.rows();
+    let n = n_a + tb.rows();
+    let rec = |i: usize| -> &[u32] {
+        if i < n_a {
+            ta.ranks(0, i as TupleId)
+        } else {
+            tb.ranks(0, (i - n_a) as TupleId)
+        }
+    };
+    // Inverted index over all records.
+    let mut postings: FxHashMap<u32, Vec<u32>> = fx_map();
+    for i in 0..n {
+        let mut last = None;
+        for &t in rec(i) {
+            if last == Some(t) {
+                continue;
+            }
+            last = Some(t);
+            postings.entry(t).or_default().push(i as u32);
+        }
+    }
+
+    let mut out = PairSet::new();
+    let mut removed = vec![false; n];
+    let mut overlap_count: FxHashMap<u32, usize> = fx_map();
+    for center in 0..n {
+        if removed[center] || rec(center).is_empty() {
+            continue;
+        }
+        removed[center] = true;
+        // Gather candidates sharing ≥ 1 token with the center.
+        overlap_count.clear();
+        let mut last = None;
+        for &t in rec(center) {
+            if last == Some(t) {
+                continue;
+            }
+            last = Some(t);
+            if let Some(list) = postings.get(&t) {
+                for &o in list {
+                    *overlap_count.entry(o).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut members_a: Vec<TupleId> = Vec::new();
+        let mut members_b: Vec<TupleId> = Vec::new();
+        let push_member = |i: usize, ma: &mut Vec<TupleId>, mb: &mut Vec<TupleId>| {
+            if i < n_a {
+                ma.push(i as TupleId);
+            } else {
+                mb.push((i - n_a) as TupleId);
+            }
+        };
+        push_member(center, &mut members_a, &mut members_b);
+        for (&o, _) in overlap_count.iter() {
+            let o = o as usize;
+            if o == center {
+                continue;
+            }
+            let s = SetMeasure::Jaccard.score(rec(center), rec(o));
+            if s >= params.loose {
+                push_member(o, &mut members_a, &mut members_b);
+                if s >= params.tight {
+                    removed[o] = true;
+                }
+            }
+        }
+        for &x in &members_a {
+            for &y in &members_b {
+                out.insert(x, y);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_table::{Schema, Tuple};
+    use std::sync::Arc;
+
+    fn tables() -> (Table, Table) {
+        let schema = Arc::new(Schema::from_names(["name"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::from_present(["dave smith senior"]));
+        a.push(Tuple::from_present(["completely unrelated words"]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["dave smith junior"]));
+        b.push(Tuple::from_present(["another thing entirely"]));
+        (a, b)
+    }
+
+    fn params(loose: f64, tight: f64) -> CanopyParams {
+        CanopyParams { attr: AttrId(0), tokenizer: Tokenizer::Word, loose, tight }
+    }
+
+    #[test]
+    fn similar_records_share_a_canopy() {
+        let (a, b) = tables();
+        let c = canopy_block(&a, &b, params(0.4, 0.9));
+        assert!(c.contains(0, 0), "dave smith variants should share a canopy");
+        assert!(!c.contains(0, 1));
+        assert!(!c.contains(1, 0));
+    }
+
+    #[test]
+    fn loose_zero_pairs_anything_sharing_a_token() {
+        let (a, b) = tables();
+        let c = canopy_block(&a, &b, params(0.01, 0.9));
+        assert!(c.contains(0, 0));
+        // Disjoint-token records never share a canopy regardless.
+        assert!(!c.contains(1, 0));
+    }
+
+    #[test]
+    fn impossible_threshold_blocks_everything() {
+        let (a, b) = tables();
+        let c = canopy_block(&a, &b, params(0.99, 0.99));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tight threshold")]
+    fn tight_below_loose_panics() {
+        let (a, b) = tables();
+        let _ = canopy_block(&a, &b, params(0.8, 0.2));
+    }
+
+    #[test]
+    fn empty_values_are_ignored() {
+        let schema = Arc::new(Schema::from_names(["name"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::new(vec![None]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["anything"]));
+        let c = canopy_block(&a, &b, params(0.1, 0.5));
+        assert!(c.is_empty());
+    }
+}

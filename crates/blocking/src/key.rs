@@ -1,0 +1,148 @@
+//! Blocking key functions.
+//!
+//! Hash blocking "outputs a pair of tuples if they share the same hash
+//! value, using a pre-specified hash function" (§2). A [`KeyFunc`] is that
+//! hash function: it maps a tuple to an optional string key (missing
+//! values yield no key, so the tuple lands in no block). Attribute
+//! equivalence is the special case [`KeyFunc::Attr`], and the paper's
+//! running example uses [`KeyFunc::LastWord`]
+//! (`lastword(a.Name) = lastword(b.Name)`).
+
+use crate::soundex::soundex;
+use mc_strsim::tokenize::{first_word, last_word};
+use mc_table::{AttrId, Schema, Table, TupleId};
+
+/// A function from a tuple to an optional blocking key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyFunc {
+    /// The whole attribute value, lowercased and whitespace-normalized.
+    Attr(AttrId),
+    /// The last word of the attribute value (typically a surname).
+    LastWord(AttrId),
+    /// The first word of the attribute value (typically a brand or first
+    /// name).
+    FirstWord(AttrId),
+    /// The first `n` characters of the normalized value.
+    Prefix(AttrId, usize),
+    /// Soundex code of the first word (phonetic blocking).
+    Soundex(AttrId),
+    /// Soundex code of the last word.
+    SoundexLast(AttrId),
+    /// Numeric value bucketed to `floor(v / width)` — a hash of a price or
+    /// year.
+    NumBucket(AttrId, f64),
+}
+
+impl KeyFunc {
+    /// Computes the key for tuple `id` of `table`.
+    pub fn key(&self, table: &Table, id: TupleId) -> Option<String> {
+        match self {
+            KeyFunc::Attr(a) => table.value(id, *a).map(normalize),
+            KeyFunc::LastWord(a) => table.value(id, *a).and_then(last_word),
+            KeyFunc::FirstWord(a) => table.value(id, *a).and_then(first_word),
+            KeyFunc::Prefix(a, n) => table.value(id, *a).map(|v| {
+                let norm = normalize(v);
+                norm.chars().take(*n).collect()
+            }),
+            KeyFunc::Soundex(a) => {
+                table.value(id, *a).and_then(first_word).and_then(|w| soundex(&w))
+            }
+            KeyFunc::SoundexLast(a) => {
+                table.value(id, *a).and_then(last_word).and_then(|w| soundex(&w))
+            }
+            KeyFunc::NumBucket(a, width) => {
+                let v: f64 = table.value(id, *a)?.trim().parse().ok()?;
+                Some(format!("{}", (v / width).floor() as i64))
+            }
+        }
+    }
+
+    /// The attribute this key reads.
+    pub fn attr(&self) -> AttrId {
+        match self {
+            KeyFunc::Attr(a)
+            | KeyFunc::LastWord(a)
+            | KeyFunc::FirstWord(a)
+            | KeyFunc::Prefix(a, _)
+            | KeyFunc::Soundex(a)
+            | KeyFunc::SoundexLast(a)
+            | KeyFunc::NumBucket(a, _) => *a,
+        }
+    }
+
+    /// A readable description like `lastword(name)`.
+    pub fn describe(&self, schema: &Schema) -> String {
+        match self {
+            KeyFunc::Attr(a) => schema.name(*a).to_string(),
+            KeyFunc::LastWord(a) => format!("lastword({})", schema.name(*a)),
+            KeyFunc::FirstWord(a) => format!("firstword({})", schema.name(*a)),
+            KeyFunc::Prefix(a, n) => format!("prefix{}({})", n, schema.name(*a)),
+            KeyFunc::Soundex(a) => format!("soundex({})", schema.name(*a)),
+            KeyFunc::SoundexLast(a) => format!("soundexlast({})", schema.name(*a)),
+            KeyFunc::NumBucket(a, w) => format!("bucket{}({})", w, schema.name(*a)),
+        }
+    }
+}
+
+/// Lowercases and collapses whitespace.
+fn normalize(v: &str) -> String {
+    v.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_table::{Schema, Tuple};
+    use std::sync::Arc;
+
+    fn table() -> Table {
+        let schema = Arc::new(Schema::from_names(["name", "city", "price"]));
+        let mut t = Table::new("A", schema);
+        t.push(Tuple::from_present(["Dave  Smith", "New York", "129.99"]));
+        t.push(Tuple::new(vec![None, Some("LA".into()), Some("n/a".into())]));
+        t
+    }
+
+    #[test]
+    fn attr_key_normalizes() {
+        let t = table();
+        let k = KeyFunc::Attr(AttrId(0));
+        assert_eq!(k.key(&t, 0).as_deref(), Some("dave smith"));
+        assert_eq!(k.key(&t, 1), None);
+    }
+
+    #[test]
+    fn word_keys() {
+        let t = table();
+        assert_eq!(KeyFunc::LastWord(AttrId(0)).key(&t, 0).as_deref(), Some("smith"));
+        assert_eq!(KeyFunc::FirstWord(AttrId(0)).key(&t, 0).as_deref(), Some("dave"));
+    }
+
+    #[test]
+    fn prefix_key() {
+        let t = table();
+        assert_eq!(KeyFunc::Prefix(AttrId(1), 3).key(&t, 0).as_deref(), Some("new"));
+    }
+
+    #[test]
+    fn soundex_keys() {
+        let t = table();
+        assert_eq!(KeyFunc::Soundex(AttrId(0)).key(&t, 0).as_deref(), Some("d100"));
+        assert_eq!(KeyFunc::SoundexLast(AttrId(0)).key(&t, 0).as_deref(), Some("s530"));
+    }
+
+    #[test]
+    fn num_bucket_parses_or_none() {
+        let t = table();
+        assert_eq!(KeyFunc::NumBucket(AttrId(2), 50.0).key(&t, 0).as_deref(), Some("2"));
+        assert_eq!(KeyFunc::NumBucket(AttrId(2), 50.0).key(&t, 1), None);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let t = table();
+        let s = t.schema();
+        assert_eq!(KeyFunc::LastWord(AttrId(0)).describe(s), "lastword(name)");
+        assert_eq!(KeyFunc::NumBucket(AttrId(2), 20.0).describe(s), "bucket20(price)");
+    }
+}

@@ -1,0 +1,98 @@
+//! Blocker accuracy reporting.
+//!
+//! Wraps Definition 2.1 (blocker recall) plus the bookkeeping the
+//! experiments print: candidate-set size, selectivity `|C| / |A × B|`,
+//! surviving and killed match counts.
+
+use crate::blocker::Blocker;
+use mc_table::{GoldMatches, PairSet, Table};
+
+/// Accuracy report for one blocker on one dataset.
+#[derive(Debug, Clone)]
+pub struct BlockerReport {
+    /// Blocker description.
+    pub blocker: String,
+    /// `|C|`, the candidate-set size.
+    pub candidates: usize,
+    /// `|C| / |A × B|`.
+    pub selectivity: f64,
+    /// `|M|`, total gold matches.
+    pub gold: usize,
+    /// `|M ∩ C|`, surviving matches.
+    pub surviving: usize,
+    /// `|M| − |M ∩ C|` — column MD of Table 3.
+    pub killed: usize,
+    /// `|M ∩ C| / |M|` — Definition 2.1.
+    pub recall: f64,
+}
+
+impl BlockerReport {
+    /// Applies `blocker` and measures it against `gold`.
+    pub fn measure(blocker: &Blocker, a: &Table, b: &Table, gold: &GoldMatches) -> Self {
+        let c = blocker.apply(a, b);
+        Self::from_candidates(blocker.describe(a.schema()), &c, a, b, gold)
+    }
+
+    /// Builds a report from an already-computed candidate set.
+    pub fn from_candidates(
+        description: String,
+        c: &PairSet,
+        a: &Table,
+        b: &Table,
+        gold: &GoldMatches,
+    ) -> Self {
+        let cross = (a.len() as f64) * (b.len() as f64);
+        let surviving = gold.surviving(c);
+        BlockerReport {
+            blocker: description,
+            candidates: c.len(),
+            selectivity: if cross == 0.0 { 0.0 } else { c.len() as f64 / cross },
+            gold: gold.len(),
+            surviving,
+            killed: gold.len() - surviving,
+            recall: gold.recall(c),
+        }
+    }
+}
+
+impl std::fmt::Display for BlockerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: |C|={} sel={:.5} recall={:.1}% killed={}",
+            self.blocker,
+            self.candidates,
+            self.selectivity,
+            self.recall * 100.0,
+            self.killed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyFunc;
+    use mc_table::{AttrId, Schema, Tuple};
+    use std::sync::Arc;
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let schema = Arc::new(Schema::from_names(["city"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::from_present(["x"]));
+        a.push(Tuple::from_present(["y"]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["x"]));
+        b.push(Tuple::from_present(["z"]));
+        let gold = GoldMatches::from_pairs([(0, 0), (1, 1)]);
+        let r = BlockerReport::measure(&Blocker::Hash(KeyFunc::Attr(AttrId(0))), &a, &b, &gold);
+        assert_eq!(r.candidates, 1);
+        assert_eq!(r.surviving, 1);
+        assert_eq!(r.killed, 1);
+        assert_eq!(r.recall, 0.5);
+        assert!((r.selectivity - 0.25).abs() < 1e-12);
+        let s = r.to_string();
+        assert!(s.contains("recall=50.0%"));
+    }
+}

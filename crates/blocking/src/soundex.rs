@@ -1,0 +1,88 @@
+//! American Soundex — the classic phonetic key (§2 mentions phonetic
+//! blockers alongside hash and sorted-neighborhood).
+//!
+//! The code is the first letter followed by three digits encoding the
+//! remaining consonants; vowels and `h/w/y` are skipped, doubled codes
+//! collapse, and `h`/`w` do not separate equal codes.
+
+/// Soundex code of `s` (e.g. `"robert"` → `"r163"`). Returns `None` when
+/// the input contains no ASCII letter.
+pub fn soundex(s: &str) -> Option<String> {
+    let mut chars = s.chars().filter_map(|c| {
+        let c = c.to_ascii_lowercase();
+        c.is_ascii_lowercase().then_some(c)
+    });
+    let first = chars.next()?;
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    let mut last_digit = digit(first);
+    for c in chars {
+        let d = digit(c);
+        match d {
+            0 => {
+                // vowels reset the adjacency rule; h/w/y do not
+                if matches!(c, 'a' | 'e' | 'i' | 'o' | 'u') {
+                    last_digit = 0;
+                }
+            }
+            d if d != last_digit => {
+                code.push((b'0' + d) as char);
+                last_digit = d;
+                if code.len() == 4 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+fn digit(c: char) -> u8 {
+    match c {
+        'b' | 'f' | 'p' | 'v' => 1,
+        'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => 2,
+        'd' | 't' => 3,
+        'l' => 4,
+        'm' | 'n' => 5,
+        'r' => 6,
+        _ => 0, // vowels, h, w, y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_examples() {
+        assert_eq!(soundex("Robert").as_deref(), Some("r163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("r163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("a261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("t522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("p236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("h555"));
+    }
+
+    #[test]
+    fn similar_names_collide() {
+        assert_eq!(soundex("welson"), soundex("wilson"));
+        assert_eq!(soundex("smith"), soundex("smyth"));
+    }
+
+    #[test]
+    fn empty_or_nonalpha_is_none() {
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("123"), None);
+        assert_eq!(soundex("  !"), None);
+    }
+
+    #[test]
+    fn short_names_pad_with_zeros() {
+        assert_eq!(soundex("lee").as_deref(), Some("l000"));
+        assert_eq!(soundex("a").as_deref(), Some("a000"));
+    }
+}

@@ -1,0 +1,338 @@
+//! The top-level MatchCatcher debugger (Figure 2 wired end-to-end).
+//!
+//! [`MatchCatcher::run`] takes two tables, the blocker output `C`, and a
+//! labeling [`Oracle`]; it returns a [`DebugReport`] with the confirmed
+//! killed-off matches, per-iteration statistics, per-match explanations,
+//! and timings. The individual stages ([`MatchCatcher::prepare`],
+//! [`MatchCatcher::topk`]) are public so benchmarks can measure them in
+//! isolation.
+
+use crate::config::{Config, ConfigGenerator, ConfigGeneratorParams, ConfigTree, PromisingAttrs};
+use crate::explain::{explain_match, summarize_problems, MatchExplanation};
+use crate::features::FeatureExtractor;
+use crate::joint::{run_joint, CandidateUnion, JointOutput, JointParams};
+use crate::oracle::Oracle;
+use crate::ssj::TopKList;
+use crate::verify::{run_verifier, IterationRecord, VerifierParams};
+use mc_strsim::dict::TokenizedTable;
+use mc_strsim::tokenize::Tokenizer;
+use mc_table::{split_pair_key, AttrId, PairSet, Table, TupleId};
+use std::time::{Duration, Instant};
+
+/// All debugger tuning knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DebuggerParams {
+    /// Config-generation parameters (§3).
+    pub config: ConfigGeneratorParams,
+    /// Joint top-k execution parameters (§4). `joint.k` is the per-config
+    /// list size (the paper's `k = 1000`).
+    pub joint: JointParams,
+    /// Verifier parameters (§5). `verifier.n_per_iter` is the paper's
+    /// `n = 20`.
+    pub verifier: VerifierParams,
+}
+
+impl DebuggerParams {
+    /// Defaults scaled down for unit tests and tiny examples
+    /// (`k = 50`, `n = 10`, small forest).
+    pub fn small() -> Self {
+        let mut p = DebuggerParams::default();
+        p.joint.k = 50;
+        p.joint.threads = 2;
+        p.verifier.n_per_iter = 10;
+        p.verifier.forest.n_trees = 7;
+        p
+    }
+}
+
+/// Precomputed state shared by the debugging stages.
+pub struct Prepared {
+    /// The promising attribute set `T`.
+    pub promising: PromisingAttrs,
+    /// The config tree.
+    pub tree: ConfigTree,
+    /// Word tokenization of table A over `T`.
+    pub tok_a: TokenizedTable,
+    /// Word tokenization of table B over `T`.
+    pub tok_b: TokenizedTable,
+}
+
+/// The debugger's full output.
+#[derive(Debug)]
+pub struct DebugReport {
+    /// Promising attributes used for configs.
+    pub promising: Vec<AttrId>,
+    /// Configs processed (tree order).
+    pub configs: Vec<Config>,
+    /// `|E|`: total candidate pairs across all top-k lists.
+    pub e_size: usize,
+    /// Confirmed killed-off matches, in discovery order.
+    pub confirmed_matches: Vec<(TupleId, TupleId)>,
+    /// Per-iteration statistics (Tables 3–4).
+    pub iterations: Vec<IterationRecord>,
+    /// Total labels requested from the oracle.
+    pub labeled: usize,
+    /// Per-match explanations.
+    pub explanations: Vec<MatchExplanation>,
+    /// Aggregated "blocker problems" (Table 4 right column).
+    pub problems: Vec<(String, usize)>,
+    /// Wall time of the top-k stage.
+    pub topk_elapsed: Duration,
+    /// Wall time of the verification stage.
+    pub verify_elapsed: Duration,
+    /// QJoin `q` used.
+    pub q_used: usize,
+}
+
+impl DebugReport {
+    /// Number of verifier iterations (column I of Table 3).
+    pub fn iteration_count(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Matches confirmed within the first `n` iterations (Table 4).
+    pub fn matches_in_first(&self, n: usize) -> usize {
+        self.iterations.iter().take(n).map(|r| r.matches_found).sum()
+    }
+}
+
+/// The debugger.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchCatcher {
+    /// Tuning parameters.
+    pub params: DebuggerParams,
+}
+
+impl MatchCatcher {
+    /// A debugger with the given parameters.
+    pub fn new(params: DebuggerParams) -> Self {
+        MatchCatcher { params }
+    }
+
+    /// Stage 1: attribute selection, config-tree generation,
+    /// tokenization. Blocker-independent (does not need `C`).
+    pub fn prepare(&self, a: &Table, b: &Table) -> Prepared {
+        let generator = ConfigGenerator::new(self.params.config);
+        let promising = generator.promising(a, b);
+        assert!(
+            !promising.attrs.is_empty(),
+            "no promising attributes — tables have no usable string/categorical columns"
+        );
+        self.prepare_from_promising(a, b, promising)
+    }
+
+    /// Like [`MatchCatcher::prepare`] but with a **manually curated**
+    /// promising attribute set (§3.2: "the user can also manually curate
+    /// schema S to generate T"). Statistics for the e-score and
+    /// `FindLongAttr` are still computed from the data.
+    pub fn prepare_with_attrs(&self, a: &Table, b: &Table, attrs: &[AttrId]) -> Prepared {
+        assert!(!attrs.is_empty(), "curated attribute set must be non-empty");
+        let stats_a = mc_table::stats::TableStats::compute(a);
+        let stats_b = mc_table::stats::TableStats::compute(b);
+        let promising = crate::config::PromisingAttrs {
+            attrs: attrs.to_vec(),
+            e_scores: attrs
+                .iter()
+                .map(|&f| stats_a.attr(f).e_component() * stats_b.attr(f).e_component())
+                .collect(),
+            avg_tokens_a: attrs.iter().map(|&f| stats_a.attr(f).avg_tokens).collect(),
+            avg_tokens_b: attrs.iter().map(|&f| stats_b.attr(f).avg_tokens).collect(),
+        };
+        self.prepare_from_promising(a, b, promising)
+    }
+
+    fn prepare_from_promising(
+        &self,
+        a: &Table,
+        b: &Table,
+        promising: PromisingAttrs,
+    ) -> Prepared {
+        let generator = ConfigGenerator::new(self.params.config);
+        let tree = generator.build_tree(&promising);
+        let (tok_a, tok_b, _) =
+            TokenizedTable::build_pair(a, b, &promising.attrs, Tokenizer::Word);
+        Prepared { promising, tree, tok_a, tok_b }
+    }
+
+    /// Stage 2: joint top-k joins over all configs, excluding pairs in
+    /// `C`.
+    pub fn topk(&self, prepared: &Prepared, c: &PairSet) -> JointOutput {
+        run_joint(&prepared.tok_a, &prepared.tok_b, c, &prepared.tree, self.params.joint)
+    }
+
+    /// Stage 3: interactive verification of the candidate union.
+    pub fn verify(
+        &self,
+        a: &Table,
+        b: &Table,
+        prepared: &Prepared,
+        lists: &[TopKList],
+        oracle: &mut dyn Oracle,
+    ) -> (CandidateUnion, crate::verify::VerifyOutcome) {
+        let union = CandidateUnion::build(lists);
+        let fx = FeatureExtractor::new(
+            a,
+            b,
+            &prepared.promising.attrs,
+            &prepared.tok_a,
+            &prepared.tok_b,
+        );
+        let outcome = run_verifier(&union, &fx, oracle, &self.params.verifier);
+        (union, outcome)
+    }
+
+    /// Runs the full pipeline: prepare → top-k → verify → explain.
+    pub fn run(
+        &self,
+        a: &Table,
+        b: &Table,
+        c: &PairSet,
+        oracle: &mut dyn Oracle,
+    ) -> DebugReport {
+        let prepared = self.prepare(a, b);
+        let t0 = Instant::now();
+        let joint = self.topk(&prepared, c);
+        let topk_elapsed = t0.elapsed();
+
+        let t1 = Instant::now();
+        let (union, outcome) = self.verify(a, b, &prepared, &joint.lists, oracle);
+        let verify_elapsed = t1.elapsed();
+
+        let confirmed: Vec<(TupleId, TupleId)> =
+            outcome.matches.iter().map(|&k| split_pair_key(k)).collect();
+        let explanations: Vec<MatchExplanation> =
+            confirmed.iter().map(|&(x, y)| explain_match(a, b, x, y)).collect();
+        let problems = summarize_problems(&explanations, a.schema());
+
+        DebugReport {
+            promising: prepared.promising.attrs.clone(),
+            configs: joint.configs,
+            e_size: union.len(),
+            confirmed_matches: confirmed,
+            iterations: outcome.iterations,
+            labeled: outcome.labeled,
+            explanations,
+            problems,
+            topk_elapsed,
+            verify_elapsed,
+            q_used: joint.q_used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GoldOracle;
+    use mc_blocking::{Blocker, KeyFunc};
+    use mc_table::{GoldMatches, Schema, Tuple};
+    use std::sync::Arc;
+
+    /// The Figure 1 tables.
+    fn figure1() -> (Table, Table, GoldMatches) {
+        let schema = Arc::new(Schema::from_names(["name", "city", "age"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::from_present(["Dave Smith", "Altanta", "18"]));
+        a.push(Tuple::from_present(["Daniel Smith", "LA", "18"]));
+        a.push(Tuple::from_present(["Joe Welson", "New York", "25"]));
+        a.push(Tuple::from_present(["Charles Williams", "Chicago", "45"]));
+        a.push(Tuple::from_present(["Charlie William", "Atlanta", "28"]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["David Smith", "Atlanta", "18"]));
+        b.push(Tuple::from_present(["Joe Wilson", "NY", "25"]));
+        b.push(Tuple::from_present(["Daniel W. Smith", "LA", "30"]));
+        b.push(Tuple::from_present(["Charles Williams", "Chicago", "45"]));
+        // True matches: (a1,b1), (a2,b3), (a3,b2), (a4,b4).
+        let gold = GoldMatches::from_pairs([(0, 0), (1, 2), (2, 1), (3, 3)]);
+        (a, b, gold)
+    }
+
+    #[test]
+    fn figure1_debugging_recovers_killed_matches() {
+        let (a, b, gold) = figure1();
+        let q1 = Blocker::Hash(KeyFunc::Attr(a.schema().expect_id("city")));
+        let c = q1.apply(&a, &b);
+        // Q1 kills (a1,b1) and (a3,b2).
+        assert_eq!(gold.killed(&c), 2);
+        let mc = MatchCatcher::new(DebuggerParams::small());
+        let mut oracle = GoldOracle::exact(&gold);
+        let report = mc.run(&a, &b, &c, &mut oracle);
+        let mut found = report.confirmed_matches.clone();
+        found.sort_unstable();
+        assert_eq!(found, vec![(0, 0), (2, 1)]);
+        assert!(report.e_size > 0);
+        assert!(!report.problems.is_empty());
+    }
+
+    #[test]
+    fn perfect_blocker_yields_no_matches() {
+        let (a, b, gold) = figure1();
+        // C = all gold pairs (plus noise) → nothing killed.
+        let mut c = PairSet::new();
+        for (x, y) in gold.iter() {
+            c.insert(x, y);
+        }
+        c.insert(0, 3);
+        let mc = MatchCatcher::new(DebuggerParams::small());
+        let mut oracle = GoldOracle::exact(&gold);
+        let report = mc.run(&a, &b, &c, &mut oracle);
+        assert!(report.confirmed_matches.is_empty());
+        // The verifier stops at its natural stopping point quickly.
+        assert!(report.iteration_count() <= 3);
+    }
+
+    #[test]
+    fn report_explanations_identify_city_problem() {
+        let (a, b, gold) = figure1();
+        let q1 = Blocker::Hash(KeyFunc::Attr(a.schema().expect_id("city")));
+        let c = q1.apply(&a, &b);
+        let mc = MatchCatcher::new(DebuggerParams::small());
+        let mut oracle = GoldOracle::exact(&gold);
+        let report = mc.run(&a, &b, &c, &mut oracle);
+        // (a1,b1) disagrees on city by misspelling; (a3,b2) by
+        // abbreviation. Both should appear in the summary.
+        let text = report
+            .problems
+            .iter()
+            .map(|(s, n)| format!("{s}:{n}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        assert!(text.contains("city"), "problems: {text}");
+    }
+
+    #[test]
+    fn manual_curation_restricts_configs() {
+        let (a, b, _) = figure1();
+        let mc = MatchCatcher::new(DebuggerParams::small());
+        let name = a.schema().expect_id("name");
+        let city = a.schema().expect_id("city");
+        let prepared = mc.prepare_with_attrs(&a, &b, &[name, city]);
+        assert_eq!(prepared.promising.attrs, vec![name, city]);
+        // |T| = 2 → tree of 2·3/2 = 3 configs.
+        assert_eq!(prepared.tree.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn manual_curation_rejects_empty() {
+        let (a, b, _) = figure1();
+        let mc = MatchCatcher::new(DebuggerParams::small());
+        let _ = mc.prepare_with_attrs(&a, &b, &[]);
+    }
+
+    #[test]
+    fn stages_compose_like_run() {
+        let (a, b, gold) = figure1();
+        let q1 = Blocker::Hash(KeyFunc::Attr(a.schema().expect_id("city")));
+        let c = q1.apply(&a, &b);
+        let mc = MatchCatcher::new(DebuggerParams::small());
+        let prepared = mc.prepare(&a, &b);
+        assert!(!prepared.tree.is_empty());
+        let joint = mc.topk(&prepared, &c);
+        assert_eq!(joint.lists.len(), prepared.tree.len());
+        let mut oracle = GoldOracle::exact(&gold);
+        let (union, outcome) = mc.verify(&a, &b, &prepared, &joint.lists, &mut oracle);
+        assert!(!union.is_empty());
+        assert_eq!(outcome.matches.len(), 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Explanations: *why* was a match killed off? (Table 4)
+//!
+//! For each confirmed killed-off match, MatchCatcher helps the user see
+//! which attributes disagree and how — misspelling, abbreviation, missing
+//! value, extra tokens, etc. This module produces a per-attribute
+//! [`Diagnosis`] by comparing the two values, plus dataset-level
+//! summaries ("blocker problems") aggregating diagnoses across all found
+//! matches.
+
+use mc_strsim::measures::edit_distance;
+use mc_strsim::tokenize::word_tokens;
+use mc_table::{AttrId, Schema, Table, TupleId};
+use std::collections::BTreeMap;
+
+/// How a pair of attribute values relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Diagnosis {
+    /// Byte-identical values.
+    Exact,
+    /// Equal after lowercasing and punctuation/whitespace normalization
+    /// ("input tables are not lower-cased").
+    CaseOrPunct,
+    /// Missing on exactly one side.
+    MissingOneSide,
+    /// Missing on both sides.
+    MissingBoth,
+    /// One value is an abbreviation of the other (initialism or prefix).
+    Abbreviation,
+    /// Same words in a different order.
+    WordReorder,
+    /// One token set strictly contains the other (subtitle, extra
+    /// qualifiers, attribute sprinkling).
+    TokenSubset,
+    /// Small character-level difference (misspelling); payload = edit
+    /// distance.
+    SmallEdit(u8),
+    /// Both numeric and within 30% of each other.
+    NumericClose,
+    /// Substantially different values.
+    Different,
+}
+
+impl Diagnosis {
+    /// Human-readable label.
+    pub fn label(self) -> String {
+        match self {
+            Diagnosis::Exact => "equal".into(),
+            Diagnosis::CaseOrPunct => "case/punctuation difference".into(),
+            Diagnosis::MissingOneSide => "missing value on one side".into(),
+            Diagnosis::MissingBoth => "missing on both sides".into(),
+            Diagnosis::Abbreviation => "abbreviation".into(),
+            Diagnosis::WordReorder => "word reorder".into(),
+            Diagnosis::TokenSubset => "extra/missing tokens".into(),
+            Diagnosis::SmallEdit(d) => format!("misspelling (edit distance {d})"),
+            Diagnosis::NumericClose => "small numeric difference".into(),
+            Diagnosis::Different => "different values".into(),
+        }
+    }
+
+    /// True if the diagnosis indicates *agreement* (not a blocker
+    /// problem).
+    pub fn is_agreement(self) -> bool {
+        matches!(self, Diagnosis::Exact | Diagnosis::CaseOrPunct)
+    }
+}
+
+/// Diagnoses the relationship between two optional attribute values.
+pub fn diagnose_values(va: Option<&str>, vb: Option<&str>) -> Diagnosis {
+    match (va, vb) {
+        (None, None) => return Diagnosis::MissingBoth,
+        (None, Some(_)) | (Some(_), None) => return Diagnosis::MissingOneSide,
+        _ => {}
+    }
+    let (va, vb) = (va.unwrap(), vb.unwrap());
+    if va.trim().is_empty() && vb.trim().is_empty() {
+        return Diagnosis::MissingBoth;
+    }
+    if va.trim().is_empty() || vb.trim().is_empty() {
+        return Diagnosis::MissingOneSide;
+    }
+    if va == vb {
+        return Diagnosis::Exact;
+    }
+    let wa = word_tokens(va);
+    let wb = word_tokens(vb);
+    let na = wa.join(" ");
+    let nb = wb.join(" ");
+    if na == nb {
+        return Diagnosis::CaseOrPunct;
+    }
+    // Word multiset comparison.
+    let mut sa = wa.clone();
+    let mut sb = wb.clone();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    if sa == sb {
+        return Diagnosis::WordReorder;
+    }
+    if is_subset(&sa, &sb) || is_subset(&sb, &sa) {
+        return Diagnosis::TokenSubset;
+    }
+    // Abbreviation: initialism of the longer equals the shorter, or the
+    // shorter is a prefix of the longer's first word(s).
+    if is_abbreviation(&wa, &nb) || is_abbreviation(&wb, &na) {
+        return Diagnosis::Abbreviation;
+    }
+    // Misspelling: small edit distance relative to length.
+    let d = edit_distance(&na, &nb);
+    let max_len = na.chars().count().max(nb.chars().count());
+    if max_len >= 3 && d <= 3 && d * 3 <= max_len {
+        return Diagnosis::SmallEdit(d as u8);
+    }
+    // Numeric closeness.
+    if let (Ok(x), Ok(y)) = (va.trim().parse::<f64>(), vb.trim().parse::<f64>()) {
+        let m = x.abs().max(y.abs());
+        if m > 0.0 && (x - y).abs() / m <= 0.3 {
+            return Diagnosis::NumericClose;
+        }
+    }
+    Diagnosis::Different
+}
+
+fn is_subset(sorted_a: &[String], sorted_b: &[String]) -> bool {
+    if sorted_a.len() >= sorted_b.len() {
+        return false;
+    }
+    let mut j = 0;
+    for a in sorted_a {
+        while j < sorted_b.len() && &sorted_b[j] < a {
+            j += 1;
+        }
+        if j >= sorted_b.len() || &sorted_b[j] != a {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// `words` is abbreviated by `short` if the initialism of `words` equals
+/// `short` (ignoring spaces), e.g. ["new","york"] vs "ny", or if `short`
+/// is a strict prefix of the full form ("atl" vs "atlanta").
+fn is_abbreviation(words: &[String], short: &str) -> bool {
+    let compact: String = short.chars().filter(|c| c.is_alphanumeric()).collect();
+    if compact.is_empty() {
+        return false;
+    }
+    if words.len() >= 2 {
+        let initials: String = words.iter().filter_map(|w| w.chars().next()).collect();
+        if initials == compact {
+            return true;
+        }
+    }
+    let full = words.join("");
+    compact.len() >= 2 && compact.len() * 2 <= full.len() && full.starts_with(&compact)
+}
+
+/// Per-attribute explanation of a single killed-off match.
+#[derive(Debug, Clone)]
+pub struct MatchExplanation {
+    /// The explained pair.
+    pub pair: (TupleId, TupleId),
+    /// Diagnosis per attribute, in schema order.
+    pub per_attr: Vec<(AttrId, Diagnosis)>,
+}
+
+impl MatchExplanation {
+    /// The attributes that *disagree* (candidate blocker problems).
+    pub fn problems(&self) -> impl Iterator<Item = (AttrId, Diagnosis)> + '_ {
+        self.per_attr.iter().copied().filter(|(_, d)| !d.is_agreement())
+    }
+}
+
+/// Explains one match by diagnosing every attribute.
+pub fn explain_match(a: &Table, b: &Table, aid: TupleId, bid: TupleId) -> MatchExplanation {
+    let per_attr = a
+        .schema()
+        .attr_ids()
+        .map(|attr| (attr, diagnose_values(a.value(aid, attr), b.value(bid, attr))))
+        .collect();
+    MatchExplanation { pair: (aid, bid), per_attr }
+}
+
+/// Aggregates explanations into the Table 4-style "blocker problems"
+/// summary: `(description, count)` sorted by descending count.
+pub fn summarize_problems(
+    explanations: &[MatchExplanation],
+    schema: &Schema,
+) -> Vec<(String, usize)> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for e in explanations {
+        for (attr, d) in e.problems() {
+            let norm = match d {
+                Diagnosis::SmallEdit(_) => "misspelling".to_string(),
+                other => other.label(),
+            };
+            *counts.entry(format!("{} in \"{}\"", norm, schema.name(attr))).or_insert(0) += 1;
+        }
+    }
+    let mut v: Vec<(String, usize)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_table::{Schema, Tuple};
+    use std::sync::Arc;
+
+    #[test]
+    fn diagnosis_catalogue() {
+        assert_eq!(diagnose_values(Some("x"), Some("x")), Diagnosis::Exact);
+        assert_eq!(diagnose_values(Some("New York"), Some("new york")), Diagnosis::CaseOrPunct);
+        assert_eq!(diagnose_values(None, Some("x")), Diagnosis::MissingOneSide);
+        assert_eq!(diagnose_values(None, None), Diagnosis::MissingBoth);
+        assert_eq!(diagnose_values(Some(" "), Some("x")), Diagnosis::MissingOneSide);
+        assert_eq!(diagnose_values(Some("new york"), Some("ny")), Diagnosis::Abbreviation);
+        assert_eq!(diagnose_values(Some("smith dave"), Some("dave smith")), Diagnosis::WordReorder);
+        assert_eq!(
+            diagnose_values(Some("office suite"), Some("office suite deluxe edition")),
+            Diagnosis::TokenSubset
+        );
+        assert_eq!(diagnose_values(Some("atlanta"), Some("altanta")), Diagnosis::SmallEdit(2));
+        assert_eq!(diagnose_values(Some("100"), Some("95")), Diagnosis::NumericClose);
+        assert_eq!(diagnose_values(Some("chicago"), Some("seattle")), Diagnosis::Different);
+    }
+
+    #[test]
+    fn small_numbers_with_big_relative_gap_are_different() {
+        assert_eq!(diagnose_values(Some("10"), Some("90")), Diagnosis::Different);
+    }
+
+    #[test]
+    fn short_strings_do_not_count_as_misspellings() {
+        // "la" vs "sf": edit distance 2 but half the string.
+        assert_eq!(diagnose_values(Some("la"), Some("sf")), Diagnosis::Different);
+    }
+
+    #[test]
+    fn explain_match_covers_all_attrs() {
+        let schema = Arc::new(Schema::from_names(["name", "city"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::from_present(["Dave Smith", "Altanta"]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["Dave Smith", "Atlanta"]));
+        let e = explain_match(&a, &b, 0, 0);
+        assert_eq!(e.per_attr.len(), 2);
+        assert_eq!(e.per_attr[0].1, Diagnosis::Exact);
+        assert_eq!(e.per_attr[1].1, Diagnosis::SmallEdit(2));
+        let problems: Vec<_> = e.problems().collect();
+        assert_eq!(problems.len(), 1);
+    }
+
+    #[test]
+    fn summary_aggregates_and_sorts() {
+        let schema = Schema::from_names(["name", "city"]);
+        let mk = |d1: Diagnosis, d2: Diagnosis| MatchExplanation {
+            pair: (0, 0),
+            per_attr: vec![(mc_table::AttrId(0), d1), (mc_table::AttrId(1), d2)],
+        };
+        let expls = vec![
+            mk(Diagnosis::Exact, Diagnosis::SmallEdit(1)),
+            mk(Diagnosis::Exact, Diagnosis::SmallEdit(2)),
+            mk(Diagnosis::MissingOneSide, Diagnosis::Exact),
+        ];
+        let summary = summarize_problems(&expls, &schema);
+        assert_eq!(summary[0].0, "misspelling in \"city\"");
+        assert_eq!(summary[0].1, 2);
+        assert_eq!(summary[1].1, 1);
+    }
+
+    #[test]
+    fn is_agreement_classification() {
+        assert!(Diagnosis::Exact.is_agreement());
+        assert!(Diagnosis::CaseOrPunct.is_agreement());
+        assert!(!Diagnosis::SmallEdit(1).is_agreement());
+        assert!(!Diagnosis::MissingOneSide.is_agreement());
+    }
+}

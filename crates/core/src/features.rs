@@ -1,0 +1,146 @@
+//! Feature extraction for candidate pairs.
+//!
+//! The verifier's random forest needs a feature vector per tuple pair.
+//! Per promising attribute we emit word-level Jaccard, normalized edit
+//! similarity, and a both-present indicator; globally we add the
+//! concatenated Jaccard and a length-ratio feature. These mirror the
+//! similarity features Magellan-style EM systems generate.
+
+use mc_strsim::dict::TokenizedTable;
+use mc_strsim::measures::{edit_similarity, SetMeasure};
+use mc_table::{AttrId, Table, TupleId};
+
+/// Truncation bound for edit-distance features (edit distance is
+/// quadratic; long descriptions would dominate verification time).
+const EDIT_FEATURE_MAX_CHARS: usize = 48;
+
+/// Extracts feature vectors for `(a, b)` tuple pairs.
+pub struct FeatureExtractor<'t> {
+    a: &'t Table,
+    b: &'t Table,
+    attrs: &'t [AttrId],
+    tok_a: &'t TokenizedTable,
+    tok_b: &'t TokenizedTable,
+}
+
+impl<'t> FeatureExtractor<'t> {
+    /// A new extractor over the promising attributes and their word
+    /// tokenizations (shared rank space).
+    pub fn new(
+        a: &'t Table,
+        b: &'t Table,
+        attrs: &'t [AttrId],
+        tok_a: &'t TokenizedTable,
+        tok_b: &'t TokenizedTable,
+    ) -> Self {
+        FeatureExtractor { a, b, attrs, tok_a, tok_b }
+    }
+
+    /// Length of the produced feature vectors.
+    pub fn n_features(&self) -> usize {
+        self.attrs.len() * 3 + 2
+    }
+
+    /// The feature vector for pair `(aid, bid)`.
+    pub fn features(&self, aid: TupleId, bid: TupleId) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_features());
+        let mut total_a = 0usize;
+        let mut total_b = 0usize;
+        for (i, &attr) in self.attrs.iter().enumerate() {
+            let ra = self.tok_a.ranks(i, aid);
+            let rb = self.tok_b.ranks(i, bid);
+            total_a += ra.len();
+            total_b += rb.len();
+            out.push(SetMeasure::Jaccard.score(ra, rb));
+            let va = self.a.value(aid, attr).unwrap_or("");
+            let vb = self.b.value(bid, attr).unwrap_or("");
+            out.push(edit_similarity(&truncate(va), &truncate(vb)));
+            out.push(f64::from(!va.is_empty() && !vb.is_empty()));
+        }
+        // Concatenated Jaccard over all promising attributes.
+        let all: Vec<usize> = (0..self.attrs.len()).collect();
+        let merged_a = self.tok_a.merged(&all, aid);
+        let merged_b = self.tok_b.merged(&all, bid);
+        out.push(SetMeasure::Jaccard.score(&merged_a, &merged_b));
+        // Token-length ratio (1 = same length).
+        let m = total_a.max(total_b);
+        out.push(if m == 0 { 1.0 } else { total_a.min(total_b) as f64 / m as f64 });
+        out
+    }
+}
+
+fn truncate(s: &str) -> String {
+    s.chars().take(EDIT_FEATURE_MAX_CHARS).collect::<String>().to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_strsim::tokenize::Tokenizer;
+    use mc_table::{Schema, Tuple};
+    use std::sync::Arc;
+
+    fn setup() -> (Table, Table, Vec<AttrId>) {
+        let schema = Arc::new(Schema::from_names(["name", "city"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::from_present(["dave smith", "atlanta"]));
+        a.push(Tuple::new(vec![Some("joe welson".into()), None]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["david smith", "atlanta"]));
+        b.push(Tuple::from_present(["joe wilson", "new york"]));
+        (a, b, vec![AttrId(0), AttrId(1)])
+    }
+
+    #[test]
+    fn feature_vector_shape_and_ranges() {
+        let (a, b, attrs) = setup();
+        let (ta, tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
+        assert_eq!(fx.n_features(), 2 * 3 + 2);
+        for aid in 0..2 {
+            for bid in 0..2 {
+                let f = fx.features(aid, bid);
+                assert_eq!(f.len(), fx.n_features());
+                for (i, v) in f.iter().enumerate() {
+                    assert!((0.0..=1.0).contains(v), "feature {i} = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matching_pair_scores_higher_than_random() {
+        let (a, b, attrs) = setup();
+        let (ta, tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
+        let same = fx.features(0, 0); // dave smith/atlanta vs david smith/atlanta
+        let diff = fx.features(0, 1); // vs joe wilson/new york
+        // Concatenated jaccard (second-to-last feature) should separate.
+        let cj = fx.n_features() - 2;
+        assert!(same[cj] > diff[cj]);
+        // City jaccard (attr 1, feature 3) is 1.0 vs 0.0.
+        assert_eq!(same[3], 1.0);
+        assert_eq!(diff[3], 0.0);
+    }
+
+    #[test]
+    fn missing_values_zero_presence_flag() {
+        let (a, b, attrs) = setup();
+        let (ta, tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
+        let f = fx.features(1, 0); // a1 has no city
+        // presence flag for city = features[5]
+        assert_eq!(f[5], 0.0);
+        assert_eq!(f[2], 1.0); // name present on both sides
+    }
+
+    #[test]
+    fn edit_feature_handles_misspelling() {
+        let (a, b, attrs) = setup();
+        let (ta, tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
+        let f = fx.features(1, 1); // joe welson vs joe wilson
+        // name edit similarity = features[1]; 1 char differs out of 10.
+        assert!(f[1] > 0.85);
+    }
+}

@@ -1,0 +1,706 @@
+//! Joint execution of top-k joins across all configs (§4.2).
+//!
+//! Three cooperating mechanisms, all per the paper:
+//!
+//! * **Overlap reuse** — while processing a config with a non-empty
+//!   subtree (a *writer*), the per-attribute-pair token overlaps
+//!   `o(f_i, f_j)` of every freshly scored pair are stored in an
+//!   insert-only concurrent database `H`; configs in the subtree then
+//!   compute scores by summing the relevant cells instead of re-merging
+//!   long token vectors. (The paper uses Folly's atomic hash map; we use
+//!   a sharded `RwLock` map with identical insert-only semantics.)
+//!   Reuse is only engaged when the average record length is at least
+//!   [`JointParams::reuse_min_avg_tokens`] tokens — below that, the
+//!   bookkeeping outweighs the savings.
+//! * **Top-k list reuse** — a child config whose parent has already
+//!   finished re-scores the parent's top-k list under its own config and
+//!   starts from it, raising the pruning threshold immediately.
+//! * **One config per core** — configs are processed breadth-first by a
+//!   pool of workers; splitting a single config across cores suffers from
+//!   skew (§4.2), so parallelism is across configs.
+//!
+//! The decomposed score `Σ o(f_i, f_j)` equals the exact merged-multiset
+//! overlap whenever no token appears in two different attributes of one
+//! tuple; with cross-attribute repeats it can overestimate slightly (it
+//! is clamped to `min(|x|, |y|)`), which is the paper's own approximation.
+
+use crate::config::{Config, ConfigTree};
+use crate::ssj::{topk_join, select_q, ExactScorer, PairScorer, SsjInstance, SsjParams, TopKList};
+use mc_strsim::dict::TokenizedTable;
+use mc_strsim::measures::{multiset_overlap, SetMeasure};
+use mc_table::hash::{hash_u64, FxHashMap};
+use mc_table::{split_pair_key, PairSet, TupleId};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DB_SHARDS: usize = 64;
+
+/// The concurrent overlap database `H_γ` of one writer config.
+///
+/// Maps a pair key to the `m × m` matrix of per-attribute-pair multiset
+/// overlaps, where `m` is the writer's attribute count. Insert-only:
+/// entries are never mutated or removed, so concurrent readers can never
+/// observe a torn value.
+pub struct OverlapDb {
+    /// The writer config's positions (indexes into the promising set),
+    /// ascending; cell `(i, j)` refers to `attrs[i]` of A and `attrs[j]`
+    /// of B.
+    attrs: Vec<usize>,
+    shards: Vec<RwLock<FxHashMap<u64, Arc<[u32]>>>>,
+}
+
+impl OverlapDb {
+    /// An empty database for a writer config.
+    pub fn new(config: Config) -> Self {
+        OverlapDb {
+            attrs: config.positions(),
+            shards: (0..DB_SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect(),
+        }
+    }
+
+    /// The writer's attribute positions.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &RwLock<FxHashMap<u64, Arc<[u32]>>> {
+        &self.shards[(hash_u64(key) >> 58) as usize % DB_SHARDS]
+    }
+
+    /// Fetches the cell matrix for a pair, if present.
+    pub fn get(&self, key: u64) -> Option<Arc<[u32]>> {
+        self.shard(key).read().get(&key).cloned()
+    }
+
+    /// Inserts a cell matrix (first writer wins; idempotent).
+    pub fn insert(&self, key: u64, cells: Arc<[u32]>) {
+        debug_assert_eq!(cells.len(), self.attrs.len() * self.attrs.len());
+        self.shard(key).write().entry(key).or_insert(cells);
+    }
+
+    /// Total entries across shards (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True if no overlaps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Computes the full cell matrix of a pair over `attrs`, reading the
+/// per-attribute rank vectors from the tokenized tables.
+fn compute_cells(
+    attrs: &[usize],
+    tok_a: &TokenizedTable,
+    tok_b: &TokenizedTable,
+    a: TupleId,
+    b: TupleId,
+) -> Arc<[u32]> {
+    let m = attrs.len();
+    let mut cells = vec![0u32; m * m];
+    for (i, &fi) in attrs.iter().enumerate() {
+        let ra = tok_a.ranks(fi, a);
+        if ra.is_empty() {
+            continue;
+        }
+        for (j, &fj) in attrs.iter().enumerate() {
+            let rb = tok_b.ranks(fj, b);
+            if !rb.is_empty() {
+                cells[i * m + j] = multiset_overlap(ra, rb) as u32;
+            }
+        }
+    }
+    cells.into()
+}
+
+/// A scorer that reuses a parent writer's overlap database when possible
+/// and records overlaps into its own database when it is itself a writer.
+struct ReuseScorer<'a> {
+    measure: SetMeasure,
+    /// Parent writer's DB (readable while still being written).
+    parent_db: Option<&'a OverlapDb>,
+    /// Index of each of this config's attrs within `parent_db.attrs`.
+    parent_slots: Vec<usize>,
+    /// This config's own DB, when it is a writer.
+    own_db: Option<&'a OverlapDb>,
+    /// This config's positions.
+    my_attrs: Vec<usize>,
+    tok_a: &'a TokenizedTable,
+    tok_b: &'a TokenizedTable,
+    /// Reuse statistics: (hits, misses).
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl PairScorer for ReuseScorer<'_> {
+    fn score(&self, a: TupleId, b: TupleId, ra: &[u32], rb: &[u32]) -> f64 {
+        let key = mc_table::pair_key(a, b);
+        if let Some(db) = self.parent_db {
+            if let Some(cells) = db.get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let pm = db.attrs().len();
+                let mut overlap = 0u64;
+                for &si in &self.parent_slots {
+                    for &sj in &self.parent_slots {
+                        overlap += cells[si * pm + sj] as u64;
+                    }
+                }
+                // Clamp: the decomposed sum may exceed the merged multiset
+                // intersection when a token repeats across attributes.
+                let overlap = (overlap as usize).min(ra.len()).min(rb.len());
+                if let Some(own) = self.own_db {
+                    // Project the parent's sub-matrix so our own subtree
+                    // can reuse it too.
+                    let m = self.my_attrs.len();
+                    let mut sub = vec![0u32; m * m];
+                    for (i, &si) in self.parent_slots.iter().enumerate() {
+                        for (j, &sj) in self.parent_slots.iter().enumerate() {
+                            sub[i * m + j] = cells[si * pm + sj];
+                        }
+                    }
+                    own.insert(key, sub.into());
+                }
+                return self.measure.from_overlap(overlap, ra.len(), rb.len());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let score = self.measure.score(ra, rb);
+        if let Some(own) = self.own_db {
+            own.insert(key, compute_cells(&self.my_attrs, self.tok_a, self.tok_b, a, b));
+        }
+        score
+    }
+}
+
+/// How QJoin's `q` is chosen.
+#[derive(Debug, Clone, Copy)]
+pub enum QStrategy {
+    /// Use a fixed `q` (1 = TopKJoin behaviour).
+    Fixed(usize),
+    /// Race `q ∈ {1, …, max_q}` with a `prelude_k` join on the root
+    /// config and use the winner everywhere (§4.1's empirical selection).
+    Auto {
+        /// Largest q to try.
+        max_q: usize,
+        /// Prelude list size (the paper uses 50).
+        prelude_k: usize,
+    },
+}
+
+/// Parameters of the joint execution.
+#[derive(Debug, Clone, Copy)]
+pub struct JointParams {
+    /// Top-k list size per config.
+    pub k: usize,
+    /// Similarity measure.
+    pub measure: SetMeasure,
+    /// QJoin q selection.
+    pub q: QStrategy,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Enable the overlap database `H`.
+    pub reuse_overlaps: bool,
+    /// Enable parent→child top-k list seeding.
+    pub reuse_topk: bool,
+    /// Minimum average merged record length (tokens) for overlap reuse to
+    /// engage (the paper's `t = 20`).
+    pub reuse_min_avg_tokens: f64,
+}
+
+impl Default for JointParams {
+    fn default() -> Self {
+        JointParams {
+            k: 1000,
+            measure: SetMeasure::Jaccard,
+            q: QStrategy::Fixed(1),
+            threads: 0,
+            reuse_overlaps: true,
+            reuse_topk: true,
+            reuse_min_avg_tokens: 20.0,
+        }
+    }
+}
+
+/// Result of the joint execution.
+pub struct JointOutput {
+    /// Configs in tree order.
+    pub configs: Vec<Config>,
+    /// One top-k list per config (same order).
+    pub lists: Vec<TopKList>,
+    /// Wall-clock time of the whole execution.
+    pub elapsed: Duration,
+    /// Overlap-database reuse hits (scores computed from `H`).
+    pub reuse_hits: usize,
+    /// Fresh score computations.
+    pub reuse_misses: usize,
+    /// The q actually used.
+    pub q_used: usize,
+}
+
+/// Materialized per-config records for one side.
+fn build_records(tok: &TokenizedTable, config: Config) -> Vec<Vec<u32>> {
+    let idx = config.positions();
+    (0..tok.rows() as TupleId).map(|t| tok.merged(&idx, t)).collect()
+}
+
+/// Runs one top-k join per config of the tree, jointly.
+///
+/// `tok_a`/`tok_b` are the promising-attribute tokenizations (shared rank
+/// space); `killed` is the blocker output `C`.
+pub fn run_joint(
+    tok_a: &TokenizedTable,
+    tok_b: &TokenizedTable,
+    killed: &PairSet,
+    tree: &ConfigTree,
+    params: JointParams,
+) -> JointOutput {
+    let start = Instant::now();
+    let configs = tree.configs();
+    let n = configs.len();
+
+    // Decide reuse from data shape: average merged length of the root
+    // config across both tables.
+    let root = configs[0];
+    let avg_len = {
+        let idx = root.positions();
+        let total_a: usize =
+            (0..tok_a.rows() as TupleId).map(|t| tok_a.merged_len(&idx, t)).sum();
+        let total_b: usize =
+            (0..tok_b.rows() as TupleId).map(|t| tok_b.merged_len(&idx, t)).sum();
+        (total_a + total_b) as f64 / (tok_a.rows() + tok_b.rows()).max(1) as f64
+    };
+    let reuse = params.reuse_overlaps && avg_len >= params.reuse_min_avg_tokens;
+
+    // One overlap DB per writer (expanded) config.
+    let mut dbs: Vec<Option<OverlapDb>> = (0..n).map(|_| None).collect();
+    if reuse {
+        for &w in &tree.writers() {
+            dbs[w] = Some(OverlapDb::new(configs[w]));
+        }
+    }
+
+    // q selection on the root config.
+    let root_records_a = build_records(tok_a, root);
+    let root_records_b = build_records(tok_b, root);
+    let q_used = match params.q {
+        QStrategy::Fixed(q) => q.max(1),
+        QStrategy::Auto { max_q, prelude_k } => select_q(
+            SsjInstance { records_a: &root_records_a, records_b: &root_records_b, killed },
+            params.measure,
+            max_q,
+            prelude_k,
+        ),
+    };
+
+    type FinishedList = Mutex<Option<Vec<(f64, u64)>>>;
+    let finished: Vec<FinishedList> = (0..n).map(|_| Mutex::new(None)).collect();
+    let lists: Vec<Mutex<Option<TopKList>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let hits = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(0);
+
+    let threads = if params.threads == 0 {
+        std::thread::available_parallelism().map_or(4, |p| p.get())
+    } else {
+        params.threads
+    }
+    .min(n)
+    .max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let config = configs[i];
+                    // Root records were already materialized for q
+                    // selection; rebuild for other configs.
+                    let (records_a, records_b) = if i == 0 {
+                        (root_records_a.clone(), root_records_b.clone())
+                    } else {
+                        (build_records(tok_a, config), build_records(tok_b, config))
+                    };
+                    let parent = tree.parent(i);
+                    let parent_db = parent.and_then(|p| dbs[p].as_ref());
+                    let parent_slots = parent_db.map_or_else(Vec::new, |db| {
+                        config
+                            .positions()
+                            .iter()
+                            .map(|f| {
+                                db.attrs().iter().position(|a| a == f).expect("child ⊆ parent")
+                            })
+                            .collect()
+                    });
+                    let scorer = ReuseScorer {
+                        measure: params.measure,
+                        parent_db,
+                        parent_slots,
+                        own_db: dbs[i].as_ref(),
+                        my_attrs: config.positions(),
+                        tok_a,
+                        tok_b,
+                        hits: AtomicUsize::new(0),
+                        misses: AtomicUsize::new(0),
+                    };
+                    // Top-k seeding: adopt the parent's finished list,
+                    // re-scored under this config.
+                    let seed: Vec<(f64, u64)> = if params.reuse_topk {
+                        parent
+                            .and_then(|p| finished[p].lock().clone())
+                            .map(|entries| {
+                                entries
+                                    .into_iter()
+                                    .map(|(_, key)| {
+                                        let (a, b) = split_pair_key(key);
+                                        let s = scorer.score(
+                                            a,
+                                            b,
+                                            &records_a[a as usize],
+                                            &records_b[b as usize],
+                                        );
+                                        (s, key)
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    } else {
+                        Vec::new()
+                    };
+                    let list = topk_join(
+                        SsjInstance { records_a: &records_a, records_b: &records_b, killed },
+                        SsjParams { k: params.k, q: q_used, measure: params.measure },
+                        &scorer,
+                        &seed,
+                        None,
+                    );
+                    hits.fetch_add(scorer.hits.load(Ordering::Relaxed), Ordering::Relaxed);
+                    misses.fetch_add(scorer.misses.load(Ordering::Relaxed), Ordering::Relaxed);
+                    *finished[i].lock() = Some(list.sorted_entries());
+                    *lists[i].lock() = Some(list);
+                }
+            });
+        }
+    });
+
+    JointOutput {
+        configs,
+        lists: lists.into_iter().map(|m| m.into_inner().expect("all configs ran")).collect(),
+        elapsed: start.elapsed(),
+        reuse_hits: hits.into_inner(),
+        reuse_misses: misses.into_inner(),
+        q_used,
+    }
+}
+
+/// Baseline for the §6.5 ablation: each config executed independently
+/// (no overlap DB, no list seeding) on a single thread with the exact
+/// scorer.
+pub fn run_individual(
+    tok_a: &TokenizedTable,
+    tok_b: &TokenizedTable,
+    killed: &PairSet,
+    tree: &ConfigTree,
+    k: usize,
+    measure: SetMeasure,
+) -> JointOutput {
+    let start = Instant::now();
+    let configs = tree.configs();
+    let scorer = ExactScorer(measure);
+    let lists: Vec<TopKList> = configs
+        .iter()
+        .map(|&config| {
+            let records_a = build_records(tok_a, config);
+            let records_b = build_records(tok_b, config);
+            topk_join(
+                SsjInstance { records_a: &records_a, records_b: &records_b, killed },
+                SsjParams { k, q: 1, measure },
+                &scorer,
+                &[],
+                None,
+            )
+        })
+        .collect();
+    JointOutput {
+        configs,
+        lists,
+        elapsed: start.elapsed(),
+        reuse_hits: 0,
+        reuse_misses: 0,
+        q_used: 1,
+    }
+}
+
+/// The union `E` of all top-k lists: `(pair key, per-config scores)` with
+/// `None` where a pair is absent from a config's list. Order of pairs is
+/// deterministic (descending best score, then key).
+pub struct CandidateUnion {
+    /// Pair keys.
+    pub pairs: Vec<u64>,
+    /// `scores[c][i]` = score of `pairs[i]` in config `c`'s list.
+    pub scores: Vec<Vec<Option<f64>>>,
+}
+
+impl CandidateUnion {
+    /// Builds the union from per-config lists.
+    pub fn build(lists: &[TopKList]) -> Self {
+        let mut best: FxHashMap<u64, f64> = FxHashMap::default();
+        for l in lists {
+            for (s, p) in l.sorted_entries() {
+                let e = best.entry(p).or_insert(f64::MIN);
+                if s > *e {
+                    *e = s;
+                }
+            }
+        }
+        let mut pairs: Vec<(f64, u64)> = best.into_iter().map(|(p, s)| (s, p)).collect();
+        pairs.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let pairs: Vec<u64> = pairs.into_iter().map(|(_, p)| p).collect();
+        let index: FxHashMap<u64, usize> =
+            pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let mut scores = vec![vec![None; pairs.len()]; lists.len()];
+        for (c, l) in lists.iter().enumerate() {
+            for (s, p) in l.sorted_entries() {
+                scores[c][index[&p]] = Some(s);
+            }
+        }
+        CandidateUnion { pairs, scores }
+    }
+
+    /// Number of candidate pairs `|E|`.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no candidates were retrieved.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ConfigGenerator, ConfigGeneratorParams, PromisingAttrs};
+    use mc_strsim::tokenize::Tokenizer;
+    use mc_table::{AttrId, Schema, Table, Tuple};
+    use std::sync::Arc as StdArc;
+
+    /// Builds a small synthetic pair of tables with 3 promising attrs and
+    /// *disjoint per-attribute vocabularies* (so decomposed == exact).
+    fn fixture() -> (Table, Table) {
+        let schema = StdArc::new(Schema::from_names(["x", "y", "z"]));
+        let mut a = Table::new("A", StdArc::clone(&schema));
+        let mut b = Table::new("B", schema);
+        for i in 0..60u32 {
+            a.push(Tuple::from_present([
+                format!("xa{} xb{} xc{}", i, i % 7, i % 3),
+                format!("ya{} yb{}", i % 5, i),
+                format!("za{} zb{} zc{} zd{}", i, i % 2, i % 11, i % 4),
+            ]));
+            b.push(Tuple::from_present([
+                format!("xa{} xb{} xq{}", i, i % 7, i % 4),
+                format!("ya{} yb{}", i % 5, i),
+                format!("za{} zb{} zq{} zd{}", i, i % 2, i % 5, i % 4),
+            ]));
+        }
+        (a, b)
+    }
+
+    fn tree_for(a: &Table, b: &Table) -> (TokenizedTable, TokenizedTable, ConfigTree) {
+        let generator = ConfigGenerator::new(ConfigGeneratorParams::default());
+        let promising = generator.promising(a, b);
+        let tree = generator.build_tree(&promising);
+        let (ta, tb, _) = TokenizedTable::build_pair(a, b, &promising.attrs, Tokenizer::Word);
+        (ta, tb, tree)
+    }
+
+    #[test]
+    fn joint_equals_individual_lists() {
+        let (a, b) = fixture();
+        let (ta, tb, tree) = tree_for(&a, &b);
+        let killed = PairSet::new();
+        let joint = run_joint(
+            &ta,
+            &tb,
+            &killed,
+            &tree,
+            JointParams {
+                k: 20,
+                // Single worker: configs run in tree order, so parents are
+                // guaranteed to have populated H before their children run
+                // (with more workers reuse is opportunistic).
+                threads: 1,
+                reuse_min_avg_tokens: 0.0, // force reuse on
+                ..Default::default()
+            },
+        );
+        let indiv = run_individual(&ta, &tb, &killed, &tree, 20, SetMeasure::Jaccard);
+        assert_eq!(joint.lists.len(), indiv.lists.len());
+        for (c, (jl, il)) in joint.lists.iter().zip(&indiv.lists).enumerate() {
+            let js = jl.sorted_scores();
+            let is = il.sorted_scores();
+            assert_eq!(js.len(), is.len(), "config {c}");
+            for (x, y) in js.iter().zip(&is) {
+                assert!((x - y).abs() < 1e-9, "config {c}: {x} vs {y}");
+            }
+        }
+        assert!(joint.reuse_hits > 0, "reuse should fire on the subtree");
+    }
+
+    #[test]
+    fn joint_without_reuse_matches_too() {
+        let (a, b) = fixture();
+        let (ta, tb, tree) = tree_for(&a, &b);
+        let killed = PairSet::new();
+        let joint = run_joint(
+            &ta,
+            &tb,
+            &killed,
+            &tree,
+            JointParams {
+                k: 15,
+                threads: 2,
+                reuse_overlaps: false,
+                reuse_topk: false,
+                ..Default::default()
+            },
+        );
+        let indiv = run_individual(&ta, &tb, &killed, &tree, 15, SetMeasure::Jaccard);
+        for (jl, il) in joint.lists.iter().zip(&indiv.lists) {
+            assert_eq!(jl.sorted_scores(), il.sorted_scores());
+        }
+        assert_eq!(joint.reuse_hits, 0);
+    }
+
+    #[test]
+    fn killed_pairs_never_appear() {
+        let (a, b) = fixture();
+        let (ta, tb, tree) = tree_for(&a, &b);
+        // Kill the identity pairs.
+        let mut killed = PairSet::new();
+        for i in 0..60u32 {
+            killed.insert(i, i);
+        }
+        let joint = run_joint(&ta, &tb, &killed, &tree, JointParams { k: 50, ..Default::default() });
+        for l in &joint.lists {
+            for (_, key) in l.sorted_entries() {
+                let (x, y) = split_pair_key(key);
+                assert_ne!(x, y, "killed pair leaked into a top-k list");
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        // With q = 1 every config's list is the exact top-k, so worker
+        // count (and hence seeding opportunities) must not change results.
+        let (a, b) = fixture();
+        let (ta, tb, tree) = tree_for(&a, &b);
+        let killed = PairSet::new();
+        let runs: Vec<Vec<Vec<f64>>> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                run_joint(
+                    &ta,
+                    &tb,
+                    &killed,
+                    &tree,
+                    JointParams { k: 12, threads, reuse_min_avg_tokens: 0.0, ..Default::default() },
+                )
+                .lists
+                .iter()
+                .map(|l| l.sorted_scores())
+                .collect()
+            })
+            .collect();
+        for other in &runs[1..] {
+            for (c, (x, y)) in runs[0].iter().zip(other).enumerate() {
+                assert_eq!(x.len(), y.len(), "config {c}");
+                for (s1, s2) in x.iter().zip(y) {
+                    assert!((s1 - s2).abs() < 1e-9, "config {c}: {s1} vs {s2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_db_roundtrip() {
+        let db = OverlapDb::new(Config::from_positions([0, 2]));
+        assert_eq!(db.attrs(), &[0, 2]);
+        assert!(db.is_empty());
+        let cells: Arc<[u32]> = vec![1, 2, 3, 4].into();
+        db.insert(42, Arc::clone(&cells));
+        assert_eq!(db.get(42).as_deref(), Some(&[1u32, 2, 3, 4][..]));
+        // Insert-only: second write is ignored.
+        db.insert(42, vec![9, 9, 9, 9].into());
+        assert_eq!(db.get(42).as_deref(), Some(&[1u32, 2, 3, 4][..]));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(7), None);
+    }
+
+    #[test]
+    fn candidate_union_collects_all_lists() {
+        let mut l1 = TopKList::new(3);
+        l1.insert(0.9, 10);
+        l1.insert(0.5, 20);
+        let mut l2 = TopKList::new(3);
+        l2.insert(0.7, 20);
+        l2.insert(0.6, 30);
+        let e = CandidateUnion::build(&[l1, l2]);
+        assert_eq!(e.len(), 3);
+        // Ordered by best score: 10 (0.9), 20 (0.7), 30 (0.6).
+        assert_eq!(e.pairs, vec![10, 20, 30]);
+        assert_eq!(e.scores[0][0], Some(0.9));
+        assert_eq!(e.scores[0][1], Some(0.5));
+        assert_eq!(e.scores[0][2], None);
+        assert_eq!(e.scores[1][1], Some(0.7));
+    }
+
+    #[test]
+    fn auto_q_runs() {
+        let (a, b) = fixture();
+        let (ta, tb, tree) = tree_for(&a, &b);
+        let killed = PairSet::new();
+        let out = run_joint(
+            &ta,
+            &tb,
+            &killed,
+            &tree,
+            JointParams {
+                k: 10,
+                q: QStrategy::Auto { max_q: 3, prelude_k: 5 },
+                ..Default::default()
+            },
+        );
+        assert!((1..=3).contains(&out.q_used));
+        assert_eq!(out.lists.len(), tree.len());
+    }
+
+    #[test]
+    fn compute_cells_matches_direct_overlap() {
+        let schema = StdArc::new(Schema::from_names(["u", "v"]));
+        let mut a = Table::new("A", StdArc::clone(&schema));
+        a.push(Tuple::from_present(["p q r", "s t"]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["p q", "t u v"]));
+        let attrs = [AttrId(0), AttrId(1)];
+        let (ta, tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        let cells = compute_cells(&[0, 1], &ta, &tb, 0, 0);
+        // o(u,u)=2 (p,q), o(u,v)=0, o(v,u)=0, o(v,v)=1 (t)
+        assert_eq!(&cells[..], &[2, 0, 0, 1]);
+        let _ = PromisingAttrs {
+            attrs: attrs.to_vec(),
+            e_scores: vec![1.0, 1.0],
+            avg_tokens_a: vec![3.0, 2.0],
+            avg_tokens_b: vec![2.0, 3.0],
+        };
+    }
+}

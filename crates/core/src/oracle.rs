@@ -1,0 +1,89 @@
+//! Labeling oracles — the "user" of the interactive verifier.
+//!
+//! The paper's large-scale Table 3 experiments use *synthetic users* "whom
+//! we assume can identify the true matches accurately" (§6.1);
+//! [`GoldOracle`] is exactly that, with an optional label-noise knob for
+//! robustness experiments. Real deployments implement [`Oracle`] over a
+//! UI.
+
+use mc_table::{GoldMatches, TupleId};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// Answers "is this pair a true match?" for the verifier.
+pub trait Oracle {
+    /// Labels a pair. Called at most once per pair per debugging session.
+    fn is_match(&mut self, a: TupleId, b: TupleId) -> bool;
+
+    /// Number of labels given so far.
+    fn labels_given(&self) -> usize;
+}
+
+/// An oracle backed by a gold match set, optionally flipping each label
+/// with probability `noise`.
+pub struct GoldOracle<'g> {
+    gold: &'g GoldMatches,
+    noise: f64,
+    rng: StdRng,
+    labels: usize,
+}
+
+impl<'g> GoldOracle<'g> {
+    /// A perfectly accurate oracle.
+    pub fn exact(gold: &'g GoldMatches) -> Self {
+        GoldOracle { gold, noise: 0.0, rng: StdRng::seed_from_u64(0), labels: 0 }
+    }
+
+    /// An oracle that flips each label with probability `noise`.
+    pub fn noisy(gold: &'g GoldMatches, noise: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&noise));
+        GoldOracle { gold, noise, rng: StdRng::seed_from_u64(seed), labels: 0 }
+    }
+}
+
+impl Oracle for GoldOracle<'_> {
+    fn is_match(&mut self, a: TupleId, b: TupleId) -> bool {
+        self.labels += 1;
+        let truth = self.gold.is_match(a, b);
+        if self.noise > 0.0 && self.rng.random_bool(self.noise) {
+            !truth
+        } else {
+            truth
+        }
+    }
+
+    fn labels_given(&self) -> usize {
+        self.labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_oracle_reports_gold() {
+        let gold = GoldMatches::from_pairs([(1, 2)]);
+        let mut o = GoldOracle::exact(&gold);
+        assert!(o.is_match(1, 2));
+        assert!(!o.is_match(2, 1));
+        assert_eq!(o.labels_given(), 2);
+    }
+
+    #[test]
+    fn noisy_oracle_flips_sometimes() {
+        let gold = GoldMatches::from_pairs((0..100).map(|i| (i, i)));
+        let mut o = GoldOracle::noisy(&gold, 0.3, 9);
+        let wrong = (0..100).filter(|&i| !o.is_match(i, i)).count();
+        assert!(wrong > 10 && wrong < 60, "flip count {wrong} implausible for p=0.3");
+    }
+
+    #[test]
+    fn zero_noise_is_exact() {
+        let gold = GoldMatches::from_pairs([(5, 5)]);
+        let mut o = GoldOracle::noisy(&gold, 0.0, 1);
+        for _ in 0..10 {
+            assert!(o.is_match(5, 5));
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Pervasiveness analysis — the paper's §8 future work, implemented.
+//!
+//! "When fixing a problem affecting a killed-off match, the user may want
+//! to know how pervasive this problem is (and focus on fixing the most
+//! pervasive ones first). For this purpose, given a killed-off match, we
+//! plan to develop a method to find all tuple pairs that are similar to
+//! that match (from a blocking point of view)."
+//!
+//! Two pairs are *blocking-similar* when the same attributes disagree in
+//! the same way: we reduce each pair to its **problem signature** — the
+//! set of `(attribute, diagnosis class)` disagreements — and group the
+//! candidate union `E` by signature. The report then says, e.g., "the
+//! city-abbreviation problem that killed (a1, b1) affects 17 more
+//! candidate pairs, 9 of them confirmed matches".
+
+use crate::explain::{diagnose_values, Diagnosis};
+use crate::joint::CandidateUnion;
+use mc_table::hash::FxHashMap;
+use mc_table::{split_pair_key, AttrId, Schema, Table, TupleId};
+
+/// A coarse diagnosis class for signatures (the exact edit distance of a
+/// misspelling is irrelevant to pervasiveness grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProblemClass {
+    /// Missing value(s).
+    Missing,
+    /// Abbreviated value.
+    Abbreviation,
+    /// Misspelled value (small edit distance).
+    Misspelling,
+    /// Extra or dropped tokens / word reorder.
+    TokenNoise,
+    /// Numeric drift.
+    Numeric,
+    /// Substantially different values.
+    Different,
+}
+
+impl ProblemClass {
+    /// Collapses a [`Diagnosis`] into a problem class; agreements map to
+    /// `None`.
+    pub fn from_diagnosis(d: Diagnosis) -> Option<ProblemClass> {
+        match d {
+            Diagnosis::Exact | Diagnosis::CaseOrPunct => None,
+            Diagnosis::MissingOneSide | Diagnosis::MissingBoth => Some(ProblemClass::Missing),
+            Diagnosis::Abbreviation => Some(ProblemClass::Abbreviation),
+            Diagnosis::SmallEdit(_) => Some(ProblemClass::Misspelling),
+            Diagnosis::TokenSubset | Diagnosis::WordReorder => Some(ProblemClass::TokenNoise),
+            Diagnosis::NumericClose => Some(ProblemClass::Numeric),
+            Diagnosis::Different => Some(ProblemClass::Different),
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProblemClass::Missing => "missing value",
+            ProblemClass::Abbreviation => "abbreviation",
+            ProblemClass::Misspelling => "misspelling",
+            ProblemClass::TokenNoise => "extra/missing/reordered tokens",
+            ProblemClass::Numeric => "numeric drift",
+            ProblemClass::Different => "different values",
+        }
+    }
+}
+
+/// The problem signature of a pair: its attribute-level disagreements,
+/// sorted for canonical comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Signature(Vec<(AttrId, ProblemClass)>);
+
+impl Signature {
+    /// Computes the signature of `(aid, bid)`.
+    pub fn of(a: &Table, b: &Table, aid: TupleId, bid: TupleId) -> Signature {
+        let mut v: Vec<(AttrId, ProblemClass)> = a
+            .schema()
+            .attr_ids()
+            .filter_map(|attr| {
+                ProblemClass::from_diagnosis(diagnose_values(
+                    a.value(aid, attr),
+                    b.value(bid, attr),
+                ))
+                .map(|c| (attr, c))
+            })
+            .collect();
+        v.sort_unstable();
+        Signature(v)
+    }
+
+    /// The disagreements in this signature.
+    pub fn problems(&self) -> &[(AttrId, ProblemClass)] {
+        &self.0
+    }
+
+    /// True if this signature has no disagreements (a clean pair).
+    pub fn is_clean(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// True if `other` exhibits every problem in `self` (so fixing
+    /// `self`'s problems is *necessary* to keep `other`, too).
+    pub fn is_subsignature_of(&self, other: &Signature) -> bool {
+        self.0.iter().all(|p| other.0.contains(p))
+    }
+
+    /// Renders the signature ("abbreviation in city + missing value in
+    /// phone").
+    pub fn describe(&self, schema: &Schema) -> String {
+        if self.0.is_empty() {
+            return "no attribute-level problems".to_string();
+        }
+        self.0
+            .iter()
+            .map(|(attr, c)| format!("{} in \"{}\"", c.label(), schema.name(*attr)))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+/// One group of blocking-similar candidate pairs.
+#[derive(Debug, Clone)]
+pub struct ProblemGroup {
+    /// The shared signature.
+    pub signature: Signature,
+    /// Candidate pairs exhibiting it (from `E`).
+    pub pairs: Vec<(TupleId, TupleId)>,
+    /// Of those, how many are confirmed matches (when a confirmed set is
+    /// supplied).
+    pub confirmed: usize,
+}
+
+/// Groups the candidate union by problem signature, most pervasive first.
+///
+/// `confirmed` is the set of pairs the user has already confirmed as
+/// matches (may be empty); it refines the per-group counts.
+pub fn pervasiveness(
+    a: &Table,
+    b: &Table,
+    union: &CandidateUnion,
+    confirmed: &[(TupleId, TupleId)],
+) -> Vec<ProblemGroup> {
+    let confirmed_set: std::collections::HashSet<(TupleId, TupleId)> =
+        confirmed.iter().copied().collect();
+    let mut groups: FxHashMap<Signature, ProblemGroup> = FxHashMap::default();
+    for &key in &union.pairs {
+        let (x, y) = split_pair_key(key);
+        let sig = Signature::of(a, b, x, y);
+        if sig.is_clean() {
+            continue;
+        }
+        let g = groups.entry(sig.clone()).or_insert_with(|| ProblemGroup {
+            signature: sig,
+            pairs: Vec::new(),
+            confirmed: 0,
+        });
+        if confirmed_set.contains(&(x, y)) {
+            g.confirmed += 1;
+        }
+        g.pairs.push((x, y));
+    }
+    let mut out: Vec<ProblemGroup> = groups.into_values().collect();
+    out.sort_by(|x, y| {
+        y.confirmed
+            .cmp(&x.confirmed)
+            .then(y.pairs.len().cmp(&x.pairs.len()))
+            .then(x.signature.cmp(&y.signature))
+    });
+    out
+}
+
+/// For a single killed-off match, the candidate pairs sharing (at least)
+/// its problems — "find all tuple pairs that are similar to that match".
+pub fn similar_pairs(
+    a: &Table,
+    b: &Table,
+    union: &CandidateUnion,
+    killed_match: (TupleId, TupleId),
+) -> Vec<(TupleId, TupleId)> {
+    let target = Signature::of(a, b, killed_match.0, killed_match.1);
+    union
+        .pairs
+        .iter()
+        .map(|&key| split_pair_key(key))
+        .filter(|&(x, y)| {
+            (x, y) != killed_match && target.is_subsignature_of(&Signature::of(a, b, x, y))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssj::TopKList;
+    use mc_table::{pair_key, Schema, Tuple};
+    use std::sync::Arc;
+
+    fn tables() -> (Table, Table) {
+        let schema = Arc::new(Schema::from_names(["name", "city"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::from_present(["dave smith", "new york"])); // 0
+        a.push(Tuple::from_present(["joe welson", "new york"])); // 1
+        a.push(Tuple::from_present(["ann cole", "chicago"])); // 2
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["dave smith", "ny"])); // 0: city abbrev
+        b.push(Tuple::from_present(["joe welson", "ny"])); // 1: city abbrev
+        b.push(Tuple::from_present(["ann colle", "chicago"])); // 2: misspelled name
+        (a, b)
+    }
+
+    fn union_of(pairs: &[(u32, u32)]) -> CandidateUnion {
+        let mut l = TopKList::new(16);
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            l.insert(0.9 - i as f64 * 0.01, pair_key(x, y));
+        }
+        CandidateUnion::build(&[l])
+    }
+
+    #[test]
+    fn signatures_capture_problem_classes() {
+        let (a, b) = tables();
+        let s = Signature::of(&a, &b, 0, 0);
+        assert_eq!(s.problems().len(), 1);
+        assert_eq!(s.problems()[0].1, ProblemClass::Abbreviation);
+        let s2 = Signature::of(&a, &b, 2, 2);
+        assert_eq!(s2.problems()[0].1, ProblemClass::Misspelling);
+        // Identical tuples → clean signature.
+        let clean = Signature::of(&a, &a_clone(&a), 0, 0);
+        assert!(clean.is_clean());
+    }
+
+    fn a_clone(a: &Table) -> Table {
+        a.clone()
+    }
+
+    #[test]
+    fn pervasiveness_groups_by_signature() {
+        let (a, b) = tables();
+        let union = union_of(&[(0, 0), (1, 1), (2, 2)]);
+        let groups = pervasiveness(&a, &b, &union, &[(0, 0)]);
+        // Two groups: city-abbreviation (2 pairs, 1 confirmed) and
+        // name-misspelling (1 pair).
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].pairs.len(), 2);
+        assert_eq!(groups[0].confirmed, 1);
+        assert!(groups[0].signature.describe(a.schema()).contains("abbreviation"));
+    }
+
+    #[test]
+    fn similar_pairs_shares_problems() {
+        let (a, b) = tables();
+        let union = union_of(&[(0, 0), (1, 1), (2, 2)]);
+        let sim = similar_pairs(&a, &b, &union, (0, 0));
+        assert_eq!(sim, vec![(1, 1)]); // same city-abbreviation problem
+    }
+
+    #[test]
+    fn subsignature_logic() {
+        let (a, b) = tables();
+        let s1 = Signature::of(&a, &b, 0, 0); // city abbreviation
+        let s2 = Signature::of(&a, &b, 0, 2); // name+city both differ
+        assert!(!s2.is_subsignature_of(&s1));
+        assert!(Signature::default().is_subsignature_of(&s1));
+    }
+
+    #[test]
+    fn problem_class_mapping() {
+        assert_eq!(ProblemClass::from_diagnosis(Diagnosis::Exact), None);
+        assert_eq!(ProblemClass::from_diagnosis(Diagnosis::CaseOrPunct), None);
+        assert_eq!(
+            ProblemClass::from_diagnosis(Diagnosis::SmallEdit(2)),
+            Some(ProblemClass::Misspelling)
+        );
+        assert_eq!(
+            ProblemClass::from_diagnosis(Diagnosis::MissingOneSide),
+            Some(ProblemClass::Missing)
+        );
+        for c in [
+            ProblemClass::Missing,
+            ProblemClass::Abbreviation,
+            ProblemClass::Misspelling,
+            ProblemClass::TokenNoise,
+            ProblemClass::Numeric,
+            ProblemClass::Different,
+        ] {
+            assert!(!c.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The Match Verifier (§5): interactive identification of true matches.
+//!
+//! Given the candidate union `E`, the verifier iteratively shows the user
+//! `n` pairs and uses the feedback to re-rank the rest:
+//!
+//! 1. **Seeding** — pairs are shown in MedRank order until at least one
+//!    match and one non-match are labeled (a classifier needs both).
+//! 2. **Hybrid active learning** — for [`VerifierParams::al_iters`]
+//!    iterations (the paper uses 3), each round shows `n/4` most
+//!    *controversial* pairs (forest confidence nearest 0.5, helping the
+//!    learner) plus `3n/4` highest-confidence pairs (helping the user
+//!    find matches fast) from a random forest trained on all labels.
+//! 3. **Online learning** — subsequent rounds show the top `n` pairs by
+//!    positive confidence and retrain after each round.
+//!
+//! The natural stopping point is
+//! [`VerifierParams::stop_after_empty`] = 2 consecutive iterations with
+//! no new matches. [`RankStrategy::Wmr`] and [`RankStrategy::MedRank`]
+//! are the §6.5 ablation baselines.
+
+use crate::features::FeatureExtractor;
+use crate::joint::CandidateUnion;
+use crate::oracle::Oracle;
+use crate::rank::{medrank_order, wmr_order, RankedLists, WmrWeights};
+use mc_ml::{ForestParams, RandomForest};
+use mc_table::split_pair_key;
+
+/// Which re-ranking machinery the verifier uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankStrategy {
+    /// MedRank seeding + hybrid active/online learning (the paper's
+    /// solution).
+    Learning,
+    /// Weighted median ranking with feedback updates (ablation baseline).
+    Wmr,
+    /// Static MedRank order, no feedback (ablation baseline).
+    MedRank,
+}
+
+/// Verifier tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifierParams {
+    /// Pairs shown per iteration (the paper's `n = 20`).
+    pub n_per_iter: usize,
+    /// Hybrid active-learning iterations before pure online learning.
+    pub al_iters: usize,
+    /// Stop after this many consecutive iterations with no new matches.
+    pub stop_after_empty: usize,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Ranking strategy.
+    pub strategy: RankStrategy,
+    /// Random-forest hyperparameters.
+    pub forest: ForestParams,
+}
+
+impl Default for VerifierParams {
+    fn default() -> Self {
+        VerifierParams {
+            n_per_iter: 20,
+            al_iters: 3,
+            stop_after_empty: 2,
+            max_iters: 10_000,
+            strategy: RankStrategy::Learning,
+            forest: ForestParams::default(),
+        }
+    }
+}
+
+/// Per-iteration bookkeeping (drives Tables 3 and 4).
+#[derive(Debug, Clone, Copy)]
+pub struct IterationRecord {
+    /// Pairs shown this iteration.
+    pub shown: usize,
+    /// Of those, confirmed matches.
+    pub matches_found: usize,
+}
+
+/// Verifier output.
+#[derive(Debug, Clone)]
+pub struct VerifyOutcome {
+    /// Confirmed match pair-keys in discovery order.
+    pub matches: Vec<u64>,
+    /// Per-iteration records.
+    pub iterations: Vec<IterationRecord>,
+    /// Total labels requested from the oracle.
+    pub labeled: usize,
+}
+
+impl VerifyOutcome {
+    /// Number of iterations run (column I of Table 3).
+    pub fn iteration_count(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Matches found within the first `n` iterations (Table 4).
+    pub fn matches_in_first(&self, n: usize) -> usize {
+        self.iterations.iter().take(n).map(|r| r.matches_found).sum()
+    }
+}
+
+/// Runs the verifier over the candidate union.
+pub fn run_verifier(
+    union: &CandidateUnion,
+    fx: &FeatureExtractor<'_>,
+    oracle: &mut dyn Oracle,
+    params: &VerifierParams,
+) -> VerifyOutcome {
+    let items = union.len();
+    let mut outcome =
+        VerifyOutcome { matches: Vec::new(), iterations: Vec::new(), labeled: 0 };
+    if items == 0 {
+        return outcome;
+    }
+    let ranked = RankedLists::from_union(union);
+    let base_order = medrank_order(&ranked);
+    let mut labels: Vec<Option<bool>> = vec![None; items];
+    let mut features: Vec<Option<Vec<f64>>> = vec![None; items];
+    let mut wmr = WmrWeights::uniform(ranked.lists().max(1));
+    let mut forest: Option<RandomForest> = None;
+    let mut al_rounds_done = 0usize;
+    let mut empty_streak = 0usize;
+    let n = params.n_per_iter.max(1);
+
+    let feature_of = |i: usize, cache: &mut Vec<Option<Vec<f64>>>| -> Vec<f64> {
+        if cache[i].is_none() {
+            let (a, b) = split_pair_key(union.pairs[i]);
+            cache[i] = Some(fx.features(a, b));
+        }
+        cache[i].clone().unwrap()
+    };
+
+    while outcome.iterations.len() < params.max_iters {
+        let unlabeled: Vec<usize> = (0..items).filter(|&i| labels[i].is_none()).collect();
+        if unlabeled.is_empty() {
+            break;
+        }
+        let have_pos = labels.contains(&Some(true));
+        let have_neg = labels.contains(&Some(false));
+
+        // ── Select the batch to show ────────────────────────────────────
+        let batch: Vec<usize> = match params.strategy {
+            RankStrategy::MedRank => base_order
+                .iter()
+                .copied()
+                .filter(|&i| labels[i].is_none())
+                .take(n)
+                .collect(),
+            RankStrategy::Wmr => wmr_order(&ranked, &wmr)
+                .into_iter()
+                .filter(|&i| labels[i].is_none())
+                .take(n)
+                .collect(),
+            RankStrategy::Learning => {
+                if !(have_pos && have_neg) {
+                    // Seeding phase: walk the MedRank order.
+                    base_order
+                        .iter()
+                        .copied()
+                        .filter(|&i| labels[i].is_none())
+                        .take(n)
+                        .collect()
+                } else {
+                    // (Re)train on everything labeled so far.
+                    let (x, y): (Vec<Vec<f64>>, Vec<bool>) = (0..items)
+                        .filter_map(|i| labels[i].map(|l| (feature_of(i, &mut features), l)))
+                        .unzip();
+                    let f = RandomForest::fit(&x, &y, &params.forest);
+                    let scored: Vec<(usize, f64, f64)> = unlabeled
+                        .iter()
+                        .map(|&i| {
+                            let feats = feature_of(i, &mut features);
+                            (i, f.confidence(&feats), f.mean_proba(&feats))
+                        })
+                        .collect();
+                    forest = Some(f);
+                    if al_rounds_done < params.al_iters {
+                        al_rounds_done += 1;
+                        hybrid_batch(&scored, n)
+                    } else {
+                        // Pure online phase: top-n by confidence.
+                        let mut by_conf = scored;
+                        by_conf.sort_by(|a, b| {
+                            b.1.total_cmp(&a.1).then(b.2.total_cmp(&a.2)).then(a.0.cmp(&b.0))
+                        });
+                        by_conf.into_iter().take(n).map(|(i, _, _)| i).collect()
+                    }
+                }
+            }
+        };
+        if batch.is_empty() {
+            break;
+        }
+
+        // ── Ask the user ────────────────────────────────────────────────
+        let mut found = 0usize;
+        let mut matches_per_list = vec![0usize; ranked.lists()];
+        for &i in &batch {
+            let (a, b) = split_pair_key(union.pairs[i]);
+            let is_match = oracle.is_match(a, b);
+            labels[i] = Some(is_match);
+            outcome.labeled += 1;
+            if is_match {
+                found += 1;
+                outcome.matches.push(union.pairs[i]);
+                for (c, col) in union.scores.iter().enumerate() {
+                    if col[i].is_some() {
+                        matches_per_list[c] += 1;
+                    }
+                }
+            }
+        }
+        outcome.iterations.push(IterationRecord { shown: batch.len(), matches_found: found });
+        if params.strategy == RankStrategy::Wmr {
+            wmr.update(&matches_per_list);
+        }
+
+        // ── Natural stopping point ──────────────────────────────────────
+        if found == 0 {
+            empty_streak += 1;
+            if empty_streak >= params.stop_after_empty {
+                break;
+            }
+        } else {
+            empty_streak = 0;
+        }
+    }
+    let _ = forest; // kept alive across rounds for clarity of ownership
+    outcome
+}
+
+/// The hybrid batch: `n/4` most controversial + `3n/4` most confident.
+fn hybrid_batch(scored: &[(usize, f64, f64)], n: usize) -> Vec<usize> {
+    let n_controversial = (n / 4).max(1);
+    let mut by_uncertainty: Vec<&(usize, f64, f64)> = scored.iter().collect();
+    by_uncertainty.sort_by(|a, b| {
+        let ua = (a.1 - 0.5).abs();
+        let ub = (b.1 - 0.5).abs();
+        ua.total_cmp(&ub).then(a.0.cmp(&b.0))
+    });
+    let mut batch: Vec<usize> =
+        by_uncertainty.iter().take(n_controversial).map(|t| t.0).collect();
+    let mut by_conf: Vec<&(usize, f64, f64)> = scored.iter().collect();
+    by_conf.sort_by(|a, b| b.1.total_cmp(&a.1).then(b.2.total_cmp(&a.2)).then(a.0.cmp(&b.0)));
+    for t in by_conf {
+        if batch.len() >= n {
+            break;
+        }
+        if !batch.contains(&t.0) {
+            batch.push(t.0);
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GoldOracle;
+    use crate::ssj::TopKList;
+    use mc_strsim::dict::TokenizedTable;
+    use mc_strsim::tokenize::Tokenizer;
+    use mc_table::{pair_key, AttrId, GoldMatches, Schema, Table, Tuple};
+    use std::sync::Arc;
+
+    /// Builds a verification scenario: 40 A-tuples, 40 B-tuples where
+    /// (i, i) are matches for i < n_matches; candidates are all (i, i)
+    /// plus decoys (i, i+1).
+    fn scenario(n_matches: u32) -> (Table, Table, GoldMatches, CandidateUnion) {
+        let schema = Arc::new(Schema::from_names(["name", "city"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        let mut b = Table::new("B", schema);
+        for i in 0..40u32 {
+            a.push(Tuple::from_present([
+                format!("person{} smith{}", i, i),
+                format!("city{}", i % 5),
+            ]));
+            b.push(Tuple::from_present([
+                format!("person{} smith{}", i, i),
+                format!("city{}", i % 5),
+            ]));
+        }
+        let gold = GoldMatches::from_pairs((0..n_matches).map(|i| (i, i)));
+        let mut l = TopKList::new(200);
+        for i in 0..40u32 {
+            l.insert(0.9 - i as f64 * 0.001, pair_key(i, i));
+            l.insert(0.5 - i as f64 * 0.001, pair_key(i, (i + 1) % 40));
+        }
+        let union = CandidateUnion::build(&[l]);
+        (a, b, gold, union)
+    }
+
+    fn extractor_parts(a: &Table, b: &Table) -> (Vec<AttrId>, TokenizedTable, TokenizedTable) {
+        let attrs = vec![AttrId(0), AttrId(1)];
+        let (ta, tb, _) = TokenizedTable::build_pair(a, b, &attrs, Tokenizer::Word);
+        (attrs, ta, tb)
+    }
+
+    #[test]
+    fn finds_most_matches_before_stopping() {
+        let (a, b, gold, union) = scenario(25);
+        let (attrs, ta, tb) = extractor_parts(&a, &b);
+        let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
+        let mut oracle = GoldOracle::exact(&gold);
+        let params = VerifierParams { n_per_iter: 10, ..Default::default() };
+        let out = run_verifier(&union, &fx, &mut oracle, &params);
+        assert!(
+            out.matches.len() >= 20,
+            "verifier found only {}/25 matches",
+            out.matches.len()
+        );
+        assert_eq!(out.labeled, out.iterations.iter().map(|r| r.shown).sum::<usize>());
+    }
+
+    #[test]
+    fn stops_after_consecutive_empty_iterations() {
+        let (a, b, _, union) = scenario(0);
+        let gold = GoldMatches::new(); // nothing is a match
+        let (attrs, ta, tb) = extractor_parts(&a, &b);
+        let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
+        let mut oracle = GoldOracle::exact(&gold);
+        let params = VerifierParams { n_per_iter: 10, stop_after_empty: 2, ..Default::default() };
+        let out = run_verifier(&union, &fx, &mut oracle, &params);
+        assert_eq!(out.iterations.len(), 2);
+        assert!(out.matches.is_empty());
+    }
+
+    #[test]
+    fn empty_union_returns_immediately() {
+        let (a, b, gold, _) = scenario(1);
+        let (attrs, ta, tb) = extractor_parts(&a, &b);
+        let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
+        let union = CandidateUnion::build(&[]);
+        let mut oracle = GoldOracle::exact(&gold);
+        let out = run_verifier(&union, &fx, &mut oracle, &VerifierParams::default());
+        assert!(out.iterations.is_empty());
+        assert_eq!(oracle.labels_given(), 0);
+    }
+
+    #[test]
+    fn all_strategies_find_the_obvious_matches() {
+        for strategy in [RankStrategy::Learning, RankStrategy::Wmr, RankStrategy::MedRank] {
+            let (a, b, gold, union) = scenario(10);
+            let (attrs, ta, tb) = extractor_parts(&a, &b);
+            let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
+            let mut oracle = GoldOracle::exact(&gold);
+            let params = VerifierParams { n_per_iter: 10, strategy, ..Default::default() };
+            let out = run_verifier(&union, &fx, &mut oracle, &params);
+            assert!(
+                out.matches.len() >= 8,
+                "{strategy:?} found only {}",
+                out.matches.len()
+            );
+        }
+    }
+
+    #[test]
+    fn never_labels_a_pair_twice() {
+        let (a, b, gold, union) = scenario(15);
+        let (attrs, ta, tb) = extractor_parts(&a, &b);
+        let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
+        let mut oracle = GoldOracle::exact(&gold);
+        let params = VerifierParams { n_per_iter: 7, ..Default::default() };
+        let out = run_verifier(&union, &fx, &mut oracle, &params);
+        assert!(out.labeled <= union.len());
+        // matches are unique
+        let mut m = out.matches.clone();
+        m.sort_unstable();
+        m.dedup();
+        assert_eq!(m.len(), out.matches.len());
+    }
+
+    #[test]
+    fn matches_in_first_counts_prefix() {
+        let out = VerifyOutcome {
+            matches: vec![],
+            iterations: vec![
+                IterationRecord { shown: 10, matches_found: 4 },
+                IterationRecord { shown: 10, matches_found: 2 },
+                IterationRecord { shown: 10, matches_found: 1 },
+            ],
+            labeled: 30,
+        };
+        assert_eq!(out.matches_in_first(2), 6);
+        assert_eq!(out.matches_in_first(10), 7);
+        assert_eq!(out.iteration_count(), 3);
+    }
+}

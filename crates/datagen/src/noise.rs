@@ -1,0 +1,351 @@
+//! Error injectors: the dirtiness channels that break blockers.
+//!
+//! Section 1 and Table 4 of the paper attribute killed-off matches to
+//! concrete data problems — misspellings ("Altanta" vs "Atlanta"),
+//! abbreviations ("New York" vs "NY"), missing values, brand-name
+//! variants, attributes "sprinkled" into other attributes, subtitles
+//! present in only one table, unnormalized addresses, casing differences,
+//! and numeric drift. Each injector here implements one channel and
+//! reports an [`ErrorKind`] tag so experiments can validate the debugger's
+//! explanations against ground truth.
+
+use mc_table::{AttrId, TupleId};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt as _;
+
+/// Which table of the pair a perturbation was applied to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Left table A.
+    A,
+    /// Right table B.
+    B,
+}
+
+/// The ground-truth class of an injected error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Character-level typo (insert/delete/substitute/transpose).
+    Misspelling,
+    /// Value replaced by a known short form ("new york" → "ny").
+    Abbreviation,
+    /// Value dropped entirely.
+    MissingValue,
+    /// Value replaced by a synonym/variant ("microsoft" → "ms").
+    Synonym,
+    /// Word order shuffled within the value.
+    WordReorder,
+    /// Random words dropped from a long value.
+    TokenDrop,
+    /// Extra qualifier/subtitle appended ("… : special edition").
+    ExtraTokens,
+    /// Another attribute's value concatenated into this one
+    /// ("city sprinkled in name", Table 4 F-Z row).
+    Sprinkle,
+    /// Numeric value jittered (prices/years drift between sources).
+    NumericJitter,
+    /// Case/punctuation noise ("input tables are not lower-cased").
+    CaseNoise,
+    /// First name replaced by its nickname, or middle initial added.
+    NameVariant,
+}
+
+impl ErrorKind {
+    /// Human-readable label used in explanation reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Misspelling => "misspelling",
+            ErrorKind::Abbreviation => "abbreviation",
+            ErrorKind::MissingValue => "missing value",
+            ErrorKind::Synonym => "synonym/variant",
+            ErrorKind::WordReorder => "word reorder",
+            ErrorKind::TokenDrop => "token drop",
+            ErrorKind::ExtraTokens => "extra tokens",
+            ErrorKind::Sprinkle => "attribute sprinkled into another",
+            ErrorKind::NumericJitter => "numeric drift",
+            ErrorKind::CaseNoise => "case/punctuation noise",
+            ErrorKind::NameVariant => "name variant",
+        }
+    }
+}
+
+/// A perturbation that was actually applied during generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedError {
+    /// Which table.
+    pub side: Side,
+    /// Which tuple.
+    pub tuple: TupleId,
+    /// Which attribute.
+    pub attr: AttrId,
+    /// Which error class.
+    pub kind: ErrorKind,
+}
+
+/// Applies a random character-level typo: substitute, delete, insert, or
+/// transpose one character. Returns `None` for empty input.
+pub fn misspell(rng: &mut StdRng, s: &str) -> Option<String> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return None;
+    }
+    let mut out = chars.clone();
+    let pos = rng.random_range(0..out.len());
+    match rng.random_range(0..4u8) {
+        0 => {
+            // substitute with a nearby letter
+            out[pos] = random_letter(rng);
+        }
+        1 => {
+            if out.len() > 1 {
+                out.remove(pos);
+            } else {
+                out[pos] = random_letter(rng);
+            }
+        }
+        2 => {
+            out.insert(pos, random_letter(rng));
+        }
+        _ => {
+            if pos + 1 < out.len() {
+                out.swap(pos, pos + 1);
+            } else if out.len() > 1 {
+                out.swap(pos - 1, pos);
+            } else {
+                out[pos] = random_letter(rng);
+            }
+        }
+    }
+    Some(out.into_iter().collect())
+}
+
+fn random_letter(rng: &mut StdRng) -> char {
+    (b'a' + rng.random_range(0..26u8)) as char
+}
+
+/// Shuffles word order (returns `None` for values with < 2 words).
+pub fn reorder_words(rng: &mut StdRng, s: &str) -> Option<String> {
+    let mut words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() < 2 {
+        return None;
+    }
+    // Rotate by a random offset — preserves all tokens, changes order.
+    let k = rng.random_range(1..words.len());
+    words.rotate_left(k);
+    Some(words.join(" "))
+}
+
+/// Drops up to `max_drop` random words from a multi-word value, keeping at
+/// least one word. Returns `None` for single-word values.
+pub fn drop_tokens(rng: &mut StdRng, s: &str, max_drop: usize) -> Option<String> {
+    let mut words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() < 2 {
+        return None;
+    }
+    let drops = rng.random_range(1..=max_drop.min(words.len() - 1));
+    for _ in 0..drops {
+        let i = rng.random_range(0..words.len());
+        words.remove(i);
+    }
+    Some(words.join(" "))
+}
+
+/// Appends extra qualifier tokens (subtitle, edition, packaging noise).
+pub fn extra_tokens(rng: &mut StdRng, s: &str) -> String {
+    const EXTRAS: &[&str] = &[
+        "special edition",
+        "new version",
+        "2 pack",
+        "with bonus content",
+        "original soundtrack",
+        "remastered",
+        "volume 2",
+        "second edition",
+        "collectors item",
+        "oem package",
+    ];
+    format!("{s} {}", EXTRAS.choose(rng).unwrap())
+}
+
+/// Uppercases or title-cases the value and/or injects punctuation — the
+/// "input tables are not lower-cased" problem of Table 4 (M1 row).
+pub fn case_noise(rng: &mut StdRng, s: &str) -> String {
+    match rng.random_range(0..3u8) {
+        0 => s.to_uppercase(),
+        1 => s
+            .split_whitespace()
+            .map(|w| {
+                let mut c = w.chars();
+                match c.next() {
+                    Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                    None => String::new(),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+        _ => s.split_whitespace().collect::<Vec<_>>().join(", "),
+    }
+}
+
+/// Jitters a numeric string by up to `rel` relative error (e.g. price
+/// differences between stores) or ±`abs_max` absolutely (years).
+pub fn numeric_jitter(rng: &mut StdRng, s: &str, rel: f64, abs_max: f64) -> Option<String> {
+    let v: f64 = s.parse().ok()?;
+    let jittered = if rel > 0.0 {
+        let f = 1.0 + rng.random_range(-rel..=rel);
+        v * f
+    } else {
+        v + rng.random_range(-abs_max..=abs_max).round()
+    };
+    if (jittered - v).abs() < f64::EPSILON {
+        return None;
+    }
+    if s.contains('.') || rel > 0.0 {
+        Some(format!("{jittered:.2}"))
+    } else {
+        Some(format!("{}", jittered as i64))
+    }
+}
+
+/// Abbreviates a multi-word value to initial letters ("new york" → "ny"),
+/// used when no curated abbreviation exists.
+pub fn initialism(s: &str) -> Option<String> {
+    let words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() < 2 {
+        return None;
+    }
+    Some(words.iter().filter_map(|w| w.chars().next()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn misspell_changes_string() {
+        let mut r = rng();
+        let mut changed = 0;
+        for _ in 0..50 {
+            let out = misspell(&mut r, "atlanta").unwrap();
+            assert!(!out.is_empty());
+            if out != "atlanta" {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 45, "misspell almost always changes the input");
+    }
+
+    #[test]
+    fn misspell_empty_is_none() {
+        assert_eq!(misspell(&mut rng(), ""), None);
+    }
+
+    #[test]
+    fn misspell_is_small_edit() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let out = misspell(&mut r, "welson").unwrap();
+            assert!(mc_strsim_ed(&out, "welson") <= 2);
+        }
+    }
+
+    // Local tiny edit distance to avoid a circular dev-dependency.
+    fn mc_strsim_ed(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        for (i, ca) in a.iter().enumerate() {
+            let mut cur = vec![i + 1];
+            for (j, cb) in b.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+            }
+            prev = cur;
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn reorder_preserves_tokens() {
+        let mut r = rng();
+        let out = reorder_words(&mut r, "alpha beta gamma").unwrap();
+        let mut toks: Vec<&str> = out.split(' ').collect();
+        toks.sort_unstable();
+        assert_eq!(toks, vec!["alpha", "beta", "gamma"]);
+        assert_ne!(out, "alpha beta gamma");
+        assert_eq!(reorder_words(&mut r, "single"), None);
+    }
+
+    #[test]
+    fn drop_tokens_keeps_at_least_one() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let out = drop_tokens(&mut r, "a b c d", 3).unwrap();
+            assert!(!out.is_empty());
+            assert!(out.split(' ').count() >= 1);
+            assert!(out.split(' ').count() < 4);
+        }
+        assert_eq!(drop_tokens(&mut r, "one", 2), None);
+    }
+
+    #[test]
+    fn extra_tokens_appends() {
+        let out = extra_tokens(&mut rng(), "photoshop elements");
+        assert!(out.starts_with("photoshop elements "));
+        assert!(out.len() > "photoshop elements ".len());
+    }
+
+    #[test]
+    fn case_noise_changes_presentation_not_letters() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let out = case_noise(&mut r, "dark side of the moon");
+            let letters: String = out.chars().filter(|c| c.is_alphanumeric()).collect();
+            assert_eq!(letters.to_lowercase(), "darksideofthemoon");
+        }
+    }
+
+    #[test]
+    fn numeric_jitter_moves_value() {
+        let mut r = rng();
+        let out = numeric_jitter(&mut r, "100.0", 0.2, 0.0).unwrap();
+        let v: f64 = out.parse().unwrap();
+        assert!((80.0 - 1e-9..=120.0 + 1e-9).contains(&v));
+        assert_eq!(numeric_jitter(&mut r, "n/a", 0.2, 0.0), None);
+    }
+
+    #[test]
+    fn year_jitter_is_integer() {
+        let mut r = rng();
+        for _ in 0..20 {
+            if let Some(out) = numeric_jitter(&mut r, "2005", 0.0, 2.0) {
+                let v: i64 = out.parse().unwrap();
+                assert!((2003..=2007).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn initialism_basic() {
+        assert_eq!(initialism("new york"), Some("ny".into()));
+        assert_eq!(initialism("salt lake city"), Some("slc".into()));
+        assert_eq!(initialism("chicago"), None);
+    }
+
+    #[test]
+    fn error_kind_labels_are_distinct() {
+        use ErrorKind::*;
+        let kinds = [
+            Misspelling, Abbreviation, MissingValue, Synonym, WordReorder, TokenDrop,
+            ExtraTokens, Sprinkle, NumericJitter, CaseNoise, NameVariant,
+        ];
+        let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

@@ -1,0 +1,430 @@
+//! Perturbation plans: per-attribute noise schedules.
+//!
+//! A [`PerturbPlan`] lists [`NoiseRule`]s — `(attribute, error kind,
+//! rate)` triples, optionally with a variant map (curated abbreviations /
+//! brand synonyms) or an auxiliary attribute (for sprinkling). Each table
+//! side of a profile gets its own plan; a matched entity is projected
+//! through both, so the textual gap between its A-tuple and B-tuple is
+//! the union of both sides' noise.
+
+use crate::noise::{self, ErrorKind};
+use crate::vocab;
+use mc_table::hash::FxHashMap;
+use mc_table::AttrId;
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+use std::sync::Arc;
+
+/// One noise channel applied to one attribute with a given probability.
+#[derive(Debug, Clone)]
+pub struct NoiseRule {
+    /// Target attribute.
+    pub attr: AttrId,
+    /// Error class to inject.
+    pub kind: ErrorKind,
+    /// Per-tuple application probability in `[0, 1]`.
+    pub rate: f64,
+    /// Kind-specific magnitude: for [`ErrorKind::TokenDrop`] the maximum
+    /// words dropped; for [`ErrorKind::NumericJitter`] the relative error
+    /// if `< 1.0`, otherwise the absolute half-range.
+    pub magnitude: f64,
+    /// Curated value → variant map for [`ErrorKind::Abbreviation`] and
+    /// [`ErrorKind::Synonym`] (lowercased keys). Falls back to
+    /// [`noise::initialism`] for abbreviations when absent.
+    pub variants: Option<Arc<FxHashMap<String, String>>>,
+    /// Source attribute for [`ErrorKind::Sprinkle`].
+    pub aux_attr: Option<AttrId>,
+}
+
+impl NoiseRule {
+    /// A rule with default magnitude and no variant map.
+    pub fn new(attr: AttrId, kind: ErrorKind, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        NoiseRule { attr, kind, rate, magnitude: 2.0, variants: None, aux_attr: None }
+    }
+
+    /// Sets the kind-specific magnitude.
+    pub fn with_magnitude(mut self, m: f64) -> Self {
+        self.magnitude = m;
+        self
+    }
+
+    /// Attaches a variant map.
+    pub fn with_variants(mut self, map: Arc<FxHashMap<String, String>>) -> Self {
+        self.variants = Some(map);
+        self
+    }
+
+    /// Sets the sprinkle source attribute.
+    pub fn with_aux(mut self, attr: AttrId) -> Self {
+        self.aux_attr = Some(attr);
+        self
+    }
+}
+
+/// An ordered list of noise rules for one table side.
+#[derive(Debug, Clone, Default)]
+pub struct PerturbPlan {
+    rules: Vec<NoiseRule>,
+}
+
+impl PerturbPlan {
+    /// An empty (no-op) plan.
+    pub fn new() -> Self {
+        PerturbPlan::default()
+    }
+
+    /// Appends a rule (builder style).
+    pub fn rule(mut self, r: NoiseRule) -> Self {
+        self.rules.push(r);
+        self
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Applies the plan to a tuple's fields in rule order, returning the
+    /// `(attribute, kind)` of every perturbation actually applied.
+    pub fn apply(
+        &self,
+        fields: &mut [Option<String>],
+        rng: &mut StdRng,
+    ) -> Vec<(AttrId, ErrorKind)> {
+        let mut applied = Vec::new();
+        for r in &self.rules {
+            if !rng.random_bool(r.rate) {
+                continue;
+            }
+            if apply_rule(r, fields, rng) {
+                applied.push((r.attr, r.kind));
+            }
+        }
+        applied
+    }
+}
+
+/// Applies one rule; returns whether the tuple actually changed.
+fn apply_rule(r: &NoiseRule, fields: &mut [Option<String>], rng: &mut StdRng) -> bool {
+    let idx = r.attr.index();
+    match r.kind {
+        ErrorKind::MissingValue => {
+            if fields[idx].is_some() {
+                fields[idx] = None;
+                true
+            } else {
+                false
+            }
+        }
+        ErrorKind::Sprinkle => {
+            let Some(aux) = r.aux_attr else { return false };
+            let Some(extra) = fields[aux.index()].clone() else { return false };
+            let Some(v) = fields[idx].as_mut() else { return false };
+            v.push(' ');
+            v.push_str(&extra);
+            // Half the time the source column keeps its value too;
+            // otherwise the information only survives inside the target.
+            if rng.random_bool(0.5) {
+                fields[aux.index()] = None;
+            }
+            true
+        }
+        _ => {
+            let Some(v) = fields[idx].as_ref() else { return false };
+            let new = mutate_value(r, v, rng);
+            match new {
+                Some(n) if &n != v => {
+                    fields[idx] = Some(n);
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
+}
+
+fn mutate_value(r: &NoiseRule, v: &str, rng: &mut StdRng) -> Option<String> {
+    match r.kind {
+        ErrorKind::Misspelling => noise::misspell(rng, v),
+        ErrorKind::Abbreviation => {
+            if let Some(map) = &r.variants {
+                if let Some(short) = map.get(&v.to_ascii_lowercase()) {
+                    return Some(short.clone());
+                }
+            }
+            noise::initialism(v)
+        }
+        ErrorKind::Synonym => {
+            let map = r.variants.as_ref()?;
+            // Whole-value lookup first ("microsoft" → "ms") ...
+            if let Some(var) = map.get(&v.to_ascii_lowercase()) {
+                return Some(var.clone());
+            }
+            // ... then word-level replacement ("golden st" → "golden
+            // street", "microsoft office" → "ms office").
+            let mut words: Vec<String> =
+                v.split_whitespace().map(|w| w.to_string()).collect();
+            for w in words.iter_mut() {
+                if let Some(var) = map.get(&w.to_ascii_lowercase()) {
+                    *w = var.clone();
+                    return Some(words.join(" "));
+                }
+            }
+            None
+        }
+        ErrorKind::WordReorder => noise::reorder_words(rng, v),
+        ErrorKind::TokenDrop => noise::drop_tokens(rng, v, r.magnitude.max(1.0) as usize),
+        ErrorKind::ExtraTokens => Some(noise::extra_tokens(rng, v)),
+        ErrorKind::CaseNoise => Some(noise::case_noise(rng, v)),
+        ErrorKind::NumericJitter => {
+            if r.magnitude < 1.0 {
+                noise::numeric_jitter(rng, v, r.magnitude, 0.0)
+            } else {
+                noise::numeric_jitter(rng, v, 0.0, r.magnitude)
+            }
+        }
+        ErrorKind::NameVariant => name_variant(rng, v),
+        ErrorKind::MissingValue | ErrorKind::Sprinkle => unreachable!("handled in apply_rule"),
+    }
+}
+
+/// Swaps the first word for its nickname if one exists, otherwise inserts
+/// a middle initial ("bryan lee" → "bryan m lee").
+fn name_variant(rng: &mut StdRng, v: &str) -> Option<String> {
+    let words: Vec<&str> = v.split_whitespace().collect();
+    if words.is_empty() {
+        return None;
+    }
+    if let Some(nick) = vocab::nickname(words[0]) {
+        let mut out = vec![nick];
+        out.extend(&words[1..]);
+        return Some(out.join(" "));
+    }
+    if words.len() >= 2 {
+        let initial = ((b'a' + rng.random_range(0..26u8)) as char).to_string();
+        let mut out = vec![words[0], &initial];
+        out.extend(&words[1..]);
+        return Some(out.join(" "));
+    }
+    None
+}
+
+/// The curated city-abbreviation map as a variant table.
+pub fn city_variants() -> Arc<FxHashMap<String, String>> {
+    let mut m = FxHashMap::default();
+    for (full, short) in vocab::CITIES {
+        m.insert(full.to_string(), short.to_string());
+    }
+    Arc::new(m)
+}
+
+/// The curated brand-variant map.
+pub fn brand_variants() -> Arc<FxHashMap<String, String>> {
+    let mut m = FxHashMap::default();
+    for (full, var) in vocab::BRANDS {
+        m.insert(full.to_string(), var.to_string());
+    }
+    Arc::new(m)
+}
+
+/// State name → postal code.
+pub fn state_variants() -> Arc<FxHashMap<String, String>> {
+    let mut m = FxHashMap::default();
+    for (full, code) in vocab::STATES {
+        m.insert(full.to_string(), code.to_string());
+    }
+    Arc::new(m)
+}
+
+/// Venue short name → expanded conference name (the ACM vs DBLP naming
+/// difference).
+pub fn venue_variants() -> Arc<FxHashMap<String, String>> {
+    let mut m = FxHashMap::default();
+    for v in vocab::VENUES {
+        m.insert(v.to_string(), format!("proceedings of {v} conference"));
+    }
+    Arc::new(m)
+}
+
+/// Street-suffix expansions ("st" → "street"); word-level synonym rules
+/// use this to model unnormalized addresses (Table 4, F-Z row).
+pub fn street_variants() -> Arc<FxHashMap<String, String>> {
+    let mut m = FxHashMap::default();
+    for s in vocab::STREET_SUFFIXES {
+        m.insert(s.to_string(), vocab::street_suffix_long(s).to_string());
+    }
+    Arc::new(m)
+}
+
+/// Cuisine-description variants ("different descriptions for attribute
+/// type", Table 4 F-Z row).
+pub fn cuisine_variants() -> Arc<FxHashMap<String, String>> {
+    let mut m = FxHashMap::default();
+    for (a, b) in [
+        ("barbecue", "bbq"),
+        ("american", "american traditional"),
+        ("italian", "trattoria italian"),
+        ("french", "french bistro"),
+        ("japanese", "sushi japanese"),
+        ("mexican", "tex mex"),
+        ("steakhouse", "steak house"),
+        ("mediterranean", "med"),
+        ("vegetarian", "veggie"),
+        ("seafood", "fish seafood"),
+    ] {
+        m.insert(a.to_string(), b.to_string());
+    }
+    Arc::new(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn fields(vals: &[&str]) -> Vec<Option<String>> {
+        vals.iter().map(|v| Some(v.to_string())).collect()
+    }
+
+    #[test]
+    fn rate_one_always_applies() {
+        let plan = PerturbPlan::new()
+            .rule(NoiseRule::new(AttrId(0), ErrorKind::MissingValue, 1.0));
+        let mut f = fields(&["x", "y"]);
+        let log = plan.apply(&mut f, &mut rng());
+        assert_eq!(log, vec![(AttrId(0), ErrorKind::MissingValue)]);
+        assert_eq!(f[0], None);
+        assert_eq!(f[1].as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn rate_zero_never_applies() {
+        let plan =
+            PerturbPlan::new().rule(NoiseRule::new(AttrId(0), ErrorKind::Misspelling, 0.0));
+        let mut f = fields(&["atlanta"]);
+        assert!(plan.apply(&mut f, &mut rng()).is_empty());
+        assert_eq!(f[0].as_deref(), Some("atlanta"));
+    }
+
+    #[test]
+    fn abbreviation_uses_variant_map() {
+        let plan = PerturbPlan::new().rule(
+            NoiseRule::new(AttrId(0), ErrorKind::Abbreviation, 1.0)
+                .with_variants(city_variants()),
+        );
+        let mut f = fields(&["new york"]);
+        let log = plan.apply(&mut f, &mut rng());
+        assert_eq!(f[0].as_deref(), Some("ny"));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn abbreviation_falls_back_to_initialism() {
+        let plan =
+            PerturbPlan::new().rule(NoiseRule::new(AttrId(0), ErrorKind::Abbreviation, 1.0));
+        let mut f = fields(&["salt lake city"]);
+        plan.apply(&mut f, &mut rng());
+        assert_eq!(f[0].as_deref(), Some("slc"));
+    }
+
+    #[test]
+    fn synonym_without_map_is_noop() {
+        let plan = PerturbPlan::new().rule(NoiseRule::new(AttrId(0), ErrorKind::Synonym, 1.0));
+        let mut f = fields(&["microsoft"]);
+        assert!(plan.apply(&mut f, &mut rng()).is_empty());
+        assert_eq!(f[0].as_deref(), Some("microsoft"));
+    }
+
+    #[test]
+    fn brand_synonym_applies() {
+        let plan = PerturbPlan::new().rule(
+            NoiseRule::new(AttrId(0), ErrorKind::Synonym, 1.0).with_variants(brand_variants()),
+        );
+        let mut f = fields(&["microsoft"]);
+        plan.apply(&mut f, &mut rng());
+        assert_eq!(f[0].as_deref(), Some("ms"));
+    }
+
+    #[test]
+    fn sprinkle_moves_aux_value_in() {
+        let plan = PerturbPlan::new().rule(
+            NoiseRule::new(AttrId(0), ErrorKind::Sprinkle, 1.0).with_aux(AttrId(1)),
+        );
+        let mut r = rng();
+        let mut any_moved = false;
+        for _ in 0..20 {
+            let mut f = fields(&["golden table", "atlanta"]);
+            let log = plan.apply(&mut f, &mut r);
+            assert_eq!(log.len(), 1);
+            assert_eq!(f[0].as_deref(), Some("golden table atlanta"));
+            if f[1].is_none() {
+                any_moved = true;
+            }
+        }
+        assert!(any_moved, "source column should sometimes be emptied");
+    }
+
+    #[test]
+    fn missing_value_on_absent_field_is_noop() {
+        let plan =
+            PerturbPlan::new().rule(NoiseRule::new(AttrId(0), ErrorKind::MissingValue, 1.0));
+        let mut f: Vec<Option<String>> = vec![None];
+        assert!(plan.apply(&mut f, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn numeric_jitter_relative_and_absolute() {
+        let rel = PerturbPlan::new().rule(
+            NoiseRule::new(AttrId(0), ErrorKind::NumericJitter, 1.0).with_magnitude(0.2),
+        );
+        let mut f = fields(&["100.0"]);
+        rel.apply(&mut f, &mut rng());
+        let v: f64 = f[0].as_deref().unwrap().parse().unwrap();
+        assert!((80.0..=120.0).contains(&v));
+
+        let abs = PerturbPlan::new().rule(
+            NoiseRule::new(AttrId(0), ErrorKind::NumericJitter, 1.0).with_magnitude(3.0),
+        );
+        let mut f = fields(&["2005"]);
+        abs.apply(&mut f, &mut rng());
+        let y: i64 = f[0].as_deref().unwrap().parse().unwrap();
+        assert!((2002..=2008).contains(&y));
+    }
+
+    #[test]
+    fn name_variant_nickname_or_initial() {
+        let mut r = rng();
+        assert_eq!(name_variant(&mut r, "david smith"), Some("dave smith".into()));
+        let with_initial = name_variant(&mut r, "zorro smith").unwrap();
+        let words: Vec<&str> = with_initial.split(' ').collect();
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[0], "zorro");
+        assert_eq!(words[2], "smith");
+    }
+
+    #[test]
+    fn applied_log_matches_changes() {
+        // A plan over several attributes: the log must list exactly the
+        // attrs whose values changed (or went missing).
+        let plan = PerturbPlan::new()
+            .rule(NoiseRule::new(AttrId(0), ErrorKind::Misspelling, 1.0))
+            .rule(NoiseRule::new(AttrId(1), ErrorKind::MissingValue, 1.0));
+        let mut f = fields(&["atlanta", "georgia"]);
+        let before = f.clone();
+        let log = plan.apply(&mut f, &mut rng());
+        for (attr, _) in &log {
+            assert_ne!(f[attr.index()], before[attr.index()]);
+        }
+        assert_eq!(log.len(), 2);
+    }
+}

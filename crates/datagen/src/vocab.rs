@@ -1,0 +1,403 @@
+//! Deterministic word pools and synthetic word generation.
+//!
+//! Small hand-written pools cover domains where *shared* tokens drive
+//! realistic near-misses (names, cities, brands); a syllable-based
+//! generator extends pools deterministically for the large music/papers
+//! profiles, where hundreds of thousands of distinct tokens are needed.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt as _;
+
+/// First names; deliberately contains pairs with common short forms.
+pub const FIRST_NAMES: &[&str] = &[
+    "david", "dave", "daniel", "dan", "charles", "charlie", "joseph", "joe", "michael", "mike",
+    "robert", "rob", "william", "will", "richard", "rick", "thomas", "tom", "james", "jim",
+    "john", "jack", "steven", "steve", "edward", "ed", "anthony", "tony", "benjamin", "ben",
+    "samuel", "sam", "alexander", "alex", "nicholas", "nick", "christopher", "chris",
+    "katherine", "kate", "elizabeth", "liz", "jennifer", "jen", "margaret", "meg", "patricia",
+    "pat", "susan", "sue", "deborah", "deb", "rebecca", "becky", "maria", "anna", "laura",
+    "sarah", "emily", "olivia", "sophia", "hannah", "grace", "julia", "amy", "karen",
+];
+
+/// Common short form of a first name, if one exists in the pool.
+pub fn nickname(first: &str) -> Option<&'static str> {
+    const PAIRS: &[(&str, &str)] = &[
+        ("david", "dave"),
+        ("daniel", "dan"),
+        ("charles", "charlie"),
+        ("joseph", "joe"),
+        ("michael", "mike"),
+        ("robert", "rob"),
+        ("william", "will"),
+        ("richard", "rick"),
+        ("thomas", "tom"),
+        ("james", "jim"),
+        ("john", "jack"),
+        ("steven", "steve"),
+        ("edward", "ed"),
+        ("anthony", "tony"),
+        ("benjamin", "ben"),
+        ("samuel", "sam"),
+        ("alexander", "alex"),
+        ("nicholas", "nick"),
+        ("christopher", "chris"),
+        ("katherine", "kate"),
+        ("elizabeth", "liz"),
+        ("jennifer", "jen"),
+        ("margaret", "meg"),
+        ("patricia", "pat"),
+        ("susan", "sue"),
+        ("deborah", "deb"),
+        ("rebecca", "becky"),
+    ];
+    PAIRS.iter().find(|(f, _)| *f == first).map(|(_, n)| *n)
+}
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
+    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
+    "rivera", "campbell", "mitchell", "carter", "roberts", "gomez", "phillips", "evans",
+    "turner", "diaz", "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan", "cooper", "peterson",
+    "bailey", "reed", "kelly", "howard", "ramos", "kim", "cox", "ward", "richardson", "watson",
+];
+
+/// US cities with well-known short forms (full name, abbreviation).
+/// The abbreviation channel is what breaks `a.City = b.City` hash blockers
+/// in the paper's running example.
+pub const CITIES: &[(&str, &str)] = &[
+    ("new york", "ny"),
+    ("new york city", "nyc"),
+    ("los angeles", "la"),
+    ("san francisco", "sf"),
+    ("philadelphia", "philly"),
+    ("las vegas", "vegas"),
+    ("washington", "dc"),
+    ("atlanta", "atl"),
+    ("chicago", "chi"),
+    ("boston", "bos"),
+    ("houston", "hou"),
+    ("phoenix", "phx"),
+    ("san antonio", "sa"),
+    ("san diego", "sd"),
+    ("dallas", "dfw"),
+    ("san jose", "sj"),
+    ("austin", "atx"),
+    ("jacksonville", "jax"),
+    ("columbus", "cbus"),
+    ("charlotte", "clt"),
+    ("indianapolis", "indy"),
+    ("seattle", "sea"),
+    ("denver", "den"),
+    ("nashville", "nash"),
+    ("oklahoma city", "okc"),
+    ("portland", "pdx"),
+    ("memphis", "mem"),
+    ("louisville", "lou"),
+    ("baltimore", "bmore"),
+    ("milwaukee", "mke"),
+    ("albuquerque", "abq"),
+    ("tucson", "tus"),
+    ("fresno", "fres"),
+    ("sacramento", "sac"),
+    ("kansas city", "kc"),
+    ("miami", "mia"),
+    ("tampa", "tpa"),
+    ("new orleans", "nola"),
+    ("minneapolis", "mpls"),
+    ("cleveland", "cle"),
+    ("pittsburgh", "pit"),
+    ("cincinnati", "cincy"),
+    ("saint louis", "stl"),
+    ("salt lake city", "slc"),
+    ("detroit", "det"),
+    ("buffalo", "buf"),
+    ("richmond", "rva"),
+    ("orlando", "orl"),
+    ("raleigh", "rdu"),
+    ("omaha", "oma"),
+];
+
+/// US states (full name, postal code).
+pub const STATES: &[(&str, &str)] = &[
+    ("california", "ca"),
+    ("texas", "tx"),
+    ("florida", "fl"),
+    ("new york", "ny"),
+    ("pennsylvania", "pa"),
+    ("illinois", "il"),
+    ("ohio", "oh"),
+    ("georgia", "ga"),
+    ("north carolina", "nc"),
+    ("michigan", "mi"),
+    ("new jersey", "nj"),
+    ("virginia", "va"),
+    ("washington", "wa"),
+    ("arizona", "az"),
+    ("massachusetts", "ma"),
+    ("tennessee", "tn"),
+    ("indiana", "in"),
+    ("missouri", "mo"),
+    ("maryland", "md"),
+    ("wisconsin", "wi"),
+    ("colorado", "co"),
+    ("minnesota", "mn"),
+    ("south carolina", "sc"),
+    ("alabama", "al"),
+    ("louisiana", "la"),
+    ("kentucky", "ky"),
+    ("oregon", "or"),
+    ("oklahoma", "ok"),
+    ("connecticut", "ct"),
+    ("utah", "ut"),
+    ("iowa", "ia"),
+    ("nevada", "nv"),
+    ("arkansas", "ar"),
+    ("mississippi", "ms"),
+    ("kansas", "ks"),
+    ("new mexico", "nm"),
+    ("nebraska", "ne"),
+    ("idaho", "id"),
+    ("west virginia", "wv"),
+    ("hawaii", "hi"),
+    ("new hampshire", "nh"),
+    ("maine", "me"),
+    ("montana", "mt"),
+    ("rhode island", "ri"),
+    ("delaware", "de"),
+    ("south dakota", "sd"),
+    ("north dakota", "nd"),
+    ("alaska", "ak"),
+    ("vermont", "vt"),
+    ("wyoming", "wy"),
+];
+
+/// Software/electronics brands with common variants. The variant channel
+/// models "different words for the same brand" (Table 4, W-A row).
+pub const BRANDS: &[(&str, &str)] = &[
+    ("microsoft", "ms"),
+    ("hewlett packard", "hp"),
+    ("international business machines", "ibm"),
+    ("apple", "apple inc"),
+    ("adobe", "adobe systems"),
+    ("symantec", "symantec corp"),
+    ("intuit", "intuit inc"),
+    ("autodesk", "autodesk inc"),
+    ("corel", "corel corp"),
+    ("mcafee", "mc afee"),
+    ("sony", "sony electronics"),
+    ("samsung", "samsung electronics"),
+    ("panasonic", "panasonic corp"),
+    ("toshiba", "toshiba america"),
+    ("canon", "canon usa"),
+    ("nikon", "nikon inc"),
+    ("logitech", "logitech intl"),
+    ("belkin", "belkin intl"),
+    ("netgear", "net gear"),
+    ("linksys", "link sys"),
+    ("garmin", "garmin intl"),
+    ("sandisk", "san disk"),
+    ("kingston", "kingston tech"),
+    ("seagate", "seagate tech"),
+    ("philips", "philips electronics"),
+    ("sharp", "sharp electronics"),
+    ("vtech", "v tech"),
+    ("kodak", "eastman kodak"),
+    ("olympus", "olympus america"),
+    ("casio", "casio computer"),
+];
+
+/// Product line nouns for software titles.
+pub const SOFTWARE_NOUNS: &[&str] = &[
+    "office", "studio", "suite", "manager", "designer", "toolkit", "server", "professional",
+    "creator", "publisher", "accounting", "antivirus", "firewall", "backup", "recovery",
+    "encyclopedia", "dictionary", "tutor", "trainer", "simulator", "editor", "converter",
+    "organizer", "planner", "calendar", "mailer", "browser", "player", "burner", "scanner",
+];
+
+/// Qualifier words for product titles.
+pub const PRODUCT_QUALIFIERS: &[&str] = &[
+    "deluxe", "premium", "standard", "home", "enterprise", "ultimate", "basic", "plus", "pro",
+    "express", "portable", "wireless", "digital", "compact", "advanced", "classic", "platinum",
+    "gold", "limited", "academic", "upgrade", "edition", "bundle", "2005", "2006", "2007",
+    "2008", "v2", "v3", "xl", "mini",
+];
+
+/// Electronics nouns for the Walmart-Amazon profile.
+pub const ELECTRONICS_NOUNS: &[&str] = &[
+    "laptop", "notebook", "camera", "camcorder", "television", "monitor", "printer", "router",
+    "keyboard", "mouse", "headphones", "speakers", "tablet", "projector", "microphone",
+    "charger", "adapter", "battery", "cable", "dock", "drive", "memory", "card", "case",
+    "stand", "mount", "remote", "receiver", "subwoofer", "soundbar", "webcam", "scanner",
+];
+
+/// Academic title vocabulary for the ACM-DBLP / Papers profiles.
+pub const PAPER_TOPIC_WORDS: &[&str] = &[
+    "query", "database", "distributed", "parallel", "optimization", "indexing", "transaction",
+    "concurrency", "recovery", "stream", "graph", "mining", "learning", "classification",
+    "clustering", "integration", "warehouse", "schema", "semantic", "relational", "spatial",
+    "temporal", "probabilistic", "approximate", "adaptive", "scalable", "efficient", "dynamic",
+    "incremental", "secure", "private", "crowdsourced", "interactive", "declarative",
+    "similarity", "matching", "entity", "resolution", "deduplication", "blocking", "sampling",
+    "estimation", "caching", "partitioning", "replication", "consistency", "availability",
+    "storage", "memory", "cache", "compression", "encoding", "hashing", "sketching", "joins",
+    "aggregation", "ranking", "keyword", "search", "retrieval", "recommendation", "workflow",
+    "provenance", "versioning", "evolution", "benchmark", "evaluation", "processing",
+];
+
+/// Connective words for paper titles.
+pub const PAPER_GLUE_WORDS: &[&str] =
+    &["for", "with", "over", "in", "using", "towards", "beyond", "via", "under", "on"];
+
+/// Publication venues (ACM-style vs DBLP-style naming handled in noise).
+pub const VENUES: &[&str] = &[
+    "sigmod", "vldb", "icde", "edbt", "cidr", "pods", "kdd", "icdm", "sdm", "wsdm", "www",
+    "cikm", "sigir", "aaai", "ijcai", "icml", "nips", "socc", "sosp", "osdi",
+];
+
+/// Restaurant cuisine types.
+pub const CUISINES: &[&str] = &[
+    "american", "italian", "french", "chinese", "japanese", "mexican", "thai", "indian",
+    "mediterranean", "greek", "spanish", "korean", "vietnamese", "cajun", "seafood",
+    "steakhouse", "barbecue", "pizza", "deli", "diner", "bistro", "cafe", "bakery", "fusion",
+    "vegetarian",
+];
+
+/// Restaurant name building blocks.
+pub const RESTAURANT_WORDS: &[&str] = &[
+    "golden", "silver", "blue", "red", "royal", "grand", "little", "old", "new", "corner",
+    "garden", "house", "kitchen", "table", "grill", "tavern", "palace", "villa", "terrace",
+    "harbor", "lake", "river", "hill", "park", "plaza", "star", "crown", "olive", "lemon",
+    "pepper", "basil", "saffron", "ginger", "maple", "cedar", "willow",
+];
+
+/// Street suffixes for addresses.
+pub const STREET_SUFFIXES: &[&str] =
+    &["st", "ave", "blvd", "rd", "ln", "dr", "way", "pl", "ct", "sq"];
+
+/// Expanded forms of street suffixes ("st" → "street"), the address
+/// normalization problem of Table 4 (F-Z row).
+pub fn street_suffix_long(short: &str) -> &'static str {
+    match short {
+        "st" => "street",
+        "ave" => "avenue",
+        "blvd" => "boulevard",
+        "rd" => "road",
+        "ln" => "lane",
+        "dr" => "drive",
+        "way" => "way",
+        "pl" => "place",
+        "ct" => "court",
+        "sq" => "square",
+        _ => "street",
+    }
+}
+
+/// Music genres.
+pub const GENRES: &[&str] = &[
+    "rock", "pop", "jazz", "blues", "country", "folk", "electronic", "hiphop", "classical",
+    "reggae", "metal", "punk", "soul", "funk", "disco", "ambient", "indie", "latin",
+];
+
+/// Generic words used to compose song and album titles.
+pub const SONG_WORDS: &[&str] = &[
+    "love", "night", "day", "heart", "dream", "fire", "rain", "sun", "moon", "star", "road",
+    "home", "time", "life", "light", "dark", "blue", "golden", "broken", "lonely", "dancing",
+    "running", "falling", "rising", "burning", "sweet", "wild", "free", "lost", "found",
+    "forever", "tonight", "yesterday", "tomorrow", "summer", "winter", "river", "ocean",
+    "mountain", "city", "highway", "train", "letter", "song", "story", "shadow", "mirror",
+    "window", "door", "garden",
+];
+
+/// Consonant onsets for synthetic words.
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
+    "pr", "r", "s", "st", "t", "tr", "v", "w", "z", "sh", "ch", "th",
+];
+
+/// Vowel nuclei for synthetic words.
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou", "io", "oa"];
+
+/// Consonant codas for synthetic words.
+const CODAS: &[&str] = &["", "n", "r", "l", "s", "t", "m", "x", "nd", "rk", "ll", "ss"];
+
+/// A pronounceable synthetic word of 2–4 syllables, deterministic in the
+/// RNG stream. Used to extend name pools for the large profiles.
+pub fn synth_word(rng: &mut StdRng) -> String {
+    let syllables = rng.random_range(2..=4usize);
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(ONSETS.choose(rng).unwrap());
+        w.push_str(NUCLEI.choose(rng).unwrap());
+    }
+    w.push_str(CODAS.choose(rng).unwrap());
+    w
+}
+
+/// A pool of `n` distinct synthetic words.
+pub fn synth_pool(rng: &mut StdRng, n: usize) -> Vec<String> {
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let w = synth_word(rng);
+        if seen.insert(w.clone()) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nicknames_resolve() {
+        assert_eq!(nickname("david"), Some("dave"));
+        assert_eq!(nickname("zzz"), None);
+    }
+
+    #[test]
+    fn synth_words_are_nonempty_and_lowercase() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let w = synth_word(&mut rng);
+            assert!(!w.is_empty());
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn synth_pool_is_distinct_and_deterministic() {
+        let p1 = synth_pool(&mut StdRng::seed_from_u64(9), 500);
+        let p2 = synth_pool(&mut StdRng::seed_from_u64(9), 500);
+        assert_eq!(p1, p2);
+        let set: std::collections::HashSet<_> = p1.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn pools_are_nontrivial() {
+        assert!(FIRST_NAMES.len() >= 50);
+        assert!(LAST_NAMES.len() >= 60);
+        assert!(CITIES.len() >= 40);
+        assert!(STATES.len() == 50);
+        assert!(BRANDS.len() >= 25);
+        assert!(PAPER_TOPIC_WORDS.len() >= 50);
+    }
+
+    #[test]
+    fn street_suffix_expansion() {
+        assert_eq!(street_suffix_long("st"), "street");
+        assert_eq!(street_suffix_long("blvd"), "boulevard");
+        for s in STREET_SUFFIXES {
+            assert!(!street_suffix_long(s).is_empty());
+        }
+    }
+}

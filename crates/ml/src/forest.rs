@@ -1,0 +1,237 @@
+//! Random forests: bagged CART trees with feature subsampling.
+//!
+//! The verifier's signal is [`RandomForest::confidence`] — the fraction of
+//! trees voting "match" — exactly the paper's definition of positive
+//! prediction confidence (§5, "the fraction of decision trees in F that
+//! predict the item as a match").
+
+use crate::tree::{DecisionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum depth of each tree.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Features per split; `0` = `ceil(sqrt(n_features))`.
+    pub features_per_split: usize,
+    /// Seed for bagging and feature sampling (the forest is fully
+    /// deterministic given this seed and the training data).
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 10,
+            max_depth: 8,
+            min_samples_split: 2,
+            features_per_split: 0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A trained random forest for binary classification.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fits a forest on row-major features `x` and labels `y`.
+    ///
+    /// Each tree sees a bootstrap sample (with replacement) of the training
+    /// rows; splits consider a random feature subset of size
+    /// `features_per_split` (default `ceil(sqrt(n_features))`).
+    pub fn fit(x: &[Vec<f64>], y: &[bool], params: &ForestParams) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        assert!(!x.is_empty(), "cannot fit a forest on zero samples");
+        let n_features = x[0].len();
+        let per_split = if params.features_per_split == 0 {
+            (n_features as f64).sqrt().ceil() as usize
+        } else {
+            params.features_per_split
+        };
+        let tree_params = TreeParams {
+            max_depth: params.max_depth,
+            min_samples_split: params.min_samples_split,
+            features_per_split: per_split.max(1),
+        };
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let mut bx: Vec<Vec<f64>> = Vec::with_capacity(x.len());
+        let mut by: Vec<bool> = Vec::with_capacity(x.len());
+        for _ in 0..params.n_trees {
+            bx.clear();
+            by.clear();
+            for _ in 0..x.len() {
+                let i = rng.random_range(0..x.len());
+                bx.push(x[i].clone());
+                by.push(y[i]);
+            }
+            // Guard against single-class bootstrap samples degrading the
+            // vote: they still produce a valid (leaf-only) tree.
+            trees.push(DecisionTree::fit(&bx, &by, &tree_params, &mut rng));
+        }
+        RandomForest { trees }
+    }
+
+    /// Fraction of trees classifying `sample` as positive — the verifier's
+    /// "positive prediction confidence".
+    pub fn confidence(&self, sample: &[f64]) -> f64 {
+        let votes = self.trees.iter().filter(|t| t.predict(sample)).count();
+        votes as f64 / self.trees.len() as f64
+    }
+
+    /// Mean leaf probability across trees (a smoother score than
+    /// [`RandomForest::confidence`], useful for tie-breaking).
+    pub fn mean_proba(&self, sample: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict_proba(sample)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Hard classification by majority vote.
+    pub fn predict(&self, sample: &[f64]) -> bool {
+        self.confidence(sample) > 0.5
+    }
+
+    /// Uncertainty of a sample: distance of confidence from 0.5, negated
+    /// so that *higher = more controversial*. Active learning asks for the
+    /// samples with the highest uncertainty.
+    pub fn uncertainty(&self, sample: &[f64]) -> f64 {
+        0.5 - (self.confidence(sample) - 0.5).abs()
+    }
+
+    /// Split-frequency feature importance: the fraction of split nodes
+    /// across the forest that test each feature (sums to 1 when any
+    /// splits exist). A cheap, monotone proxy for impurity-decrease
+    /// importance, used to tell the user which attributes drive the
+    /// match/non-match decision.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let n_features = self.trees.first().map_or(0, |t| t.n_features());
+        let mut totals = vec![0usize; n_features];
+        for t in &self.trees {
+            for (f, c) in t.split_counts().into_iter().enumerate() {
+                totals[f] += c;
+            }
+        }
+        let sum: usize = totals.iter().sum();
+        if sum == 0 {
+            return vec![0.0; n_features];
+        }
+        totals.into_iter().map(|c| c as f64 / sum as f64).collect()
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True if the forest has no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable(n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 10) as f64, ((i * 7) % 13) as f64])
+            .collect();
+        let y: Vec<bool> = x.iter().map(|r| r[0] >= 5.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (x, y) = separable(200);
+        let f = RandomForest::fit(&x, &y, &ForestParams::default());
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, yi)| f.predict(xi) == **yi)
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.95, "accuracy {correct}/{}", x.len());
+    }
+
+    #[test]
+    fn confidence_in_unit_interval() {
+        let (x, y) = separable(50);
+        let f = RandomForest::fit(&x, &y, &ForestParams::default());
+        for s in &x {
+            let c = f.confidence(s);
+            assert!((0.0..=1.0).contains(&c));
+            let p = f.mean_proba(s);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn uncertainty_peaks_at_half() {
+        let (x, y) = separable(100);
+        let f = RandomForest::fit(&x, &y, &ForestParams::default());
+        for s in &x {
+            let u = f.uncertainty(s);
+            assert!((0.0..=0.5).contains(&u));
+            assert!((u - (0.5 - (f.confidence(s) - 0.5).abs())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = separable(80);
+        let p = ForestParams { seed: 42, ..ForestParams::default() };
+        let f1 = RandomForest::fit(&x, &y, &p);
+        let f2 = RandomForest::fit(&x, &y, &p);
+        for s in &x {
+            assert_eq!(f1.confidence(s), f2.confidence(s));
+        }
+    }
+
+    #[test]
+    fn single_class_training_is_stable() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![true, true, true];
+        let f = RandomForest::fit(&x, &y, &ForestParams::default());
+        assert_eq!(f.confidence(&[2.0]), 1.0);
+        assert!(f.predict(&[99.0]));
+    }
+
+    #[test]
+    fn feature_importance_finds_the_signal() {
+        // Only feature 0 carries label information.
+        let x: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![(i % 10) as f64, ((i * 13 + 5) % 7) as f64])
+            .collect();
+        let y: Vec<bool> = x.iter().map(|r| r[0] >= 5.0).collect();
+        let f = RandomForest::fit(&x, &y, &ForestParams::default());
+        let imp = f.feature_importance();
+        assert_eq!(imp.len(), 2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(imp[0] > imp[1], "importances {imp:?}");
+    }
+
+    #[test]
+    fn importance_of_stump_forest_is_zero() {
+        let x = vec![vec![1.0], vec![1.0]];
+        let y = vec![true, true];
+        let f = RandomForest::fit(&x, &y, &ForestParams::default());
+        assert_eq!(f.feature_importance(), vec![0.0]);
+    }
+
+    #[test]
+    fn forest_len() {
+        let (x, y) = separable(20);
+        let f = RandomForest::fit(&x, &y, &ForestParams { n_trees: 5, ..Default::default() });
+        assert_eq!(f.len(), 5);
+        assert!(!f.is_empty());
+    }
+}

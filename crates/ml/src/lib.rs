@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # mc-ml
+//!
+//! A small, dependency-light machine-learning substrate: CART decision
+//! trees and random forests with bootstrap aggregation and per-split
+//! feature subsampling.
+//!
+//! MatchCatcher's Match Verifier (§5 of the paper) trains a **random
+//! forest** on user-labeled tuple pairs and ranks the remaining candidates
+//! by *positive prediction confidence* — the fraction of trees voting
+//! "match". Active learning additionally asks for the most *controversial*
+//! candidates (confidence closest to 0.5). Both signals come from
+//! [`RandomForest::confidence`].
+//!
+//! Everything is deterministic given a seed: bagging and feature sampling
+//! draw from a caller-supplied [`rand::rngs::StdRng`] stream.
+
+pub mod forest;
+pub mod tree;
+
+pub use forest::{ForestParams, RandomForest};
+pub use tree::{DecisionTree, TreeParams};

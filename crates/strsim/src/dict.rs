@@ -1,0 +1,315 @@
+//! Token interning and the global token order.
+//!
+//! Prefix-filtering joins require a total order on tokens; ordering by
+//! **ascending document frequency** (rare tokens first) makes prefixes
+//! maximally selective \[36\]. The [`TokenDict`] interns tokens to dense ids
+//! while counting document frequencies; [`TokenDict::freeze`] then assigns
+//! each token a *rank* such that iterating a record's ranks in ascending
+//! order visits rare tokens first.
+//!
+//! [`TokenizedTable`] stores, for each tuple of a table, the per-attribute
+//! rank vectors — the representation both the SIM-blocker joins and the
+//! debugger's top-k joins operate on.
+
+use crate::tokenize::Tokenizer;
+use mc_table::hash::FxHashMap;
+use mc_table::{AttrId, Table, TupleId};
+
+/// Interns token strings to dense `u32` ids and counts document frequency.
+#[derive(Debug, Default)]
+pub struct TokenDict {
+    ids: FxHashMap<String, u32>,
+    /// Document frequency per token id (number of records containing it).
+    df: Vec<u32>,
+}
+
+impl TokenDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        TokenDict::default()
+    }
+
+    /// Interns `token`, returning its id. Does **not** bump the document
+    /// frequency; call [`TokenDict::observe_record`] per record instead.
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = self.df.len() as u32;
+        self.ids.insert(token.to_string(), id);
+        self.df.push(0);
+        id
+    }
+
+    /// Interns every token of a record and bumps document frequency once
+    /// per distinct token in the record. Returns the record's token ids in
+    /// order of appearance (with duplicates).
+    pub fn observe_record<'a>(&mut self, tokens: impl Iterator<Item = &'a str>) -> Vec<u32> {
+        let mut out: Vec<u32> = tokens.map(|t| self.intern(t)).collect();
+        // Bump df once per distinct token.
+        let mut seen = out.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        for id in seen {
+            self.df[id as usize] += 1;
+        }
+        out.shrink_to_fit();
+        out
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.df.len()
+    }
+
+    /// True if no tokens were interned.
+    pub fn is_empty(&self) -> bool {
+        self.df.is_empty()
+    }
+
+    /// Document frequency of a token id.
+    pub fn df(&self, id: u32) -> u32 {
+        self.df[id as usize]
+    }
+
+    /// Computes the global order: returns `rank_of[id]` such that ranks
+    /// ascend with `(df, id)`. After freezing, records should be remapped
+    /// through this table and sorted ascending.
+    pub fn freeze(&self) -> TokenOrder {
+        let mut by_df: Vec<u32> = (0..self.df.len() as u32).collect();
+        by_df.sort_unstable_by_key(|&id| (self.df[id as usize], id));
+        let mut rank_of = vec![0u32; self.df.len()];
+        for (rank, &id) in by_df.iter().enumerate() {
+            rank_of[id as usize] = rank as u32;
+        }
+        TokenOrder { rank_of }
+    }
+}
+
+/// The frozen global token order (ascending document frequency).
+#[derive(Debug, Clone)]
+pub struct TokenOrder {
+    rank_of: Vec<u32>,
+}
+
+impl TokenOrder {
+    /// Maps a token id to its global rank.
+    #[inline]
+    pub fn rank(&self, id: u32) -> u32 {
+        self.rank_of[id as usize]
+    }
+
+    /// Remaps a record's token ids to ranks and sorts ascending (rare
+    /// tokens first). Multiplicity is preserved.
+    pub fn sort_record(&self, ids: &[u32]) -> Vec<u32> {
+        let mut ranks: Vec<u32> = ids.iter().map(|&id| self.rank(id)).collect();
+        ranks.sort_unstable();
+        ranks
+    }
+
+    /// Number of distinct tokens in the order.
+    pub fn len(&self) -> usize {
+        self.rank_of.len()
+    }
+
+    /// True if the order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rank_of.is_empty()
+    }
+}
+
+/// Per-attribute tokenized form of a table: for each tuple and attribute,
+/// the sorted rank vector of that attribute's value.
+///
+/// Built once per `(table pair, tokenizer)`; every downstream join then
+/// works on integer slices. The concatenation of several attributes'
+/// sorted vectors can be merged in O(n) since each is already sorted.
+#[derive(Debug)]
+pub struct TokenizedTable {
+    /// `cols[attr][tuple]` = sorted rank vector.
+    cols: Vec<Vec<Vec<u32>>>,
+    rows: usize,
+}
+
+impl TokenizedTable {
+    /// Tokenizes a pair of tables over the given attributes with a shared
+    /// dictionary, returning `(tokenized_a, tokenized_b, order)`.
+    ///
+    /// A shared dictionary is essential: ranks must be comparable across
+    /// the two tables.
+    pub fn build_pair(
+        a: &Table,
+        b: &Table,
+        attrs: &[AttrId],
+        tokenizer: Tokenizer,
+    ) -> (TokenizedTable, TokenizedTable, TokenOrder) {
+        let mut dict = TokenDict::new();
+        // First pass: intern with df counting, storing raw ids.
+        let raw_a = raw_tokenize(a, attrs, tokenizer, &mut dict);
+        let raw_b = raw_tokenize(b, attrs, tokenizer, &mut dict);
+        let order = dict.freeze();
+        (
+            TokenizedTable::from_raw(raw_a, &order, a.len()),
+            TokenizedTable::from_raw(raw_b, &order, b.len()),
+            order,
+        )
+    }
+
+    fn from_raw(raw: Vec<Vec<Vec<u32>>>, order: &TokenOrder, rows: usize) -> TokenizedTable {
+        let cols = raw
+            .into_iter()
+            .map(|col| col.into_iter().map(|ids| order.sort_record(&ids)).collect())
+            .collect();
+        TokenizedTable { cols, rows }
+    }
+
+    /// The sorted rank vector for `(attr_index, tuple)`, where `attr_index`
+    /// is the position of the attribute in the `attrs` slice passed to
+    /// [`TokenizedTable::build_pair`].
+    #[inline]
+    pub fn ranks(&self, attr_index: usize, tuple: TupleId) -> &[u32] {
+        &self.cols[attr_index][tuple as usize]
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of tokenized attributes.
+    #[inline]
+    pub fn attr_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Merges the sorted rank vectors of several attributes of one tuple
+    /// into a single sorted multiset (the `str_γ(a)` concatenation of §3.1,
+    /// in token space). `attr_indexes` refer to positions in the original
+    /// `attrs` slice.
+    pub fn merged(&self, attr_indexes: &[usize], tuple: TupleId) -> Vec<u32> {
+        let total: usize = attr_indexes.iter().map(|&i| self.ranks(i, tuple).len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for &i in attr_indexes {
+            out.extend_from_slice(self.ranks(i, tuple));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Total token count (multiset cardinality) of a tuple over a set of
+    /// attributes — `L_γ(a)` in the paper.
+    pub fn merged_len(&self, attr_indexes: &[usize], tuple: TupleId) -> usize {
+        attr_indexes.iter().map(|&i| self.ranks(i, tuple).len()).sum()
+    }
+}
+
+fn raw_tokenize(
+    table: &Table,
+    attrs: &[AttrId],
+    tokenizer: Tokenizer,
+    dict: &mut TokenDict,
+) -> Vec<Vec<Vec<u32>>> {
+    let mut cols: Vec<Vec<Vec<u32>>> = attrs.iter().map(|_| Vec::with_capacity(table.len())).collect();
+    let mut scratch: Vec<String> = Vec::new();
+    for (_, tuple) in table.iter() {
+        for (ci, &attr) in attrs.iter().enumerate() {
+            scratch.clear();
+            if let Some(v) = tuple.value(attr) {
+                scratch = tokenizer.tokens(v);
+            }
+            let ids = dict.observe_record(scratch.iter().map(|s| s.as_str()));
+            cols[ci].push(ids);
+        }
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_table::{Schema, Tuple};
+    use std::sync::Arc;
+
+    fn demo_tables() -> (Table, Table) {
+        let schema = Arc::new(Schema::from_names(["name", "city"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::from_present(["dave smith", "atlanta"]));
+        a.push(Tuple::from_present(["joe welson", "new york"]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["david smith", "atlanta"]));
+        (a, b)
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let mut d = TokenDict::new();
+        let r = d.observe_record(["la", "la", "land"].into_iter());
+        assert_eq!(r.len(), 3);
+        assert_eq!(d.df(r[0]), 1, "duplicate within one record counts once");
+        d.observe_record(["la"].into_iter());
+        assert_eq!(d.df(r[0]), 2);
+    }
+
+    #[test]
+    fn rare_tokens_get_low_ranks() {
+        let mut d = TokenDict::new();
+        let common = d.intern("common");
+        let rare = d.intern("rare");
+        for _ in 0..5 {
+            d.observe_record(["common"].into_iter());
+        }
+        d.observe_record(["rare"].into_iter());
+        let order = d.freeze();
+        assert!(order.rank(rare) < order.rank(common));
+    }
+
+    #[test]
+    fn sort_record_preserves_multiplicity() {
+        let mut d = TokenDict::new();
+        let ids = d.observe_record(["b", "a", "b"].into_iter());
+        let order = d.freeze();
+        let sorted = order.sort_record(&ids);
+        assert_eq!(sorted.len(), 3);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn tokenized_pair_shares_ranks() {
+        let (a, b) = demo_tables();
+        let attrs = [AttrId(0), AttrId(1)];
+        let (ta, tb, order) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        assert_eq!(ta.rows(), 2);
+        assert_eq!(tb.rows(), 1);
+        assert_eq!(ta.attr_count(), 2);
+        assert!(!order.is_empty());
+        // "smith" must map to the same rank in both tables: overlap of
+        // a0.name and b0.name is exactly 1 (smith).
+        let o = crate::measures::multiset_overlap(ta.ranks(0, 0), tb.ranks(0, 0));
+        assert_eq!(o, 1);
+        // cities are identical
+        let oc = crate::measures::multiset_overlap(ta.ranks(1, 0), tb.ranks(1, 0));
+        assert_eq!(oc, 1);
+    }
+
+    #[test]
+    fn merged_is_sorted_concat() {
+        let (a, b) = demo_tables();
+        let attrs = [AttrId(0), AttrId(1)];
+        let (ta, _tb, _order) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        let m = ta.merged(&[0, 1], 1);
+        assert_eq!(m.len(), 4); // joe welson new york
+        assert!(m.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ta.merged_len(&[0, 1], 1), 4);
+    }
+
+    #[test]
+    fn missing_values_tokenize_to_empty() {
+        let schema = Arc::new(Schema::from_names(["x"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::new(vec![None]));
+        let b = Table::new("B", schema);
+        let (ta, _, _) = TokenizedTable::build_pair(&a, &b, &[AttrId(0)], Tokenizer::Word);
+        assert!(ta.ranks(0, 0).is_empty());
+    }
+}

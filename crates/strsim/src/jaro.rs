@@ -1,0 +1,124 @@
+//! Jaro and Jaro-Winkler similarity.
+//!
+//! Character-level measures tailored to short name-like strings — a
+//! staple of record-linkage toolkits (the paper's §2 cites string
+//! similarity surveys including them). Used by the feature extractor as
+//! an alternative to normalized edit distance for short attributes.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Characters match when equal and within `max(|a|,|b|)/2 − 1` positions;
+/// the score combines match fractions and transposition count.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    let mut match_flags_b = vec![false; b.len()];
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                match_flags_b[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare the matched sequences in order.
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(&match_flags_b)
+        .filter(|(_, &f)| f)
+        .map(|(&c, _)| c)
+        .collect();
+    let t = matches_a
+        .iter()
+        .zip(&matches_b)
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by a shared prefix of up to 4
+/// characters with scaling factor `p = 0.1`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(x: f64, y: f64) {
+        assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+    }
+
+    #[test]
+    fn textbook_values() {
+        close(jaro("martha", "marhta"), 0.944);
+        close(jaro("dixon", "dicksonx"), 0.767);
+        close(jaro("jellyfish", "smellyfish"), 0.896);
+        close(jaro_winkler("martha", "marhta"), 0.961);
+        close(jaro_winkler("dixon", "dicksonx"), 0.813);
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        assert_eq!(jaro("smith", "smith"), 1.0);
+        assert_eq!(jaro_winkler("smith", "smith"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_strings() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("", "a"), 0.0);
+    }
+
+    #[test]
+    fn symmetry_and_bounds() {
+        let pairs = [("welson", "wilson"), ("dave", "david"), ("a", "ab"), ("xy", "yx")];
+        for (a, b) in pairs {
+            let j1 = jaro(a, b);
+            let j2 = jaro(b, a);
+            assert!((j1 - j2).abs() < 1e-12, "jaro not symmetric for {a},{b}");
+            assert!((0.0..=1.0).contains(&j1));
+            let w = jaro_winkler(a, b);
+            assert!(w >= j1 - 1e-12, "winkler boost must not lower the score");
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn winkler_rewards_common_prefix() {
+        // Same Jaro profile, different prefixes.
+        let with_prefix = jaro_winkler("smith", "smyth");
+        let without = jaro_winkler("htims", "htyms");
+        assert!(with_prefix >= without);
+    }
+}

@@ -1,0 +1,226 @@
+//! Prefix-filtering threshold similarity joins.
+//!
+//! These joins power the **SIM blockers** of §2 (e.g.
+//! `jaccard(a.title, b.title) ≥ 0.4`): build a prefix inverted index over
+//! one table, probe with the other, verify survivors exactly. They are
+//! intentionally separate from the debugger's *top-k* join (`mc-core`),
+//! which has no threshold and extends prefixes incrementally.
+
+use crate::measures::{multiset_overlap, SetMeasure};
+use crate::prefix::{length_bounds, min_overlap, overlap_prefix_len, prefix_len};
+use mc_table::hash::{fx_set, FxHashMap};
+use mc_table::{PairSet, TupleId};
+
+/// An inverted index from token rank to the records whose *prefix*
+/// contains that token.
+struct PrefixIndex {
+    postings: FxHashMap<u32, Vec<TupleId>>,
+}
+
+impl PrefixIndex {
+    /// Indexes `records`, keeping `prefix_of(record_len)` tokens of each.
+    fn build(records: &[Vec<u32>], prefix_of: impl Fn(usize) -> usize) -> Self {
+        let mut postings: FxHashMap<u32, Vec<TupleId>> = FxHashMap::default();
+        for (id, rec) in records.iter().enumerate() {
+            let p = prefix_of(rec.len()).min(rec.len());
+            let mut last = None;
+            for &tok in &rec[..p] {
+                // A duplicated token in one prefix needs a single posting.
+                if last == Some(tok) {
+                    continue;
+                }
+                last = Some(tok);
+                postings.entry(tok).or_default().push(id as TupleId);
+            }
+        }
+        PrefixIndex { postings }
+    }
+
+    #[inline]
+    fn lookup(&self, tok: u32) -> &[TupleId] {
+        self.postings.get(&tok).map_or(&[], |v| v.as_slice())
+    }
+}
+
+/// Joins two tokenized record collections on `measure(x, y) ≥ threshold`.
+///
+/// Returns the set of `(a_index, b_index)` pairs meeting the threshold.
+/// Empty records never join (similarity to anything is 0).
+pub fn sim_join(
+    a: &[Vec<u32>],
+    b: &[Vec<u32>],
+    measure: SetMeasure,
+    threshold: f64,
+) -> PairSet {
+    let index = PrefixIndex::build(b, |len| prefix_len(measure, threshold, len));
+    let mut out = PairSet::new();
+    let mut seen = fx_set();
+    for (ai, ra) in a.iter().enumerate() {
+        if ra.is_empty() {
+            continue;
+        }
+        let (lo, hi) = length_bounds(measure, threshold, ra.len());
+        let pa = prefix_len(measure, threshold, ra.len()).min(ra.len());
+        seen.clear();
+        let mut last = None;
+        for &tok in &ra[..pa] {
+            if last == Some(tok) {
+                continue;
+            }
+            last = Some(tok);
+            for &bi in index.lookup(tok) {
+                if !seen.insert(bi) {
+                    continue;
+                }
+                let rb = &b[bi as usize];
+                if rb.len() < lo || rb.len() > hi {
+                    continue;
+                }
+                let need = min_overlap(measure, threshold, ra.len(), rb.len());
+                let o = multiset_overlap(ra, rb);
+                if o >= need && measure.from_overlap(o, ra.len(), rb.len()) >= threshold - 1e-12 {
+                    out.insert(ai as TupleId, bi);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Joins on **absolute overlap**: keeps pairs sharing at least
+/// `min_common` tokens (the OL blockers of Table 2, e.g.
+/// `title_overlap_word ≥ 3`).
+pub fn overlap_join(a: &[Vec<u32>], b: &[Vec<u32>], min_common: usize) -> PairSet {
+    let c = min_common.max(1);
+    let index = PrefixIndex::build(b, |len| overlap_prefix_len(c, len));
+    let mut out = PairSet::new();
+    let mut seen = fx_set();
+    for (ai, ra) in a.iter().enumerate() {
+        if ra.len() < c {
+            continue;
+        }
+        let pa = overlap_prefix_len(c, ra.len()).min(ra.len());
+        seen.clear();
+        let mut last = None;
+        for &tok in &ra[..pa] {
+            if last == Some(tok) {
+                continue;
+            }
+            last = Some(tok);
+            for &bi in index.lookup(tok) {
+                if !seen.insert(bi) {
+                    continue;
+                }
+                let rb = &b[bi as usize];
+                if rb.len() >= c && multiset_overlap(ra, rb) >= c {
+                    out.insert(ai as TupleId, bi);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Brute-force reference join used by tests and correctness experiments.
+pub fn nested_loop_join(
+    a: &[Vec<u32>],
+    b: &[Vec<u32>],
+    measure: SetMeasure,
+    threshold: f64,
+) -> PairSet {
+    let mut out = PairSet::new();
+    for (ai, ra) in a.iter().enumerate() {
+        for (bi, rb) in b.iter().enumerate() {
+            if !ra.is_empty() && !rb.is_empty() && measure.score(ra, rb) >= threshold - 1e-12 {
+                out.insert(ai as TupleId, bi as TupleId);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let a = vec![
+            vec![1, 2, 3, 4],
+            vec![5, 6, 7],
+            vec![1, 2],
+            vec![],
+            vec![8, 9, 10, 11, 12],
+        ];
+        let b = vec![
+            vec![1, 2, 3, 5],
+            vec![5, 6, 7],
+            vec![2, 3, 4, 4],
+            vec![9, 10, 11],
+            vec![1],
+        ];
+        (a, b)
+    }
+
+    #[test]
+    fn sim_join_matches_nested_loop() {
+        let (a, b) = sample_records();
+        for m in SetMeasure::ALL {
+            for t in [0.3, 0.5, 0.75, 0.95] {
+                let fast = sim_join(&a, &b, m, t).to_sorted_vec();
+                let slow = nested_loop_join(&a, &b, m, t).to_sorted_vec();
+                assert_eq!(fast, slow, "measure {m:?} threshold {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_join_matches_brute_force() {
+        let (a, b) = sample_records();
+        for c in 1..4 {
+            let fast = overlap_join(&a, &b, c).to_sorted_vec();
+            let mut slow = Vec::new();
+            for (ai, ra) in a.iter().enumerate() {
+                for (bi, rb) in b.iter().enumerate() {
+                    if multiset_overlap(ra, rb) >= c {
+                        slow.push((ai as TupleId, bi as TupleId));
+                    }
+                }
+            }
+            slow.sort_unstable();
+            assert_eq!(fast, slow, "min_common {c}");
+        }
+    }
+
+    #[test]
+    fn empty_records_never_join() {
+        let a = vec![vec![], vec![1u32]];
+        let b = vec![vec![], vec![1u32]];
+        let out = sim_join(&a, &b, SetMeasure::Jaccard, 0.1);
+        assert_eq!(out.to_sorted_vec(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn exact_threshold_pairs_are_kept() {
+        // jaccard = exactly 0.5
+        let a = vec![vec![1u32, 2, 3]];
+        let b = vec![vec![1u32, 2, 4]];
+        let out = sim_join(&a, &b, SetMeasure::Jaccard, 0.5);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_prefix_tokens_do_not_duplicate_pairs() {
+        let a = vec![vec![1u32, 1, 1, 2]];
+        let b = vec![vec![1u32, 1, 3]];
+        let out = sim_join(&a, &b, SetMeasure::Jaccard, 0.3);
+        assert_eq!(out.len(), 1); // jac = 2/(4+3-2) = 0.4
+    }
+
+    #[test]
+    fn high_threshold_filters_everything() {
+        let (a, b) = sample_records();
+        let out = sim_join(&a, &b, SetMeasure::Jaccard, 0.99);
+        // only identical records: a[1] = b[1] = [5,6,7]
+        assert_eq!(out.to_sorted_vec(), vec![(1, 1)]);
+    }
+}

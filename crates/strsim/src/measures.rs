@@ -1,0 +1,318 @@
+//! Similarity measures.
+//!
+//! Set-based measures operate on **sorted rank vectors** (multisets) from
+//! [`crate::dict`]; the overlap of two records is a linear merge. Each
+//! measure also exposes the *prefix upper bound* used by the top-k join
+//! (§4.1 of the paper): when a record `w` of length `|w|` has had its
+//! prefix extended to 1-indexed position `p`, any **new** pair discovered
+//! through later tokens shares at most `rem = |w| − p + 1` tokens with `w`,
+//! which caps the achievable score.
+
+/// Multiset intersection size of two sorted rank vectors.
+///
+/// Duplicates count up to their minimum multiplicity, e.g.
+/// `[1,1,2] ∩ [1,1,1] = 2`.
+#[inline]
+pub fn multiset_overlap(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                o += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    o
+}
+
+/// The set-based similarity measures supported by the debugger's joins
+/// (Theorem 4.2: Jaccard, cosine, overlap, Dice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetMeasure {
+    /// `|x ∩ y| / |x ∪ y|` — MatchCatcher's default.
+    Jaccard,
+    /// `|x ∩ y| / sqrt(|x|·|y|)`.
+    Cosine,
+    /// `2·|x ∩ y| / (|x| + |y|)`.
+    Dice,
+    /// Overlap coefficient `|x ∩ y| / min(|x|, |y|)`.
+    Overlap,
+}
+
+impl SetMeasure {
+    /// Score from a precomputed overlap `o` and multiset cardinalities.
+    /// Returns 0 when either side is empty.
+    #[inline]
+    pub fn from_overlap(self, o: usize, la: usize, lb: usize) -> f64 {
+        if la == 0 || lb == 0 {
+            return 0.0;
+        }
+        let o = o as f64;
+        match self {
+            SetMeasure::Jaccard => o / (la as f64 + lb as f64 - o),
+            SetMeasure::Cosine => o / ((la as f64) * (lb as f64)).sqrt(),
+            SetMeasure::Dice => 2.0 * o / (la as f64 + lb as f64),
+            SetMeasure::Overlap => o / la.min(lb) as f64,
+        }
+    }
+
+    /// Score of two sorted rank vectors.
+    pub fn score(self, a: &[u32], b: &[u32]) -> f64 {
+        self.from_overlap(multiset_overlap(a, b), a.len(), b.len())
+    }
+
+    /// Upper bound on the score of any **new** pair discovered when the
+    /// prefix of a record of length `la` is extended to 1-indexed position
+    /// `p` (§4.1). `min_other` is a lower bound on the other side's record
+    /// length (used only by `Overlap`, whose bound is otherwise vacuous);
+    /// pass 1 when unknown.
+    ///
+    /// Derivations (with `rem = la − p + 1`, the current token plus the
+    /// unseen suffix):
+    /// * Jaccard: `o ≤ rem`, `|x ∪ y| ≥ la` ⇒ `rem / la`;
+    /// * Cosine: `o ≤ min(rem, lb)`; maximizing over `lb` gives
+    ///   `sqrt(rem / la)`;
+    /// * Dice: maximized at `lb = rem` ⇒ `2·rem / (la + rem)`;
+    /// * Overlap: `o ≤ rem` and `min(la, lb) ≥ min(la, min_other)` ⇒
+    ///   `min(1, rem / min(la, min_other))`.
+    #[inline]
+    pub fn prefix_ubound(self, la: usize, p: usize, min_other: usize) -> f64 {
+        debug_assert!(p >= 1 && p <= la);
+        let rem = (la - p + 1) as f64;
+        let la_f = la as f64;
+        match self {
+            SetMeasure::Jaccard => rem / la_f,
+            SetMeasure::Cosine => (rem / la_f).sqrt(),
+            SetMeasure::Dice => 2.0 * rem / (la_f + rem),
+            SetMeasure::Overlap => (rem / la.min(min_other.max(1)) as f64).min(1.0),
+        }
+    }
+
+    /// A short label ("jac", "cos", "dice", "ovl") used in blocker names.
+    pub fn label(self) -> &'static str {
+        match self {
+            SetMeasure::Jaccard => "jac",
+            SetMeasure::Cosine => "cos",
+            SetMeasure::Dice => "dice",
+            SetMeasure::Overlap => "ovl",
+        }
+    }
+
+    /// All four measures (for sweeps/tests).
+    pub const ALL: [SetMeasure; 4] =
+        [SetMeasure::Jaccard, SetMeasure::Cosine, SetMeasure::Dice, SetMeasure::Overlap];
+}
+
+/// Levenshtein edit distance between two strings (character-level), using
+/// the classic two-row dynamic program. O(|a|·|b|) time, O(min) space.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// True iff `edit_distance(a, b) ≤ k`, computed with a banded dynamic
+/// program in O(k·min(|a|,|b|)) — the hot path of `ed(…) ≤ k` blockers.
+pub fn within_edit_distance(a: &str, b: &str, k: usize) -> bool {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    if a.len() - b.len() > k {
+        return false;
+    }
+    if b.is_empty() {
+        return a.len() <= k;
+    }
+    // Banded DP: cell (i, j) only matters when |i − j| ≤ k.
+    let inf = k + 1;
+    let mut prev = vec![inf; b.len() + 1];
+    let mut cur = vec![inf; b.len() + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(k.min(b.len()) + 1) {
+        *p = j;
+    }
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(k);
+        let hi = (i + k).min(b.len() - 1);
+        if lo > hi {
+            return false;
+        }
+        cur[lo] = if lo == 0 { i + 1 } else { inf };
+        let mut row_min = cur[lo];
+        for j in lo..=hi {
+            let cost = usize::from(*ca != b[j]);
+            let mut best = prev[j] + cost;
+            if prev[j + 1] < inf {
+                best = best.min(prev[j + 1] + 1);
+            }
+            if cur[j] < inf {
+                best = best.min(cur[j] + 1);
+            }
+            cur[j + 1] = best.min(inf);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > k {
+            return false;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        for c in cur.iter_mut() {
+            *c = inf;
+        }
+    }
+    prev[b.len()] <= k
+}
+
+/// Normalized edit similarity `1 − ed(a,b) / max(|a|,|b|)` ∈ [0, 1];
+/// returns 1 for two empty strings.
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let m = la.max(lb);
+    if m == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_multiset_semantics() {
+        assert_eq!(multiset_overlap(&[1, 1, 2], &[1, 1, 1]), 2);
+        assert_eq!(multiset_overlap(&[1, 2, 3], &[4, 5]), 0);
+        assert_eq!(multiset_overlap(&[], &[1]), 0);
+        assert_eq!(multiset_overlap(&[1, 2, 3], &[1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn jaccard_matches_paper_example() {
+        // Figure 6: w = [a b c e f], x = [a b c e f...]: s(x, w) = 0.8 for
+        // two 4-token strings sharing... reconstructed small case:
+        let a = [1, 2, 3, 4];
+        let b = [1, 2, 3, 5];
+        assert!((SetMeasure::Jaccard.score(&a, &b) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_values_agree_with_formulas() {
+        let a = [1, 2, 3, 4];
+        let b = [3, 4, 5];
+        let o = multiset_overlap(&a, &b) as f64; // 2
+        assert!((SetMeasure::Jaccard.score(&a, &b) - o / 5.0).abs() < 1e-12);
+        assert!((SetMeasure::Cosine.score(&a, &b) - o / 12f64.sqrt()).abs() < 1e-12);
+        assert!((SetMeasure::Dice.score(&a, &b) - 2.0 * o / 7.0).abs() < 1e-12);
+        assert!((SetMeasure::Overlap.score(&a, &b) - o / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sides_score_zero() {
+        for m in SetMeasure::ALL {
+            assert_eq!(m.score(&[], &[1, 2]), 0.0);
+            assert_eq!(m.score(&[1, 2], &[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn prefix_ubound_from_figure_6() {
+        // Extending the prefix of a 4-token string to position 2 caps new
+        // Jaccard pairs at 3/4 = 0.75 (paper §4.1 walkthrough).
+        assert!((SetMeasure::Jaccard.prefix_ubound(4, 2, 1) - 0.75).abs() < 1e-12);
+        // First position caps at 1.0.
+        assert_eq!(SetMeasure::Jaccard.prefix_ubound(4, 1, 1), 1.0);
+        // Last position caps at 1/|w|.
+        assert_eq!(SetMeasure::Jaccard.prefix_ubound(4, 4, 1), 0.25);
+    }
+
+    #[test]
+    fn prefix_ubound_is_admissible() {
+        // For every measure and every split point, no pair sharing only
+        // tokens at or after position p can beat the bound.
+        let a: Vec<u32> = (0..8).collect();
+        for m in SetMeasure::ALL {
+            for p in 1..=a.len() {
+                // Adversarial partner: exactly the suffix starting at p-1.
+                let b: Vec<u32> = a[p - 1..].to_vec();
+                let bound = m.prefix_ubound(a.len(), p, 1);
+                let score = m.score(&a, &b);
+                assert!(
+                    score <= bound + 1e-12,
+                    "{m:?} p={p}: score {score} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_decrease_with_position() {
+        for m in SetMeasure::ALL {
+            let mut prev = f64::INFINITY;
+            for p in 1..=10 {
+                let u = m.prefix_ubound(10, p, 2);
+                assert!(u <= prev + 1e-12);
+                prev = u;
+            }
+        }
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("welson", "wilson"), 1);
+        assert_eq!(edit_distance("altanta", "atlanta"), 2);
+    }
+
+    #[test]
+    fn banded_check_agrees_with_full_dp() {
+        let words = ["smith", "smyth", "schmidt", "welson", "wilson", "", "w"];
+        for a in words {
+            for b in words {
+                let d = edit_distance(a, b);
+                for k in 0..5 {
+                    assert_eq!(
+                        within_edit_distance(a, b, k),
+                        d <= k,
+                        "a={a:?} b={b:?} k={k} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edit_similarity_range() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("welson", "wilson");
+        assert!((s - (1.0 - 1.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SetMeasure::Jaccard.label(), "jac");
+        assert_eq!(SetMeasure::Cosine.label(), "cos");
+        assert_eq!(SetMeasure::Dice.label(), "dice");
+        assert_eq!(SetMeasure::Overlap.label(), "ovl");
+    }
+}

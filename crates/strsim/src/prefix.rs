@@ -1,0 +1,185 @@
+//! Prefix-filtering arithmetic for threshold joins.
+//!
+//! For a similarity threshold `t`, two records can only reach `t` if their
+//! *prefixes* (the first few tokens under the global rare-first order)
+//! intersect \[36\]. This module computes, per measure:
+//!
+//! * the minimum overlap two records of lengths `la`, `lb` need;
+//! * the admissible length range of a join partner;
+//! * the prefix length of a record.
+//!
+//! All formulas are for multiset semantics with cardinalities `la`, `lb`.
+
+use crate::measures::SetMeasure;
+
+/// Minimum overlap required for `measure(x, y) ≥ t` given `|x| = la` and
+/// `|y| = lb` (rounded up; at least 1 for any positive threshold).
+pub fn min_overlap(measure: SetMeasure, t: f64, la: usize, lb: usize) -> usize {
+    let (la_f, lb_f) = (la as f64, lb as f64);
+    let raw = match measure {
+        // o/(la+lb-o) ≥ t  ⇔  o ≥ t(la+lb)/(1+t)
+        SetMeasure::Jaccard => t * (la_f + lb_f) / (1.0 + t),
+        // o ≥ t·sqrt(la·lb)
+        SetMeasure::Cosine => t * (la_f * lb_f).sqrt(),
+        // 2o/(la+lb) ≥ t ⇔ o ≥ t(la+lb)/2
+        SetMeasure::Dice => t * (la_f + lb_f) / 2.0,
+        // o ≥ t·min(la,lb)
+        SetMeasure::Overlap => t * la.min(lb) as f64,
+    };
+    // ceil with tolerance for floating point error
+    let c = (raw - 1e-9).ceil();
+    (c.max(1.0)) as usize
+}
+
+/// Inclusive bounds `[lo, hi]` on the length of a partner `y` such that
+/// `measure(x, y) ≥ t` is possible for `|x| = la`. `hi == usize::MAX`
+/// encodes "unbounded" (overlap coefficient).
+pub fn length_bounds(measure: SetMeasure, t: f64, la: usize) -> (usize, usize) {
+    if t <= 0.0 {
+        return (0, usize::MAX);
+    }
+    let la_f = la as f64;
+    match measure {
+        // t·la ≤ lb ≤ la/t
+        SetMeasure::Jaccard => (
+            ((t * la_f) - 1e-9).ceil() as usize,
+            ((la_f / t) + 1e-9).floor() as usize,
+        ),
+        // t²·la ≤ lb ≤ la/t²
+        SetMeasure::Cosine => (
+            ((t * t * la_f) - 1e-9).ceil() as usize,
+            ((la_f / (t * t)) + 1e-9).floor() as usize,
+        ),
+        // Dice: o ≤ min(la,lb); 2·min/(la+lb) ≥ t requires
+        // lb ≥ la·t/(2−t) and lb ≤ la·(2−t)/t.
+        SetMeasure::Dice => (
+            ((la_f * t / (2.0 - t)) - 1e-9).ceil() as usize,
+            ((la_f * (2.0 - t) / t) + 1e-9).floor() as usize,
+        ),
+        // Overlap coefficient: any partner of length ≥ 1 can reach 1.0.
+        SetMeasure::Overlap => (1, usize::MAX),
+    }
+}
+
+/// Prefix length of a record of length `la` for threshold `t`: probing or
+/// indexing only the first `prefix_len` tokens is lossless \[36\].
+///
+/// Derivation: a pair can be missed only if its overlap is entirely
+/// outside the prefix, i.e. overlap ≤ la − prefix_len; choosing
+/// `prefix_len = la − o_min(la, lb_min) + 1` guarantees discovery, where
+/// `lb_min` is the smallest admissible partner length.
+pub fn prefix_len(measure: SetMeasure, t: f64, la: usize) -> usize {
+    if la == 0 {
+        return 0;
+    }
+    if t <= 0.0 {
+        return la;
+    }
+    let o_min = match measure {
+        // Using lb ≥ t·la: o ≥ t(la + t·la)/(1+t) = t·la.
+        SetMeasure::Jaccard => ((t * la as f64) - 1e-9).ceil() as usize,
+        // Using lb ≥ t²·la: o ≥ t·sqrt(la·t²·la) = t²·la.
+        SetMeasure::Cosine => ((t * t * la as f64) - 1e-9).ceil() as usize,
+        // Using lb ≥ la·t/(2−t): o ≥ t(la + la·t/(2−t))/2 = la·t/(2−t).
+        SetMeasure::Dice => ((la as f64 * t / (2.0 - t)) - 1e-9).ceil() as usize,
+        // Overlap coefficient: a partner of length 1 needs o ≥ ceil(t) = 1,
+        // so the prefix must be the whole record.
+        SetMeasure::Overlap => 1,
+    };
+    la - o_min.clamp(1, la) + 1
+}
+
+/// Prefix length for an **absolute overlap** threshold `c` (the OL blocker
+/// `overlap(x, y) ≥ c`): `la − c + 1`, clamped to `[0, la]`.
+pub fn overlap_prefix_len(c: usize, la: usize) -> usize {
+    if la == 0 {
+        return 0;
+    }
+    la.saturating_sub(c.max(1)) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::multiset_overlap;
+
+    #[test]
+    fn jaccard_min_overlap() {
+        // t = 0.5, la = lb = 4: o ≥ 0.5·8/1.5 = 2.67 → 3.
+        assert_eq!(min_overlap(SetMeasure::Jaccard, 0.5, 4, 4), 3);
+        // Exactly-threshold pairs must be admitted: jac([1,2,3],[1,2,4]) = 0.5
+        assert_eq!(min_overlap(SetMeasure::Jaccard, 0.5, 3, 3), 2);
+    }
+
+    #[test]
+    fn length_bounds_jaccard() {
+        let (lo, hi) = length_bounds(SetMeasure::Jaccard, 0.5, 10);
+        assert_eq!((lo, hi), (5, 20));
+    }
+
+    #[test]
+    fn prefix_len_jaccard() {
+        // t = 0.8, la = 10: o_min = 8 → prefix 3.
+        assert_eq!(prefix_len(SetMeasure::Jaccard, 0.8, 10), 3);
+        // t → 0 keeps the whole record.
+        assert_eq!(prefix_len(SetMeasure::Jaccard, 0.0, 10), 10);
+    }
+
+    #[test]
+    fn prefix_is_lossless_exhaustive() {
+        // Brute-force check: for random-ish small multisets, any pair with
+        // score ≥ t shares a token within both prefixes.
+        let records: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3, 4],
+            vec![1, 2, 3],
+            vec![2, 3, 4, 5, 6],
+            vec![1, 5, 6],
+            vec![7, 8],
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+        ];
+        for m in [SetMeasure::Jaccard, SetMeasure::Cosine, SetMeasure::Dice] {
+            for t in [0.3, 0.5, 0.7, 0.9] {
+                for x in &records {
+                    for y in &records {
+                        if m.score(x, y) >= t {
+                            let px = prefix_len(m, t, x.len());
+                            let py = prefix_len(m, t, y.len());
+                            let shared = multiset_overlap(&x[..px], &y[..py]);
+                            assert!(
+                                shared > 0,
+                                "{m:?} t={t} x={x:?} y={y:?} px={px} py={py}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_prefix() {
+        assert_eq!(overlap_prefix_len(3, 10), 8);
+        assert_eq!(overlap_prefix_len(1, 5), 5);
+        assert_eq!(overlap_prefix_len(10, 5), 1); // c > la: single-token prefix
+        assert_eq!(overlap_prefix_len(2, 0), 0);
+    }
+
+    #[test]
+    fn length_bounds_reject_impossible_partners() {
+        // A pair violating the length filter can never reach the threshold.
+        for m in [SetMeasure::Jaccard, SetMeasure::Cosine, SetMeasure::Dice] {
+            let t = 0.6;
+            let la = 10;
+            let (lo, hi) = length_bounds(m, t, la);
+            let x: Vec<u32> = (0..la as u32).collect();
+            if lo > 0 {
+                let y: Vec<u32> = (0..(lo - 1) as u32).collect();
+                assert!(m.score(&x, &y) < t, "{m:?} too-short partner beat threshold");
+            }
+            if hi < 100 {
+                let y: Vec<u32> = (0..(hi + 1) as u32).collect();
+                assert!(m.score(&x, &y) < t, "{m:?} too-long partner beat threshold");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Word and q-gram tokenizers.
+//!
+//! MatchCatcher tokenizes attribute values into **word-level tokens** for
+//! its top-k joins (§4.2), and SIM blockers additionally use **character
+//! q-grams** (e.g. `title_jac_3gram < 0.7` in Table 2). Both tokenizers
+//! lowercase their input; the word tokenizer splits on any
+//! non-alphanumeric character.
+
+/// How a string is decomposed into tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tokenizer {
+    /// Lowercased maximal alphanumeric runs ("Dave Smith-Jones" →
+    /// `["dave", "smith", "jones"]`).
+    Word,
+    /// Lowercased character q-grams with `q−1` boundary pad characters
+    /// (`#` prefix, `$` suffix), so "ab" with q = 3 yields
+    /// `["##a", "#ab", "ab$", "b$$"]`.
+    QGram(u8),
+}
+
+impl Tokenizer {
+    /// Tokenizes `s` according to this tokenizer.
+    pub fn tokens(&self, s: &str) -> Vec<String> {
+        match self {
+            Tokenizer::Word => word_tokens(s),
+            Tokenizer::QGram(q) => qgram_tokens(s, *q as usize),
+        }
+    }
+
+    /// A short label used in blocker descriptions ("word", "3gram").
+    pub fn label(&self) -> String {
+        match self {
+            Tokenizer::Word => "word".to_string(),
+            Tokenizer::QGram(q) => format!("{q}gram"),
+        }
+    }
+}
+
+/// Splits `s` into lowercased alphanumeric word tokens.
+///
+/// Punctuation and whitespace both delimit: `"B. Lee, Austin"` →
+/// `["b", "lee", "austin"]`. The output preserves multiplicity (a multiset)
+/// and the original order of appearance.
+pub fn word_tokens(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Lowercased, padded character q-grams of `s`.
+///
+/// The string is lowercased, runs of whitespace are collapsed to a single
+/// space, then padded with `q−1` `#` characters in front and `$` characters
+/// behind. Returns an empty vector for an effectively empty string or
+/// `q == 0`.
+pub fn qgram_tokens(s: &str, q: usize) -> Vec<String> {
+    if q == 0 {
+        return Vec::new();
+    }
+    let mut chars: Vec<char> = Vec::with_capacity(s.len() + 2 * (q - 1));
+    chars.extend(std::iter::repeat_n('#', q - 1));
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                chars.push(' ');
+                last_space = true;
+            }
+        } else {
+            for lc in c.to_lowercase() {
+                chars.push(lc);
+            }
+            last_space = false;
+        }
+    }
+    while chars.last() == Some(&' ') {
+        chars.pop();
+    }
+    if chars.len() == q - 1 {
+        return Vec::new(); // nothing but padding
+    }
+    chars.extend(std::iter::repeat_n('$', q - 1));
+    chars.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// The last word token of a string, if any — the `lastword(·)` helper used
+/// by the paper's running example (`lastword(a.Name) = lastword(b.Name)`).
+pub fn last_word(s: &str) -> Option<String> {
+    word_tokens(s).pop()
+}
+
+/// The first word token of a string, if any.
+pub fn first_word(s: &str) -> Option<String> {
+    word_tokens(s).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_split_on_punctuation_and_space() {
+        assert_eq!(word_tokens("Dave  Smith-Jones, Jr."), vec!["dave", "smith", "jones", "jr"]);
+    }
+
+    #[test]
+    fn words_preserve_multiplicity() {
+        assert_eq!(word_tokens("la la land"), vec!["la", "la", "land"]);
+    }
+
+    #[test]
+    fn words_of_empty_string() {
+        assert!(word_tokens("").is_empty());
+        assert!(word_tokens(" .,- ").is_empty());
+    }
+
+    #[test]
+    fn qgrams_padded() {
+        assert_eq!(qgram_tokens("ab", 3), vec!["##a", "#ab", "ab$", "b$$"]);
+    }
+
+    #[test]
+    fn qgrams_lowercase_and_collapse_whitespace() {
+        assert_eq!(qgram_tokens("A  B", 2), qgram_tokens("a b", 2));
+    }
+
+    #[test]
+    fn qgrams_empty_input() {
+        assert!(qgram_tokens("", 3).is_empty());
+        assert!(qgram_tokens("   ", 3).is_empty());
+        assert!(qgram_tokens("ab", 0).is_empty());
+    }
+
+    #[test]
+    fn qgram_count_formula() {
+        // |s| + q - 1 grams for a string with no internal whitespace.
+        assert_eq!(qgram_tokens("abcd", 3).len(), 4 + 3 - 1);
+    }
+
+    #[test]
+    fn last_and_first_word() {
+        assert_eq!(last_word("Joe Welson"), Some("welson".into()));
+        assert_eq!(first_word("Joe Welson"), Some("joe".into()));
+        assert_eq!(last_word("  "), None);
+    }
+
+    #[test]
+    fn tokenizer_dispatch_and_labels() {
+        assert_eq!(Tokenizer::Word.tokens("A b"), vec!["a", "b"]);
+        assert_eq!(Tokenizer::QGram(3).tokens("ab").len(), 4);
+        assert_eq!(Tokenizer::Word.label(), "word");
+        assert_eq!(Tokenizer::QGram(3).label(), "3gram");
+    }
+
+    #[test]
+    fn unicode_words_lowercase() {
+        assert_eq!(word_tokens("Ärzte ÖL"), vec!["ärzte", "öl"]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Minimal CSV import/export for tables.
+//!
+//! Supports RFC-4180-style quoting (fields containing commas, quotes, or
+//! newlines are wrapped in double quotes; embedded quotes are doubled).
+//! Empty fields read back as missing values. This is deliberately a small,
+//! dependency-free reader sufficient for dumping and reloading synthetic
+//! datasets; it is not a general-purpose CSV library.
+
+use crate::schema::Schema;
+use crate::table::{Table, Tuple};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Serializes a table to a CSV string with a header row.
+pub fn to_csv(table: &Table) -> String {
+    let schema = table.schema();
+    let mut out = String::new();
+    let header: Vec<&str> = schema.iter().map(|(_, a)| a.name.as_str()).collect();
+    write_row(&mut out, header.iter().map(|s| Some(*s)));
+    for (_, tuple) in table.iter() {
+        write_row(&mut out, tuple.iter());
+    }
+    out
+}
+
+fn write_row<'a>(out: &mut String, fields: impl Iterator<Item = Option<&'a str>>) {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match f {
+            None => {}
+            Some(v) => {
+                if v.contains(',') || v.contains('"') || v.contains('\n') || v.contains('\r') {
+                    out.push('"');
+                    for c in v.chars() {
+                        if c == '"' {
+                            out.push('"');
+                        }
+                        out.push(c);
+                    }
+                    out.push('"');
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+        }
+    }
+    out.push('\n');
+}
+
+/// Errors produced by [`from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input contained no header row.
+    MissingHeader,
+    /// A data row had a different number of fields than the header.
+    RowWidth {
+        /// 1-based row number (header is row 1).
+        row: usize,
+        /// Fields found in the row.
+        found: usize,
+        /// Fields expected from the header.
+        expected: usize,
+    },
+    /// A quoted field was not terminated before end of input.
+    UnterminatedQuote,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "CSV input has no header row"),
+            CsvError::RowWidth { row, found, expected } => {
+                write!(f, "CSV row {row} has {found} fields, expected {expected}")
+            }
+            CsvError::UnterminatedQuote => write!(f, "unterminated quoted CSV field"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses a CSV string (with header) into a [`Table`]. Empty fields become
+/// missing values.
+pub fn from_csv(name: &str, input: &str) -> Result<Table, CsvError> {
+    let rows = parse_rows(input)?;
+    let mut it = rows.into_iter();
+    let header = it.next().ok_or(CsvError::MissingHeader)?;
+    let width = header.len();
+    let names: Vec<String> = header.into_iter().map(|f| f.unwrap_or_default()).collect();
+    let schema = Arc::new(Schema::from_names(names));
+    let mut table = Table::new(name, schema);
+    for (i, row) in it.enumerate() {
+        if row.len() != width {
+            return Err(CsvError::RowWidth { row: i + 2, found: row.len(), expected: width });
+        }
+        table.push(Tuple::new(row));
+    }
+    Ok(table)
+}
+
+fn parse_rows(input: &str) -> Result<Vec<Vec<Option<String>>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut row: Vec<Option<String>> = Vec::new();
+    let mut field = String::new();
+    let mut field_quoted = false;
+    let mut chars = input.chars().peekable();
+
+    fn finish_field(
+        row: &mut Vec<Option<String>>,
+        field: &mut String,
+        quoted: &mut bool,
+    ) {
+        let value = std::mem::take(field);
+        if value.is_empty() && !*quoted {
+            row.push(None);
+        } else {
+            row.push(Some(value));
+        }
+        *quoted = false;
+    }
+
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if field.is_empty() && !field_quoted => {
+                // Quoted field: consume until closing quote.
+                field_quoted = true;
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                field.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(ch) => field.push(ch),
+                        None => return Err(CsvError::UnterminatedQuote),
+                    }
+                }
+            }
+            ',' => finish_field(&mut row, &mut field, &mut field_quoted),
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                finish_field(&mut row, &mut field, &mut field_quoted);
+                rows.push(std::mem::take(&mut row));
+            }
+            '\n' => {
+                finish_field(&mut row, &mut field, &mut field_quoted);
+                rows.push(std::mem::take(&mut row));
+            }
+            other => field.push(other),
+        }
+    }
+    if !field.is_empty() || field_quoted || !row.is_empty() {
+        finish_field(&mut row, &mut field, &mut field_quoted);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    #[test]
+    fn roundtrip_simple() {
+        let csv = "name,city\nDave Smith,Atlanta\nJoe,\n";
+        let t = from_csv("A", csv).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(0, AttrId(0)), Some("Dave Smith"));
+        assert_eq!(t.value(1, AttrId(1)), None);
+        assert_eq!(to_csv(&t), csv);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "name\n\"Smith, Dave \"\"DJ\"\"\"\n";
+        let t = from_csv("A", csv).unwrap();
+        assert_eq!(t.value(0, AttrId(0)), Some("Smith, Dave \"DJ\""));
+        // Re-serialization round-trips.
+        let again = from_csv("A", &to_csv(&t)).unwrap();
+        assert_eq!(again.value(0, AttrId(0)), t.value(0, AttrId(0)));
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let csv = "desc\n\"line1\nline2\"\n";
+        let t = from_csv("A", csv).unwrap();
+        assert_eq!(t.value(0, AttrId(0)), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = from_csv("A", "a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.value(0, AttrId(1)), Some("2"));
+    }
+
+    #[test]
+    fn width_mismatch_is_error() {
+        let err = from_csv("A", "a,b\n1\n").unwrap_err();
+        assert_eq!(err, CsvError::RowWidth { row: 2, found: 1, expected: 2 });
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert_eq!(from_csv("A", "a\n\"oops\n").unwrap_err(), CsvError::UnterminatedQuote);
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        assert_eq!(from_csv("A", "").unwrap_err(), CsvError::MissingHeader);
+    }
+
+    #[test]
+    fn quoted_empty_string_is_present_not_missing() {
+        let t = from_csv("A", "a\n\"\"\n").unwrap();
+        assert_eq!(t.value(0, AttrId(0)), Some(""));
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let t = from_csv("A", "a,b\n1,2").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.value(0, AttrId(0)), Some("1"));
+    }
+}

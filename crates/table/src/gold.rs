@@ -1,0 +1,125 @@
+//! Gold match sets and recall computation.
+//!
+//! "Gold" matches are the (normally unknown) set `M ⊆ A × B` of true
+//! matches. The paper's Table 3 experiments require datasets with known
+//! gold matches; our synthetic datasets know them by construction. Blocker
+//! recall is `|M ∩ C| / |M|` (Definition 2.1).
+
+use crate::pair::PairSet;
+use crate::table::TupleId;
+
+/// The set of true matches between two tables.
+#[derive(Debug, Clone, Default)]
+pub struct GoldMatches {
+    pairs: PairSet,
+}
+
+impl GoldMatches {
+    /// An empty gold set.
+    pub fn new() -> Self {
+        GoldMatches::default()
+    }
+
+    /// Builds a gold set from `(a, b)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (TupleId, TupleId)>) -> Self {
+        GoldMatches { pairs: pairs.into_iter().collect() }
+    }
+
+    /// Registers a true match.
+    pub fn insert(&mut self, a: TupleId, b: TupleId) -> bool {
+        self.pairs.insert(a, b)
+    }
+
+    /// True if `(a, b)` is a true match.
+    #[inline]
+    pub fn is_match(&self, a: TupleId, b: TupleId) -> bool {
+        self.pairs.contains(a, b)
+    }
+
+    /// Number of true matches `|M|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if there are no gold matches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over the gold pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, TupleId)> + '_ {
+        self.pairs.iter()
+    }
+
+    /// Number of gold matches surviving in a candidate set: `|M ∩ C|`.
+    pub fn surviving(&self, candidates: &PairSet) -> usize {
+        self.pairs.iter().filter(|&(a, b)| candidates.contains(a, b)).count()
+    }
+
+    /// Number of gold matches killed off by the blocker: `|M| − |M ∩ C|`
+    /// (column `MD` of Table 3).
+    pub fn killed(&self, candidates: &PairSet) -> usize {
+        self.len() - self.surviving(candidates)
+    }
+
+    /// Blocker recall `|M ∩ C| / |M|` (Definition 2.1). Returns 1.0 for an
+    /// empty gold set (a blocker cannot lose matches that do not exist).
+    pub fn recall(&self, candidates: &PairSet) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        self.surviving(candidates) as f64 / self.len() as f64
+    }
+
+    /// The gold matches *not* present in `candidates`, sorted; these are the
+    /// killed-off matches the debugger must surface.
+    pub fn killed_pairs(&self, candidates: &PairSet) -> Vec<(TupleId, TupleId)> {
+        let mut v: Vec<(TupleId, TupleId)> = self
+            .pairs
+            .iter()
+            .filter(|&(a, b)| !candidates.contains(a, b))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_of_perfect_blocker_is_one() {
+        let gold = GoldMatches::from_pairs([(0, 0), (1, 1)]);
+        let c: PairSet = [(0, 0), (1, 1), (2, 9)].into_iter().collect();
+        assert_eq!(gold.recall(&c), 1.0);
+        assert_eq!(gold.killed(&c), 0);
+    }
+
+    #[test]
+    fn recall_counts_surviving_fraction() {
+        let gold = GoldMatches::from_pairs([(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let c: PairSet = [(0, 0)].into_iter().collect();
+        assert_eq!(gold.recall(&c), 0.25);
+        assert_eq!(gold.killed(&c), 3);
+        assert_eq!(gold.killed_pairs(&c), vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn empty_gold_has_recall_one() {
+        let gold = GoldMatches::new();
+        assert_eq!(gold.recall(&PairSet::new()), 1.0);
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut gold = GoldMatches::new();
+        assert!(gold.insert(1, 2));
+        assert!(!gold.insert(1, 2));
+        assert_eq!(gold.len(), 1);
+        assert!(gold.is_match(1, 2));
+        assert!(!gold.is_match(2, 1));
+    }
+}

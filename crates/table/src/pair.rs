@@ -1,0 +1,175 @@
+//! Compact tuple-pair keys and pair sets.
+//!
+//! A candidate set `C` (the blocker's output) and the debugger's internal
+//! pair-state maps hold millions of `(a ∈ A, b ∈ B)` pairs. We pack a pair
+//! into a single `u64` key — `a` in the high 32 bits, `b` in the low 32 —
+//! so sets and maps stay flat and cache-friendly.
+
+use crate::hash::{fx_set_with_capacity, FxHashSet};
+use crate::table::TupleId;
+
+/// Packs `(a, b)` into a 64-bit key.
+#[inline]
+pub fn pair_key(a: TupleId, b: TupleId) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Unpacks a 64-bit key into `(a, b)`.
+#[inline]
+pub fn split_pair_key(key: u64) -> (TupleId, TupleId) {
+    ((key >> 32) as TupleId, key as TupleId)
+}
+
+/// A set of `(a, b)` tuple pairs, e.g. the output `C` of a blocker.
+///
+/// Internally an `FxHashSet<u64>` of packed keys.
+#[derive(Debug, Clone, Default)]
+pub struct PairSet {
+    keys: FxHashSet<u64>,
+}
+
+impl PairSet {
+    /// An empty pair set.
+    pub fn new() -> Self {
+        PairSet::default()
+    }
+
+    /// An empty pair set with capacity for `cap` pairs.
+    pub fn with_capacity(cap: usize) -> Self {
+        PairSet { keys: fx_set_with_capacity(cap) }
+    }
+
+    /// Inserts a pair; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, a: TupleId, b: TupleId) -> bool {
+        self.keys.insert(pair_key(a, b))
+    }
+
+    /// True if the pair is present.
+    #[inline]
+    pub fn contains(&self, a: TupleId, b: TupleId) -> bool {
+        self.keys.contains(&pair_key(a, b))
+    }
+
+    /// True if the packed key is present.
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.keys.contains(&key)
+    }
+
+    /// Removes a pair; returns `true` if it was present.
+    pub fn remove(&mut self, a: TupleId, b: TupleId) -> bool {
+        self.keys.remove(&pair_key(a, b))
+    }
+
+    /// Number of pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates over `(a, b)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, TupleId)> + '_ {
+        self.keys.iter().map(|&k| split_pair_key(k))
+    }
+
+    /// Union with another pair set (used to combine blocker outputs when a
+    /// rule blocker is a disjunction of sub-blockers).
+    pub fn union_with(&mut self, other: &PairSet) {
+        if other.len() > self.len() + self.len() / 2 {
+            self.keys.reserve(other.len() - self.len());
+        }
+        self.keys.extend(other.keys.iter().copied());
+    }
+
+    /// Intersection size with another pair set.
+    pub fn intersection_len(&self, other: &PairSet) -> usize {
+        let (small, big) =
+            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        small.keys.iter().filter(|k| big.keys.contains(k)).count()
+    }
+
+    /// Drains this set into a sorted `Vec` of `(a, b)` pairs (deterministic
+    /// iteration for reports and tests).
+    pub fn to_sorted_vec(&self) -> Vec<(TupleId, TupleId)> {
+        let mut v: Vec<u64> = self.keys.iter().copied().collect();
+        v.sort_unstable();
+        v.into_iter().map(split_pair_key).collect()
+    }
+}
+
+impl FromIterator<(TupleId, TupleId)> for PairSet {
+    fn from_iter<I: IntoIterator<Item = (TupleId, TupleId)>>(iter: I) -> Self {
+        let mut s = PairSet::new();
+        for (a, b) in iter {
+            s.insert(a, b);
+        }
+        s
+    }
+}
+
+impl Extend<(TupleId, TupleId)> for PairSet {
+    fn extend<I: IntoIterator<Item = (TupleId, TupleId)>>(&mut self, iter: I) {
+        for (a, b) in iter {
+            self.insert(a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip() {
+        for &(a, b) in &[(0, 0), (1, 2), (u32::MAX, 7), (7, u32::MAX)] {
+            assert_eq!(split_pair_key(pair_key(a, b)), (a, b));
+        }
+    }
+
+    #[test]
+    fn keys_are_order_sensitive() {
+        assert_ne!(pair_key(1, 2), pair_key(2, 1));
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = PairSet::new();
+        assert!(s.insert(3, 4));
+        assert!(!s.insert(3, 4));
+        assert!(s.contains(3, 4));
+        assert!(!s.contains(4, 3));
+        assert!(s.remove(3, 4));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a: PairSet = [(1, 1), (2, 2)].into_iter().collect();
+        let mut b: PairSet = [(2, 2), (3, 3)].into_iter().collect();
+        assert_eq!(a.intersection_len(&b), 1);
+        b.union_with(&a);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn sorted_vec_is_deterministic() {
+        let s: PairSet = [(5, 1), (1, 9), (1, 2)].into_iter().collect();
+        assert_eq!(s.to_sorted_vec(), vec![(1, 2), (1, 9), (5, 1)]);
+    }
+
+    #[test]
+    fn extend_adds_pairs() {
+        let mut s = PairSet::with_capacity(2);
+        s.extend([(1, 2), (3, 4)]);
+        assert_eq!(s.len(), 2);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs.len(), 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Schemas and attributes.
+//!
+//! MatchCatcher assumes tables `A` and `B` share a schema `S` (§3.1 of the
+//! paper). Attributes carry an optional declared type; undeclared types are
+//! inferred from data by [`crate::stats`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an attribute within a [`Schema`].
+///
+/// Attribute ids are dense and stable for the lifetime of a schema, so they
+/// can be used to index per-attribute vectors directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The attribute id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Coarse attribute type used by the config generator (§3.2).
+///
+/// The generator drops `Numeric` attributes outright and drops
+/// `Categorical`/`Boolean` attributes whose value sets differ between the
+/// two tables; `Text` attributes always survive the first cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Free-form string data (names, titles, descriptions).
+    Text,
+    /// Numeric data (prices, ages, years). Matching tuples often disagree
+    /// on numerics, so they are excluded from config generation.
+    Numeric,
+    /// Low-cardinality string data (genre, state, type).
+    Categorical,
+    /// Two-valued data (flags, yes/no).
+    Boolean,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Text => "text",
+            AttrType::Numeric => "numeric",
+            AttrType::Categorical => "categorical",
+            AttrType::Boolean => "boolean",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named attribute with an optional declared type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name (unique within a schema).
+    pub name: String,
+    /// Declared type, if known. `None` means "infer from the data".
+    pub declared: Option<AttrType>,
+}
+
+impl Attribute {
+    /// A new attribute with no declared type.
+    pub fn new(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), declared: None }
+    }
+
+    /// A new attribute with a declared type.
+    pub fn typed(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute { name: name.into(), declared: Some(ty) }
+    }
+}
+
+/// An ordered collection of attributes shared by a pair of tables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from attributes. Panics if names collide or if more
+    /// than `u16::MAX` attributes are supplied.
+    pub fn new(attrs: Vec<Attribute>) -> Self {
+        assert!(attrs.len() <= u16::MAX as usize, "too many attributes");
+        for (i, a) in attrs.iter().enumerate() {
+            for b in &attrs[..i] {
+                assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
+            }
+        }
+        Schema { attrs }
+    }
+
+    /// Convenience constructor from plain names (no declared types).
+    pub fn from_names<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        Schema::new(names.into_iter().map(|n| Attribute::new(n)).collect())
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the schema has no attributes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attribute with the given id.
+    #[inline]
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id.index()]
+    }
+
+    /// The name of the attribute with the given id.
+    #[inline]
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.attrs[id.index()].name
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn id_of(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u16))
+    }
+
+    /// Like [`Schema::id_of`] but panics with a helpful message.
+    pub fn expect_id(&self, name: &str) -> AttrId {
+        self.id_of(name)
+            .unwrap_or_else(|| panic!("schema has no attribute named {name:?}"))
+    }
+
+    /// Iterates over `(AttrId, &Attribute)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i as u16), a))
+    }
+
+    /// All attribute ids in declaration order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + use<> {
+        (0..self.attrs.len() as u16).map(AttrId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup_roundtrip() {
+        let s = Schema::from_names(["name", "city", "age"]);
+        assert_eq!(s.len(), 3);
+        let city = s.expect_id("city");
+        assert_eq!(city, AttrId(1));
+        assert_eq!(s.name(city), "city");
+        assert_eq!(s.id_of("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn schema_rejects_duplicates() {
+        let _ = Schema::from_names(["a", "a"]);
+    }
+
+    #[test]
+    fn typed_attribute_carries_declaration() {
+        let s = Schema::new(vec![
+            Attribute::typed("price", AttrType::Numeric),
+            Attribute::new("title"),
+        ]);
+        assert_eq!(s.attr(AttrId(0)).declared, Some(AttrType::Numeric));
+        assert_eq!(s.attr(AttrId(1)).declared, None);
+    }
+
+    #[test]
+    fn attr_ids_are_dense() {
+        let s = Schema::from_names(["x", "y"]);
+        let ids: Vec<_> = s.attr_ids().collect();
+        assert_eq!(ids, vec![AttrId(0), AttrId(1)]);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(AttrId(3).to_string(), "#3");
+        assert_eq!(AttrType::Text.to_string(), "text");
+        assert_eq!(AttrType::Numeric.to_string(), "numeric");
+        assert_eq!(AttrType::Categorical.to_string(), "categorical");
+        assert_eq!(AttrType::Boolean.to_string(), "boolean");
+    }
+}

@@ -1,0 +1,305 @@
+//! Per-attribute statistics.
+//!
+//! The config generator (paper §3.2) needs, per attribute and per table:
+//!
+//! * `n(f)` — fraction of tuples with a non-missing value;
+//! * `u(f)` — fraction of distinct values among non-missing values;
+//! * the average length in word tokens (`AL_f`, used by `FindLongAttr`);
+//! * an inferred [`AttrType`] (string / numeric / categorical / boolean)
+//!   from a small rule-based classifier;
+//! * the set of distinct values (to compare categorical domains between
+//!   tables A and B).
+
+use crate::hash::{fx_set, FxHashSet};
+use crate::schema::{AttrId, AttrType};
+use crate::table::Table;
+
+/// Fraction of parseable values above which an undeclared attribute is
+/// classified as numeric.
+const NUMERIC_FRACTION: f64 = 0.9;
+
+/// An attribute is categorical when it has at most this many distinct
+/// values, or when its unique ratio is below [`CATEGORICAL_UNIQUE_RATIO`].
+const CATEGORICAL_MAX_DISTINCT: usize = 32;
+
+/// See [`CATEGORICAL_MAX_DISTINCT`].
+const CATEGORICAL_UNIQUE_RATIO: f64 = 0.02;
+
+/// Statistics for one attribute of one table.
+#[derive(Debug, Clone)]
+pub struct AttrStats {
+    /// The attribute these statistics describe.
+    pub attr: AttrId,
+    /// Total number of tuples in the table.
+    pub rows: usize,
+    /// Number of tuples with a non-missing value.
+    pub non_missing: usize,
+    /// Number of distinct non-missing values.
+    pub distinct: usize,
+    /// Average number of whitespace-separated word tokens among non-missing
+    /// values (`AL_f` in the paper's Theorem 3.5 approximation).
+    pub avg_tokens: f64,
+    /// Inferred (or declared) attribute type.
+    pub attr_type: AttrType,
+    /// Distinct lowercased values, retained only for categorical/boolean
+    /// attributes (bounded cardinality); empty for text/numeric.
+    pub value_set: FxHashSet<String>,
+}
+
+impl AttrStats {
+    /// `n(f)`: the non-missing ratio (Definition 3.1). Zero for an empty table.
+    pub fn non_missing_ratio(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.non_missing as f64 / self.rows as f64
+        }
+    }
+
+    /// `u(f)`: distinct values over non-missing values (Definition 3.1).
+    pub fn unique_ratio(&self) -> f64 {
+        if self.non_missing == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / self.non_missing as f64
+        }
+    }
+
+    /// Per-table e-score component `e_T(f) = 2·n·u/(n+u)` — the harmonic
+    /// mean of the non-missing and unique ratios (Definition 3.1).
+    pub fn e_component(&self) -> f64 {
+        let n = self.non_missing_ratio();
+        let u = self.unique_ratio();
+        if n + u == 0.0 {
+            0.0
+        } else {
+            2.0 * n * u / (n + u)
+        }
+    }
+}
+
+/// Statistics for every attribute of a table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    attrs: Vec<AttrStats>,
+}
+
+impl TableStats {
+    /// Computes statistics over every attribute of `table`, performing a
+    /// single pass per attribute.
+    pub fn compute(table: &Table) -> Self {
+        let schema = table.schema();
+        let mut attrs = Vec::with_capacity(schema.len());
+        for (attr, decl) in schema.iter() {
+            let mut non_missing = 0usize;
+            let mut token_total = 0usize;
+            let mut values: FxHashSet<String> = fx_set();
+            let mut numeric_hits = 0usize;
+            let mut boolean_hits = 0usize;
+            for (_, tuple) in table.iter() {
+                let Some(v) = tuple.value(attr) else { continue };
+                let v = v.trim();
+                if v.is_empty() {
+                    continue;
+                }
+                non_missing += 1;
+                token_total += v.split_whitespace().count();
+                if parse_numeric(v) {
+                    numeric_hits += 1;
+                }
+                if parse_boolean(v) {
+                    boolean_hits += 1;
+                }
+                values.insert(v.to_ascii_lowercase());
+            }
+            let distinct = values.len();
+            let attr_type = decl.declared.unwrap_or_else(|| {
+                infer_type(non_missing, distinct, numeric_hits, boolean_hits)
+            });
+            let keep_values = matches!(attr_type, AttrType::Categorical | AttrType::Boolean);
+            attrs.push(AttrStats {
+                attr,
+                rows: table.len(),
+                non_missing,
+                distinct,
+                avg_tokens: if non_missing == 0 {
+                    0.0
+                } else {
+                    token_total as f64 / non_missing as f64
+                },
+                attr_type,
+                value_set: if keep_values { values } else { fx_set() },
+            });
+        }
+        TableStats { attrs }
+    }
+
+    /// Statistics for a single attribute.
+    #[inline]
+    pub fn attr(&self, id: AttrId) -> &AttrStats {
+        &self.attrs[id.index()]
+    }
+
+    /// Iterates over all per-attribute statistics.
+    pub fn iter(&self) -> impl Iterator<Item = &AttrStats> {
+        self.attrs.iter()
+    }
+
+    /// Jaccard similarity of the distinct-value sets of the same attribute
+    /// in two tables; used to drop categorical attributes whose domains
+    /// differ between A and B (§3.2, the "Gender: {Male,Female} vs {M,F,U}"
+    /// example).
+    pub fn value_set_jaccard(&self, other: &TableStats, attr: AttrId) -> f64 {
+        let a = &self.attr(attr).value_set;
+        let b = &other.attr(attr).value_set;
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        let inter = a.iter().filter(|v| b.contains(*v)).count();
+        let union = a.len() + b.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+fn parse_numeric(v: &str) -> bool {
+    let cleaned: String = v.chars().filter(|c| *c != '$' && *c != ',').collect();
+    cleaned.parse::<f64>().is_ok()
+}
+
+fn parse_boolean(v: &str) -> bool {
+    matches!(
+        v.to_ascii_lowercase().as_str(),
+        "true" | "false" | "t" | "f" | "yes" | "no" | "y" | "n" | "0" | "1"
+    )
+}
+
+/// The rule-based attribute-type classifier from §3.2: numeric if nearly
+/// all values parse as numbers, boolean if all values come from a boolean
+/// vocabulary, categorical if the distinct-value count is small, otherwise
+/// free-form text.
+fn infer_type(
+    non_missing: usize,
+    distinct: usize,
+    numeric_hits: usize,
+    boolean_hits: usize,
+) -> AttrType {
+    if non_missing == 0 {
+        return AttrType::Text;
+    }
+    let nm = non_missing as f64;
+    if boolean_hits == non_missing && distinct <= 4 {
+        return AttrType::Boolean;
+    }
+    if numeric_hits as f64 / nm >= NUMERIC_FRACTION {
+        return AttrType::Numeric;
+    }
+    if distinct <= CATEGORICAL_MAX_DISTINCT
+        || (distinct as f64 / nm) <= CATEGORICAL_UNIQUE_RATIO
+    {
+        return AttrType::Categorical;
+    }
+    AttrType::Text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::{Table, Tuple};
+    use std::sync::Arc;
+
+    fn table_of(name: &str, cols: &[&str], rows: &[&[Option<&str>]]) -> Table {
+        let schema = Arc::new(Schema::from_names(cols.iter().copied()));
+        let mut t = Table::new(name, schema);
+        for r in rows {
+            t.push(Tuple::new(r.iter().map(|v| v.map(|s| s.to_string())).collect()));
+        }
+        t
+    }
+
+    #[test]
+    fn ratios_match_definition_3_1() {
+        let t = table_of(
+            "A",
+            &["name"],
+            &[
+                &[Some("dave")],
+                &[Some("dave")],
+                &[Some("joe")],
+                &[None],
+            ],
+        );
+        let s = TableStats::compute(&t);
+        let a = s.attr(AttrId(0));
+        assert_eq!(a.non_missing, 3);
+        assert_eq!(a.distinct, 2);
+        assert!((a.non_missing_ratio() - 0.75).abs() < 1e-12);
+        assert!((a.unique_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        // harmonic mean of 0.75 and 2/3
+        let e = a.e_component();
+        let expect = 2.0 * 0.75 * (2.0 / 3.0) / (0.75 + 2.0 / 3.0);
+        assert!((e - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_detection() {
+        let t = table_of(
+            "A",
+            &["price"],
+            &[&[Some("10.5")], &[Some("$1,300")], &[Some("7")]],
+        );
+        let s = TableStats::compute(&t);
+        assert_eq!(s.attr(AttrId(0)).attr_type, AttrType::Numeric);
+    }
+
+    #[test]
+    fn boolean_detection() {
+        let t = table_of("A", &["flag"], &[&[Some("yes")], &[Some("no")], &[Some("yes")]]);
+        let s = TableStats::compute(&t);
+        assert_eq!(s.attr(AttrId(0)).attr_type, AttrType::Boolean);
+    }
+
+    #[test]
+    fn text_detection_for_high_cardinality() {
+        let rows: Vec<String> = (0..100).map(|i| format!("title number {i} here")).collect();
+        let row_refs: Vec<Vec<Option<&str>>> =
+            rows.iter().map(|r| vec![Some(r.as_str())]).collect();
+        let slices: Vec<&[Option<&str>]> = row_refs.iter().map(|r| r.as_slice()).collect();
+        let t = table_of("A", &["title"], &slices);
+        let s = TableStats::compute(&t);
+        assert_eq!(s.attr(AttrId(0)).attr_type, AttrType::Text);
+        assert!((s.attr(AttrId(0)).avg_tokens - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn declared_type_wins_over_inference() {
+        let schema = Arc::new(Schema::new(vec![crate::schema::Attribute::typed(
+            "zip",
+            AttrType::Categorical,
+        )]));
+        let mut t = Table::new("A", schema);
+        for i in 0..50 {
+            t.push(Tuple::from_present([format!("{:05}", i)]));
+        }
+        let s = TableStats::compute(&t);
+        assert_eq!(s.attr(AttrId(0)).attr_type, AttrType::Categorical);
+    }
+
+    #[test]
+    fn value_set_jaccard_detects_domain_mismatch() {
+        let a = table_of("A", &["gender"], &[&[Some("male")], &[Some("female")]]);
+        let b = table_of("B", &["gender"], &[&[Some("m")], &[Some("f")], &[Some("u")]]);
+        let sa = TableStats::compute(&a);
+        let sb = TableStats::compute(&b);
+        assert_eq!(sa.value_set_jaccard(&sb, AttrId(0)), 0.0);
+        let sa2 = TableStats::compute(&a);
+        assert_eq!(sa.value_set_jaccard(&sa2, AttrId(0)), 1.0);
+    }
+
+    #[test]
+    fn empty_and_whitespace_values_count_as_missing() {
+        let t = table_of("A", &["x"], &[&[Some("  ")], &[Some("")], &[Some("v")]]);
+        let s = TableStats::compute(&t);
+        assert_eq!(s.attr(AttrId(0)).non_missing, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Row-major string tables with missing values.
+
+use crate::schema::{AttrId, Schema};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Index of a tuple within a [`Table`].
+///
+/// Tables are bounded to `u32::MAX` rows, which keeps pair keys at 64 bits
+/// (see [`crate::pair`]); the paper's largest dataset (628K tuples) is far
+/// below this bound.
+pub type TupleId = u32;
+
+/// A single row: one optional string value per attribute.
+///
+/// `None` models a missing value (NULL). MatchCatcher's config generator
+/// penalizes attributes with many missing values (Definition 3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Vec<Option<String>>,
+}
+
+impl Tuple {
+    /// Creates a tuple from per-attribute values. Length must equal the
+    /// schema length of the table it is inserted into.
+    pub fn new(values: Vec<Option<String>>) -> Self {
+        Tuple { values }
+    }
+
+    /// Creates a tuple where every value is present.
+    pub fn from_present<S: Into<String>>(values: impl IntoIterator<Item = S>) -> Self {
+        Tuple { values: values.into_iter().map(|v| Some(v.into())).collect() }
+    }
+
+    /// The value of the given attribute, `None` if missing.
+    #[inline]
+    pub fn value(&self, attr: AttrId) -> Option<&str> {
+        self.values[attr.index()].as_deref()
+    }
+
+    /// Number of attribute slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the tuple has no attribute slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Replaces the value of an attribute, returning the old value.
+    pub fn set(&mut self, attr: AttrId, value: Option<String>) -> Option<String> {
+        std::mem::replace(&mut self.values[attr.index()], value)
+    }
+
+    /// Iterates over values in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = Option<&str>> {
+        self.values.iter().map(|v| v.as_deref())
+    }
+}
+
+/// An in-memory table: a shared schema plus rows.
+///
+/// The schema is reference-counted so that a pair of tables (and the many
+/// data structures the debugger derives from them) can share it cheaply.
+/// (Tables themselves are exchanged as CSV — see [`crate::csv`] — rather
+/// than serde, to avoid serializing the shared `Arc`.)
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Arc<Schema>,
+    rows: Vec<Tuple>,
+    /// Human-readable table name, used in reports ("A", "B", "walmart", ...).
+    pub name: String,
+}
+
+impl Table {
+    /// Creates an empty table over `schema`.
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>) -> Self {
+        Table { schema, rows: Vec::new(), name: name.into() }
+    }
+
+    /// Creates a table from pre-built rows, validating row widths.
+    pub fn from_rows(name: impl Into<String>, schema: Arc<Schema>, rows: Vec<Tuple>) -> Self {
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(
+                r.len(),
+                schema.len(),
+                "row {i} has {} values but schema has {} attributes",
+                r.len(),
+                schema.len()
+            );
+        }
+        assert!(rows.len() <= u32::MAX as usize, "table too large");
+        Table { schema, rows, name: name.into() }
+    }
+
+    /// The shared schema.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row, returning its [`TupleId`].
+    pub fn push(&mut self, tuple: Tuple) -> TupleId {
+        assert_eq!(tuple.len(), self.schema.len(), "row width mismatch");
+        assert!(self.rows.len() < u32::MAX as usize, "table full");
+        let id = self.rows.len() as TupleId;
+        self.rows.push(tuple);
+        id
+    }
+
+    /// The row with the given id.
+    #[inline]
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.rows[id as usize]
+    }
+
+    /// The value of `attr` in row `id`, `None` if missing.
+    #[inline]
+    pub fn value(&self, id: TupleId, attr: AttrId) -> Option<&str> {
+        self.rows[id as usize].value(attr)
+    }
+
+    /// Iterates over `(TupleId, &Tuple)`.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.rows.iter().enumerate().map(|(i, t)| (i as TupleId, t))
+    }
+
+    /// All tuple ids.
+    pub fn ids(&self) -> impl Iterator<Item = TupleId> + use<> {
+        0..self.rows.len() as TupleId
+    }
+
+    /// A copy of this table restricted to its first `n` rows (used by the
+    /// Figure 9 scaling experiments, which sweep table size percentages).
+    pub fn head(&self, n: usize) -> Table {
+        Table {
+            schema: Arc::clone(&self.schema),
+            rows: self.rows[..n.min(self.rows.len())].to_vec(),
+            name: self.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Arc<Schema> {
+        Arc::new(Schema::from_names(["name", "city"]))
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let s = demo_schema();
+        let mut t = Table::new("A", Arc::clone(&s));
+        let id = t.push(Tuple::from_present(["Dave Smith", "Altanta"]));
+        assert_eq!(id, 0);
+        assert_eq!(t.value(0, s.expect_id("name")), Some("Dave Smith"));
+        assert_eq!(t.value(0, s.expect_id("city")), Some("Altanta"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn missing_values_read_as_none() {
+        let s = demo_schema();
+        let mut t = Table::new("A", s.clone());
+        t.push(Tuple::new(vec![Some("Joe".into()), None]));
+        assert_eq!(t.value(0, s.expect_id("city")), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_width() {
+        let s = demo_schema();
+        let mut t = Table::new("A", s);
+        t.push(Tuple::from_present(["only one"]));
+    }
+
+    #[test]
+    fn head_truncates() {
+        let s = demo_schema();
+        let mut t = Table::new("A", s);
+        for i in 0..10 {
+            t.push(Tuple::from_present([format!("p{i}"), "x".to_string()]));
+        }
+        assert_eq!(t.head(3).len(), 3);
+        assert_eq!(t.head(100).len(), 10);
+    }
+
+    #[test]
+    fn tuple_set_replaces() {
+        let s = demo_schema();
+        let mut t = Tuple::from_present(["a", "b"]);
+        let old = t.set(s.expect_id("city"), None);
+        assert_eq!(old, Some("b".to_string()));
+        assert_eq!(t.value(s.expect_id("city")), None);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let s = demo_schema();
+        let mut t = Table::new("A", s);
+        t.push(Tuple::from_present(["x", "y"]));
+        t.push(Tuple::from_present(["z", "w"]));
+        let ids: Vec<_> = t.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

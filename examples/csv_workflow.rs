@@ -1,0 +1,88 @@
+//! Debugging a blocker over CSV data — the workflow a Magellan user
+//! follows: load two CSV tables, run a blocker, debug its recall with an
+//! interactive oracle.
+//!
+//! This example embeds small CSV strings; replace `from_csv` inputs with
+//! `std::fs::read_to_string(path)` for real files.
+//!
+//! Run with: `cargo run --release --example csv_workflow`
+
+use matchcatcher::debugger::{DebuggerParams, MatchCatcher};
+use matchcatcher::oracle::Oracle;
+use mc_blocking::{Blocker, KeyFunc};
+use mc_table::csv::from_csv;
+use mc_table::TupleId;
+
+/// An "interactive" oracle for the demo: prints each question and answers
+/// from a canned truth set (a real UI would prompt the user).
+struct ScriptedUser {
+    truth: Vec<(TupleId, TupleId)>,
+    asked: usize,
+}
+
+impl Oracle for ScriptedUser {
+    fn is_match(&mut self, a: TupleId, b: TupleId) -> bool {
+        self.asked += 1;
+        let answer = self.truth.contains(&(a, b));
+        println!("  user labels (a{a}, b{b}) -> {}", if answer { "MATCH" } else { "no" });
+        answer
+    }
+
+    fn labels_given(&self) -> usize {
+        self.asked
+    }
+}
+
+fn main() {
+    let csv_a = "\
+name,city,phone
+Dave Smith,Altanta,404-555-0101
+Daniel Smith,LA,213-555-0707
+Joe Welson,New York,212-555-0202
+Charles Williams,Chicago,312-555-0303
+Charlie William,Atlanta,404-555-0404
+";
+    let csv_b = "\
+name,city,phone
+David Smith,Atlanta,404-555-0101
+Joe Wilson,NY,212-555-0202
+Daniel W. Smith,LA,213-555-0707
+Charles Williams,Chicago,312-555-0303
+";
+    let a = from_csv("restaurants-a", csv_a).expect("valid CSV");
+    let b = from_csv("restaurants-b", csv_b).expect("valid CSV");
+    println!("loaded {} + {} tuples from CSV", a.len(), b.len());
+
+    let city = a.schema().expect_id("city");
+    let blocker = Blocker::Hash(KeyFunc::Attr(city));
+    let c = blocker.apply(&a, &b);
+    println!(
+        "blocker {} keeps {} of {} pairs\n",
+        blocker.describe(a.schema()),
+        c.len(),
+        a.len() * b.len()
+    );
+
+    let mut user = ScriptedUser { truth: vec![(0, 0), (1, 2), (2, 1), (3, 3)], asked: 0 };
+    let mc = MatchCatcher::new(DebuggerParams::small());
+    let report = mc.run(&a, &b, &c, &mut user);
+
+    println!("\nkilled-off matches confirmed by the user:");
+    let name = a.schema().expect_id("name");
+    for (x, y) in &report.confirmed_matches {
+        println!(
+            "  {:?} / {:?}",
+            a.value(*x, name).unwrap_or("-"),
+            b.value(*y, name).unwrap_or("-")
+        );
+    }
+    println!("\ndiagnosed problems:");
+    for (p, n) in &report.problems {
+        println!("  {n}x {p}");
+    }
+    println!(
+        "\n({} pairs labeled over {} iterations)",
+        report.labeled,
+        report.iteration_count()
+    );
+}

@@ -1,0 +1,62 @@
+//! Tour of the synthetic dataset profiles (the Table 1 stand-ins).
+//!
+//! Prints each profile's shape, a few sample matched pairs with their
+//! injected dirtiness, and the recall of a naive hash blocker — a quick
+//! way to see what the debugger is up against per dataset.
+//!
+//! Run with: `cargo run --release --example dataset_tour`
+
+use mc_bench::blockers::table2_suite;
+use mc_blocking::BlockerReport;
+use mc_datagen::profiles::{errors_for, DatasetProfile};
+use mc_datagen::noise::Side;
+
+fn main() {
+    for profile in [
+        DatasetProfile::AmazonGoogle,
+        DatasetProfile::AcmDblp,
+        DatasetProfile::FodorsZagats,
+        DatasetProfile::Music1,
+    ] {
+        let scale = if profile == DatasetProfile::Music1 { 0.05 } else { 0.5 };
+        let ds = profile.generate_scaled(7, scale);
+        let (na, nb, m, attrs, la, lb) = ds.table1_row();
+        println!("== {} (scale {scale})", ds.name);
+        println!("   |A|={na} |B|={nb} matches={m} attrs={attrs} avg chars {la:.0}/{lb:.0}");
+
+        // Show one matched pair with its ground-truth perturbations.
+        if let Some((x, y)) = ds.gold.iter().next() {
+            let schema = ds.a.schema();
+            println!("   sample match (a{x}, b{y}):");
+            for attr in schema.attr_ids().take(4) {
+                println!(
+                    "     {:<12} A={:?} B={:?}",
+                    schema.name(attr),
+                    ds.a.value(x, attr).unwrap_or("∅"),
+                    ds.b.value(y, attr).unwrap_or("∅"),
+                );
+            }
+            let injected: Vec<String> = errors_for(&ds.errors, Side::B, y)
+                .into_iter()
+                .map(|(attr, kind)| format!("{} on {}", kind.label(), schema.name(attr)))
+                .collect();
+            if !injected.is_empty() {
+                println!("     injected B-side errors: {}", injected.join(", "));
+            }
+        }
+
+        // How do the Table 2 blockers fare on this data?
+        for nb in table2_suite(profile, ds.a.schema()).iter().take(2) {
+            let c = nb.blocker.apply(&ds.a, &ds.b);
+            let r = BlockerReport::from_candidates(
+                format!("({}) {}", nb.label, nb.blocker.describe(ds.a.schema())),
+                &c,
+                &ds.a,
+                &ds.b,
+                &ds.gold,
+            );
+            println!("   {r}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+cd /root/repo
+B=./target/release
+log() { echo "$1 $(date +%H:%M:%S)" >> results/queue_progress.txt; }
+[ -s results/table4.txt ] || { $B/table4 > results/table4.txt 2>&1; log T4_DONE; }
+[ -s results/sec62_hash.txt ] || { $B/sec62_hash > results/sec62_hash.txt 2>&1; log S62H_DONE; }
+[ -s results/sec62_learned.txt ] || { $B/sec62_learned > results/sec62_learned.txt 2>&1; log S62L_DONE; }
+[ -s results/ablation_long.txt ] || { $B/ablation_long --scale 0.4 > results/ablation_long.txt 2>&1; log AL_DONE; }
+[ -s results/sensitivity.txt ] || { $B/sensitivity --scale 0.4 > results/sensitivity.txt 2>&1; log SENS_DONE; }
+[ -s results/figure9.txt ] || { $B/figure9 --scale 0.01 > results/figure9.txt 2>&1; log F9_DONE; }
+[ -s results/ablation_joint.txt ] || { $B/ablation_joint --k 300 --scale 0.25 > results/ablation_joint.txt 2>&1; log AJ_DONE; }
+[ -s results/ablation_configs.txt ] || { $B/ablation_configs --scale 0.3 > results/ablation_configs.txt 2>&1; log AC_DONE; }
+[ -s results/ablation_learning.txt ] || { $B/ablation_learning --scale 0.3 > results/ablation_learning.txt 2>&1; log ALN_DONE; }
+[ -s results/sec64_runtime.txt ] || { $B/sec64_runtime --scale 0.3 > results/sec64_runtime.txt 2>&1; log S64_DONE; }
+$B/table3 --only music2 >> results/table3_music.txt 2>/dev/null; log T3M2_DONE
+log ALL_QUEUE2_DONE

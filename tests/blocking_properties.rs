@@ -1,0 +1,134 @@
+//! Property-based tests for the blocking framework against its pairwise
+//! semantics, using randomly generated small tables.
+
+use mc_blocking::{Blocker, KeyFunc};
+use mc_strsim::measures::SetMeasure;
+use mc_strsim::tokenize::Tokenizer;
+use mc_table::{AttrId, Schema, Table, Tuple};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random small tables over a fixed 2-attribute schema with a tiny
+/// vocabulary (to force collisions).
+fn table_strategy(name: &'static str) -> impl Strategy<Value = Table> {
+    let word = prop::sample::select(vec![
+        "smith", "smyth", "jones", "dave", "david", "joe", "atlanta", "altanta", "ny",
+        "chicago", "", "la",
+    ]);
+    let value = prop::collection::vec(word, 1..4)
+        .prop_map(|ws| {
+            let s = ws.join(" ").trim().to_string();
+            if s.is_empty() {
+                None
+            } else {
+                Some(s)
+            }
+        });
+    prop::collection::vec((value.clone(), value), 1..12).prop_map(move |rows| {
+        let schema = Arc::new(Schema::from_names(["name", "city"]));
+        let mut t = Table::new(name, schema);
+        for (n, c) in rows {
+            t.push(Tuple::new(vec![n, c]));
+        }
+        t
+    })
+}
+
+fn blocker_strategy() -> impl Strategy<Value = Blocker> {
+    prop_oneof![
+        Just(Blocker::Hash(KeyFunc::Attr(AttrId(0)))),
+        Just(Blocker::Hash(KeyFunc::LastWord(AttrId(0)))),
+        Just(Blocker::Hash(KeyFunc::Soundex(AttrId(0)))),
+        Just(Blocker::Overlap {
+            attr: AttrId(0),
+            tokenizer: Tokenizer::Word,
+            min_common: 1
+        }),
+        Just(Blocker::Sim {
+            attr: AttrId(0),
+            tokenizer: Tokenizer::Word,
+            measure: SetMeasure::Jaccard,
+            threshold: 0.5
+        }),
+        Just(Blocker::Sim {
+            attr: AttrId(1),
+            tokenizer: Tokenizer::QGram(3),
+            measure: SetMeasure::Dice,
+            threshold: 0.6
+        }),
+        Just(Blocker::EditSim { key: KeyFunc::LastWord(AttrId(0)), max_ed: 1 }),
+        Just(Blocker::EditSim { key: KeyFunc::Attr(AttrId(1)), max_ed: 2 }),
+        Just(Blocker::SuffixKey { key: KeyFunc::LastWord(AttrId(0)), suffix_len: 3 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn apply_agrees_with_pairwise_keeps(
+        a in table_strategy("A"),
+        b in table_strategy("B"),
+        blocker in blocker_strategy(),
+    ) {
+        let c = blocker.apply(&a, &b);
+        for ai in a.ids() {
+            for bi in b.ids() {
+                prop_assert_eq!(
+                    c.contains(ai, bi),
+                    blocker.keeps(&a, &b, ai, bi),
+                    "{} on ({}, {})",
+                    blocker.describe(a.schema()),
+                    ai,
+                    bi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_is_superset_of_parts(
+        a in table_strategy("A"),
+        b in table_strategy("B"),
+        b1 in blocker_strategy(),
+        b2 in blocker_strategy(),
+    ) {
+        let u = Blocker::Union(vec![b1.clone(), b2.clone()]).apply(&a, &b);
+        for part in [&b1, &b2] {
+            for (x, y) in part.apply(&a, &b).iter() {
+                prop_assert!(u.contains(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_is_subset_of_parts(
+        a in table_strategy("A"),
+        b in table_strategy("B"),
+        b1 in blocker_strategy(),
+        b2 in blocker_strategy(),
+    ) {
+        let i = Blocker::Intersect(vec![b1.clone(), b2.clone()]).apply(&a, &b);
+        let c1 = b1.apply(&a, &b);
+        let c2 = b2.apply(&a, &b);
+        for (x, y) in i.iter() {
+            prop_assert!(c1.contains(x, y) && c2.contains(x, y));
+        }
+    }
+
+    #[test]
+    fn sorted_neighborhood_contains_equal_keys(
+        a in table_strategy("A"),
+        b in table_strategy("B"),
+    ) {
+        // Window ≥ 1 must cover at least... equal keys adjacent in sort
+        // order; with a window as large as the row count, SN ⊇ hash.
+        let key = KeyFunc::LastWord(AttrId(0));
+        let window = a.len() + b.len();
+        let sn = Blocker::SortedNeighborhood { key: key.clone(), window }.apply(&a, &b);
+        let h = Blocker::Hash(key).apply(&a, &b);
+        for (x, y) in h.iter() {
+            prop_assert!(sn.contains(x, y), "hash pair ({x},{y}) missing from max-window SN");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration: datagen → blocking → debugger → explanations.
+
+use matchcatcher::debugger::{DebuggerParams, MatchCatcher};
+use matchcatcher::oracle::GoldOracle;
+use mc_bench::harness::table3_cell;
+use mc_blocking::{Blocker, KeyFunc};
+use mc_datagen::noise::{ErrorKind, Side};
+use mc_datagen::profiles::{errors_for, DatasetProfile};
+
+fn small_params() -> DebuggerParams {
+    let mut p = DebuggerParams::default();
+    p.joint.k = 300;
+    p.joint.threads = 2;
+    p
+}
+
+#[test]
+fn debugger_recovers_most_killed_matches_on_restaurants() {
+    let ds = DatasetProfile::FodorsZagats.generate(42);
+    let blocker = Blocker::Hash(KeyFunc::Attr(ds.a.schema().expect_id("city")));
+    let c = blocker.apply(&ds.a, &ds.b);
+    let killed = ds.gold.killed(&c);
+    assert!(killed > 5, "fixture should kill a handful of matches, got {killed}");
+
+    let mc = MatchCatcher::new(small_params());
+    let mut oracle = GoldOracle::exact(&ds.gold);
+    let report = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+
+    // Every confirmed match must be a real killed-off gold match.
+    for &(x, y) in &report.confirmed_matches {
+        assert!(ds.gold.is_match(x, y), "({x},{y}) is not gold");
+        assert!(!c.contains(x, y), "({x},{y}) was not killed");
+    }
+    // The debugger should recover a large fraction.
+    let frac = report.confirmed_matches.len() as f64 / killed as f64;
+    assert!(frac >= 0.7, "recovered only {:.0}% of killed matches", frac * 100.0);
+}
+
+#[test]
+fn table3_invariants_hold_across_blocker_types() {
+    let ds = DatasetProfile::AcmDblp.generate_scaled(7, 0.3);
+    let suite = mc_bench::blockers::table2_suite(DatasetProfile::AcmDblp, ds.a.schema());
+    for nb in suite {
+        let row = table3_cell(&ds, nb.label, &nb.blocker, small_params());
+        assert!(row.me <= row.md, "{}: ME > MD", nb.label);
+        assert!(row.f <= row.me, "{}: F > ME", nb.label);
+        assert!(row.e <= 300 * 15, "{}: E larger than k × configs", nb.label);
+        assert!(row.i >= 1);
+    }
+}
+
+#[test]
+fn explanations_reflect_injected_errors() {
+    let ds = DatasetProfile::FodorsZagats.generate(11);
+    let blocker = Blocker::Hash(KeyFunc::Attr(ds.a.schema().expect_id("city")));
+    let c = blocker.apply(&ds.a, &ds.b);
+    let mc = MatchCatcher::new(small_params());
+    let mut oracle = GoldOracle::exact(&ds.gold);
+    let report = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+    assert!(!report.confirmed_matches.is_empty());
+
+    // For matches killed because of an injected city abbreviation, the
+    // debugger's diagnosis of the city attribute must be a disagreement.
+    let city = ds.a.schema().expect_id("city");
+    let mut checked = 0;
+    for e in &report.explanations {
+        let (_, y) = e.pair;
+        let injected = errors_for(&ds.errors, Side::B, y);
+        if injected.contains(&(city, ErrorKind::Abbreviation)) {
+            let diag = e.per_attr[city.index()].1;
+            assert!(!diag.is_agreement(), "abbreviated city diagnosed as agreement");
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no abbreviation-killed matches surfaced");
+}
+
+#[test]
+fn perfect_blocker_terminates_quickly_with_nothing() {
+    let ds = DatasetProfile::FodorsZagats.generate(5);
+    // A "blocker" that keeps every gold pair: nothing is killed.
+    let mut c = mc_table::PairSet::new();
+    for (x, y) in ds.gold.iter() {
+        c.insert(x, y);
+    }
+    let mc = MatchCatcher::new(small_params());
+    let mut oracle = GoldOracle::exact(&ds.gold);
+    let report = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+    assert!(report.confirmed_matches.is_empty());
+    assert!(report.iteration_count() <= small_params().verifier.stop_after_empty + 1);
+}
+
+#[test]
+fn debugger_is_deterministic() {
+    let ds = DatasetProfile::FodorsZagats.generate(3);
+    let blocker = Blocker::Hash(KeyFunc::Attr(ds.a.schema().expect_id("city")));
+    let c = blocker.apply(&ds.a, &ds.b);
+    let mc = MatchCatcher::new(small_params());
+    let run = || {
+        let mut oracle = GoldOracle::exact(&ds.gold);
+        let mut m = mc.run(&ds.a, &ds.b, &c, &mut oracle).confirmed_matches;
+        m.sort_unstable();
+        m
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn union_blocker_monotonically_improves_recall() {
+    let ds = DatasetProfile::FodorsZagats.generate(9);
+    let schema = ds.a.schema();
+    let b1 = Blocker::Hash(KeyFunc::Attr(schema.expect_id("city")));
+    let b2 = Blocker::Union(vec![
+        b1.clone(),
+        Blocker::Hash(KeyFunc::Attr(schema.expect_id("name"))),
+    ]);
+    let r1 = ds.gold.recall(&b1.apply(&ds.a, &ds.b));
+    let r2 = ds.gold.recall(&b2.apply(&ds.a, &ds.b));
+    assert!(r2 >= r1);
+}

@@ -1,0 +1,102 @@
+//! Cross-crate verifier behaviour: strategies, oracle noise, Table 4
+//! style first-iteration accuracy.
+
+use matchcatcher::debugger::{DebuggerParams, MatchCatcher};
+use matchcatcher::oracle::{GoldOracle, Oracle};
+use matchcatcher::verify::RankStrategy;
+use mc_blocking::{Blocker, KeyFunc};
+use mc_datagen::profiles::DatasetProfile;
+
+fn params() -> DebuggerParams {
+    let mut p = DebuggerParams::default();
+    p.joint.k = 300;
+    p.joint.threads = 2;
+    p
+}
+
+fn fz_setup() -> (mc_datagen::EmDataset, mc_table::PairSet) {
+    let ds = DatasetProfile::FodorsZagats.generate(42);
+    let blocker = Blocker::Hash(KeyFunc::Attr(ds.a.schema().expect_id("city")));
+    let c = blocker.apply(&ds.a, &ds.b);
+    (ds, c)
+}
+
+#[test]
+fn learning_is_at_least_as_good_as_static_medrank() {
+    let (ds, c) = fz_setup();
+    let budget = 6usize;
+    let mut results = Vec::new();
+    for strategy in [RankStrategy::Learning, RankStrategy::MedRank] {
+        let mut p = params();
+        p.verifier.strategy = strategy;
+        p.verifier.max_iters = budget;
+        p.verifier.stop_after_empty = budget;
+        let mc = MatchCatcher::new(p);
+        let mut oracle = GoldOracle::exact(&ds.gold);
+        let r = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+        results.push(r.confirmed_matches.len());
+    }
+    // Allow a small wobble (different early batches), but learning must
+    // not be substantially worse.
+    assert!(
+        results[0] + 2 >= results[1],
+        "learning found {} vs medrank {}",
+        results[0],
+        results[1]
+    );
+}
+
+#[test]
+fn wmr_strategy_finds_matches_too() {
+    let (ds, c) = fz_setup();
+    let mut p = params();
+    p.verifier.strategy = RankStrategy::Wmr;
+    let mc = MatchCatcher::new(p);
+    let mut oracle = GoldOracle::exact(&ds.gold);
+    let r = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+    assert!(!r.confirmed_matches.is_empty());
+}
+
+#[test]
+fn noisy_oracle_still_surfaces_matches() {
+    let (ds, c) = fz_setup();
+    let mc = MatchCatcher::new(params());
+    let mut noisy = GoldOracle::noisy(&ds.gold, 0.1, 3);
+    let r = mc.run(&ds.a, &ds.b, &c, &mut noisy);
+    // With 10% label noise the debugger should still surface a good
+    // number of (claimed) matches; we only check it does not collapse.
+    assert!(
+        r.confirmed_matches.len() >= ds.gold.killed(&c) / 3,
+        "noisy run found only {}",
+        r.confirmed_matches.len()
+    );
+}
+
+#[test]
+fn first_iterations_are_match_dense() {
+    // Table 4's premise: the first few iterations already contain many
+    // matches when the blocker has problems.
+    let (ds, c) = fz_setup();
+    let killed = ds.gold.killed(&c);
+    let mut p = params();
+    p.verifier.max_iters = 3;
+    let mc = MatchCatcher::new(p);
+    let mut oracle = GoldOracle::exact(&ds.gold);
+    let r = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+    let found3 = r.matches_in_first(3);
+    assert!(
+        found3 * 2 >= killed.min(30),
+        "first 3 iterations found {found3} of {killed} killed matches"
+    );
+}
+
+#[test]
+fn oracle_label_budget_equals_shown_pairs() {
+    let (ds, c) = fz_setup();
+    let mc = MatchCatcher::new(params());
+    let mut oracle = GoldOracle::exact(&ds.gold);
+    let r = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+    assert_eq!(oracle.labels_given(), r.labeled);
+    let shown: usize = r.iterations.iter().map(|it| it.shown).sum();
+    assert_eq!(shown, r.labeled);
+}
