@@ -21,11 +21,18 @@ fn bench_executors(c: &mut Criterion) {
         ("soundex_name", Blocker::Hash(KeyFunc::Soundex(name))),
         (
             "sn_name_w5",
-            Blocker::SortedNeighborhood { key: KeyFunc::Attr(name), window: 5 },
+            Blocker::SortedNeighborhood {
+                key: KeyFunc::Attr(name),
+                window: 5,
+            },
         ),
         (
             "overlap_name_2",
-            Blocker::Overlap { attr: name, tokenizer: Tokenizer::Word, min_common: 2 },
+            Blocker::Overlap {
+                attr: name,
+                tokenizer: Tokenizer::Word,
+                min_common: 2,
+            },
         ),
         (
             "jac3gram_addr_0.3",
@@ -36,7 +43,13 @@ fn bench_executors(c: &mut Criterion) {
                 threshold: 0.3,
             },
         ),
-        ("ed2_name", Blocker::EditSim { key: KeyFunc::Attr(name), max_ed: 2 }),
+        (
+            "ed2_name",
+            Blocker::EditSim {
+                key: KeyFunc::Attr(name),
+                max_ed: 2,
+            },
+        ),
     ];
     let mut group = c.benchmark_group("blocking_fz");
     group.sample_size(10);

@@ -28,7 +28,11 @@ fn ssj_records() -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
 fn bench_qjoin_vs_topkjoin(c: &mut Criterion) {
     let (ra, rb) = ssj_records();
     let killed = PairSet::new();
-    let inst = SsjInstance { records_a: &ra, records_b: &rb, killed: &killed };
+    let inst = SsjInstance {
+        records_a: &ra,
+        records_b: &rb,
+        killed: &killed,
+    };
     let scorer = ExactScorer(SetMeasure::Jaccard);
     let mut group = c.benchmark_group("topk_ssj");
     group.sample_size(10);
@@ -37,7 +41,11 @@ fn bench_qjoin_vs_topkjoin(c: &mut Criterion) {
             b.iter(|| {
                 let list = topk_join(
                     inst,
-                    SsjParams { k: 200, q, measure: SetMeasure::Jaccard },
+                    SsjParams {
+                        k: 200,
+                        q,
+                        measure: SetMeasure::Jaccard,
+                    },
                     &scorer,
                     &[],
                     None,
@@ -71,7 +79,11 @@ fn bench_joint_vs_individual(c: &mut Criterion) {
                 &tb,
                 &killed,
                 &tree,
-                JointParams { k: 100, reuse_min_avg_tokens: 0.0, ..Default::default() },
+                JointParams {
+                    k: 100,
+                    reuse_min_avg_tokens: 0.0,
+                    ..Default::default()
+                },
             );
             black_box(out.lists.len())
         })

@@ -38,7 +38,11 @@ fn bench_rank_aggregation(c: &mut Criterion) {
 fn bench_forest_retrain(c: &mut Criterion) {
     // 200 labeled pairs with 20 features — a late verifier iteration.
     let x: Vec<Vec<f64>> = (0..200)
-        .map(|i| (0..20).map(|j| ((i * 31 + j * 17) % 100) as f64 / 100.0).collect())
+        .map(|i| {
+            (0..20)
+                .map(|j| ((i * 31 + j * 17) % 100) as f64 / 100.0)
+                .collect()
+        })
         .collect();
     let y: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
     let mut group = c.benchmark_group("verifier");

@@ -41,7 +41,11 @@ fn main() {
         "dataset", "Q", "ME single", "ME multi", "gain"
     );
     for (profile, default_scale) in sets {
-        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let scale = if args.scale > 0.0 {
+            args.scale.min(1.0)
+        } else {
+            default_scale
+        };
         let ds = profile.generate_scaled(args.seed, scale);
         let suite = table2_suite(profile, ds.a.schema());
         let nb = &suite[0];
@@ -51,7 +55,13 @@ fn main() {
         let prepared = mc.prepare(&ds.a, &ds.b);
 
         // Multi-config (the full tree).
-        let multi = run_joint(&prepared.tok_a, &prepared.tok_b, &c, &prepared.tree, args.params().joint);
+        let multi = run_joint(
+            &prepared.tok_a,
+            &prepared.tok_b,
+            &c,
+            &prepared.tree,
+            args.params().joint,
+        );
         let me_multi = gold_in(&CandidateUnion::build(&multi.lists), &ds);
 
         // Single config: just the root (all promising attributes).
@@ -62,8 +72,13 @@ fn main() {
                 expanded: false,
             }],
         };
-        let single =
-            run_joint(&prepared.tok_a, &prepared.tok_b, &c, &single_tree, args.params().joint);
+        let single = run_joint(
+            &prepared.tok_a,
+            &prepared.tok_b,
+            &c,
+            &single_tree,
+            args.params().joint,
+        );
         let me_single = gold_in(&CandidateUnion::build(&single.lists), &ds);
 
         let gain = if me_single == 0 {
@@ -76,4 +91,5 @@ fn main() {
             ds.name, nb.label, me_single, me_multi, gain
         );
     }
+    args.obs_report();
 }

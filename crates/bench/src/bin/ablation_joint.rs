@@ -29,7 +29,11 @@ fn main() {
         "dataset", "Q", "indiv (s)", "joint1t (s)", "joint (s)", "speedup", "reuse hits"
     );
     for (profile, default_scale) in sets {
-        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let scale = if args.scale > 0.0 {
+            args.scale.min(1.0)
+        } else {
+            default_scale
+        };
         let ds = profile.generate_scaled(args.seed, scale);
         let suite = table2_suite(profile, ds.a.schema());
         let nb = &suite[0];
@@ -37,7 +41,8 @@ fn main() {
         let mc = MatchCatcher::new(args.params());
         let prepared = mc.prepare(&ds.a, &ds.b);
 
-        let indiv = run_individual(
+        let t0 = std::time::Instant::now();
+        let _indiv = run_individual(
             &prepared.tok_a,
             &prepared.tok_b,
             &c,
@@ -45,29 +50,43 @@ fn main() {
             args.k,
             SetMeasure::Jaccard,
         );
-        let joint1 = run_joint(
+        let t_indiv = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let _joint1 = run_joint(
             &prepared.tok_a,
             &prepared.tok_b,
             &c,
             &prepared.tree,
-            JointParams { k: args.k, threads: 1, ..Default::default() },
+            JointParams {
+                k: args.k,
+                threads: 1,
+                ..Default::default()
+            },
         );
+        let t_joint1 = t1.elapsed();
+        let t2 = std::time::Instant::now();
         let joint = run_joint(
             &prepared.tok_a,
             &prepared.tok_b,
             &c,
             &prepared.tree,
-            JointParams { k: args.k, threads: args.threads, ..Default::default() },
+            JointParams {
+                k: args.k,
+                threads: args.threads,
+                ..Default::default()
+            },
         );
+        let t_joint = t2.elapsed();
         println!(
             "{:<16} {:<6} {:>12.2} {:>12.2} {:>12.2} {:>8.2}x {:>10}",
             ds.name,
             nb.label,
-            indiv.elapsed.as_secs_f64(),
-            joint1.elapsed.as_secs_f64(),
-            joint.elapsed.as_secs_f64(),
-            indiv.elapsed.as_secs_f64() / joint.elapsed.as_secs_f64().max(1e-9),
+            t_indiv.as_secs_f64(),
+            t_joint1.as_secs_f64(),
+            t_joint.as_secs_f64(),
+            t_indiv.as_secs_f64() / t_joint.as_secs_f64().max(1e-9),
             joint.reuse_hits
         );
     }
+    args.obs_report();
 }

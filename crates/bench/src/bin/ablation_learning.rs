@@ -27,7 +27,11 @@ fn main() {
         "dataset", "Q", "MD", "learning", "wmr", "medrank", BUDGET
     );
     for (profile, label, default_scale) in sets {
-        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let scale = if args.scale > 0.0 {
+            args.scale.min(1.0)
+        } else {
+            default_scale
+        };
         let ds = profile.generate_scaled(args.seed, scale);
         let suite = table2_suite(profile, ds.a.schema());
         let nb = suite.iter().find(|n| n.label == label).expect("label");
@@ -35,7 +39,11 @@ fn main() {
         let md = ds.gold.killed(&c);
 
         let mut found = Vec::new();
-        for strategy in [RankStrategy::Learning, RankStrategy::Wmr, RankStrategy::MedRank] {
+        for strategy in [
+            RankStrategy::Learning,
+            RankStrategy::Wmr,
+            RankStrategy::MedRank,
+        ] {
             let mut params = args.params();
             params.verifier.strategy = strategy;
             params.verifier.max_iters = BUDGET;
@@ -50,4 +58,5 @@ fn main() {
             ds.name, label, md, found[0], found[1], found[2]
         );
     }
+    args.obs_report();
 }

@@ -27,7 +27,10 @@ fn main() {
             let mut results = Vec::new();
             for handle_long in [false, true] {
                 let mut params = args.params();
-                params.config = ConfigGeneratorParams { handle_long_attrs: handle_long, ..params.config };
+                params.config = ConfigGeneratorParams {
+                    handle_long_attrs: handle_long,
+                    ..params.config
+                };
                 let mc = MatchCatcher::new(params);
                 let prepared = mc.prepare(&ds.a, &ds.b);
                 let joint = mc.topk(&prepared, &c);
@@ -43,8 +46,16 @@ fn main() {
                 results.push((handle_long, me));
             }
             let (off, on) = (results[0].1, results[1].1);
-            let recall_off = if md == 0 { 0.0 } else { 100.0 * off as f64 / md as f64 };
-            let recall_on = if md == 0 { 0.0 } else { 100.0 * on as f64 / md as f64 };
+            let recall_off = if md == 0 {
+                0.0
+            } else {
+                100.0 * off as f64 / md as f64
+            };
+            let recall_on = if md == 0 {
+                0.0
+            } else {
+                100.0 * on as f64 / md as f64
+            };
             println!(
                 "  {:<6} MD={:<5} recall(E) without FindLongAttr {:.1}%  with {:.1}%  (Δ {:+.1}pp)",
                 nb.label,
@@ -55,4 +66,5 @@ fn main() {
             );
         }
     }
+    args.obs_report();
 }

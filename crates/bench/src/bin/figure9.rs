@@ -24,9 +24,17 @@ fn shrink(ds: &EmDataset, pct: f64) -> EmDataset {
     let a = ds.a.head(na);
     let b = ds.b.head(nb);
     let gold = GoldMatches::from_pairs(
-        ds.gold.iter().filter(|&(x, y)| (x as usize) < na && (y as usize) < nb),
+        ds.gold
+            .iter()
+            .filter(|&(x, y)| (x as usize) < na && (y as usize) < nb),
     );
-    EmDataset { a, b, gold, errors: Vec::new(), name: ds.name.clone() }
+    EmDataset {
+        a,
+        b,
+        gold,
+        errors: Vec::new(),
+        name: ds.name.clone(),
+    }
 }
 
 fn main() {
@@ -37,10 +45,18 @@ fn main() {
     ];
     for (profile, labels) in sets {
         let ds = profile.generate_scaled(args.seed, args.scale);
-        println!("== {} (100% = |A|={} |B|={})", ds.name, ds.a.len(), ds.b.len());
+        println!(
+            "== {} (100% = |A|={} |B|={})",
+            ds.name,
+            ds.a.len(),
+            ds.b.len()
+        );
         for k in [100usize, 1000] {
             println!("-- k = {k}");
-            println!("{:<8} {:>6} {:>12} {:>10}", "blocker", "size%", "topk (s)", "|E|");
+            println!(
+                "{:<8} {:>6} {:>12} {:>10}",
+                "blocker", "size%", "topk (s)", "|E|"
+            );
             for label in &labels {
                 for pct in [0.1, 0.4, 0.7, 1.0] {
                     let small = shrink(&ds, pct);
@@ -64,4 +80,5 @@ fn main() {
             }
         }
     }
+    args.obs_report();
 }

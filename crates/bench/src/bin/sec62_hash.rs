@@ -29,7 +29,11 @@ fn main() {
         "dataset", "best-hash %", "found", "repaired %", "|C| growth"
     );
     for (profile, default_scale) in sets {
-        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let scale = if args.scale > 0.0 {
+            args.scale.min(1.0)
+        } else {
+            default_scale
+        };
         let ds = profile.generate_scaled(args.seed, scale);
         let schema = ds.a.schema();
         let best = best_hash_blocker(profile, schema);
@@ -58,4 +62,5 @@ fn main() {
             println!("                 (debugging terminated early: no killed-off matches)");
         }
     }
+    args.obs_report();
 }

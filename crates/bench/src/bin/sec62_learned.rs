@@ -18,7 +18,12 @@ use mc_datagen::profiles::DatasetProfile;
 fn main() {
     let args = CliArgs::parse(0.02);
     let ds = DatasetProfile::Papers.generate_scaled(args.seed, args.scale);
-    println!("papers at scale {}: |A|={} |B|={}", args.scale, ds.a.len(), ds.b.len());
+    println!(
+        "papers at scale {}: |A|={} |B|={}",
+        args.scale,
+        ds.a.len(),
+        ds.b.len()
+    );
     for (i, seed) in [11u64, 22, 33].iter().enumerate() {
         let sample = sample_pairs(&ds.a, &ds.b, &ds.gold, 50, 100, *seed);
         let learned = learn_blocker(&ds.a, &ds.b, &sample, ds.a.len() * 80);
@@ -37,9 +42,13 @@ fn main() {
             c.len(),
             report.confirmed_matches.len()
         );
-        println!("  (full recall, known only to the generator: {:.1}%)", ds.gold.recall(&c) * 100.0);
+        println!(
+            "  (full recall, known only to the generator: {:.1}%)",
+            ds.gold.recall(&c) * 100.0
+        );
         for (p, n) in report.problems.iter().take(4) {
             println!("    {n}x {p}");
         }
     }
+    args.obs_report();
 }

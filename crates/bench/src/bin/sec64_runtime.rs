@@ -31,7 +31,11 @@ fn main() {
         "dataset", "scale", "Q", "topk (s)", "agg (s)", "configs"
     );
     for (profile, default_scale) in sets {
-        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let scale = if args.scale > 0.0 {
+            args.scale.min(1.0)
+        } else {
+            default_scale
+        };
         let ds = profile.generate_scaled(args.seed, scale);
         for nb in table2_suite(profile, ds.a.schema()).iter().take(2) {
             let c = nb.blocker.apply(&ds.a, &ds.b);
@@ -55,4 +59,5 @@ fn main() {
             );
         }
     }
+    args.obs_report();
 }

@@ -46,11 +46,20 @@ fn main() {
                 ds.gold.is_match(x, y)
             })
             .count();
-        println!("{:>6} {:>8} {:>8} {:>10.2}", k, union.len(), me, elapsed.as_secs_f64());
+        println!(
+            "{:>6} {:>8} {:>8} {:>10.2}",
+            k,
+            union.len(),
+            me,
+            elapsed.as_secs_f64()
+        );
     }
 
     println!("\n-- sensitivity to active-learning iterations --");
-    println!("{:>9} {:>8} {:>8} {:>8}", "al_iters", "F", "iters", "labels");
+    println!(
+        "{:>9} {:>8} {:>8} {:>8}",
+        "al_iters", "F", "iters", "labels"
+    );
     for al in [0usize, 1, 2, 3, 4, 6] {
         let mut params = args.params();
         params.verifier.al_iters = al;
@@ -65,4 +74,5 @@ fn main() {
             report.labeled
         );
     }
+    args.obs_report();
 }

@@ -18,9 +18,7 @@ fn main() {
     );
     for p in DatasetProfile::ALL {
         let scale = match p {
-            DatasetProfile::Music2 | DatasetProfile::Papers | DatasetProfile::Music1 => {
-                args.scale
-            }
+            DatasetProfile::Music2 | DatasetProfile::Papers | DatasetProfile::Music1 => args.scale,
             _ => 1.0,
         };
         let ds = p.generate_scaled(args.seed, scale);
@@ -35,4 +33,5 @@ fn main() {
         let (a, b, m) = p.paper_sizes();
         println!("{:<16} {:>8} {:>8} {:>9}", p.name(), a, b, m);
     }
+    args.obs_report();
 }

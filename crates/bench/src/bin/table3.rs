@@ -20,7 +20,9 @@ fn main() {
     let args = CliArgs::parse(0.0);
     let only: Option<String> = {
         let argv: Vec<String> = std::env::args().collect();
-        argv.iter().position(|a| a == "--only").and_then(|i| argv.get(i + 1).cloned())
+        argv.iter()
+            .position(|a| a == "--only")
+            .and_then(|i| argv.get(i + 1).cloned())
     };
     println!("{}", Table3Row::header());
     let sets = [
@@ -37,7 +39,11 @@ fn main() {
                 continue;
             }
         }
-        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let scale = if args.scale > 0.0 {
+            args.scale.min(1.0)
+        } else {
+            default_scale
+        };
         let ds = profile.generate_scaled(args.seed, scale);
         // Print the blocker definitions once per dataset (Table 2).
         eprintln!("# {} (scale {scale}):", ds.name);
@@ -47,4 +53,5 @@ fn main() {
             println!("{row}");
         }
     }
+    args.obs_report();
 }

@@ -27,10 +27,17 @@ fn main() {
         (DatasetProfile::Music1, "R", 0.05),
     ];
     for (profile, label, default_scale) in picks {
-        let scale = if args.scale > 0.0 { args.scale.min(1.0) } else { default_scale };
+        let scale = if args.scale > 0.0 {
+            args.scale.min(1.0)
+        } else {
+            default_scale
+        };
         let ds = profile.generate_scaled(args.seed, scale);
         let suite = table2_suite(profile, ds.a.schema());
-        let nb = suite.iter().find(|n| n.label == label).expect("blocker in suite");
+        let nb = suite
+            .iter()
+            .find(|n| n.label == label)
+            .expect("blocker in suite");
         let c = nb.blocker.apply(&ds.a, &ds.b);
 
         let mut params = args.params();
@@ -51,4 +58,5 @@ fn main() {
         }
         println!();
     }
+    args.obs_report();
 }

@@ -19,11 +19,20 @@ pub struct NamedBlocker {
 }
 
 fn sim(schema: &Schema, attr: &str, tok: Tokenizer, m: SetMeasure, t: f64) -> Blocker {
-    Blocker::Sim { attr: schema.expect_id(attr), tokenizer: tok, measure: m, threshold: t }
+    Blocker::Sim {
+        attr: schema.expect_id(attr),
+        tokenizer: tok,
+        measure: m,
+        threshold: t,
+    }
 }
 
 fn overlap(schema: &Schema, attr: &str, c: usize) -> Blocker {
-    Blocker::Overlap { attr: schema.expect_id(attr), tokenizer: Tokenizer::Word, min_common: c }
+    Blocker::Overlap {
+        attr: schema.expect_id(attr),
+        tokenizer: Tokenizer::Word,
+        min_common: c,
+    }
 }
 
 fn hash(schema: &Schema, attr: &str) -> Blocker {
@@ -31,7 +40,10 @@ fn hash(schema: &Schema, attr: &str) -> Blocker {
 }
 
 fn band(schema: &Schema, attr: &str, w: f64) -> Blocker {
-    Blocker::NumBand { attr: schema.expect_id(attr), width: w }
+    Blocker::NumBand {
+        attr: schema.expect_id(attr),
+        width: w,
+    }
 }
 
 /// The Table 2 blocker suite for a dataset profile.
@@ -40,9 +52,18 @@ pub fn table2_suite(profile: DatasetProfile, schema: &Schema) -> Vec<NamedBlocke
     use Tokenizer::{QGram, Word};
     match profile {
         DatasetProfile::AmazonGoogle => vec![
-            NamedBlocker { label: "OL", blocker: overlap(schema, "title", 3) },
-            NamedBlocker { label: "HASH", blocker: hash(schema, "manufacturer") },
-            NamedBlocker { label: "SIM", blocker: sim(schema, "title", Word, Cosine, 0.4) },
+            NamedBlocker {
+                label: "OL",
+                blocker: overlap(schema, "title", 3),
+            },
+            NamedBlocker {
+                label: "HASH",
+                blocker: hash(schema, "manufacturer"),
+            },
+            NamedBlocker {
+                label: "SIM",
+                blocker: sim(schema, "title", Word, Cosine, 0.4),
+            },
             NamedBlocker {
                 label: "R",
                 blocker: Blocker::Union(vec![
@@ -52,9 +73,18 @@ pub fn table2_suite(profile: DatasetProfile, schema: &Schema) -> Vec<NamedBlocke
             },
         ],
         DatasetProfile::WalmartAmazon => vec![
-            NamedBlocker { label: "OL", blocker: overlap(schema, "title", 3) },
-            NamedBlocker { label: "HASH", blocker: hash(schema, "brand") },
-            NamedBlocker { label: "SIM", blocker: sim(schema, "title", Word, Cosine, 0.4) },
+            NamedBlocker {
+                label: "OL",
+                blocker: overlap(schema, "title", 3),
+            },
+            NamedBlocker {
+                label: "HASH",
+                blocker: hash(schema, "brand"),
+            },
+            NamedBlocker {
+                label: "SIM",
+                blocker: sim(schema, "title", Word, Cosine, 0.4),
+            },
             NamedBlocker {
                 label: "R",
                 blocker: Blocker::Intersect(vec![
@@ -64,8 +94,14 @@ pub fn table2_suite(profile: DatasetProfile, schema: &Schema) -> Vec<NamedBlocke
             },
         ],
         DatasetProfile::AcmDblp => vec![
-            NamedBlocker { label: "OL", blocker: overlap(schema, "authors", 2) },
-            NamedBlocker { label: "SIM", blocker: sim(schema, "title", QGram(3), Jaccard, 0.7) },
+            NamedBlocker {
+                label: "OL",
+                blocker: overlap(schema, "authors", 2),
+            },
+            NamedBlocker {
+                label: "SIM",
+                blocker: sim(schema, "title", QGram(3), Jaccard, 0.7),
+            },
             NamedBlocker {
                 label: "R1",
                 blocker: Blocker::Union(vec![
@@ -82,9 +118,18 @@ pub fn table2_suite(profile: DatasetProfile, schema: &Schema) -> Vec<NamedBlocke
             },
         ],
         DatasetProfile::FodorsZagats => vec![
-            NamedBlocker { label: "OL", blocker: overlap(schema, "name", 2) },
-            NamedBlocker { label: "HASH", blocker: hash(schema, "city") },
-            NamedBlocker { label: "SIM", blocker: sim(schema, "addr", QGram(3), Jaccard, 0.3) },
+            NamedBlocker {
+                label: "OL",
+                blocker: overlap(schema, "name", 2),
+            },
+            NamedBlocker {
+                label: "HASH",
+                blocker: hash(schema, "city"),
+            },
+            NamedBlocker {
+                label: "SIM",
+                blocker: sim(schema, "addr", QGram(3), Jaccard, 0.3),
+            },
             NamedBlocker {
                 label: "R",
                 blocker: Blocker::Intersect(vec![
@@ -97,9 +142,18 @@ pub fn table2_suite(profile: DatasetProfile, schema: &Schema) -> Vec<NamedBlocke
             },
         ],
         DatasetProfile::Music1 => vec![
-            NamedBlocker { label: "OL", blocker: overlap(schema, "artist", 2) },
-            NamedBlocker { label: "HASH", blocker: hash(schema, "artist") },
-            NamedBlocker { label: "SIM", blocker: sim(schema, "title", Word, Cosine, 0.5) },
+            NamedBlocker {
+                label: "OL",
+                blocker: overlap(schema, "artist", 2),
+            },
+            NamedBlocker {
+                label: "HASH",
+                blocker: hash(schema, "artist"),
+            },
+            NamedBlocker {
+                label: "SIM",
+                blocker: sim(schema, "title", Word, Cosine, 0.5),
+            },
             NamedBlocker {
                 label: "R",
                 blocker: Blocker::Intersect(vec![
@@ -109,17 +163,32 @@ pub fn table2_suite(profile: DatasetProfile, schema: &Schema) -> Vec<NamedBlocke
             },
         ],
         DatasetProfile::Music2 => vec![
-            NamedBlocker { label: "HASH1", blocker: hash(schema, "artist") },
+            NamedBlocker {
+                label: "HASH1",
+                blocker: hash(schema, "artist"),
+            },
             NamedBlocker {
                 label: "HASH2",
                 blocker: Blocker::Union(vec![hash(schema, "album"), hash(schema, "artist")]),
             },
-            NamedBlocker { label: "SIM1", blocker: sim(schema, "title", Word, Cosine, 0.6) },
-            NamedBlocker { label: "SIM2", blocker: sim(schema, "title", Word, Cosine, 0.7) },
-            NamedBlocker { label: "SIM3", blocker: sim(schema, "title", Word, Cosine, 0.8) },
+            NamedBlocker {
+                label: "SIM1",
+                blocker: sim(schema, "title", Word, Cosine, 0.6),
+            },
+            NamedBlocker {
+                label: "SIM2",
+                blocker: sim(schema, "title", Word, Cosine, 0.7),
+            },
+            NamedBlocker {
+                label: "SIM3",
+                blocker: sim(schema, "title", Word, Cosine, 0.8),
+            },
         ],
         DatasetProfile::Papers => vec![
-            NamedBlocker { label: "R1", blocker: overlap(schema, "title", 3) },
+            NamedBlocker {
+                label: "R1",
+                blocker: overlap(schema, "title", 3),
+            },
             NamedBlocker {
                 label: "R2",
                 blocker: Blocker::Union(vec![
@@ -127,7 +196,10 @@ pub fn table2_suite(profile: DatasetProfile, schema: &Schema) -> Vec<NamedBlocke
                     Blocker::Hash(KeyFunc::LastWord(schema.expect_id("authors"))),
                 ]),
             },
-            NamedBlocker { label: "R3", blocker: sim(schema, "title", Word, Cosine, 0.6) },
+            NamedBlocker {
+                label: "R3",
+                blocker: sim(schema, "title", Word, Cosine, 0.6),
+            },
         ],
     }
 }
@@ -186,7 +258,10 @@ pub fn repaired_hash_blocker(profile: DatasetProfile, schema: &Schema) -> Blocke
         ],
         DatasetProfile::WalmartAmazon => vec![
             sim(schema, "title", Word, Cosine, 0.5),
-            Blocker::EditSim { key: KeyFunc::Attr(schema.expect_id("modelno")), max_ed: 2 },
+            Blocker::EditSim {
+                key: KeyFunc::Attr(schema.expect_id("modelno")),
+                max_ed: 2,
+            },
         ],
         DatasetProfile::AcmDblp => vec![sim(schema, "title", QGram(3), Jaccard, 0.6)],
         DatasetProfile::FodorsZagats => vec![
@@ -195,7 +270,10 @@ pub fn repaired_hash_blocker(profile: DatasetProfile, schema: &Schema) -> Blocke
         ],
         DatasetProfile::Music1 | DatasetProfile::Music2 => vec![
             sim(schema, "title", Word, Cosine, 0.6),
-            Blocker::EditSim { key: KeyFunc::Attr(schema.expect_id("artist")), max_ed: 2 },
+            Blocker::EditSim {
+                key: KeyFunc::Attr(schema.expect_id("artist")),
+                max_ed: 2,
+            },
         ],
         DatasetProfile::Papers => vec![sim(schema, "title", Word, Cosine, 0.55)],
     };

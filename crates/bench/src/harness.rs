@@ -5,6 +5,7 @@ use matchcatcher::joint::CandidateUnion;
 use matchcatcher::oracle::GoldOracle;
 use mc_blocking::Blocker;
 use mc_datagen::EmDataset;
+use mc_obs::MetricsSnapshot;
 use mc_table::{split_pair_key, PairSet};
 use std::time::{Duration, Instant};
 
@@ -150,6 +151,10 @@ pub fn paper_params() -> DebuggerParams {
 }
 
 /// Parse `--scale X`, `--seed N`, `--k N` style CLI overrides.
+///
+/// Parsing captures a metrics baseline, so [`CliArgs::obs_report`] at the
+/// end of `main` emits exactly the run's delta — every bench binary shares
+/// the `mc-obs/v1` snapshot schema this way.
 pub struct CliArgs {
     /// Dataset scale factor.
     pub scale: f64,
@@ -159,13 +164,23 @@ pub struct CliArgs {
     pub k: usize,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// Emit the mc-obs stage breakdown + JSON snapshot on exit (`--obs`).
+    pub obs: bool,
+    baseline: MetricsSnapshot,
 }
 
 impl CliArgs {
     /// Parses from `std::env::args`, with the given default scale.
     pub fn parse(default_scale: f64) -> Self {
-        let mut out = CliArgs { scale: default_scale, seed: 42, k: 1000, threads: 0 };
         let args: Vec<String> = std::env::args().collect();
+        let mut out = CliArgs {
+            scale: default_scale,
+            seed: 42,
+            k: 1000,
+            threads: 0,
+            obs: args.iter().any(|a| a == "--obs"),
+            baseline: MetricsSnapshot::capture(),
+        };
         let mut i = 1;
         while i + 1 < args.len() {
             match args[i].as_str() {
@@ -187,8 +202,24 @@ impl CliArgs {
     pub fn params(&self) -> DebuggerParams {
         let mut p = paper_params();
         p.joint.k = self.k;
-        p.joint.threads = self.threads;
+        p.joint.threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |c| c.get())
+        } else {
+            self.threads
+        };
         p
+    }
+
+    /// If `--obs` was passed, prints the run's metric delta: the
+    /// human-readable stage breakdown followed by the machine-readable
+    /// `mc-obs/v1` JSON snapshot. Call at the end of `main`.
+    pub fn obs_report(&self) {
+        if !self.obs {
+            return;
+        }
+        let delta = MetricsSnapshot::capture().since(&self.baseline);
+        println!("\n{}", delta.render());
+        println!("{}", delta.to_json());
     }
 }
 

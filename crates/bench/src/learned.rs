@@ -50,7 +50,10 @@ pub fn sample_pairs(
             negatives.push((x, y));
         }
     }
-    LabeledSample { positives, negatives }
+    LabeledSample {
+        positives,
+        negatives,
+    }
 }
 
 /// Builds the candidate predicate pool from the schema: hash blockers on
@@ -173,9 +176,16 @@ pub fn learn_blocker(
         covered.iter().filter(|&&c| c).count() as f64 / covered.len() as f64
     };
     let predicates = chosen.len();
-    let blocker =
-        if chosen.is_empty() { Blocker::Union(vec![]) } else { Blocker::Union(chosen) };
-    LearnedBlocker { blocker, sample_recall, predicates }
+    let blocker = if chosen.is_empty() {
+        Blocker::Union(vec![])
+    } else {
+        Blocker::Union(chosen)
+    };
+    LearnedBlocker {
+        blocker,
+        sample_recall,
+        predicates,
+    }
 }
 
 /// `Blocker::keeps` that tolerates sorted-neighborhood members (absent
@@ -196,7 +206,11 @@ mod tests {
         assert_eq!(sample.positives.len(), 30);
         assert_eq!(sample.negatives.len(), 60);
         let learned = learn_blocker(&ds.a, &ds.b, &sample, 100_000);
-        assert!(learned.sample_recall >= 0.95, "sample recall {}", learned.sample_recall);
+        assert!(
+            learned.sample_recall >= 0.95,
+            "sample recall {}",
+            learned.sample_recall
+        );
         assert!(learned.predicates >= 1);
     }
 
@@ -210,7 +224,10 @@ mod tests {
         let recall = ds.gold.recall(&c);
         assert!(recall > 0.3, "learned blocker useless: recall {recall}");
         // Not asserting recall < 1.0 (it could get lucky), but report it.
-        println!("sample recall {} full recall {recall}", learned.sample_recall);
+        println!(
+            "sample recall {} full recall {recall}",
+            learned.sample_recall
+        );
     }
 
     #[test]

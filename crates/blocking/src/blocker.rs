@@ -101,28 +101,84 @@ pub enum Blocker {
 
 impl Blocker {
     /// Applies the blocker to two tables, producing the candidate set `C`.
+    ///
+    /// Each application runs inside a per-kind span
+    /// (`mc.blocking.apply.<kind>`; rule blockers' sub-blockers nest) and
+    /// bumps the `mc.blocking.applies` / `mc.blocking.pairs_kept`
+    /// counters (nested sub-blockers count at each level).
     pub fn apply(&self, a: &Table, b: &Table) -> PairSet {
+        let _span = mc_obs::Span::enter(self.span_name());
+        let out = self.apply_inner(a, b);
+        mc_obs::counter!("mc.blocking.applies").inc();
+        mc_obs::counter!("mc.blocking.pairs_kept").add(out.len() as u64);
+        out
+    }
+
+    /// The span name [`Blocker::apply`] records under.
+    fn span_name(&self) -> &'static str {
+        match self {
+            Blocker::Hash(_) => "mc.blocking.apply.hash",
+            Blocker::SortedNeighborhood { .. } => "mc.blocking.apply.sorted_neighborhood",
+            Blocker::Overlap { .. } => "mc.blocking.apply.overlap",
+            Blocker::Sim { .. } => "mc.blocking.apply.sim",
+            Blocker::EditSim { .. } => "mc.blocking.apply.edit_sim",
+            Blocker::NumBand { .. } => "mc.blocking.apply.num_band",
+            Blocker::Canopy { .. } => "mc.blocking.apply.canopy",
+            Blocker::SuffixKey { .. } => "mc.blocking.apply.suffix_key",
+            Blocker::Union(_) => "mc.blocking.apply.union",
+            Blocker::Intersect(_) => "mc.blocking.apply.intersect",
+        }
+    }
+
+    fn apply_inner(&self, a: &Table, b: &Table) -> PairSet {
         match self {
             Blocker::Hash(key) => hash_join(a, b, key),
             Blocker::SortedNeighborhood { key, window } => sorted_neighborhood(a, b, key, *window),
-            Blocker::Overlap { attr, tokenizer, min_common } => {
+            Blocker::Overlap {
+                attr,
+                tokenizer,
+                min_common,
+            } => {
                 let (ta, tb, _) = TokenizedTable::build_pair(a, b, &[*attr], *tokenizer);
-                let ra: Vec<Vec<u32>> = (0..ta.rows()).map(|i| ta.ranks(0, i as u32).to_vec()).collect();
-                let rb: Vec<Vec<u32>> = (0..tb.rows()).map(|i| tb.ranks(0, i as u32).to_vec()).collect();
+                let ra: Vec<Vec<u32>> = (0..ta.rows())
+                    .map(|i| ta.ranks(0, i as u32).to_vec())
+                    .collect();
+                let rb: Vec<Vec<u32>> = (0..tb.rows())
+                    .map(|i| tb.ranks(0, i as u32).to_vec())
+                    .collect();
                 join::overlap_join(&ra, &rb, *min_common)
             }
-            Blocker::Sim { attr, tokenizer, measure, threshold } => {
+            Blocker::Sim {
+                attr,
+                tokenizer,
+                measure,
+                threshold,
+            } => {
                 let (ta, tb, _) = TokenizedTable::build_pair(a, b, &[*attr], *tokenizer);
-                let ra: Vec<Vec<u32>> = (0..ta.rows()).map(|i| ta.ranks(0, i as u32).to_vec()).collect();
-                let rb: Vec<Vec<u32>> = (0..tb.rows()).map(|i| tb.ranks(0, i as u32).to_vec()).collect();
+                let ra: Vec<Vec<u32>> = (0..ta.rows())
+                    .map(|i| ta.ranks(0, i as u32).to_vec())
+                    .collect();
+                let rb: Vec<Vec<u32>> = (0..tb.rows())
+                    .map(|i| tb.ranks(0, i as u32).to_vec())
+                    .collect();
                 join::sim_join(&ra, &rb, *measure, *threshold)
             }
             Blocker::EditSim { key, max_ed } => edit_join(a, b, key, *max_ed),
             Blocker::NumBand { attr, width } => num_band(a, b, *attr, *width),
-            Blocker::Canopy { attr, tokenizer, loose, tight } => canopy_block(
+            Blocker::Canopy {
+                attr,
+                tokenizer,
+                loose,
+                tight,
+            } => canopy_block(
                 a,
                 b,
-                CanopyParams { attr: *attr, tokenizer: *tokenizer, loose: *loose, tight: *tight },
+                CanopyParams {
+                    attr: *attr,
+                    tokenizer: *tokenizer,
+                    loose: *loose,
+                    tight: *tight,
+                },
             ),
             Blocker::SuffixKey { key, suffix_len } => suffix_join(a, b, key, *suffix_len),
             Blocker::Union(parts) => {
@@ -160,12 +216,21 @@ impl Blocker {
             Blocker::SortedNeighborhood { .. } => {
                 panic!("sorted-neighborhood blockers have no pairwise form")
             }
-            Blocker::Overlap { attr, tokenizer, min_common } => {
+            Blocker::Overlap {
+                attr,
+                tokenizer,
+                min_common,
+            } => {
                 let ta = tokenizer.tokens(a.value(ai, *attr).unwrap_or(""));
                 let tb = tokenizer.tokens(b.value(bi, *attr).unwrap_or(""));
                 shared_tokens(&ta, &tb) >= *min_common
             }
-            Blocker::Sim { attr, tokenizer, measure, threshold } => {
+            Blocker::Sim {
+                attr,
+                tokenizer,
+                measure,
+                threshold,
+            } => {
                 let ta = tokenizer.tokens(a.value(ai, *attr).unwrap_or(""));
                 let tb = tokenizer.tokens(b.value(bi, *attr).unwrap_or(""));
                 if ta.is_empty() || tb.is_empty() {
@@ -189,15 +254,15 @@ impl Blocker {
             Blocker::Canopy { .. } => {
                 panic!("canopy blockers have no pairwise form")
             }
-            Blocker::SuffixKey { key, suffix_len } => {
-                match (key.key(a, ai), key.key(b, bi)) {
-                    (Some(x), Some(y)) => match (suffix_of(&x, *suffix_len), suffix_of(&y, *suffix_len)) {
+            Blocker::SuffixKey { key, suffix_len } => match (key.key(a, ai), key.key(b, bi)) {
+                (Some(x), Some(y)) => {
+                    match (suffix_of(&x, *suffix_len), suffix_of(&y, *suffix_len)) {
                         (Some(sx), Some(sy)) => sx == sy,
                         _ => false,
-                    },
-                    _ => false,
+                    }
                 }
-            }
+                _ => false,
+            },
             Blocker::Union(parts) => parts.iter().any(|p| p.keeps(a, b, ai, bi)),
             Blocker::Intersect(parts) => parts.iter().all(|p| p.keeps(a, b, ai, bi)),
         }
@@ -211,13 +276,22 @@ impl Blocker {
             Blocker::SortedNeighborhood { key, window } => {
                 format!("sn({}, w={})", key.describe(schema), window)
             }
-            Blocker::Overlap { attr, tokenizer, min_common } => format!(
+            Blocker::Overlap {
+                attr,
+                tokenizer,
+                min_common,
+            } => format!(
                 "overlap_{}({}) >= {}",
                 tokenizer.label(),
                 schema.name(*attr),
                 min_common
             ),
-            Blocker::Sim { attr, tokenizer, measure, threshold } => format!(
+            Blocker::Sim {
+                attr,
+                tokenizer,
+                measure,
+                threshold,
+            } => format!(
                 "{}_{}({}) >= {}",
                 measure.label(),
                 tokenizer.label(),
@@ -230,7 +304,12 @@ impl Blocker {
             Blocker::NumBand { attr, width } => {
                 format!("absdiff({}) <= {}", schema.name(*attr), width)
             }
-            Blocker::Canopy { attr, tokenizer, loose, tight } => format!(
+            Blocker::Canopy {
+                attr,
+                tokenizer,
+                loose,
+                tight,
+            } => format!(
                 "canopy_{}({}, loose={}, tight={})",
                 tokenizer.label(),
                 schema.name(*attr),
@@ -472,7 +551,10 @@ fn num_band(a: &Table, b: &Table, attr: AttrId, width: f64) -> PairSet {
     let mut buckets: FxHashMap<i64, Vec<(TupleId, f64)>> = fx_map();
     for id in a.ids() {
         if let Some(v) = parse(a, id) {
-            buckets.entry((v / width).floor() as i64).or_default().push((id, v));
+            buckets
+                .entry((v / width).floor() as i64)
+                .or_default()
+                .push((id, v));
         }
     }
     let mut out = PairSet::new();
@@ -548,7 +630,10 @@ mod tests {
         let (a, b) = tables();
         let q3 = Blocker::Union(vec![
             Blocker::Hash(KeyFunc::Attr(AttrId(1))),
-            Blocker::EditSim { key: KeyFunc::LastWord(AttrId(0)), max_ed: 2 },
+            Blocker::EditSim {
+                key: KeyFunc::LastWord(AttrId(0)),
+                max_ed: 2,
+            },
         ]);
         let c3 = q3.apply(&a, &b);
         // (a3,b2): welson vs wilson, ed = 1 ≤ 2 — now kept.
@@ -561,7 +646,10 @@ mod tests {
     fn edit_join_agrees_with_brute_force() {
         let (a, b) = tables();
         for k in 0..4usize {
-            let blocker = Blocker::EditSim { key: KeyFunc::LastWord(AttrId(0)), max_ed: k };
+            let blocker = Blocker::EditSim {
+                key: KeyFunc::LastWord(AttrId(0)),
+                max_ed: k,
+            };
             let fast = blocker.apply(&a, &b).to_sorted_vec();
             let mut slow = Vec::new();
             for ai in a.ids() {
@@ -579,7 +667,11 @@ mod tests {
     #[test]
     fn overlap_blocker_keeps_sharing_pairs() {
         let (a, b) = tables();
-        let ol = Blocker::Overlap { attr: AttrId(0), tokenizer: Tokenizer::Word, min_common: 1 };
+        let ol = Blocker::Overlap {
+            attr: AttrId(0),
+            tokenizer: Tokenizer::Word,
+            min_common: 1,
+        };
         let c = ol.apply(&a, &b);
         assert!(c.contains(0, 0)); // share "smith"
         assert!(c.contains(2, 1)); // share "joe"
@@ -611,12 +703,15 @@ mod tests {
     #[test]
     fn num_band_blocker() {
         let (a, b) = tables();
-        let nb = Blocker::NumBand { attr: AttrId(2), width: 5.0 };
+        let nb = Blocker::NumBand {
+            attr: AttrId(2),
+            width: 5.0,
+        };
         let c = nb.apply(&a, &b);
         assert!(c.contains(0, 0)); // 18 vs 18
         assert!(!c.contains(1, 2)); // (a2=18, b3=30) differ by 12 > 5
         assert!(c.contains(2, 1)); // 25 vs 25
-        // brute-force agreement
+                                   // brute-force agreement
         for ai in a.ids() {
             for bi in b.ids() {
                 assert_eq!(c.contains(ai, bi), nb.keeps(&a, &b, ai, bi), "({ai},{bi})");
@@ -629,7 +724,10 @@ mod tests {
         let (a, b) = tables();
         let conj = Blocker::Intersect(vec![
             Blocker::Hash(KeyFunc::LastWord(AttrId(0))),
-            Blocker::NumBand { attr: AttrId(2), width: 1.0 },
+            Blocker::NumBand {
+                attr: AttrId(2),
+                width: 1.0,
+            },
         ]);
         let c = conj.apply(&a, &b);
         assert!(c.contains(0, 0)); // smith & age equal
@@ -639,7 +737,10 @@ mod tests {
     #[test]
     fn sorted_neighborhood_finds_near_keys() {
         let (a, b) = tables();
-        let sn = Blocker::SortedNeighborhood { key: KeyFunc::LastWord(AttrId(0)), window: 2 };
+        let sn = Blocker::SortedNeighborhood {
+            key: KeyFunc::LastWord(AttrId(0)),
+            window: 2,
+        };
         let c = sn.apply(&a, &b);
         // "william" (a5) and "williams" (b4) are adjacent in sorted order.
         assert!(c.contains(4, 3));
@@ -653,7 +754,10 @@ mod tests {
         let s = a.schema();
         let q3 = Blocker::Union(vec![
             Blocker::Hash(KeyFunc::Attr(AttrId(1))),
-            Blocker::EditSim { key: KeyFunc::LastWord(AttrId(0)), max_ed: 2 },
+            Blocker::EditSim {
+                key: KeyFunc::LastWord(AttrId(0)),
+                max_ed: 2,
+            },
         ]);
         let d = q3.describe(s);
         assert!(d.contains("hash(city)"));
@@ -667,7 +771,10 @@ mod tests {
         // Last 4 chars of lastword(name): "mith" pairs smith/smith;
         // "liam" pairs william(s)... williams' last4 = "iams" vs
         // william's "liam" → no pair.
-        let sfx = Blocker::SuffixKey { key: KeyFunc::LastWord(AttrId(0)), suffix_len: 4 };
+        let sfx = Blocker::SuffixKey {
+            key: KeyFunc::LastWord(AttrId(0)),
+            suffix_len: 4,
+        };
         let c = sfx.apply(&a, &b);
         assert!(c.contains(0, 0));
         assert!(!c.contains(4, 3));
@@ -716,7 +823,11 @@ mod tests {
         b.push(Tuple::new(vec![None]));
         let c = Blocker::Hash(KeyFunc::Attr(AttrId(0))).apply(&a, &b);
         assert!(c.is_empty());
-        let c = Blocker::EditSim { key: KeyFunc::Attr(AttrId(0)), max_ed: 2 }.apply(&a, &b);
+        let c = Blocker::EditSim {
+            key: KeyFunc::Attr(AttrId(0)),
+            max_ed: 2,
+        }
+        .apply(&a, &b);
         assert!(c.is_empty());
     }
 }

@@ -134,14 +134,22 @@ mod tests {
     }
 
     fn params(loose: f64, tight: f64) -> CanopyParams {
-        CanopyParams { attr: AttrId(0), tokenizer: Tokenizer::Word, loose, tight }
+        CanopyParams {
+            attr: AttrId(0),
+            tokenizer: Tokenizer::Word,
+            loose,
+            tight,
+        }
     }
 
     #[test]
     fn similar_records_share_a_canopy() {
         let (a, b) = tables();
         let c = canopy_block(&a, &b, params(0.4, 0.9));
-        assert!(c.contains(0, 0), "dave smith variants should share a canopy");
+        assert!(
+            c.contains(0, 0),
+            "dave smith variants should share a canopy"
+        );
         assert!(!c.contains(0, 1));
         assert!(!c.contains(1, 0));
     }

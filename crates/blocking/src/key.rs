@@ -44,12 +44,14 @@ impl KeyFunc {
                 let norm = normalize(v);
                 norm.chars().take(*n).collect()
             }),
-            KeyFunc::Soundex(a) => {
-                table.value(id, *a).and_then(first_word).and_then(|w| soundex(&w))
-            }
-            KeyFunc::SoundexLast(a) => {
-                table.value(id, *a).and_then(last_word).and_then(|w| soundex(&w))
-            }
+            KeyFunc::Soundex(a) => table
+                .value(id, *a)
+                .and_then(first_word)
+                .and_then(|w| soundex(&w)),
+            KeyFunc::SoundexLast(a) => table
+                .value(id, *a)
+                .and_then(last_word)
+                .and_then(|w| soundex(&w)),
             KeyFunc::NumBucket(a, width) => {
                 let v: f64 = table.value(id, *a)?.trim().parse().ok()?;
                 Some(format!("{}", (v / width).floor() as i64))
@@ -86,7 +88,10 @@ impl KeyFunc {
 
 /// Lowercases and collapses whitespace.
 fn normalize(v: &str) -> String {
-    v.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+    v.split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
 }
 
 #[cfg(test)]
@@ -99,7 +104,11 @@ mod tests {
         let schema = Arc::new(Schema::from_names(["name", "city", "price"]));
         let mut t = Table::new("A", schema);
         t.push(Tuple::from_present(["Dave  Smith", "New York", "129.99"]));
-        t.push(Tuple::new(vec![None, Some("LA".into()), Some("n/a".into())]));
+        t.push(Tuple::new(vec![
+            None,
+            Some("LA".into()),
+            Some("n/a".into()),
+        ]));
         t
     }
 
@@ -114,27 +123,45 @@ mod tests {
     #[test]
     fn word_keys() {
         let t = table();
-        assert_eq!(KeyFunc::LastWord(AttrId(0)).key(&t, 0).as_deref(), Some("smith"));
-        assert_eq!(KeyFunc::FirstWord(AttrId(0)).key(&t, 0).as_deref(), Some("dave"));
+        assert_eq!(
+            KeyFunc::LastWord(AttrId(0)).key(&t, 0).as_deref(),
+            Some("smith")
+        );
+        assert_eq!(
+            KeyFunc::FirstWord(AttrId(0)).key(&t, 0).as_deref(),
+            Some("dave")
+        );
     }
 
     #[test]
     fn prefix_key() {
         let t = table();
-        assert_eq!(KeyFunc::Prefix(AttrId(1), 3).key(&t, 0).as_deref(), Some("new"));
+        assert_eq!(
+            KeyFunc::Prefix(AttrId(1), 3).key(&t, 0).as_deref(),
+            Some("new")
+        );
     }
 
     #[test]
     fn soundex_keys() {
         let t = table();
-        assert_eq!(KeyFunc::Soundex(AttrId(0)).key(&t, 0).as_deref(), Some("d100"));
-        assert_eq!(KeyFunc::SoundexLast(AttrId(0)).key(&t, 0).as_deref(), Some("s530"));
+        assert_eq!(
+            KeyFunc::Soundex(AttrId(0)).key(&t, 0).as_deref(),
+            Some("d100")
+        );
+        assert_eq!(
+            KeyFunc::SoundexLast(AttrId(0)).key(&t, 0).as_deref(),
+            Some("s530")
+        );
     }
 
     #[test]
     fn num_bucket_parses_or_none() {
         let t = table();
-        assert_eq!(KeyFunc::NumBucket(AttrId(2), 50.0).key(&t, 0).as_deref(), Some("2"));
+        assert_eq!(
+            KeyFunc::NumBucket(AttrId(2), 50.0).key(&t, 0).as_deref(),
+            Some("2")
+        );
         assert_eq!(KeyFunc::NumBucket(AttrId(2), 50.0).key(&t, 1), None);
     }
 
@@ -143,6 +170,9 @@ mod tests {
         let t = table();
         let s = t.schema();
         assert_eq!(KeyFunc::LastWord(AttrId(0)).describe(s), "lastword(name)");
-        assert_eq!(KeyFunc::NumBucket(AttrId(2), 20.0).describe(s), "bucket20(price)");
+        assert_eq!(
+            KeyFunc::NumBucket(AttrId(2), 20.0).describe(s),
+            "bucket20(price)"
+        );
     }
 }

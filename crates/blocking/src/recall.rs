@@ -46,7 +46,11 @@ impl BlockerReport {
         BlockerReport {
             blocker: description,
             candidates: c.len(),
-            selectivity: if cross == 0.0 { 0.0 } else { c.len() as f64 / cross },
+            selectivity: if cross == 0.0 {
+                0.0
+            } else {
+                c.len() as f64 / cross
+            },
             gold: gold.len(),
             surviving,
             killed: gold.len() - surviving,

@@ -40,7 +40,9 @@ impl Config {
     /// Full config over the first `n` positions.
     pub fn full(n: usize) -> Self {
         assert!(n <= 32);
-        Config { mask: if n == 32 { u32::MAX } else { (1u32 << n) - 1 } }
+        Config {
+            mask: if n == 32 { u32::MAX } else { (1u32 << n) - 1 },
+        }
     }
 
     /// The positions in this config, ascending.
@@ -65,7 +67,9 @@ impl Config {
 
     /// This config without position `p`.
     pub fn without(self, p: usize) -> Config {
-        Config { mask: self.mask & !(1 << p) }
+        Config {
+            mask: self.mask & !(1 << p),
+        }
     }
 
     /// True if `self ⊆ other`.
@@ -150,8 +154,13 @@ impl ConfigTree {
 
     /// Indexes of nodes that were expanded (have children).
     pub fn writers(&self) -> Vec<usize> {
-        let mut w: Vec<usize> =
-            self.nodes.iter().enumerate().filter(|(_, n)| n.expanded).map(|(i, _)| i).collect();
+        let mut w: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.expanded)
+            .map(|(i, _)| i)
+            .collect();
         w.sort_unstable();
         w
     }
@@ -221,10 +230,8 @@ impl ConfigGenerator {
                 continue;
             }
             // Categorical/boolean attributes must share a value domain.
-            let categorical = matches!(
-                st_a.attr_type,
-                AttrType::Categorical | AttrType::Boolean
-            ) || matches!(st_b.attr_type, AttrType::Categorical | AttrType::Boolean);
+            let categorical = matches!(st_a.attr_type, AttrType::Categorical | AttrType::Boolean)
+                || matches!(st_b.attr_type, AttrType::Categorical | AttrType::Boolean);
             if categorical
                 && stats_a.value_set_jaccard(stats_b, attr) < self.params.value_jaccard_min
             {
@@ -253,7 +260,11 @@ impl ConfigGenerator {
         let m = promising.attrs.len();
         assert!(m >= 1, "need at least one promising attribute");
         let root = Config::full(m);
-        let mut nodes = vec![ConfigNode { config: root, parent: None, expanded: false }];
+        let mut nodes = vec![ConfigNode {
+            config: root,
+            parent: None,
+            expanded: false,
+        }];
         let mut current = 0usize;
         while nodes[current].config.len() > 1 {
             nodes[current].expanded = true;
@@ -330,9 +341,7 @@ impl ConfigGenerator {
                 .iter()
                 .filter(|&&r| self.overwhelms(beta, q_default, r, qa, qb))
                 .count();
-            if overwhelmed * 2 >= containing.len()
-                && best.is_none_or(|(_, b)| beta > b)
-            {
+            if overwhelmed * 2 >= containing.len() && best.is_none_or(|(_, b)| beta > b) {
                 best = Some((f, beta));
             }
         }
@@ -345,7 +354,11 @@ impl ConfigGenerator {
     /// lengths standing in for per-tuple lengths:
     /// `β ≥ 1 − ((|q|−1)/|q∖r|) · (δ/(1+δ)) · max(AL_q)/ΣAL_q`.
     fn overwhelms(&self, beta: f64, q: Config, r: Config, qa: f64, qb: f64) -> bool {
-        let removed = q.len() - (Config { mask: q.mask() & r.mask() }).len();
+        let removed = q.len()
+            - (Config {
+                mask: q.mask() & r.mask(),
+            })
+            .len();
         if removed == 0 {
             return false;
         }
@@ -449,7 +462,11 @@ mod tests {
         // Figure 3.b: d is very long → after the first level the generator
         // expands ncs (the config without d) rather than ncd.
         // e(n) > e(d) > e(c) > e(s) as before, but d is 30 tokens long.
-        let p = promising_of(&[4.0, 2.0, 1.0, 3.0], &[2.0, 2.0, 2.0, 30.0], &[2.0, 2.0, 2.0, 30.0]);
+        let p = promising_of(
+            &[4.0, 2.0, 1.0, 3.0],
+            &[2.0, 2.0, 2.0, 30.0],
+            &[2.0, 2.0, 2.0, 30.0],
+        );
         let tree = ConfigGenerator::default().build_tree(&p);
         let expanded: Vec<Config> = tree
             .nodes
@@ -502,8 +519,14 @@ mod tests {
         let mut b = Table::new("B", Arc::clone(&schema));
         for i in 0..60 {
             let g = ["rock", "pop", "jazz"][i % 3];
-            a.push(Tuple::from_present([format!("song number {i}"), g.to_string()]));
-            b.push(Tuple::from_present([format!("tune number {i}"), g.to_string()]));
+            a.push(Tuple::from_present([
+                format!("song number {i}"),
+                g.to_string(),
+            ]));
+            b.push(Tuple::from_present([
+                format!("tune number {i}"),
+                g.to_string(),
+            ]));
         }
         let p = ConfigGenerator::default().promising(&a, &b);
         assert_eq!(p.attrs.len(), 2);
@@ -535,7 +558,10 @@ mod tests {
         });
         let p = gen.promising(&a, &b);
         assert_eq!(p.attrs.len(), 2);
-        assert_eq!(p.attrs, vec![schema.expect_id("u1"), schema.expect_id("u2")]);
+        assert_eq!(
+            p.attrs,
+            vec![schema.expect_id("u1"), schema.expect_id("u2")]
+        );
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! [`MatchCatcher::run`] takes two tables, the blocker output `C`, and a
 //! labeling [`Oracle`]; it returns a [`DebugReport`] with the confirmed
 //! killed-off matches, per-iteration statistics, per-match explanations,
-//! and timings. The individual stages ([`MatchCatcher::prepare`],
-//! [`MatchCatcher::topk`]) are public so benchmarks can measure them in
-//! isolation.
+//! and a [`MetricsSnapshot`] of everything the pipeline recorded during
+//! the run (stage spans, counters, flight-recorder events). The
+//! individual stages ([`MatchCatcher::prepare`], [`MatchCatcher::topk`])
+//! are public so benchmarks can measure them in isolation, and
+//! [`MatchCatcher::run_observed`] streams per-stage metric deltas to a
+//! caller-supplied [`RunObserver`].
 
 use crate::config::{Config, ConfigGenerator, ConfigGeneratorParams, ConfigTree, PromisingAttrs};
 use crate::explain::{explain_match, summarize_problems, MatchExplanation};
@@ -14,12 +17,19 @@ use crate::joint::{run_joint, CandidateUnion, JointOutput, JointParams};
 use crate::oracle::Oracle;
 use crate::ssj::TopKList;
 use crate::verify::{run_verifier, IterationRecord, VerifierParams};
+use mc_obs::MetricsSnapshot;
 use mc_strsim::dict::TokenizedTable;
 use mc_strsim::tokenize::Tokenizer;
 use mc_table::{split_pair_key, AttrId, PairSet, Table, TupleId};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// All debugger tuning knobs.
+///
+/// `DebuggerParams::default()` is the **paper's configuration**: per-config
+/// top-k list size `k = 1000` (§4, [`JointParams::k`]) and `n = 20` pairs
+/// shown per verifier iteration (§5, [`VerifierParams::n_per_iter`]), with
+/// one worker per core. Use [`DebuggerParams::small`] for unit tests and
+/// tiny examples.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DebuggerParams {
     /// Config-generation parameters (§3).
@@ -43,6 +53,36 @@ impl DebuggerParams {
         p.verifier.forest.n_trees = 7;
         p
     }
+
+    /// Rejects parameter combinations that would silently produce a
+    /// degenerate run. Called by [`MatchCatcher::run`] and
+    /// [`MatchCatcher::topk`]; call it directly when constructing params
+    /// from user input.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.joint.k == 0 {
+            return Err("joint.k = 0: every top-k list would be empty, so the \
+                        debugger could never surface a killed match (the paper \
+                        uses k = 1000)"
+                .into());
+        }
+        if self.joint.threads == 0 {
+            return Err("joint.threads = 0: no workers would execute configs; \
+                        use JointParams::default() to get one worker per core"
+                .into());
+        }
+        if self.verifier.forest.n_trees == 0 {
+            return Err("verifier.forest.n_trees = 0: the learning verifier \
+                        would have no trees to vote, making every confidence \
+                        0.5 (the paper uses 10)"
+                .into());
+        }
+        if self.verifier.n_per_iter == 0 {
+            return Err("verifier.n_per_iter = 0: no pairs would ever be shown \
+                        to the user (the paper uses n = 20)"
+                .into());
+        }
+        Ok(())
+    }
 }
 
 /// Precomputed state shared by the debugging stages.
@@ -55,6 +95,64 @@ pub struct Prepared {
     pub tok_a: TokenizedTable,
     /// Word tokenization of table B over `T`.
     pub tok_b: TokenizedTable,
+}
+
+/// Pipeline stages, as reported to a [`RunObserver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Attribute selection + config tree + tokenization.
+    Prepare,
+    /// Joint top-k joins over all configs.
+    TopK,
+    /// Interactive verification.
+    Verify,
+    /// Per-match explanation + problem summary.
+    Explain,
+}
+
+impl Stage {
+    /// The span name this stage records under in the metrics registry.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Stage::Prepare => "mc.core.debug.prepare",
+            Stage::TopK => "mc.core.debug.topk",
+            Stage::Verify => "mc.core.debug.verify",
+            Stage::Explain => "mc.core.debug.explain",
+        }
+    }
+
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 4] = [Stage::Prepare, Stage::TopK, Stage::Verify, Stage::Explain];
+}
+
+/// Hook into [`MatchCatcher::run_observed`]: called around every pipeline
+/// stage with the metrics accrued *during* that stage, so callers can
+/// stream progress (a TUI, a log line per stage, an experiment harness)
+/// without waiting for the final [`DebugReport`].
+pub trait RunObserver {
+    /// A stage is about to run.
+    fn stage_started(&mut self, _stage: Stage) {}
+    /// A stage finished; `metrics` is the registry delta accrued while it
+    /// ran (other threads' activity included — the registry is global).
+    fn stage_finished(&mut self, _stage: Stage, _metrics: &MetricsSnapshot) {}
+}
+
+/// A [`RunObserver`] that ignores every callback.
+pub struct NoopObserver;
+
+impl RunObserver for NoopObserver {}
+
+/// Runs `f` inside the stage's span, notifying the observer with the
+/// metrics delta the stage accrued.
+fn observed<T>(observer: &mut dyn RunObserver, stage: Stage, f: impl FnOnce() -> T) -> T {
+    observer.stage_started(stage);
+    let before = MetricsSnapshot::capture();
+    let out = {
+        let _span = mc_obs::Span::enter(stage.span_name());
+        f()
+    };
+    observer.stage_finished(stage, &MetricsSnapshot::capture().since(&before));
+    out
 }
 
 /// The debugger's full output.
@@ -76,12 +174,13 @@ pub struct DebugReport {
     pub explanations: Vec<MatchExplanation>,
     /// Aggregated "blocker problems" (Table 4 right column).
     pub problems: Vec<(String, usize)>,
-    /// Wall time of the top-k stage.
-    pub topk_elapsed: Duration,
-    /// Wall time of the verification stage.
-    pub verify_elapsed: Duration,
     /// QJoin `q` used.
     pub q_used: usize,
+    /// Everything the observability layer recorded during the run:
+    /// stage/config spans, join counters, verifier iteration events —
+    /// the registry delta between run start and end (activity of
+    /// concurrent runs in the same process is included).
+    pub metrics: MetricsSnapshot,
 }
 
 impl DebugReport {
@@ -92,7 +191,21 @@ impl DebugReport {
 
     /// Matches confirmed within the first `n` iterations (Table 4).
     pub fn matches_in_first(&self, n: usize) -> usize {
-        self.iterations.iter().take(n).map(|r| r.matches_found).sum()
+        self.iterations
+            .iter()
+            .take(n)
+            .map(|r| r.matches_found)
+            .sum()
+    }
+
+    /// Wall time of the top-k stage, from its span.
+    pub fn topk_elapsed(&self) -> Duration {
+        Duration::from_micros(self.metrics.span(Stage::TopK.span_name()).total_us)
+    }
+
+    /// Wall time of the verification stage, from its span.
+    pub fn verify_elapsed(&self) -> Duration {
+        Duration::from_micros(self.metrics.span(Stage::Verify.span_name()).total_us)
     }
 }
 
@@ -141,23 +254,31 @@ impl MatchCatcher {
         self.prepare_from_promising(a, b, promising)
     }
 
-    fn prepare_from_promising(
-        &self,
-        a: &Table,
-        b: &Table,
-        promising: PromisingAttrs,
-    ) -> Prepared {
+    fn prepare_from_promising(&self, a: &Table, b: &Table, promising: PromisingAttrs) -> Prepared {
         let generator = ConfigGenerator::new(self.params.config);
         let tree = generator.build_tree(&promising);
-        let (tok_a, tok_b, _) =
-            TokenizedTable::build_pair(a, b, &promising.attrs, Tokenizer::Word);
-        Prepared { promising, tree, tok_a, tok_b }
+        let (tok_a, tok_b, _) = TokenizedTable::build_pair(a, b, &promising.attrs, Tokenizer::Word);
+        Prepared {
+            promising,
+            tree,
+            tok_a,
+            tok_b,
+        }
     }
 
     /// Stage 2: joint top-k joins over all configs, excluding pairs in
     /// `C`.
     pub fn topk(&self, prepared: &Prepared, c: &PairSet) -> JointOutput {
-        run_joint(&prepared.tok_a, &prepared.tok_b, c, &prepared.tree, self.params.joint)
+        if let Err(e) = self.params.validate() {
+            panic!("invalid DebuggerParams: {e}");
+        }
+        run_joint(
+            &prepared.tok_a,
+            &prepared.tok_b,
+            c,
+            &prepared.tree,
+            self.params.joint,
+        )
     }
 
     /// Stage 3: interactive verification of the candidate union.
@@ -182,27 +303,41 @@ impl MatchCatcher {
     }
 
     /// Runs the full pipeline: prepare → top-k → verify → explain.
-    pub fn run(
+    pub fn run(&self, a: &Table, b: &Table, c: &PairSet, oracle: &mut dyn Oracle) -> DebugReport {
+        self.run_observed(a, b, c, oracle, &mut NoopObserver)
+    }
+
+    /// Like [`MatchCatcher::run`], streaming per-stage metric deltas to
+    /// `observer` as the pipeline advances.
+    pub fn run_observed(
         &self,
         a: &Table,
         b: &Table,
         c: &PairSet,
         oracle: &mut dyn Oracle,
+        observer: &mut dyn RunObserver,
     ) -> DebugReport {
-        let prepared = self.prepare(a, b);
-        let t0 = Instant::now();
-        let joint = self.topk(&prepared, c);
-        let topk_elapsed = t0.elapsed();
+        if let Err(e) = self.params.validate() {
+            panic!("invalid DebuggerParams: {e}");
+        }
+        let baseline = MetricsSnapshot::capture();
+        let prepared = observed(observer, Stage::Prepare, || self.prepare(a, b));
+        let joint = observed(observer, Stage::TopK, || self.topk(&prepared, c));
+        let (union, outcome) = observed(observer, Stage::Verify, || {
+            self.verify(a, b, &prepared, &joint.lists, oracle)
+        });
 
-        let t1 = Instant::now();
-        let (union, outcome) = self.verify(a, b, &prepared, &joint.lists, oracle);
-        let verify_elapsed = t1.elapsed();
-
-        let confirmed: Vec<(TupleId, TupleId)> =
-            outcome.matches.iter().map(|&k| split_pair_key(k)).collect();
-        let explanations: Vec<MatchExplanation> =
-            confirmed.iter().map(|&(x, y)| explain_match(a, b, x, y)).collect();
-        let problems = summarize_problems(&explanations, a.schema());
+        let (confirmed, explanations, problems) = observed(observer, Stage::Explain, || {
+            let confirmed: Vec<(TupleId, TupleId)> =
+                outcome.matches.iter().map(|&k| split_pair_key(k)).collect();
+            let explanations: Vec<MatchExplanation> = confirmed
+                .iter()
+                .map(|&(x, y)| explain_match(a, b, x, y))
+                .collect();
+            let problems = summarize_problems(&explanations, a.schema());
+            (confirmed, explanations, problems)
+        });
+        let metrics = MetricsSnapshot::capture().since(&baseline);
 
         DebugReport {
             promising: prepared.promising.attrs.clone(),
@@ -213,9 +348,8 @@ impl MatchCatcher {
             labeled: outcome.labeled,
             explanations,
             problems,
-            topk_elapsed,
-            verify_elapsed,
             q_used: joint.q_used,
+            metrics,
         }
     }
 }
@@ -318,6 +452,80 @@ mod tests {
         let (a, b, _) = figure1();
         let mc = MatchCatcher::new(DebuggerParams::small());
         let _ = mc.prepare_with_attrs(&a, &b, &[]);
+    }
+
+    #[test]
+    fn default_and_small_params_validate() {
+        assert!(DebuggerParams::default().validate().is_ok());
+        assert!(DebuggerParams::small().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "joint.k = 0")]
+    fn zero_k_is_rejected() {
+        let (a, b, gold) = figure1();
+        let mut params = DebuggerParams::small();
+        params.joint.k = 0;
+        let mut oracle = GoldOracle::exact(&gold);
+        let _ = MatchCatcher::new(params).run(&a, &b, &PairSet::new(), &mut oracle);
+    }
+
+    #[test]
+    #[should_panic(expected = "joint.threads = 0")]
+    fn zero_threads_is_rejected() {
+        let (a, b, gold) = figure1();
+        let mut params = DebuggerParams::small();
+        params.joint.threads = 0;
+        let mut oracle = GoldOracle::exact(&gold);
+        let _ = MatchCatcher::new(params).run(&a, &b, &PairSet::new(), &mut oracle);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_trees = 0")]
+    fn empty_forest_is_rejected() {
+        let (a, b, gold) = figure1();
+        let mut params = DebuggerParams::small();
+        params.verifier.forest.n_trees = 0;
+        let mut oracle = GoldOracle::exact(&gold);
+        let _ = MatchCatcher::new(params).run(&a, &b, &PairSet::new(), &mut oracle);
+    }
+
+    #[test]
+    fn observer_sees_every_stage_in_order() {
+        #[derive(Default)]
+        struct Recorder {
+            started: Vec<Stage>,
+            finished: Vec<Stage>,
+        }
+        impl RunObserver for Recorder {
+            fn stage_started(&mut self, stage: Stage) {
+                self.started.push(stage);
+            }
+            fn stage_finished(&mut self, stage: Stage, metrics: &MetricsSnapshot) {
+                assert!(
+                    metrics.span(stage.span_name()).count >= 1,
+                    "{stage:?} delta must contain its own span"
+                );
+                self.finished.push(stage);
+            }
+        }
+        let (a, b, gold) = figure1();
+        let q1 = Blocker::Hash(KeyFunc::Attr(a.schema().expect_id("city")));
+        let c = q1.apply(&a, &b);
+        let mc = MatchCatcher::new(DebuggerParams::small());
+        let mut oracle = GoldOracle::exact(&gold);
+        let mut rec = Recorder::default();
+        let report = mc.run_observed(&a, &b, &c, &mut oracle, &mut rec);
+        assert_eq!(rec.started, Stage::ALL.to_vec());
+        assert_eq!(rec.finished, Stage::ALL.to_vec());
+        // The final report carries the whole run's metrics.
+        for stage in Stage::ALL {
+            assert!(
+                report.metrics.span(stage.span_name()).count >= 1,
+                "{stage:?}"
+            );
+        }
+        assert!(report.topk_elapsed() >= Duration::ZERO);
     }
 
     #[test]

@@ -167,7 +167,10 @@ pub struct MatchExplanation {
 impl MatchExplanation {
     /// The attributes that *disagree* (candidate blocker problems).
     pub fn problems(&self) -> impl Iterator<Item = (AttrId, Diagnosis)> + '_ {
-        self.per_attr.iter().copied().filter(|(_, d)| !d.is_agreement())
+        self.per_attr
+            .iter()
+            .copied()
+            .filter(|(_, d)| !d.is_agreement())
     }
 }
 
@@ -176,9 +179,17 @@ pub fn explain_match(a: &Table, b: &Table, aid: TupleId, bid: TupleId) -> MatchE
     let per_attr = a
         .schema()
         .attr_ids()
-        .map(|attr| (attr, diagnose_values(a.value(aid, attr), b.value(bid, attr))))
+        .map(|attr| {
+            (
+                attr,
+                diagnose_values(a.value(aid, attr), b.value(bid, attr)),
+            )
+        })
         .collect();
-    MatchExplanation { pair: (aid, bid), per_attr }
+    MatchExplanation {
+        pair: (aid, bid),
+        per_attr,
+    }
 }
 
 /// Aggregates explanations into the Table 4-style "blocker problems"
@@ -194,7 +205,9 @@ pub fn summarize_problems(
                 Diagnosis::SmallEdit(_) => "misspelling".to_string(),
                 other => other.label(),
             };
-            *counts.entry(format!("{} in \"{}\"", norm, schema.name(attr))).or_insert(0) += 1;
+            *counts
+                .entry(format!("{} in \"{}\"", norm, schema.name(attr)))
+                .or_insert(0) += 1;
         }
     }
     let mut v: Vec<(String, usize)> = counts.into_iter().collect();
@@ -211,30 +224,57 @@ mod tests {
     #[test]
     fn diagnosis_catalogue() {
         assert_eq!(diagnose_values(Some("x"), Some("x")), Diagnosis::Exact);
-        assert_eq!(diagnose_values(Some("New York"), Some("new york")), Diagnosis::CaseOrPunct);
+        assert_eq!(
+            diagnose_values(Some("New York"), Some("new york")),
+            Diagnosis::CaseOrPunct
+        );
         assert_eq!(diagnose_values(None, Some("x")), Diagnosis::MissingOneSide);
         assert_eq!(diagnose_values(None, None), Diagnosis::MissingBoth);
-        assert_eq!(diagnose_values(Some(" "), Some("x")), Diagnosis::MissingOneSide);
-        assert_eq!(diagnose_values(Some("new york"), Some("ny")), Diagnosis::Abbreviation);
-        assert_eq!(diagnose_values(Some("smith dave"), Some("dave smith")), Diagnosis::WordReorder);
+        assert_eq!(
+            diagnose_values(Some(" "), Some("x")),
+            Diagnosis::MissingOneSide
+        );
+        assert_eq!(
+            diagnose_values(Some("new york"), Some("ny")),
+            Diagnosis::Abbreviation
+        );
+        assert_eq!(
+            diagnose_values(Some("smith dave"), Some("dave smith")),
+            Diagnosis::WordReorder
+        );
         assert_eq!(
             diagnose_values(Some("office suite"), Some("office suite deluxe edition")),
             Diagnosis::TokenSubset
         );
-        assert_eq!(diagnose_values(Some("atlanta"), Some("altanta")), Diagnosis::SmallEdit(2));
-        assert_eq!(diagnose_values(Some("100"), Some("95")), Diagnosis::NumericClose);
-        assert_eq!(diagnose_values(Some("chicago"), Some("seattle")), Diagnosis::Different);
+        assert_eq!(
+            diagnose_values(Some("atlanta"), Some("altanta")),
+            Diagnosis::SmallEdit(2)
+        );
+        assert_eq!(
+            diagnose_values(Some("100"), Some("95")),
+            Diagnosis::NumericClose
+        );
+        assert_eq!(
+            diagnose_values(Some("chicago"), Some("seattle")),
+            Diagnosis::Different
+        );
     }
 
     #[test]
     fn small_numbers_with_big_relative_gap_are_different() {
-        assert_eq!(diagnose_values(Some("10"), Some("90")), Diagnosis::Different);
+        assert_eq!(
+            diagnose_values(Some("10"), Some("90")),
+            Diagnosis::Different
+        );
     }
 
     #[test]
     fn short_strings_do_not_count_as_misspellings() {
         // "la" vs "sf": edit distance 2 but half the string.
-        assert_eq!(diagnose_values(Some("la"), Some("sf")), Diagnosis::Different);
+        assert_eq!(
+            diagnose_values(Some("la"), Some("sf")),
+            Diagnosis::Different
+        );
     }
 
     #[test]

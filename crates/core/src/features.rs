@@ -33,7 +33,13 @@ impl<'t> FeatureExtractor<'t> {
         tok_a: &'t TokenizedTable,
         tok_b: &'t TokenizedTable,
     ) -> Self {
-        FeatureExtractor { a, b, attrs, tok_a, tok_b }
+        FeatureExtractor {
+            a,
+            b,
+            attrs,
+            tok_a,
+            tok_b,
+        }
     }
 
     /// Length of the produced feature vectors.
@@ -64,13 +70,20 @@ impl<'t> FeatureExtractor<'t> {
         out.push(SetMeasure::Jaccard.score(&merged_a, &merged_b));
         // Token-length ratio (1 = same length).
         let m = total_a.max(total_b);
-        out.push(if m == 0 { 1.0 } else { total_a.min(total_b) as f64 / m as f64 });
+        out.push(if m == 0 {
+            1.0
+        } else {
+            total_a.min(total_b) as f64 / m as f64
+        });
         out
     }
 }
 
 fn truncate(s: &str) -> String {
-    s.chars().take(EDIT_FEATURE_MAX_CHARS).collect::<String>().to_lowercase()
+    s.chars()
+        .take(EDIT_FEATURE_MAX_CHARS)
+        .collect::<String>()
+        .to_lowercase()
 }
 
 #[cfg(test)]
@@ -115,7 +128,7 @@ mod tests {
         let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
         let same = fx.features(0, 0); // dave smith/atlanta vs david smith/atlanta
         let diff = fx.features(0, 1); // vs joe wilson/new york
-        // Concatenated jaccard (second-to-last feature) should separate.
+                                      // Concatenated jaccard (second-to-last feature) should separate.
         let cj = fx.n_features() - 2;
         assert!(same[cj] > diff[cj]);
         // City jaccard (attr 1, feature 3) is 1.0 vs 0.0.
@@ -129,7 +142,7 @@ mod tests {
         let (ta, tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
         let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
         let f = fx.features(1, 0); // a1 has no city
-        // presence flag for city = features[5]
+                                   // presence flag for city = features[5]
         assert_eq!(f[5], 0.0);
         assert_eq!(f[2], 1.0); // name present on both sides
     }
@@ -140,7 +153,7 @@ mod tests {
         let (ta, tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
         let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
         let f = fx.features(1, 1); // joe welson vs joe wilson
-        // name edit similarity = features[1]; 1 char differs out of 10.
+                                   // name edit similarity = features[1]; 1 char differs out of 10.
         assert!(f[1] > 0.85);
     }
 }

@@ -25,15 +25,14 @@
 //! is clamped to `min(|x|, |y|)`), which is the paper's own approximation.
 
 use crate::config::{Config, ConfigTree};
-use crate::ssj::{topk_join, select_q, ExactScorer, PairScorer, SsjInstance, SsjParams, TopKList};
+use crate::ssj::{select_q, topk_join, ExactScorer, PairScorer, SsjInstance, SsjParams, TopKList};
 use mc_strsim::dict::TokenizedTable;
 use mc_strsim::measures::{multiset_overlap, SetMeasure};
 use mc_table::hash::{hash_u64, FxHashMap};
 use mc_table::{split_pair_key, PairSet, TupleId};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 const DB_SHARDS: usize = 64;
 
@@ -43,12 +42,19 @@ const DB_SHARDS: usize = 64;
 /// overlaps, where `m` is the writer's attribute count. Insert-only:
 /// entries are never mutated or removed, so concurrent readers can never
 /// observe a torn value.
+///
+/// Every lookup and insert is counted both per instance (see
+/// [`OverlapDb::stats`], exact and race-free for tests) and in the global
+/// registry (`mc.core.joint.overlap_db.{hits,misses,inserts}`).
 pub struct OverlapDb {
     /// The writer config's positions (indexes into the promising set),
     /// ascending; cell `(i, j)` refers to `attrs[i]` of A and `attrs[j]`
     /// of B.
     attrs: Vec<usize>,
     shards: Vec<RwLock<FxHashMap<u64, Arc<[u32]>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
 }
 
 impl OverlapDb {
@@ -56,7 +62,12 @@ impl OverlapDb {
     pub fn new(config: Config) -> Self {
         OverlapDb {
             attrs: config.positions(),
-            shards: (0..DB_SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            shards: (0..DB_SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
         }
     }
 
@@ -72,13 +83,36 @@ impl OverlapDb {
 
     /// Fetches the cell matrix for a pair, if present.
     pub fn get(&self, key: u64) -> Option<Arc<[u32]>> {
-        self.shard(key).read().get(&key).cloned()
+        let out = self.shard(key).read().get(&key).cloned();
+        if out.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            mc_obs::counter!("mc.core.joint.overlap_db.hits").inc();
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            mc_obs::counter!("mc.core.joint.overlap_db.misses").inc();
+        }
+        out
     }
 
     /// Inserts a cell matrix (first writer wins; idempotent).
     pub fn insert(&self, key: u64, cells: Arc<[u32]>) {
         debug_assert_eq!(cells.len(), self.attrs.len() * self.attrs.len());
-        self.shard(key).write().entry(key).or_insert(cells);
+        if let std::collections::hash_map::Entry::Vacant(v) = self.shard(key).write().entry(key) {
+            v.insert(cells);
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            mc_obs::counter!("mc.core.joint.overlap_db.inserts").inc();
+        }
+    }
+
+    /// Per-instance `(hits, misses, inserts)` — exact counts of
+    /// [`OverlapDb::get`] outcomes and fresh [`OverlapDb::insert`]s on
+    /// this database.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.inserts.load(Ordering::Relaxed),
+        )
     }
 
     /// Total entries across shards (diagnostics).
@@ -171,7 +205,10 @@ impl PairScorer for ReuseScorer<'_> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let score = self.measure.score(ra, rb);
         if let Some(own) = self.own_db {
-            own.insert(key, compute_cells(&self.my_attrs, self.tok_a, self.tok_b, a, b));
+            own.insert(
+                key,
+                compute_cells(&self.my_attrs, self.tok_a, self.tok_b, a, b),
+            );
         }
         score
     }
@@ -201,7 +238,9 @@ pub struct JointParams {
     pub measure: SetMeasure,
     /// QJoin q selection.
     pub q: QStrategy,
-    /// Worker threads (0 = available parallelism).
+    /// Worker threads. `Default` resolves to the machine's available
+    /// parallelism; [`run_joint`] still tolerates an explicit 0 as "all
+    /// cores", but `DebuggerParams::validate` rejects it.
     pub threads: usize,
     /// Enable the overlap database `H`.
     pub reuse_overlaps: bool,
@@ -218,7 +257,7 @@ impl Default for JointParams {
             k: 1000,
             measure: SetMeasure::Jaccard,
             q: QStrategy::Fixed(1),
-            threads: 0,
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
             reuse_overlaps: true,
             reuse_topk: true,
             reuse_min_avg_tokens: 20.0,
@@ -227,13 +266,16 @@ impl Default for JointParams {
 }
 
 /// Result of the joint execution.
+///
+/// Wall-clock timing lives in the observability layer: the execution is
+/// wrapped in an `mc.core.joint.run` span (and each config in a labeled
+/// `mc.core.joint.config` span), so read durations from a
+/// [`mc_obs::MetricsSnapshot`] delta instead of an ad-hoc field.
 pub struct JointOutput {
     /// Configs in tree order.
     pub configs: Vec<Config>,
     /// One top-k list per config (same order).
     pub lists: Vec<TopKList>,
-    /// Wall-clock time of the whole execution.
-    pub elapsed: Duration,
     /// Overlap-database reuse hits (scores computed from `H`).
     pub reuse_hits: usize,
     /// Fresh score computations.
@@ -245,7 +287,9 @@ pub struct JointOutput {
 /// Materialized per-config records for one side.
 fn build_records(tok: &TokenizedTable, config: Config) -> Vec<Vec<u32>> {
     let idx = config.positions();
-    (0..tok.rows() as TupleId).map(|t| tok.merged(&idx, t)).collect()
+    (0..tok.rows() as TupleId)
+        .map(|t| tok.merged(&idx, t))
+        .collect()
 }
 
 /// Runs one top-k join per config of the tree, jointly.
@@ -259,7 +303,7 @@ pub fn run_joint(
     tree: &ConfigTree,
     params: JointParams,
 ) -> JointOutput {
-    let start = Instant::now();
+    let _run_span = mc_obs::span!("mc.core.joint.run");
     let configs = tree.configs();
     let n = configs.len();
 
@@ -268,10 +312,12 @@ pub fn run_joint(
     let root = configs[0];
     let avg_len = {
         let idx = root.positions();
-        let total_a: usize =
-            (0..tok_a.rows() as TupleId).map(|t| tok_a.merged_len(&idx, t)).sum();
-        let total_b: usize =
-            (0..tok_b.rows() as TupleId).map(|t| tok_b.merged_len(&idx, t)).sum();
+        let total_a: usize = (0..tok_a.rows() as TupleId)
+            .map(|t| tok_a.merged_len(&idx, t))
+            .sum();
+        let total_b: usize = (0..tok_b.rows() as TupleId)
+            .map(|t| tok_b.merged_len(&idx, t))
+            .sum();
         (total_a + total_b) as f64 / (tok_a.rows() + tok_b.rows()).max(1) as f64
     };
     let reuse = params.reuse_overlaps && avg_len >= params.reuse_min_avg_tokens;
@@ -290,7 +336,11 @@ pub fn run_joint(
     let q_used = match params.q {
         QStrategy::Fixed(q) => q.max(1),
         QStrategy::Auto { max_q, prelude_k } => select_q(
-            SsjInstance { records_a: &root_records_a, records_b: &root_records_b, killed },
+            SsjInstance {
+                records_a: &root_records_a,
+                records_b: &root_records_b,
+                killed,
+            },
             params.measure,
             max_q,
             prelude_k,
@@ -312,14 +362,22 @@ pub fn run_joint(
     .min(n)
     .max(1);
 
+    mc_obs::gauge!("mc.core.joint.workers").set(threads as i64);
+    mc_obs::gauge!("mc.core.joint.q_used").set(q_used as i64);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                // Per-thread work statistics, flushed when the worker
+                // retires.
+                let mut my_configs = 0u64;
+                let mut my_seeded = 0u64;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
+                    let _config_span = mc_obs::span!("mc.core.joint.config", i as u64);
+                    my_configs += 1;
                     let config = configs[i];
                     // Root records were already materialized for q
                     // selection; rebuild for other configs.
@@ -335,7 +393,10 @@ pub fn run_joint(
                             .positions()
                             .iter()
                             .map(|f| {
-                                db.attrs().iter().position(|a| a == f).expect("child ⊆ parent")
+                                db.attrs()
+                                    .iter()
+                                    .position(|a| a == f)
+                                    .expect("child ⊆ parent")
                             })
                             .collect()
                     });
@@ -374,9 +435,18 @@ pub fn run_joint(
                     } else {
                         Vec::new()
                     };
+                    my_seeded += seed.len() as u64;
                     let list = topk_join(
-                        SsjInstance { records_a: &records_a, records_b: &records_b, killed },
-                        SsjParams { k: params.k, q: q_used, measure: params.measure },
+                        SsjInstance {
+                            records_a: &records_a,
+                            records_b: &records_b,
+                            killed,
+                        },
+                        SsjParams {
+                            k: params.k,
+                            q: q_used,
+                            measure: params.measure,
+                        },
                         &scorer,
                         &seed,
                         None,
@@ -386,14 +456,21 @@ pub fn run_joint(
                     *finished[i].lock() = Some(list.sorted_entries());
                     *lists[i].lock() = Some(list);
                 }
+                mc_obs::counter!("mc.core.joint.configs_executed").add(my_configs);
+                mc_obs::counter!("mc.core.joint.seeded_pairs").add(my_seeded);
+                mc_obs::histogram!("mc.core.joint.configs_per_thread").record(my_configs);
             });
         }
     });
+    mc_obs::counter!("mc.core.joint.reuse_hits").add(hits.load(Ordering::Relaxed) as u64);
+    mc_obs::counter!("mc.core.joint.reuse_misses").add(misses.load(Ordering::Relaxed) as u64);
 
     JointOutput {
         configs,
-        lists: lists.into_iter().map(|m| m.into_inner().expect("all configs ran")).collect(),
-        elapsed: start.elapsed(),
+        lists: lists
+            .into_iter()
+            .map(|m| m.into_inner().expect("all configs ran"))
+            .collect(),
         reuse_hits: hits.into_inner(),
         reuse_misses: misses.into_inner(),
         q_used,
@@ -411,7 +488,7 @@ pub fn run_individual(
     k: usize,
     measure: SetMeasure,
 ) -> JointOutput {
-    let start = Instant::now();
+    let _span = mc_obs::span!("mc.core.joint.run_individual");
     let configs = tree.configs();
     let scorer = ExactScorer(measure);
     let lists: Vec<TopKList> = configs
@@ -420,7 +497,11 @@ pub fn run_individual(
             let records_a = build_records(tok_a, config);
             let records_b = build_records(tok_b, config);
             topk_join(
-                SsjInstance { records_a: &records_a, records_b: &records_b, killed },
+                SsjInstance {
+                    records_a: &records_a,
+                    records_b: &records_b,
+                    killed,
+                },
                 SsjParams { k, q: 1, measure },
                 &scorer,
                 &[],
@@ -431,7 +512,6 @@ pub fn run_individual(
     JointOutput {
         configs,
         lists,
-        elapsed: start.elapsed(),
         reuse_hits: 0,
         reuse_misses: 0,
         q_used: 1,
@@ -463,8 +543,7 @@ impl CandidateUnion {
         let mut pairs: Vec<(f64, u64)> = best.into_iter().map(|(p, s)| (s, p)).collect();
         pairs.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let pairs: Vec<u64> = pairs.into_iter().map(|(_, p)| p).collect();
-        let index: FxHashMap<u64, usize> =
-            pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let index: FxHashMap<u64, usize> = pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         let mut scores = vec![vec![None; pairs.len()]; lists.len()];
         for (c, l) in lists.iter().enumerate() {
             for (s, p) in l.sorted_entries() {
@@ -589,7 +668,16 @@ mod tests {
         for i in 0..60u32 {
             killed.insert(i, i);
         }
-        let joint = run_joint(&ta, &tb, &killed, &tree, JointParams { k: 50, ..Default::default() });
+        let joint = run_joint(
+            &ta,
+            &tb,
+            &killed,
+            &tree,
+            JointParams {
+                k: 50,
+                ..Default::default()
+            },
+        );
         for l in &joint.lists {
             for (_, key) in l.sorted_entries() {
                 let (x, y) = split_pair_key(key);
@@ -613,7 +701,12 @@ mod tests {
                     &tb,
                     &killed,
                     &tree,
-                    JointParams { k: 12, threads, reuse_min_avg_tokens: 0.0, ..Default::default() },
+                    JointParams {
+                        k: 12,
+                        threads,
+                        reuse_min_avg_tokens: 0.0,
+                        ..Default::default()
+                    },
                 )
                 .lists
                 .iter()
@@ -647,6 +740,80 @@ mod tests {
     }
 
     #[test]
+    fn overlap_db_concurrent_insert_get() {
+        // 8 threads hammer the same key range; insert-only semantics mean
+        // whoever wins a key, every reader sees the same (key-derived)
+        // value, and the map never tears or loses entries.
+        let db = OverlapDb::new(Config::from_positions([0]));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let db = &db;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        db.insert(i, vec![i as u32].into());
+                        let got = db.get(i).expect("key just inserted");
+                        assert_eq!(got.as_ref(), &[i as u32]);
+                    }
+                });
+            }
+        });
+        assert_eq!(db.len(), 500);
+        let (hits, misses, inserts) = db.stats();
+        assert_eq!(hits, 8 * 500, "every get after insert must hit");
+        assert_eq!(misses, 0);
+        assert_eq!(inserts, 500, "first writer wins exactly once per key");
+    }
+
+    #[test]
+    fn overlap_db_counters_match_independent_count() {
+        // Replay a deterministic workload against a plain HashSet model
+        // and check the db's hit/miss/insert counters agree exactly.
+        let db = OverlapDb::new(Config::from_positions([0]));
+        let mut model = std::collections::HashSet::new();
+        let (mut hits, mut misses, mut inserts) = (0u64, 0u64, 0u64);
+        for i in 0..200u64 {
+            let key = (i * 7) % 40;
+            if model.contains(&key) {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            let _ = db.get(key);
+            if model.insert(key) {
+                inserts += 1;
+            }
+            db.insert(key, vec![key as u32].into());
+        }
+        assert_eq!(db.stats(), (hits, misses, inserts));
+        assert_eq!(db.len(), model.len());
+    }
+
+    #[test]
+    fn pair_keys_never_alias_distinct_pairs() {
+        // `pair_key` packs (a, b) losslessly into 32+32 bits, so
+        // `split_pair_key` inverts it exactly and two distinct pairs can
+        // never collide on the same OverlapDb key — only on the same
+        // *shard*, which must still keep them separate.
+        use mc_table::pair_key;
+        for a in [0u32, 1, 7, 12345, u32::MAX] {
+            for b in [0u32, 2, 9, 54321, u32::MAX] {
+                assert_eq!(split_pair_key(pair_key(a, b)), (a, b));
+            }
+        }
+        assert_ne!(pair_key(1, 2), pair_key(2, 1), "order matters");
+        let db = OverlapDb::new(Config::from_positions([0]));
+        // DB_SHARDS = 64, so keys 0 and 64·n land wherever the hash sends
+        // them; insert far more keys than shards to force co-residency.
+        for k in 0..256u64 {
+            db.insert(k, vec![k as u32].into());
+        }
+        for k in 0..256u64 {
+            assert_eq!(db.get(k).unwrap().as_ref(), &[k as u32]);
+        }
+        assert_eq!(db.len(), 256);
+    }
+
+    #[test]
     fn candidate_union_collects_all_lists() {
         let mut l1 = TopKList::new(3);
         l1.insert(0.9, 10);
@@ -676,7 +843,10 @@ mod tests {
             &tree,
             JointParams {
                 k: 10,
-                q: QStrategy::Auto { max_q: 3, prelude_k: 5 },
+                q: QStrategy::Auto {
+                    max_q: 3,
+                    prelude_k: 5,
+                },
                 ..Default::default()
             },
         );

@@ -31,13 +31,23 @@ pub struct GoldOracle<'g> {
 impl<'g> GoldOracle<'g> {
     /// A perfectly accurate oracle.
     pub fn exact(gold: &'g GoldMatches) -> Self {
-        GoldOracle { gold, noise: 0.0, rng: StdRng::seed_from_u64(0), labels: 0 }
+        GoldOracle {
+            gold,
+            noise: 0.0,
+            rng: StdRng::seed_from_u64(0),
+            labels: 0,
+        }
     }
 
     /// An oracle that flips each label with probability `noise`.
     pub fn noisy(gold: &'g GoldMatches, noise: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&noise));
-        GoldOracle { gold, noise, rng: StdRng::seed_from_u64(seed), labels: 0 }
+        GoldOracle {
+            gold,
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+            labels: 0,
+        }
     }
 }
 
@@ -75,7 +85,10 @@ mod tests {
         let gold = GoldMatches::from_pairs((0..100).map(|i| (i, i)));
         let mut o = GoldOracle::noisy(&gold, 0.3, 9);
         let wrong = (0..100).filter(|&i| !o.is_match(i, i)).count();
-        assert!(wrong > 10 && wrong < 60, "flip count {wrong} implausible for p=0.3");
+        assert!(
+            wrong > 10 && wrong < 60,
+            "flip count {wrong} implausible for p=0.3"
+        );
     }
 
     #[test]

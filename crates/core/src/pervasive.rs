@@ -242,7 +242,10 @@ mod tests {
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0].pairs.len(), 2);
         assert_eq!(groups[0].confirmed, 1);
-        assert!(groups[0].signature.describe(a.schema()).contains("abbreviation"));
+        assert!(groups[0]
+            .signature
+            .describe(a.schema())
+            .contains("abbreviation"));
     }
 
     #[test]

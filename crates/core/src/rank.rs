@@ -70,8 +70,12 @@ impl RankedLists {
     /// total weight.
     pub fn weighted_median_rank(&self, i: usize, weights: &[f64]) -> u32 {
         debug_assert_eq!(weights.len(), self.lists());
-        let mut pairs: Vec<(u32, f64)> =
-            self.ranks.iter().zip(weights).map(|(r, &w)| (r[i], w)).collect();
+        let mut pairs: Vec<(u32, f64)> = self
+            .ranks
+            .iter()
+            .zip(weights)
+            .map(|(r, &w)| (r[i], w))
+            .collect();
         pairs.sort_unstable_by_key(|p| p.0);
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
@@ -104,7 +108,9 @@ impl WmrWeights {
     /// Uniform initial weights `1/m`.
     pub fn uniform(lists: usize) -> Self {
         assert!(lists > 0);
-        WmrWeights { w: vec![1.0 / lists as f64; lists] }
+        WmrWeights {
+            w: vec![1.0 / lists as f64; lists],
+        }
     }
 
     /// The current weights.
@@ -209,7 +215,10 @@ mod tests {
         let ranked = RankedLists::from_union(&union);
         let w = WmrWeights::uniform(3);
         for i in 0..ranked.items() {
-            assert_eq!(ranked.weighted_median_rank(i, w.weights()), ranked.median_rank(i));
+            assert_eq!(
+                ranked.weighted_median_rank(i, w.weights()),
+                ranked.median_rank(i)
+            );
         }
         assert_eq!(wmr_order(&ranked, &w), medrank_order(&ranked));
     }

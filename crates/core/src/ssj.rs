@@ -67,7 +67,10 @@ impl TopKList {
         // Pre-allocation is capped: callers may pass an effectively
         // unbounded k (e.g. brute-force references), and the heap grows
         // on demand anyway.
-        TopKList { k, heap: BinaryHeap::with_capacity(k.min(1 << 16) + 1) }
+        TopKList {
+            k,
+            heap: BinaryHeap::with_capacity(k.min(1 << 16) + 1),
+        }
     }
 
     /// The capacity `k`.
@@ -146,7 +149,11 @@ pub struct SsjParams {
 
 impl Default for SsjParams {
     fn default() -> Self {
-        SsjParams { k: 1000, q: 1, measure: SetMeasure::Jaccard }
+        SsjParams {
+            k: 1000,
+            q: 1,
+            measure: SetMeasure::Jaccard,
+        }
     }
 }
 
@@ -245,14 +252,19 @@ pub fn topk_join(
     for &(score, pair) in seed {
         if !inst.killed.contains_key(pair) {
             k_list.insert(score, pair);
-            states.insert(pair, PairState { common: 0, scored: true });
+            states.insert(
+                pair,
+                PairState {
+                    common: 0,
+                    scored: true,
+                },
+            );
         }
     }
 
     // Per-side prefix positions and inverted indexes (token → records
     // whose prefix contains it).
-    let mut pos: [Vec<u32>; 2] =
-        [vec![0; inst.records_a.len()], vec![0; inst.records_b.len()]];
+    let mut pos: [Vec<u32>; 2] = [vec![0; inst.records_a.len()], vec![0; inst.records_b.len()]];
     let mut index: [FxHashMap<u32, Vec<TupleId>>; 2] = [fx_map(), fx_map()];
     // Last token each record posted, so a record's duplicated tokens get a
     // single posting even when other records' events interleave.
@@ -274,11 +286,22 @@ pub fn topk_join(
         }
     }
 
+    // Hot-loop statistics accumulate in locals and flush to the global
+    // registry once per join, so the event loop pays no atomic ops.
+    let mut n_events = 0u64;
+    let mut n_discovered = 0u64;
+    let mut n_scored = 0u64;
+    let mut n_killed_skipped = 0u64;
+    let mut n_bound_pruned = 0u64;
+
     let mut since_cancel_check = 0u32;
     while let Some(ev) = heap.pop() {
         if k_list.len() == k_list.k() && ev.bound.0 <= k_list.threshold() + 1e-12 {
+            // Everything still on the heap is pruned by the prefix bound.
+            n_bound_pruned += heap.len() as u64 + 1;
             break;
         }
+        n_events += 1;
         if let Some(flag) = cancel {
             since_cancel_check += 1;
             if since_cancel_check >= 256 {
@@ -290,7 +313,11 @@ pub fn topk_join(
         }
         let side = ev.side as usize;
         let other = 1 - side;
-        let records = if side == 0 { inst.records_a } else { inst.records_b };
+        let records = if side == 0 {
+            inst.records_a
+        } else {
+            inst.records_b
+        };
         let rec = &records[ev.rec as usize];
         let p = pos[side][ev.rec as usize] as usize; // 0-indexed token to process
         let tok = rec[p];
@@ -300,11 +327,16 @@ pub fn topk_join(
         let first_occ = rec[..p].partition_point(|&t| t < tok);
         let occ = p - first_occ + 1;
         if let Some(partners) = index[other].get(&tok) {
-            let other_records = if other == 0 { inst.records_a } else { inst.records_b };
+            let other_records = if other == 0 {
+                inst.records_a
+            } else {
+                inst.records_b
+            };
             for &o in partners {
                 let (a, b) = if side == 0 { (ev.rec, o) } else { (o, ev.rec) };
                 let key = pair_key(a, b);
                 if inst.killed.contains_key(key) {
+                    n_killed_skipped += 1;
                     continue;
                 }
                 // The pair's prefix multiset overlap grows by one exactly
@@ -318,14 +350,26 @@ pub fn topk_join(
                 if o_count < occ {
                     continue;
                 }
-                let st = states.entry(key).or_default();
+                let st = match states.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        n_discovered += 1;
+                        v.insert(PairState::default())
+                    }
+                };
                 if st.scored {
                     continue;
                 }
                 st.common += 1;
                 if st.common as usize >= params.q {
                     st.scored = true;
-                    let s = scorer.score(a, b, &inst.records_a[a as usize], &inst.records_b[b as usize]);
+                    n_scored += 1;
+                    let s = scorer.score(
+                        a,
+                        b,
+                        &inst.records_a[a as usize],
+                        &inst.records_b[b as usize],
+                    );
                     k_list.insert(s, key);
                 }
             }
@@ -343,10 +387,21 @@ pub fn topk_join(
         if next_p < rec.len() {
             let b = bound_with_credit(params.measure, rec.len(), next_p + 1, credit);
             if k_list.len() < k_list.k() || b > k_list.threshold() {
-                heap.push(Event { bound: Score(b), side: ev.side, rec: ev.rec });
+                heap.push(Event {
+                    bound: Score(b),
+                    side: ev.side,
+                    rec: ev.rec,
+                });
+            } else {
+                n_bound_pruned += 1;
             }
         }
     }
+    mc_obs::counter!("mc.core.ssj.events").add(n_events);
+    mc_obs::counter!("mc.core.ssj.candidates").add(n_discovered);
+    mc_obs::counter!("mc.core.ssj.scored").add(n_scored);
+    mc_obs::counter!("mc.core.ssj.killed_skipped").add(n_killed_skipped);
+    mc_obs::counter!("mc.core.ssj.bound_pruned").add(n_bound_pruned);
     k_list
 }
 
@@ -387,6 +442,7 @@ pub fn select_q(
     if max_q == 1 {
         return 1;
     }
+    let _span = mc_obs::span!("mc.core.ssj.select_q");
     let cancel = AtomicBool::new(false);
     let winner = std::sync::Mutex::new(None::<(usize, std::time::Duration)>);
     std::thread::scope(|scope| {
@@ -396,7 +452,11 @@ pub fn select_q(
             let scorer = ExactScorer(measure);
             scope.spawn(move || {
                 let start = Instant::now();
-                let params = SsjParams { k: prelude_k, q, measure };
+                let params = SsjParams {
+                    k: prelude_k,
+                    q,
+                    measure,
+                };
                 let _ = topk_join(inst, params, &scorer, &[], Some(cancel));
                 let elapsed = start.elapsed();
                 let mut w = winner.lock().unwrap();
@@ -449,11 +509,19 @@ mod tests {
         let a = records(&[&[1, 2, 3, 4], &[5, 6, 7], &[1, 9], &[2, 5, 8, 10, 11]]);
         let b = records(&[&[1, 2, 3], &[5, 6, 7, 8], &[9, 10], &[4, 11]]);
         let killed = PairSet::new();
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         for k in [1, 2, 3, 5, 16] {
             let fast = topk_join(
                 inst,
-                SsjParams { k, q: 1, measure: SetMeasure::Jaccard },
+                SsjParams {
+                    k,
+                    q: 1,
+                    measure: SetMeasure::Jaccard,
+                },
                 &ExactScorer(SetMeasure::Jaccard),
                 &[],
                 None,
@@ -468,11 +536,19 @@ mod tests {
         let a = records(&[&[1, 2, 3, 4, 5], &[2, 3, 9], &[7, 8], &[1, 6, 7, 10]]);
         let b = records(&[&[1, 2, 3], &[3, 4, 5, 6], &[7, 8, 9, 10], &[2]]);
         let killed = PairSet::new();
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         for m in [SetMeasure::Jaccard, SetMeasure::Cosine, SetMeasure::Dice] {
             let fast = topk_join(
                 inst,
-                SsjParams { k: 4, q: 1, measure: m },
+                SsjParams {
+                    k: 4,
+                    q: 1,
+                    measure: m,
+                },
                 &ExactScorer(m),
                 &[],
                 None,
@@ -493,10 +569,18 @@ mod tests {
         let b = records(&[&[1, 2, 3], &[1, 2, 9]]);
         let mut killed = PairSet::new();
         killed.insert(0, 0); // the perfect pair is in C
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         let l = topk_join(
             inst,
-            SsjParams { k: 5, q: 1, measure: SetMeasure::Jaccard },
+            SsjParams {
+                k: 5,
+                q: 1,
+                measure: SetMeasure::Jaccard,
+            },
             &ExactScorer(SetMeasure::Jaccard),
             &[],
             None,
@@ -512,10 +596,18 @@ mod tests {
         let a = records(&[&[1, 2, 3, 4], &[5, 6, 7, 8]]);
         let b = records(&[&[1, 2, 3, 9], &[5, 9, 10, 11]]);
         let killed = PairSet::new();
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         let l = topk_join(
             inst,
-            SsjParams { k: 10, q: 2, measure: SetMeasure::Jaccard },
+            SsjParams {
+                k: 10,
+                q: 2,
+                measure: SetMeasure::Jaccard,
+            },
             &ExactScorer(SetMeasure::Jaccard),
             &[],
             None,
@@ -539,17 +631,29 @@ mod tests {
             b.push(vec![i * 3, i * 3 + 1, i * 3 + 2, 200 + i]);
         }
         let killed = PairSet::new();
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         let t1 = topk_join(
             inst,
-            SsjParams { k: 10, q: 1, measure: SetMeasure::Jaccard },
+            SsjParams {
+                k: 10,
+                q: 1,
+                measure: SetMeasure::Jaccard,
+            },
             &ExactScorer(SetMeasure::Jaccard),
             &[],
             None,
         );
         let t2 = topk_join(
             inst,
-            SsjParams { k: 10, q: 2, measure: SetMeasure::Jaccard },
+            SsjParams {
+                k: 10,
+                q: 2,
+                measure: SetMeasure::Jaccard,
+            },
             &ExactScorer(SetMeasure::Jaccard),
             &[],
             None,
@@ -562,10 +666,18 @@ mod tests {
         let a = records(&[&[1, 2, 3, 4], &[5, 6, 7]]);
         let b = records(&[&[1, 2, 8], &[5, 6, 7, 9]]);
         let killed = PairSet::new();
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         let plain = topk_join(
             inst,
-            SsjParams { k: 2, q: 1, measure: SetMeasure::Jaccard },
+            SsjParams {
+                k: 2,
+                q: 1,
+                measure: SetMeasure::Jaccard,
+            },
             &ExactScorer(SetMeasure::Jaccard),
             &[],
             None,
@@ -574,7 +686,11 @@ mod tests {
         let seed: Vec<(f64, u64)> = plain.sorted_entries();
         let seeded = topk_join(
             inst,
-            SsjParams { k: 2, q: 1, measure: SetMeasure::Jaccard },
+            SsjParams {
+                k: 2,
+                q: 1,
+                measure: SetMeasure::Jaccard,
+            },
             &ExactScorer(SetMeasure::Jaccard),
             &seed,
             None,
@@ -588,10 +704,18 @@ mod tests {
         let b = records(&[&[1, 2]]);
         let mut killed = PairSet::new();
         killed.insert(0, 0);
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         let seeded = topk_join(
             inst,
-            SsjParams { k: 2, q: 1, measure: SetMeasure::Jaccard },
+            SsjParams {
+                k: 2,
+                q: 1,
+                measure: SetMeasure::Jaccard,
+            },
             &ExactScorer(SetMeasure::Jaccard),
             &[(1.0, pair_key(0, 0))],
             None,
@@ -604,7 +728,11 @@ mod tests {
         let a = records(&[&[]]);
         let b = records(&[&[1]]);
         let killed = PairSet::new();
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         let l = topk_join(
             inst,
             SsjParams::default(),
@@ -620,7 +748,11 @@ mod tests {
         let a: Vec<Vec<u32>> = (0..50).map(|i| vec![i, i + 1, i + 2, i + 50]).collect();
         let b: Vec<Vec<u32>> = (0..50).map(|i| vec![i, i + 1, i + 3, i + 90]).collect();
         let killed = PairSet::new();
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         let q = select_q(inst, SetMeasure::Jaccard, 4, 10);
         assert!((1..=4).contains(&q));
     }
@@ -630,11 +762,19 @@ mod tests {
         let a: Vec<Vec<u32>> = (0..200).map(|i| (i..i + 12).collect()).collect();
         let b: Vec<Vec<u32>> = (0..200).map(|i| (i + 3..i + 15).collect()).collect();
         let killed = PairSet::new();
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         let cancel = AtomicBool::new(true); // cancelled from the start
         let l = topk_join(
             inst,
-            SsjParams { k: 50, q: 1, measure: SetMeasure::Jaccard },
+            SsjParams {
+                k: 50,
+                q: 1,
+                measure: SetMeasure::Jaccard,
+            },
             &ExactScorer(SetMeasure::Jaccard),
             &[],
             Some(&cancel),

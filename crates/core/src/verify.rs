@@ -95,7 +95,11 @@ impl VerifyOutcome {
 
     /// Matches found within the first `n` iterations (Table 4).
     pub fn matches_in_first(&self, n: usize) -> usize {
-        self.iterations.iter().take(n).map(|r| r.matches_found).sum()
+        self.iterations
+            .iter()
+            .take(n)
+            .map(|r| r.matches_found)
+            .sum()
     }
 }
 
@@ -106,14 +110,34 @@ pub fn run_verifier(
     oracle: &mut dyn Oracle,
     params: &VerifierParams,
 ) -> VerifyOutcome {
+    let _span = mc_obs::span!("mc.core.verify.run");
     let items = union.len();
-    let mut outcome =
-        VerifyOutcome { matches: Vec::new(), iterations: Vec::new(), labeled: 0 };
+    let mut outcome = VerifyOutcome {
+        matches: Vec::new(),
+        iterations: Vec::new(),
+        labeled: 0,
+    };
     if items == 0 {
         return outcome;
     }
     let ranked = RankedLists::from_union(union);
     let base_order = medrank_order(&ranked);
+    // How much the two aggregation baselines agree on the head of the
+    // ranking (overlap of the top-n prefixes, in percent) — a cheap
+    // diagnostic for whether WMR's weighting can matter on this input.
+    {
+        let head = params.n_per_iter.clamp(1, items);
+        let wmr_head: Vec<usize> = wmr_order(&ranked, &WmrWeights::uniform(ranked.lists().max(1)))
+            .into_iter()
+            .take(head)
+            .collect();
+        let agree = base_order
+            .iter()
+            .take(head)
+            .filter(|i| wmr_head.contains(i))
+            .count();
+        mc_obs::gauge!("mc.core.verify.rank_agreement_pct").set((agree * 100 / head) as i64);
+    }
     let mut labels: Vec<Option<bool>> = vec![None; items];
     let mut features: Vec<Option<Vec<f64>>> = vec![None; items];
     let mut wmr = WmrWeights::uniform(ranked.lists().max(1));
@@ -165,14 +189,20 @@ pub fn run_verifier(
                     let (x, y): (Vec<Vec<f64>>, Vec<bool>) = (0..items)
                         .filter_map(|i| labels[i].map(|l| (feature_of(i, &mut features), l)))
                         .unzip();
-                    let f = RandomForest::fit(&x, &y, &params.forest);
-                    let scored: Vec<(usize, f64, f64)> = unlabeled
-                        .iter()
-                        .map(|&i| {
-                            let feats = feature_of(i, &mut features);
-                            (i, f.confidence(&feats), f.mean_proba(&feats))
-                        })
-                        .collect();
+                    let f = {
+                        let _fit = mc_obs::span!("mc.core.verify.forest_fit");
+                        RandomForest::fit(&x, &y, &params.forest)
+                    };
+                    let scored: Vec<(usize, f64, f64)> = {
+                        let _predict = mc_obs::span!("mc.core.verify.forest_predict");
+                        unlabeled
+                            .iter()
+                            .map(|&i| {
+                                let feats = feature_of(i, &mut features);
+                                (i, f.confidence(&feats), f.mean_proba(&feats))
+                            })
+                            .collect()
+                    };
                     forest = Some(f);
                     if al_rounds_done < params.al_iters {
                         al_rounds_done += 1;
@@ -181,7 +211,9 @@ pub fn run_verifier(
                         // Pure online phase: top-n by confidence.
                         let mut by_conf = scored;
                         by_conf.sort_by(|a, b| {
-                            b.1.total_cmp(&a.1).then(b.2.total_cmp(&a.2)).then(a.0.cmp(&b.0))
+                            b.1.total_cmp(&a.1)
+                                .then(b.2.total_cmp(&a.2))
+                                .then(a.0.cmp(&b.0))
                         });
                         by_conf.into_iter().take(n).map(|(i, _, _)| i).collect()
                     }
@@ -210,7 +242,18 @@ pub fn run_verifier(
                 }
             }
         }
-        outcome.iterations.push(IterationRecord { shown: batch.len(), matches_found: found });
+        mc_obs::counter!("mc.core.verify.iterations").inc();
+        mc_obs::counter!("mc.core.verify.labeled").add(batch.len() as u64);
+        mc_obs::counter!("mc.core.verify.matches").add(found as u64);
+        mc_obs::event(
+            "mc.core.verify.iteration",
+            outcome.iterations.len() as u64,
+            found as u64,
+        );
+        outcome.iterations.push(IterationRecord {
+            shown: batch.len(),
+            matches_found: found,
+        });
         if params.strategy == RankStrategy::Wmr {
             wmr.update(&matches_per_list);
         }
@@ -238,10 +281,17 @@ fn hybrid_batch(scored: &[(usize, f64, f64)], n: usize) -> Vec<usize> {
         let ub = (b.1 - 0.5).abs();
         ua.total_cmp(&ub).then(a.0.cmp(&b.0))
     });
-    let mut batch: Vec<usize> =
-        by_uncertainty.iter().take(n_controversial).map(|t| t.0).collect();
+    let mut batch: Vec<usize> = by_uncertainty
+        .iter()
+        .take(n_controversial)
+        .map(|t| t.0)
+        .collect();
     let mut by_conf: Vec<&(usize, f64, f64)> = scored.iter().collect();
-    by_conf.sort_by(|a, b| b.1.total_cmp(&a.1).then(b.2.total_cmp(&a.2)).then(a.0.cmp(&b.0)));
+    by_conf.sort_by(|a, b| {
+        b.1.total_cmp(&a.1)
+            .then(b.2.total_cmp(&a.2))
+            .then(a.0.cmp(&b.0))
+    });
     for t in by_conf {
         if batch.len() >= n {
             break;
@@ -302,14 +352,20 @@ mod tests {
         let (attrs, ta, tb) = extractor_parts(&a, &b);
         let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
         let mut oracle = GoldOracle::exact(&gold);
-        let params = VerifierParams { n_per_iter: 10, ..Default::default() };
+        let params = VerifierParams {
+            n_per_iter: 10,
+            ..Default::default()
+        };
         let out = run_verifier(&union, &fx, &mut oracle, &params);
         assert!(
             out.matches.len() >= 20,
             "verifier found only {}/25 matches",
             out.matches.len()
         );
-        assert_eq!(out.labeled, out.iterations.iter().map(|r| r.shown).sum::<usize>());
+        assert_eq!(
+            out.labeled,
+            out.iterations.iter().map(|r| r.shown).sum::<usize>()
+        );
     }
 
     #[test]
@@ -319,7 +375,11 @@ mod tests {
         let (attrs, ta, tb) = extractor_parts(&a, &b);
         let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
         let mut oracle = GoldOracle::exact(&gold);
-        let params = VerifierParams { n_per_iter: 10, stop_after_empty: 2, ..Default::default() };
+        let params = VerifierParams {
+            n_per_iter: 10,
+            stop_after_empty: 2,
+            ..Default::default()
+        };
         let out = run_verifier(&union, &fx, &mut oracle, &params);
         assert_eq!(out.iterations.len(), 2);
         assert!(out.matches.is_empty());
@@ -339,12 +399,20 @@ mod tests {
 
     #[test]
     fn all_strategies_find_the_obvious_matches() {
-        for strategy in [RankStrategy::Learning, RankStrategy::Wmr, RankStrategy::MedRank] {
+        for strategy in [
+            RankStrategy::Learning,
+            RankStrategy::Wmr,
+            RankStrategy::MedRank,
+        ] {
             let (a, b, gold, union) = scenario(10);
             let (attrs, ta, tb) = extractor_parts(&a, &b);
             let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
             let mut oracle = GoldOracle::exact(&gold);
-            let params = VerifierParams { n_per_iter: 10, strategy, ..Default::default() };
+            let params = VerifierParams {
+                n_per_iter: 10,
+                strategy,
+                ..Default::default()
+            };
             let out = run_verifier(&union, &fx, &mut oracle, &params);
             assert!(
                 out.matches.len() >= 8,
@@ -360,7 +428,10 @@ mod tests {
         let (attrs, ta, tb) = extractor_parts(&a, &b);
         let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
         let mut oracle = GoldOracle::exact(&gold);
-        let params = VerifierParams { n_per_iter: 7, ..Default::default() };
+        let params = VerifierParams {
+            n_per_iter: 7,
+            ..Default::default()
+        };
         let out = run_verifier(&union, &fx, &mut oracle, &params);
         assert!(out.labeled <= union.len());
         // matches are unique
@@ -375,9 +446,18 @@ mod tests {
         let out = VerifyOutcome {
             matches: vec![],
             iterations: vec![
-                IterationRecord { shown: 10, matches_found: 4 },
-                IterationRecord { shown: 10, matches_found: 2 },
-                IterationRecord { shown: 10, matches_found: 1 },
+                IterationRecord {
+                    shown: 10,
+                    matches_found: 4,
+                },
+                IterationRecord {
+                    shown: 10,
+                    matches_found: 2,
+                },
+                IterationRecord {
+                    shown: 10,
+                    matches_found: 1,
+                },
             ],
             labeled: 30,
         };

@@ -60,9 +60,16 @@ impl EntityFactory for SoftwareProductFactory {
         let price = format!("{:.2}", rng.random_range(9.0..400.0f64));
         let category = format!(
             "{} software",
-            ["business", "education", "utilities", "security", "media", "games"]
-                .choose(rng)
-                .unwrap()
+            [
+                "business",
+                "education",
+                "utilities",
+                "security",
+                "media",
+                "games"
+            ]
+            .choose(rng)
+            .unwrap()
         );
         let description = long_description(rng, &title);
         Entity {
@@ -125,7 +132,13 @@ pub struct ElectronicsFactory;
 impl EntityFactory for ElectronicsFactory {
     fn schema(&self) -> Schema {
         Schema::from_names([
-            "title", "brand", "modelno", "price", "category", "shortdescr", "longdescr",
+            "title",
+            "brand",
+            "modelno",
+            "price",
+            "category",
+            "shortdescr",
+            "longdescr",
         ])
     }
 
@@ -169,7 +182,9 @@ impl PaperFactory {
     /// A factory with `extra` synthetic surnames appended to the built-in
     /// pool (pass 0 for the small ACM-DBLP profile).
     pub fn new(rng: &mut StdRng, extra: usize) -> Self {
-        PaperFactory { extra_surnames: vocab::synth_pool(rng, extra) }
+        PaperFactory {
+            extra_surnames: vocab::synth_pool(rng, extra),
+        }
     }
 
     fn surname<'a>(&'a self, rng: &mut StdRng) -> &'a str {
@@ -229,13 +244,23 @@ pub struct BigPaperFactory {
 impl BigPaperFactory {
     /// A factory with an extended surname pool of size `extra`.
     pub fn new(rng: &mut StdRng, extra: usize) -> Self {
-        BigPaperFactory { inner: PaperFactory::new(rng, extra) }
+        BigPaperFactory {
+            inner: PaperFactory::new(rng, extra),
+        }
     }
 }
 
 impl EntityFactory for BigPaperFactory {
     fn schema(&self) -> Schema {
-        Schema::from_names(["title", "authors", "venue", "year", "volume", "pages", "publisher"])
+        Schema::from_names([
+            "title",
+            "authors",
+            "venue",
+            "year",
+            "volume",
+            "pages",
+            "publisher",
+        ])
     }
 
     fn generate(&mut self, rng: &mut StdRng) -> Entity {
@@ -244,12 +269,21 @@ impl EntityFactory for BigPaperFactory {
             base.fields.try_into().unwrap();
         let volume = Some(format!("{}", rng.random_range(1..60u32)));
         let publisher = Some(
-            ["acm", "ieee", "springer", "elsevier", "vldb endowment", "usenix"]
-                .choose(rng)
-                .unwrap()
-                .to_string(),
+            [
+                "acm",
+                "ieee",
+                "springer",
+                "elsevier",
+                "vldb endowment",
+                "usenix",
+            ]
+            .choose(rng)
+            .unwrap()
+            .to_string(),
         );
-        Entity { fields: vec![title, authors, venue, year, volume, pages, publisher] }
+        Entity {
+            fields: vec![title, authors, venue, year, volume, pages, publisher],
+        }
     }
 }
 
@@ -330,7 +364,11 @@ impl SongFactory {
             })
             .collect();
         let labels = label_words.iter().map(|w| format!("{w} records")).collect();
-        SongFactory { artists, albums, labels }
+        SongFactory {
+            artists,
+            albums,
+            labels,
+        }
     }
 }
 
@@ -354,7 +392,11 @@ impl EntityFactory for SongFactory {
         let album = self.albums.choose(rng).unwrap().clone();
         let year = format!("{}", rng.random_range(1960..2017u32));
         let genre = vocab::GENRES.choose(rng).unwrap().to_string();
-        let duration = format!("{}:{:02}", rng.random_range(1..9u32), rng.random_range(0..60u32));
+        let duration = format!(
+            "{}:{:02}",
+            rng.random_range(1..9u32),
+            rng.random_range(0..60u32)
+        );
         let track = format!("{}", rng.random_range(1..20u32));
         let label = self.labels.choose(rng).unwrap().clone();
         Entity {

@@ -74,7 +74,11 @@ fn avg_tuple_chars(t: &Table) -> f64 {
     }
     let total: usize = t
         .iter()
-        .map(|(_, tup)| tup.iter().map(|v| v.map_or(0, |s| s.len() + 1)).sum::<usize>())
+        .map(|(_, tup)| {
+            tup.iter()
+                .map(|v| v.map_or(0, |s| s.len() + 1))
+                .sum::<usize>()
+        })
         .sum();
     total as f64 / t.len() as f64
 }

@@ -342,8 +342,17 @@ mod tests {
     fn error_kind_labels_are_distinct() {
         use ErrorKind::*;
         let kinds = [
-            Misspelling, Abbreviation, MissingValue, Synonym, WordReorder, TokenDrop,
-            ExtraTokens, Sprinkle, NumericJitter, CaseNoise, NameVariant,
+            Misspelling,
+            Abbreviation,
+            MissingValue,
+            Synonym,
+            WordReorder,
+            TokenDrop,
+            ExtraTokens,
+            Sprinkle,
+            NumericJitter,
+            CaseNoise,
+            NameVariant,
         ];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());

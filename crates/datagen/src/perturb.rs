@@ -40,7 +40,14 @@ impl NoiseRule {
     /// A rule with default magnitude and no variant map.
     pub fn new(attr: AttrId, kind: ErrorKind, rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
-        NoiseRule { attr, kind, rate, magnitude: 2.0, variants: None, aux_attr: None }
+        NoiseRule {
+            attr,
+            kind,
+            rate,
+            magnitude: 2.0,
+            variants: None,
+            aux_attr: None,
+        }
     }
 
     /// Sets the kind-specific magnitude.
@@ -124,8 +131,12 @@ fn apply_rule(r: &NoiseRule, fields: &mut [Option<String>], rng: &mut StdRng) ->
         }
         ErrorKind::Sprinkle => {
             let Some(aux) = r.aux_attr else { return false };
-            let Some(extra) = fields[aux.index()].clone() else { return false };
-            let Some(v) = fields[idx].as_mut() else { return false };
+            let Some(extra) = fields[aux.index()].clone() else {
+                return false;
+            };
+            let Some(v) = fields[idx].as_mut() else {
+                return false;
+            };
             v.push(' ');
             v.push_str(&extra);
             // Half the time the source column keeps its value too;
@@ -136,7 +147,9 @@ fn apply_rule(r: &NoiseRule, fields: &mut [Option<String>], rng: &mut StdRng) ->
             true
         }
         _ => {
-            let Some(v) = fields[idx].as_ref() else { return false };
+            let Some(v) = fields[idx].as_ref() else {
+                return false;
+            };
             let new = mutate_value(r, v, rng);
             match new {
                 Some(n) if &n != v => {
@@ -168,8 +181,7 @@ fn mutate_value(r: &NoiseRule, v: &str, rng: &mut StdRng) -> Option<String> {
             }
             // ... then word-level replacement ("golden st" → "golden
             // street", "microsoft office" → "ms office").
-            let mut words: Vec<String> =
-                v.split_whitespace().map(|w| w.to_string()).collect();
+            let mut words: Vec<String> = v.split_whitespace().map(|w| w.to_string()).collect();
             for w in words.iter_mut() {
                 if let Some(var) = map.get(&w.to_ascii_lowercase()) {
                     *w = var.clone();
@@ -298,8 +310,7 @@ mod tests {
 
     #[test]
     fn rate_one_always_applies() {
-        let plan = PerturbPlan::new()
-            .rule(NoiseRule::new(AttrId(0), ErrorKind::MissingValue, 1.0));
+        let plan = PerturbPlan::new().rule(NoiseRule::new(AttrId(0), ErrorKind::MissingValue, 1.0));
         let mut f = fields(&["x", "y"]);
         let log = plan.apply(&mut f, &mut rng());
         assert_eq!(log, vec![(AttrId(0), ErrorKind::MissingValue)]);
@@ -309,8 +320,7 @@ mod tests {
 
     #[test]
     fn rate_zero_never_applies() {
-        let plan =
-            PerturbPlan::new().rule(NoiseRule::new(AttrId(0), ErrorKind::Misspelling, 0.0));
+        let plan = PerturbPlan::new().rule(NoiseRule::new(AttrId(0), ErrorKind::Misspelling, 0.0));
         let mut f = fields(&["atlanta"]);
         assert!(plan.apply(&mut f, &mut rng()).is_empty());
         assert_eq!(f[0].as_deref(), Some("atlanta"));
@@ -319,8 +329,7 @@ mod tests {
     #[test]
     fn abbreviation_uses_variant_map() {
         let plan = PerturbPlan::new().rule(
-            NoiseRule::new(AttrId(0), ErrorKind::Abbreviation, 1.0)
-                .with_variants(city_variants()),
+            NoiseRule::new(AttrId(0), ErrorKind::Abbreviation, 1.0).with_variants(city_variants()),
         );
         let mut f = fields(&["new york"]);
         let log = plan.apply(&mut f, &mut rng());
@@ -330,8 +339,7 @@ mod tests {
 
     #[test]
     fn abbreviation_falls_back_to_initialism() {
-        let plan =
-            PerturbPlan::new().rule(NoiseRule::new(AttrId(0), ErrorKind::Abbreviation, 1.0));
+        let plan = PerturbPlan::new().rule(NoiseRule::new(AttrId(0), ErrorKind::Abbreviation, 1.0));
         let mut f = fields(&["salt lake city"]);
         plan.apply(&mut f, &mut rng());
         assert_eq!(f[0].as_deref(), Some("slc"));
@@ -357,9 +365,8 @@ mod tests {
 
     #[test]
     fn sprinkle_moves_aux_value_in() {
-        let plan = PerturbPlan::new().rule(
-            NoiseRule::new(AttrId(0), ErrorKind::Sprinkle, 1.0).with_aux(AttrId(1)),
-        );
+        let plan = PerturbPlan::new()
+            .rule(NoiseRule::new(AttrId(0), ErrorKind::Sprinkle, 1.0).with_aux(AttrId(1)));
         let mut r = rng();
         let mut any_moved = false;
         for _ in 0..20 {
@@ -376,25 +383,22 @@ mod tests {
 
     #[test]
     fn missing_value_on_absent_field_is_noop() {
-        let plan =
-            PerturbPlan::new().rule(NoiseRule::new(AttrId(0), ErrorKind::MissingValue, 1.0));
+        let plan = PerturbPlan::new().rule(NoiseRule::new(AttrId(0), ErrorKind::MissingValue, 1.0));
         let mut f: Vec<Option<String>> = vec![None];
         assert!(plan.apply(&mut f, &mut rng()).is_empty());
     }
 
     #[test]
     fn numeric_jitter_relative_and_absolute() {
-        let rel = PerturbPlan::new().rule(
-            NoiseRule::new(AttrId(0), ErrorKind::NumericJitter, 1.0).with_magnitude(0.2),
-        );
+        let rel = PerturbPlan::new()
+            .rule(NoiseRule::new(AttrId(0), ErrorKind::NumericJitter, 1.0).with_magnitude(0.2));
         let mut f = fields(&["100.0"]);
         rel.apply(&mut f, &mut rng());
         let v: f64 = f[0].as_deref().unwrap().parse().unwrap();
         assert!((80.0..=120.0).contains(&v));
 
-        let abs = PerturbPlan::new().rule(
-            NoiseRule::new(AttrId(0), ErrorKind::NumericJitter, 1.0).with_magnitude(3.0),
-        );
+        let abs = PerturbPlan::new()
+            .rule(NoiseRule::new(AttrId(0), ErrorKind::NumericJitter, 1.0).with_magnitude(3.0));
         let mut f = fields(&["2005"]);
         abs.apply(&mut f, &mut rng());
         let y: i64 = f[0].as_deref().unwrap().parse().unwrap();
@@ -404,7 +408,10 @@ mod tests {
     #[test]
     fn name_variant_nickname_or_initial() {
         let mut r = rng();
-        assert_eq!(name_variant(&mut r, "david smith"), Some("dave smith".into()));
+        assert_eq!(
+            name_variant(&mut r, "david smith"),
+            Some("dave smith".into())
+        );
         let with_initial = name_variant(&mut r, "zorro smith").unwrap();
         let words: Vec<&str> = with_initial.split(' ').collect();
         assert_eq!(words.len(), 3);

@@ -8,12 +8,12 @@
 
 use crate::entity::{
     BigPaperFactory, ElectronicsFactory, EntityFactory, PaperFactory, RestaurantFactory,
-    SongFactory, SoftwareProductFactory,
+    SoftwareProductFactory, SongFactory,
 };
 use crate::noise::{AppliedError, ErrorKind, Side};
 use crate::perturb::{
-    brand_variants, city_variants, cuisine_variants, street_variants, venue_variants,
-    NoiseRule, PerturbPlan,
+    brand_variants, city_variants, cuisine_variants, street_variants, venue_variants, NoiseRule,
+    PerturbPlan,
 };
 use crate::EmDataset;
 use mc_table::{AttrId, GoldMatches, Table, Tuple};
@@ -98,7 +98,16 @@ impl DatasetProfile {
         let mut rng = StdRng::seed_from_u64(seed ^ fx_mix(self as u64));
         let mut factory = self.factory(&mut rng, na + nb);
         let (plan_a, plan_b) = self.plans(&factory.schema());
-        build_dataset(self.name(), factory.as_mut(), &plan_a, &plan_b, na, nb, nm, &mut rng)
+        build_dataset(
+            self.name(),
+            factory.as_mut(),
+            &plan_a,
+            &plan_b,
+            na,
+            nb,
+            nm,
+            &mut rng,
+        )
     }
 
     fn factory(self, rng: &mut StdRng, approx_rows: usize) -> Box<dyn EntityFactory> {
@@ -128,33 +137,59 @@ impl DatasetProfile {
                 let a = PerturbPlan::new()
                     .rule(NoiseRule::new(id("title"), ErrorKind::ExtraTokens, 0.25))
                     .rule(NoiseRule::new(id("title"), ErrorKind::CaseNoise, 0.10))
-                    .rule(NoiseRule::new(id("manufacturer"), ErrorKind::Sprinkle, 0.15)
-                        .with_aux(id("title")));
+                    .rule(
+                        NoiseRule::new(id("manufacturer"), ErrorKind::Sprinkle, 0.15)
+                            .with_aux(id("title")),
+                    );
                 let b = PerturbPlan::new()
-                    .rule(NoiseRule::new(id("title"), ErrorKind::TokenDrop, 0.30)
-                        .with_magnitude(2.0))
+                    .rule(
+                        NoiseRule::new(id("title"), ErrorKind::TokenDrop, 0.30).with_magnitude(2.0),
+                    )
                     .rule(NoiseRule::new(id("title"), ErrorKind::Misspelling, 0.08))
-                    .rule(NoiseRule::new(id("manufacturer"), ErrorKind::Synonym, 0.35)
-                        .with_variants(brand_variants()))
-                    .rule(NoiseRule::new(id("manufacturer"), ErrorKind::MissingValue, 0.25))
-                    .rule(NoiseRule::new(id("price"), ErrorKind::NumericJitter, 0.50)
-                        .with_magnitude(0.15))
-                    .rule(NoiseRule::new(id("description"), ErrorKind::MissingValue, 0.55))
-                    .rule(NoiseRule::new(id("description"), ErrorKind::TokenDrop, 0.40)
-                        .with_magnitude(18.0));
+                    .rule(
+                        NoiseRule::new(id("manufacturer"), ErrorKind::Synonym, 0.35)
+                            .with_variants(brand_variants()),
+                    )
+                    .rule(NoiseRule::new(
+                        id("manufacturer"),
+                        ErrorKind::MissingValue,
+                        0.25,
+                    ))
+                    .rule(
+                        NoiseRule::new(id("price"), ErrorKind::NumericJitter, 0.50)
+                            .with_magnitude(0.15),
+                    )
+                    .rule(NoiseRule::new(
+                        id("description"),
+                        ErrorKind::MissingValue,
+                        0.55,
+                    ))
+                    .rule(
+                        NoiseRule::new(id("description"), ErrorKind::TokenDrop, 0.40)
+                            .with_magnitude(18.0),
+                    );
                 (a, b)
             }
             DatasetProfile::WalmartAmazon => {
                 let a = PerturbPlan::new()
-                    .rule(NoiseRule::new(id("longdescr"), ErrorKind::MissingValue, 0.70))
-                    .rule(NoiseRule::new(id("brand"), ErrorKind::Synonym, 0.30)
-                        .with_variants(brand_variants()))
+                    .rule(NoiseRule::new(
+                        id("longdescr"),
+                        ErrorKind::MissingValue,
+                        0.70,
+                    ))
+                    .rule(
+                        NoiseRule::new(id("brand"), ErrorKind::Synonym, 0.30)
+                            .with_variants(brand_variants()),
+                    )
                     .rule(NoiseRule::new(id("brand"), ErrorKind::MissingValue, 0.15))
-                    .rule(NoiseRule::new(id("title"), ErrorKind::TokenDrop, 0.25)
-                        .with_magnitude(1.0))
+                    .rule(
+                        NoiseRule::new(id("title"), ErrorKind::TokenDrop, 0.25).with_magnitude(1.0),
+                    )
                     .rule(NoiseRule::new(id("title"), ErrorKind::Misspelling, 0.05))
-                    .rule(NoiseRule::new(id("price"), ErrorKind::NumericJitter, 0.30)
-                        .with_magnitude(0.20));
+                    .rule(
+                        NoiseRule::new(id("price"), ErrorKind::NumericJitter, 0.30)
+                            .with_magnitude(0.20),
+                    );
                 let b = PerturbPlan::new()
                     .rule(NoiseRule::new(id("title"), ErrorKind::ExtraTokens, 0.30))
                     .rule(NoiseRule::new(id("title"), ErrorKind::CaseNoise, 0.10))
@@ -163,30 +198,43 @@ impl DatasetProfile {
             }
             DatasetProfile::AcmDblp => {
                 let a = PerturbPlan::new()
-                    .rule(NoiseRule::new(id("venue"), ErrorKind::Synonym, 0.50)
-                        .with_variants(venue_variants()))
+                    .rule(
+                        NoiseRule::new(id("venue"), ErrorKind::Synonym, 0.50)
+                            .with_variants(venue_variants()),
+                    )
                     .rule(NoiseRule::new(id("authors"), ErrorKind::NameVariant, 0.30));
                 let b = PerturbPlan::new()
                     .rule(NoiseRule::new(id("title"), ErrorKind::ExtraTokens, 0.15))
                     .rule(NoiseRule::new(id("title"), ErrorKind::Misspelling, 0.05))
-                    .rule(NoiseRule::new(id("authors"), ErrorKind::TokenDrop, 0.20)
-                        .with_magnitude(1.0))
-                    .rule(NoiseRule::new(id("year"), ErrorKind::NumericJitter, 0.10)
-                        .with_magnitude(1.0))
+                    .rule(
+                        NoiseRule::new(id("authors"), ErrorKind::TokenDrop, 0.20)
+                            .with_magnitude(1.0),
+                    )
+                    .rule(
+                        NoiseRule::new(id("year"), ErrorKind::NumericJitter, 0.10)
+                            .with_magnitude(1.0),
+                    )
                     .rule(NoiseRule::new(id("pages"), ErrorKind::MissingValue, 0.30));
                 (a, b)
             }
             DatasetProfile::FodorsZagats => {
                 let a = PerturbPlan::new()
-                    .rule(NoiseRule::new(id("addr"), ErrorKind::Synonym, 0.40)
-                        .with_variants(street_variants()))
-                    .rule(NoiseRule::new(id("type"), ErrorKind::Synonym, 0.30)
-                        .with_variants(cuisine_variants()));
+                    .rule(
+                        NoiseRule::new(id("addr"), ErrorKind::Synonym, 0.40)
+                            .with_variants(street_variants()),
+                    )
+                    .rule(
+                        NoiseRule::new(id("type"), ErrorKind::Synonym, 0.30)
+                            .with_variants(cuisine_variants()),
+                    );
                 let b = PerturbPlan::new()
-                    .rule(NoiseRule::new(id("city"), ErrorKind::Abbreviation, 0.20)
-                        .with_variants(city_variants()))
-                    .rule(NoiseRule::new(id("name"), ErrorKind::Sprinkle, 0.10)
-                        .with_aux(id("city")))
+                    .rule(
+                        NoiseRule::new(id("city"), ErrorKind::Abbreviation, 0.20)
+                            .with_variants(city_variants()),
+                    )
+                    .rule(
+                        NoiseRule::new(id("name"), ErrorKind::Sprinkle, 0.10).with_aux(id("city")),
+                    )
                     .rule(NoiseRule::new(id("name"), ErrorKind::Misspelling, 0.08))
                     .rule(NoiseRule::new(id("phone"), ErrorKind::Misspelling, 0.15));
                 (a, b)
@@ -199,24 +247,33 @@ impl DatasetProfile {
                     .rule(NoiseRule::new(id("year"), ErrorKind::MissingValue, 0.30))
                     .rule(NoiseRule::new(id("title"), ErrorKind::Misspelling, 0.10))
                     .rule(NoiseRule::new(id("artist"), ErrorKind::Misspelling, 0.08))
-                    .rule(NoiseRule::new(id("album"), ErrorKind::TokenDrop, 0.15)
-                        .with_magnitude(1.0))
-                    .rule(NoiseRule::new(id("year"), ErrorKind::NumericJitter, 0.10)
-                        .with_magnitude(1.0));
+                    .rule(
+                        NoiseRule::new(id("album"), ErrorKind::TokenDrop, 0.15).with_magnitude(1.0),
+                    )
+                    .rule(
+                        NoiseRule::new(id("year"), ErrorKind::NumericJitter, 0.10)
+                            .with_magnitude(1.0),
+                    );
                 (a, b)
             }
             DatasetProfile::Papers => {
                 let a = PerturbPlan::new()
                     .rule(NoiseRule::new(id("authors"), ErrorKind::NameVariant, 0.30))
-                    .rule(NoiseRule::new(id("venue"), ErrorKind::Synonym, 0.40)
-                        .with_variants(venue_variants()));
+                    .rule(
+                        NoiseRule::new(id("venue"), ErrorKind::Synonym, 0.40)
+                            .with_variants(venue_variants()),
+                    );
                 let b = PerturbPlan::new()
                     .rule(NoiseRule::new(id("title"), ErrorKind::ExtraTokens, 0.15))
                     .rule(NoiseRule::new(id("title"), ErrorKind::Misspelling, 0.07))
-                    .rule(NoiseRule::new(id("authors"), ErrorKind::TokenDrop, 0.25)
-                        .with_magnitude(2.0))
-                    .rule(NoiseRule::new(id("year"), ErrorKind::NumericJitter, 0.10)
-                        .with_magnitude(1.0))
+                    .rule(
+                        NoiseRule::new(id("authors"), ErrorKind::TokenDrop, 0.25)
+                            .with_magnitude(2.0),
+                    )
+                    .rule(
+                        NoiseRule::new(id("year"), ErrorKind::NumericJitter, 0.10)
+                            .with_magnitude(1.0),
+                    )
                     .rule(NoiseRule::new(id("volume"), ErrorKind::MissingValue, 0.40))
                     .rule(NoiseRule::new(id("pages"), ErrorKind::MissingValue, 0.30));
                 (a, b)
@@ -267,7 +324,12 @@ fn build_dataset(
         let log = plan_a.apply(&mut fields, rng);
         let at = pos_a[i];
         for (attr, kind) in log {
-            errors.push(AppliedError { side: Side::A, tuple: at, attr, kind });
+            errors.push(AppliedError {
+                side: Side::A,
+                tuple: at,
+                attr,
+                kind,
+            });
         }
         rows_a[at as usize] = Some(Tuple::new(fields));
     }
@@ -278,7 +340,12 @@ fn build_dataset(
         let log = plan_b.apply(&mut fields, rng);
         let at = pos_b[j];
         for (attr, kind) in log {
-            errors.push(AppliedError { side: Side::B, tuple: at, attr, kind });
+            errors.push(AppliedError {
+                side: Side::B,
+                tuple: at,
+                attr,
+                kind,
+            });
         }
         rows_b[at as usize] = Some(Tuple::new(fields));
     }
@@ -286,12 +353,18 @@ fn build_dataset(
     let table_a = Table::from_rows(
         format!("{name}-A"),
         Arc::clone(&schema),
-        rows_a.into_iter().map(|r| r.expect("all A rows filled")).collect(),
+        rows_a
+            .into_iter()
+            .map(|r| r.expect("all A rows filled"))
+            .collect(),
     );
     let table_b = Table::from_rows(
         format!("{name}-B"),
         schema,
-        rows_b.into_iter().map(|r| r.expect("all B rows filled")).collect(),
+        rows_b
+            .into_iter()
+            .map(|r| r.expect("all B rows filled"))
+            .collect(),
     );
 
     let mut gold = GoldMatches::new();
@@ -299,16 +372,18 @@ fn build_dataset(
         gold.insert(pos_a[i], pos_b[i]);
     }
 
-    EmDataset { a: table_a, b: table_b, gold, errors, name: name.to_string() }
+    EmDataset {
+        a: table_a,
+        b: table_b,
+        gold,
+        errors,
+        name: name.to_string(),
+    }
 }
 
 /// Convenience accessor: the error kinds injected at a given tuple of a
 /// given side (used to validate explanations).
-pub fn errors_for(
-    errors: &[AppliedError],
-    side: Side,
-    tuple: u32,
-) -> Vec<(AttrId, ErrorKind)> {
+pub fn errors_for(errors: &[AppliedError], side: Side, tuple: u32) -> Vec<(AttrId, ErrorKind)> {
     errors
         .iter()
         .filter(|e| e.side == side && e.tuple == tuple)
@@ -359,11 +434,10 @@ mod tests {
     fn different_seeds_differ() {
         let d1 = DatasetProfile::FodorsZagats.generate(7);
         let d2 = DatasetProfile::FodorsZagats.generate(8);
-        let same = d1
-            .a
-            .ids()
-            .filter(|&i| d1.a.tuple(i) == d2.a.tuple(i))
-            .count();
+        let same =
+            d1.a.ids()
+                .filter(|&i| d1.a.tuple(i) == d2.a.tuple(i))
+                .count();
         assert!(same < d1.a.len() / 2, "seeds should change most rows");
     }
 

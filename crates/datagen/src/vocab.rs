@@ -11,13 +11,72 @@ use rand::RngExt as _;
 
 /// First names; deliberately contains pairs with common short forms.
 pub const FIRST_NAMES: &[&str] = &[
-    "david", "dave", "daniel", "dan", "charles", "charlie", "joseph", "joe", "michael", "mike",
-    "robert", "rob", "william", "will", "richard", "rick", "thomas", "tom", "james", "jim",
-    "john", "jack", "steven", "steve", "edward", "ed", "anthony", "tony", "benjamin", "ben",
-    "samuel", "sam", "alexander", "alex", "nicholas", "nick", "christopher", "chris",
-    "katherine", "kate", "elizabeth", "liz", "jennifer", "jen", "margaret", "meg", "patricia",
-    "pat", "susan", "sue", "deborah", "deb", "rebecca", "becky", "maria", "anna", "laura",
-    "sarah", "emily", "olivia", "sophia", "hannah", "grace", "julia", "amy", "karen",
+    "david",
+    "dave",
+    "daniel",
+    "dan",
+    "charles",
+    "charlie",
+    "joseph",
+    "joe",
+    "michael",
+    "mike",
+    "robert",
+    "rob",
+    "william",
+    "will",
+    "richard",
+    "rick",
+    "thomas",
+    "tom",
+    "james",
+    "jim",
+    "john",
+    "jack",
+    "steven",
+    "steve",
+    "edward",
+    "ed",
+    "anthony",
+    "tony",
+    "benjamin",
+    "ben",
+    "samuel",
+    "sam",
+    "alexander",
+    "alex",
+    "nicholas",
+    "nick",
+    "christopher",
+    "chris",
+    "katherine",
+    "kate",
+    "elizabeth",
+    "liz",
+    "jennifer",
+    "jen",
+    "margaret",
+    "meg",
+    "patricia",
+    "pat",
+    "susan",
+    "sue",
+    "deborah",
+    "deb",
+    "rebecca",
+    "becky",
+    "maria",
+    "anna",
+    "laura",
+    "sarah",
+    "emily",
+    "olivia",
+    "sophia",
+    "hannah",
+    "grace",
+    "julia",
+    "amy",
+    "karen",
 ];
 
 /// Common short form of a first name, if one exists in the pool.
@@ -56,15 +115,87 @@ pub fn nickname(first: &str) -> Option<&'static str> {
 
 /// Last names.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
-    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
-    "rivera", "campbell", "mitchell", "carter", "roberts", "gomez", "phillips", "evans",
-    "turner", "diaz", "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
-    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan", "cooper", "peterson",
-    "bailey", "reed", "kelly", "howard", "ramos", "kim", "cox", "ward", "richardson", "watson",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
+    "green",
+    "adams",
+    "nelson",
+    "baker",
+    "hall",
+    "rivera",
+    "campbell",
+    "mitchell",
+    "carter",
+    "roberts",
+    "gomez",
+    "phillips",
+    "evans",
+    "turner",
+    "diaz",
+    "parker",
+    "cruz",
+    "edwards",
+    "collins",
+    "reyes",
+    "stewart",
+    "morris",
+    "morales",
+    "murphy",
+    "cook",
+    "rogers",
+    "gutierrez",
+    "ortiz",
+    "morgan",
+    "cooper",
+    "peterson",
+    "bailey",
+    "reed",
+    "kelly",
+    "howard",
+    "ramos",
+    "kim",
+    "cox",
+    "ward",
+    "richardson",
+    "watson",
 ];
 
 /// US cities with well-known short forms (full name, abbreviation).
@@ -214,57 +345,218 @@ pub const BRANDS: &[(&str, &str)] = &[
 
 /// Product line nouns for software titles.
 pub const SOFTWARE_NOUNS: &[&str] = &[
-    "office", "studio", "suite", "manager", "designer", "toolkit", "server", "professional",
-    "creator", "publisher", "accounting", "antivirus", "firewall", "backup", "recovery",
-    "encyclopedia", "dictionary", "tutor", "trainer", "simulator", "editor", "converter",
-    "organizer", "planner", "calendar", "mailer", "browser", "player", "burner", "scanner",
+    "office",
+    "studio",
+    "suite",
+    "manager",
+    "designer",
+    "toolkit",
+    "server",
+    "professional",
+    "creator",
+    "publisher",
+    "accounting",
+    "antivirus",
+    "firewall",
+    "backup",
+    "recovery",
+    "encyclopedia",
+    "dictionary",
+    "tutor",
+    "trainer",
+    "simulator",
+    "editor",
+    "converter",
+    "organizer",
+    "planner",
+    "calendar",
+    "mailer",
+    "browser",
+    "player",
+    "burner",
+    "scanner",
 ];
 
 /// Qualifier words for product titles.
 pub const PRODUCT_QUALIFIERS: &[&str] = &[
-    "deluxe", "premium", "standard", "home", "enterprise", "ultimate", "basic", "plus", "pro",
-    "express", "portable", "wireless", "digital", "compact", "advanced", "classic", "platinum",
-    "gold", "limited", "academic", "upgrade", "edition", "bundle", "2005", "2006", "2007",
-    "2008", "v2", "v3", "xl", "mini",
+    "deluxe",
+    "premium",
+    "standard",
+    "home",
+    "enterprise",
+    "ultimate",
+    "basic",
+    "plus",
+    "pro",
+    "express",
+    "portable",
+    "wireless",
+    "digital",
+    "compact",
+    "advanced",
+    "classic",
+    "platinum",
+    "gold",
+    "limited",
+    "academic",
+    "upgrade",
+    "edition",
+    "bundle",
+    "2005",
+    "2006",
+    "2007",
+    "2008",
+    "v2",
+    "v3",
+    "xl",
+    "mini",
 ];
 
 /// Electronics nouns for the Walmart-Amazon profile.
 pub const ELECTRONICS_NOUNS: &[&str] = &[
-    "laptop", "notebook", "camera", "camcorder", "television", "monitor", "printer", "router",
-    "keyboard", "mouse", "headphones", "speakers", "tablet", "projector", "microphone",
-    "charger", "adapter", "battery", "cable", "dock", "drive", "memory", "card", "case",
-    "stand", "mount", "remote", "receiver", "subwoofer", "soundbar", "webcam", "scanner",
+    "laptop",
+    "notebook",
+    "camera",
+    "camcorder",
+    "television",
+    "monitor",
+    "printer",
+    "router",
+    "keyboard",
+    "mouse",
+    "headphones",
+    "speakers",
+    "tablet",
+    "projector",
+    "microphone",
+    "charger",
+    "adapter",
+    "battery",
+    "cable",
+    "dock",
+    "drive",
+    "memory",
+    "card",
+    "case",
+    "stand",
+    "mount",
+    "remote",
+    "receiver",
+    "subwoofer",
+    "soundbar",
+    "webcam",
+    "scanner",
 ];
 
 /// Academic title vocabulary for the ACM-DBLP / Papers profiles.
 pub const PAPER_TOPIC_WORDS: &[&str] = &[
-    "query", "database", "distributed", "parallel", "optimization", "indexing", "transaction",
-    "concurrency", "recovery", "stream", "graph", "mining", "learning", "classification",
-    "clustering", "integration", "warehouse", "schema", "semantic", "relational", "spatial",
-    "temporal", "probabilistic", "approximate", "adaptive", "scalable", "efficient", "dynamic",
-    "incremental", "secure", "private", "crowdsourced", "interactive", "declarative",
-    "similarity", "matching", "entity", "resolution", "deduplication", "blocking", "sampling",
-    "estimation", "caching", "partitioning", "replication", "consistency", "availability",
-    "storage", "memory", "cache", "compression", "encoding", "hashing", "sketching", "joins",
-    "aggregation", "ranking", "keyword", "search", "retrieval", "recommendation", "workflow",
-    "provenance", "versioning", "evolution", "benchmark", "evaluation", "processing",
+    "query",
+    "database",
+    "distributed",
+    "parallel",
+    "optimization",
+    "indexing",
+    "transaction",
+    "concurrency",
+    "recovery",
+    "stream",
+    "graph",
+    "mining",
+    "learning",
+    "classification",
+    "clustering",
+    "integration",
+    "warehouse",
+    "schema",
+    "semantic",
+    "relational",
+    "spatial",
+    "temporal",
+    "probabilistic",
+    "approximate",
+    "adaptive",
+    "scalable",
+    "efficient",
+    "dynamic",
+    "incremental",
+    "secure",
+    "private",
+    "crowdsourced",
+    "interactive",
+    "declarative",
+    "similarity",
+    "matching",
+    "entity",
+    "resolution",
+    "deduplication",
+    "blocking",
+    "sampling",
+    "estimation",
+    "caching",
+    "partitioning",
+    "replication",
+    "consistency",
+    "availability",
+    "storage",
+    "memory",
+    "cache",
+    "compression",
+    "encoding",
+    "hashing",
+    "sketching",
+    "joins",
+    "aggregation",
+    "ranking",
+    "keyword",
+    "search",
+    "retrieval",
+    "recommendation",
+    "workflow",
+    "provenance",
+    "versioning",
+    "evolution",
+    "benchmark",
+    "evaluation",
+    "processing",
 ];
 
 /// Connective words for paper titles.
-pub const PAPER_GLUE_WORDS: &[&str] =
-    &["for", "with", "over", "in", "using", "towards", "beyond", "via", "under", "on"];
+pub const PAPER_GLUE_WORDS: &[&str] = &[
+    "for", "with", "over", "in", "using", "towards", "beyond", "via", "under", "on",
+];
 
 /// Publication venues (ACM-style vs DBLP-style naming handled in noise).
 pub const VENUES: &[&str] = &[
-    "sigmod", "vldb", "icde", "edbt", "cidr", "pods", "kdd", "icdm", "sdm", "wsdm", "www",
-    "cikm", "sigir", "aaai", "ijcai", "icml", "nips", "socc", "sosp", "osdi",
+    "sigmod", "vldb", "icde", "edbt", "cidr", "pods", "kdd", "icdm", "sdm", "wsdm", "www", "cikm",
+    "sigir", "aaai", "ijcai", "icml", "nips", "socc", "sosp", "osdi",
 ];
 
 /// Restaurant cuisine types.
 pub const CUISINES: &[&str] = &[
-    "american", "italian", "french", "chinese", "japanese", "mexican", "thai", "indian",
-    "mediterranean", "greek", "spanish", "korean", "vietnamese", "cajun", "seafood",
-    "steakhouse", "barbecue", "pizza", "deli", "diner", "bistro", "cafe", "bakery", "fusion",
+    "american",
+    "italian",
+    "french",
+    "chinese",
+    "japanese",
+    "mexican",
+    "thai",
+    "indian",
+    "mediterranean",
+    "greek",
+    "spanish",
+    "korean",
+    "vietnamese",
+    "cajun",
+    "seafood",
+    "steakhouse",
+    "barbecue",
+    "pizza",
+    "deli",
+    "diner",
+    "bistro",
+    "cafe",
+    "bakery",
+    "fusion",
     "vegetarian",
 ];
 
@@ -277,8 +569,9 @@ pub const RESTAURANT_WORDS: &[&str] = &[
 ];
 
 /// Street suffixes for addresses.
-pub const STREET_SUFFIXES: &[&str] =
-    &["st", "ave", "blvd", "rd", "ln", "dr", "way", "pl", "ct", "sq"];
+pub const STREET_SUFFIXES: &[&str] = &[
+    "st", "ave", "blvd", "rd", "ln", "dr", "way", "pl", "ct", "sq",
+];
 
 /// Expanded forms of street suffixes ("st" → "street"), the address
 /// normalization problem of Table 4 (F-Z row).
@@ -300,31 +593,93 @@ pub fn street_suffix_long(short: &str) -> &'static str {
 
 /// Music genres.
 pub const GENRES: &[&str] = &[
-    "rock", "pop", "jazz", "blues", "country", "folk", "electronic", "hiphop", "classical",
-    "reggae", "metal", "punk", "soul", "funk", "disco", "ambient", "indie", "latin",
+    "rock",
+    "pop",
+    "jazz",
+    "blues",
+    "country",
+    "folk",
+    "electronic",
+    "hiphop",
+    "classical",
+    "reggae",
+    "metal",
+    "punk",
+    "soul",
+    "funk",
+    "disco",
+    "ambient",
+    "indie",
+    "latin",
 ];
 
 /// Generic words used to compose song and album titles.
 pub const SONG_WORDS: &[&str] = &[
-    "love", "night", "day", "heart", "dream", "fire", "rain", "sun", "moon", "star", "road",
-    "home", "time", "life", "light", "dark", "blue", "golden", "broken", "lonely", "dancing",
-    "running", "falling", "rising", "burning", "sweet", "wild", "free", "lost", "found",
-    "forever", "tonight", "yesterday", "tomorrow", "summer", "winter", "river", "ocean",
-    "mountain", "city", "highway", "train", "letter", "song", "story", "shadow", "mirror",
-    "window", "door", "garden",
+    "love",
+    "night",
+    "day",
+    "heart",
+    "dream",
+    "fire",
+    "rain",
+    "sun",
+    "moon",
+    "star",
+    "road",
+    "home",
+    "time",
+    "life",
+    "light",
+    "dark",
+    "blue",
+    "golden",
+    "broken",
+    "lonely",
+    "dancing",
+    "running",
+    "falling",
+    "rising",
+    "burning",
+    "sweet",
+    "wild",
+    "free",
+    "lost",
+    "found",
+    "forever",
+    "tonight",
+    "yesterday",
+    "tomorrow",
+    "summer",
+    "winter",
+    "river",
+    "ocean",
+    "mountain",
+    "city",
+    "highway",
+    "train",
+    "letter",
+    "song",
+    "story",
+    "shadow",
+    "mirror",
+    "window",
+    "door",
+    "garden",
 ];
 
 /// Consonant onsets for synthetic words.
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
-    "pr", "r", "s", "st", "t", "tr", "v", "w", "z", "sh", "ch", "th",
+    "b", "br", "c", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "pr",
+    "r", "s", "st", "t", "tr", "v", "w", "z", "sh", "ch", "th",
 ];
 
 /// Vowel nuclei for synthetic words.
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou", "io", "oa"];
 
 /// Consonant codas for synthetic words.
-const CODAS: &[&str] = &["", "n", "r", "l", "s", "t", "m", "x", "nd", "rk", "ll", "ss"];
+const CODAS: &[&str] = &[
+    "", "n", "r", "l", "s", "t", "m", "x", "nd", "rk", "ll", "ss",
+];
 
 /// A pronounceable synthetic word of 2–4 syllables, deterministic in the
 /// RNG stream. Used to extend name pools for the large profiles.

@@ -92,7 +92,11 @@ impl RandomForest {
     /// Mean leaf probability across trees (a smoother score than
     /// [`RandomForest::confidence`], useful for tie-breaking).
     pub fn mean_proba(&self, sample: &[f64]) -> f64 {
-        self.trees.iter().map(|t| t.predict_proba(sample)).sum::<f64>() / self.trees.len() as f64
+        self.trees
+            .iter()
+            .map(|t| t.predict_proba(sample))
+            .sum::<f64>()
+            / self.trees.len() as f64
     }
 
     /// Hard classification by majority vote.
@@ -159,7 +163,11 @@ mod tests {
             .zip(&y)
             .filter(|(xi, yi)| f.predict(xi) == **yi)
             .count();
-        assert!(correct as f64 / x.len() as f64 > 0.95, "accuracy {correct}/{}", x.len());
+        assert!(
+            correct as f64 / x.len() as f64 > 0.95,
+            "accuracy {correct}/{}",
+            x.len()
+        );
     }
 
     #[test]
@@ -188,7 +196,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = separable(80);
-        let p = ForestParams { seed: 42, ..ForestParams::default() };
+        let p = ForestParams {
+            seed: 42,
+            ..ForestParams::default()
+        };
         let f1 = RandomForest::fit(&x, &y, &p);
         let f2 = RandomForest::fit(&x, &y, &p);
         for s in &x {
@@ -230,7 +241,14 @@ mod tests {
     #[test]
     fn forest_len() {
         let (x, y) = separable(20);
-        let f = RandomForest::fit(&x, &y, &ForestParams { n_trees: 5, ..Default::default() });
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams {
+                n_trees: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(f.len(), 5);
         assert!(!f.is_empty());
     }

@@ -21,7 +21,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 8, min_samples_split: 2, features_per_split: 0 }
+        TreeParams {
+            max_depth: 8,
+            min_samples_split: 2,
+            features_per_split: 0,
+        }
     }
 }
 
@@ -57,7 +61,10 @@ impl DecisionTree {
         assert_eq!(x.len(), y.len(), "feature/label length mismatch");
         assert!(!x.is_empty(), "cannot fit a tree on zero samples");
         let n_features = x[0].len();
-        let mut tree = DecisionTree { nodes: Vec::new(), n_features };
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features,
+        };
         let idx: Vec<usize> = (0..x.len()).collect();
         tree.grow(x, y, idx, 0, params, rng);
         tree
@@ -71,8 +78,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[at] {
                 Node::Leaf { prob } => return *prob,
-                Node::Split { feature, threshold, left, right } => {
-                    at = if sample[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if sample[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -135,7 +151,12 @@ impl DecisionTree {
         self.nodes.push(Node::Leaf { prob }); // placeholder
         let left = self.grow(x, y, li, depth + 1, params, rng);
         let right = self.grow(x, y, ri, depth + 1, params, rng);
-        self.nodes[at] = Node::Split { feature, threshold, left, right };
+        self.nodes[at] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         at
     }
 
@@ -189,8 +210,8 @@ impl DecisionTree {
                         2.0 * p * (1.0 - p)
                     }
                 };
-                let weighted =
-                    left_n / total * gini(left_n, left_pos) + right_n / total * gini(right_n, right_pos);
+                let weighted = left_n / total * gini(left_n, left_pos)
+                    + right_n / total * gini(right_n, right_pos);
                 let threshold = (column[w].0 + column[w + 1].0) / 2.0;
                 if best.as_ref().is_none_or(|&(_, _, g)| weighted < g - 1e-12) {
                     best = Some((f, threshold, weighted));
@@ -236,7 +257,10 @@ mod tests {
         // allows at most 3 nodes.
         let x: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
         let y: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
-        let params = TreeParams { max_depth: 1, ..TreeParams::default() };
+        let params = TreeParams {
+            max_depth: 1,
+            ..TreeParams::default()
+        };
         let t = DecisionTree::fit(&x, &y, &params, &mut rng());
         assert!(t.node_count() <= 3);
     }
@@ -273,9 +297,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
         let y: Vec<bool> = (0..30).map(|i| i % 7 > 3).collect();
-        let p = TreeParams { features_per_split: 1, ..TreeParams::default() };
+        let p = TreeParams {
+            features_per_split: 1,
+            ..TreeParams::default()
+        };
         let t1 = DecisionTree::fit(&x, &y, &p, &mut StdRng::seed_from_u64(3));
         let t2 = DecisionTree::fit(&x, &y, &p, &mut StdRng::seed_from_u64(3));
         for s in &x {

@@ -1,0 +1,102 @@
+//! `mc-obs` — pipeline-wide observability for the MatchCatcher
+//! workspace.
+//!
+//! Three layers, all cheap enough to stay on in production:
+//!
+//! * **Metrics** ([`metrics`]) — lock-free atomic [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket [`Histogram`]s in a process-wide
+//!   `&'static` registry. Hot paths pay one relaxed atomic op; call
+//!   sites cache their handle with the [`counter!`]/[`gauge!`]/
+//!   [`histogram!`] macros so the registry mutex is touched once per
+//!   site.
+//! * **Spans** ([`span`]) — RAII timed regions with thread-local
+//!   parent tracking. Durations feed per-name histograms; completions
+//!   feed the **flight recorder**, a fixed-capacity ring buffer of the
+//!   most recent spans/events for post-hoc debugging of a run.
+//! * **Snapshots** ([`snapshot`]) — [`MetricsSnapshot::capture`] freezes
+//!   everything; [`MetricsSnapshot::since`] turns two captures into
+//!   per-run deltas; `to_json` emits the stable `mc-obs/v1` schema
+//!   shared by `DebugReport`, the `mc obs-report` CLI, and the bench
+//!   harness.
+//!
+//! Metric names follow `mc.<crate>.<stage>.<name>` — see DESIGN.md
+//! §Observability for the catalog and the rules for adding one.
+
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+
+pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
+pub use snapshot::{MetricsSnapshot, SnapEvent, SpanStat};
+pub use span::{event, flight_recorder, FlightRecorder, Span, SpanRecord};
+
+/// A `&'static Counter` for `$name`, registered once and cached at the
+/// call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static SITE: std::sync::OnceLock<&'static $crate::Counter> = std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// A `&'static Gauge` for `$name`, registered once and cached at the
+/// call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static SITE: std::sync::OnceLock<&'static $crate::Gauge> = std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// A `&'static Histogram` for `$name`, registered once and cached at
+/// the call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static SITE: std::sync::OnceLock<&'static $crate::Histogram> = std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+/// An RAII span; records duration + flight-recorder entry on drop.
+///
+/// ```
+/// let _guard = mc_obs::span!("mc.core.topk");
+/// // ... timed work ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name)
+    };
+    ($name:expr, $label:expr) => {
+        $crate::Span::enter_labeled($name, $label)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_cache_static_handles() {
+        let a = counter!("mc.test.lib.counter");
+        let b = counter!("mc.test.lib.counter");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        assert!(b.get() >= 1);
+        gauge!("mc.test.lib.gauge").set(-3);
+        assert_eq!(crate::registry().gauge("mc.test.lib.gauge").get(), -3);
+        histogram!("mc.test.lib.histogram").record(10);
+        assert!(crate::registry().histogram("mc.test.lib.histogram").count() >= 1);
+    }
+
+    #[test]
+    fn span_macro_times_regions() {
+        {
+            let _s = span!("mc.test.lib.span", 7);
+        }
+        let snap = crate::MetricsSnapshot::capture();
+        assert!(snap.span("mc.test.lib.span").count >= 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Lock-free metric primitives and the global `&'static` registry.
+//!
+//! Metrics are append-only: once registered under a name they live for
+//! the life of the process (they are `Box::leak`ed into `&'static`
+//! references), so hot paths update a plain `AtomicU64` with no locking
+//! or lookup. Lookup (registration) takes a mutex, but every
+//! instrumentation site caches the returned `&'static` handle in a
+//! `OnceLock`, so the mutex is touched once per site per process.
+//!
+//! Naming scheme: `mc.<crate>.<stage>.<name>`, e.g.
+//! `mc.core.ssj.pairs_scored` (see DESIGN.md §Observability).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed value (thread counts, queue depths, ratios in
+/// per-mille).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in every [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-bucket power-of-two histogram of `u64` observations.
+///
+/// Bucket `i` counts observations `v` with `floor(log2(v + 1)) == i`
+/// (bucket 0 holds `v == 0`); the last bucket absorbs the tail. Records
+/// are a single atomic increment plus two atomic adds — no floating
+/// point, no locks.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0u64; HISTOGRAM_BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index of an observation.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        ((64 - v.saturating_add(1).leading_zeros() as usize) - 1).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation seen (0 if none).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// The set of metrics registered under names.
+///
+/// There is one global registry (see [`registry`]); tests may build
+/// private ones.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+impl Registry {
+    /// A new empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Counter::default())))
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Gauge::default())))
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Histogram::default())))
+    }
+
+    /// Snapshot of all counters as `(name, value)`.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all gauges as `(name, value)`.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all histograms as `(name, count, sum, max)`.
+    pub fn histogram_values(&self) -> Vec<(String, u64, u64, u64)> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.count(), v.sum(), v.max()))
+            .collect()
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}

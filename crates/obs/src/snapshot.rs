@@ -1,0 +1,332 @@
+//! Point-in-time captures of the registry + flight recorder, with a
+//! stable JSON encoding shared by the debugger, the `mc` CLI, and the
+//! bench harness.
+//!
+//! The registry is cumulative for the life of the process, so callers
+//! that want per-run numbers capture a snapshot before the run and call
+//! [`MetricsSnapshot::since`] after it.
+
+use crate::metrics::registry;
+use crate::span::{flight_recorder, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated statistics of one span name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStat {
+    /// Completed instances.
+    pub count: u64,
+    /// Total duration, microseconds.
+    pub total_us: u64,
+    /// Largest single duration, microseconds.
+    pub max_us: u64,
+}
+
+/// One flight-recorder record retained in a snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapEvent {
+    /// Record name.
+    pub name: String,
+    /// Caller label (`u64::MAX` = unlabeled).
+    pub label: u64,
+    /// Payload value (0 for spans).
+    pub value: u64,
+    /// Duration in nanoseconds (0 for instant events).
+    pub dur_ns: u64,
+    /// Recording thread tag.
+    pub thread: u64,
+    /// Global sequence number.
+    pub seq: u64,
+    /// Parent span's sequence number (`u64::MAX` = root).
+    pub parent_seq: u64,
+}
+
+impl From<&SpanRecord> for SnapEvent {
+    fn from(r: &SpanRecord) -> Self {
+        SnapEvent {
+            name: r.name.to_string(),
+            label: r.label,
+            value: r.value,
+            dur_ns: r.dur_ns,
+            thread: r.thread,
+            seq: r.seq,
+            parent_seq: r.parent_seq,
+        }
+    }
+}
+
+/// A capture of every registered metric plus the flight recorder.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram `(count, sum, max)` by name. Span durations appear here
+    /// under the span's name, in microseconds.
+    pub histograms: BTreeMap<String, (u64, u64, u64)>,
+    /// Flight-recorder records retained at capture time.
+    pub events: Vec<SnapEvent>,
+    /// Flight-recorder sequence watermark at capture time.
+    pub seq_watermark: u64,
+}
+
+impl MetricsSnapshot {
+    /// Captures the current state of the global registry and recorder.
+    pub fn capture() -> Self {
+        let reg = registry();
+        let rec = flight_recorder();
+        MetricsSnapshot {
+            counters: reg.counter_values().into_iter().collect(),
+            gauges: reg.gauge_values().into_iter().collect(),
+            histograms: reg
+                .histogram_values()
+                .into_iter()
+                .map(|(n, c, s, m)| (n, (c, s, m)))
+                .collect(),
+            events: rec.drain_ordered().iter().map(SnapEvent::from).collect(),
+            seq_watermark: rec.pushed(),
+        }
+    }
+
+    /// The delta `self − baseline`: counters and histogram counts/sums
+    /// subtract, gauges keep their current value, and only events after
+    /// the baseline's watermark are retained. Both snapshots must come
+    /// from the same process.
+    pub fn since(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                (
+                    k.clone(),
+                    v - baseline.counters.get(k).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, &(c, s, m))| {
+                let (bc, bs, _) = baseline.histograms.get(k).copied().unwrap_or((0, 0, 0));
+                (k.clone(), (c - bc, s - bs, m))
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.seq >= baseline.seq_watermark)
+                .cloned()
+                .collect(),
+            seq_watermark: self.seq_watermark,
+        }
+    }
+
+    /// A counter's value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Aggregated span statistics by name, derived from the duration
+    /// histograms (complete — not limited by the ring buffer).
+    pub fn span(&self, name: &str) -> SpanStat {
+        self.histograms
+            .get(name)
+            .map(|&(count, total_us, max_us)| SpanStat {
+                count,
+                total_us,
+                max_us,
+            })
+            .unwrap_or_default()
+    }
+
+    /// Retained events with the given name.
+    pub fn events_named<'a>(&'a self, name: &str) -> Vec<&'a SnapEvent> {
+        self.events.iter().filter(|e| e.name == name).collect()
+    }
+
+    /// Serializes to the stable `mc-obs/v1` JSON schema (see DESIGN.md).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"mc-obs/v1\",\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", escape(k), v);
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", escape(k), v);
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (k, (c, s, m)) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}}}",
+                escape(k),
+                c,
+                s,
+                m
+            );
+        }
+        out.push_str("\n  },\n  \"events\": [");
+        first = true;
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"label\": {}, \"value\": {}, \"dur_ns\": {}, \"thread\": {}, \"seq\": {}, \"parent_seq\": {}}}",
+                escape(&e.name),
+                json_u64(e.label),
+                e.value,
+                e.dur_ns,
+                e.thread,
+                e.seq,
+                json_u64(e.parent_seq)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders a human-readable stage breakdown: spans sorted by total
+    /// time, then non-zero counters and gauges.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("── stage breakdown (spans) ─────────────────────────────────\n");
+        let mut spans: Vec<(&String, &(u64, u64, u64))> = self.histograms.iter().collect();
+        spans.sort_by_key(|&(_, &(_, total_us, _))| std::cmp::Reverse(total_us));
+        for (name, &(count, total_us, max_us)) in spans {
+            if count == 0 {
+                continue;
+            }
+            let mean = total_us / count.max(1);
+            let _ = writeln!(
+                out,
+                "{name:<44} n={count:<6} total={:<12} mean={:<10} max={}",
+                fmt_us(total_us),
+                fmt_us(mean),
+                fmt_us(max_us)
+            );
+        }
+        out.push_str("── counters ────────────────────────────────────────────────\n");
+        for (name, v) in &self.counters {
+            if *v != 0 {
+                let _ = writeln!(out, "{name:<44} {v}");
+            }
+        }
+        out.push_str("── gauges ──────────────────────────────────────────────────\n");
+        for (name, v) in &self.gauges {
+            if *v != 0 {
+                let _ = writeln!(out, "{name:<44} {v}");
+            }
+        }
+        out
+    }
+}
+
+/// `u64::MAX` sentinels encode as -1 so the JSON stays integral.
+fn json_u64(v: u64) -> i64 {
+    if v == u64::MAX {
+        -1
+    } else {
+        v as i64
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::registry;
+    use crate::span::Span;
+
+    #[test]
+    fn since_subtracts_counters() {
+        let c = registry().counter("mc.test.snapshot.delta");
+        c.add(5);
+        let base = MetricsSnapshot::capture();
+        c.add(7);
+        let now = MetricsSnapshot::capture();
+        let d = now.since(&base);
+        assert_eq!(d.counter("mc.test.snapshot.delta"), 7);
+    }
+
+    #[test]
+    fn json_contains_schema_and_values() {
+        registry().counter("mc.test.snapshot.json").add(3);
+        {
+            let _s = Span::enter("mc.test.snapshot.span");
+        }
+        let snap = MetricsSnapshot::capture();
+        let json = snap.to_json();
+        assert!(json.contains("\"schema\": \"mc-obs/v1\""));
+        assert!(json.contains("mc.test.snapshot.json"));
+        assert!(json.contains("mc.test.snapshot.span"));
+        // sanity: balanced braces
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn render_mentions_nonzero_metrics() {
+        registry().counter("mc.test.snapshot.render").add(2);
+        let snap = MetricsSnapshot::capture();
+        assert!(snap.render().contains("mc.test.snapshot.render"));
+    }
+
+    #[test]
+    fn span_stat_reads_histogram() {
+        {
+            let _s = Span::enter("mc.test.snapshot.stat");
+        }
+        let snap = MetricsSnapshot::capture();
+        assert!(snap.span("mc.test.snapshot.stat").count >= 1);
+        assert_eq!(snap.span("mc.test.snapshot.absent"), SpanStat::default());
+    }
+}

@@ -143,11 +143,15 @@ impl TokenizedTable {
         attrs: &[AttrId],
         tokenizer: Tokenizer,
     ) -> (TokenizedTable, TokenizedTable, TokenOrder) {
+        let _span = mc_obs::span!("mc.strsim.dict.build");
         let mut dict = TokenDict::new();
         // First pass: intern with df counting, storing raw ids.
         let raw_a = raw_tokenize(a, attrs, tokenizer, &mut dict);
         let raw_b = raw_tokenize(b, attrs, tokenizer, &mut dict);
         let order = dict.freeze();
+        mc_obs::counter!("mc.strsim.dict.builds").inc();
+        mc_obs::gauge!("mc.strsim.dict.distinct_tokens").set(dict.len() as i64);
+        mc_obs::histogram!("mc.strsim.dict.tokens_per_build").record(dict.len() as u64);
         (
             TokenizedTable::from_raw(raw_a, &order, a.len()),
             TokenizedTable::from_raw(raw_b, &order, b.len()),
@@ -188,7 +192,10 @@ impl TokenizedTable {
     /// in token space). `attr_indexes` refer to positions in the original
     /// `attrs` slice.
     pub fn merged(&self, attr_indexes: &[usize], tuple: TupleId) -> Vec<u32> {
-        let total: usize = attr_indexes.iter().map(|&i| self.ranks(i, tuple).len()).sum();
+        let total: usize = attr_indexes
+            .iter()
+            .map(|&i| self.ranks(i, tuple).len())
+            .sum();
         let mut out = Vec::with_capacity(total);
         for &i in attr_indexes {
             out.extend_from_slice(self.ranks(i, tuple));
@@ -200,7 +207,10 @@ impl TokenizedTable {
     /// Total token count (multiset cardinality) of a tuple over a set of
     /// attributes — `L_γ(a)` in the paper.
     pub fn merged_len(&self, attr_indexes: &[usize], tuple: TupleId) -> usize {
-        attr_indexes.iter().map(|&i| self.ranks(i, tuple).len()).sum()
+        attr_indexes
+            .iter()
+            .map(|&i| self.ranks(i, tuple).len())
+            .sum()
     }
 }
 
@@ -210,7 +220,10 @@ fn raw_tokenize(
     tokenizer: Tokenizer,
     dict: &mut TokenDict,
 ) -> Vec<Vec<Vec<u32>>> {
-    let mut cols: Vec<Vec<Vec<u32>>> = attrs.iter().map(|_| Vec::with_capacity(table.len())).collect();
+    let mut cols: Vec<Vec<Vec<u32>>> = attrs
+        .iter()
+        .map(|_| Vec::with_capacity(table.len()))
+        .collect();
     let mut scratch: Vec<String> = Vec::new();
     for (_, tuple) in table.iter() {
         for (ci, &attr) in attrs.iter().enumerate() {

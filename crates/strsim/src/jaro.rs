@@ -102,7 +102,12 @@ mod tests {
 
     #[test]
     fn symmetry_and_bounds() {
-        let pairs = [("welson", "wilson"), ("dave", "david"), ("a", "ab"), ("xy", "yx")];
+        let pairs = [
+            ("welson", "wilson"),
+            ("dave", "david"),
+            ("a", "ab"),
+            ("xy", "yx"),
+        ];
         for (a, b) in pairs {
             let j1 = jaro(a, b);
             let j2 = jaro(b, a);

@@ -46,15 +46,14 @@ impl PrefixIndex {
 ///
 /// Returns the set of `(a_index, b_index)` pairs meeting the threshold.
 /// Empty records never join (similarity to anything is 0).
-pub fn sim_join(
-    a: &[Vec<u32>],
-    b: &[Vec<u32>],
-    measure: SetMeasure,
-    threshold: f64,
-) -> PairSet {
+pub fn sim_join(a: &[Vec<u32>], b: &[Vec<u32>], measure: SetMeasure, threshold: f64) -> PairSet {
+    let _span = mc_obs::span!("mc.strsim.join.sim");
     let index = PrefixIndex::build(b, |len| prefix_len(measure, threshold, len));
     let mut out = PairSet::new();
     let mut seen = fx_set();
+    // Local accumulators, flushed to the registry once per join so the
+    // probe loop pays no atomics.
+    let (mut candidates, mut length_pruned, mut verify_pruned) = (0u64, 0u64, 0u64);
     for (ai, ra) in a.iter().enumerate() {
         if ra.is_empty() {
             continue;
@@ -72,18 +71,26 @@ pub fn sim_join(
                 if !seen.insert(bi) {
                     continue;
                 }
+                candidates += 1;
                 let rb = &b[bi as usize];
                 if rb.len() < lo || rb.len() > hi {
+                    length_pruned += 1;
                     continue;
                 }
                 let need = min_overlap(measure, threshold, ra.len(), rb.len());
                 let o = multiset_overlap(ra, rb);
                 if o >= need && measure.from_overlap(o, ra.len(), rb.len()) >= threshold - 1e-12 {
                     out.insert(ai as TupleId, bi);
+                } else {
+                    verify_pruned += 1;
                 }
             }
         }
     }
+    mc_obs::counter!("mc.strsim.join.candidates").add(candidates);
+    mc_obs::counter!("mc.strsim.join.length_pruned").add(length_pruned);
+    mc_obs::counter!("mc.strsim.join.verify_pruned").add(verify_pruned);
+    mc_obs::counter!("mc.strsim.join.kept").add(out.len() as u64);
     out
 }
 
@@ -91,10 +98,12 @@ pub fn sim_join(
 /// `min_common` tokens (the OL blockers of Table 2, e.g.
 /// `title_overlap_word ≥ 3`).
 pub fn overlap_join(a: &[Vec<u32>], b: &[Vec<u32>], min_common: usize) -> PairSet {
+    let _span = mc_obs::span!("mc.strsim.join.overlap");
     let c = min_common.max(1);
     let index = PrefixIndex::build(b, |len| overlap_prefix_len(c, len));
     let mut out = PairSet::new();
     let mut seen = fx_set();
+    let (mut candidates, mut verify_pruned) = (0u64, 0u64);
     for (ai, ra) in a.iter().enumerate() {
         if ra.len() < c {
             continue;
@@ -111,13 +120,19 @@ pub fn overlap_join(a: &[Vec<u32>], b: &[Vec<u32>], min_common: usize) -> PairSe
                 if !seen.insert(bi) {
                     continue;
                 }
+                candidates += 1;
                 let rb = &b[bi as usize];
                 if rb.len() >= c && multiset_overlap(ra, rb) >= c {
                     out.insert(ai as TupleId, bi);
+                } else {
+                    verify_pruned += 1;
                 }
             }
         }
     }
+    mc_obs::counter!("mc.strsim.join.candidates").add(candidates);
+    mc_obs::counter!("mc.strsim.join.verify_pruned").add(verify_pruned);
+    mc_obs::counter!("mc.strsim.join.kept").add(out.len() as u64);
     out
 }
 

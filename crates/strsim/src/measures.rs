@@ -103,8 +103,12 @@ impl SetMeasure {
     }
 
     /// All four measures (for sweeps/tests).
-    pub const ALL: [SetMeasure; 4] =
-        [SetMeasure::Jaccard, SetMeasure::Cosine, SetMeasure::Dice, SetMeasure::Overlap];
+    pub const ALL: [SetMeasure; 4] = [
+        SetMeasure::Jaccard,
+        SetMeasure::Cosine,
+        SetMeasure::Dice,
+        SetMeasure::Overlap,
+    ];
 }
 
 /// Levenshtein edit distance between two strings (character-level), using

@@ -145,10 +145,7 @@ mod tests {
                             let px = prefix_len(m, t, x.len());
                             let py = prefix_len(m, t, y.len());
                             let shared = multiset_overlap(&x[..px], &y[..py]);
-                            assert!(
-                                shared > 0,
-                                "{m:?} t={t} x={x:?} y={y:?} px={px} py={py}"
-                            );
+                            assert!(shared > 0, "{m:?} t={t} x={x:?} y={y:?} px={px} py={py}");
                         }
                     }
                 }
@@ -174,7 +171,10 @@ mod tests {
             let x: Vec<u32> = (0..la as u32).collect();
             if lo > 0 {
                 let y: Vec<u32> = (0..(lo - 1) as u32).collect();
-                assert!(m.score(&x, &y) < t, "{m:?} too-short partner beat threshold");
+                assert!(
+                    m.score(&x, &y) < t,
+                    "{m:?} too-short partner beat threshold"
+                );
             }
             if hi < 100 {
                 let y: Vec<u32> = (0..(hi + 1) as u32).collect();

@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn words_split_on_punctuation_and_space() {
-        assert_eq!(word_tokens("Dave  Smith-Jones, Jr."), vec!["dave", "smith", "jones", "jr"]);
+        assert_eq!(
+            word_tokens("Dave  Smith-Jones, Jr."),
+            vec!["dave", "smith", "jones", "jr"]
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::MissingHeader => write!(f, "CSV input has no header row"),
-            CsvError::RowWidth { row, found, expected } => {
+            CsvError::RowWidth {
+                row,
+                found,
+                expected,
+            } => {
                 write!(f, "CSV row {row} has {found} fields, expected {expected}")
             }
             CsvError::UnterminatedQuote => write!(f, "unterminated quoted CSV field"),
@@ -95,7 +99,11 @@ pub fn from_csv(name: &str, input: &str) -> Result<Table, CsvError> {
     let mut table = Table::new(name, schema);
     for (i, row) in it.enumerate() {
         if row.len() != width {
-            return Err(CsvError::RowWidth { row: i + 2, found: row.len(), expected: width });
+            return Err(CsvError::RowWidth {
+                row: i + 2,
+                found: row.len(),
+                expected: width,
+            });
         }
         table.push(Tuple::new(row));
     }
@@ -109,11 +117,7 @@ fn parse_rows(input: &str) -> Result<Vec<Vec<Option<String>>>, CsvError> {
     let mut field_quoted = false;
     let mut chars = input.chars().peekable();
 
-    fn finish_field(
-        row: &mut Vec<Option<String>>,
-        field: &mut String,
-        quoted: &mut bool,
-    ) {
+    fn finish_field(row: &mut Vec<Option<String>>, field: &mut String, quoted: &mut bool) {
         let value = std::mem::take(field);
         if value.is_empty() && !*quoted {
             row.push(None);
@@ -207,12 +211,22 @@ mod tests {
     #[test]
     fn width_mismatch_is_error() {
         let err = from_csv("A", "a,b\n1\n").unwrap_err();
-        assert_eq!(err, CsvError::RowWidth { row: 2, found: 1, expected: 2 });
+        assert_eq!(
+            err,
+            CsvError::RowWidth {
+                row: 2,
+                found: 1,
+                expected: 2
+            }
+        );
     }
 
     #[test]
     fn unterminated_quote_is_error() {
-        assert_eq!(from_csv("A", "a\n\"oops\n").unwrap_err(), CsvError::UnterminatedQuote);
+        assert_eq!(
+            from_csv("A", "a\n\"oops\n").unwrap_err(),
+            CsvError::UnterminatedQuote
+        );
     }
 
     #[test]

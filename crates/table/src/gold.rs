@@ -22,7 +22,9 @@ impl GoldMatches {
 
     /// Builds a gold set from `(a, b)` pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (TupleId, TupleId)>) -> Self {
-        GoldMatches { pairs: pairs.into_iter().collect() }
+        GoldMatches {
+            pairs: pairs.into_iter().collect(),
+        }
     }
 
     /// Registers a true match.
@@ -55,7 +57,10 @@ impl GoldMatches {
 
     /// Number of gold matches surviving in a candidate set: `|M ∩ C|`.
     pub fn surviving(&self, candidates: &PairSet) -> usize {
-        self.pairs.iter().filter(|&(a, b)| candidates.contains(a, b)).count()
+        self.pairs
+            .iter()
+            .filter(|&(a, b)| candidates.contains(a, b))
+            .count()
     }
 
     /// Number of gold matches killed off by the blocker: `|M| − |M ∩ C|`

@@ -36,7 +36,9 @@ impl PairSet {
 
     /// An empty pair set with capacity for `cap` pairs.
     pub fn with_capacity(cap: usize) -> Self {
-        PairSet { keys: fx_set_with_capacity(cap) }
+        PairSet {
+            keys: fx_set_with_capacity(cap),
+        }
     }
 
     /// Inserts a pair; returns `true` if it was not already present.
@@ -90,8 +92,11 @@ impl PairSet {
 
     /// Intersection size with another pair set.
     pub fn intersection_len(&self, other: &PairSet) -> usize {
-        let (small, big) =
-            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         small.keys.iter().filter(|k| big.keys.contains(k)).count()
     }
 

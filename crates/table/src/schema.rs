@@ -4,14 +4,13 @@
 //! paper). Attributes carry an optional declared type; undeclared types are
 //! inferred from data by [`crate::stats`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an attribute within a [`Schema`].
 ///
 /// Attribute ids are dense and stable for the lifetime of a schema, so they
 /// can be used to index per-attribute vectors directly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttrId(pub u16);
 
 impl AttrId {
@@ -33,7 +32,7 @@ impl fmt::Display for AttrId {
 /// The generator drops `Numeric` attributes outright and drops
 /// `Categorical`/`Boolean` attributes whose value sets differ between the
 /// two tables; `Text` attributes always survive the first cut.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttrType {
     /// Free-form string data (names, titles, descriptions).
     Text,
@@ -59,7 +58,7 @@ impl fmt::Display for AttrType {
 }
 
 /// A named attribute with an optional declared type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     /// Attribute name (unique within a schema).
     pub name: String,
@@ -70,17 +69,23 @@ pub struct Attribute {
 impl Attribute {
     /// A new attribute with no declared type.
     pub fn new(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), declared: None }
+        Attribute {
+            name: name.into(),
+            declared: None,
+        }
     }
 
     /// A new attribute with a declared type.
     pub fn typed(name: impl Into<String>, ty: AttrType) -> Self {
-        Attribute { name: name.into(), declared: Some(ty) }
+        Attribute {
+            name: name.into(),
+            declared: Some(ty),
+        }
     }
 }
 
 /// An ordered collection of attributes shared by a pair of tables.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     attrs: Vec<Attribute>,
 }

@@ -113,9 +113,9 @@ impl TableStats {
                 values.insert(v.to_ascii_lowercase());
             }
             let distinct = values.len();
-            let attr_type = decl.declared.unwrap_or_else(|| {
-                infer_type(non_missing, distinct, numeric_hits, boolean_hits)
-            });
+            let attr_type = decl
+                .declared
+                .unwrap_or_else(|| infer_type(non_missing, distinct, numeric_hits, boolean_hits));
             let keep_values = matches!(attr_type, AttrType::Categorical | AttrType::Boolean);
             attrs.push(AttrStats {
                 attr,
@@ -193,9 +193,7 @@ fn infer_type(
     if numeric_hits as f64 / nm >= NUMERIC_FRACTION {
         return AttrType::Numeric;
     }
-    if distinct <= CATEGORICAL_MAX_DISTINCT
-        || (distinct as f64 / nm) <= CATEGORICAL_UNIQUE_RATIO
-    {
+    if distinct <= CATEGORICAL_MAX_DISTINCT || (distinct as f64 / nm) <= CATEGORICAL_UNIQUE_RATIO {
         return AttrType::Categorical;
     }
     AttrType::Text
@@ -212,7 +210,9 @@ mod tests {
         let schema = Arc::new(Schema::from_names(cols.iter().copied()));
         let mut t = Table::new(name, schema);
         for r in rows {
-            t.push(Tuple::new(r.iter().map(|v| v.map(|s| s.to_string())).collect()));
+            t.push(Tuple::new(
+                r.iter().map(|v| v.map(|s| s.to_string())).collect(),
+            ));
         }
         t
     }
@@ -222,12 +222,7 @@ mod tests {
         let t = table_of(
             "A",
             &["name"],
-            &[
-                &[Some("dave")],
-                &[Some("dave")],
-                &[Some("joe")],
-                &[None],
-            ],
+            &[&[Some("dave")], &[Some("dave")], &[Some("joe")], &[None]],
         );
         let s = TableStats::compute(&t);
         let a = s.attr(AttrId(0));
@@ -254,7 +249,11 @@ mod tests {
 
     #[test]
     fn boolean_detection() {
-        let t = table_of("A", &["flag"], &[&[Some("yes")], &[Some("no")], &[Some("yes")]]);
+        let t = table_of(
+            "A",
+            &["flag"],
+            &[&[Some("yes")], &[Some("no")], &[Some("yes")]],
+        );
         let s = TableStats::compute(&t);
         assert_eq!(s.attr(AttrId(0)).attr_type, AttrType::Boolean);
     }
@@ -288,7 +287,11 @@ mod tests {
     #[test]
     fn value_set_jaccard_detects_domain_mismatch() {
         let a = table_of("A", &["gender"], &[&[Some("male")], &[Some("female")]]);
-        let b = table_of("B", &["gender"], &[&[Some("m")], &[Some("f")], &[Some("u")]]);
+        let b = table_of(
+            "B",
+            &["gender"],
+            &[&[Some("m")], &[Some("f")], &[Some("u")]],
+        );
         let sa = TableStats::compute(&a);
         let sb = TableStats::compute(&b);
         assert_eq!(sa.value_set_jaccard(&sb, AttrId(0)), 0.0);

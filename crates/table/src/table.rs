@@ -1,7 +1,6 @@
 //! Row-major string tables with missing values.
 
 use crate::schema::{AttrId, Schema};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Index of a tuple within a [`Table`].
@@ -15,7 +14,7 @@ pub type TupleId = u32;
 ///
 /// `None` models a missing value (NULL). MatchCatcher's config generator
 /// penalizes attributes with many missing values (Definition 3.1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tuple {
     values: Vec<Option<String>>,
 }
@@ -29,7 +28,9 @@ impl Tuple {
 
     /// Creates a tuple where every value is present.
     pub fn from_present<S: Into<String>>(values: impl IntoIterator<Item = S>) -> Self {
-        Tuple { values: values.into_iter().map(|v| Some(v.into())).collect() }
+        Tuple {
+            values: values.into_iter().map(|v| Some(v.into())).collect(),
+        }
     }
 
     /// The value of the given attribute, `None` if missing.
@@ -78,7 +79,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table over `schema`.
     pub fn new(name: impl Into<String>, schema: Arc<Schema>) -> Self {
-        Table { schema, rows: Vec::new(), name: name.into() }
+        Table {
+            schema,
+            rows: Vec::new(),
+            name: name.into(),
+        }
     }
 
     /// Creates a table from pre-built rows, validating row widths.
@@ -93,7 +98,11 @@ impl Table {
             );
         }
         assert!(rows.len() <= u32::MAX as usize, "table too large");
-        Table { schema, rows, name: name.into() }
+        Table {
+            schema,
+            rows,
+            name: name.into(),
+        }
     }
 
     /// The shared schema.

@@ -24,7 +24,10 @@ impl Oracle for ScriptedUser {
     fn is_match(&mut self, a: TupleId, b: TupleId) -> bool {
         self.asked += 1;
         let answer = self.truth.contains(&(a, b));
-        println!("  user labels (a{a}, b{b}) -> {}", if answer { "MATCH" } else { "no" });
+        println!(
+            "  user labels (a{a}, b{b}) -> {}",
+            if answer { "MATCH" } else { "no" }
+        );
         answer
     }
 
@@ -63,7 +66,10 @@ Charles Williams,Chicago,312-555-0303
         a.len() * b.len()
     );
 
-    let mut user = ScriptedUser { truth: vec![(0, 0), (1, 2), (2, 1), (3, 3)], asked: 0 };
+    let mut user = ScriptedUser {
+        truth: vec![(0, 0), (1, 2), (2, 1), (3, 3)],
+        asked: 0,
+    };
     let mc = MatchCatcher::new(DebuggerParams::small());
     let report = mc.run(&a, &b, &c, &mut user);
 

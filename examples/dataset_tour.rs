@@ -8,8 +8,8 @@
 
 use mc_bench::blockers::table2_suite;
 use mc_blocking::BlockerReport;
-use mc_datagen::profiles::{errors_for, DatasetProfile};
 use mc_datagen::noise::Side;
+use mc_datagen::profiles::{errors_for, DatasetProfile};
 
 fn main() {
     for profile in [
@@ -18,7 +18,11 @@ fn main() {
         DatasetProfile::FodorsZagats,
         DatasetProfile::Music1,
     ] {
-        let scale = if profile == DatasetProfile::Music1 { 0.05 } else { 0.5 };
+        let scale = if profile == DatasetProfile::Music1 {
+            0.05
+        } else {
+            0.5
+        };
         let ds = profile.generate_scaled(7, scale);
         let (na, nb, m, attrs, la, lb) = ds.table1_row();
         println!("== {} (scale {scale})", ds.name);

@@ -15,7 +15,10 @@ use mc_bench::learned::{learn_blocker, sample_pairs};
 use mc_datagen::profiles::DatasetProfile;
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
     let ds = DatasetProfile::Papers.generate_scaled(42, scale);
     println!(
         "dataset {}: |A|={} |B|={} (gold matches known to the generator: {})\n",

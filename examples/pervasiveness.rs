@@ -28,8 +28,11 @@ fn main() {
     let joint = mc.topk(&prepared, &c);
     let mut oracle = GoldOracle::exact(&ds.gold);
     let (union, outcome) = mc.verify(&ds.a, &ds.b, &prepared, &joint.lists, &mut oracle);
-    let confirmed: Vec<(u32, u32)> =
-        outcome.matches.iter().map(|&k| mc_table::split_pair_key(k)).collect();
+    let confirmed: Vec<(u32, u32)> = outcome
+        .matches
+        .iter()
+        .map(|&k| mc_table::split_pair_key(k))
+        .collect();
     println!(
         "blocker {} killed {} matches; debugger confirmed {}\n",
         blocker.describe(&schema),
@@ -61,7 +64,10 @@ fn main() {
             ds.a.value(m.0, name).unwrap_or("-"),
             ds.b.value(m.1, name).unwrap_or("-")
         );
-        println!("{} candidate pairs share (at least) its problems, e.g.:", sim.len());
+        println!(
+            "{} candidate pairs share (at least) its problems, e.g.:",
+            sim.len()
+        );
         for (x, y) in sim.iter().take(4) {
             println!(
                 "  (a{x}, b{y}): {:?} / {:?}",

@@ -45,7 +45,10 @@ fn main() {
             "Q3: Q1 OR ed(lastword(Name)) <= 2",
             Blocker::Union(vec![
                 Blocker::Hash(KeyFunc::Attr(city)),
-                Blocker::EditSim { key: KeyFunc::LastWord(name), max_ed: 2 },
+                Blocker::EditSim {
+                    key: KeyFunc::LastWord(name),
+                    max_ed: 2,
+                },
             ]),
         ),
     ];
@@ -62,7 +65,10 @@ fn main() {
             println!("   debugger: no killed-off matches found — blocker looks good\n");
             continue;
         }
-        println!("   debugger found {} killed-off match(es):", debug.confirmed_matches.len());
+        println!(
+            "   debugger found {} killed-off match(es):",
+            debug.confirmed_matches.len()
+        );
         for (x, y) in &debug.confirmed_matches {
             println!(
                 "     (a{}, b{}): {:?} vs {:?}",

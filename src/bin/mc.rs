@@ -1,0 +1,116 @@
+//! `mc` — the MatchCatcher workspace CLI.
+//!
+//! Currently one subcommand:
+//!
+//! ```text
+//! mc obs-report [--profile NAME] [--scale X] [--seed N] [--k N] [--json]
+//! ```
+//!
+//! Runs the full debugging pipeline (prepare → top-k → verify → explain)
+//! on a synthetic datagen profile with a hash blocker, then prints the
+//! observability layer's human-readable stage breakdown; `--json` adds
+//! the machine-readable `mc-obs/v1` snapshot (the same schema the bench
+//! binaries emit with `--obs`).
+
+use matchcatcher::debugger::{DebuggerParams, MatchCatcher, RunObserver, Stage};
+use matchcatcher::oracle::GoldOracle;
+use mc_blocking::{Blocker, KeyFunc};
+use mc_datagen::profiles::DatasetProfile;
+use mc_obs::MetricsSnapshot;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mc obs-report [--profile NAME] [--scale X] [--seed N] [--k N] [--json]\n\
+         profiles: {}",
+        DatasetProfile::ALL.map(|p| p.name()).join(", ")
+    );
+    std::process::exit(2);
+}
+
+struct StagePrinter;
+
+impl RunObserver for StagePrinter {
+    fn stage_started(&mut self, stage: Stage) {
+        eprintln!("[mc] {} ...", stage.span_name());
+    }
+
+    fn stage_finished(&mut self, stage: Stage, metrics: &MetricsSnapshot) {
+        let stat = metrics.span(stage.span_name());
+        eprintln!("[mc] {} done in {} µs", stage.span_name(), stat.total_us);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 2 || args[1] != "obs-report" {
+        usage();
+    }
+    let mut profile = DatasetProfile::FodorsZagats;
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut k = 200usize;
+    let mut json = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+                continue;
+            }
+            "--profile" if i + 1 < args.len() => {
+                let name = &args[i + 1];
+                profile = DatasetProfile::ALL
+                    .into_iter()
+                    .find(|p| p.name().eq_ignore_ascii_case(name))
+                    .unwrap_or_else(|| usage());
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or_else(|_| usage())
+            }
+            "--k" if i + 1 < args.len() => k = args[i + 1].parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let baseline = MetricsSnapshot::capture();
+    let ds = profile.generate_scaled(seed, scale);
+    eprintln!(
+        "[mc] dataset {} ({} × {} tuples, {} matches)",
+        ds.name,
+        ds.a.len(),
+        ds.b.len(),
+        ds.gold.len()
+    );
+    // A deliberately lossy blocker so the debugger has matches to recover:
+    // hash on the first attribute's exact value.
+    let blocker = Blocker::Hash(KeyFunc::Attr(mc_table::AttrId(0)));
+    let c = blocker.apply(&ds.a, &ds.b);
+
+    let mut params = DebuggerParams::default();
+    params.joint.k = k;
+    if let Err(e) = params.validate() {
+        eprintln!("mc obs-report: invalid parameters: {e}");
+        std::process::exit(2);
+    }
+    let mc = MatchCatcher::new(params);
+    let mut oracle = GoldOracle::exact(&ds.gold);
+    let report = mc.run_observed(&ds.a, &ds.b, &c, &mut oracle, &mut StagePrinter);
+
+    println!(
+        "confirmed {} killed-off matches in {} iterations ({} labels, |E| = {})",
+        report.confirmed_matches.len(),
+        report.iteration_count(),
+        report.labeled,
+        report.e_size
+    );
+    let delta = MetricsSnapshot::capture().since(&baseline);
+    println!("\n{}", delta.render());
+    if json {
+        println!("{}", delta.to_json());
+    }
+}

@@ -6,5 +6,6 @@ pub use matchcatcher;
 pub use mc_blocking as blocking;
 pub use mc_datagen as datagen;
 pub use mc_ml as ml;
+pub use mc_obs as obs;
 pub use mc_strsim as strsim;
 pub use mc_table as table;

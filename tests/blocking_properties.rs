@@ -1,83 +1,102 @@
-//! Property-based tests for the blocking framework against its pairwise
-//! semantics, using randomly generated small tables.
+//! Randomized property tests for the blocking framework against its
+//! pairwise semantics, using seeded random small tables (deterministic
+//! across runs).
 
 use mc_blocking::{Blocker, KeyFunc};
 use mc_strsim::measures::SetMeasure;
 use mc_strsim::tokenize::Tokenizer;
 use mc_table::{AttrId, Schema, Table, Tuple};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt as _, SeedableRng};
 use std::sync::Arc;
+
+const CASES: usize = 48;
 
 /// Random small tables over a fixed 2-attribute schema with a tiny
 /// vocabulary (to force collisions).
-fn table_strategy(name: &'static str) -> impl Strategy<Value = Table> {
-    let word = prop::sample::select(vec![
-        "smith", "smyth", "jones", "dave", "david", "joe", "atlanta", "altanta", "ny",
-        "chicago", "", "la",
-    ]);
-    let value = prop::collection::vec(word, 1..4)
-        .prop_map(|ws| {
-            let s = ws.join(" ").trim().to_string();
-            if s.is_empty() {
-                None
-            } else {
-                Some(s)
-            }
-        });
-    prop::collection::vec((value.clone(), value), 1..12).prop_map(move |rows| {
-        let schema = Arc::new(Schema::from_names(["name", "city"]));
-        let mut t = Table::new(name, schema);
-        for (n, c) in rows {
-            t.push(Tuple::new(vec![n, c]));
+fn random_table(rng: &mut StdRng, name: &'static str) -> Table {
+    const WORDS: &[&str] = &[
+        "smith", "smyth", "jones", "dave", "david", "joe", "atlanta", "altanta", "ny", "chicago",
+        "", "la",
+    ];
+    let random_value = |rng: &mut StdRng| -> Option<String> {
+        let n = rng.random_range(1..4usize);
+        let s = (0..n)
+            .map(|_| *WORDS.choose(rng).unwrap())
+            .collect::<Vec<_>>()
+            .join(" ")
+            .trim()
+            .to_string();
+        if s.is_empty() {
+            None
+        } else {
+            Some(s)
         }
-        t
-    })
+    };
+    let schema = Arc::new(Schema::from_names(["name", "city"]));
+    let mut t = Table::new(name, schema);
+    let rows = rng.random_range(1..12usize);
+    for _ in 0..rows {
+        let n = random_value(rng);
+        let c = random_value(rng);
+        t.push(Tuple::new(vec![n, c]));
+    }
+    t
 }
 
-fn blocker_strategy() -> impl Strategy<Value = Blocker> {
-    prop_oneof![
-        Just(Blocker::Hash(KeyFunc::Attr(AttrId(0)))),
-        Just(Blocker::Hash(KeyFunc::LastWord(AttrId(0)))),
-        Just(Blocker::Hash(KeyFunc::Soundex(AttrId(0)))),
-        Just(Blocker::Overlap {
+fn random_blocker(rng: &mut StdRng) -> Blocker {
+    let choices: Vec<Blocker> = vec![
+        Blocker::Hash(KeyFunc::Attr(AttrId(0))),
+        Blocker::Hash(KeyFunc::LastWord(AttrId(0))),
+        Blocker::Hash(KeyFunc::Soundex(AttrId(0))),
+        Blocker::Overlap {
             attr: AttrId(0),
             tokenizer: Tokenizer::Word,
-            min_common: 1
-        }),
-        Just(Blocker::Sim {
+            min_common: 1,
+        },
+        Blocker::Sim {
             attr: AttrId(0),
             tokenizer: Tokenizer::Word,
             measure: SetMeasure::Jaccard,
-            threshold: 0.5
-        }),
-        Just(Blocker::Sim {
+            threshold: 0.5,
+        },
+        Blocker::Sim {
             attr: AttrId(1),
             tokenizer: Tokenizer::QGram(3),
             measure: SetMeasure::Dice,
-            threshold: 0.6
-        }),
-        Just(Blocker::EditSim { key: KeyFunc::LastWord(AttrId(0)), max_ed: 1 }),
-        Just(Blocker::EditSim { key: KeyFunc::Attr(AttrId(1)), max_ed: 2 }),
-        Just(Blocker::SuffixKey { key: KeyFunc::LastWord(AttrId(0)), suffix_len: 3 }),
-    ]
+            threshold: 0.6,
+        },
+        Blocker::EditSim {
+            key: KeyFunc::LastWord(AttrId(0)),
+            max_ed: 1,
+        },
+        Blocker::EditSim {
+            key: KeyFunc::Attr(AttrId(1)),
+            max_ed: 2,
+        },
+        Blocker::SuffixKey {
+            key: KeyFunc::LastWord(AttrId(0)),
+            suffix_len: 3,
+        },
+    ];
+    choices.choose(rng).unwrap().clone()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn apply_agrees_with_pairwise_keeps(
-        a in table_strategy("A"),
-        b in table_strategy("B"),
-        blocker in blocker_strategy(),
-    ) {
+#[test]
+fn apply_agrees_with_pairwise_keeps() {
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    for case in 0..CASES {
+        let a = random_table(&mut rng, "A");
+        let b = random_table(&mut rng, "B");
+        let blocker = random_blocker(&mut rng);
         let c = blocker.apply(&a, &b);
         for ai in a.ids() {
             for bi in b.ids() {
-                prop_assert_eq!(
+                assert_eq!(
                     c.contains(ai, bi),
                     blocker.keeps(&a, &b, ai, bi),
-                    "{} on ({}, {})",
+                    "case {case}: {} on ({}, {})",
                     blocker.describe(a.schema()),
                     ai,
                     bi
@@ -85,50 +104,63 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn union_is_superset_of_parts(
-        a in table_strategy("A"),
-        b in table_strategy("B"),
-        b1 in blocker_strategy(),
-        b2 in blocker_strategy(),
-    ) {
+#[test]
+fn union_is_superset_of_parts() {
+    let mut rng = StdRng::seed_from_u64(0xB11);
+    for case in 0..CASES {
+        let a = random_table(&mut rng, "A");
+        let b = random_table(&mut rng, "B");
+        let b1 = random_blocker(&mut rng);
+        let b2 = random_blocker(&mut rng);
         let u = Blocker::Union(vec![b1.clone(), b2.clone()]).apply(&a, &b);
         for part in [&b1, &b2] {
             for (x, y) in part.apply(&a, &b).iter() {
-                prop_assert!(u.contains(x, y));
+                assert!(u.contains(x, y), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn intersection_is_subset_of_parts(
-        a in table_strategy("A"),
-        b in table_strategy("B"),
-        b1 in blocker_strategy(),
-        b2 in blocker_strategy(),
-    ) {
+#[test]
+fn intersection_is_subset_of_parts() {
+    let mut rng = StdRng::seed_from_u64(0xB12);
+    for case in 0..CASES {
+        let a = random_table(&mut rng, "A");
+        let b = random_table(&mut rng, "B");
+        let b1 = random_blocker(&mut rng);
+        let b2 = random_blocker(&mut rng);
         let i = Blocker::Intersect(vec![b1.clone(), b2.clone()]).apply(&a, &b);
         let c1 = b1.apply(&a, &b);
         let c2 = b2.apply(&a, &b);
         for (x, y) in i.iter() {
-            prop_assert!(c1.contains(x, y) && c2.contains(x, y));
+            assert!(c1.contains(x, y) && c2.contains(x, y), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn sorted_neighborhood_contains_equal_keys(
-        a in table_strategy("A"),
-        b in table_strategy("B"),
-    ) {
-        // Window ≥ 1 must cover at least... equal keys adjacent in sort
-        // order; with a window as large as the row count, SN ⊇ hash.
+#[test]
+fn sorted_neighborhood_contains_equal_keys() {
+    let mut rng = StdRng::seed_from_u64(0xB13);
+    for case in 0..CASES {
+        let a = random_table(&mut rng, "A");
+        let b = random_table(&mut rng, "B");
+        // Equal keys are adjacent in sort order; with a window as large
+        // as the row count, SN ⊇ hash.
         let key = KeyFunc::LastWord(AttrId(0));
         let window = a.len() + b.len();
-        let sn = Blocker::SortedNeighborhood { key: key.clone(), window }.apply(&a, &b);
+        let sn = Blocker::SortedNeighborhood {
+            key: key.clone(),
+            window,
+        }
+        .apply(&a, &b);
         let h = Blocker::Hash(key).apply(&a, &b);
         for (x, y) in h.iter() {
-            prop_assert!(sn.contains(x, y), "hash pair ({x},{y}) missing from max-window SN");
+            assert!(
+                sn.contains(x, y),
+                "case {case}: hash pair ({x},{y}) missing from max-window SN"
+            );
         }
     }
 }

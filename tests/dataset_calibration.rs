@@ -24,7 +24,11 @@ fn blocker_recalls_vary_within_each_dirty_profile() {
             "{}: blocker recalls should vary, got {recalls:?}",
             profile.name()
         );
-        assert!(min < 0.999, "{}: some blocker must be imperfect", profile.name());
+        assert!(
+            min < 0.999,
+            "{}: some blocker must be imperfect",
+            profile.name()
+        );
     }
 }
 
@@ -46,7 +50,10 @@ fn clean_profile_supports_near_perfect_blocking() {
     let ds = DatasetProfile::AcmDblp.generate_scaled(42, 0.5);
     let best = best_hash_blocker(DatasetProfile::AcmDblp, ds.a.schema());
     let recall = ds.gold.recall(&best.apply(&ds.a, &ds.b));
-    assert!(recall > 0.95, "A-D best hash recall {recall}; the profile is too dirty");
+    assert!(
+        recall > 0.95,
+        "A-D best hash recall {recall}; the profile is too dirty"
+    );
 }
 
 #[test]

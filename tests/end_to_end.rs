@@ -20,7 +20,10 @@ fn debugger_recovers_most_killed_matches_on_restaurants() {
     let blocker = Blocker::Hash(KeyFunc::Attr(ds.a.schema().expect_id("city")));
     let c = blocker.apply(&ds.a, &ds.b);
     let killed = ds.gold.killed(&c);
-    assert!(killed > 5, "fixture should kill a handful of matches, got {killed}");
+    assert!(
+        killed > 5,
+        "fixture should kill a handful of matches, got {killed}"
+    );
 
     let mc = MatchCatcher::new(small_params());
     let mut oracle = GoldOracle::exact(&ds.gold);
@@ -33,7 +36,11 @@ fn debugger_recovers_most_killed_matches_on_restaurants() {
     }
     // The debugger should recover a large fraction.
     let frac = report.confirmed_matches.len() as f64 / killed as f64;
-    assert!(frac >= 0.7, "recovered only {:.0}% of killed matches", frac * 100.0);
+    assert!(
+        frac >= 0.7,
+        "recovered only {:.0}% of killed matches",
+        frac * 100.0
+    );
 }
 
 #[test]
@@ -68,7 +75,10 @@ fn explanations_reflect_injected_errors() {
         let injected = errors_for(&ds.errors, Side::B, y);
         if injected.contains(&(city, ErrorKind::Abbreviation)) {
             let diag = e.per_attr[city.index()].1;
-            assert!(!diag.is_agreement(), "abbreviated city diagnosed as agreement");
+            assert!(
+                !diag.is_agreement(),
+                "abbreviated city diagnosed as agreement"
+            );
             checked += 1;
         }
     }

@@ -1,0 +1,153 @@
+//! Acceptance tests for the `mc-obs` pipeline instrumentation: a
+//! [`MetricsSnapshot`] captured around [`MatchCatcher::run`] on a datagen
+//! profile must cover every layer — SSJ candidate/pruning counters,
+//! overlap-database reuse, per-stage spans, and per-iteration verifier
+//! statistics.
+//!
+//! The registry is process-global and tests in this binary run in
+//! parallel, so cross-run contamination can only *inflate* deltas; every
+//! assertion is therefore `> 0` / `>=`, never an exact equality.
+
+use matchcatcher::debugger::{DebuggerParams, MatchCatcher, Stage};
+use matchcatcher::oracle::GoldOracle;
+use mc_blocking::{Blocker, KeyFunc};
+use mc_datagen::profiles::DatasetProfile;
+use mc_obs::MetricsSnapshot;
+use mc_strsim::tokenize::Tokenizer;
+use mc_strsim::SetMeasure;
+
+#[test]
+fn metrics_snapshot_covers_the_whole_pipeline() {
+    let baseline = MetricsSnapshot::capture();
+    let ds = DatasetProfile::FodorsZagats.generate(7);
+    let name = ds.a.schema().expect_id("name");
+    // A SIM blocker so the prefix-filter join counters fire too.
+    let blocker = Blocker::Sim {
+        attr: name,
+        tokenizer: Tokenizer::Word,
+        measure: SetMeasure::Jaccard,
+        threshold: 0.6,
+    };
+    let c = blocker.apply(&ds.a, &ds.b);
+
+    let mut params = DebuggerParams::small();
+    params.joint.k = 100;
+    // One worker → configs run in tree order, so parents populate the
+    // overlap DB before their children read it (deterministic hits).
+    params.joint.threads = 1;
+    params.joint.reuse_min_avg_tokens = 0.0; // force overlap reuse on
+    let mc = MatchCatcher::new(params);
+    let mut oracle = GoldOracle::exact(&ds.gold);
+    let report = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+    assert!(report.e_size > 0, "debugger must retrieve candidates");
+
+    // ── Prefix-filter threshold join (the SIM blocker) ──────────────────
+    let outer = MetricsSnapshot::capture().since(&baseline);
+    assert!(
+        outer.counter("mc.strsim.join.candidates") > 0,
+        "SSJ candidates generated"
+    );
+    assert!(
+        outer.counter("mc.strsim.join.length_pruned")
+            + outer.counter("mc.strsim.join.verify_pruned")
+            > 0,
+        "prefix-filter pruned pairs"
+    );
+    assert!(
+        outer.counter("mc.strsim.dict.builds") > 0,
+        "dictionary builds recorded"
+    );
+
+    // ── The debugger's own top-k SSJ ────────────────────────────────────
+    let m = &report.metrics;
+    assert!(
+        m.counter("mc.core.ssj.events") > 0,
+        "prefix-extension events"
+    );
+    assert!(
+        m.counter("mc.core.ssj.candidates") > 0,
+        "top-k SSJ candidates discovered"
+    );
+    assert!(m.counter("mc.core.ssj.scored") > 0, "pairs scored");
+    assert!(
+        m.counter("mc.core.ssj.bound_pruned") > 0,
+        "bound-based pruning fired"
+    );
+
+    // ── Overlap-database reuse (§4.2) ───────────────────────────────────
+    assert!(
+        m.counter("mc.core.joint.overlap_db.inserts") > 0,
+        "writers recorded overlaps"
+    );
+    assert!(
+        m.counter("mc.core.joint.overlap_db.hits") > 0,
+        "children reused overlaps"
+    );
+    assert!(
+        m.counter("mc.core.joint.overlap_db.misses") > 0,
+        "fresh pairs missed the db"
+    );
+    assert!(
+        m.counter("mc.core.joint.reuse_hits") > 0,
+        "scorer-level reuse hits"
+    );
+    assert!(m.counter("mc.core.joint.configs_executed") > 0);
+
+    // ── Per-stage span durations ────────────────────────────────────────
+    for stage in [Stage::Prepare, Stage::TopK, Stage::Verify] {
+        let stat = m.span(stage.span_name());
+        assert!(stat.count >= 1, "{stage:?} span recorded");
+        assert!(stat.total_us > 0, "{stage:?} span has nonzero duration");
+    }
+    assert!(
+        m.span("mc.core.joint.run").count >= 1,
+        "joint execution span"
+    );
+    assert!(
+        m.span("mc.core.joint.config").count >= 1,
+        "per-config spans"
+    );
+
+    // ── Per-iteration verifier statistics ───────────────────────────────
+    assert!(m.counter("mc.core.verify.iterations") >= 1);
+    assert!(
+        m.counter("mc.core.verify.labeled") >= report.labeled as u64,
+        "labeled counter covers this run's {} labels",
+        report.labeled
+    );
+    let iteration_events = m.events_named("mc.core.verify.iteration");
+    assert!(
+        !iteration_events.is_empty(),
+        "per-iteration events in the flight recorder"
+    );
+}
+
+#[test]
+fn every_stage_reports_a_nonzero_span() {
+    // Smoke test for the `obs_report` example path: a small end-to-end
+    // run must record a span for every pipeline stage and render a report
+    // that mentions each of them.
+    let ds = DatasetProfile::FodorsZagats.generate_scaled(13, 0.5);
+    let city = ds.a.schema().expect_id("city");
+    let c = Blocker::Hash(KeyFunc::Attr(city)).apply(&ds.a, &ds.b);
+    let mc = MatchCatcher::new(DebuggerParams::small());
+    let mut oracle = GoldOracle::exact(&ds.gold);
+    let report = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+
+    for stage in Stage::ALL {
+        assert!(
+            report.metrics.span(stage.span_name()).count >= 1,
+            "{stage:?} reported no span"
+        );
+    }
+    let rendered = report.metrics.render();
+    for stage in Stage::ALL {
+        assert!(
+            rendered.contains(stage.span_name()),
+            "render omits {stage:?}"
+        );
+    }
+    let json = report.metrics.to_json();
+    assert!(json.contains("\"schema\": \"mc-obs/v1\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}

@@ -1,5 +1,5 @@
-//! Property-based tests for the top-k SSJ machinery and similarity
-//! substrate (proptest).
+//! Randomized property tests for the top-k SSJ machinery and similarity
+//! substrate, using seeded random records (deterministic across runs).
 
 use matchcatcher::ssj::{
     brute_force_topk, topk_join, ExactScorer, SsjInstance, SsjParams, TopKList,
@@ -7,34 +7,53 @@ use matchcatcher::ssj::{
 use mc_strsim::join::{nested_loop_join, sim_join};
 use mc_strsim::measures::{edit_distance, within_edit_distance, SetMeasure};
 use mc_table::PairSet;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+const CASES: usize = 64;
 
 /// Random sorted multiset records over a small token universe.
-fn records_strategy(max_records: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    prop::collection::vec(
-        prop::collection::vec(0u32..24, 0..8).prop_map(|mut v| {
+fn random_records(rng: &mut StdRng, max_records: usize) -> Vec<Vec<u32>> {
+    let n = rng.random_range(1..max_records);
+    (0..n)
+        .map(|_| {
+            let len = rng.random_range(0..8usize);
+            let mut v: Vec<u32> = (0..len).map(|_| rng.random_range(0..24u32)).collect();
             v.sort_unstable();
             v
-        }),
-        1..max_records,
-    )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random lowercase string over a small alphabet.
+fn random_string(rng: &mut StdRng, alphabet: &[u8], max_len: usize) -> String {
+    let len = rng.random_range(0..=max_len);
+    (0..len)
+        .map(|_| alphabet[rng.random_range(0..alphabet.len())] as char)
+        .collect()
+}
 
-    #[test]
-    fn topkjoin_matches_brute_force(
-        a in records_strategy(12),
-        b in records_strategy(12),
-        k in 1usize..8,
-    ) {
+#[test]
+fn topkjoin_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x55A1);
+    for case in 0..CASES {
+        let a = random_records(&mut rng, 12);
+        let b = random_records(&mut rng, 12);
+        let k = rng.random_range(1..8usize);
         let killed = PairSet::new();
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         for m in [SetMeasure::Jaccard, SetMeasure::Cosine, SetMeasure::Dice] {
             let fast = topk_join(
                 inst,
-                SsjParams { k, q: 1, measure: m },
+                SsjParams {
+                    k,
+                    q: 1,
+                    measure: m,
+                },
                 &ExactScorer(m),
                 &[],
                 None,
@@ -42,18 +61,20 @@ proptest! {
             let slow = brute_force_topk(inst, k, m);
             let fs = fast.sorted_scores();
             let ss = slow.sorted_scores();
-            prop_assert_eq!(fs.len(), ss.len());
+            assert_eq!(fs.len(), ss.len(), "case {case} {m:?}");
             for (x, y) in fs.iter().zip(&ss) {
-                prop_assert!((x - y).abs() < 1e-9, "{:?}: {:?} vs {:?}", m, fs, ss);
+                assert!((x - y).abs() < 1e-9, "case {case} {m:?}: {fs:?} vs {ss:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn killed_pairs_never_surface(
-        a in records_strategy(10),
-        b in records_strategy(10),
-    ) {
+#[test]
+fn killed_pairs_never_surface() {
+    let mut rng = StdRng::seed_from_u64(0x55A2);
+    for _ in 0..CASES {
+        let a = random_records(&mut rng, 10);
+        let b = random_records(&mut rng, 10);
         // Kill a deterministic subset of pairs.
         let mut killed = PairSet::new();
         for i in 0..a.len() as u32 {
@@ -63,66 +84,92 @@ proptest! {
                 }
             }
         }
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         let list = topk_join(
             inst,
-            SsjParams { k: 50, q: 1, measure: SetMeasure::Jaccard },
+            SsjParams {
+                k: 50,
+                q: 1,
+                measure: SetMeasure::Jaccard,
+            },
             &ExactScorer(SetMeasure::Jaccard),
             &[],
             None,
         );
         for (_, key) in list.sorted_entries() {
-            prop_assert!(!killed.contains_key(key));
+            assert!(!killed.contains_key(key));
         }
     }
+}
 
-    #[test]
-    fn qjoin_is_subset_with_correct_scores(
-        a in records_strategy(10),
-        b in records_strategy(10),
-        q in 2usize..4,
-    ) {
+#[test]
+fn qjoin_is_subset_with_correct_scores() {
+    let mut rng = StdRng::seed_from_u64(0x55A3);
+    for case in 0..CASES {
+        let a = random_records(&mut rng, 10);
+        let b = random_records(&mut rng, 10);
+        let q = rng.random_range(2..4usize);
         let killed = PairSet::new();
-        let inst = SsjInstance { records_a: &a, records_b: &b, killed: &killed };
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
         let full = brute_force_topk(inst, usize::MAX >> 1, SetMeasure::Jaccard);
         let qj = topk_join(
             inst,
-            SsjParams { k: 100, q, measure: SetMeasure::Jaccard },
+            SsjParams {
+                k: 100,
+                q,
+                measure: SetMeasure::Jaccard,
+            },
             &ExactScorer(SetMeasure::Jaccard),
             &[],
             None,
         );
         // Every pair QJoin returns has its exact score.
-        let truth: std::collections::HashMap<u64, f64> =
-            full.sorted_entries().into_iter().map(|(s, p)| (p, s)).collect();
+        let truth: std::collections::HashMap<u64, f64> = full
+            .sorted_entries()
+            .into_iter()
+            .map(|(s, p)| (p, s))
+            .collect();
         for (s, p) in qj.sorted_entries() {
             let t = truth.get(&p).copied().unwrap_or(0.0);
-            prop_assert!((s - t).abs() < 1e-9, "pair {p}: {s} vs {t}");
+            assert!((s - t).abs() < 1e-9, "case {case} pair {p}: {s} vs {t}");
             // And shares at least q tokens.
             let (x, y) = mc_table::split_pair_key(p);
             let o = mc_strsim::multiset_overlap(&a[x as usize], &b[y as usize]);
-            prop_assert!(o >= q);
+            assert!(o >= q, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn threshold_join_equals_nested_loop(
-        a in records_strategy(14),
-        b in records_strategy(14),
-        t in 0.2f64..0.95,
-    ) {
+#[test]
+fn threshold_join_equals_nested_loop() {
+    let mut rng = StdRng::seed_from_u64(0x55A4);
+    for case in 0..CASES {
+        let a = random_records(&mut rng, 14);
+        let b = random_records(&mut rng, 14);
+        let t = rng.random_range(0.2f64..0.95);
         for m in [SetMeasure::Jaccard, SetMeasure::Cosine, SetMeasure::Dice] {
             let fast = sim_join(&a, &b, m, t).to_sorted_vec();
             let slow = nested_loop_join(&a, &b, m, t).to_sorted_vec();
-            prop_assert_eq!(&fast, &slow, "measure {:?} t {}", m, t);
+            assert_eq!(fast, slow, "case {case} measure {m:?} t {t}");
         }
     }
+}
 
-    #[test]
-    fn topk_list_holds_the_k_best(
-        scores in prop::collection::vec(0.01f64..1.0, 1..40),
-        k in 1usize..10,
-    ) {
+#[test]
+fn topk_list_holds_the_k_best() {
+    let mut rng = StdRng::seed_from_u64(0x55A5);
+    for case in 0..CASES {
+        let n = rng.random_range(1..40usize);
+        let scores: Vec<f64> = (0..n).map(|_| rng.random_range(0.01f64..1.0)).collect();
+        let k = rng.random_range(1..10usize);
         let mut list = TopKList::new(k);
         for (i, &s) in scores.iter().enumerate() {
             list.insert(s, i as u64);
@@ -131,61 +178,82 @@ proptest! {
         expect.sort_by(|a, b| b.total_cmp(a));
         expect.truncate(k);
         let got = list.sorted_scores();
-        prop_assert_eq!(got.len(), expect.len());
+        assert_eq!(got.len(), expect.len(), "case {case}");
         for (g, e) in got.iter().zip(&expect) {
-            prop_assert!((g - e).abs() < 1e-12);
+            assert!((g - e).abs() < 1e-12, "case {case}");
         }
         // Threshold is the k-th best (or 0 if not full).
         if scores.len() >= k {
-            prop_assert!((list.threshold() - expect[expect.len() - 1]).abs() < 1e-12);
+            assert!(
+                (list.threshold() - expect[expect.len() - 1]).abs() < 1e-12,
+                "case {case}"
+            );
         } else {
-            prop_assert_eq!(list.threshold(), 0.0);
+            assert_eq!(list.threshold(), 0.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn banded_edit_distance_is_consistent(
-        a in "[a-d]{0,8}",
-        b in "[a-d]{0,8}",
-        k in 0usize..5,
-    ) {
+#[test]
+fn banded_edit_distance_is_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x55A6);
+    for case in 0..CASES * 4 {
+        let a = random_string(&mut rng, b"abcd", 8);
+        let b = random_string(&mut rng, b"abcd", 8);
+        let k = rng.random_range(0..5usize);
         let d = edit_distance(&a, &b);
-        prop_assert_eq!(within_edit_distance(&a, &b, k), d <= k);
+        assert_eq!(
+            within_edit_distance(&a, &b, k),
+            d <= k,
+            "case {case} {a:?} {b:?} k={k}"
+        );
     }
+}
 
-    #[test]
-    fn edit_distance_is_a_metric(
-        a in "[a-c]{0,6}",
-        b in "[a-c]{0,6}",
-        c in "[a-c]{0,6}",
-    ) {
+#[test]
+fn edit_distance_is_a_metric() {
+    let mut rng = StdRng::seed_from_u64(0x55A7);
+    for case in 0..CASES * 4 {
+        let a = random_string(&mut rng, b"abc", 6);
+        let b = random_string(&mut rng, b"abc", 6);
+        let c = random_string(&mut rng, b"abc", 6);
         let ab = edit_distance(&a, &b);
         let ba = edit_distance(&b, &a);
-        prop_assert_eq!(ab, ba, "symmetry");
-        prop_assert_eq!(edit_distance(&a, &a), 0, "identity");
+        assert_eq!(ab, ba, "case {case}: symmetry");
+        assert_eq!(edit_distance(&a, &a), 0, "case {case}: identity");
         let ac = edit_distance(&a, &c);
         let cb = edit_distance(&c, &b);
-        prop_assert!(ab <= ac + cb, "triangle inequality");
+        assert!(ab <= ac + cb, "case {case}: triangle inequality");
     }
+}
 
-    #[test]
-    fn measures_are_bounded_and_symmetric(
-        a in prop::collection::vec(0u32..16, 0..10),
-        b in prop::collection::vec(0u32..16, 0..10),
-    ) {
-        let mut a = a;
-        let mut b = b;
+#[test]
+fn measures_are_bounded_and_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x55A8);
+    for case in 0..CASES {
+        let mut a: Vec<u32> = (0..rng.random_range(0..10usize))
+            .map(|_| rng.random_range(0..16u32))
+            .collect();
+        let mut b: Vec<u32> = (0..rng.random_range(0..10usize))
+            .map(|_| rng.random_range(0..16u32))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         for m in SetMeasure::ALL {
             let s1 = m.score(&a, &b);
             let s2 = m.score(&b, &a);
-            prop_assert!((s1 - s2).abs() < 1e-12, "{:?} not symmetric", m);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&s1), "{:?} out of range: {}", m, s1);
+            assert!((s1 - s2).abs() < 1e-12, "case {case} {m:?} not symmetric");
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&s1),
+                "case {case} {m:?} out of range: {s1}"
+            );
         }
         if !a.is_empty() {
             for m in SetMeasure::ALL {
-                prop_assert!((m.score(&a, &a) - 1.0).abs() < 1e-12, "{:?} self-score", m);
+                assert!(
+                    (m.score(&a, &a) - 1.0).abs() < 1e-12,
+                    "case {case} {m:?} self-score"
+                );
             }
         }
     }

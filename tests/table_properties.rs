@@ -1,87 +1,126 @@
-//! Property-based tests for the data-model substrate: CSV round-trips,
-//! pair-key packing, gold-set arithmetic.
+//! Randomized property tests for the data-model substrate: CSV
+//! round-trips, pair-key packing, gold-set arithmetic. Each property is
+//! checked over many seeded random cases (deterministic across runs).
 
 use mc_table::csv::{from_csv, to_csv};
 use mc_table::{pair_key, split_pair_key, GoldMatches, PairSet, Schema, Table, Tuple};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt as _, SeedableRng};
 use std::sync::Arc;
 
-fn value_strategy() -> impl Strategy<Value = Option<String>> {
-    prop_oneof![
-        3 => "[a-z0-9 ,\"\n]{0,12}".prop_map(Some),
-        1 => Just(None),
-    ]
+const CASES: usize = 64;
+
+/// A random CSV-ish value: letters, digits, separators, quotes,
+/// newlines — the characters that stress a CSV writer. `None` with
+/// probability 1/4.
+fn random_value(rng: &mut StdRng) -> Option<String> {
+    if rng.random_bool(0.25) {
+        return None;
+    }
+    const ALPHABET: &[char] = &['a', 'b', 'z', '0', '9', ' ', ',', '"', '\n', 'q', 'x', '7'];
+    let len = rng.random_range(0..=12usize);
+    let s: String = (0..len).map(|_| *ALPHABET.choose(rng).unwrap()).collect();
+    Some(s)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn csv_roundtrip_preserves_tables(
-        rows in prop::collection::vec((value_strategy(), value_strategy()), 0..10)
-    ) {
+#[test]
+fn csv_roundtrip_preserves_tables() {
+    let mut rng = StdRng::seed_from_u64(0xC5F);
+    for case in 0..CASES {
         let schema = Arc::new(Schema::from_names(["colx", "coly"]));
         let mut t = Table::new("T", schema);
-        for (x, y) in rows {
+        let rows = rng.random_range(0..10usize);
+        for _ in 0..rows {
             // CSV cannot distinguish empty-present from missing unless
             // quoted; our writer writes missing as empty, so normalize
             // empty strings to missing for the round-trip property.
             let norm = |v: Option<String>| v.filter(|s| !s.is_empty());
-            t.push(Tuple::new(vec![norm(x), norm(y)]));
+            t.push(Tuple::new(vec![
+                norm(random_value(&mut rng)),
+                norm(random_value(&mut rng)),
+            ]));
         }
         let text = to_csv(&t);
         let back = from_csv("T", &text).unwrap();
-        prop_assert_eq!(back.len(), t.len());
+        assert_eq!(back.len(), t.len(), "case {case}");
         for id in t.ids() {
             for attr in t.schema().attr_ids() {
-                prop_assert_eq!(
+                assert_eq!(
                     back.value(id, attr),
                     t.value(id, attr),
-                    "row {} attr {}",
-                    id,
-                    attr
+                    "case {case} row {id} attr {attr}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn pair_key_roundtrip(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert_eq!(split_pair_key(pair_key(a, b)), (a, b));
+#[test]
+fn pair_key_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x9A1);
+    for _ in 0..1000 {
+        let a = rng.random_range(0..=u32::MAX);
+        let b = rng.random_range(0..=u32::MAX);
+        assert_eq!(split_pair_key(pair_key(a, b)), (a, b));
     }
+    // Edge cases.
+    for (a, b) in [(0, 0), (0, u32::MAX), (u32::MAX, 0), (u32::MAX, u32::MAX)] {
+        assert_eq!(split_pair_key(pair_key(a, b)), (a, b));
+    }
+}
 
-    #[test]
-    fn pairset_behaves_like_hashset(
-        ops in prop::collection::vec((0u32..16, 0u32..16, any::<bool>()), 0..60)
-    ) {
+#[test]
+fn pairset_behaves_like_hashset() {
+    let mut rng = StdRng::seed_from_u64(0x5E7);
+    for case in 0..CASES {
         let mut ours = PairSet::new();
         let mut reference = std::collections::HashSet::new();
-        for (a, b, insert) in ops {
-            if insert {
-                prop_assert_eq!(ours.insert(a, b), reference.insert((a, b)));
+        let ops = rng.random_range(0..60usize);
+        for _ in 0..ops {
+            let a = rng.random_range(0..16u32);
+            let b = rng.random_range(0..16u32);
+            if rng.random_bool(0.5) {
+                assert_eq!(ours.insert(a, b), reference.insert((a, b)), "case {case}");
             } else {
-                prop_assert_eq!(ours.remove(a, b), reference.remove(&(a, b)));
+                assert_eq!(ours.remove(a, b), reference.remove(&(a, b)), "case {case}");
             }
         }
-        prop_assert_eq!(ours.len(), reference.len());
+        assert_eq!(ours.len(), reference.len(), "case {case}");
         for &(a, b) in &reference {
-            prop_assert!(ours.contains(a, b));
+            assert!(ours.contains(a, b), "case {case}: missing ({a},{b})");
         }
     }
+}
 
-    #[test]
-    fn recall_is_monotone_in_candidates(
-        gold_pairs in prop::collection::vec((0u32..10, 0u32..10), 1..20),
-        extra in prop::collection::vec((0u32..10, 0u32..10), 0..20),
-    ) {
+#[test]
+fn recall_is_monotone_in_candidates() {
+    let mut rng = StdRng::seed_from_u64(0x60D);
+    for case in 0..CASES {
+        let n_gold = rng.random_range(1..20usize);
+        let gold_pairs: Vec<(u32, u32)> = (0..n_gold)
+            .map(|_| (rng.random_range(0..10u32), rng.random_range(0..10u32)))
+            .collect();
+        let n_extra = rng.random_range(0..20usize);
+        let extra: Vec<(u32, u32)> = (0..n_extra)
+            .map(|_| (rng.random_range(0..10u32), rng.random_range(0..10u32)))
+            .collect();
         let gold = GoldMatches::from_pairs(gold_pairs.iter().copied());
-        let c1: PairSet = gold_pairs.iter().copied().take(gold_pairs.len() / 2).collect();
+        let c1: PairSet = gold_pairs
+            .iter()
+            .copied()
+            .take(gold_pairs.len() / 2)
+            .collect();
         let mut c2 = c1.clone();
         c2.extend(extra.iter().copied());
         // Adding candidates can only help recall.
-        prop_assert!(gold.recall(&c2) >= gold.recall(&c1) - 1e-12);
-        prop_assert!(gold.killed(&c2) <= gold.killed(&c1));
+        assert!(gold.recall(&c2) >= gold.recall(&c1) - 1e-12, "case {case}");
+        assert!(gold.killed(&c2) <= gold.killed(&c1), "case {case}");
         // Identities.
-        prop_assert_eq!(gold.surviving(&c2) + gold.killed(&c2), gold.len());
+        assert_eq!(
+            gold.surviving(&c2) + gold.killed(&c2),
+            gold.len(),
+            "case {case}"
+        );
     }
 }
