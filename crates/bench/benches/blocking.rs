@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks for the blocker executors (§2's "efficient
 //! execution of blockers"): hash partitioning, prefix-filter SIM joins,
 //! q-gram edit joins, sorted neighborhood and overlap joins.
+//!
+//! Set `MC_BENCH_SMOKE=1` for a shrunk CI smoke run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mc_blocking::{Blocker, KeyFunc};
@@ -10,7 +12,12 @@ use mc_strsim::tokenize::Tokenizer;
 use std::hint::black_box;
 
 fn bench_executors(c: &mut Criterion) {
-    let ds = DatasetProfile::FodorsZagats.generate(7);
+    let scale = if std::env::var_os("MC_BENCH_SMOKE").is_some() {
+        0.2
+    } else {
+        1.0
+    };
+    let ds = DatasetProfile::FodorsZagats.generate_scaled(7, scale);
     let schema = ds.a.schema().clone();
     let name = schema.expect_id("name");
     let city = schema.expect_id("city");

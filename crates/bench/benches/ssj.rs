@@ -1,27 +1,43 @@
 //! Criterion micro-benchmarks for the top-k SSJ engine: QJoin vs the
 //! TopKJoin baseline (the §4.1 improvement) and joint vs individual
 //! multi-config execution (the §4.2 improvement).
+//!
+//! Set `MC_BENCH_SMOKE=1` to shrink the dataset and sample counts to a
+//! CI-friendly smoke run that only checks the benches still execute.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use matchcatcher::config::ConfigGenerator;
 use matchcatcher::joint::{run_individual, run_joint, JointParams};
 use matchcatcher::ssj::{topk_join, ExactScorer, SsjInstance, SsjParams};
 use mc_datagen::profiles::DatasetProfile;
+use mc_strsim::arena::RecordArena;
 use mc_strsim::dict::TokenizedTable;
 use mc_strsim::measures::SetMeasure;
 use mc_strsim::tokenize::Tokenizer;
 use mc_table::PairSet;
 use std::hint::black_box;
 
-fn ssj_records() -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+fn smoke() -> bool {
+    std::env::var_os("MC_BENCH_SMOKE").is_some()
+}
+
+fn scale() -> f64 {
+    if smoke() {
+        0.05
+    } else {
+        0.25
+    }
+}
+
+fn ssj_records() -> (RecordArena, RecordArena) {
     // Long-ish records (the regime where QJoin's deferred scoring pays).
-    let ds = DatasetProfile::AmazonGoogle.generate_scaled(3, 0.25);
+    let ds = DatasetProfile::AmazonGoogle.generate_scaled(3, scale());
     let gen = ConfigGenerator::default();
     let promising = gen.promising(&ds.a, &ds.b);
     let (ta, tb, _) = TokenizedTable::build_pair(&ds.a, &ds.b, &promising.attrs, Tokenizer::Word);
     let all: Vec<usize> = (0..promising.attrs.len()).collect();
-    let ra = (0..ta.rows() as u32).map(|t| ta.merged(&all, t)).collect();
-    let rb = (0..tb.rows() as u32).map(|t| tb.merged(&all, t)).collect();
+    let ra = RecordArena::from_tokenized(&ta, &all);
+    let rb = RecordArena::from_tokenized(&tb, &all);
     (ra, rb)
 }
 
@@ -58,7 +74,7 @@ fn bench_qjoin_vs_topkjoin(c: &mut Criterion) {
 }
 
 fn bench_joint_vs_individual(c: &mut Criterion) {
-    let ds = DatasetProfile::AmazonGoogle.generate_scaled(3, 0.25);
+    let ds = DatasetProfile::AmazonGoogle.generate_scaled(3, scale());
     let gen = ConfigGenerator::default();
     let promising = gen.promising(&ds.a, &ds.b);
     let tree = gen.build_tree(&promising);

@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks for the Match Verifier's per-iteration
 //! costs: rank aggregation (< 0.1 s in the paper) and feedback
 //! processing / forest retraining (0.14–0.18 s in the paper).
+//!
+//! Set `MC_BENCH_SMOKE=1` for a shrunk CI smoke run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use matchcatcher::debugger::MatchCatcher;
@@ -12,8 +14,13 @@ use mc_datagen::profiles::DatasetProfile;
 use mc_ml::{ForestParams, RandomForest};
 use std::hint::black_box;
 
+fn smoke() -> bool {
+    std::env::var_os("MC_BENCH_SMOKE").is_some()
+}
+
 fn setup_union() -> CandidateUnion {
-    let ds = DatasetProfile::FodorsZagats.generate(7);
+    let scale = if smoke() { 0.2 } else { 1.0 };
+    let ds = DatasetProfile::FodorsZagats.generate_scaled(7, scale);
     let blocker = Blocker::Hash(KeyFunc::Attr(ds.a.schema().expect_id("city")));
     let c = blocker.apply(&ds.a, &ds.b);
     let mc = MatchCatcher::new(paper_params());
@@ -37,14 +44,15 @@ fn bench_rank_aggregation(c: &mut Criterion) {
 
 fn bench_forest_retrain(c: &mut Criterion) {
     // 200 labeled pairs with 20 features — a late verifier iteration.
-    let x: Vec<Vec<f64>> = (0..200)
+    let rows = if smoke() { 50 } else { 200 };
+    let x: Vec<Vec<f64>> = (0..rows)
         .map(|i| {
             (0..20)
                 .map(|j| ((i * 31 + j * 17) % 100) as f64 / 100.0)
                 .collect()
         })
         .collect();
-    let y: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+    let y: Vec<bool> = (0..rows).map(|i| i % 3 == 0).collect();
     let mut group = c.benchmark_group("verifier");
     group.sample_size(20);
     group.bench_function("forest_retrain_200x20", |b| {

@@ -1,0 +1,156 @@
+//! SSJ perf baseline: runs the **joint top-k execution** on two datagen
+//! profiles and writes per-stage wall-clock numbers (derived from the
+//! `mc-obs` snapshot delta) to `BENCH_ssj.json`, establishing the perf
+//! trajectory future PRs must not regress.
+//!
+//! Stages per profile:
+//!
+//! * `tokenize_us` — dictionary build + rank assignment
+//!   (`mc.strsim.dict.build` span total);
+//! * `joint_us` — the joint execution proper (`mc.core.joint.run` span
+//!   total, best of `--runs` repetitions);
+//! * `config_us` — sum of per-config join spans in the best run.
+//!
+//! `cargo run --release -p mc-bench --bin ssj_baseline [--scale X]
+//!  [--runs N] [--out PATH]`
+
+use matchcatcher::config::ConfigGenerator;
+use matchcatcher::joint::{run_joint, CandidateUnion, JointParams};
+use mc_datagen::profiles::DatasetProfile;
+use mc_obs::MetricsSnapshot;
+use mc_strsim::dict::TokenizedTable;
+use mc_strsim::tokenize::Tokenizer;
+use mc_table::PairSet;
+use std::fmt::Write as _;
+
+struct ProfileReport {
+    name: String,
+    scale: f64,
+    k: usize,
+    configs: usize,
+    candidates: usize,
+    tokenize_us: u64,
+    joint_us: u64,
+    config_us: u64,
+    events: u64,
+    scored: u64,
+}
+
+fn run_profile(
+    profile: DatasetProfile,
+    scale: f64,
+    k: usize,
+    seed: u64,
+    runs: usize,
+) -> ProfileReport {
+    let ds = profile.generate_scaled(seed, scale);
+    let generator = ConfigGenerator::default();
+    let promising = generator.promising(&ds.a, &ds.b);
+    let tree = generator.build_tree(&promising);
+
+    let tok_base = MetricsSnapshot::capture();
+    let (ta, tb, _) = TokenizedTable::build_pair(&ds.a, &ds.b, &promising.attrs, Tokenizer::Word);
+    let tokenize_us = MetricsSnapshot::capture()
+        .since(&tok_base)
+        .span("mc.strsim.dict.build")
+        .total_us;
+
+    let killed = PairSet::new();
+    let params = JointParams {
+        k,
+        ..Default::default()
+    };
+
+    // Best-of-N joint executions (first run also warms allocators/caches).
+    let mut best: Option<(u64, MetricsSnapshot, usize)> = None;
+    for _ in 0..runs.max(1) {
+        let base = MetricsSnapshot::capture();
+        let out = run_joint(&ta, &tb, &killed, &tree, params);
+        let delta = MetricsSnapshot::capture().since(&base);
+        let joint_us = delta.span("mc.core.joint.run").total_us;
+        let candidates = CandidateUnion::build(&out.lists).len();
+        if best.as_ref().is_none_or(|(b, _, _)| joint_us < *b) {
+            best = Some((joint_us, delta, candidates));
+        }
+    }
+    let (joint_us, delta, candidates) = best.expect("at least one run");
+
+    ProfileReport {
+        name: ds.name.clone(),
+        scale,
+        k,
+        configs: tree.len(),
+        candidates,
+        tokenize_us,
+        joint_us,
+        config_us: delta.span("mc.core.joint.config").total_us,
+        events: delta.counter("mc.core.ssj.events"),
+        scored: delta.counter("mc.core.ssj.scored"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let scale: f64 = get("--scale").map_or(1.0, |v| v.parse().expect("bad --scale"));
+    let k: usize = get("--k").map_or(200, |v| v.parse().expect("bad --k"));
+    let seed: u64 = get("--seed").map_or(3, |v| v.parse().expect("bad --seed"));
+    let runs: usize = get("--runs").map_or(3, |v| v.parse().expect("bad --runs"));
+    let out_path = get("--out").unwrap_or("BENCH_ssj.json");
+
+    // Two contrasting profiles: long product records (reuse-friendly) and
+    // short restaurant records (index-overhead-bound).
+    let reports = [
+        run_profile(DatasetProfile::AmazonGoogle, 0.25 * scale, k, seed, runs),
+        run_profile(DatasetProfile::FodorsZagats, scale.min(1.0), k, seed, runs),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"mc-bench-ssj/v1\",\n  \"profiles\": [");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\"name\": \"{}\", \"scale\": {}, \"k\": {}, \"configs\": {}, \
+             \"candidates\": {}, \"stages\": {{\"tokenize_us\": {}, \"joint_us\": {}, \
+             \"config_us\": {}}}, \"counters\": {{\"events\": {}, \"scored\": {}}}}}",
+            r.name,
+            r.scale,
+            r.k,
+            r.configs,
+            r.candidates,
+            r.tokenize_us,
+            r.joint_us,
+            r.config_us,
+            r.events,
+            r.scored
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write BENCH_ssj.json");
+
+    println!(
+        "{:<16} {:>8} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "scale", "cfgs", "tokenize", "joint", "events", "|E|"
+    );
+    for r in &reports {
+        println!(
+            "{:<16} {:>8.2} {:>6} {:>10.2}ms {:>10.2}ms {:>12} {:>12}",
+            r.name,
+            r.scale,
+            r.configs,
+            r.tokenize_us as f64 / 1e3,
+            r.joint_us as f64 / 1e3,
+            r.events,
+            r.candidates
+        );
+    }
+    println!("wrote {out_path}");
+}

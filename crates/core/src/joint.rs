@@ -25,14 +25,18 @@
 //! is clamped to `min(|x|, |y|)`), which is the paper's own approximation.
 
 use crate::config::{Config, ConfigTree};
-use crate::ssj::{select_q, topk_join, ExactScorer, PairScorer, SsjInstance, SsjParams, TopKList};
+use crate::ssj::{
+    select_q, topk_join_with_scratch, ExactScorer, JoinScratch, PairScorer, SsjInstance, SsjParams,
+    TopKList,
+};
+use mc_strsim::arena::RecordArena;
 use mc_strsim::dict::TokenizedTable;
 use mc_strsim::measures::{multiset_overlap, SetMeasure};
 use mc_table::hash::{hash_u64, FxHashMap};
 use mc_table::{split_pair_key, PairSet, TupleId};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 const DB_SHARDS: usize = 64;
 
@@ -284,11 +288,37 @@ pub struct JointOutput {
     pub q_used: usize,
 }
 
-/// Materialized per-config records for one side.
-fn build_records(tok: &TokenizedTable, config: Config) -> Vec<Vec<u32>> {
-    let idx = config.positions();
-    (0..tok.rows() as TupleId)
-        .map(|t| tok.merged(&idx, t))
+/// Materializes both sides' flat record arenas for every config, in
+/// parallel, so workers share them by reference (no per-worker clones).
+fn build_arenas(
+    tok_a: &TokenizedTable,
+    tok_b: &TokenizedTable,
+    configs: &[Config],
+    threads: usize,
+) -> Vec<(RecordArena, RecordArena)> {
+    let _span = mc_obs::span!("mc.core.joint.build_arenas");
+    let slots: Vec<OnceLock<(RecordArena, RecordArena)>> =
+        (0..configs.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(configs.len()).max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let idx = configs[i].positions();
+                let pair = (
+                    RecordArena::from_tokenized(tok_a, &idx),
+                    RecordArena::from_tokenized(tok_b, &idx),
+                );
+                slots[i].set(pair).expect("each slot filled once");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("all arenas built"))
         .collect()
 }
 
@@ -330,15 +360,26 @@ pub fn run_joint(
         }
     }
 
+    let threads = if params.threads == 0 {
+        std::thread::available_parallelism().map_or(4, |p| p.get())
+    } else {
+        params.threads
+    }
+    .min(n)
+    .max(1);
+
+    // Flat record arenas for every config, built once (in parallel) and
+    // shared by reference across workers — no per-worker clones.
+    let arenas = build_arenas(tok_a, tok_b, &configs, threads);
+
     // q selection on the root config.
-    let root_records_a = build_records(tok_a, root);
-    let root_records_b = build_records(tok_b, root);
+    let (root_a, root_b) = &arenas[0];
     let q_used = match params.q {
         QStrategy::Fixed(q) => q.max(1),
         QStrategy::Auto { max_q, prelude_k } => select_q(
             SsjInstance {
-                records_a: &root_records_a,
-                records_b: &root_records_b,
+                records_a: root_a,
+                records_b: root_b,
                 killed,
             },
             params.measure,
@@ -354,23 +395,18 @@ pub fn run_joint(
     let hits = AtomicUsize::new(0);
     let misses = AtomicUsize::new(0);
 
-    let threads = if params.threads == 0 {
-        std::thread::available_parallelism().map_or(4, |p| p.get())
-    } else {
-        params.threads
-    }
-    .min(n)
-    .max(1);
-
     mc_obs::gauge!("mc.core.joint.workers").set(threads as i64);
     mc_obs::gauge!("mc.core.joint.q_used").set(q_used as i64);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
                 // Per-thread work statistics, flushed when the worker
-                // retires.
+                // retires. The join scratch is reused across every config
+                // this worker processes, so steady state allocates
+                // nothing.
                 let mut my_configs = 0u64;
                 let mut my_seeded = 0u64;
+                let mut scratch = JoinScratch::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
@@ -379,13 +415,7 @@ pub fn run_joint(
                     let _config_span = mc_obs::span!("mc.core.joint.config", i as u64);
                     my_configs += 1;
                     let config = configs[i];
-                    // Root records were already materialized for q
-                    // selection; rebuild for other configs.
-                    let (records_a, records_b) = if i == 0 {
-                        (root_records_a.clone(), root_records_b.clone())
-                    } else {
-                        (build_records(tok_a, config), build_records(tok_b, config))
-                    };
+                    let (records_a, records_b) = &arenas[i];
                     let parent = tree.parent(i);
                     let parent_db = parent.and_then(|p| dbs[p].as_ref());
                     let parent_slots = parent_db.map_or_else(Vec::new, |db| {
@@ -424,8 +454,8 @@ pub fn run_joint(
                                         let s = scorer.score(
                                             a,
                                             b,
-                                            &records_a[a as usize],
-                                            &records_b[b as usize],
+                                            records_a.record(a),
+                                            records_b.record(b),
                                         );
                                         (s, key)
                                     })
@@ -436,10 +466,10 @@ pub fn run_joint(
                         Vec::new()
                     };
                     my_seeded += seed.len() as u64;
-                    let list = topk_join(
+                    let list = topk_join_with_scratch(
                         SsjInstance {
-                            records_a: &records_a,
-                            records_b: &records_b,
+                            records_a,
+                            records_b,
                             killed,
                         },
                         SsjParams {
@@ -450,6 +480,7 @@ pub fn run_joint(
                         &scorer,
                         &seed,
                         None,
+                        &mut scratch,
                     );
                     hits.fetch_add(scorer.hits.load(Ordering::Relaxed), Ordering::Relaxed);
                     misses.fetch_add(scorer.misses.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -491,12 +522,14 @@ pub fn run_individual(
     let _span = mc_obs::span!("mc.core.joint.run_individual");
     let configs = tree.configs();
     let scorer = ExactScorer(measure);
+    let mut scratch = JoinScratch::new();
     let lists: Vec<TopKList> = configs
         .iter()
         .map(|&config| {
-            let records_a = build_records(tok_a, config);
-            let records_b = build_records(tok_b, config);
-            topk_join(
+            let idx = config.positions();
+            let records_a = RecordArena::from_tokenized(tok_a, &idx);
+            let records_b = RecordArena::from_tokenized(tok_b, &idx);
+            topk_join_with_scratch(
                 SsjInstance {
                     records_a: &records_a,
                     records_b: &records_b,
@@ -506,6 +539,7 @@ pub fn run_individual(
                 &scorer,
                 &[],
                 None,
+                &mut scratch,
             )
         })
         .collect();
@@ -531,9 +565,12 @@ pub struct CandidateUnion {
 impl CandidateUnion {
     /// Builds the union from per-config lists.
     pub fn build(lists: &[TopKList]) -> Self {
+        // `sorted_entries` re-sorts the list's heap on every call — do it
+        // exactly once per list and reuse for both passes.
+        let entries: Vec<Vec<(f64, u64)>> = lists.iter().map(|l| l.sorted_entries()).collect();
         let mut best: FxHashMap<u64, f64> = FxHashMap::default();
-        for l in lists {
-            for (s, p) in l.sorted_entries() {
+        for l in &entries {
+            for &(s, p) in l {
                 let e = best.entry(p).or_insert(f64::MIN);
                 if s > *e {
                     *e = s;
@@ -545,8 +582,8 @@ impl CandidateUnion {
         let pairs: Vec<u64> = pairs.into_iter().map(|(_, p)| p).collect();
         let index: FxHashMap<u64, usize> = pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         let mut scores = vec![vec![None; pairs.len()]; lists.len()];
-        for (c, l) in lists.iter().enumerate() {
-            for (s, p) in l.sorted_entries() {
+        for (c, l) in entries.iter().enumerate() {
+            for &(s, p) in l {
                 scores[c][index[&p]] = Some(s);
             }
         }

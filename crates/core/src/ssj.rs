@@ -23,7 +23,23 @@
 //! documented approximation). To keep early termination admissible for
 //! scored pairs, bounds carry a `q − 1` token *credit* for
 //! discovered-but-unscored pairs.
+//!
+//! ## Data layout
+//!
+//! Records live in a flat [`RecordArena`] (one contiguous token buffer +
+//! offsets) and tokens are dense dictionary ranks, so the inverted index
+//! is a **`Vec`-indexed postings array** rather than a hash map, and
+//! each posting carries the number of copies of its token the posting
+//! record's prefix holds. Together with a per-record *current-token run
+//! counter* this removes the two per-event `partition_point` binary
+//! searches the occurrence check used to need: a record's own occurrence
+//! count is maintained incrementally as its prefix extends, and a
+//! partner's count is read straight off its posting. All per-join state
+//! (positions, run counters, postings, pair states, the event heap)
+//! lives in a reusable [`JoinScratch`] so that consecutive joins on one
+//! worker allocate nothing in steady state.
 
+use mc_strsim::arena::RecordArena;
 use mc_strsim::measures::SetMeasure;
 use mc_table::hash::{fx_map, FxHashMap};
 use mc_table::{pair_key, PairSet, TupleId};
@@ -63,13 +79,21 @@ pub struct TopKList {
 impl TopKList {
     /// An empty list with capacity `k`.
     pub fn new(k: usize) -> Self {
+        TopKList::with_capacity_hint(k, 0)
+    }
+
+    /// An empty list with capacity `k`, pre-sized to hold at least
+    /// `hint` entries up front (e.g. a seed list) so early inserts never
+    /// reallocate.
+    pub fn with_capacity_hint(k: usize, hint: usize) -> Self {
         assert!(k > 0, "k must be positive");
         // Pre-allocation is capped: callers may pass an effectively
         // unbounded k (e.g. brute-force references), and the heap grows
-        // on demand anyway.
+        // on demand anyway. The list never holds more than k entries, so
+        // a hint beyond k is clamped.
         TopKList {
             k,
-            heap: BinaryHeap::with_capacity(k.min(1 << 16) + 1),
+            heap: BinaryHeap::with_capacity(k.min(1 << 16).max(hint.min(k)) + 1),
         }
     }
 
@@ -157,14 +181,14 @@ impl Default for SsjParams {
     }
 }
 
-/// The input of a join: tokenized records of both tables (sorted rank
-/// vectors) and the blocker output to exclude.
+/// The input of a join: both tables' records in flat arenas (sorted rank
+/// slices) and the blocker output to exclude.
 #[derive(Clone, Copy)]
 pub struct SsjInstance<'a> {
-    /// Records of table A, each a sorted rank vector.
-    pub records_a: &'a [Vec<u32>],
+    /// Records of table A (sorted rank slices in a flat arena).
+    pub records_a: &'a RecordArena,
     /// Records of table B.
-    pub records_b: &'a [Vec<u32>],
+    pub records_b: &'a RecordArena,
     /// The blocker output `C`: pairs to exclude from the top-k list.
     pub killed: &'a PairSet,
 }
@@ -232,7 +256,86 @@ struct PairState {
     scored: bool,
 }
 
-/// Runs the top-k join.
+/// A dense (rank-indexed) inverted index over the records' prefixes.
+///
+/// `lists[rank]` holds `(record, copies)` postings: every record whose
+/// prefix contains `rank`, with the number of copies the prefix holds.
+/// Reset clears only the lists touched by the previous join.
+#[derive(Default)]
+struct DensePostings {
+    lists: Vec<Vec<(TupleId, u32)>>,
+    touched: Vec<u32>,
+}
+
+impl DensePostings {
+    fn reset(&mut self, rank_bound: usize) {
+        for &t in &self.touched {
+            self.lists[t as usize].clear();
+        }
+        self.touched.clear();
+        if self.lists.len() < rank_bound {
+            self.lists.resize_with(rank_bound, Vec::new);
+        }
+    }
+}
+
+/// Reusable per-worker state of [`topk_join_with_scratch`]: prefix
+/// positions, run counters, postings, the pair-state table, and the
+/// event heap. A worker that keeps one scratch across consecutive joins
+/// (as the joint executor does per thread) allocates nothing in steady
+/// state.
+#[derive(Default)]
+pub struct JoinScratch {
+    /// Per-side prefix positions (next 0-indexed token to process).
+    pos: [Vec<u32>; 2],
+    /// Per-side current-token run counters: copies of the record's most
+    /// recently processed token within its own prefix.
+    run: [Vec<u32>; 2],
+    /// Last token each record posted (sentinel `u32::MAX` = none), so a
+    /// record's duplicated tokens share a single posting.
+    last_posted: [Vec<u32>; 2],
+    /// Index of each record's live posting within its last token's list.
+    slot: [Vec<u32>; 2],
+    /// Per-side dense inverted indexes.
+    postings: [DensePostings; 2],
+    /// Discovered pair states.
+    states: FxHashMap<u64, PairState>,
+    /// The event max-heap.
+    heap: BinaryHeap<Event>,
+}
+
+impl JoinScratch {
+    /// An empty scratch; buffers grow to fit the first join and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        JoinScratch {
+            states: fx_map(),
+            ..Default::default()
+        }
+    }
+
+    /// Clears all state and sizes the buffers for one join.
+    fn prepare(&mut self, na: usize, nb: usize, rank_bound: usize) {
+        for (side, n) in [(0, na), (1, nb)] {
+            self.pos[side].clear();
+            self.pos[side].resize(n, 0);
+            self.run[side].clear();
+            self.run[side].resize(n, 0);
+            self.last_posted[side].clear();
+            self.last_posted[side].resize(n, u32::MAX);
+            self.slot[side].clear();
+            self.slot[side].resize(n, 0);
+            self.postings[side].reset(rank_bound);
+        }
+        self.states.clear();
+        self.heap.clear();
+        // At most one outstanding event per record.
+        self.heap.reserve(na + nb);
+    }
+}
+
+/// Runs the top-k join with a fresh scratch. Prefer
+/// [`topk_join_with_scratch`] when executing many joins on one thread.
 ///
 /// * `seed` — optional initial entries (a parent config's re-scored top-k
 ///   list, §4.2); seeded pairs are marked scored and never recomputed.
@@ -245,10 +348,35 @@ pub fn topk_join(
     seed: &[(f64, u64)],
     cancel: Option<&AtomicBool>,
 ) -> TopKList {
+    let mut scratch = JoinScratch::new();
+    topk_join_with_scratch(inst, params, scorer, seed, cancel, &mut scratch)
+}
+
+/// Runs the top-k join, reusing `scratch` buffers from previous joins.
+/// See [`topk_join`] for the parameter contract.
+pub fn topk_join_with_scratch(
+    inst: SsjInstance<'_>,
+    params: SsjParams,
+    scorer: &dyn PairScorer,
+    seed: &[(f64, u64)],
+    cancel: Option<&AtomicBool>,
+    scratch: &mut JoinScratch,
+) -> TopKList {
     assert!(params.q >= 1, "q must be at least 1");
     let credit = params.q - 1;
-    let mut k_list = TopKList::new(params.k);
-    let mut states: FxHashMap<u64, PairState> = fx_map();
+    let rank_bound = inst.records_a.rank_bound().max(inst.records_b.rank_bound()) as usize;
+    scratch.prepare(inst.records_a.len(), inst.records_b.len(), rank_bound);
+    let JoinScratch {
+        pos,
+        run,
+        last_posted,
+        slot,
+        postings,
+        states,
+        heap,
+    } = scratch;
+
+    let mut k_list = TopKList::with_capacity_hint(params.k, seed.len());
     for &(score, pair) in seed {
         if !inst.killed.contains_key(pair) {
             k_list.insert(score, pair);
@@ -262,20 +390,8 @@ pub fn topk_join(
         }
     }
 
-    // Per-side prefix positions and inverted indexes (token → records
-    // whose prefix contains it).
-    let mut pos: [Vec<u32>; 2] = [vec![0; inst.records_a.len()], vec![0; inst.records_b.len()]];
-    let mut index: [FxHashMap<u32, Vec<TupleId>>; 2] = [fx_map(), fx_map()];
-    // Last token each record posted, so a record's duplicated tokens get a
-    // single posting even when other records' events interleave.
-    let mut last_posted: [Vec<u32>; 2] = [
-        vec![u32::MAX; inst.records_a.len()],
-        vec![u32::MAX; inst.records_b.len()],
-    ];
-
-    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-    for (side, records) in [(0u8, inst.records_a), (1u8, inst.records_b)] {
-        for (r, rec) in records.iter().enumerate() {
+    for (side, arena) in [(0u8, inst.records_a), (1u8, inst.records_b)] {
+        for (r, rec) in arena.iter().enumerate() {
             if !rec.is_empty() {
                 heap.push(Event {
                     bound: Score(bound_with_credit(params.measure, rec.len(), 1, credit)),
@@ -313,26 +429,28 @@ pub fn topk_join(
         }
         let side = ev.side as usize;
         let other = 1 - side;
-        let records = if side == 0 {
+        let arena = if side == 0 {
             inst.records_a
         } else {
             inst.records_b
         };
-        let rec = &records[ev.rec as usize];
+        let rec = arena.record(ev.rec);
         let p = pos[side][ev.rec as usize] as usize; // 0-indexed token to process
         let tok = rec[p];
 
-        // This is the `occ`-th occurrence of `tok` within our own prefix
-        // (records are sorted, so occurrences are contiguous).
-        let first_occ = rec[..p].partition_point(|&t| t < tok);
-        let occ = p - first_occ + 1;
-        if let Some(partners) = index[other].get(&tok) {
-            let other_records = if other == 0 {
-                inst.records_a
-            } else {
-                inst.records_b
-            };
-            for &o in partners {
+        // This is the `occ`-th occurrence of `tok` within our own prefix:
+        // records are sorted, so occurrences are contiguous and the run
+        // counter extends by one whenever the previous token repeats.
+        let occ = if p > 0 && rec[p - 1] == tok {
+            run[side][ev.rec as usize] + 1
+        } else {
+            1
+        };
+        run[side][ev.rec as usize] = occ;
+
+        let partners = &postings[other].lists[tok as usize];
+        if !partners.is_empty() {
+            for &(o, o_count) in partners {
                 let (a, b) = if side == 0 { (ev.rec, o) } else { (o, ev.rec) };
                 let key = pair_key(a, b);
                 if inst.killed.contains_key(key) {
@@ -341,12 +459,9 @@ pub fn topk_join(
                 }
                 // The pair's prefix multiset overlap grows by one exactly
                 // when the partner's prefix already holds ≥ occ copies of
-                // this token; this keeps `common` equal to the true
-                // multiset overlap of the two prefixes.
-                let orec = &other_records[o as usize];
-                let opos = pos[other][o as usize] as usize;
-                let o_first = orec[..opos].partition_point(|&t| t < tok);
-                let o_count = orec[..opos].partition_point(|&t| t <= tok) - o_first;
+                // this token (its posting counts them); this keeps
+                // `common` equal to the true multiset overlap of the two
+                // prefixes.
                 if o_count < occ {
                     continue;
                 }
@@ -364,22 +479,25 @@ pub fn topk_join(
                 if st.common as usize >= params.q {
                     st.scored = true;
                     n_scored += 1;
-                    let s = scorer.score(
-                        a,
-                        b,
-                        &inst.records_a[a as usize],
-                        &inst.records_b[b as usize],
-                    );
+                    let s = scorer.score(a, b, inst.records_a.record(a), inst.records_b.record(b));
                     k_list.insert(s, key);
                 }
             }
         }
-        // Register this token in our own prefix index (a record posts each
-        // distinct token once; its duplicates are handled by the
-        // occurrence check above).
+        // Register this token in our own prefix index: a record posts
+        // each distinct token once and bumps its posting's copy count for
+        // duplicates (the slot stays valid because lists only grow).
         if last_posted[side][ev.rec as usize] != tok {
             last_posted[side][ev.rec as usize] = tok;
-            index[side].entry(tok).or_default().push(ev.rec);
+            let list = &mut postings[side].lists[tok as usize];
+            if list.is_empty() {
+                postings[side].touched.push(tok);
+            }
+            slot[side][ev.rec as usize] = list.len() as u32;
+            list.push((ev.rec, 1));
+        } else {
+            let s = slot[side][ev.rec as usize] as usize;
+            postings[side].lists[tok as usize][s].1 += 1;
         }
 
         pos[side][ev.rec as usize] += 1;
@@ -478,8 +596,8 @@ pub fn select_q(
 mod tests {
     use super::*;
 
-    fn records(data: &[&[u32]]) -> Vec<Vec<u32>> {
-        data.iter().map(|r| r.to_vec()).collect()
+    fn arena(data: &[&[u32]]) -> RecordArena {
+        RecordArena::from_records(data)
     }
 
     #[test]
@@ -506,8 +624,8 @@ mod tests {
 
     #[test]
     fn join_matches_brute_force_q1() {
-        let a = records(&[&[1, 2, 3, 4], &[5, 6, 7], &[1, 9], &[2, 5, 8, 10, 11]]);
-        let b = records(&[&[1, 2, 3], &[5, 6, 7, 8], &[9, 10], &[4, 11]]);
+        let a = arena(&[&[1, 2, 3, 4], &[5, 6, 7], &[1, 9], &[2, 5, 8, 10, 11]]);
+        let b = arena(&[&[1, 2, 3], &[5, 6, 7, 8], &[9, 10], &[4, 11]]);
         let killed = PairSet::new();
         let inst = SsjInstance {
             records_a: &a,
@@ -533,8 +651,8 @@ mod tests {
 
     #[test]
     fn join_matches_brute_force_all_measures() {
-        let a = records(&[&[1, 2, 3, 4, 5], &[2, 3, 9], &[7, 8], &[1, 6, 7, 10]]);
-        let b = records(&[&[1, 2, 3], &[3, 4, 5, 6], &[7, 8, 9, 10], &[2]]);
+        let a = arena(&[&[1, 2, 3, 4, 5], &[2, 3, 9], &[7, 8], &[1, 6, 7, 10]]);
+        let b = arena(&[&[1, 2, 3], &[3, 4, 5, 6], &[7, 8, 9, 10], &[2]]);
         let killed = PairSet::new();
         let inst = SsjInstance {
             records_a: &a,
@@ -564,9 +682,38 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_scratch() {
+        // One scratch reused across joins of different shapes must give
+        // the same results as fresh scratches (the joint executor's
+        // steady-state mode).
+        let a1 = arena(&[&[1, 2, 3, 4], &[5, 6, 7], &[1, 9]]);
+        let b1 = arena(&[&[1, 2, 3], &[5, 6, 7, 8], &[9, 10]]);
+        let a2 = arena(&[&[2, 2, 5], &[0, 1]]);
+        let b2 = arena(&[&[2, 5, 5], &[0, 3], &[1, 2, 2]]);
+        let killed = PairSet::new();
+        let mut scratch = JoinScratch::new();
+        for (a, b) in [(&a1, &b1), (&a2, &b2), (&a1, &b1)] {
+            let inst = SsjInstance {
+                records_a: a,
+                records_b: b,
+                killed: &killed,
+            };
+            let params = SsjParams {
+                k: 5,
+                q: 1,
+                measure: SetMeasure::Jaccard,
+            };
+            let scorer = ExactScorer(SetMeasure::Jaccard);
+            let reused = topk_join_with_scratch(inst, params, &scorer, &[], None, &mut scratch);
+            let fresh = topk_join(inst, params, &scorer, &[], None);
+            assert_eq!(reused.sorted_entries(), fresh.sorted_entries());
+        }
+    }
+
+    #[test]
     fn killed_pairs_are_excluded() {
-        let a = records(&[&[1, 2, 3]]);
-        let b = records(&[&[1, 2, 3], &[1, 2, 9]]);
+        let a = arena(&[&[1, 2, 3]]);
+        let b = arena(&[&[1, 2, 3], &[1, 2, 9]]);
         let mut killed = PairSet::new();
         killed.insert(0, 0); // the perfect pair is in C
         let inst = SsjInstance {
@@ -593,8 +740,8 @@ mod tests {
     #[test]
     fn qjoin_finds_high_overlap_pairs() {
         // Pairs sharing ≥ q tokens must still be found with q = 2.
-        let a = records(&[&[1, 2, 3, 4], &[5, 6, 7, 8]]);
-        let b = records(&[&[1, 2, 3, 9], &[5, 9, 10, 11]]);
+        let a = arena(&[&[1, 2, 3, 4], &[5, 6, 7, 8]]);
+        let b = arena(&[&[1, 2, 3, 9], &[5, 9, 10, 11]]);
         let killed = PairSet::new();
         let inst = SsjInstance {
             records_a: &a,
@@ -630,6 +777,8 @@ mod tests {
             a.push(vec![i * 3, i * 3 + 1, i * 3 + 2, 100 + i]);
             b.push(vec![i * 3, i * 3 + 1, i * 3 + 2, 200 + i]);
         }
+        let a = RecordArena::from_records(&a);
+        let b = RecordArena::from_records(&b);
         let killed = PairSet::new();
         let inst = SsjInstance {
             records_a: &a,
@@ -663,8 +812,8 @@ mod tests {
 
     #[test]
     fn seeding_never_worsens_results() {
-        let a = records(&[&[1, 2, 3, 4], &[5, 6, 7]]);
-        let b = records(&[&[1, 2, 8], &[5, 6, 7, 9]]);
+        let a = arena(&[&[1, 2, 3, 4], &[5, 6, 7]]);
+        let b = arena(&[&[1, 2, 8], &[5, 6, 7, 9]]);
         let killed = PairSet::new();
         let inst = SsjInstance {
             records_a: &a,
@@ -700,8 +849,8 @@ mod tests {
 
     #[test]
     fn seeded_killed_pairs_are_dropped() {
-        let a = records(&[&[1, 2]]);
-        let b = records(&[&[1, 2]]);
+        let a = arena(&[&[1, 2]]);
+        let b = arena(&[&[1, 2]]);
         let mut killed = PairSet::new();
         killed.insert(0, 0);
         let inst = SsjInstance {
@@ -725,8 +874,8 @@ mod tests {
 
     #[test]
     fn empty_records_produce_empty_list() {
-        let a = records(&[&[]]);
-        let b = records(&[&[1]]);
+        let a = arena(&[&[]]);
+        let b = arena(&[&[1]]);
         let killed = PairSet::new();
         let inst = SsjInstance {
             records_a: &a,
@@ -747,6 +896,8 @@ mod tests {
     fn select_q_returns_valid_q() {
         let a: Vec<Vec<u32>> = (0..50).map(|i| vec![i, i + 1, i + 2, i + 50]).collect();
         let b: Vec<Vec<u32>> = (0..50).map(|i| vec![i, i + 1, i + 3, i + 90]).collect();
+        let a = RecordArena::from_records(&a);
+        let b = RecordArena::from_records(&b);
         let killed = PairSet::new();
         let inst = SsjInstance {
             records_a: &a,
@@ -761,6 +912,8 @@ mod tests {
     fn cancellation_returns_partial_list() {
         let a: Vec<Vec<u32>> = (0..200).map(|i| (i..i + 12).collect()).collect();
         let b: Vec<Vec<u32>> = (0..200).map(|i| (i + 3..i + 15).collect()).collect();
+        let a = RecordArena::from_records(&a);
+        let b = RecordArena::from_records(&b);
         let killed = PairSet::new();
         let inst = SsjInstance {
             records_a: &a,

@@ -1,0 +1,199 @@
+//! Flat CSR-style record storage for the join hot paths.
+//!
+//! The top-k SSJ engine touches every record's token slice millions of
+//! times per join. Storing records as `Vec<Vec<u32>>` scatters them
+//! across the heap (one allocation per record) and makes per-config
+//! materialization in the joint executor allocate `|A| + |B|` vectors
+//! per config. A [`RecordArena`] instead keeps **one contiguous token
+//! buffer plus an offsets array** — records come out as `&[u32]` slices,
+//! the whole table is two allocations, and sequential scans are
+//! prefetch-friendly.
+//!
+//! The arena also tracks the exclusive upper bound of the token ranks it
+//! holds ([`RecordArena::rank_bound`]); ranks are dense dictionary
+//! indexes, so the bound lets the join engine use `Vec`-indexed postings
+//! arrays instead of hash maps.
+
+use crate::dict::TokenizedTable;
+use mc_table::TupleId;
+
+/// Records stored back-to-back in one token buffer (CSR layout).
+///
+/// Record `i` is `tokens[offsets[i] .. offsets[i + 1]]`, a sorted rank
+/// multiset exactly as [`TokenizedTable::merged`] would produce it.
+#[derive(Debug, Clone, Default)]
+pub struct RecordArena {
+    tokens: Vec<u32>,
+    offsets: Vec<u32>,
+    rank_bound: u32,
+}
+
+impl RecordArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        RecordArena {
+            tokens: Vec::new(),
+            offsets: vec![0],
+            rank_bound: 0,
+        }
+    }
+
+    /// Builds the arena for one config directly from a tokenized table:
+    /// record `t` is the sorted merge of `attr_indexes`' rank vectors of
+    /// tuple `t` (identical to [`TokenizedTable::merged`], without the
+    /// per-record allocation).
+    pub fn from_tokenized(tok: &TokenizedTable, attr_indexes: &[usize]) -> Self {
+        let _span = mc_obs::span!("mc.strsim.arena.build");
+        let rows = tok.rows();
+        let total: usize = (0..rows as TupleId)
+            .map(|t| tok.merged_len(attr_indexes, t))
+            .sum();
+        let mut arena = RecordArena {
+            tokens: Vec::with_capacity(total),
+            offsets: Vec::with_capacity(rows + 1),
+            rank_bound: 0,
+        };
+        arena.offsets.push(0);
+        for t in 0..rows as TupleId {
+            let start = arena.tokens.len();
+            for &i in attr_indexes {
+                arena.tokens.extend_from_slice(tok.ranks(i, t));
+            }
+            arena.tokens[start..].sort_unstable();
+            arena.close_record();
+        }
+        mc_obs::counter!("mc.strsim.arena.builds").inc();
+        mc_obs::counter!("mc.strsim.arena.tokens").add(arena.tokens.len() as u64);
+        arena
+    }
+
+    /// Builds an arena from materialized records (tests, ad-hoc callers).
+    /// Each record must already be sorted ascending.
+    pub fn from_records<R: AsRef<[u32]>>(records: &[R]) -> Self {
+        let total: usize = records.iter().map(|r| r.as_ref().len()).sum();
+        let mut arena = RecordArena {
+            tokens: Vec::with_capacity(total),
+            offsets: Vec::with_capacity(records.len() + 1),
+            rank_bound: 0,
+        };
+        arena.offsets.push(0);
+        for r in records {
+            let r = r.as_ref();
+            debug_assert!(r.windows(2).all(|w| w[0] <= w[1]), "records must be sorted");
+            arena.tokens.extend_from_slice(r);
+            arena.close_record();
+        }
+        arena
+    }
+
+    /// Seals the tokens appended since the last record boundary as one
+    /// record, updating the rank bound.
+    fn close_record(&mut self) {
+        let start = *self.offsets.last().expect("offsets never empty") as usize;
+        // Records are sorted, so the last token is the largest.
+        if let Some(&max) = self.tokens.last() {
+            if self.tokens.len() > start {
+                self.rank_bound = self.rank_bound.max(max + 1);
+            }
+        }
+        self.offsets.push(self.tokens.len() as u32);
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the arena holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record `i` as a sorted rank slice.
+    #[inline]
+    pub fn record(&self, i: TupleId) -> &[u32] {
+        let lo = self.offsets[i as usize] as usize;
+        let hi = self.offsets[i as usize + 1] as usize;
+        &self.tokens[lo..hi]
+    }
+
+    /// Iterates over all records in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.tokens[w[0] as usize..w[1] as usize])
+    }
+
+    /// Exclusive upper bound on the token ranks held (`max rank + 1`;
+    /// 0 when every record is empty). Sizes dense postings arrays.
+    #[inline]
+    pub fn rank_bound(&self) -> u32 {
+        self.rank_bound
+    }
+
+    /// Total token count across all records (multiset cardinality).
+    #[inline]
+    pub fn total_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::Tokenizer;
+    use mc_table::{AttrId, Schema, Table, Tuple};
+    use std::sync::Arc;
+
+    #[test]
+    fn from_records_roundtrips_slices() {
+        let records: Vec<Vec<u32>> = vec![vec![1, 2, 2, 9], vec![], vec![0, 4]];
+        let arena = RecordArena::from_records(&records);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.record(0), &[1, 2, 2, 9]);
+        assert_eq!(arena.record(1), &[] as &[u32]);
+        assert_eq!(arena.record(2), &[0, 4]);
+        assert_eq!(arena.rank_bound(), 10);
+        assert_eq!(arena.total_tokens(), 6);
+        let collected: Vec<&[u32]> = arena.iter().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[2], &[0, 4]);
+    }
+
+    #[test]
+    fn empty_arena_has_zero_bound() {
+        let arena = RecordArena::from_records::<Vec<u32>>(&[]);
+        assert_eq!(arena.len(), 0);
+        assert!(arena.is_empty());
+        assert_eq!(arena.rank_bound(), 0);
+        let only_empty = RecordArena::from_records(&[Vec::<u32>::new()]);
+        assert_eq!(only_empty.rank_bound(), 0);
+        assert_eq!(only_empty.len(), 1);
+    }
+
+    #[test]
+    fn from_tokenized_matches_merged_exactly() {
+        let schema = Arc::new(Schema::from_names(["name", "city"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::from_present(["dave smith", "atlanta"]));
+        a.push(Tuple::from_present(["joe welson", "new york city"]));
+        a.push(Tuple::new(vec![None, None]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["david smith", "atlanta"]));
+        let attrs = [AttrId(0), AttrId(1)];
+        let (ta, _tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        for idx in [vec![0usize], vec![1], vec![0, 1], vec![1, 0]] {
+            let arena = RecordArena::from_tokenized(&ta, &idx);
+            assert_eq!(arena.len(), ta.rows());
+            for t in 0..ta.rows() as TupleId {
+                assert_eq!(
+                    arena.record(t),
+                    ta.merged(&idx, t).as_slice(),
+                    "attrs {idx:?} tuple {t}"
+                );
+            }
+        }
+    }
+}

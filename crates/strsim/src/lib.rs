@@ -7,6 +7,8 @@
 //! * [`tokenize`] — word and q-gram tokenizers;
 //! * [`dict`] — token interning, document frequencies, and the global token
 //!   order used by prefix-filtering joins (rare tokens first);
+//! * [`arena`] — flat CSR-style record storage (one contiguous token
+//!   buffer + offsets) that the top-k join hot loops operate on;
 //! * [`measures`] — set-based similarity (Jaccard, cosine, Dice, overlap)
 //!   on sorted token multisets, plus edit distance, with the per-measure
 //!   prefix upper bounds the top-k join relies on;
@@ -20,6 +22,7 @@
 //! frequency, so a record is a sorted `Vec<u32>` and every similarity
 //! computation is a linear merge.
 
+pub mod arena;
 pub mod dict;
 pub mod jaro;
 pub mod join;
@@ -27,6 +30,7 @@ pub mod measures;
 pub mod prefix;
 pub mod tokenize;
 
+pub use arena::RecordArena;
 pub use dict::{TokenDict, TokenizedTable};
 pub use measures::{
     edit_distance, edit_similarity, multiset_overlap, within_edit_distance, SetMeasure,

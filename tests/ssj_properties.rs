@@ -2,8 +2,10 @@
 //! substrate, using seeded random records (deterministic across runs).
 
 use matchcatcher::ssj::{
-    brute_force_topk, topk_join, ExactScorer, SsjInstance, SsjParams, TopKList,
+    brute_force_topk, topk_join, topk_join_with_scratch, ExactScorer, JoinScratch, SsjInstance,
+    SsjParams, TopKList,
 };
+use mc_strsim::arena::RecordArena;
 use mc_strsim::join::{nested_loop_join, sim_join};
 use mc_strsim::measures::{edit_distance, within_edit_distance, SetMeasure};
 use mc_table::PairSet;
@@ -25,6 +27,19 @@ fn random_records(rng: &mut StdRng, max_records: usize) -> Vec<Vec<u32>> {
         .collect()
 }
 
+/// Random killed set over the cross product.
+fn random_killed(rng: &mut StdRng, na: usize, nb: usize) -> PairSet {
+    let mut killed = PairSet::new();
+    for i in 0..na as u32 {
+        for j in 0..nb as u32 {
+            if rng.random_range(0..4u32) == 0 {
+                killed.insert(i, j);
+            }
+        }
+    }
+    killed
+}
+
 /// Random lowercase string over a small alphabet.
 fn random_string(rng: &mut StdRng, alphabet: &[u8], max_len: usize) -> String {
     let len = rng.random_range(0..=max_len);
@@ -33,12 +48,185 @@ fn random_string(rng: &mut StdRng, alphabet: &[u8], max_len: usize) -> String {
         .collect()
 }
 
+/// The pre-arena `topk_join` event loop, kept verbatim as a reference
+/// oracle: `Vec<Vec<u32>>` records, hash-map inverted indexes, and the
+/// two per-event `partition_point` occurrence scans. The production join
+/// (flat arena + dense counted postings + run counters) must produce
+/// **bit-identical** `sorted_entries()` — same pairs, same scores, same
+/// tie-breaks — on every input.
+mod reference {
+    use matchcatcher::ssj::{PairScorer, SsjParams, TopKList};
+    use mc_strsim::measures::SetMeasure;
+    use mc_table::hash::{fx_map, FxHashMap};
+    use mc_table::{pair_key, PairSet, TupleId};
+    use std::collections::BinaryHeap;
+
+    #[derive(Clone, Copy, PartialEq)]
+    struct Score(f64);
+
+    impl Eq for Score {}
+
+    impl PartialOrd for Score {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for Score {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+
+    fn bound_with_credit(measure: SetMeasure, la: usize, p: usize, credit: usize) -> f64 {
+        if credit == 0 {
+            return measure.prefix_ubound(la, p, 1);
+        }
+        let rem = (la - p + 1 + credit).min(la) as f64;
+        let la_f = la as f64;
+        match measure {
+            SetMeasure::Jaccard => rem / la_f,
+            SetMeasure::Cosine => (rem / la_f).sqrt(),
+            SetMeasure::Dice => 2.0 * rem / (la_f + rem),
+            SetMeasure::Overlap => 1.0,
+        }
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    struct Event {
+        bound: Score,
+        side: u8,
+        rec: TupleId,
+    }
+
+    impl Ord for Event {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.bound
+                .cmp(&other.bound)
+                .then_with(|| other.side.cmp(&self.side))
+                .then_with(|| other.rec.cmp(&self.rec))
+        }
+    }
+
+    impl PartialOrd for Event {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    #[derive(Default, Clone, Copy)]
+    struct PairState {
+        common: u32,
+        scored: bool,
+    }
+
+    pub fn topk_join(
+        records_a: &[Vec<u32>],
+        records_b: &[Vec<u32>],
+        killed: &PairSet,
+        params: SsjParams,
+        scorer: &dyn PairScorer,
+        seed: &[(f64, u64)],
+    ) -> TopKList {
+        let credit = params.q - 1;
+        let mut k_list = TopKList::new(params.k);
+        let mut states: FxHashMap<u64, PairState> = fx_map();
+        for &(score, pair) in seed {
+            if !killed.contains_key(pair) {
+                k_list.insert(score, pair);
+                states.insert(
+                    pair,
+                    PairState {
+                        common: 0,
+                        scored: true,
+                    },
+                );
+            }
+        }
+        let mut pos: [Vec<u32>; 2] = [vec![0; records_a.len()], vec![0; records_b.len()]];
+        let mut index: [FxHashMap<u32, Vec<TupleId>>; 2] = [fx_map(), fx_map()];
+        let mut last_posted: [Vec<u32>; 2] = [
+            vec![u32::MAX; records_a.len()],
+            vec![u32::MAX; records_b.len()],
+        ];
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        for (side, records) in [(0u8, records_a), (1u8, records_b)] {
+            for (r, rec) in records.iter().enumerate() {
+                if !rec.is_empty() {
+                    heap.push(Event {
+                        bound: Score(bound_with_credit(params.measure, rec.len(), 1, credit)),
+                        side,
+                        rec: r as TupleId,
+                    });
+                }
+            }
+        }
+        while let Some(ev) = heap.pop() {
+            if k_list.len() == k_list.k() && ev.bound.0 <= k_list.threshold() + 1e-12 {
+                break;
+            }
+            let side = ev.side as usize;
+            let other = 1 - side;
+            let records = if side == 0 { records_a } else { records_b };
+            let rec = &records[ev.rec as usize];
+            let p = pos[side][ev.rec as usize] as usize;
+            let tok = rec[p];
+            let first_occ = rec[..p].partition_point(|&t| t < tok);
+            let occ = p - first_occ + 1;
+            if let Some(partners) = index[other].get(&tok) {
+                let other_records = if other == 0 { records_a } else { records_b };
+                for &o in partners {
+                    let (a, b) = if side == 0 { (ev.rec, o) } else { (o, ev.rec) };
+                    let key = pair_key(a, b);
+                    if killed.contains_key(key) {
+                        continue;
+                    }
+                    let orec = &other_records[o as usize];
+                    let opos = pos[other][o as usize] as usize;
+                    let o_first = orec[..opos].partition_point(|&t| t < tok);
+                    let o_count = orec[..opos].partition_point(|&t| t <= tok) - o_first;
+                    if o_count < occ {
+                        continue;
+                    }
+                    let st = states.entry(key).or_default();
+                    if st.scored {
+                        continue;
+                    }
+                    st.common += 1;
+                    if st.common as usize >= params.q {
+                        st.scored = true;
+                        let s = scorer.score(a, b, &records_a[a as usize], &records_b[b as usize]);
+                        k_list.insert(s, key);
+                    }
+                }
+            }
+            if last_posted[side][ev.rec as usize] != tok {
+                last_posted[side][ev.rec as usize] = tok;
+                index[side].entry(tok).or_default().push(ev.rec);
+            }
+            pos[side][ev.rec as usize] += 1;
+            let next_p = p + 1;
+            if next_p < rec.len() {
+                let b = bound_with_credit(params.measure, rec.len(), next_p + 1, credit);
+                if k_list.len() < k_list.k() || b > k_list.threshold() {
+                    heap.push(Event {
+                        bound: Score(b),
+                        side: ev.side,
+                        rec: ev.rec,
+                    });
+                }
+            }
+        }
+        k_list
+    }
+}
+
 #[test]
 fn topkjoin_matches_brute_force() {
     let mut rng = StdRng::seed_from_u64(0x55A1);
     for case in 0..CASES {
-        let a = random_records(&mut rng, 12);
-        let b = random_records(&mut rng, 12);
+        let a = RecordArena::from_records(&random_records(&mut rng, 12));
+        let b = RecordArena::from_records(&random_records(&mut rng, 12));
         let k = rng.random_range(1..8usize);
         let killed = PairSet::new();
         let inst = SsjInstance {
@@ -70,11 +258,150 @@ fn topkjoin_matches_brute_force() {
 }
 
 #[test]
+fn topkjoin_matches_brute_force_with_killed_sets() {
+    // The satellite equivalence guard for the dense-postings/run-counter
+    // logic: random instances with random killed sets, all four measures,
+    // k ∈ {1, 10, 100}, one scratch reused throughout.
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut scratch = JoinScratch::new();
+    for case in 0..50 {
+        let ra = random_records(&mut rng, 14);
+        let rb = random_records(&mut rng, 14);
+        let killed = random_killed(&mut rng, ra.len(), rb.len());
+        let a = RecordArena::from_records(&ra);
+        let b = RecordArena::from_records(&rb);
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
+        for m in SetMeasure::ALL {
+            for k in [1usize, 10, 100] {
+                let params = SsjParams {
+                    k,
+                    q: 1,
+                    measure: m,
+                };
+                let fast =
+                    topk_join_with_scratch(inst, params, &ExactScorer(m), &[], None, &mut scratch);
+                let slow = brute_force_topk(inst, k, m);
+                let fs = fast.sorted_scores();
+                let ss = slow.sorted_scores();
+                assert_eq!(fs.len(), ss.len(), "case {case} {m:?} k={k}");
+                for (x, y) in fs.iter().zip(&ss) {
+                    assert!(
+                        (x - y).abs() < 1e-9,
+                        "case {case} {m:?} k={k}: {fs:?} vs {ss:?}"
+                    );
+                }
+                for (_, key) in fast.sorted_entries() {
+                    assert!(!killed.contains_key(key), "case {case} {m:?} k={k}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn topkjoin_bit_identical_to_reference_loop() {
+    // The arena/dense-postings join must return *bit-identical* entries
+    // (pairs AND scores, including tie-break outcomes) to the original
+    // hash-map + partition_point implementation preserved above.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for case in 0..50 {
+        let ra = random_records(&mut rng, 14);
+        let rb = random_records(&mut rng, 14);
+        let killed = random_killed(&mut rng, ra.len(), rb.len());
+        let a = RecordArena::from_records(&ra);
+        let b = RecordArena::from_records(&rb);
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
+        for m in SetMeasure::ALL {
+            for (k, q) in [(1usize, 1usize), (10, 1), (100, 1), (10, 2), (10, 3)] {
+                let params = SsjParams { k, q, measure: m };
+                let new = topk_join(inst, params, &ExactScorer(m), &[], None);
+                let old = reference::topk_join(&ra, &rb, &killed, params, &ExactScorer(m), &[]);
+                assert_eq!(
+                    new.sorted_entries(),
+                    old.sorted_entries(),
+                    "case {case} {m:?} k={k} q={q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_roundtrips_tokenized_merged() {
+    // RecordArena::from_tokenized must reproduce TokenizedTable::merged
+    // exactly for every tuple and attribute subset.
+    use mc_strsim::dict::TokenizedTable;
+    use mc_strsim::tokenize::Tokenizer;
+    use mc_table::{AttrId, Schema, Table, Tuple};
+    use std::sync::Arc;
+
+    let mut rng = StdRng::seed_from_u64(0xA7E4A);
+    let schema = Arc::new(Schema::from_names(["u", "v", "w"]));
+    let mut a = Table::new("A", Arc::clone(&schema));
+    let mut b = Table::new("B", schema);
+    let vocab = ["ab", "cd", "ef", "gh", "ij", "kl", "mn"];
+    let random_value = |rng: &mut StdRng| -> Option<String> {
+        if rng.random_range(0..5u32) == 0 {
+            return None;
+        }
+        let n = rng.random_range(0..5usize);
+        Some(
+            (0..n)
+                .map(|_| vocab[rng.random_range(0..vocab.len())])
+                .collect::<Vec<_>>()
+                .join(" "),
+        )
+    };
+    for _ in 0..30 {
+        a.push(Tuple::new(vec![
+            random_value(&mut rng),
+            random_value(&mut rng),
+            random_value(&mut rng),
+        ]));
+        b.push(Tuple::new(vec![
+            random_value(&mut rng),
+            random_value(&mut rng),
+            random_value(&mut rng),
+        ]));
+    }
+    let attrs = [AttrId(0), AttrId(1), AttrId(2)];
+    let (ta, tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+    for tok in [&ta, &tb] {
+        for idx in [
+            vec![0usize],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 1, 2],
+        ] {
+            let arena = RecordArena::from_tokenized(tok, &idx);
+            assert_eq!(arena.len(), tok.rows());
+            for t in 0..tok.rows() as u32 {
+                assert_eq!(
+                    arena.record(t),
+                    tok.merged(&idx, t).as_slice(),
+                    "attrs {idx:?} tuple {t}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn killed_pairs_never_surface() {
     let mut rng = StdRng::seed_from_u64(0x55A2);
     for _ in 0..CASES {
-        let a = random_records(&mut rng, 10);
-        let b = random_records(&mut rng, 10);
+        let a = RecordArena::from_records(&random_records(&mut rng, 10));
+        let b = RecordArena::from_records(&random_records(&mut rng, 10));
         // Kill a deterministic subset of pairs.
         let mut killed = PairSet::new();
         for i in 0..a.len() as u32 {
@@ -110,8 +437,10 @@ fn killed_pairs_never_surface() {
 fn qjoin_is_subset_with_correct_scores() {
     let mut rng = StdRng::seed_from_u64(0x55A3);
     for case in 0..CASES {
-        let a = random_records(&mut rng, 10);
-        let b = random_records(&mut rng, 10);
+        let ra = random_records(&mut rng, 10);
+        let rb = random_records(&mut rng, 10);
+        let a = RecordArena::from_records(&ra);
+        let b = RecordArena::from_records(&rb);
         let q = rng.random_range(2..4usize);
         let killed = PairSet::new();
         let inst = SsjInstance {
@@ -142,7 +471,7 @@ fn qjoin_is_subset_with_correct_scores() {
             assert!((s - t).abs() < 1e-9, "case {case} pair {p}: {s} vs {t}");
             // And shares at least q tokens.
             let (x, y) = mc_table::split_pair_key(p);
-            let o = mc_strsim::multiset_overlap(&a[x as usize], &b[y as usize]);
+            let o = mc_strsim::multiset_overlap(&ra[x as usize], &rb[y as usize]);
             assert!(o >= q, "case {case}");
         }
     }
