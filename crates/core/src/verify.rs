@@ -146,13 +146,20 @@ pub fn run_verifier(
     let mut empty_streak = 0usize;
     let n = params.n_per_iter.max(1);
 
-    let feature_of = |i: usize, cache: &mut Vec<Option<Vec<f64>>>| -> Vec<f64> {
+    // Returns a *reference* into the cache — the training loop and the
+    // prediction pass must not clone the cached vector on every access.
+    fn feature_of<'c>(
+        i: usize,
+        cache: &'c mut [Option<Vec<f64>>],
+        union: &CandidateUnion,
+        fx: &FeatureExtractor<'_>,
+    ) -> &'c [f64] {
         if cache[i].is_none() {
             let (a, b) = split_pair_key(union.pairs[i]);
             cache[i] = Some(fx.features(a, b));
         }
-        cache[i].clone().unwrap()
-    };
+        cache[i].as_deref().expect("just filled")
+    }
 
     while outcome.iterations.len() < params.max_iters {
         let unlabeled: Vec<usize> = (0..items).filter(|&i| labels[i].is_none()).collect();
@@ -185,9 +192,15 @@ pub fn run_verifier(
                         .take(n)
                         .collect()
                 } else {
-                    // (Re)train on everything labeled so far.
+                    // (Re)train on everything labeled so far. The forest
+                    // API still wants owned rows, so training pays one
+                    // copy per labeled row; the prediction pass below is
+                    // clone-free.
                     let (x, y): (Vec<Vec<f64>>, Vec<bool>) = (0..items)
-                        .filter_map(|i| labels[i].map(|l| (feature_of(i, &mut features), l)))
+                        .filter_map(|i| {
+                            labels[i]
+                                .map(|l| (feature_of(i, &mut features, union, fx).to_vec(), l))
+                        })
                         .unzip();
                     let f = {
                         let _fit = mc_obs::span!("mc.core.verify.forest_fit");
@@ -198,8 +211,8 @@ pub fn run_verifier(
                         unlabeled
                             .iter()
                             .map(|&i| {
-                                let feats = feature_of(i, &mut features);
-                                (i, f.confidence(&feats), f.mean_proba(&feats))
+                                let feats = feature_of(i, &mut features, union, fx);
+                                (i, f.confidence(feats), f.mean_proba(feats))
                             })
                             .collect()
                     };
@@ -209,13 +222,7 @@ pub fn run_verifier(
                         hybrid_batch(&scored, n)
                     } else {
                         // Pure online phase: top-n by confidence.
-                        let mut by_conf = scored;
-                        by_conf.sort_by(|a, b| {
-                            b.1.total_cmp(&a.1)
-                                .then(b.2.total_cmp(&a.2))
-                                .then(a.0.cmp(&b.0))
-                        });
-                        by_conf.into_iter().take(n).map(|(i, _, _)| i).collect()
+                        top_by_confidence(&scored, n)
                     }
                 }
             }
@@ -272,32 +279,74 @@ pub fn run_verifier(
     outcome
 }
 
+/// Total-order comparator for "most confident first" (confidence desc,
+/// proba desc, index asc — a strict total order, so partial selection
+/// yields exactly the prefix a full sort would).
+fn conf_cmp(a: &(usize, f64, f64), b: &(usize, f64, f64)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1)
+        .then(b.2.total_cmp(&a.2))
+        .then(a.0.cmp(&b.0))
+}
+
+/// The first `lim` positions of `scored` under `cmp`, in order, without
+/// sorting the tail: `select_nth_unstable` partitions around the boundary
+/// (the comparator is a strict total order, so the prefix *set* equals a
+/// full sort's prefix), then only the head is sorted.
+fn select_head_positions(
+    scored: &[(usize, f64, f64)],
+    lim: usize,
+    cmp: impl Fn(&(usize, f64, f64), &(usize, f64, f64)) -> std::cmp::Ordering,
+) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..scored.len() as u32).collect();
+    let lim = lim.min(order.len());
+    if lim == 0 {
+        return Vec::new();
+    }
+    if lim < order.len() {
+        order.select_nth_unstable_by(lim - 1, |&a, &b| {
+            cmp(&scored[a as usize], &scored[b as usize])
+        });
+        order.truncate(lim);
+    }
+    order.sort_unstable_by(|&a, &b| cmp(&scored[a as usize], &scored[b as usize]));
+    order
+}
+
+/// Top-`n` candidate indexes by positive confidence.
+fn top_by_confidence(scored: &[(usize, f64, f64)], n: usize) -> Vec<usize> {
+    select_head_positions(scored, n, conf_cmp)
+        .into_iter()
+        .map(|p| scored[p as usize].0)
+        .collect()
+}
+
 /// The hybrid batch: `n/4` most controversial + `3n/4` most confident.
+///
+/// Both rankings use partial selection instead of full sorts, and the
+/// dedup between them is a positional bitset instead of the former
+/// O(n·batch) `batch.contains` scan. The confidence scan never needs more
+/// than the top `n` entries: at most `n_controversial` of them are
+/// already taken, and the scan stops once the batch holds `n`.
 fn hybrid_batch(scored: &[(usize, f64, f64)], n: usize) -> Vec<usize> {
     let n_controversial = (n / 4).max(1);
-    let mut by_uncertainty: Vec<&(usize, f64, f64)> = scored.iter().collect();
-    by_uncertainty.sort_by(|a, b| {
+    let head = select_head_positions(scored, n_controversial, |a, b| {
         let ua = (a.1 - 0.5).abs();
         let ub = (b.1 - 0.5).abs();
         ua.total_cmp(&ub).then(a.0.cmp(&b.0))
     });
-    let mut batch: Vec<usize> = by_uncertainty
-        .iter()
-        .take(n_controversial)
-        .map(|t| t.0)
-        .collect();
-    let mut by_conf: Vec<&(usize, f64, f64)> = scored.iter().collect();
-    by_conf.sort_by(|a, b| {
-        b.1.total_cmp(&a.1)
-            .then(b.2.total_cmp(&a.2))
-            .then(a.0.cmp(&b.0))
-    });
-    for t in by_conf {
+    let mut taken = vec![false; scored.len()];
+    let mut batch: Vec<usize> = Vec::with_capacity(n.min(scored.len()));
+    for &p in &head {
+        taken[p as usize] = true;
+        batch.push(scored[p as usize].0);
+    }
+    for p in select_head_positions(scored, n, conf_cmp) {
         if batch.len() >= n {
             break;
         }
-        if !batch.contains(&t.0) {
-            batch.push(t.0);
+        if !taken[p as usize] {
+            taken[p as usize] = true;
+            batch.push(scored[p as usize].0);
         }
     }
     batch
