@@ -1,0 +1,219 @@
+//! Verifier perf baseline: runs the **§5 Match Verifier** end-to-end on a
+//! datagen profile (hash-city blocker, exact gold oracle as the synthetic
+//! user) and writes per-stage wall-clock numbers — derived from the
+//! `mc-obs` snapshot delta — to `BENCH_verifier.json`, establishing the
+//! perf trajectory future PRs must not regress.
+//!
+//! Stages per profile (best of `--runs` repetitions of the verify stage):
+//!
+//! * `feature_build_us` — flat feature-matrix materialization
+//!   (`mc.core.verify.feature_matrix.build` span total);
+//! * `fit_us` — forest (re)fits across all iterations
+//!   (`mc.core.verify.forest_fit` span total);
+//! * `predict_us` — candidate scoring across all iterations
+//!   (`mc.core.verify.forest_predict` span total);
+//! * `verify_us` — the whole verifier (`mc.core.verify.run` span total);
+//! * `per_iter_us` — `verify_us / iterations`, the interactive latency the
+//!   user sees between labeling rounds.
+//!
+//! Set `MC_BENCH_SMOKE=1` for a shrunk CI smoke run.
+//!
+//! `cargo run --release -p mc-bench --bin verifier_baseline [--scale X]
+//!  [--runs N] [--threads N] [--out PATH]`
+
+use matchcatcher::debugger::MatchCatcher;
+use matchcatcher::features::FeatureExtractor;
+use matchcatcher::joint::CandidateUnion;
+use matchcatcher::oracle::GoldOracle;
+use matchcatcher::verify::run_verifier;
+use mc_bench::blockers::best_hash_blocker;
+use mc_bench::harness::paper_params;
+use mc_datagen::profiles::DatasetProfile;
+use mc_obs::MetricsSnapshot;
+use std::fmt::Write as _;
+
+struct ProfileReport {
+    name: String,
+    scale: f64,
+    candidates: usize,
+    iterations: usize,
+    labeled: usize,
+    matches: usize,
+    threads: usize,
+    feature_build_us: u64,
+    fit_us: u64,
+    predict_us: u64,
+    verify_us: u64,
+    per_iter_us: u64,
+}
+
+fn run_profile(
+    profile: DatasetProfile,
+    scale: f64,
+    seed: u64,
+    runs: usize,
+    threads: usize,
+) -> ProfileReport {
+    let ds = profile.generate_scaled(seed, scale);
+    // Fodors-Zagats uses the paper's running-example blocker (hash on
+    // city), which kills many matches and drives a long learning run; the
+    // other profiles use their §6.2 best-hash blocker.
+    let blocker = match profile {
+        DatasetProfile::FodorsZagats => {
+            mc_blocking::Blocker::Hash(mc_blocking::KeyFunc::Attr(ds.a.schema().expect_id("city")))
+        }
+        _ => best_hash_blocker(profile, ds.a.schema()),
+    };
+    let c = blocker.apply(&ds.a, &ds.b);
+
+    let mut params = paper_params();
+    if threads != 0 {
+        params.joint.threads = threads;
+        params.verifier.forest.threads = threads;
+    }
+    let mc = MatchCatcher::new(params);
+    let prepared = mc.prepare(&ds.a, &ds.b);
+    let joint = mc.topk(&prepared, &c);
+    let union = CandidateUnion::build(&joint.lists);
+    let fx = FeatureExtractor::new(
+        &ds.a,
+        &ds.b,
+        &prepared.promising.attrs,
+        &prepared.tok_a,
+        &prepared.tok_b,
+    );
+
+    // Best-of-N verifier runs (first run also warms allocators/caches);
+    // the oracle is rebuilt per run so every repetition labels the same
+    // pairs and the measured work is identical.
+    let mut best: Option<(u64, MetricsSnapshot, usize, usize, usize)> = None;
+    for _ in 0..runs.max(1) {
+        let mut oracle = GoldOracle::exact(&ds.gold);
+        let base = MetricsSnapshot::capture();
+        let out = run_verifier(&union, &fx, &mut oracle, &params.verifier);
+        let delta = MetricsSnapshot::capture().since(&base);
+        let verify_us = delta.span("mc.core.verify.run").total_us;
+        if best.as_ref().is_none_or(|(b, ..)| verify_us < *b) {
+            best = Some((
+                verify_us,
+                delta,
+                out.iterations.len(),
+                out.labeled,
+                out.matches.len(),
+            ));
+        }
+    }
+    let (verify_us, delta, iterations, labeled, matches) = best.expect("at least one run");
+
+    ProfileReport {
+        name: ds.name.clone(),
+        scale,
+        candidates: union.len(),
+        iterations,
+        labeled,
+        matches,
+        threads: mc_ml_threads(params.verifier.forest.threads),
+        feature_build_us: delta.span("mc.core.verify.feature_matrix.build").total_us,
+        fit_us: delta.span("mc.core.verify.forest_fit").total_us,
+        predict_us: delta.span("mc.core.verify.forest_predict").total_us,
+        verify_us,
+        per_iter_us: verify_us / iterations.max(1) as u64,
+    }
+}
+
+/// The worker count `mc-ml` resolves `forest.threads` to (`0` = all
+/// cores), reported in the JSON so runs on different machines compare
+/// honestly.
+fn mc_ml_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        requested
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let smoke = std::env::var_os("MC_BENCH_SMOKE").is_some();
+    let default_scale = if smoke { 0.2 } else { 1.0 };
+    let scale: f64 = get("--scale").map_or(default_scale, |v| v.parse().expect("bad --scale"));
+    let seed: u64 = get("--seed").map_or(7, |v| v.parse().expect("bad --seed"));
+    let runs: usize = get("--runs").map_or(if smoke { 1 } else { 3 }, |v| {
+        v.parse().expect("bad --runs")
+    });
+    let threads: usize = get("--threads").map_or(0, |v| v.parse().expect("bad --threads"));
+    let out_path = get("--out").unwrap_or("BENCH_verifier.json");
+
+    // Two contrasting verification workloads: short restaurant records
+    // (many near-ties, long verification) and long product records.
+    let reports = [
+        run_profile(
+            DatasetProfile::FodorsZagats,
+            scale.min(1.0),
+            seed,
+            runs,
+            threads,
+        ),
+        run_profile(
+            DatasetProfile::AmazonGoogle,
+            0.25 * scale,
+            seed,
+            runs,
+            threads,
+        ),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"mc-bench-verifier/v1\",\n  \"profiles\": [");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\"name\": \"{}\", \"scale\": {}, \"candidates\": {}, \
+             \"iterations\": {}, \"labeled\": {}, \"matches\": {}, \"threads\": {}, \
+             \"stages\": {{\"feature_build_us\": {}, \"fit_us\": {}, \"predict_us\": {}, \
+             \"verify_us\": {}, \"per_iter_us\": {}}}}}",
+            r.name,
+            r.scale,
+            r.candidates,
+            r.iterations,
+            r.labeled,
+            r.matches,
+            r.threads,
+            r.feature_build_us,
+            r.fit_us,
+            r.predict_us,
+            r.verify_us,
+            r.per_iter_us
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write BENCH_verifier.json");
+
+    println!(
+        "{:<16} {:>8} {:>8} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "scale", "|E|", "iters", "feat-build", "fit", "predict", "verify"
+    );
+    for r in &reports {
+        println!(
+            "{:<16} {:>8.2} {:>8} {:>6} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>10.2}ms",
+            r.name,
+            r.scale,
+            r.candidates,
+            r.iterations,
+            r.feature_build_us as f64 / 1e3,
+            r.fit_us as f64 / 1e3,
+            r.predict_us as f64 / 1e3,
+            r.verify_us as f64 / 1e3,
+        );
+    }
+    println!("wrote {out_path}");
+}

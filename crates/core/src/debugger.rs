@@ -51,6 +51,7 @@ impl DebuggerParams {
         p.joint.threads = 2;
         p.verifier.n_per_iter = 10;
         p.verifier.forest.n_trees = 7;
+        p.verifier.forest.threads = 2;
         p
     }
 

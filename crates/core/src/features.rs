@@ -6,13 +6,18 @@
 //! concatenated Jaccard and a length-ratio feature. These mirror the
 //! similarity features Magellan-style EM systems generate.
 
+use mc_ml::RowsView;
 use mc_strsim::dict::TokenizedTable;
 use mc_strsim::measures::{edit_similarity, SetMeasure};
-use mc_table::{AttrId, Table, TupleId};
+use mc_table::{split_pair_key, AttrId, Table, TupleId};
 
 /// Truncation bound for edit-distance features (edit distance is
 /// quadratic; long descriptions would dominate verification time).
 const EDIT_FEATURE_MAX_CHARS: usize = 48;
+
+/// Rows materialized per unit of parallel feature-build work (and per
+/// `built` bookkeeping bit in [`FeatureMatrix`]).
+const MATRIX_CHUNK_ROWS: usize = 128;
 
 /// Extracts feature vectors for `(a, b)` tuple pairs.
 pub struct FeatureExtractor<'t> {
@@ -49,7 +54,16 @@ impl<'t> FeatureExtractor<'t> {
 
     /// The feature vector for pair `(aid, bid)`.
     pub fn features(&self, aid: TupleId, bid: TupleId) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.n_features());
+        let mut out = vec![0.0; self.n_features()];
+        self.features_into(aid, bid, &mut out);
+        out
+    }
+
+    /// Writes the feature vector for `(aid, bid)` into `out`, which must
+    /// be exactly [`FeatureExtractor::n_features`] long. This is the
+    /// matrix-fill path: one row slot of a shared flat buffer.
+    pub fn features_into(&self, aid: TupleId, bid: TupleId, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n_features(), "feature slot width mismatch");
         let mut total_a = 0usize;
         let mut total_b = 0usize;
         for (i, &attr) in self.attrs.iter().enumerate() {
@@ -57,25 +71,151 @@ impl<'t> FeatureExtractor<'t> {
             let rb = self.tok_b.ranks(i, bid);
             total_a += ra.len();
             total_b += rb.len();
-            out.push(SetMeasure::Jaccard.score(ra, rb));
+            out[i * 3] = SetMeasure::Jaccard.score(ra, rb);
             let va = self.a.value(aid, attr).unwrap_or("");
             let vb = self.b.value(bid, attr).unwrap_or("");
-            out.push(edit_similarity(&truncate(va), &truncate(vb)));
-            out.push(f64::from(!va.is_empty() && !vb.is_empty()));
+            out[i * 3 + 1] = edit_similarity(&truncate(va), &truncate(vb));
+            out[i * 3 + 2] = f64::from(!va.is_empty() && !vb.is_empty());
         }
         // Concatenated Jaccard over all promising attributes.
         let all: Vec<usize> = (0..self.attrs.len()).collect();
         let merged_a = self.tok_a.merged(&all, aid);
         let merged_b = self.tok_b.merged(&all, bid);
-        out.push(SetMeasure::Jaccard.score(&merged_a, &merged_b));
+        out[self.attrs.len() * 3] = SetMeasure::Jaccard.score(&merged_a, &merged_b);
         // Token-length ratio (1 = same length).
         let m = total_a.max(total_b);
-        out.push(if m == 0 {
+        out[self.attrs.len() * 3 + 1] = if m == 0 {
             1.0
         } else {
             total_a.min(total_b) as f64 / m as f64
-        });
-        out
+        };
+    }
+}
+
+/// A row-major flat feature matrix over a fixed list of candidate pairs:
+/// one contiguous `f64` buffer, row `i` holding the features of packed
+/// pair key `pairs[i]`. Rows are materialized chunk-at-a-time across
+/// scoped worker threads — eagerly for the head the verifier is sure to
+/// score, lazily for the tail — and each chunk is built exactly once.
+///
+/// This replaces the verifier's former `Vec<Option<Vec<f64>>>` cache:
+/// same lazy semantics, but no per-row allocation, no per-access clone,
+/// and the buffer doubles as zero-copy training/scoring input for
+/// `mc-ml` via [`FeatureMatrix::view`].
+pub struct FeatureMatrix {
+    buf: Vec<f64>,
+    stride: usize,
+    /// One flag per [`MATRIX_CHUNK_ROWS`]-row chunk.
+    built: Vec<bool>,
+}
+
+impl FeatureMatrix {
+    /// An empty (nothing built) matrix with `n_rows` row slots of width
+    /// `stride`.
+    pub fn new(n_rows: usize, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        FeatureMatrix {
+            buf: vec![0.0; n_rows * stride],
+            stride,
+            built: vec![false; n_rows.div_ceil(MATRIX_CHUNK_ROWS)],
+        }
+    }
+
+    /// Number of row slots.
+    pub fn len(&self) -> usize {
+        self.buf.len() / self.stride
+    }
+
+    /// True if the matrix has no row slots.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Row `i` as a feature slice. The covering chunk must have been
+    /// materialized by a prior `ensure_*` call.
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(
+            self.built[i / MATRIX_CHUNK_ROWS],
+            "row {i} read before its chunk was built"
+        );
+        &self.buf[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// The whole buffer as an `mc-ml` scoring/training view. Callers must
+    /// only index rows they have ensured.
+    pub fn view(&self) -> RowsView<'_> {
+        RowsView::new(&self.buf, self.stride)
+    }
+
+    /// Materializes every not-yet-built chunk overlapping rows
+    /// `0..rows`, splitting the missing chunks across `threads` scoped
+    /// workers (`0` = all cores). `pairs` must be the matrix's full pair
+    /// list; already-built chunks are skipped, so repeated calls only pay
+    /// for new rows.
+    pub fn ensure_upto(
+        &mut self,
+        rows: usize,
+        pairs: &[u64],
+        fx: &FeatureExtractor<'_>,
+        threads: usize,
+    ) {
+        assert_eq!(pairs.len(), self.len(), "pair list / matrix size mismatch");
+        let chunk_len = MATRIX_CHUNK_ROWS * self.stride;
+        let n_chunks = rows.min(self.len()).div_ceil(MATRIX_CHUNK_ROWS);
+        let built = &mut self.built;
+        let stride = self.stride;
+        let mut jobs: Vec<(usize, &mut [f64])> = self
+            .buf
+            .chunks_mut(chunk_len)
+            .take(n_chunks)
+            .enumerate()
+            .filter(|(c, _)| !built[*c])
+            .collect();
+        if jobs.is_empty() {
+            return;
+        }
+        let _span = mc_obs::span!("mc.core.verify.feature_matrix.build");
+        let fill = |c: usize, out: &mut [f64]| {
+            let start_row = c * MATRIX_CHUNK_ROWS;
+            for (r, slot) in out.chunks_mut(stride).enumerate() {
+                let (a, b) = split_pair_key(pairs[start_row + r]);
+                fx.features_into(a, b, slot);
+            }
+        };
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        }
+        .min(jobs.len());
+        if threads <= 1 {
+            for (c, chunk) in jobs.iter_mut() {
+                fill(*c, chunk);
+            }
+        } else {
+            let per_worker = jobs.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for group in jobs.chunks_mut(per_worker) {
+                    s.spawn(|| {
+                        for (c, chunk) in group.iter_mut() {
+                            fill(*c, chunk);
+                        }
+                    });
+                }
+            });
+        }
+        let mut rows_built = 0usize;
+        for (c, chunk) in &jobs {
+            built[*c] = true;
+            rows_built += chunk.len() / stride;
+        }
+        mc_obs::counter!("mc.core.verify.feature_matrix.rows_built").add(rows_built as u64);
+    }
+
+    /// Materializes every remaining chunk; see
+    /// [`FeatureMatrix::ensure_upto`].
+    pub fn ensure_all(&mut self, pairs: &[u64], fx: &FeatureExtractor<'_>, threads: usize) {
+        self.ensure_upto(self.len(), pairs, fx, threads);
     }
 }
 
@@ -145,6 +285,38 @@ mod tests {
                                    // presence flag for city = features[5]
         assert_eq!(f[5], 0.0);
         assert_eq!(f[2], 1.0); // name present on both sides
+    }
+
+    #[test]
+    fn matrix_rows_equal_extractor_features() {
+        use mc_table::pair_key;
+        let (a, b, attrs) = setup();
+        let (ta, tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
+        let pairs: Vec<u64> = (0..2)
+            .flat_map(|x| (0..2).map(move |y| pair_key(x, y)))
+            .collect();
+        for threads in [1, 3] {
+            let mut m = FeatureMatrix::new(pairs.len(), fx.n_features());
+            assert_eq!(m.len(), pairs.len());
+            m.ensure_upto(1, &pairs, &fx, threads);
+            m.ensure_all(&pairs, &fx, threads);
+            for (i, &key) in pairs.iter().enumerate() {
+                let (x, y) = mc_table::split_pair_key(key);
+                assert_eq!(m.row(i), fx.features(x, y).as_slice(), "row {i}");
+                assert_eq!(m.view().row(i), m.row(i));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let (a, b, attrs) = setup();
+        let (ta, tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        let fx = FeatureExtractor::new(&a, &b, &attrs, &ta, &tb);
+        let mut m = FeatureMatrix::new(0, fx.n_features());
+        m.ensure_all(&[], &fx, 2);
+        assert!(m.is_empty());
     }
 
     #[test]

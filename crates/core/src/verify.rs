@@ -18,7 +18,7 @@
 //! no new matches. [`RankStrategy::Wmr`] and [`RankStrategy::MedRank`]
 //! are the §6.5 ablation baselines.
 
-use crate::features::FeatureExtractor;
+use crate::features::{FeatureExtractor, FeatureMatrix};
 use crate::joint::CandidateUnion;
 use crate::oracle::Oracle;
 use crate::rank::{medrank_order, wmr_order, RankedLists, WmrWeights};
@@ -68,7 +68,7 @@ impl Default for VerifierParams {
 }
 
 /// Per-iteration bookkeeping (drives Tables 3 and 4).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IterationRecord {
     /// Pairs shown this iteration.
     pub shown: usize,
@@ -77,7 +77,7 @@ pub struct IterationRecord {
 }
 
 /// Verifier output.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyOutcome {
     /// Confirmed match pair-keys in discovery order.
     pub matches: Vec<u64>,
@@ -139,44 +139,47 @@ pub fn run_verifier(
         mc_obs::gauge!("mc.core.verify.rank_agreement_pct").set((agree * 100 / head) as i64);
     }
     let mut labels: Vec<Option<bool>> = vec![None; items];
-    let mut features: Vec<Option<Vec<f64>>> = vec![None; items];
     let mut wmr = WmrWeights::uniform(ranked.lists().max(1));
-    let mut forest: Option<RandomForest> = None;
     let mut al_rounds_done = 0usize;
     let mut empty_streak = 0usize;
     let n = params.n_per_iter.max(1);
+    let threads = params.forest.threads;
 
-    // Returns a *reference* into the cache — the training loop and the
-    // prediction pass must not clone the cached vector on every access.
-    fn feature_of<'c>(
-        i: usize,
-        cache: &'c mut [Option<Vec<f64>>],
-        union: &CandidateUnion,
-        fx: &FeatureExtractor<'_>,
-    ) -> &'c [f64] {
-        if cache[i].is_none() {
-            let (a, b) = split_pair_key(union.pairs[i]);
-            cache[i] = Some(fx.features(a, b));
-        }
-        cache[i].as_deref().expect("just filled")
+    // The flat feature matrix replaces the former per-candidate
+    // `Option<Vec<f64>>` cache: the union head (where MedRank seeding and
+    // the first training rounds concentrate) is materialized eagerly in
+    // parallel; tail chunks are built lazily, and only if the learning
+    // phase is actually reached.
+    let mut matrix = FeatureMatrix::new(items, fx.n_features());
+    if params.strategy == RankStrategy::Learning {
+        matrix.ensure_upto((4 * n).min(items), &union.pairs, fx, threads);
     }
 
+    // Incrementally maintained state: indexes still unlabeled (union
+    // order), and the labeled training set sorted by candidate index.
+    let mut unlabeled: Vec<usize> = (0..items).collect();
+    let mut labeled_pairs: Vec<(usize, bool)> = Vec::new();
+    // Reusable per-iteration buffers — the steady-state refit loop
+    // allocates nothing beyond what the forest itself needs.
+    let mut train_idx: Vec<usize> = Vec::new();
+    let mut train_y: Vec<bool> = Vec::new();
+    let mut scores: Vec<(f64, f64)> = Vec::new();
+    let mut scored: Vec<(usize, f64, f64)> = Vec::new();
+    // Cursor into the MedRank order: labels are never retracted, so the
+    // seeding walk never needs to rescan its prefix.
+    let mut medrank_cursor = 0usize;
+
     while outcome.iterations.len() < params.max_iters {
-        let unlabeled: Vec<usize> = (0..items).filter(|&i| labels[i].is_none()).collect();
         if unlabeled.is_empty() {
             break;
         }
-        let have_pos = labels.contains(&Some(true));
-        let have_neg = labels.contains(&Some(false));
+        let _iter_span = mc_obs::span!("mc.core.verify.iter");
+        let have_pos = labeled_pairs.iter().any(|&(_, l)| l);
+        let have_neg = labeled_pairs.iter().any(|&(_, l)| !l);
 
         // ── Select the batch to show ────────────────────────────────────
         let batch: Vec<usize> = match params.strategy {
-            RankStrategy::MedRank => base_order
-                .iter()
-                .copied()
-                .filter(|&i| labels[i].is_none())
-                .take(n)
-                .collect(),
+            RankStrategy::MedRank => next_unlabeled(&base_order, &mut medrank_cursor, &labels, n),
             RankStrategy::Wmr => wmr_order(&ranked, &wmr)
                 .into_iter()
                 .filter(|&i| labels[i].is_none())
@@ -185,38 +188,33 @@ pub fn run_verifier(
             RankStrategy::Learning => {
                 if !(have_pos && have_neg) {
                     // Seeding phase: walk the MedRank order.
-                    base_order
-                        .iter()
-                        .copied()
-                        .filter(|&i| labels[i].is_none())
-                        .take(n)
-                        .collect()
+                    next_unlabeled(&base_order, &mut medrank_cursor, &labels, n)
                 } else {
-                    // (Re)train on everything labeled so far. The forest
-                    // API still wants owned rows, so training pays one
-                    // copy per labeled row; the prediction pass below is
-                    // clone-free.
-                    let (x, y): (Vec<Vec<f64>>, Vec<bool>) = (0..items)
-                        .filter_map(|i| {
-                            labels[i]
-                                .map(|l| (feature_of(i, &mut features, union, fx).to_vec(), l))
-                        })
-                        .unzip();
+                    // (Re)train on everything labeled so far. Training
+                    // samples are index slices into the shared matrix —
+                    // no row is copied, here or inside the forest's
+                    // bootstrap resampling.
+                    matrix.ensure_all(&union.pairs, fx, threads);
+                    train_idx.clear();
+                    train_y.clear();
+                    train_idx.extend(labeled_pairs.iter().map(|&(i, _)| i));
+                    train_y.extend(labeled_pairs.iter().map(|&(_, l)| l));
                     let f = {
                         let _fit = mc_obs::span!("mc.core.verify.forest_fit");
-                        RandomForest::fit(&x, &y, &params.forest)
+                        RandomForest::fit_matrix(
+                            matrix.view(),
+                            &train_idx,
+                            &train_y,
+                            &params.forest,
+                        )
                     };
-                    let scored: Vec<(usize, f64, f64)> = {
+                    {
                         let _predict = mc_obs::span!("mc.core.verify.forest_predict");
-                        unlabeled
-                            .iter()
-                            .map(|&i| {
-                                let feats = feature_of(i, &mut features, union, fx);
-                                (i, f.confidence(feats), f.mean_proba(feats))
-                            })
-                            .collect()
-                    };
-                    forest = Some(f);
+                        scores.resize(unlabeled.len(), (0.0, 0.0));
+                        f.score_batch_into(matrix.view(), &unlabeled, threads, &mut scores);
+                    }
+                    scored.clear();
+                    scored.extend(unlabeled.iter().zip(&scores).map(|(&i, &(c, p))| (i, c, p)));
                     if al_rounds_done < params.al_iters {
                         al_rounds_done += 1;
                         hybrid_batch(&scored, n)
@@ -238,6 +236,7 @@ pub fn run_verifier(
             let (a, b) = split_pair_key(union.pairs[i]);
             let is_match = oracle.is_match(a, b);
             labels[i] = Some(is_match);
+            labeled_pairs.push((i, is_match));
             outcome.labeled += 1;
             if is_match {
                 found += 1;
@@ -261,6 +260,11 @@ pub fn run_verifier(
             shown: batch.len(),
             matches_found: found,
         });
+        // Keep the training set in ascending candidate order (the batch
+        // arrives in ranking order) and drop the batch from the unlabeled
+        // set — no per-iteration re-filter of `0..items`.
+        labeled_pairs.sort_unstable_by_key(|&(i, _)| i);
+        unlabeled.retain(|&i| labels[i].is_none());
         if params.strategy == RankStrategy::Wmr {
             wmr.update(&matches_per_list);
         }
@@ -275,8 +279,26 @@ pub fn run_verifier(
             empty_streak = 0;
         }
     }
-    let _ = forest; // kept alive across rounds for clarity of ownership
     outcome
+}
+
+/// The next up-to-`n` unlabeled entries of `order`, advancing `cursor`
+/// past everything examined (valid because labels are never retracted).
+fn next_unlabeled(
+    order: &[usize],
+    cursor: &mut usize,
+    labels: &[Option<bool>],
+    n: usize,
+) -> Vec<usize> {
+    let mut batch = Vec::with_capacity(n);
+    while *cursor < order.len() && batch.len() < n {
+        let i = order[*cursor];
+        *cursor += 1;
+        if labels[i].is_none() {
+            batch.push(i);
+        }
+    }
+    batch
 }
 
 /// Total-order comparator for "most confident first" (confidence desc,

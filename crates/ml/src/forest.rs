@@ -4,10 +4,28 @@
 //! trees voting "match" — exactly the paper's definition of positive
 //! prediction confidence (§5, "the fraction of decision trees in F that
 //! predict the item as a match").
+//!
+//! Fitting and batch scoring run on scoped worker threads and are
+//! **bit-identical at any thread count**: tree `t` is grown from its own
+//! `StdRng` seeded by a per-tree derivation of the base seed, so no tree's
+//! randomness depends on how work was scheduled, and batch scores are
+//! written into disjoint per-chunk output slices. Bootstrap samples are
+//! index lists into shared training data ([`RowsView`]) — resampling
+//! never clones a row.
 
-use crate::tree::{DecisionTree, TreeParams};
+use crate::data::{MatrixSamples, RowsView, Samples, VecSamples};
+use crate::tree::{DecisionTree, TreeParams, TreeScratch};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Rows scored per unit of parallel predict work (and per
+/// `mc.ml.forest.predict_chunk_us` histogram observation).
+const PREDICT_CHUNK: usize = 256;
+
+/// One unit of batch-scoring work: input row ids and their output slots.
+type ScoreJob<'i, 'o> = (&'i [usize], &'o mut [(f64, f64)]);
 
 /// Random-forest hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -21,8 +39,12 @@ pub struct ForestParams {
     /// Features per split; `0` = `ceil(sqrt(n_features))`.
     pub features_per_split: usize,
     /// Seed for bagging and feature sampling (the forest is fully
-    /// deterministic given this seed and the training data).
+    /// deterministic given this seed and the training data, regardless
+    /// of `threads`).
     pub seed: u64,
+    /// Worker threads for fitting and batch scoring; `0` = all cores.
+    /// Never affects results, only wall-clock.
+    pub threads: usize,
 }
 
 impl Default for ForestParams {
@@ -33,12 +55,29 @@ impl Default for ForestParams {
             min_samples_split: 2,
             features_per_split: 0,
             seed: 0x5eed,
+            threads: 0,
         }
     }
 }
 
+/// The seed for tree `t`'s private rng. XOR with an odd multiplier of the
+/// (1-based) tree index spreads consecutive trees across the seed space;
+/// `StdRng::seed_from_u64` then runs it through SplitMix64, so even
+/// adjacent derived seeds yield unrelated streams.
+fn tree_seed(base: u64, t: usize) -> u64 {
+    base ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        requested
+    }
+}
+
 /// A trained random forest for binary classification.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
 }
@@ -52,7 +91,26 @@ impl RandomForest {
     pub fn fit(x: &[Vec<f64>], y: &[bool], params: &ForestParams) -> Self {
         assert_eq!(x.len(), y.len(), "feature/label length mismatch");
         assert!(!x.is_empty(), "cannot fit a forest on zero samples");
-        let n_features = x[0].len();
+        Self::fit_impl(&VecSamples { x, y }, params)
+    }
+
+    /// Fits a forest where training sample `s` is row `idx[s]` of the flat
+    /// matrix `rows`, labeled `y[s]`. This is the verifier's refit path:
+    /// the matrix is built once and every refit only touches index lists.
+    pub fn fit_matrix(
+        rows: RowsView<'_>,
+        idx: &[usize],
+        y: &[bool],
+        params: &ForestParams,
+    ) -> Self {
+        assert_eq!(idx.len(), y.len(), "index/label length mismatch");
+        assert!(!idx.is_empty(), "cannot fit a forest on zero samples");
+        Self::fit_impl(&MatrixSamples { rows, idx, y }, params)
+    }
+
+    fn fit_impl<S: Samples + Sync>(samples: &S, params: &ForestParams) -> Self {
+        let _span = mc_obs::span!("mc.ml.forest.fit_par");
+        let n_features = samples.n_features();
         let per_split = if params.features_per_split == 0 {
             (n_features as f64).sqrt().ceil() as usize
         } else {
@@ -63,23 +121,144 @@ impl RandomForest {
             min_samples_split: params.min_samples_split,
             features_per_split: per_split.max(1),
         };
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let mut trees = Vec::with_capacity(params.n_trees);
-        let mut bx: Vec<Vec<f64>> = Vec::with_capacity(x.len());
-        let mut by: Vec<bool> = Vec::with_capacity(x.len());
-        for _ in 0..params.n_trees {
-            bx.clear();
-            by.clear();
-            for _ in 0..x.len() {
-                let i = rng.random_range(0..x.len());
-                bx.push(x[i].clone());
-                by.push(y[i]);
-            }
-            // Guard against single-class bootstrap samples degrading the
-            // vote: they still produce a valid (leaf-only) tree.
-            trees.push(DecisionTree::fit(&bx, &by, &tree_params, &mut rng));
+        let m = samples.n_samples();
+
+        let fit_one = |t: usize, scratch: &mut TreeScratch| -> DecisionTree {
+            let mut rng = StdRng::seed_from_u64(tree_seed(params.seed, t));
+            let picks: Vec<usize> = (0..m).map(|_| rng.random_range(0..m)).collect();
+            // Single-class bootstrap samples still produce a valid
+            // (leaf-only) tree, so no stratification is needed.
+            DecisionTree::fit_samples(samples, picks, &tree_params, &mut rng, scratch)
+        };
+
+        let threads = resolve_threads(params.threads).min(params.n_trees.max(1));
+        if threads <= 1 {
+            let mut scratch = TreeScratch::default();
+            let trees = (0..params.n_trees)
+                .map(|t| fit_one(t, &mut scratch))
+                .collect();
+            return RandomForest { trees };
         }
+
+        // Deterministic parallel fit: slot t only ever receives tree t,
+        // so the assembled forest is independent of scheduling.
+        let slots: Vec<OnceLock<DecisionTree>> =
+            (0..params.n_trees).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let mut scratch = TreeScratch::default();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= params.n_trees {
+                            break;
+                        }
+                        let _ = slots[t].set(fit_one(t, &mut scratch));
+                    }
+                });
+            }
+        });
+        let trees = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every tree slot filled"))
+            .collect();
         RandomForest { trees }
+    }
+
+    /// One pass over the trees computing `(confidence, mean_proba)` —
+    /// half the tree walks of calling [`RandomForest::confidence`] and
+    /// [`RandomForest::mean_proba`] separately.
+    pub fn score(&self, sample: &[f64]) -> (f64, f64) {
+        let mut votes = 0usize;
+        let mut proba_sum = 0f64;
+        for t in &self.trees {
+            let p = t.predict_proba(sample);
+            if p > 0.5 {
+                votes += 1;
+            }
+            proba_sum += p;
+        }
+        let n = self.trees.len() as f64;
+        (votes as f64 / n, proba_sum / n)
+    }
+
+    /// `(confidence, mean_proba)` for each row of `rows` selected by
+    /// `idx`, scored in parallel chunks of [`PREDICT_CHUNK`] rows across
+    /// `threads` workers (`0` = all cores). Row order is preserved and
+    /// results are identical at any thread count.
+    pub fn score_batch(
+        &self,
+        rows: RowsView<'_>,
+        idx: &[usize],
+        threads: usize,
+    ) -> Vec<(f64, f64)> {
+        let mut out = vec![(0.0, 0.0); idx.len()];
+        self.score_batch_into(rows, idx, threads, &mut out);
+        out
+    }
+
+    /// [`RandomForest::score_batch`] writing into a caller-owned buffer,
+    /// for allocation-free steady-state loops. `out.len()` must equal
+    /// `idx.len()`.
+    pub fn score_batch_into(
+        &self,
+        rows: RowsView<'_>,
+        idx: &[usize],
+        threads: usize,
+        out: &mut [(f64, f64)],
+    ) {
+        assert_eq!(idx.len(), out.len(), "index/output length mismatch");
+        if idx.is_empty() {
+            return;
+        }
+        let score_chunk = |ids: &[usize], outs: &mut [(f64, f64)]| {
+            let start = std::time::Instant::now();
+            for (o, &i) in outs.iter_mut().zip(ids) {
+                *o = self.score(rows.row(i));
+            }
+            mc_obs::histogram!("mc.ml.forest.predict_chunk_us")
+                .record(start.elapsed().as_micros() as u64);
+        };
+
+        let mut jobs: Vec<ScoreJob<'_, '_>> = idx
+            .chunks(PREDICT_CHUNK)
+            .zip(out.chunks_mut(PREDICT_CHUNK))
+            .collect();
+        let threads = resolve_threads(threads).min(jobs.len());
+        if threads <= 1 {
+            for (ids, outs) in jobs.iter_mut() {
+                score_chunk(ids, outs);
+            }
+            return;
+        }
+        let per_worker = jobs.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for group in jobs.chunks_mut(per_worker) {
+                s.spawn(|| {
+                    for (ids, outs) in group.iter_mut() {
+                        score_chunk(ids, outs);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Confidence for each selected row; see [`RandomForest::score_batch`].
+    pub fn confidence_batch(&self, rows: RowsView<'_>, idx: &[usize], threads: usize) -> Vec<f64> {
+        self.score_batch(rows, idx, threads)
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Mean leaf probability for each selected row; see
+    /// [`RandomForest::score_batch`].
+    pub fn proba_batch(&self, rows: RowsView<'_>, idx: &[usize], threads: usize) -> Vec<f64> {
+        self.score_batch(rows, idx, threads)
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect()
     }
 
     /// Fraction of trees classifying `sample` as positive — the verifier's
@@ -154,6 +333,10 @@ mod tests {
         (x, y)
     }
 
+    fn flat(x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().flatten().copied().collect()
+    }
+
     #[test]
     fn learns_separable_data() {
         let (x, y) = separable(200);
@@ -202,9 +385,87 @@ mod tests {
         };
         let f1 = RandomForest::fit(&x, &y, &p);
         let f2 = RandomForest::fit(&x, &y, &p);
+        assert_eq!(f1, f2);
         for s in &x {
             assert_eq!(f1.confidence(s), f2.confidence(s));
         }
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        let (x, y) = separable(120);
+        for threads in [2, 3, 8] {
+            let serial = RandomForest::fit(
+                &x,
+                &y,
+                &ForestParams {
+                    threads: 1,
+                    ..ForestParams::default()
+                },
+            );
+            let parallel = RandomForest::fit(
+                &x,
+                &y,
+                &ForestParams {
+                    threads,
+                    ..ForestParams::default()
+                },
+            );
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn matrix_fit_matches_vec_fit() {
+        let (x, y) = separable(90);
+        let buf = flat(&x);
+        let rows = RowsView::new(&buf, 2);
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let p = ForestParams::default();
+        let owned = RandomForest::fit(&x, &y, &p);
+        let matrix = RandomForest::fit_matrix(rows, &idx, &y, &p);
+        assert_eq!(owned, matrix);
+    }
+
+    #[test]
+    fn score_matches_confidence_and_proba() {
+        let (x, y) = separable(60);
+        let f = RandomForest::fit(&x, &y, &ForestParams::default());
+        for s in &x {
+            let (c, p) = f.score(s);
+            assert_eq!(c, f.confidence(s));
+            assert_eq!(p, f.mean_proba(s));
+        }
+    }
+
+    #[test]
+    fn batch_scores_match_single_sample_apis_at_any_thread_count() {
+        let (x, y) = separable(700); // > PREDICT_CHUNK rows
+        let f = RandomForest::fit(&x, &y, &ForestParams::default());
+        let buf = flat(&x);
+        let rows = RowsView::new(&buf, 2);
+        let idx: Vec<usize> = (0..x.len()).rev().collect();
+        let expected: Vec<(f64, f64)> = idx.iter().map(|&i| f.score(&x[i])).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                f.score_batch(rows, &idx, threads),
+                expected,
+                "threads = {threads}"
+            );
+        }
+        let conf: Vec<f64> = expected.iter().map(|&(c, _)| c).collect();
+        let proba: Vec<f64> = expected.iter().map(|&(_, p)| p).collect();
+        assert_eq!(f.confidence_batch(rows, &idx, 2), conf);
+        assert_eq!(f.proba_batch(rows, &idx, 2), proba);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (x, y) = separable(20);
+        let f = RandomForest::fit(&x, &y, &ForestParams::default());
+        let buf = flat(&x);
+        let rows = RowsView::new(&buf, 2);
+        assert!(f.score_batch(rows, &[], 4).is_empty());
     }
 
     #[test]

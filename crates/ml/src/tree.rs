@@ -4,7 +4,16 @@
 //! At each split a random subset of features is considered (the random
 //! forest's decorrelation device); single trees can pass
 //! `features_per_split = all`.
+//!
+//! Training is generic over [`Samples`](crate::data::Samples): the same
+//! growing core fits owned `Vec<f64>` rows and index slices into a shared
+//! flat matrix (the forest's clone-free bootstrap path). Because splits
+//! are only placed between *distinct* sorted feature values, a node's
+//! subtree depends on the multiset of its samples, not their order — so
+//! passing bootstrap picks directly as the root index list yields the
+//! same tree as materializing the resampled rows.
 
+use crate::data::{Samples, VecSamples};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -29,7 +38,16 @@ impl Default for TreeParams {
     }
 }
 
-#[derive(Debug, Clone)]
+/// Reusable per-worker buffers for tree growth: the feature-subset list
+/// and the sorted `(value, label)` column. One scratch per fitting thread
+/// keeps the hot refit loop allocation-free across nodes and trees.
+#[derive(Debug, Default)]
+pub(crate) struct TreeScratch {
+    features: Vec<usize>,
+    column: Vec<(f64, bool)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         /// Fraction of positive training samples reaching this leaf.
@@ -46,7 +64,7 @@ enum Node {
 }
 
 /// A trained binary decision tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
     nodes: Vec<Node>,
     n_features: usize,
@@ -60,13 +78,31 @@ impl DecisionTree {
     pub fn fit(x: &[Vec<f64>], y: &[bool], params: &TreeParams, rng: &mut StdRng) -> Self {
         assert_eq!(x.len(), y.len(), "feature/label length mismatch");
         assert!(!x.is_empty(), "cannot fit a tree on zero samples");
-        let n_features = x[0].len();
+        let idx: Vec<usize> = (0..x.len()).collect();
+        Self::fit_samples(
+            &VecSamples { x, y },
+            idx,
+            params,
+            rng,
+            &mut TreeScratch::default(),
+        )
+    }
+
+    /// Fits a tree on the samples selected by `idx` (duplicates allowed —
+    /// this is how bootstrap resampling enters without cloning rows).
+    pub(crate) fn fit_samples<S: Samples>(
+        samples: &S,
+        idx: Vec<usize>,
+        params: &TreeParams,
+        rng: &mut StdRng,
+        scratch: &mut TreeScratch,
+    ) -> Self {
+        assert!(!idx.is_empty(), "cannot fit a tree on zero samples");
         let mut tree = DecisionTree {
             nodes: Vec::new(),
-            n_features,
+            n_features: samples.n_features(),
         };
-        let idx: Vec<usize> = (0..x.len()).collect();
-        tree.grow(x, y, idx, 0, params, rng);
+        tree.grow(samples, idx, 0, params, rng, scratch);
         tree
     }
 
@@ -123,34 +159,36 @@ impl DecisionTree {
     }
 
     /// Grows the subtree for `idx`, returning its node index.
-    fn grow(
+    fn grow<S: Samples>(
         &mut self,
-        x: &[Vec<f64>],
-        y: &[bool],
+        samples: &S,
         idx: Vec<usize>,
         depth: usize,
         params: &TreeParams,
         rng: &mut StdRng,
+        scratch: &mut TreeScratch,
     ) -> usize {
-        let positives = idx.iter().filter(|&&i| y[i]).count();
+        let positives = idx.iter().filter(|&&i| samples.label(i)).count();
         let prob = positives as f64 / idx.len() as f64;
         let pure = positives == 0 || positives == idx.len();
         if pure || depth >= params.max_depth || idx.len() < params.min_samples_split {
             self.nodes.push(Node::Leaf { prob });
             return self.nodes.len() - 1;
         }
-        let Some((feature, threshold)) = self.best_split(x, y, &idx, params, rng) else {
+        let Some((feature, threshold)) = self.best_split(samples, &idx, params, rng, scratch)
+        else {
             self.nodes.push(Node::Leaf { prob });
             return self.nodes.len() - 1;
         };
-        let (li, ri): (Vec<usize>, Vec<usize>) =
-            idx.into_iter().partition(|&i| x[i][feature] <= threshold);
+        let (li, ri): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| samples.feature(i, feature) <= threshold);
         debug_assert!(!li.is_empty() && !ri.is_empty());
         // Reserve a slot for this split node before growing children.
         let at = self.nodes.len();
         self.nodes.push(Node::Leaf { prob }); // placeholder
-        let left = self.grow(x, y, li, depth + 1, params, rng);
-        let right = self.grow(x, y, ri, depth + 1, params, rng);
+        let left = self.grow(samples, li, depth + 1, params, rng, scratch);
+        let right = self.grow(samples, ri, depth + 1, params, rng, scratch);
         self.nodes[at] = Node::Split {
             feature,
             threshold,
@@ -162,15 +200,17 @@ impl DecisionTree {
 
     /// The `(feature, threshold)` minimizing weighted Gini impurity over a
     /// random feature subset; `None` if no split separates the samples.
-    fn best_split(
+    fn best_split<S: Samples>(
         &self,
-        x: &[Vec<f64>],
-        y: &[bool],
+        samples: &S,
         idx: &[usize],
         params: &TreeParams,
         rng: &mut StdRng,
+        scratch: &mut TreeScratch,
     ) -> Option<(usize, f64)> {
-        let mut features: Vec<usize> = (0..self.n_features).collect();
+        let TreeScratch { features, column } = scratch;
+        features.clear();
+        features.extend(0..self.n_features);
         let take = if params.features_per_split == 0 {
             self.n_features
         } else {
@@ -183,10 +223,12 @@ impl DecisionTree {
 
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
         let total = idx.len() as f64;
-        let mut column: Vec<(f64, bool)> = Vec::with_capacity(idx.len());
-        for &f in &features {
+        for &f in features.iter() {
             column.clear();
-            column.extend(idx.iter().map(|&i| (x[i][f], y[i])));
+            column.extend(
+                idx.iter()
+                    .map(|&i| (samples.feature(i, f), samples.label(i))),
+            );
             column.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
             let total_pos = column.iter().filter(|(_, l)| *l).count() as f64;
             let mut left_n = 0f64;
@@ -307,8 +349,44 @@ mod tests {
         };
         let t1 = DecisionTree::fit(&x, &y, &p, &mut StdRng::seed_from_u64(3));
         let t2 = DecisionTree::fit(&x, &y, &p, &mut StdRng::seed_from_u64(3));
+        assert_eq!(t1, t2);
         for s in &x {
             assert_eq!(t1.predict_proba(s), t2.predict_proba(s));
         }
+    }
+
+    #[test]
+    fn matrix_samples_match_owned_rows() {
+        // The same data through the flat-matrix path (with an index
+        // mapping that shuffles row storage order) must grow the same
+        // tree as the owned-row path.
+        use crate::data::{MatrixSamples, RowsView};
+        let x: Vec<Vec<f64>> = (0..24)
+            .map(|i| vec![(i % 5) as f64, ((i * 3) % 7) as f64])
+            .collect();
+        let y: Vec<bool> = (0..24).map(|i| (i % 5) >= 2).collect();
+        let owned = DecisionTree::fit(&x, &y, &TreeParams::default(), &mut rng());
+
+        // Store rows back-to-front in the flat buffer; idx maps sample
+        // position to its storage row.
+        let n = x.len();
+        let mut buf = vec![0.0; n * 2];
+        for (i, row) in x.iter().enumerate() {
+            buf[(n - 1 - i) * 2..(n - i) * 2].copy_from_slice(row);
+        }
+        let idx: Vec<usize> = (0..n).map(|i| n - 1 - i).collect();
+        let samples = MatrixSamples {
+            rows: RowsView::new(&buf, 2),
+            idx: &idx,
+            y: &y,
+        };
+        let flat = DecisionTree::fit_samples(
+            &samples,
+            (0..n).collect(),
+            &TreeParams::default(),
+            &mut rng(),
+            &mut TreeScratch::default(),
+        );
+        assert_eq!(owned, flat);
     }
 }
