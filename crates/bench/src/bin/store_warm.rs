@@ -1,0 +1,218 @@
+//! Warm-start bench: measures the end-to-end debugging pipeline cold
+//! (empty artifact store, everything computed and published) versus warm
+//! (same store, tokenization and the whole joint top-k stage loaded from
+//! disk), and writes `BENCH_store.json` (`mc-bench-store/v1`).
+//!
+//! Per profile the bin opens a store directory, runs the full pipeline
+//! once (the *cold* leg on a fresh directory), then runs it `--runs`
+//! more times and keeps the best repetition as the *warm* leg. Both legs
+//! must produce identical debug reports — the bin asserts the ranked
+//! confirmed-match list and recall numbers match bit for bit.
+//!
+//! Flags:
+//!
+//! * `--store DIR` — use (and keep) a shared store directory instead of
+//!   a fresh temp dir. Running the bin twice with the same `DIR` makes
+//!   the second process's first leg warm too — CI uses this for its
+//!   cross-process warm-start smoke;
+//! * `--assert-warm` — require that the *first* leg already hits the
+//!   store (only meaningful on the second run over a shared `--store`);
+//! * `--scale X`, `--seed N`, `--runs N`, `--out PATH` — as in the other
+//!   bench bins. Set `MC_BENCH_SMOKE=1` for a shrunk CI smoke run.
+//!
+//! `cargo run --release -p mc-bench --bin store_warm [--scale X]
+//!  [--runs N] [--store DIR] [--assert-warm] [--out PATH]`
+
+use matchcatcher::debugger::{DebugReport, MatchCatcher};
+use matchcatcher::oracle::GoldOracle;
+use mc_bench::blockers::best_hash_blocker;
+use mc_bench::harness::paper_params;
+use mc_datagen::profiles::DatasetProfile;
+use mc_obs::MetricsSnapshot;
+use mc_store::StoreConfig;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct ProfileReport {
+    name: String,
+    scale: f64,
+    cold_us: u64,
+    warm_us: u64,
+    cold_hits: u64,
+    cold_publishes: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+}
+
+/// The result-bearing fields both legs must agree on.
+fn fingerprint(r: &DebugReport) -> (Vec<(u32, u32)>, usize, usize, usize) {
+    (r.confirmed_matches.clone(), r.e_size, r.q_used, r.labeled)
+}
+
+fn run_profile(
+    profile: DatasetProfile,
+    scale: f64,
+    seed: u64,
+    runs: usize,
+    store_dir: &Path,
+    assert_warm: bool,
+) -> ProfileReport {
+    let ds = profile.generate_scaled(seed, scale);
+    let blocker = match profile {
+        DatasetProfile::FodorsZagats => {
+            mc_blocking::Blocker::Hash(mc_blocking::KeyFunc::Attr(ds.a.schema().expect_id("city")))
+        }
+        _ => best_hash_blocker(profile, ds.a.schema()),
+    };
+    let c = blocker.apply(&ds.a, &ds.b);
+
+    let mut params = paper_params();
+    params.store = Some(StoreConfig::at(store_dir));
+    let mc = MatchCatcher::new(params);
+
+    let leg = || {
+        let mut oracle = GoldOracle::exact(&ds.gold);
+        let base = MetricsSnapshot::capture();
+        let start = Instant::now();
+        let report = mc.run(&ds.a, &ds.b, &c, &mut oracle);
+        let us = start.elapsed().as_micros() as u64;
+        let delta = MetricsSnapshot::capture().since(&base);
+        (us, report, delta)
+    };
+
+    let (cold_us, cold_report, cold_delta) = leg();
+    let cold_hits = cold_delta.counter("mc.store.hits");
+    if assert_warm {
+        assert!(
+            cold_hits > 0,
+            "{}: --assert-warm but the first leg hit the store 0 times \
+             (is --store pointing at the directory of a previous run?)",
+            ds.name
+        );
+    }
+
+    let mut best: Option<(u64, MetricsSnapshot)> = None;
+    for _ in 0..runs.max(1) {
+        let (us, report, delta) = leg();
+        assert_eq!(
+            fingerprint(&cold_report),
+            fingerprint(&report),
+            "{}: warm report diverged from cold",
+            ds.name
+        );
+        assert!(
+            delta.counter("mc.store.hits") > 0,
+            "{}: warm leg hit the store 0 times",
+            ds.name
+        );
+        if best.as_ref().is_none_or(|(b, _)| us < *b) {
+            best = Some((us, delta));
+        }
+    }
+    let (warm_us, warm_delta) = best.expect("at least one warm run");
+
+    ProfileReport {
+        name: ds.name.clone(),
+        scale,
+        cold_us,
+        warm_us,
+        cold_hits,
+        cold_publishes: cold_delta.counter("mc.store.publishes"),
+        warm_hits: warm_delta.counter("mc.store.hits"),
+        warm_misses: warm_delta.counter("mc.store.misses"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let smoke = std::env::var_os("MC_BENCH_SMOKE").is_some();
+    let default_scale = if smoke { 0.2 } else { 1.0 };
+    let scale: f64 = get("--scale").map_or(default_scale, |v| v.parse().expect("bad --scale"));
+    let seed: u64 = get("--seed").map_or(7, |v| v.parse().expect("bad --seed"));
+    let runs: usize = get("--runs").map_or(if smoke { 1 } else { 3 }, |v| {
+        v.parse().expect("bad --runs")
+    });
+    let out_path = get("--out").unwrap_or("BENCH_store.json");
+    let assert_warm = args.iter().any(|a| a == "--assert-warm");
+    // A shared --store dir persists across invocations; the default is a
+    // fresh per-process temp dir, removed on exit.
+    let (store_dir, ephemeral) = match get("--store") {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => (
+            std::env::temp_dir().join(format!("mc-store-bench-{}", std::process::id())),
+            true,
+        ),
+    };
+
+    let reports = [
+        run_profile(
+            DatasetProfile::FodorsZagats,
+            scale.min(1.0),
+            seed,
+            runs,
+            &store_dir,
+            assert_warm,
+        ),
+        run_profile(
+            DatasetProfile::AmazonGoogle,
+            0.25 * scale,
+            seed,
+            runs,
+            &store_dir,
+            assert_warm,
+        ),
+    ];
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"mc-bench-store/v1\",\n  \"profiles\": [");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\"name\": \"{}\", \"scale\": {}, \"cold_us\": {}, \"warm_us\": {}, \
+             \"speedup\": {:.2}, \"store\": {{\"cold_hits\": {}, \"cold_publishes\": {}, \
+             \"warm_hits\": {}, \"warm_misses\": {}}}}}",
+            r.name,
+            r.scale,
+            r.cold_us,
+            r.warm_us,
+            r.cold_us as f64 / r.warm_us.max(1) as f64,
+            r.cold_hits,
+            r.cold_publishes,
+            r.warm_hits,
+            r.warm_misses
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write BENCH_store.json");
+
+    println!(
+        "{:<16} {:>8} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "dataset", "scale", "cold", "warm", "speedup", "warm-hits", "publishes"
+    );
+    for r in &reports {
+        println!(
+            "{:<16} {:>8.2} {:>10.2}ms {:>10.2}ms {:>7.2}x {:>10} {:>10}",
+            r.name,
+            r.scale,
+            r.cold_us as f64 / 1e3,
+            r.warm_us as f64 / 1e3,
+            r.cold_us as f64 / r.warm_us.max(1) as f64,
+            r.warm_hits,
+            r.cold_publishes
+        );
+    }
+    println!("wrote {out_path}");
+}

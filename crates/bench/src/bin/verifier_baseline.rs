@@ -71,7 +71,7 @@ fn run_profile(
         params.joint.threads = threads;
         params.verifier.forest.threads = threads;
     }
-    let mc = MatchCatcher::new(params);
+    let mc = MatchCatcher::new(params.clone());
     let prepared = mc.prepare(&ds.a, &ds.b);
     let joint = mc.topk(&prepared, &c);
     let union = CandidateUnion::build(&joint.lists);

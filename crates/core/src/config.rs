@@ -81,6 +81,12 @@ impl Config {
     pub fn mask(self) -> u32 {
         self.mask
     }
+
+    /// Config from a raw bitmask previously obtained from
+    /// [`Config::mask`] (store artifacts round-trip configs this way).
+    pub fn from_mask(mask: u32) -> Config {
+        Config { mask }
+    }
 }
 
 /// The promising attribute set `T` with the statistics config generation

@@ -13,11 +13,16 @@
 use crate::config::{Config, ConfigGenerator, ConfigGeneratorParams, ConfigTree, PromisingAttrs};
 use crate::explain::{explain_match, summarize_problems, MatchExplanation};
 use crate::features::FeatureExtractor;
-use crate::joint::{run_joint, CandidateUnion, JointOutput, JointParams};
+use crate::joint::{
+    build_arenas, run_joint, run_joint_with_arenas, CandidateUnion, JointOutput, JointParams,
+};
 use crate::oracle::Oracle;
 use crate::ssj::TopKList;
-use crate::verify::{run_verifier, IterationRecord, VerifierParams};
+use crate::store_io;
+use crate::verify::{run_verifier, IterationRecord, VerifierParams, VerifyOutcome};
 use mc_obs::MetricsSnapshot;
+use mc_store::{ArtifactKind, Digest, Store, StoreConfig};
+use mc_strsim::arena::RecordArena;
 use mc_strsim::dict::TokenizedTable;
 use mc_strsim::tokenize::Tokenizer;
 use mc_table::{split_pair_key, AttrId, PairSet, Table, TupleId};
@@ -30,7 +35,7 @@ use std::time::Duration;
 /// shown per verifier iteration (§5, [`VerifierParams::n_per_iter`]), with
 /// one worker per core. Use [`DebuggerParams::small`] for unit tests and
 /// tiny examples.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DebuggerParams {
     /// Config-generation parameters (§3).
     pub config: ConfigGeneratorParams,
@@ -40,6 +45,15 @@ pub struct DebuggerParams {
     /// Verifier parameters (§5). `verifier.n_per_iter` is the paper's
     /// `n = 20`.
     pub verifier: VerifierParams,
+    /// Optional persistent artifact store for warm-start sessions.
+    /// When set, [`MatchCatcher::run`] consults the store before
+    /// tokenizing, building arenas, or executing the joint stage, and
+    /// publishes the artifacts it had to compute. A warm hit on the
+    /// candidate union produces a byte-identical ranked `D` while
+    /// skipping tokenization and every join. An unusable or corrupt
+    /// store silently degrades to a cold run (`mc.store.*` counters
+    /// record what happened).
+    pub store: Option<StoreConfig>,
 }
 
 impl DebuggerParams {
@@ -143,6 +157,15 @@ pub struct NoopObserver;
 
 impl RunObserver for NoopObserver {}
 
+/// Counts a decode failure: the artifact passed the store's checksum but
+/// failed structural validation. Treated as a miss.
+fn decoded<T>(out: Option<T>) -> Option<T> {
+    if out.is_none() {
+        mc_obs::counter!("mc.store.decode_failed").inc();
+    }
+    out
+}
+
 /// Runs `f` inside the stage's span, notifying the observer with the
 /// metrics delta the stage accrued.
 fn observed<T>(observer: &mut dyn RunObserver, stage: Stage, f: impl FnOnce() -> T) -> T {
@@ -211,7 +234,7 @@ impl DebugReport {
 }
 
 /// The debugger.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MatchCatcher {
     /// Tuning parameters.
     pub params: DebuggerParams,
@@ -256,15 +279,216 @@ impl MatchCatcher {
     }
 
     fn prepare_from_promising(&self, a: &Table, b: &Table, promising: PromisingAttrs) -> Prepared {
+        self.prepare_from_promising_cached(a, b, promising, None).0
+    }
+
+    /// Opens the configured artifact store, if any. A store that cannot
+    /// be opened (unwritable root, foreign marker) must never break a
+    /// debugging run: it is counted and ignored.
+    fn open_store(&self) -> Option<Store> {
+        let config = self.params.store.as_ref()?;
+        match Store::open(config) {
+            Ok(s) => Some(s),
+            Err(_) => {
+                mc_obs::counter!("mc.store.open_failed").inc();
+                None
+            }
+        }
+    }
+
+    /// Store-aware [`MatchCatcher::prepare`]: on a tokenization-artifact
+    /// hit the `mc.strsim.dict.build` pass is skipped entirely. Returns
+    /// the tokenization cache key when a store is active, so later
+    /// stages can derive their own keys from it.
+    fn prepare_cached(
+        &self,
+        a: &Table,
+        b: &Table,
+        store: Option<&Store>,
+    ) -> (Prepared, Option<Digest>) {
+        let generator = ConfigGenerator::new(self.params.config);
+        let promising = generator.promising(a, b);
+        assert!(
+            !promising.attrs.is_empty(),
+            "no promising attributes — tables have no usable string/categorical columns"
+        );
+        self.prepare_from_promising_cached(a, b, promising, store)
+    }
+
+    fn prepare_from_promising_cached(
+        &self,
+        a: &Table,
+        b: &Table,
+        promising: PromisingAttrs,
+        store: Option<&Store>,
+    ) -> (Prepared, Option<Digest>) {
         let generator = ConfigGenerator::new(self.params.config);
         let tree = generator.build_tree(&promising);
-        let (tok_a, tok_b, _) = TokenizedTable::build_pair(a, b, &promising.attrs, Tokenizer::Word);
-        Prepared {
-            promising,
-            tree,
-            tok_a,
-            tok_b,
+        let key = store.map(|_| {
+            store_io::tok_key(
+                a.content_digest(),
+                b.content_digest(),
+                &promising.attrs,
+                Tokenizer::Word,
+            )
+        });
+        let cached = match (store, key) {
+            (Some(s), Some(k)) => s
+                .load(ArtifactKind::Tokenization, k)
+                .and_then(|bytes| decoded(store_io::decode_tokenization(&bytes)))
+                .and_then(|(_, ta, tb)| {
+                    // Belt and braces against key collisions / mis-set
+                    // source digests: the shape must match the inputs.
+                    let n = promising.attrs.len();
+                    (ta.rows() == a.len()
+                        && tb.rows() == b.len()
+                        && ta.attr_count() == n
+                        && tb.attr_count() == n)
+                        .then_some((ta, tb))
+                }),
+            _ => None,
+        };
+        let (tok_a, tok_b) = cached.unwrap_or_else(|| {
+            let (tok_a, tok_b, order) =
+                TokenizedTable::build_pair(a, b, &promising.attrs, Tokenizer::Word);
+            if let (Some(s), Some(k)) = (store, key) {
+                s.publish(
+                    ArtifactKind::Tokenization,
+                    k,
+                    &store_io::encode_tokenization(&order, &tok_a, &tok_b),
+                );
+            }
+            (tok_a, tok_b)
+        });
+        (
+            Prepared {
+                promising,
+                tree,
+                tok_a,
+                tok_b,
+            },
+            key,
+        )
+    }
+
+    /// Per-config record arenas, preferring store artifacts. With no
+    /// hits the whole set is built in parallel (the cold
+    /// `mc.core.joint.build_arenas` path) and published; partial hits —
+    /// possible after a gc evicted some files — fill only the gaps.
+    fn assemble_arenas(
+        &self,
+        prepared: &Prepared,
+        store: Option<&Store>,
+        tok: Option<Digest>,
+    ) -> Vec<(RecordArena, RecordArena)> {
+        let configs = prepared.tree.configs();
+        let threads = if self.params.joint.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |p| p.get())
+        } else {
+            self.params.joint.threads
+        };
+        let (s, tok) = match (store, tok) {
+            (Some(s), Some(tok)) => (s, tok),
+            _ => return build_arenas(&prepared.tok_a, &prepared.tok_b, &configs, threads),
+        };
+        let keys: Vec<(Digest, Digest)> = configs
+            .iter()
+            .map(|c| {
+                let pos = c.positions();
+                (
+                    store_io::arena_key(tok, 0, &pos),
+                    store_io::arena_key(tok, 1, &pos),
+                )
+            })
+            .collect();
+        let mut out: Vec<Option<(RecordArena, RecordArena)>> = keys
+            .iter()
+            .map(|&(ka, kb)| {
+                let la = s
+                    .load(ArtifactKind::Arena, ka)
+                    .and_then(|b| decoded(store_io::decode_arena(&b)))?;
+                let lb = s
+                    .load(ArtifactKind::Arena, kb)
+                    .and_then(|b| decoded(store_io::decode_arena(&b)))?;
+                (la.len() == prepared.tok_a.rows() && lb.len() == prepared.tok_b.rows())
+                    .then_some((la, lb))
+            })
+            .collect();
+        if out.iter().all(Option::is_none) {
+            let built = build_arenas(&prepared.tok_a, &prepared.tok_b, &configs, threads);
+            for (pair, &(ka, kb)) in built.iter().zip(&keys) {
+                s.publish(ArtifactKind::Arena, ka, &store_io::encode_arena(&pair.0));
+                s.publish(ArtifactKind::Arena, kb, &store_io::encode_arena(&pair.1));
+            }
+            return built;
         }
+        for (i, slot) in out.iter_mut().enumerate() {
+            if slot.is_none() {
+                let pos = configs[i].positions();
+                let pair = (
+                    RecordArena::from_tokenized(&prepared.tok_a, &pos),
+                    RecordArena::from_tokenized(&prepared.tok_b, &pos),
+                );
+                let (ka, kb) = keys[i];
+                s.publish(ArtifactKind::Arena, ka, &store_io::encode_arena(&pair.0));
+                s.publish(ArtifactKind::Arena, kb, &store_io::encode_arena(&pair.1));
+                *slot = Some(pair);
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("all slots filled"))
+            .collect()
+    }
+
+    /// Store-aware top-k stage. A candidate-union hit returns without
+    /// touching arenas or running a single join; a miss runs the joint
+    /// stage over (possibly restored) arenas and publishes the result.
+    fn topk_cached(
+        &self,
+        prepared: &Prepared,
+        c: &PairSet,
+        store: Option<&Store>,
+        tok: Option<Digest>,
+    ) -> (Vec<Config>, usize, CandidateUnion) {
+        let ukey = match (store, tok) {
+            (Some(_), Some(t)) => Some(store_io::union_key(
+                t,
+                &prepared.tree,
+                &self.params.joint,
+                c,
+            )),
+            _ => None,
+        };
+        if let (Some(s), Some(k)) = (store, ukey) {
+            if let Some((configs, q_used, union)) = s
+                .load(ArtifactKind::CandidateUnion, k)
+                .and_then(|bytes| decoded(store_io::decode_union(&bytes)))
+            {
+                let expected = prepared.tree.configs();
+                if configs == expected {
+                    return (configs, q_used, union);
+                }
+                mc_obs::counter!("mc.store.decode_failed").inc();
+            }
+        }
+        let arenas = self.assemble_arenas(prepared, store, tok);
+        let out = run_joint_with_arenas(
+            &prepared.tok_a,
+            &prepared.tok_b,
+            c,
+            &prepared.tree,
+            self.params.joint,
+            &arenas,
+        );
+        let union = CandidateUnion::build(&out.lists);
+        if let (Some(s), Some(k)) = (store, ukey) {
+            s.publish(
+                ArtifactKind::CandidateUnion,
+                k,
+                &store_io::encode_union(&out.configs, out.q_used, &union),
+            );
+        }
+        (out.configs, out.q_used, union)
     }
 
     /// Stage 2: joint top-k joins over all configs, excluding pairs in
@@ -290,8 +514,23 @@ impl MatchCatcher {
         prepared: &Prepared,
         lists: &[TopKList],
         oracle: &mut dyn Oracle,
-    ) -> (CandidateUnion, crate::verify::VerifyOutcome) {
+    ) -> (CandidateUnion, VerifyOutcome) {
         let union = CandidateUnion::build(lists);
+        let outcome = self.verify_union(a, b, prepared, &union, oracle);
+        (union, outcome)
+    }
+
+    /// Like [`MatchCatcher::verify`] but starting from an already-built
+    /// candidate union — the warm-start path, where the union comes from
+    /// the artifact store and no per-config lists exist.
+    pub fn verify_union(
+        &self,
+        a: &Table,
+        b: &Table,
+        prepared: &Prepared,
+        union: &CandidateUnion,
+        oracle: &mut dyn Oracle,
+    ) -> VerifyOutcome {
         let fx = FeatureExtractor::new(
             a,
             b,
@@ -299,8 +538,7 @@ impl MatchCatcher {
             &prepared.tok_a,
             &prepared.tok_b,
         );
-        let outcome = run_verifier(&union, &fx, oracle, &self.params.verifier);
-        (union, outcome)
+        run_verifier(union, &fx, oracle, &self.params.verifier)
     }
 
     /// Runs the full pipeline: prepare → top-k → verify → explain.
@@ -321,11 +559,16 @@ impl MatchCatcher {
         if let Err(e) = self.params.validate() {
             panic!("invalid DebuggerParams: {e}");
         }
+        let store = self.open_store();
         let baseline = MetricsSnapshot::capture();
-        let prepared = observed(observer, Stage::Prepare, || self.prepare(a, b));
-        let joint = observed(observer, Stage::TopK, || self.topk(&prepared, c));
-        let (union, outcome) = observed(observer, Stage::Verify, || {
-            self.verify(a, b, &prepared, &joint.lists, oracle)
+        let (prepared, tok) = observed(observer, Stage::Prepare, || {
+            self.prepare_cached(a, b, store.as_ref())
+        });
+        let (configs, q_used, union) = observed(observer, Stage::TopK, || {
+            self.topk_cached(&prepared, c, store.as_ref(), tok)
+        });
+        let outcome = observed(observer, Stage::Verify, || {
+            self.verify_union(a, b, &prepared, &union, oracle)
         });
 
         let (confirmed, explanations, problems) = observed(observer, Stage::Explain, || {
@@ -342,14 +585,14 @@ impl MatchCatcher {
 
         DebugReport {
             promising: prepared.promising.attrs.clone(),
-            configs: joint.configs,
+            configs,
             e_size: union.len(),
             confirmed_matches: confirmed,
             iterations: outcome.iterations,
             labeled: outcome.labeled,
             explanations,
             problems,
-            q_used: joint.q_used,
+            q_used,
             metrics,
         }
     }

@@ -12,12 +12,29 @@
 //!   Reuse is only engaged when the average record length is at least
 //!   [`JointParams::reuse_min_avg_tokens`] tokens — below that, the
 //!   bookkeeping outweighs the savings.
-//! * **Top-k list reuse** — a child config whose parent has already
-//!   finished re-scores the parent's top-k list under its own config and
-//!   starts from it, raising the pruning threshold immediately.
+//! * **Top-k list reuse** — a child config re-scores its parent's
+//!   finished top-k list under its own config and starts from it,
+//!   raising the pruning threshold immediately.
 //! * **One config per core** — configs are processed breadth-first by a
 //!   pool of workers; splitting a single config across cores suffers from
 //!   skew (§4.2), so parallelism is across configs.
+//!
+//! # Determinism
+//!
+//! Whenever either reuse mechanism involves a parent, the worker that
+//! claims a config first **waits for the parent config to finish**
+//! ([`std::sync::OnceLock::wait`]) instead of opportunistically peeking
+//! at whatever partial state happens to exist. The parent's overlap
+//! database is therefore always complete before any child reads it, so
+//! each pair's hit/miss outcome — and with it the exact floating-point
+//! score path — no longer depends on thread scheduling. Combined with
+//! the deterministic `q` selection in [`select_q`], `run_joint` produces
+//! a **bit-identical** [`JointOutput`] at every thread count.
+//!
+//! The wait cannot deadlock: configs are claimed in increasing index
+//! order from one atomic counter and a parent's index is always smaller
+//! than its child's, so the smallest unfinished config's parent is
+//! already finished and its worker can always make progress.
 //!
 //! The decomposed score `Σ o(f_i, f_j)` equals the exact merged-multiset
 //! overlap whenever no token appears in two different attributes of one
@@ -288,9 +305,24 @@ pub struct JointOutput {
     pub q_used: usize,
 }
 
+/// Resolves the requested worker-thread count against the machine and
+/// the number of configs.
+fn resolve_threads(requested: usize, n_configs: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(4, |p| p.get())
+    } else {
+        requested
+    }
+    .min(n_configs)
+    .max(1)
+}
+
 /// Materializes both sides' flat record arenas for every config, in
 /// parallel, so workers share them by reference (no per-worker clones).
-fn build_arenas(
+///
+/// Public so warm-start callers (`mc-store`) can build — or restore —
+/// arenas themselves and hand them to [`run_joint_with_arenas`].
+pub fn build_arenas(
     tok_a: &TokenizedTable,
     tok_b: &TokenizedTable,
     configs: &[Config],
@@ -325,7 +357,9 @@ fn build_arenas(
 /// Runs one top-k join per config of the tree, jointly.
 ///
 /// `tok_a`/`tok_b` are the promising-attribute tokenizations (shared rank
-/// space); `killed` is the blocker output `C`.
+/// space); `killed` is the blocker output `C`. Builds the per-config
+/// record arenas itself; warm-start callers that restored arenas from an
+/// artifact store should use [`run_joint_with_arenas`] instead.
 pub fn run_joint(
     tok_a: &TokenizedTable,
     tok_b: &TokenizedTable,
@@ -333,9 +367,30 @@ pub fn run_joint(
     tree: &ConfigTree,
     params: JointParams,
 ) -> JointOutput {
+    let configs = tree.configs();
+    let threads = resolve_threads(params.threads, configs.len());
+    let arenas = build_arenas(tok_a, tok_b, &configs, threads);
+    run_joint_with_arenas(tok_a, tok_b, killed, tree, params, &arenas)
+}
+
+/// Runs the joint execution over pre-built per-config record arenas
+/// (`arenas[i]` = `(side A, side B)` for config `i` in tree order, as
+/// [`build_arenas`] produces them).
+///
+/// The output is bit-identical at every thread count (see the module
+/// docs on determinism).
+pub fn run_joint_with_arenas(
+    tok_a: &TokenizedTable,
+    tok_b: &TokenizedTable,
+    killed: &PairSet,
+    tree: &ConfigTree,
+    params: JointParams,
+    arenas: &[(RecordArena, RecordArena)],
+) -> JointOutput {
     let _run_span = mc_obs::span!("mc.core.joint.run");
     let configs = tree.configs();
     let n = configs.len();
+    assert_eq!(arenas.len(), n, "one arena pair per config, in tree order");
 
     // Decide reuse from data shape: average merged length of the root
     // config across both tables.
@@ -360,17 +415,7 @@ pub fn run_joint(
         }
     }
 
-    let threads = if params.threads == 0 {
-        std::thread::available_parallelism().map_or(4, |p| p.get())
-    } else {
-        params.threads
-    }
-    .min(n)
-    .max(1);
-
-    // Flat record arenas for every config, built once (in parallel) and
-    // shared by reference across workers — no per-worker clones.
-    let arenas = build_arenas(tok_a, tok_b, &configs, threads);
+    let threads = resolve_threads(params.threads, n);
 
     // q selection on the root config.
     let (root_a, root_b) = &arenas[0];
@@ -388,8 +433,11 @@ pub fn run_joint(
         ),
     };
 
-    type FinishedList = Mutex<Option<Vec<(f64, u64)>>>;
-    let finished: Vec<FinishedList> = (0..n).map(|_| Mutex::new(None)).collect();
+    // A config's final sorted entries, set exactly once when its join
+    // completes. Children *wait* on their parent's slot (when any reuse
+    // is engaged) rather than peeking, which is what makes the output
+    // schedule-independent — see the module docs.
+    let finished: Vec<OnceLock<Vec<(f64, u64)>>> = (0..n).map(|_| OnceLock::new()).collect();
     let lists: Vec<Mutex<Option<TopKList>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let hits = AtomicUsize::new(0);
@@ -418,6 +466,18 @@ pub fn run_joint(
                     let (records_a, records_b) = &arenas[i];
                     let parent = tree.parent(i);
                     let parent_db = parent.and_then(|p| dbs[p].as_ref());
+                    // Determinism gate: before consulting any parent
+                    // state (overlap DB or top-k seed), block until the
+                    // parent config has fully finished. Its DB is
+                    // populated strictly before its `finished` slot is
+                    // set, so after the wait every read is against
+                    // complete, frozen state.
+                    let parent_final: Option<&Vec<(f64, u64)>> = match parent {
+                        Some(p) if params.reuse_topk || parent_db.is_some() => {
+                            Some(finished[p].wait())
+                        }
+                        _ => None,
+                    };
                     let parent_slots = parent_db.map_or_else(Vec::new, |db| {
                         config
                             .positions()
@@ -444,12 +504,11 @@ pub fn run_joint(
                     // Top-k seeding: adopt the parent's finished list,
                     // re-scored under this config.
                     let seed: Vec<(f64, u64)> = if params.reuse_topk {
-                        parent
-                            .and_then(|p| finished[p].lock().clone())
+                        parent_final
                             .map(|entries| {
                                 entries
-                                    .into_iter()
-                                    .map(|(_, key)| {
+                                    .iter()
+                                    .map(|&(_, key)| {
                                         let (a, b) = split_pair_key(key);
                                         let s = scorer.score(
                                             a,
@@ -484,7 +543,9 @@ pub fn run_joint(
                     );
                     hits.fetch_add(scorer.hits.load(Ordering::Relaxed), Ordering::Relaxed);
                     misses.fetch_add(scorer.misses.load(Ordering::Relaxed), Ordering::Relaxed);
-                    *finished[i].lock() = Some(list.sorted_entries());
+                    finished[i]
+                        .set(list.sorted_entries())
+                        .expect("each config finishes exactly once");
                     *lists[i].lock() = Some(list);
                 }
                 mc_obs::counter!("mc.core.joint.configs_executed").add(my_configs);
@@ -650,9 +711,6 @@ mod tests {
             &tree,
             JointParams {
                 k: 20,
-                // Single worker: configs run in tree order, so parents are
-                // guaranteed to have populated H before their children run
-                // (with more workers reuse is opportunistic).
                 threads: 1,
                 reuse_min_avg_tokens: 0.0, // force reuse on
                 ..Default::default()
@@ -725,15 +783,18 @@ mod tests {
 
     #[test]
     fn results_are_thread_count_invariant() {
-        // With q = 1 every config's list is the exact top-k, so worker
-        // count (and hence seeding opportunities) must not change results.
+        // Parent-gated reuse plus deterministic q selection make the
+        // output *bit-identical* across worker counts: same q, same
+        // pairs, same f64 score bits — with every reuse mechanism on
+        // and q chosen empirically.
         let (a, b) = fixture();
         let (ta, tb, tree) = tree_for(&a, &b);
         let killed = PairSet::new();
-        let runs: Vec<Vec<Vec<f64>>> = [1usize, 2, 4]
+        type RunBits = (usize, Vec<Vec<(u64, u64)>>);
+        let runs: Vec<RunBits> = [1usize, 2, 4]
             .iter()
             .map(|&threads| {
-                run_joint(
+                let out = run_joint(
                     &ta,
                     &tb,
                     &killed,
@@ -741,23 +802,33 @@ mod tests {
                     JointParams {
                         k: 12,
                         threads,
+                        q: QStrategy::Auto {
+                            max_q: 3,
+                            prelude_k: 5,
+                        },
                         reuse_min_avg_tokens: 0.0,
                         ..Default::default()
                     },
-                )
-                .lists
-                .iter()
-                .map(|l| l.sorted_scores())
-                .collect()
+                );
+                let lists: Vec<Vec<(u64, u64)>> = out
+                    .lists
+                    .iter()
+                    .map(|l| {
+                        l.sorted_entries()
+                            .into_iter()
+                            .map(|(s, key)| (s.to_bits(), key))
+                            .collect()
+                    })
+                    .collect();
+                (out.q_used, lists)
             })
             .collect();
-        for other in &runs[1..] {
-            for (c, (x, y)) in runs[0].iter().zip(other).enumerate() {
-                assert_eq!(x.len(), y.len(), "config {c}");
-                for (s1, s2) in x.iter().zip(y) {
-                    assert!((s1 - s2).abs() < 1e-9, "config {c}: {s1} vs {s2}");
-                }
-            }
+        for (threads, other) in [2usize, 4].iter().zip(&runs[1..]) {
+            assert_eq!(runs[0].0, other.0, "q_used differs at {threads} threads");
+            assert_eq!(
+                runs[0].1, other.1,
+                "lists not bit-identical at {threads} threads"
+            );
         }
     }
 

@@ -73,6 +73,7 @@ pub mod oracle;
 pub mod pervasive;
 pub mod rank;
 pub mod ssj;
+pub mod store_io;
 pub mod verify;
 
 pub use config::{Config, ConfigGenerator, ConfigTree};

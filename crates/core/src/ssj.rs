@@ -46,7 +46,6 @@ use mc_table::{pair_key, PairSet, TupleId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
 
 /// A totally ordered f64 wrapper (scores are never NaN).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -302,6 +301,12 @@ pub struct JoinScratch {
     states: FxHashMap<u64, PairState>,
     /// The event max-heap.
     heap: BinaryHeap<Event>,
+    /// Heap events processed by the most recent join on this scratch.
+    events: u64,
+    /// Total tokens fed to the scorer by the most recent join (the sum
+    /// of `|ra| + |rb|` over scored pairs — a machine-independent proxy
+    /// for scoring cost).
+    scored_tokens: u64,
 }
 
 impl JoinScratch {
@@ -331,6 +336,21 @@ impl JoinScratch {
         self.heap.clear();
         // At most one outstanding event per record.
         self.heap.reserve(na + nb);
+        self.events = 0;
+        self.scored_tokens = 0;
+    }
+
+    /// Heap events the most recent join on this scratch processed — a
+    /// deterministic, machine-independent cost measure (used by
+    /// [`select_q`]).
+    pub fn last_events(&self) -> u64 {
+        self.events
+    }
+
+    /// Tokens fed to the scorer by the most recent join (`Σ |ra| + |rb|`
+    /// over scored pairs).
+    pub fn last_scored_tokens(&self) -> u64 {
+        self.scored_tokens
     }
 }
 
@@ -339,8 +359,8 @@ impl JoinScratch {
 ///
 /// * `seed` — optional initial entries (a parent config's re-scored top-k
 ///   list, §4.2); seeded pairs are marked scored and never recomputed.
-/// * `cancel` — optional cooperative cancellation flag (used by the
-///   [`select_q`] race); a cancelled join returns its partial list.
+/// * `cancel` — optional cooperative cancellation flag; a cancelled
+///   join returns its partial list.
 pub fn topk_join(
     inst: SsjInstance<'_>,
     params: SsjParams,
@@ -374,6 +394,8 @@ pub fn topk_join_with_scratch(
         postings,
         states,
         heap,
+        events: scratch_events,
+        scored_tokens: scratch_scored_tokens,
     } = scratch;
 
     let mut k_list = TopKList::with_capacity_hint(params.k, seed.len());
@@ -407,6 +429,7 @@ pub fn topk_join_with_scratch(
     let mut n_events = 0u64;
     let mut n_discovered = 0u64;
     let mut n_scored = 0u64;
+    let mut n_scored_tokens = 0u64;
     let mut n_killed_skipped = 0u64;
     let mut n_bound_pruned = 0u64;
 
@@ -479,7 +502,10 @@ pub fn topk_join_with_scratch(
                 if st.common as usize >= params.q {
                     st.scored = true;
                     n_scored += 1;
-                    let s = scorer.score(a, b, inst.records_a.record(a), inst.records_b.record(b));
+                    let ra = inst.records_a.record(a);
+                    let rb = inst.records_b.record(b);
+                    n_scored_tokens += (ra.len() + rb.len()) as u64;
+                    let s = scorer.score(a, b, ra, rb);
                     k_list.insert(s, key);
                 }
             }
@@ -515,6 +541,8 @@ pub fn topk_join_with_scratch(
             }
         }
     }
+    *scratch_events = n_events;
+    *scratch_scored_tokens = n_scored_tokens;
     mc_obs::counter!("mc.core.ssj.events").add(n_events);
     mc_obs::counter!("mc.core.ssj.candidates").add(n_discovered);
     mc_obs::counter!("mc.core.ssj.scored").add(n_scored);
@@ -545,11 +573,16 @@ pub fn brute_force_topk(inst: SsjInstance<'_>, k: usize, measure: SetMeasure) ->
     list
 }
 
-/// Empirical `q` selection (§4.1): race `q ∈ {1, …, max_q}` on threads,
-/// each running the join with a small prelude `k` (the paper uses 50);
-/// the first to finish wins and the others are cancelled. Returns the
-/// winning `q`. Deterministic inputs can instead fix `q` via
-/// [`SsjParams`].
+/// Empirical `q` selection (§4.1), made deterministic. The paper races
+/// `q ∈ {1, …, max_q}` on threads and keeps the first finisher; that
+/// wall-clock race made the chosen `q` — and everything downstream —
+/// depend on OS scheduling. Here every candidate `q` instead runs a
+/// small prelude join (`prelude_k`, the paper uses 50) **to
+/// completion**, still one thread each, and the winner is the `q` whose
+/// prelude was cheapest under a machine-independent cost model:
+/// heap events processed plus tokens fed to the scorer (ties go to the
+/// smaller `q`). Repeated runs at any thread count therefore pick the
+/// same `q`. Deterministic inputs can also fix `q` via [`SsjParams`].
 pub fn select_q(
     inst: SsjInstance<'_>,
     measure: SetMeasure,
@@ -561,35 +594,28 @@ pub fn select_q(
         return 1;
     }
     let _span = mc_obs::span!("mc.core.ssj.select_q");
-    let cancel = AtomicBool::new(false);
-    let winner = std::sync::Mutex::new(None::<(usize, std::time::Duration)>);
-    std::thread::scope(|scope| {
-        for q in 1..=max_q {
-            let cancel = &cancel;
-            let winner = &winner;
-            let scorer = ExactScorer(measure);
-            scope.spawn(move || {
-                let start = Instant::now();
-                let params = SsjParams {
-                    k: prelude_k,
-                    q,
-                    measure,
-                };
-                let _ = topk_join(inst, params, &scorer, &[], Some(cancel));
-                let elapsed = start.elapsed();
-                let mut w = winner.lock().unwrap();
-                if cancel.load(Ordering::Relaxed) {
-                    return; // a winner already finished; we were cancelled
-                }
-                match &*w {
-                    Some((_, t)) if *t <= elapsed => {}
-                    _ => *w = Some((q, elapsed)),
-                }
-                cancel.store(true, Ordering::Relaxed);
-            });
-        }
+    let costs: Vec<(u64, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..=max_q)
+            .map(|q| {
+                let scorer = ExactScorer(measure);
+                scope.spawn(move || {
+                    let params = SsjParams {
+                        k: prelude_k,
+                        q,
+                        measure,
+                    };
+                    let mut scratch = JoinScratch::new();
+                    let _ = topk_join_with_scratch(inst, params, &scorer, &[], None, &mut scratch);
+                    (scratch.last_events() + scratch.last_scored_tokens(), q)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("select_q prelude thread panicked"))
+            .collect()
     });
-    winner.into_inner().unwrap().map_or(1, |(q, _)| q)
+    costs.into_iter().min().map_or(1, |(_, q)| q)
 }
 
 #[cfg(test)]

@@ -1,0 +1,492 @@
+//! Cache-key derivation and artifact codecs for the persistent store.
+//!
+//! This module is the bridge between the pipeline's in-memory state and
+//! `mc-store`'s content-addressed blobs. Three artifact kinds are
+//! persisted (see [`mc_store::ArtifactKind`]):
+//!
+//! * **Tokenization** — the shared token order (`id → rank` table) plus
+//!   both tables' per-attribute sorted rank columns, keyed by the two
+//!   input tables' content digests, the promising attribute list and the
+//!   tokenizer. Loading it skips the `mc.strsim.dict.build` pass
+//!   entirely.
+//! * **Arena** — one side's flat CSR record arena for one config, keyed
+//!   by the tokenization key plus side and config positions.
+//! * **CandidateUnion** — the joint stage's entire output (config masks,
+//!   `q_used`, the deduplicated pair list and per-config score matrix),
+//!   keyed by the tokenization key, the config-tree shape, every
+//!   result-affecting [`JointParams`] field and an order-independent
+//!   digest of the killed set `C`. The worker-thread count is
+//!   deliberately **excluded**: the joint stage is bit-deterministic
+//!   across thread counts (see [`crate::joint`]'s module docs), so a
+//!   union computed with 8 threads is byte-valid for a 1-thread rerun.
+//!
+//! Every decoder returns `Option` and validates structural invariants
+//! (shapes, sortedness, offset monotonicity), so a corrupt artifact that
+//! somehow passed the store's checksum still degrades to a cache miss
+//! rather than a panic.
+
+use crate::config::{Config, ConfigTree};
+use crate::joint::{CandidateUnion, JointParams, QStrategy};
+use mc_store::{ByteReader, ByteWriter, Digest, DigestWriter};
+use mc_strsim::arena::RecordArena;
+use mc_strsim::dict::{TokenOrder, TokenizedTable};
+use mc_strsim::measures::SetMeasure;
+use mc_strsim::tokenize::Tokenizer;
+use mc_table::digest::digest_u64_set;
+use mc_table::{pair_key, AttrId, PairSet, TupleId};
+
+/// Stable tag per measure (keys must not depend on enum declaration
+/// order surviving refactors).
+fn measure_tag(m: SetMeasure) -> u8 {
+    match m {
+        SetMeasure::Jaccard => 0,
+        SetMeasure::Cosine => 1,
+        SetMeasure::Dice => 2,
+        SetMeasure::Overlap => 3,
+    }
+}
+
+/// Stable `(kind, q)` tag per tokenizer.
+fn tokenizer_tag(t: Tokenizer) -> (u8, u8) {
+    match t {
+        Tokenizer::Word => (0, 0),
+        Tokenizer::QGram(q) => (1, q),
+    }
+}
+
+/// Key of the tokenization artifact: input bytes (via the tables'
+/// content digests), the promising attribute list, and the tokenizer.
+pub fn tok_key(
+    digest_a: Digest,
+    digest_b: Digest,
+    attrs: &[AttrId],
+    tokenizer: Tokenizer,
+) -> Digest {
+    let mut w = DigestWriter::new();
+    w.write_str("mc-store/tok/v1");
+    w.write_digest(digest_a);
+    w.write_digest(digest_b);
+    w.write_u64(attrs.len() as u64);
+    for a in attrs {
+        w.write_u32(a.0 as u32);
+    }
+    let (kind, q) = tokenizer_tag(tokenizer);
+    w.write_u8(kind);
+    w.write_u8(q);
+    w.finish()
+}
+
+/// Key of one side's record arena for one config. `side` is 0 for table
+/// A, 1 for table B; `positions` are the config's positions into the
+/// promising set.
+pub fn arena_key(tok: Digest, side: u8, positions: &[usize]) -> Digest {
+    let mut w = DigestWriter::new();
+    w.write_str("mc-store/arena/v1");
+    w.write_digest(tok);
+    w.write_u8(side);
+    w.write_u64(positions.len() as u64);
+    for &p in positions {
+        w.write_u32(p as u32);
+    }
+    w.finish()
+}
+
+/// Key of the joint stage's candidate union. Covers everything that can
+/// change the union — tree shape, `k`, measure, `q` strategy, the reuse
+/// knobs, and the killed set — but **not** the thread count (the joint
+/// stage is bit-deterministic across thread counts).
+pub fn union_key(tok: Digest, tree: &ConfigTree, params: &JointParams, killed: &PairSet) -> Digest {
+    let mut w = DigestWriter::new();
+    w.write_str("mc-store/union/v1");
+    w.write_digest(tok);
+    let configs = tree.configs();
+    w.write_u64(configs.len() as u64);
+    for (i, c) in configs.iter().enumerate() {
+        w.write_u32(c.mask());
+        // Parent links matter: they decide seeding and overlap reuse.
+        w.write_u32(tree.parent(i).map_or(u32::MAX, |p| p as u32));
+    }
+    w.write_u64(params.k as u64);
+    w.write_u8(measure_tag(params.measure));
+    match params.q {
+        QStrategy::Fixed(q) => {
+            w.write_u8(0);
+            w.write_u64(q as u64);
+            w.write_u64(0);
+        }
+        QStrategy::Auto { max_q, prelude_k } => {
+            w.write_u8(1);
+            w.write_u64(max_q as u64);
+            w.write_u64(prelude_k as u64);
+        }
+    }
+    w.write_u8(params.reuse_overlaps as u8);
+    w.write_u8(params.reuse_topk as u8);
+    w.write_f64(params.reuse_min_avg_tokens);
+    // `PairSet` iterates in hash order; fold through the
+    // order-independent set digest so every iteration order keys alike.
+    w.write_digest(digest_u64_set(killed.iter().map(|(a, b)| pair_key(a, b))));
+    w.finish()
+}
+
+/// Writes one CSR column: `offsets` (length `rows + 1`) then the
+/// flattened tokens.
+fn put_csr(w: &mut ByteWriter, records: impl Iterator<Item = impl AsRef<[u32]>>, rows: usize) {
+    let mut offsets = Vec::with_capacity(rows + 1);
+    let mut tokens = Vec::new();
+    offsets.push(0u32);
+    for r in records {
+        tokens.extend_from_slice(r.as_ref());
+        offsets.push(tokens.len() as u32);
+    }
+    w.put_u32_slice(&offsets);
+    w.put_u32_slice(&tokens);
+}
+
+/// Reads one CSR column back into per-record vectors, validating the
+/// offsets invariant and per-record sortedness.
+fn get_csr(r: &mut ByteReader<'_>, rows: usize) -> Option<Vec<Vec<u32>>> {
+    let offsets = r.get_u32_vec()?;
+    let tokens = r.get_u32_vec()?;
+    if offsets.len() != rows + 1 || offsets.first() != Some(&0) {
+        return None;
+    }
+    if *offsets.last()? as usize != tokens.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(rows);
+    for w in offsets.windows(2) {
+        let (lo, hi) = (w[0] as usize, w[1] as usize);
+        if lo > hi {
+            return None;
+        }
+        let rec = &tokens[lo..hi];
+        if rec.windows(2).any(|t| t[0] > t[1]) {
+            return None; // rank vectors must be sorted
+        }
+        out.push(rec.to_vec());
+    }
+    Some(out)
+}
+
+/// Encodes the tokenization artifact: rank table, then each side's
+/// `(rows, attr_count, per-attribute CSR columns)`.
+pub fn encode_tokenization(
+    order: &TokenOrder,
+    tok_a: &TokenizedTable,
+    tok_b: &TokenizedTable,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32_slice(order.rank_table());
+    for tok in [tok_a, tok_b] {
+        w.put_u64(tok.rows() as u64);
+        w.put_u64(tok.attr_count() as u64);
+        for attr in 0..tok.attr_count() {
+            put_csr(
+                &mut w,
+                (0..tok.rows() as TupleId).map(|t| tok.ranks(attr, t)),
+                tok.rows(),
+            );
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a tokenization artifact. `None` on any structural violation.
+pub fn decode_tokenization(bytes: &[u8]) -> Option<(TokenOrder, TokenizedTable, TokenizedTable)> {
+    let mut r = ByteReader::new(bytes);
+    let rank_table = r.get_u32_vec()?;
+    let mut sides = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let rows = usize::try_from(r.get_u64()?).ok()?;
+        let attr_count = usize::try_from(r.get_u64()?).ok()?;
+        if attr_count > 32 {
+            return None; // configs are 32-bit masks; more attrs is garbage
+        }
+        let mut cols = Vec::with_capacity(attr_count);
+        for _ in 0..attr_count {
+            cols.push(get_csr(&mut r, rows)?);
+        }
+        sides.push(TokenizedTable::from_columns(cols, rows)?);
+    }
+    if !r.is_exhausted() {
+        return None;
+    }
+    let tok_b = sides.pop()?;
+    let tok_a = sides.pop()?;
+    Some((TokenOrder::from_rank_table(rank_table), tok_a, tok_b))
+}
+
+/// Encodes one record arena (tokens + offsets, both raw CSR parts).
+pub fn encode_arena(arena: &RecordArena) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32_slice(arena.tokens());
+    w.put_u32_slice(arena.offsets());
+    w.into_bytes()
+}
+
+/// Decodes a record arena; validation happens in
+/// [`RecordArena::from_parts`].
+pub fn decode_arena(bytes: &[u8]) -> Option<RecordArena> {
+    let mut r = ByteReader::new(bytes);
+    let tokens = r.get_u32_vec()?;
+    let offsets = r.get_u32_vec()?;
+    if !r.is_exhausted() {
+        return None;
+    }
+    RecordArena::from_parts(tokens, offsets)
+}
+
+/// Encodes the joint stage's output: `q_used`, config masks, the pair
+/// list, and per-config scores as a presence bitmap plus the present
+/// `f64` bit patterns (scores round-trip bit-exactly).
+pub fn encode_union(configs: &[Config], q_used: usize, union: &CandidateUnion) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(q_used as u64);
+    let masks: Vec<u32> = configs.iter().map(|c| c.mask()).collect();
+    w.put_u32_slice(&masks);
+    w.put_u64(union.pairs.len() as u64);
+    for &p in &union.pairs {
+        w.put_u64(p);
+    }
+    for row in &union.scores {
+        let mut bitmap = vec![0u8; union.pairs.len().div_ceil(8)];
+        for (i, s) in row.iter().enumerate() {
+            if s.is_some() {
+                bitmap[i / 8] |= 1 << (i % 8);
+            }
+        }
+        w.put_bytes(&bitmap);
+        for s in row.iter().flatten() {
+            w.put_f64(*s);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a candidate-union artifact into `(configs, q_used, union)`.
+pub fn decode_union(bytes: &[u8]) -> Option<(Vec<Config>, usize, CandidateUnion)> {
+    let mut r = ByteReader::new(bytes);
+    let q_used = usize::try_from(r.get_u64()?).ok()?;
+    if q_used == 0 {
+        return None;
+    }
+    let configs: Vec<Config> = r
+        .get_u32_vec()?
+        .into_iter()
+        .map(Config::from_mask)
+        .collect();
+    let n_pairs = usize::try_from(r.get_u64()?).ok()?;
+    // A pair is ≥ 17 encoded bytes (8 + bitmap + score shares), so this
+    // cap only rejects payloads that lie about their own length.
+    if n_pairs > bytes.len() {
+        return None;
+    }
+    let mut pairs = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        pairs.push(r.get_u64()?);
+    }
+    let mut scores = Vec::with_capacity(configs.len());
+    for _ in 0..configs.len() {
+        let bitmap = r.get_bytes()?;
+        if bitmap.len() != n_pairs.div_ceil(8) {
+            return None;
+        }
+        let mut row = Vec::with_capacity(n_pairs);
+        for i in 0..n_pairs {
+            if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+                row.push(Some(r.get_f64()?));
+            } else {
+                row.push(None);
+            }
+        }
+        scores.push(row);
+    }
+    if !r.is_exhausted() {
+        return None;
+    }
+    Some((configs, q_used, CandidateUnion { pairs, scores }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_strsim::dict::TokenizedTable;
+    use mc_table::{Schema, Table, Tuple};
+    use std::sync::Arc;
+
+    fn tok_pair() -> (TokenOrder, TokenizedTable, TokenizedTable) {
+        let schema = Arc::new(Schema::from_names(["name", "city"]));
+        let mut a = Table::new("A", Arc::clone(&schema));
+        a.push(Tuple::from_present(["dave smith", "atlanta"]));
+        a.push(Tuple::new(vec![None, Some("ny ny".into())]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["david smith", "atlanta"]));
+        let attrs = [AttrId(0), AttrId(1)];
+        let (ta, tb, order) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        (order, ta, tb)
+    }
+
+    #[test]
+    fn tokenization_roundtrip_preserves_every_rank_vector() {
+        let (order, ta, tb) = tok_pair();
+        let bytes = encode_tokenization(&order, &ta, &tb);
+        let (order2, ta2, tb2) = decode_tokenization(&bytes).expect("roundtrip");
+        assert_eq!(order.rank_table(), order2.rank_table());
+        for (orig, redone) in [(&ta, &ta2), (&tb, &tb2)] {
+            assert_eq!(orig.rows(), redone.rows());
+            assert_eq!(orig.attr_count(), redone.attr_count());
+            for attr in 0..orig.attr_count() {
+                for t in 0..orig.rows() as TupleId {
+                    assert_eq!(orig.ranks(attr, t), redone.ranks(attr, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tokenization_decode_rejects_trailing_garbage_and_unsorted_ranks() {
+        let (order, ta, tb) = tok_pair();
+        let mut bytes = encode_tokenization(&order, &ta, &tb);
+        bytes.push(0);
+        assert!(decode_tokenization(&bytes).is_none(), "trailing byte");
+        assert!(decode_tokenization(&[]).is_none(), "empty payload");
+        // Hand-build a payload with an unsorted rank vector.
+        let mut w = ByteWriter::new();
+        w.put_u32_slice(&[0, 1]); // rank table
+        for _ in 0..2 {
+            w.put_u64(1); // rows
+            w.put_u64(1); // attrs
+            w.put_u32_slice(&[0, 2]); // offsets
+            w.put_u32_slice(&[5, 3]); // tokens, descending
+        }
+        assert!(decode_tokenization(&w.into_bytes()).is_none());
+    }
+
+    #[test]
+    fn arena_roundtrip_preserves_records_and_bound() {
+        let arena = RecordArena::from_records(&[vec![1u32, 4, 9], vec![], vec![2, 2, 7]]);
+        let back = decode_arena(&encode_arena(&arena)).expect("roundtrip");
+        assert_eq!(back.len(), arena.len());
+        assert_eq!(back.rank_bound(), arena.rank_bound());
+        for t in 0..arena.len() as TupleId {
+            assert_eq!(back.record(t), arena.record(t));
+        }
+        assert!(decode_arena(&[1, 2, 3]).is_none(), "garbage payload");
+    }
+
+    #[test]
+    fn union_roundtrip_is_bit_exact() {
+        let configs = vec![Config::from_positions([0, 1]), Config::from_positions([0])];
+        let union = CandidateUnion {
+            pairs: vec![pair_key(0, 0), pair_key(2, 1), pair_key(1, 3)],
+            scores: vec![
+                vec![Some(0.75), None, Some(f64::MIN_POSITIVE)],
+                vec![None, Some(1.0), None],
+            ],
+        };
+        let bytes = encode_union(&configs, 2, &union);
+        let (c2, q2, u2) = decode_union(&bytes).expect("roundtrip");
+        assert_eq!(c2, configs);
+        assert_eq!(q2, 2);
+        assert_eq!(u2.pairs, union.pairs);
+        let bits = |rows: &Vec<Vec<Option<f64>>>| -> Vec<Vec<Option<u64>>> {
+            rows.iter()
+                .map(|r| r.iter().map(|s| s.map(f64::to_bits)).collect())
+                .collect()
+        };
+        assert_eq!(bits(&u2.scores), bits(&union.scores));
+    }
+
+    #[test]
+    fn union_decode_rejects_truncation_anywhere() {
+        let configs = vec![Config::from_positions([0])];
+        let union = CandidateUnion {
+            pairs: vec![pair_key(0, 1), pair_key(1, 0)],
+            scores: vec![vec![Some(0.5), Some(0.25)]],
+        };
+        let bytes = encode_union(&configs, 1, &union);
+        assert!(decode_union(&bytes).is_some());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_union(&bytes[..cut]).is_none(),
+                "truncation at {cut} must miss"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_separate_every_input_dimension() {
+        let d = |n: u64| {
+            let mut w = DigestWriter::new();
+            w.write_u64(n);
+            w.finish()
+        };
+        let attrs = [AttrId(0), AttrId(1)];
+        let base = tok_key(d(1), d(2), &attrs, Tokenizer::Word);
+        assert_ne!(base, tok_key(d(9), d(2), &attrs, Tokenizer::Word));
+        assert_ne!(base, tok_key(d(1), d(9), &attrs, Tokenizer::Word));
+        assert_ne!(base, tok_key(d(2), d(1), &attrs, Tokenizer::Word), "sides");
+        assert_ne!(base, tok_key(d(1), d(2), &attrs[..1], Tokenizer::Word));
+        assert_ne!(base, tok_key(d(1), d(2), &attrs, Tokenizer::QGram(3)));
+        assert_ne!(
+            tok_key(d(1), d(2), &attrs, Tokenizer::QGram(2)),
+            tok_key(d(1), d(2), &attrs, Tokenizer::QGram(3))
+        );
+
+        let ak = arena_key(base, 0, &[0, 2]);
+        assert_ne!(ak, arena_key(base, 1, &[0, 2]), "side");
+        assert_ne!(ak, arena_key(base, 0, &[0, 1]), "positions");
+        assert_ne!(ak, arena_key(d(3), 0, &[0, 2]), "tok key");
+    }
+
+    #[test]
+    fn union_key_ignores_threads_and_killed_order() {
+        use crate::config::{ConfigGenerator, ConfigGeneratorParams, PromisingAttrs};
+        let promising = PromisingAttrs {
+            attrs: vec![AttrId(0), AttrId(1)],
+            e_scores: vec![0.9, 0.8],
+            avg_tokens_a: vec![3.0, 2.0],
+            avg_tokens_b: vec![3.0, 2.0],
+        };
+        let tree = ConfigGenerator::new(ConfigGeneratorParams::default()).build_tree(&promising);
+        let tok = tok_key(
+            {
+                let mut w = DigestWriter::new();
+                w.write_u64(1);
+                w.finish()
+            },
+            {
+                let mut w = DigestWriter::new();
+                w.write_u64(2);
+                w.finish()
+            },
+            &promising.attrs,
+            Tokenizer::Word,
+        );
+        let mut killed = PairSet::new();
+        for i in 0..50u32 {
+            killed.insert(i, (i * 7) % 50);
+        }
+        let mut p = JointParams {
+            threads: 1,
+            ..Default::default()
+        };
+        let k1 = union_key(tok, &tree, &p, &killed);
+        p.threads = 8;
+        assert_eq!(k1, union_key(tok, &tree, &p, &killed), "threads excluded");
+        p.k += 1;
+        assert_ne!(k1, union_key(tok, &tree, &p, &killed), "k separates");
+        p.k -= 1;
+        p.reuse_topk = !p.reuse_topk;
+        assert_ne!(k1, union_key(tok, &tree, &p, &killed));
+        p.reuse_topk = !p.reuse_topk;
+        let mut more = PairSet::new();
+        for (a, b) in killed.iter() {
+            more.insert(a, b);
+        }
+        assert_eq!(k1, union_key(tok, &tree, &p, &more), "set content keys");
+        more.insert(60, 60);
+        assert_ne!(k1, union_key(tok, &tree, &p, &more));
+    }
+}

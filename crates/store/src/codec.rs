@@ -1,0 +1,210 @@
+//! Minimal little-endian binary codec for artifact payloads.
+//!
+//! Artifacts are flat structures (CSR buffers, rank tables, score
+//! vectors), so the codec is deliberately primitive: fixed-width LE
+//! integers and length-prefixed bulk slices, no schema evolution —
+//! format changes bump the store's format version and old files become
+//! misses. Decoding is **total**: every read returns `Option` and a
+//! truncated or garbled payload yields `None` rather than a panic, which
+//! the store surfaces as a cache miss.
+
+/// Append-only payload writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// An empty writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` by bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed `u32` slice as one bulk run.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_u64(vs.len() as u64);
+        self.buf.reserve(vs.len() * 4);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The finished payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Forward-only payload reader; every accessor returns `None` on
+/// underflow so corrupt payloads degrade to cache misses.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over the full payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Option<f64> {
+        self.get_u64().map(f64::from_bits)
+    }
+
+    /// Reads a length-prefixed `u32` slice in one bulk pass (a single
+    /// allocation sized up front — the CSR buffers land directly in
+    /// their final flat layout).
+    pub fn get_u32_vec(&mut self) -> Option<Vec<u32>> {
+        let n = self.get_u64()? as usize;
+        let raw = self.take(n.checked_mul(4)?)?;
+        let mut out = Vec::with_capacity(n);
+        out.extend(
+            raw.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        Some(out)
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn get_bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.get_u64()? as usize;
+        self.take(n)
+    }
+
+    /// True if the whole payload was consumed (decoders should check
+    /// this to reject trailing garbage).
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.125);
+        w.put_u32_slice(&[1, 2, 3, u32::MAX]);
+        w.put_bytes(b"abc");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8(), Some(7));
+        assert_eq!(r.get_u32(), Some(0xdead_beef));
+        assert_eq!(r.get_u64(), Some(u64::MAX - 3));
+        assert_eq!(r.get_f64(), Some(-0.125));
+        assert_eq!(r.get_u32_vec(), Some(vec![1, 2, 3, u32::MAX]));
+        assert_eq!(r.get_bytes(), Some(&b"abc"[..]));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_payloads_return_none_not_panic() {
+        let mut w = ByteWriter::new();
+        w.put_u32_slice(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(r.get_u32_vec().is_none(), "cut at {cut} must fail cleanly");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_fails_cleanly() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // claims ~2^64 elements
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_u32_vec().is_none());
+        let mut r2 = ByteReader::new(&bytes);
+        assert!(r2.get_bytes().is_none());
+    }
+
+    #[test]
+    fn nan_and_negative_zero_roundtrip_bitwise() {
+        let mut w = ByteWriter::new();
+        w.put_f64(f64::NAN);
+        w.put_f64(-0.0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+    }
+}

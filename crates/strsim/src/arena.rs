@@ -138,6 +138,49 @@ impl RecordArena {
     pub fn total_tokens(&self) -> usize {
         self.tokens.len()
     }
+
+    /// The flat token buffer (for serialization; see `mc-store`).
+    #[inline]
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// The record offsets array, length `len() + 1` (for serialization).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Rebuilds an arena from raw CSR parts, validating the offsets
+    /// invariant (starts at 0, non-decreasing, ends at `tokens.len()`)
+    /// and recomputing the rank bound. Returns `None` on any violation,
+    /// so corrupt store artifacts degrade to cache misses.
+    pub fn from_parts(tokens: Vec<u32>, offsets: Vec<u32>) -> Option<RecordArena> {
+        if offsets.first() != Some(&0) {
+            return None;
+        }
+        if *offsets.last().expect("checked non-empty") as usize != tokens.len() {
+            return None;
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        // Every record must be a sorted rank multiset — the join's run
+        // counters and postings depend on it.
+        if offsets.windows(2).any(|w| {
+            tokens[w[0] as usize..w[1] as usize]
+                .windows(2)
+                .any(|t| t[0] > t[1])
+        }) {
+            return None;
+        }
+        let rank_bound = tokens.iter().max().map_or(0, |&m| m + 1);
+        Some(RecordArena {
+            tokens,
+            offsets,
+            rank_bound,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -116,6 +116,17 @@ impl TokenOrder {
     pub fn is_empty(&self) -> bool {
         self.rank_of.is_empty()
     }
+
+    /// The raw `id → rank` table (for serialization; see `mc-store`).
+    pub fn rank_table(&self) -> &[u32] {
+        &self.rank_of
+    }
+
+    /// Rebuilds an order from a raw `id → rank` table previously
+    /// obtained from [`TokenOrder::rank_table`].
+    pub fn from_rank_table(rank_of: Vec<u32>) -> Self {
+        TokenOrder { rank_of }
+    }
 }
 
 /// Per-attribute tokenized form of a table: for each tuple and attribute,
@@ -211,6 +222,18 @@ impl TokenizedTable {
             .iter()
             .map(|&i| self.ranks(i, tuple).len())
             .sum()
+    }
+
+    /// Rebuilds a tokenized table from per-attribute rank columns (as
+    /// read back from a store artifact). Each `cols[attr][tuple]` must be
+    /// a sorted rank vector; every column must have `rows` entries.
+    /// Returns `None` on shape mismatch so corrupt artifacts degrade to
+    /// cache misses instead of panics.
+    pub fn from_columns(cols: Vec<Vec<Vec<u32>>>, rows: usize) -> Option<TokenizedTable> {
+        if cols.iter().any(|col| col.len() != rows) {
+            return None;
+        }
+        Some(TokenizedTable { cols, rows })
     }
 }
 

@@ -6,9 +6,11 @@
 //! dependency-free reader sufficient for dumping and reloading synthetic
 //! datasets; it is not a general-purpose CSV library.
 
+use crate::digest::digest_bytes;
 use crate::schema::Schema;
 use crate::table::{Table, Tuple};
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Serializes a table to a CSV string with a header row.
@@ -107,6 +109,65 @@ pub fn from_csv(name: &str, input: &str) -> Result<Table, CsvError> {
         }
         table.push(Tuple::new(row));
     }
+    Ok(table)
+}
+
+/// Errors produced by [`from_csv_path`]: either the file could not be
+/// read, or its contents failed to parse.
+#[derive(Debug)]
+pub enum CsvFileError {
+    /// The file could not be read (missing, permission denied, …).
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// The file was read but is not valid CSV.
+    Parse {
+        /// The path that failed.
+        path: String,
+        /// The parse error.
+        error: CsvError,
+    },
+}
+
+impl std::fmt::Display for CsvFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvFileError::Io { path, error } => write!(f, "cannot read {path}: {error}"),
+            CsvFileError::Parse { path, error } => write!(f, "cannot parse {path}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvFileError::Io { error, .. } => Some(error),
+            CsvFileError::Parse { error, .. } => Some(error),
+        }
+    }
+}
+
+/// Loads a CSV file into a [`Table`], recording the file's byte digest on
+/// the table (so content-addressed caches — see `mc-store` — can key off
+/// [`Table::content_digest`] without re-reading the file).
+///
+/// Unreadable paths and malformed contents return a typed
+/// [`CsvFileError`]; nothing panics.
+pub fn from_csv_path(name: &str, path: impl AsRef<Path>) -> Result<Table, CsvFileError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|error| CsvFileError::Io {
+        path: path.display().to_string(),
+        error,
+    })?;
+    let text = String::from_utf8_lossy(&bytes);
+    let mut table = from_csv(name, &text).map_err(|error| CsvFileError::Parse {
+        path: path.display().to_string(),
+        error,
+    })?;
+    table.set_source_digest(digest_bytes(&bytes));
     Ok(table)
 }
 
@@ -238,6 +299,48 @@ mod tests {
     fn quoted_empty_string_is_present_not_missing() {
         let t = from_csv("A", "a\n\"\"\n").unwrap();
         assert_eq!(t.value(0, AttrId(0)), Some(""));
+    }
+
+    #[test]
+    fn path_loader_records_byte_digest() {
+        let dir = std::env::temp_dir().join(format!("mc_csv_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let bytes = b"name,city\nDave,Atlanta\n";
+        std::fs::write(&path, bytes).unwrap();
+        let t = from_csv_path("A", &path).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.source_digest(), Some(digest_bytes(bytes)));
+        assert_eq!(t.content_digest(), digest_bytes(bytes));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unreadable_path_is_typed_error_not_panic() {
+        let err = from_csv_path("A", "/definitely/not/a/real/path.csv").unwrap_err();
+        match &err {
+            CsvFileError::Io { path, error } => {
+                assert!(path.contains("path.csv"));
+                assert_eq!(error.kind(), std::io::ErrorKind::NotFound);
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn malformed_file_is_parse_error() {
+        let dir = std::env::temp_dir().join(format!("mc_csv_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "a,b\n1\n").unwrap();
+        match from_csv_path("A", &path).unwrap_err() {
+            CsvFileError::Parse { error, .. } => {
+                assert!(matches!(error, CsvError::RowWidth { .. }))
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

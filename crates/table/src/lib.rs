@@ -15,13 +15,17 @@
 //! * [`gold`] — gold match sets and recall computation;
 //! * [`pair`] — compact `(a, b)` tuple-pair keys and pair sets;
 //! * [`hash`] — a fast FxHash-style hasher used for hot hash maps;
-//! * [`csv`] — minimal CSV import/export for datasets.
+//! * [`digest`] — stable 128-bit content digests for cache keys (the
+//!   artifact store's key material);
+//! * [`csv`] — minimal CSV import/export for datasets, including a
+//!   path-based loader that records the file's byte digest.
 //!
 //! The crate is deliberately free of heavy dependencies: every downstream
 //! crate (string similarity, blocking, the debugger itself) builds on these
 //! types.
 
 pub mod csv;
+pub mod digest;
 pub mod gold;
 pub mod hash;
 pub mod pair;
@@ -29,6 +33,7 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 
+pub use digest::{digest_bytes, Digest, DigestWriter};
 pub use gold::GoldMatches;
 pub use pair::{pair_key, split_pair_key, PairSet};
 pub use schema::{AttrId, AttrType, Attribute, Schema};

@@ -1,5 +1,6 @@
 //! Row-major string tables with missing values.
 
+use crate::digest::{Digest, DigestWriter};
 use crate::schema::{AttrId, Schema};
 use std::sync::Arc;
 
@@ -74,6 +75,10 @@ pub struct Table {
     rows: Vec<Tuple>,
     /// Human-readable table name, used in reports ("A", "B", "walmart", ...).
     pub name: String,
+    /// Digest of the source file's raw bytes, recorded at ingestion time
+    /// (see [`crate::csv::from_csv_path`]) so content-addressed caches
+    /// never need to re-read the file.
+    source_digest: Option<Digest>,
 }
 
 impl Table {
@@ -83,6 +88,7 @@ impl Table {
             schema,
             rows: Vec::new(),
             name: name.into(),
+            source_digest: None,
         }
     }
 
@@ -102,7 +108,55 @@ impl Table {
             schema,
             rows,
             name: name.into(),
+            source_digest: None,
         }
+    }
+
+    /// Records the digest of the raw bytes this table was loaded from.
+    /// Subsequent [`Table::content_digest`] calls return it directly.
+    pub fn set_source_digest(&mut self, digest: Digest) {
+        self.source_digest = Some(digest);
+    }
+
+    /// The recorded source-byte digest, if the table was loaded from a
+    /// file through [`crate::csv::from_csv_path`].
+    pub fn source_digest(&self) -> Option<Digest> {
+        self.source_digest
+    }
+
+    /// A stable content digest of this table, for content-addressed
+    /// caches.
+    ///
+    /// If a source digest was recorded at ingestion time it is returned
+    /// as-is (no re-hash, no file re-read); otherwise the digest is
+    /// computed from the schema's attribute names and every row's values
+    /// (missing values are distinguished from empty strings). The two
+    /// forms intentionally differ — a file-loaded table and a
+    /// structurally identical in-memory table hash to different keys,
+    /// which can only cause a cache miss, never a wrong hit.
+    pub fn content_digest(&self) -> Digest {
+        if let Some(d) = self.source_digest {
+            return d;
+        }
+        let mut w = DigestWriter::new();
+        w.write_u64(self.schema.len() as u64);
+        for (_, attr) in self.schema.iter() {
+            w.write_str(&attr.name);
+        }
+        w.write_u64(self.rows.len() as u64);
+        for row in &self.rows {
+            for v in row.iter() {
+                match v {
+                    None => {
+                        w.write_u8(0);
+                    }
+                    Some(s) => {
+                        w.write_u8(1).write_str(s);
+                    }
+                }
+            }
+        }
+        w.finish()
     }
 
     /// The shared schema.
@@ -161,6 +215,8 @@ impl Table {
             schema: Arc::clone(&self.schema),
             rows: self.rows[..n.min(self.rows.len())].to_vec(),
             name: self.name.clone(),
+            // A truncated copy no longer has the source file's content.
+            source_digest: None,
         }
     }
 }
@@ -218,6 +274,34 @@ mod tests {
         let old = t.set(s.expect_id("city"), None);
         assert_eq!(old, Some("b".to_string()));
         assert_eq!(t.value(s.expect_id("city")), None);
+    }
+
+    #[test]
+    fn content_digest_tracks_rows_and_missing_values() {
+        let s = demo_schema();
+        let mut t = Table::new("A", Arc::clone(&s));
+        t.push(Tuple::from_present(["Dave", "Atlanta"]));
+        let d1 = t.content_digest();
+        assert_eq!(d1, t.content_digest(), "digest must be deterministic");
+        // Name is irrelevant to content.
+        let mut renamed = t.clone();
+        renamed.name = "other".into();
+        assert_eq!(renamed.content_digest(), d1);
+        // Missing vs empty string must differ.
+        let mut missing = Table::new("A", Arc::clone(&s));
+        missing.push(Tuple::new(vec![Some("Dave".into()), None]));
+        let mut empty = Table::new("A", s);
+        empty.push(Tuple::new(vec![Some("Dave".into()), Some(String::new())]));
+        assert_ne!(missing.content_digest(), empty.content_digest());
+        // Extra row changes the digest; head() drops any source digest.
+        t.push(Tuple::from_present(["Joe", "NY"]));
+        assert_ne!(t.content_digest(), d1);
+        t.set_source_digest(crate::digest::digest_bytes(b"file bytes"));
+        assert_eq!(
+            t.content_digest(),
+            crate::digest::digest_bytes(b"file bytes")
+        );
+        assert_eq!(t.head(1).source_digest(), None);
     }
 
     #[test]

@@ -1,26 +1,41 @@
 //! `mc` — the MatchCatcher workspace CLI.
 //!
-//! Currently one subcommand:
+//! Subcommands:
 //!
 //! ```text
-//! mc obs-report [--profile NAME] [--scale X] [--seed N] [--k N] [--json]
+//! mc obs-report [--profile NAME] [--scale X] [--seed N] [--k N]
+//!               [--store DIR] [--json]
+//! mc store-init DIR
+//! mc store-stats DIR
+//! mc store-gc DIR --max-bytes N
 //! ```
 //!
-//! Runs the full debugging pipeline (prepare → top-k → verify → explain)
-//! on a synthetic datagen profile with a hash blocker, then prints the
-//! observability layer's human-readable stage breakdown; `--json` adds
-//! the machine-readable `mc-obs/v1` snapshot (the same schema the bench
-//! binaries emit with `--obs`).
+//! `obs-report` runs the full debugging pipeline (prepare → top-k →
+//! verify → explain) on a synthetic datagen profile with a hash blocker,
+//! then prints the observability layer's human-readable stage breakdown;
+//! `--json` adds the machine-readable `mc-obs/v1` snapshot (the same
+//! schema the bench binaries emit with `--obs`). With `--store DIR` the
+//! run reads and publishes warm-start artifacts — run it twice with the
+//! same directory and the second run skips tokenization and every join.
+//!
+//! The `store-*` subcommands manage an artifact store directory:
+//! `store-init` creates (and validates) it, `store-stats` prints its
+//! per-kind file/byte counts, and `store-gc` evicts oldest-first down to
+//! a byte budget.
 
 use matchcatcher::debugger::{DebuggerParams, MatchCatcher, RunObserver, Stage};
 use matchcatcher::oracle::GoldOracle;
 use mc_blocking::{Blocker, KeyFunc};
 use mc_datagen::profiles::DatasetProfile;
 use mc_obs::MetricsSnapshot;
+use mc_store::{Store, StoreConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mc obs-report [--profile NAME] [--scale X] [--seed N] [--k N] [--json]\n\
+        "usage: mc obs-report [--profile NAME] [--scale X] [--seed N] [--k N] [--store DIR] [--json]\n\
+         \x20      mc store-init DIR\n\
+         \x20      mc store-stats DIR\n\
+         \x20      mc store-gc DIR --max-bytes N\n\
          profiles: {}",
         DatasetProfile::ALL.map(|p| p.name()).join(", ")
     );
@@ -40,17 +55,59 @@ impl RunObserver for StagePrinter {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() < 2 || args[1] != "obs-report" {
-        usage();
+fn open_or_die(dir: &str) -> Store {
+    match Store::open(&StoreConfig::at(dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mc: cannot open store at {dir}: {e}");
+            std::process::exit(1);
+        }
     }
+}
+
+fn cmd_store_init(args: &[String]) {
+    let [dir] = args else { usage() };
+    let store = open_or_die(dir);
+    println!("initialized mc-store/v1 at {}", store.root().display());
+}
+
+fn cmd_store_stats(args: &[String]) {
+    let [dir] = args else { usage() };
+    let store = open_or_die(dir);
+    let stats = store.stats();
+    println!("store {}", store.root().display());
+    for (kind, ks) in &stats.kinds {
+        println!("  {kind:<8} {:>6} files  {:>12} bytes", ks.files, ks.bytes);
+    }
+    println!(
+        "  total    {:>6} files  {:>12} bytes  ({} stray tmp)",
+        stats.files, stats.bytes, stats.stray_tmp
+    );
+}
+
+fn cmd_store_gc(args: &[String]) {
+    let (dir, max_bytes) = match args {
+        [dir, flag, n] if flag == "--max-bytes" => {
+            (dir, n.parse::<u64>().unwrap_or_else(|_| usage()))
+        }
+        _ => usage(),
+    };
+    let store = open_or_die(dir);
+    let report = store.gc(max_bytes);
+    println!(
+        "gc: removed {} artifacts ({} bytes) and {} stray tmp files; {} bytes kept",
+        report.removed_files, report.removed_bytes, report.removed_tmp, report.kept_bytes
+    );
+}
+
+fn cmd_obs_report(args: &[String]) {
     let mut profile = DatasetProfile::FodorsZagats;
     let mut scale = 1.0f64;
     let mut seed = 42u64;
     let mut k = 200usize;
+    let mut store_dir: Option<String> = None;
     let mut json = false;
-    let mut i = 2;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => {
@@ -72,6 +129,7 @@ fn main() {
                 seed = args[i + 1].parse().unwrap_or_else(|_| usage())
             }
             "--k" if i + 1 < args.len() => k = args[i + 1].parse().unwrap_or_else(|_| usage()),
+            "--store" if i + 1 < args.len() => store_dir = Some(args[i + 1].clone()),
             _ => usage(),
         }
         i += 2;
@@ -93,6 +151,7 @@ fn main() {
 
     let mut params = DebuggerParams::default();
     params.joint.k = k;
+    params.store = store_dir.map(StoreConfig::at);
     if let Err(e) = params.validate() {
         eprintln!("mc obs-report: invalid parameters: {e}");
         std::process::exit(2);
@@ -109,8 +168,26 @@ fn main() {
         report.e_size
     );
     let delta = MetricsSnapshot::capture().since(&baseline);
+    let hits = delta.counter("mc.store.hits");
+    let misses = delta.counter("mc.store.misses");
+    if hits + misses > 0 {
+        println!("store: {hits} hits, {misses} misses");
+    }
     println!("\n{}", delta.render());
     if json {
         println!("{}", delta.to_json());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(cmd) = args.get(1) else { usage() };
+    let rest = &args[2..];
+    match cmd.as_str() {
+        "obs-report" => cmd_obs_report(rest),
+        "store-init" => cmd_store_init(rest),
+        "store-stats" => cmd_store_stats(rest),
+        "store-gc" => cmd_store_gc(rest),
+        _ => usage(),
     }
 }
