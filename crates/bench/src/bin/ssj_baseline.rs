@@ -11,11 +11,24 @@
 //!   total, best of `--runs` repetitions);
 //! * `config_us` — sum of per-config join spans in the best run.
 //!
+//! The main numbers run with a fixed `q = 1` so the candidate sets stay
+//! comparable across versions; a separate `auto_q` section per profile
+//! demonstrates empirical q selection with the prelude score cache.
+//!
+//! With `--budget PATH`, the run additionally gates on the checked-in
+//! per-profile `scored` budgets (see `ci/ssj_scored_budgets.json`): the
+//! work counters are deterministic and machine-independent, so a budget
+//! overrun is a real algorithmic regression, not timing noise. Exits
+//! non-zero on overrun.
+//!
+//! `MC_BENCH_SMOKE=1` switches the defaults to a quick configuration
+//! (`--scale 0.1 --runs 1`) for CI; explicit flags still override.
+//!
 //! `cargo run --release -p mc-bench --bin ssj_baseline [--scale X]
-//!  [--runs N] [--out PATH]`
+//!  [--runs N] [--out PATH] [--budget PATH]`
 
 use matchcatcher::config::ConfigGenerator;
-use matchcatcher::joint::{run_joint, CandidateUnion, JointParams};
+use matchcatcher::joint::{run_joint, CandidateUnion, JointParams, QStrategy};
 use mc_datagen::profiles::DatasetProfile;
 use mc_obs::MetricsSnapshot;
 use mc_strsim::dict::TokenizedTable;
@@ -34,6 +47,20 @@ struct ProfileReport {
     config_us: u64,
     events: u64,
     scored: u64,
+    merge_aborts: u64,
+    cache_hits: u64,
+    scored_saved: u64,
+    auto_q: AutoQReport,
+}
+
+/// One demonstration run with `QStrategy::Auto`: all preludes execute to
+/// completion (deterministic q selection) while populating the pair →
+/// score cache the winning q's main run then consumes.
+struct AutoQReport {
+    q_used: usize,
+    select_q_us: u64,
+    joint_us: u64,
+    cache_hits: u64,
 }
 
 fn run_profile(
@@ -74,6 +101,34 @@ fn run_profile(
         }
     }
     let (joint_us, delta, candidates) = best.expect("at least one run");
+    if std::env::var("MC_BENCH_DUMP").is_ok_and(|v| v == "1") {
+        eprintln!("--- {} best-run metrics ---\n{}", ds.name, delta.render());
+    }
+
+    // Auto-q demonstration (measured separately so the main numbers stay
+    // on the fixed-q configuration with version-comparable candidates).
+    let auto_base = MetricsSnapshot::capture();
+    let auto_out = run_joint(
+        &ta,
+        &tb,
+        &killed,
+        &tree,
+        JointParams {
+            k,
+            q: QStrategy::Auto {
+                max_q: 4,
+                prelude_k: 50,
+            },
+            ..Default::default()
+        },
+    );
+    let auto_delta = MetricsSnapshot::capture().since(&auto_base);
+    let auto_q = AutoQReport {
+        q_used: auto_out.q_used,
+        select_q_us: auto_delta.span("mc.core.ssj.select_q").total_us,
+        joint_us: auto_delta.span("mc.core.joint.run").total_us,
+        cache_hits: auto_delta.counter("mc.core.ssj.cache_hits"),
+    };
 
     ProfileReport {
         name: ds.name.clone(),
@@ -86,7 +141,34 @@ fn run_profile(
         config_us: delta.span("mc.core.joint.config").total_us,
         events: delta.counter("mc.core.ssj.events"),
         scored: delta.counter("mc.core.ssj.scored"),
+        merge_aborts: delta.counter("mc.core.ssj.merge_aborts"),
+        cache_hits: delta.counter("mc.core.ssj.cache_hits"),
+        scored_saved: delta.counter("mc.core.ssj.scored_saved"),
+        auto_q,
     }
+}
+
+/// Extracts `"name": <integer>` budget entries from the (tiny,
+/// hand-written) budget JSON without a JSON dependency. String-valued
+/// keys such as `"schema"` never parse as integers and are skipped.
+fn parse_budgets(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find('"') {
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else { break };
+        let key = &rest[..close];
+        rest = &rest[close + 1..];
+        let after = rest.trim_start();
+        if let Some(value) = after.strip_prefix(':') {
+            let value = value.trim_start();
+            let digits: String = value.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if !digits.is_empty() {
+                out.push((key.to_string(), digits.parse().expect("integer budget")));
+            }
+        }
+    }
+    out
 }
 
 fn main() {
@@ -97,11 +179,15 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .map(|s| s.as_str())
     };
-    let scale: f64 = get("--scale").map_or(1.0, |v| v.parse().expect("bad --scale"));
+    let smoke = std::env::var("MC_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let default_scale = if smoke { 0.1 } else { 1.0 };
+    let default_runs = if smoke { 1 } else { 3 };
+    let scale: f64 = get("--scale").map_or(default_scale, |v| v.parse().expect("bad --scale"));
     let k: usize = get("--k").map_or(200, |v| v.parse().expect("bad --k"));
     let seed: u64 = get("--seed").map_or(3, |v| v.parse().expect("bad --seed"));
-    let runs: usize = get("--runs").map_or(3, |v| v.parse().expect("bad --runs"));
+    let runs: usize = get("--runs").map_or(default_runs, |v| v.parse().expect("bad --runs"));
     let out_path = get("--out").unwrap_or("BENCH_ssj.json");
+    let budget_path = get("--budget");
 
     // Two contrasting profiles: long product records (reuse-friendly) and
     // short restaurant records (index-overhead-bound).
@@ -111,7 +197,7 @@ fn main() {
     ];
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"mc-bench-ssj/v1\",\n  \"profiles\": [");
+    json.push_str("{\n  \"schema\": \"mc-bench-ssj/v2\",\n  \"profiles\": [");
     for (i, r) in reports.iter().enumerate() {
         if i > 0 {
             json.push(',');
@@ -120,7 +206,10 @@ fn main() {
             json,
             "\n    {{\"name\": \"{}\", \"scale\": {}, \"k\": {}, \"configs\": {}, \
              \"candidates\": {}, \"stages\": {{\"tokenize_us\": {}, \"joint_us\": {}, \
-             \"config_us\": {}}}, \"counters\": {{\"events\": {}, \"scored\": {}}}}}",
+             \"config_us\": {}}}, \"counters\": {{\"events\": {}, \"scored\": {}, \
+             \"merge_aborts\": {}, \"cache_hits\": {}, \"scored_saved\": {}}}, \
+             \"auto_q\": {{\"q_used\": {}, \"select_q_us\": {}, \"joint_us\": {}, \
+             \"cache_hits\": {}}}}}",
             r.name,
             r.scale,
             r.k,
@@ -130,27 +219,74 @@ fn main() {
             r.joint_us,
             r.config_us,
             r.events,
-            r.scored
+            r.scored,
+            r.merge_aborts,
+            r.cache_hits,
+            r.scored_saved,
+            r.auto_q.q_used,
+            r.auto_q.select_q_us,
+            r.auto_q.joint_us,
+            r.auto_q.cache_hits
         );
     }
     json.push_str("\n  ]\n}\n");
     std::fs::write(out_path, &json).expect("write BENCH_ssj.json");
 
     println!(
-        "{:<16} {:>8} {:>6} {:>12} {:>12} {:>12} {:>12}",
-        "dataset", "scale", "cfgs", "tokenize", "joint", "events", "|E|"
+        "{:<16} {:>8} {:>6} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "dataset", "scale", "cfgs", "joint", "scored", "aborts", "saved", "|E|"
     );
     for r in &reports {
         println!(
-            "{:<16} {:>8.2} {:>6} {:>10.2}ms {:>10.2}ms {:>12} {:>12}",
+            "{:<16} {:>8.2} {:>6} {:>10.2}ms {:>12} {:>10} {:>10} {:>8}",
             r.name,
             r.scale,
             r.configs,
-            r.tokenize_us as f64 / 1e3,
             r.joint_us as f64 / 1e3,
-            r.events,
+            r.scored,
+            r.merge_aborts,
+            r.scored_saved,
             r.candidates
+        );
+        println!(
+            "  auto-q: q={} select_q {:.2}ms, joint {:.2}ms, cache hits {}",
+            r.auto_q.q_used,
+            r.auto_q.select_q_us as f64 / 1e3,
+            r.auto_q.joint_us as f64 / 1e3,
+            r.auto_q.cache_hits
         );
     }
     println!("wrote {out_path}");
+
+    if let Some(path) = budget_path {
+        let text = std::fs::read_to_string(path).expect("read budget file");
+        let budgets = parse_budgets(&text);
+        let mut failed = false;
+        for r in &reports {
+            match budgets.iter().find(|(n, _)| *n == r.name) {
+                Some(&(_, budget)) if r.scored > budget => {
+                    eprintln!(
+                        "BUDGET EXCEEDED: {} scored {} > budget {} (deterministic work-counter \
+                         regression — inspect the scoring-kernel / pruning changes before \
+                         raising the budget in {path})",
+                        r.name, r.scored, budget
+                    );
+                    failed = true;
+                }
+                Some(&(_, budget)) => {
+                    println!("budget ok: {} scored {} <= {}", r.name, r.scored, budget);
+                }
+                None => {
+                    eprintln!(
+                        "BUDGET MISSING: no entry for profile '{}' in {path}",
+                        r.name
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
 }

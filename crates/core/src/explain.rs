@@ -7,7 +7,7 @@
 //! summaries ("blocker problems") aggregating diagnoses across all found
 //! matches.
 
-use mc_strsim::measures::edit_distance;
+use mc_strsim::measures::bounded_edit_distance;
 use mc_strsim::tokenize::word_tokens;
 use mc_table::{AttrId, Schema, Table, TupleId};
 use std::collections::BTreeMap;
@@ -104,11 +104,16 @@ pub fn diagnose_values(va: Option<&str>, vb: Option<&str>) -> Diagnosis {
     if is_abbreviation(&wa, &nb) || is_abbreviation(&wb, &na) {
         return Diagnosis::Abbreviation;
     }
-    // Misspelling: small edit distance relative to length.
-    let d = edit_distance(&na, &nb);
+    // Misspelling: small edit distance relative to length. The
+    // acceptance condition `d ≤ 3 ∧ 3d ≤ max_len` is exactly
+    // `d ≤ min(3, ⌊max_len / 3⌋)`, so the bounded kernel can abandon the
+    // DP as soon as the distance provably exceeds that cap instead of
+    // computing it in full for every dissimilar pair.
     let max_len = na.chars().count().max(nb.chars().count());
-    if max_len >= 3 && d <= 3 && d * 3 <= max_len {
-        return Diagnosis::SmallEdit(d as u8);
+    if max_len >= 3 {
+        if let Some(d) = bounded_edit_distance(&na, &nb, 3.min(max_len / 3)) {
+            return Diagnosis::SmallEdit(d as u8);
+        }
     }
     // Numeric closeness.
     if let (Ok(x), Ok(y)) = (va.trim().parse::<f64>(), vb.trim().parse::<f64>()) {

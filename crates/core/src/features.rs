@@ -26,6 +26,9 @@ pub struct FeatureExtractor<'t> {
     attrs: &'t [AttrId],
     tok_a: &'t TokenizedTable,
     tok_b: &'t TokenizedTable,
+    /// All attribute indices (`0..attrs.len()`), precomputed once for the
+    /// concatenated-Jaccard merge instead of per feature row.
+    all_idx: Vec<usize>,
 }
 
 impl<'t> FeatureExtractor<'t> {
@@ -44,6 +47,7 @@ impl<'t> FeatureExtractor<'t> {
             attrs,
             tok_a,
             tok_b,
+            all_idx: (0..attrs.len()).collect(),
         }
     }
 
@@ -78,9 +82,8 @@ impl<'t> FeatureExtractor<'t> {
             out[i * 3 + 2] = f64::from(!va.is_empty() && !vb.is_empty());
         }
         // Concatenated Jaccard over all promising attributes.
-        let all: Vec<usize> = (0..self.attrs.len()).collect();
-        let merged_a = self.tok_a.merged(&all, aid);
-        let merged_b = self.tok_b.merged(&all, bid);
+        let merged_a = self.tok_a.merged(&self.all_idx, aid);
+        let merged_b = self.tok_b.merged(&self.all_idx, bid);
         out[self.attrs.len() * 3] = SetMeasure::Jaccard.score(&merged_a, &merged_b);
         // Token-length ratio (1 = same length).
         let m = total_a.max(total_b);

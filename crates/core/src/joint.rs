@@ -43,15 +43,18 @@
 
 use crate::config::{Config, ConfigTree};
 use crate::ssj::{
-    select_q, topk_join_with_scratch, ExactScorer, JoinScratch, PairScorer, SsjInstance, SsjParams,
-    TopKList,
+    select_q_cached, topk_join_with_scratch, ExactScorer, JoinScratch, PairScorer, ScoreCache,
+    ScoreOutcome, SsjInstance, SsjParams, TopKList,
 };
 use mc_strsim::arena::RecordArena;
 use mc_strsim::dict::TokenizedTable;
-use mc_strsim::measures::{multiset_overlap, SetMeasure};
+use mc_strsim::measures::{
+    multiset_overlap, overlap_bound_key, overlap_with_bound, required_overlap_keyed, SetMeasure,
+};
 use mc_table::hash::{hash_u64, FxHashMap};
 use mc_table::{split_pair_key, PairSet, TupleId};
 use parking_lot::{Mutex, RwLock};
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -102,6 +105,24 @@ impl OverlapDb {
         &self.shards[(hash_u64(key) >> 58) as usize % DB_SHARDS]
     }
 
+    /// Runs `f` on the pair's cell matrix without cloning the `Arc`
+    /// (the shard read lock is held only for the duration of `f`). The
+    /// hit/miss accounting is identical to [`OverlapDb::get`].
+    pub fn with<R>(&self, key: u64, f: impl FnOnce(&[u32]) -> R) -> Option<R> {
+        let out = {
+            let shard = self.shard(key).read();
+            shard.get(&key).map(|cells| f(cells))
+        };
+        if out.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            mc_obs::counter!("mc.core.joint.overlap_db.hits").inc();
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            mc_obs::counter!("mc.core.joint.overlap_db.misses").inc();
+        }
+        out
+    }
+
     /// Fetches the cell matrix for a pair, if present.
     pub fn get(&self, key: u64) -> Option<Arc<[u32]>> {
         let out = self.shard(key).read().get(&key).cloned();
@@ -149,6 +170,11 @@ impl OverlapDb {
 
 /// Computes the full cell matrix of a pair over `attrs`, reading the
 /// per-attribute rank vectors from the tokenized tables.
+///
+/// Reference implementation (`m × m` independent merges); the hot path
+/// uses the fused [`compute_cells_merged`], which this one cross-checks
+/// in tests.
+#[cfg(test)]
 fn compute_cells(
     attrs: &[usize],
     tok_a: &TokenizedTable,
@@ -173,6 +199,177 @@ fn compute_cells(
     cells.into()
 }
 
+/// Fused cell matrix **and** exact merged overlap from one merge.
+///
+/// `ra`/`rb` are the pair's config-merged records (the ones the scorer
+/// is handed anyway). A single merge over them finds every shared token
+/// value; at each one the run lengths give the merged multiset overlap
+/// contribution `min(n_a, n_b)` directly, and the per-attribute copy
+/// counts (binary searches in the short per-attribute vectors) give
+/// every cell's contribution `min(c_aᵢ, c_bⱼ)`. Correct because a token
+/// shared by attribute pair `(i, j)` is necessarily shared by the merged
+/// records, so iterating merged shared tokens covers all cells.
+///
+/// Replaces the old miss path's *separate* full-score merge plus `m × m`
+/// per-cell merges with one `O(|ra| + |rb|)` pass; the returned overlap
+/// is the same integer `multiset_overlap(ra, rb)` computes, so
+/// `from_overlap(o, …)` yields a bit-identical score.
+/// Reusable buffers of the fused cell merge: one allocation set per
+/// config worker instead of five heap allocations per scored pair.
+#[derive(Default)]
+struct CellsScratch<'a> {
+    /// Per-attribute rank slices of the current pair's records.
+    ras: Vec<&'a [u32]>,
+    rbs: Vec<&'a [u32]>,
+    /// Monotonic per-attribute cursors: the merged records visit ranks in
+    /// ascending order, so each cursor only ever moves forward and the
+    /// per-attribute multiplicity splits cost `O(|ra| + |rb|)` amortized
+    /// over the whole pair (no per-rank binary searches).
+    cur_a: Vec<u32>,
+    cur_b: Vec<u32>,
+    /// Nonzero `(attribute, copies)` splits of the current shared rank —
+    /// usually a single entry, which keeps the cell accumulation sparse.
+    nz_a: Vec<(u32, u32)>,
+    nz_b: Vec<(u32, u32)>,
+    /// The `m × m` cell accumulator; read by the caller after the merge.
+    cells: Vec<u32>,
+}
+
+/// Fused single-pass computation of the pair's cell matrix (into
+/// `scratch.cells`) and exact merged multiset overlap (returned): the
+/// score comes out of the same merge that the writer's database entry
+/// needs, so writers pay one pass instead of `m² + 1` independent ones.
+#[allow(clippy::too_many_arguments)]
+fn compute_cells_merged<'a>(
+    scratch: &mut CellsScratch<'a>,
+    attrs: &[usize],
+    tok_a: &'a TokenizedTable,
+    tok_b: &'a TokenizedTable,
+    a: TupleId,
+    b: TupleId,
+    ra: &[u32],
+    rb: &[u32],
+) -> usize {
+    let m = attrs.len();
+    scratch.cells.clear();
+    scratch.cells.resize(m * m, 0);
+    if m == 1 {
+        // One attribute: the merged record *is* the attribute's vector.
+        let o = multiset_overlap(ra, rb);
+        scratch.cells[0] = o as u32;
+        return o;
+    }
+    scratch.ras.clear();
+    scratch.ras.extend(attrs.iter().map(|&f| tok_a.ranks(f, a)));
+    scratch.rbs.clear();
+    scratch.rbs.extend(attrs.iter().map(|&f| tok_b.ranks(f, b)));
+    scratch.cur_a.clear();
+    scratch.cur_a.resize(m, 0);
+    scratch.cur_b.clear();
+    scratch.cur_b.resize(m, 0);
+    let mut o = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ra.len() && j < rb.len() {
+        let (ta, tb) = (ra[i], rb[j]);
+        if ta < tb {
+            i += 1;
+        } else if ta > tb {
+            j += 1;
+        } else {
+            let i0 = i;
+            while i < ra.len() && ra[i] == ta {
+                i += 1;
+            }
+            let j0 = j;
+            while j < rb.len() && rb[j] == ta {
+                j += 1;
+            }
+            o += (i - i0).min(j - j0);
+            scratch.nz_a.clear();
+            for (ii, r) in scratch.ras.iter().enumerate() {
+                let mut c = scratch.cur_a[ii] as usize;
+                while c < r.len() && r[c] < ta {
+                    c += 1;
+                }
+                let start = c;
+                while c < r.len() && r[c] == ta {
+                    c += 1;
+                }
+                scratch.cur_a[ii] = c as u32;
+                if c > start {
+                    scratch.nz_a.push((ii as u32, (c - start) as u32));
+                }
+            }
+            scratch.nz_b.clear();
+            for (jj, r) in scratch.rbs.iter().enumerate() {
+                let mut c = scratch.cur_b[jj] as usize;
+                while c < r.len() && r[c] < ta {
+                    c += 1;
+                }
+                let start = c;
+                while c < r.len() && r[c] == ta {
+                    c += 1;
+                }
+                scratch.cur_b[jj] = c as u32;
+                if c > start {
+                    scratch.nz_b.push((jj as u32, (c - start) as u32));
+                }
+            }
+            for &(ii, cai) in &scratch.nz_a {
+                for &(jj, cbj) in &scratch.nz_b {
+                    scratch.cells[ii as usize * m + jj as usize] += cai.min(cbj);
+                }
+            }
+        }
+    }
+    o
+}
+
+/// Per-gate memo of [`required_overlap_keyed`]: the bound collapses to a
+/// function of one small scalar per measure (see [`overlap_bound_key`]),
+/// and the gate — the config's top-k threshold — changes only when the
+/// list improves, orders of magnitude more rarely than pairs are scored.
+struct BoundMemo {
+    gate: f64,
+    by_key: Vec<u32>,
+}
+
+/// Keys above this fall back to the direct computation (the table would
+/// stop being "tiny"); record-length sums and products in practice sit
+/// far below it.
+const BOUND_MEMO_MAX: usize = 1 << 12;
+
+impl Default for BoundMemo {
+    fn default() -> Self {
+        BoundMemo {
+            gate: f64::NEG_INFINITY,
+            by_key: Vec::new(),
+        }
+    }
+}
+
+impl BoundMemo {
+    #[inline]
+    fn required(&mut self, measure: SetMeasure, gate: f64, la: usize, lb: usize) -> usize {
+        let key = overlap_bound_key(measure, la, lb);
+        if key >= BOUND_MEMO_MAX {
+            return required_overlap_keyed(measure, gate, key);
+        }
+        if self.gate != gate {
+            self.gate = gate;
+            self.by_key.clear();
+        }
+        if self.by_key.len() <= key {
+            self.by_key.resize(key + 1, u32::MAX);
+        }
+        let slot = &mut self.by_key[key];
+        if *slot == u32::MAX {
+            *slot = required_overlap_keyed(measure, gate, key) as u32;
+        }
+        *slot as usize
+    }
+}
+
 /// A scorer that reuses a parent writer's overlap database when possible
 /// and records overlaps into its own database when it is itself a writer.
 struct ReuseScorer<'a> {
@@ -183,21 +380,45 @@ struct ReuseScorer<'a> {
     parent_slots: Vec<usize>,
     /// This config's own DB, when it is a writer.
     own_db: Option<&'a OverlapDb>,
+    /// The prelude-populated score cache (root config only; see
+    /// [`run_joint_with_arenas`]).
+    score_cache: Option<&'a ScoreCache>,
     /// This config's positions.
     my_attrs: Vec<usize>,
     tok_a: &'a TokenizedTable,
     tok_b: &'a TokenizedTable,
-    /// Reuse statistics: (hits, misses).
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    /// Reuse statistics: (hits, misses). A scorer lives on one worker
+    /// thread, so plain cells suffice — no atomic traffic per attempt.
+    hits: Cell<usize>,
+    misses: Cell<usize>,
+    /// Reusable buffers of the fused cell merge.
+    cells_scratch: RefCell<CellsScratch<'a>>,
+    /// Per-gate required-overlap memo for the direct (non-writer)
+    /// scoring path.
+    bound_memo: RefCell<BoundMemo>,
 }
 
 impl PairScorer for ReuseScorer<'_> {
     fn score(&self, a: TupleId, b: TupleId, ra: &[u32], rb: &[u32]) -> f64 {
+        // A gate of −1 can never refute, so the gated path degenerates to
+        // exact scoring (one implementation, one score path).
+        match self.score_above(a, b, ra, rb, -1.0) {
+            ScoreOutcome::Scored(s) | ScoreOutcome::Cached(s) => s,
+            ScoreOutcome::Refuted => unreachable!("a −1 gate never refutes"),
+        }
+    }
+
+    fn score_above(
+        &self,
+        a: TupleId,
+        b: TupleId,
+        ra: &[u32],
+        rb: &[u32],
+        gate: f64,
+    ) -> ScoreOutcome {
         let key = mc_table::pair_key(a, b);
         if let Some(db) = self.parent_db {
-            if let Some(cells) = db.get(key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+            let hit = db.with(key, |cells| {
                 let pm = db.attrs().len();
                 let mut overlap = 0u64;
                 for &si in &self.parent_slots {
@@ -205,10 +426,7 @@ impl PairScorer for ReuseScorer<'_> {
                         overlap += cells[si * pm + sj] as u64;
                     }
                 }
-                // Clamp: the decomposed sum may exceed the merged multiset
-                // intersection when a token repeats across attributes.
-                let overlap = (overlap as usize).min(ra.len()).min(rb.len());
-                if let Some(own) = self.own_db {
+                let sub: Option<Arc<[u32]>> = self.own_db.map(|_| {
                     // Project the parent's sub-matrix so our own subtree
                     // can reuse it too.
                     let m = self.my_attrs.len();
@@ -218,20 +436,65 @@ impl PairScorer for ReuseScorer<'_> {
                             sub[i * m + j] = cells[si * pm + sj];
                         }
                     }
-                    own.insert(key, sub.into());
+                    sub.into()
+                });
+                (overlap, sub)
+            });
+            if let Some((overlap, sub)) = hit {
+                self.hits.set(self.hits.get() + 1);
+                // Clamp: the decomposed sum may exceed the merged multiset
+                // intersection when a token repeats across attributes.
+                let overlap = (overlap as usize).min(ra.len()).min(rb.len());
+                if let (Some(own), Some(sub)) = (self.own_db, sub) {
+                    own.insert(key, sub);
                 }
-                return self.measure.from_overlap(overlap, ra.len(), rb.len());
+                return ScoreOutcome::Cached(self.measure.from_overlap(
+                    overlap,
+                    ra.len(),
+                    rb.len(),
+                ));
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let score = self.measure.score(ra, rb);
+        self.misses.set(self.misses.get() + 1);
         if let Some(own) = self.own_db {
-            own.insert(
-                key,
-                compute_cells(&self.my_attrs, self.tok_a, self.tok_b, a, b),
+            // A writer computes the full cell matrix for every fresh pair
+            // regardless of the gate — its subtree's hit/miss pattern
+            // (and with it each child's exact score path) must not depend
+            // on this config's transient top-k threshold. The fused merge
+            // hands back the exact merged overlap for free, so the score
+            // costs nothing extra on top of the cells.
+            let mut scratch = self.cells_scratch.borrow_mut();
+            let overlap = compute_cells_merged(
+                &mut scratch,
+                &self.my_attrs,
+                self.tok_a,
+                self.tok_b,
+                a,
+                b,
+                ra,
+                rb,
             );
+            own.insert(key, scratch.cells.as_slice().into());
+            return ScoreOutcome::Scored(self.measure.from_overlap(overlap, ra.len(), rb.len()));
         }
-        score
+        // Read-only configs can consult the prelude score cache — their
+        // scores are throwaway, so skipping the merge is always safe.
+        if let Some(cache) = self.score_cache {
+            if let Some(s) = cache.get(key) {
+                return ScoreOutcome::Cached(s);
+            }
+        }
+        // Same kernel as `SetMeasure::score_above`, with the required
+        // overlap served from the per-gate memo (bit-identical boundary;
+        // see `required_overlap_keyed`).
+        let o_min = self
+            .bound_memo
+            .borrow_mut()
+            .required(self.measure, gate, ra.len(), rb.len());
+        match overlap_with_bound(ra, rb, o_min) {
+            Some(o) => ScoreOutcome::Scored(self.measure.from_overlap(o, ra.len(), rb.len())),
+            None => ScoreOutcome::Refuted,
+        }
     }
 }
 
@@ -417,20 +680,28 @@ pub fn run_joint_with_arenas(
 
     let threads = resolve_threads(params.threads, n);
 
-    // q selection on the root config.
+    // q selection on the root config. With `Auto`, every prelude join
+    // populates a pair → score cache over the root arenas; the root
+    // config's main run consumes it (the preludes already paid for those
+    // merges, and their scores are q-independent).
     let (root_a, root_b) = &arenas[0];
-    let q_used = match params.q {
-        QStrategy::Fixed(q) => q.max(1),
-        QStrategy::Auto { max_q, prelude_k } => select_q(
-            SsjInstance {
-                records_a: root_a,
-                records_b: root_b,
-                killed,
-            },
-            params.measure,
-            max_q,
-            prelude_k,
-        ),
+    let (q_used, score_cache) = match params.q {
+        QStrategy::Fixed(q) => (q.max(1), None),
+        QStrategy::Auto { max_q, prelude_k } => {
+            let cache = ScoreCache::new();
+            let q = select_q_cached(
+                SsjInstance {
+                    records_a: root_a,
+                    records_b: root_b,
+                    killed,
+                },
+                params.measure,
+                max_q,
+                prelude_k,
+                Some(&cache),
+            );
+            (q, Some(cache))
+        }
     };
 
     // A config's final sorted entries, set exactly once when its join
@@ -495,11 +766,16 @@ pub fn run_joint_with_arenas(
                         parent_db,
                         parent_slots,
                         own_db: dbs[i].as_ref(),
+                        // The prelude cache is keyed on the *root* arenas,
+                        // so only the root config may consume it.
+                        score_cache: if i == 0 { score_cache.as_ref() } else { None },
                         my_attrs: config.positions(),
                         tok_a,
                         tok_b,
-                        hits: AtomicUsize::new(0),
-                        misses: AtomicUsize::new(0),
+                        hits: Cell::new(0),
+                        misses: Cell::new(0),
+                        cells_scratch: RefCell::new(CellsScratch::default()),
+                        bound_memo: RefCell::new(BoundMemo::default()),
                     };
                     // Top-k seeding: adopt the parent's finished list,
                     // re-scored under this config.
@@ -541,8 +817,8 @@ pub fn run_joint_with_arenas(
                         None,
                         &mut scratch,
                     );
-                    hits.fetch_add(scorer.hits.load(Ordering::Relaxed), Ordering::Relaxed);
-                    misses.fetch_add(scorer.misses.load(Ordering::Relaxed), Ordering::Relaxed);
+                    hits.fetch_add(scorer.hits.get(), Ordering::Relaxed);
+                    misses.fetch_add(scorer.misses.get(), Ordering::Relaxed);
                     finished[i]
                         .set(list.sorted_entries())
                         .expect("each config finishes exactly once");
@@ -960,6 +1236,45 @@ mod tests {
         );
         assert!((1..=3).contains(&out.q_used));
         assert_eq!(out.lists.len(), tree.len());
+    }
+
+    #[test]
+    fn fused_cells_match_reference_and_exact_overlap() {
+        // Cross-attribute token repeats included ("p" and "t" appear in
+        // both attributes of one tuple) — the fused pass must agree with
+        // the reference m×m merges cell-for-cell, and its overlap must
+        // equal the merged records' exact multiset overlap.
+        let schema = StdArc::new(Schema::from_names(["u", "v"]));
+        let mut a = Table::new("A", StdArc::clone(&schema));
+        a.push(Tuple::from_present(["p q r p", "s t p"]));
+        a.push(Tuple::from_present(["q", "q q t"]));
+        let mut b = Table::new("B", schema);
+        b.push(Tuple::from_present(["p q t", "t u v p"]));
+        b.push(Tuple::from_present(["", "q t"]));
+        let attrs = [AttrId(0), AttrId(1)];
+        let (ta, tb, _) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        let all = [0usize, 1];
+        for x in 0..2u32 {
+            for y in 0..2u32 {
+                let ra = ta.merged(&all, x);
+                let rb = tb.merged(&all, y);
+                let mut scratch = CellsScratch::default();
+                let reference = compute_cells(&all, &ta, &tb, x, y);
+                let o = compute_cells_merged(&mut scratch, &all, &ta, &tb, x, y, &ra, &rb);
+                assert_eq!(&scratch.cells[..], &reference[..], "pair ({x},{y})");
+                assert_eq!(o, multiset_overlap(&ra, &rb), "pair ({x},{y})");
+                // Single-attribute fast path against its own reference
+                // (same scratch, exercising buffer reuse across pairs).
+                for sub in [[0usize], [1usize]] {
+                    let ra1 = ta.merged(&sub, x);
+                    let rb1 = tb.merged(&sub, y);
+                    let r1 = compute_cells(&sub, &ta, &tb, x, y);
+                    let o1 = compute_cells_merged(&mut scratch, &sub, &ta, &tb, x, y, &ra1, &rb1);
+                    assert_eq!(&scratch.cells[..], &r1[..]);
+                    assert_eq!(o1, multiset_overlap(&ra1, &rb1));
+                }
+            }
+        }
     }
 
     #[test]

@@ -41,11 +41,12 @@
 
 use mc_strsim::arena::RecordArena;
 use mc_strsim::measures::SetMeasure;
-use mc_table::hash::{fx_map, FxHashMap};
-use mc_table::{pair_key, PairSet, TupleId};
+use mc_table::hash::{fx_map, hash_u64, FxHashMap};
+use mc_table::{pair_key, split_pair_key, PairSet, TupleId};
+use parking_lot::RwLock;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A totally ordered f64 wrapper (scores are never NaN).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -192,11 +193,67 @@ pub struct SsjInstance<'a> {
     pub killed: &'a PairSet,
 }
 
+/// How a threshold-gated scoring attempt resolved (see
+/// [`PairScorer::score_above`]).
+///
+/// The split matters for the work counters: `Scored` is a completed full
+/// merge (`mc.core.ssj.scored`), `Cached` reused a previously computed
+/// value without a fresh merge, `Refuted` aborted the merge once the
+/// score provably could not beat the gate (`mc.core.ssj.merge_aborts`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoreOutcome {
+    /// A full merge completed; the score is exact.
+    Scored(f64),
+    /// The exact score was obtained without a fresh merge (score cache or
+    /// overlap-database hit).
+    Cached(f64),
+    /// The merge aborted: the score is provably `≤` the gate. A refuted
+    /// pair can never enter the top-k list, so no score is produced.
+    Refuted,
+}
+
+impl ScoreOutcome {
+    /// The score, if one was produced.
+    #[inline]
+    pub fn value(self) -> Option<f64> {
+        match self {
+            ScoreOutcome::Scored(s) | ScoreOutcome::Cached(s) => Some(s),
+            ScoreOutcome::Refuted => None,
+        }
+    }
+}
+
 /// Scores a pair given both records; the joint executor substitutes a
 /// reuse-aware scorer here (§4.2).
-pub trait PairScorer: Sync {
+///
+/// Deliberately **not** `Sync`: every scorer is created and consumed on
+/// a single worker thread, which lets implementations keep cheap
+/// `Cell`-based statistics and `RefCell` scratch buffers instead of
+/// atomics.
+pub trait PairScorer {
     /// Similarity score of `(a, b)`.
     fn score(&self, a: TupleId, b: TupleId, ra: &[u32], rb: &[u32]) -> f64;
+
+    /// Threshold-gated scoring: produces the exact score only when it is
+    /// strictly above `gate` (the caller's top-k threshold), and may
+    /// abort early — returning [`ScoreOutcome::Refuted`] — as soon as the
+    /// score provably cannot beat it. Any score returned must be
+    /// **bit-identical** to what [`PairScorer::score`] would produce, so
+    /// gating never changes the resulting top-k list.
+    ///
+    /// The default falls back to ungated scoring.
+    #[inline]
+    fn score_above(
+        &self,
+        a: TupleId,
+        b: TupleId,
+        ra: &[u32],
+        rb: &[u32],
+        gate: f64,
+    ) -> ScoreOutcome {
+        let _ = gate;
+        ScoreOutcome::Scored(self.score(a, b, ra, rb))
+    }
 }
 
 /// The default scorer: exact multiset similarity of the merged records.
@@ -206,6 +263,132 @@ impl PairScorer for ExactScorer {
     #[inline]
     fn score(&self, _a: TupleId, _b: TupleId, ra: &[u32], rb: &[u32]) -> f64 {
         self.0.score(ra, rb)
+    }
+
+    #[inline]
+    fn score_above(
+        &self,
+        _a: TupleId,
+        _b: TupleId,
+        ra: &[u32],
+        rb: &[u32],
+        gate: f64,
+    ) -> ScoreOutcome {
+        match self.0.score_above(ra, rb, gate) {
+            Some(s) => ScoreOutcome::Scored(s),
+            None => ScoreOutcome::Refuted,
+        }
+    }
+}
+
+const CACHE_SHARDS: usize = 16;
+
+/// A concurrent, insert-only pair → score cache shared by the `q`
+/// preludes of [`select_q_cached`] and the winning `q`'s main run.
+///
+/// Set-measure scores are q-independent, so every pair a prelude scores
+/// is a pair the main run would otherwise score again from scratch. The
+/// preludes **insert only** — they never read the cache — so each
+/// prelude's own work counters stay deterministic regardless of how the
+/// prelude threads interleave; because scores are pure functions of the
+/// pair, the cache's final contents after all preludes join are the
+/// deterministic union of every prelude's scored pairs.
+pub struct ScoreCache {
+    shards: Vec<RwLock<FxHashMap<u64, f64>>>,
+    hits: AtomicU64,
+}
+
+impl Default for ScoreCache {
+    fn default() -> Self {
+        ScoreCache::new()
+    }
+}
+
+impl ScoreCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ScoreCache {
+            shards: (0..CACHE_SHARDS).map(|_| RwLock::new(fx_map())).collect(),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &RwLock<FxHashMap<u64, f64>> {
+        &self.shards[(hash_u64(key) >> 60) as usize % CACHE_SHARDS]
+    }
+
+    /// The cached score of a pair, if present. Hits are counted here
+    /// (per instance and as `mc.core.ssj.cache_hits`).
+    pub fn get(&self, key: u64) -> Option<f64> {
+        let out = self.shard(key).read().get(&key).copied();
+        if out.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            mc_obs::counter!("mc.core.ssj.cache_hits").inc();
+        }
+        out
+    }
+
+    /// Records a pair's score (first writer wins; idempotent — scores
+    /// are pure, so every writer holds the same value).
+    pub fn insert(&self, key: u64, score: f64) {
+        self.shard(key).write().entry(key).or_insert(score);
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total cached pairs.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True if nothing was cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The prelude scorer of [`select_q_cached`]: exact scoring that
+/// **populates** a [`ScoreCache`] as a side effect.
+///
+/// Deliberately write-only (see [`ScoreCache`]): consulting the cache
+/// from racing preludes would make each prelude's `scored` counter
+/// depend on thread interleaving, and the q-selection cost model must
+/// stay machine-independent.
+pub struct CachedExactScorer<'a> {
+    /// The similarity measure.
+    pub measure: SetMeasure,
+    /// The cache to populate.
+    pub cache: &'a ScoreCache,
+}
+
+impl PairScorer for CachedExactScorer<'_> {
+    #[inline]
+    fn score(&self, a: TupleId, b: TupleId, ra: &[u32], rb: &[u32]) -> f64 {
+        let s = self.measure.score(ra, rb);
+        self.cache.insert(pair_key(a, b), s);
+        s
+    }
+
+    #[inline]
+    fn score_above(
+        &self,
+        a: TupleId,
+        b: TupleId,
+        ra: &[u32],
+        rb: &[u32],
+        gate: f64,
+    ) -> ScoreOutcome {
+        match self.measure.score_above(ra, rb, gate) {
+            Some(s) => {
+                self.cache.insert(pair_key(a, b), s);
+                ScoreOutcome::Scored(s)
+            }
+            None => ScoreOutcome::Refuted,
+        }
     }
 }
 
@@ -255,6 +438,111 @@ struct PairState {
     scored: bool,
 }
 
+/// Largest `|A| × |B|` for which the pair-state table is stored densely
+/// (one generation-stamped slot per pair, ~64 MiB of `u64`s at the cap)
+/// instead of as a hash map. The dense table turns the per-incidence
+/// state probe — the hottest operation of the event loop — into a single
+/// indexed load with no hashing.
+const DENSE_STATES_MAX: usize = 1 << 23;
+
+/// Dense-slot layout: bits 63–32 hold the scratch generation (0 = never
+/// touched), bit 31 the scored flag, bits 30–0 the common-token count.
+const SCORED_BIT: u64 = 1 << 31;
+const COMMON_MASK: u64 = SCORED_BIT - 1;
+
+/// What a per-incidence state advance tells the event loop to do.
+enum Step {
+    /// The pair has fewer than `q` common tokens so far.
+    Pending,
+    /// This incidence is the pair's `q`-th common token: score it now.
+    ReachedQ,
+    /// The pair was already scored (or seeded); nothing to do.
+    AlreadyScored,
+}
+
+/// The pair-state table behind the event loop: dense when `|A| × |B|`
+/// fits [`DENSE_STATES_MAX`], a hash map otherwise. Generation stamps
+/// make dense reuse across joins O(1) — `prepare` bumps the generation
+/// instead of clearing millions of slots.
+enum StateTable<'s> {
+    Dense {
+        slots: &'s mut [u64],
+        gen: u64,
+        nb: usize,
+    },
+    Sparse {
+        map: &'s mut FxHashMap<u64, PairState>,
+    },
+}
+
+impl StateTable<'_> {
+    /// Records one more common token for `(a, b)`; `discovered` is
+    /// bumped on the pair's first incidence.
+    #[inline]
+    fn advance(&mut self, a: TupleId, b: TupleId, q: usize, discovered: &mut u64) -> Step {
+        match self {
+            StateTable::Dense { slots, gen, nb } => {
+                let slot = &mut slots[a as usize * *nb + b as usize];
+                if (*slot >> 32) != *gen {
+                    *discovered += 1;
+                    *slot = *gen << 32;
+                }
+                if *slot & SCORED_BIT != 0 {
+                    return Step::AlreadyScored;
+                }
+                let common = (*slot & COMMON_MASK) + 1;
+                if common as usize >= q {
+                    *slot = (*gen << 32) | SCORED_BIT | common;
+                    Step::ReachedQ
+                } else {
+                    *slot = (*gen << 32) | common;
+                    Step::Pending
+                }
+            }
+            StateTable::Sparse { map } => {
+                let st = match map.entry(pair_key(a, b)) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        *discovered += 1;
+                        v.insert(PairState::default())
+                    }
+                };
+                if st.scored {
+                    return Step::AlreadyScored;
+                }
+                st.common += 1;
+                if st.common as usize >= q {
+                    st.scored = true;
+                    Step::ReachedQ
+                } else {
+                    Step::Pending
+                }
+            }
+        }
+    }
+
+    /// Marks a seeded pair as already scored so the loop never rescores
+    /// it.
+    #[inline]
+    fn seed(&mut self, key: u64) {
+        match self {
+            StateTable::Dense { slots, gen, nb } => {
+                let (a, b) = split_pair_key(key);
+                slots[a as usize * *nb + b as usize] = (*gen << 32) | SCORED_BIT;
+            }
+            StateTable::Sparse { map } => {
+                map.insert(
+                    key,
+                    PairState {
+                        common: 0,
+                        scored: true,
+                    },
+                );
+            }
+        }
+    }
+}
+
 /// A dense (rank-indexed) inverted index over the records' prefixes.
 ///
 /// `lists[rank]` holds `(record, copies)` postings: every record whose
@@ -297,16 +585,30 @@ pub struct JoinScratch {
     slot: [Vec<u32>; 2],
     /// Per-side dense inverted indexes.
     postings: [DensePostings; 2],
-    /// Discovered pair states.
+    /// Discovered pair states (hash fallback for huge `|A| × |B|`).
     states: FxHashMap<u64, PairState>,
+    /// Dense pair-state slots (see [`StateTable`]), generation-stamped
+    /// so reuse across joins never clears them.
+    dense_states: Vec<u64>,
+    /// Current dense generation; bumped by every `prepare`.
+    dense_gen: u32,
+    /// Whether the most recent `prepare` chose the dense table.
+    dense: bool,
     /// The event max-heap.
     heap: BinaryHeap<Event>,
     /// Heap events processed by the most recent join on this scratch.
     events: u64,
     /// Total tokens fed to the scorer by the most recent join (the sum
-    /// of `|ra| + |rb|` over scored pairs — a machine-independent proxy
-    /// for scoring cost).
+    /// of `|ra| + |rb|` over scoring *attempts*, whether or not the
+    /// merge completed — a machine-independent proxy for scoring cost
+    /// that is unaffected by threshold gating, so [`select_q`]'s cost
+    /// model is stable across kernel changes).
     scored_tokens: u64,
+    /// Scoring attempts the most recent join refuted via merge abort.
+    merge_aborts: u64,
+    /// Scoring attempts the most recent join served from a cache
+    /// (score cache or overlap database) without a fresh merge.
+    cache_served: u64,
 }
 
 impl JoinScratch {
@@ -332,12 +634,29 @@ impl JoinScratch {
             self.slot[side].resize(n, 0);
             self.postings[side].reset(rank_bound);
         }
-        self.states.clear();
+        self.dense = na
+            .checked_mul(nb)
+            .is_some_and(|c| c > 0 && c <= DENSE_STATES_MAX);
+        if self.dense {
+            if self.dense_gen == u32::MAX {
+                // Generation wrap (once per 2³² joins): restart cleanly.
+                self.dense_states.clear();
+                self.dense_gen = 0;
+            }
+            self.dense_gen += 1;
+            if self.dense_states.len() < na * nb {
+                self.dense_states.resize(na * nb, 0);
+            }
+        } else {
+            self.states.clear();
+        }
         self.heap.clear();
         // At most one outstanding event per record.
         self.heap.reserve(na + nb);
         self.events = 0;
         self.scored_tokens = 0;
+        self.merge_aborts = 0;
+        self.cache_served = 0;
     }
 
     /// Heap events the most recent join on this scratch processed — a
@@ -348,9 +667,19 @@ impl JoinScratch {
     }
 
     /// Tokens fed to the scorer by the most recent join (`Σ |ra| + |rb|`
-    /// over scored pairs).
+    /// over scoring attempts, aborted merges included).
     pub fn last_scored_tokens(&self) -> u64 {
         self.scored_tokens
+    }
+
+    /// Scoring attempts the most recent join refuted via merge abort.
+    pub fn last_merge_aborts(&self) -> u64 {
+        self.merge_aborts
+    }
+
+    /// Scoring attempts the most recent join answered from a cache.
+    pub fn last_cache_served(&self) -> u64 {
+        self.cache_served
     }
 }
 
@@ -393,22 +722,31 @@ pub fn topk_join_with_scratch(
         slot,
         postings,
         states,
+        dense_states,
+        dense_gen,
+        dense,
         heap,
         events: scratch_events,
         scored_tokens: scratch_scored_tokens,
+        merge_aborts: scratch_merge_aborts,
+        cache_served: scratch_cache_served,
     } = scratch;
+
+    let mut table = if *dense {
+        StateTable::Dense {
+            slots: &mut dense_states[..],
+            gen: *dense_gen as u64,
+            nb: inst.records_b.len(),
+        }
+    } else {
+        StateTable::Sparse { map: states }
+    };
 
     let mut k_list = TopKList::with_capacity_hint(params.k, seed.len());
     for &(score, pair) in seed {
         if !inst.killed.contains_key(pair) {
             k_list.insert(score, pair);
-            states.insert(
-                pair,
-                PairState {
-                    common: 0,
-                    scored: true,
-                },
-            );
+            table.seed(pair);
         }
     }
 
@@ -429,9 +767,14 @@ pub fn topk_join_with_scratch(
     let mut n_events = 0u64;
     let mut n_discovered = 0u64;
     let mut n_scored = 0u64;
+    let mut n_cached = 0u64;
+    let mut n_aborted = 0u64;
     let mut n_scored_tokens = 0u64;
     let mut n_killed_skipped = 0u64;
     let mut n_bound_pruned = 0u64;
+    // Hoisted: the blocker output is checked once per pair (at scoring
+    // time), and not at all when it is empty.
+    let no_killed = inst.killed.is_empty();
 
     let mut since_cancel_check = 0u32;
     while let Some(ev) = heap.pop() {
@@ -474,12 +817,6 @@ pub fn topk_join_with_scratch(
         let partners = &postings[other].lists[tok as usize];
         if !partners.is_empty() {
             for &(o, o_count) in partners {
-                let (a, b) = if side == 0 { (ev.rec, o) } else { (o, ev.rec) };
-                let key = pair_key(a, b);
-                if inst.killed.contains_key(key) {
-                    n_killed_skipped += 1;
-                    continue;
-                }
                 // The pair's prefix multiset overlap grows by one exactly
                 // when the partner's prefix already holds ≥ occ copies of
                 // this token (its posting counts them); this keeps
@@ -488,25 +825,36 @@ pub fn topk_join_with_scratch(
                 if o_count < occ {
                     continue;
                 }
-                let st = match states.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        n_discovered += 1;
-                        v.insert(PairState::default())
+                let (a, b) = if side == 0 { (ev.rec, o) } else { (o, ev.rec) };
+                if let Step::ReachedQ = table.advance(a, b, params.q, &mut n_discovered) {
+                    // Membership in the blocker output `C` is checked
+                    // once per pair, here — not per incidence. A killed
+                    // pair costs one pair-state slot but saves a hash
+                    // probe on `C` for every later shared token.
+                    let key = pair_key(a, b);
+                    if !no_killed && inst.killed.contains_key(key) {
+                        n_killed_skipped += 1;
+                        continue;
                     }
-                };
-                if st.scored {
-                    continue;
-                }
-                st.common += 1;
-                if st.common as usize >= params.q {
-                    st.scored = true;
-                    n_scored += 1;
                     let ra = inst.records_a.record(a);
                     let rb = inst.records_b.record(b);
                     n_scored_tokens += (ra.len() + rb.len()) as u64;
-                    let s = scorer.score(a, b, ra, rb);
-                    k_list.insert(s, key);
+                    // Gate on the current k-th score: the list only keeps
+                    // strictly greater scores (and never keeps ≤ 0, which
+                    // the 0.0 not-yet-full threshold encodes), so a
+                    // refuted attempt is exactly one the list would have
+                    // rejected — the outcome split never changes it.
+                    match scorer.score_above(a, b, ra, rb, k_list.threshold()) {
+                        ScoreOutcome::Scored(s) => {
+                            n_scored += 1;
+                            k_list.insert(s, key);
+                        }
+                        ScoreOutcome::Cached(s) => {
+                            n_cached += 1;
+                            k_list.insert(s, key);
+                        }
+                        ScoreOutcome::Refuted => n_aborted += 1,
+                    }
                 }
             }
         }
@@ -543,9 +891,13 @@ pub fn topk_join_with_scratch(
     }
     *scratch_events = n_events;
     *scratch_scored_tokens = n_scored_tokens;
+    *scratch_merge_aborts = n_aborted;
+    *scratch_cache_served = n_cached;
     mc_obs::counter!("mc.core.ssj.events").add(n_events);
     mc_obs::counter!("mc.core.ssj.candidates").add(n_discovered);
     mc_obs::counter!("mc.core.ssj.scored").add(n_scored);
+    mc_obs::counter!("mc.core.ssj.merge_aborts").add(n_aborted);
+    mc_obs::counter!("mc.core.ssj.scored_saved").add(n_aborted + n_cached);
     mc_obs::counter!("mc.core.ssj.killed_skipped").add(n_killed_skipped);
     mc_obs::counter!("mc.core.ssj.bound_pruned").add(n_bound_pruned);
     k_list
@@ -589,6 +941,24 @@ pub fn select_q(
     max_q: usize,
     prelude_k: usize,
 ) -> usize {
+    select_q_cached(inst, measure, max_q, prelude_k, None)
+}
+
+/// [`select_q`] with an optional [`ScoreCache`] that the preludes
+/// populate as they score (write-only; see [`CachedExactScorer`]). The
+/// winning `q`'s main run can then consume the cache and skip re-scoring
+/// every pair a prelude already scored — the cost of determinism
+/// (running all preludes to completion) is recycled instead of wasted.
+///
+/// The chosen `q` is identical to [`select_q`]'s: the cost model reads
+/// events and *attempt-time* scored tokens, both unaffected by the cache.
+pub fn select_q_cached(
+    inst: SsjInstance<'_>,
+    measure: SetMeasure,
+    max_q: usize,
+    prelude_k: usize,
+    cache: Option<&ScoreCache>,
+) -> usize {
     let max_q = max_q.max(1);
     if max_q == 1 {
         return 1;
@@ -597,15 +967,25 @@ pub fn select_q(
     let costs: Vec<(u64, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (1..=max_q)
             .map(|q| {
-                let scorer = ExactScorer(measure);
                 scope.spawn(move || {
+                    let scorer: Box<dyn PairScorer> = match cache {
+                        Some(cache) => Box::new(CachedExactScorer { measure, cache }),
+                        None => Box::new(ExactScorer(measure)),
+                    };
                     let params = SsjParams {
                         k: prelude_k,
                         q,
                         measure,
                     };
                     let mut scratch = JoinScratch::new();
-                    let _ = topk_join_with_scratch(inst, params, &scorer, &[], None, &mut scratch);
+                    let _ = topk_join_with_scratch(
+                        inst,
+                        params,
+                        scorer.as_ref(),
+                        &[],
+                        None,
+                        &mut scratch,
+                    );
                     (scratch.last_events() + scratch.last_scored_tokens(), q)
                 })
             })

@@ -68,6 +68,32 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     j + prefix * 0.1 * (1.0 - j)
 }
 
+/// Threshold-gated Jaro-Winkler: `Some(s)` iff `s > t`, with `s`
+/// bit-identical to [`jaro_winkler`].
+///
+/// The gate comes from a cheap length-only upper bound: with at most
+/// `m = min(|a|, |b|)` matches and zero transpositions,
+/// `jaro ≤ (m/|a| + m/|b| + 1) / 3`, and the Winkler boost with
+/// `ℓ·p ≤ 0.4` lifts any Jaro value `j` to at most `j + 0.4·(1 − j)`.
+/// Pairs whose bound is `≤ t` skip the O(|a|·|b|) match scan entirely.
+pub fn jaro_winkler_above(a: &str, b: &str, t: f64) -> Option<f64> {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la == 0 || lb == 0 {
+        // Degenerate sides bypass the bound (jaro("", "") = 1.0).
+        let s = jaro_winkler(a, b);
+        return (s > t).then_some(s);
+    }
+    let m = la.min(lb) as f64;
+    let ub_j = (m / la as f64 + m / lb as f64 + 1.0) / 3.0;
+    let ub = ub_j + 0.4 * (1.0 - ub_j);
+    if ub <= t {
+        return None;
+    }
+    let s = jaro_winkler(a, b);
+    (s > t).then_some(s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +143,34 @@ mod tests {
             assert!(w >= j1 - 1e-12, "winkler boost must not lower the score");
             assert!((0.0..=1.0).contains(&w));
         }
+    }
+
+    #[test]
+    fn jaro_winkler_above_agrees_bitwise() {
+        let words = ["martha", "marhta", "dixon", "dicksonx", "", "a", "ab"];
+        for a in words {
+            for b in words {
+                let s = jaro_winkler(a, b);
+                for t in [-1.0, 0.0, 0.3, s, 0.9, 1.0] {
+                    match jaro_winkler_above(a, b, t) {
+                        Some(got) => {
+                            assert!(s > t, "a={a:?} b={b:?} t={t}");
+                            assert_eq!(got.to_bits(), s.to_bits());
+                        }
+                        None => assert!(s <= t, "a={a:?} b={b:?} t={t}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jaro_winkler_above_skips_length_skewed_pairs() {
+        // min/max length ratio caps the score well below the gate.
+        assert_eq!(
+            jaro_winkler_above("ab", "abcdefghijklmnopqrstuvwxyz", 0.95),
+            None
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! intentionally separate from the debugger's *top-k* join (`mc-core`),
 //! which has no threshold and extends prefixes incrementally.
 
-use crate::measures::{multiset_overlap, SetMeasure};
+use crate::measures::{multiset_overlap, overlap_with_bound, SetMeasure};
 use crate::prefix::{length_bounds, min_overlap, overlap_prefix_len, prefix_len};
 use mc_table::hash::{fx_set, FxHashMap};
 use mc_table::{PairSet, TupleId};
@@ -78,11 +78,14 @@ pub fn sim_join(a: &[Vec<u32>], b: &[Vec<u32>], measure: SetMeasure, threshold: 
                     continue;
                 }
                 let need = min_overlap(measure, threshold, ra.len(), rb.len());
-                let o = multiset_overlap(ra, rb);
-                if o >= need && measure.from_overlap(o, ra.len(), rb.len()) >= threshold - 1e-12 {
-                    out.insert(ai as TupleId, bi);
-                } else {
-                    verify_pruned += 1;
+                // Bounded merge: aborts as soon as the remaining tokens
+                // cannot reach `need`, instead of finishing the merge and
+                // checking afterwards.
+                match overlap_with_bound(ra, rb, need) {
+                    Some(o) if measure.from_overlap(o, ra.len(), rb.len()) >= threshold - 1e-12 => {
+                        out.insert(ai as TupleId, bi);
+                    }
+                    _ => verify_pruned += 1,
                 }
             }
         }

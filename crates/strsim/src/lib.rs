@@ -32,7 +32,9 @@ pub mod tokenize;
 
 pub use arena::RecordArena;
 pub use dict::{TokenDict, TokenizedTable};
+pub use jaro::{jaro, jaro_winkler, jaro_winkler_above};
 pub use measures::{
-    edit_distance, edit_similarity, multiset_overlap, within_edit_distance, SetMeasure,
+    bounded_edit_distance, edit_distance, edit_similarity, multiset_overlap, overlap_bound_key,
+    overlap_with_bound, required_overlap, required_overlap_keyed, within_edit_distance, SetMeasure,
 };
 pub use tokenize::{qgram_tokens, word_tokens, Tokenizer};

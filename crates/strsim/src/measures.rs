@@ -29,6 +29,214 @@ pub fn multiset_overlap(a: &[u32], b: &[u32]) -> usize {
     o
 }
 
+/// Mismatch advances on one side before the merge switches from linear
+/// stepping to galloping (exponential + binary search) — tuned for the
+/// length-skewed pairs where one record's tokens cluster far apart in
+/// the other's rank range.
+const GALLOP_AFTER: u32 = 7;
+
+/// First index `>= lo` with `v[idx] >= target` (exponential search from
+/// `lo`, then binary search over the bracketed range).
+#[inline]
+fn gallop_to(v: &[u32], lo: usize, target: u32) -> usize {
+    let n = v.len();
+    if lo >= n || v[lo] >= target {
+        return lo;
+    }
+    // Invariant: v[prev] < target.
+    let mut prev = lo;
+    let mut step = 1usize;
+    let mut hi = lo + 1;
+    while hi < n && v[hi] < target {
+        prev = hi;
+        hi += step;
+        step <<= 1;
+    }
+    let (mut l, mut r) = (prev + 1, hi.min(n));
+    while l < r {
+        let m = l + (r - l) / 2;
+        if v[m] < target {
+            l = m + 1;
+        } else {
+            r = m;
+        }
+    }
+    l
+}
+
+/// Threshold-aware multiset merge: returns `Some(o)` — with `o` the exact
+/// [`multiset_overlap`] — **iff** `o >= o_min`, and `None` as soon as the
+/// remaining tokens cannot reach `o_min` (`o + min(rem_a, rem_b) < o_min`,
+/// checked on mismatch advances; equal steps keep the bound invariant).
+///
+/// With `o_min = 0` this is a plain exact merge that always returns
+/// `Some`. Long runs of one-sided mismatches switch to a galloping
+/// advance, so length-skewed pairs abort in far fewer comparisons than
+/// the linear merge would need.
+#[inline]
+pub fn overlap_with_bound(a: &[u32], b: &[u32], o_min: usize) -> Option<usize> {
+    // PPJoin-style length filter: the overlap never exceeds the shorter
+    // side, so an unreachable bound refutes the pair with zero merge work.
+    if a.len().min(b.len()) < o_min {
+        return None;
+    }
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+    let (mut run_a, mut run_b) = (0u32, 0u32);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                o += 1;
+                i += 1;
+                j += 1;
+                run_a = 0;
+                run_b = 0;
+            }
+            std::cmp::Ordering::Less => {
+                i += 1;
+                run_a += 1;
+                if run_a >= GALLOP_AFTER {
+                    i = gallop_to(a, i, b[j]);
+                    run_a = 0;
+                }
+                if o + (a.len() - i).min(b.len() - j) < o_min {
+                    return None;
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                j += 1;
+                run_b += 1;
+                if run_b >= GALLOP_AFTER {
+                    j = gallop_to(b, j, a[i]);
+                    run_b = 0;
+                }
+                if o + (a.len() - i).min(b.len() - j) < o_min {
+                    return None;
+                }
+            }
+        }
+    }
+    (o >= o_min).then_some(o)
+}
+
+/// The minimal integer overlap `o` with
+/// `measure.from_overlap(o, la, lb) > t` (**strictly**), or
+/// `min(la, lb) + 1` when no reachable overlap beats `t` — the
+/// measure-specific *required overlap* the top-k join derives from its
+/// heap minimum.
+///
+/// The closed-form inversion of each measure gives an estimate within a
+/// unit of the boundary; the final answer is then settled by comparing
+/// against [`SetMeasure::from_overlap`] itself (monotone in `o`), so the
+/// result is exact regardless of floating-point rounding in the estimate.
+pub fn required_overlap(measure: SetMeasure, t: f64, la: usize, lb: usize) -> usize {
+    if t < 0.0 {
+        return 0;
+    }
+    let min_len = la.min(lb);
+    if la == 0 || lb == 0 {
+        // from_overlap is 0 on empty sides: never strictly above t >= 0.
+        return min_len + 1;
+    }
+    let (la_f, lb_f) = (la as f64, lb as f64);
+    let est = match measure {
+        // o/(la+lb-o) > t  ⇔  o > t(la+lb)/(1+t)
+        SetMeasure::Jaccard => t * (la_f + lb_f) / (1.0 + t),
+        // o > t·sqrt(la·lb)
+        SetMeasure::Cosine => t * (la_f * lb_f).sqrt(),
+        // 2o/(la+lb) > t  ⇔  o > t(la+lb)/2
+        SetMeasure::Dice => t * (la_f + lb_f) / 2.0,
+        // o > t·min(la,lb)
+        SetMeasure::Overlap => t * min_len as f64,
+    };
+    let mut o = (est.max(0.0).floor() as usize).min(min_len + 1);
+    while o > 0 && measure.from_overlap(o - 1, la, lb) > t {
+        o -= 1;
+    }
+    while o <= min_len && measure.from_overlap(o, la, lb) <= t {
+        o += 1;
+    }
+    o
+}
+
+/// The measure-specific scalar [`required_overlap`] actually depends on:
+/// Jaccard's and Dice's bounds are functions of `la + lb` alone,
+/// Overlap's of `min(la, lb)`, Cosine's of `la · lb`. Callers can
+/// therefore memoize [`required_overlap_keyed`] per gate in a tiny dense
+/// table instead of re-deriving the bound for every pair.
+#[inline]
+pub fn overlap_bound_key(measure: SetMeasure, la: usize, lb: usize) -> usize {
+    match measure {
+        SetMeasure::Jaccard | SetMeasure::Dice => la + lb,
+        SetMeasure::Overlap => la.min(lb),
+        SetMeasure::Cosine => la * lb,
+    }
+}
+
+/// Exact integer square root (monotone; no floating-point edge cases).
+fn isqrt(n: usize) -> usize {
+    let mut c = (n as f64).sqrt() as usize;
+    while (c + 1).checked_mul(c + 1).is_some_and(|s| s <= n) {
+        c += 1;
+    }
+    while c.checked_mul(c).is_none_or(|s| s > n) {
+        c -= 1;
+    }
+    c
+}
+
+/// [`required_overlap`] as a function of [`overlap_bound_key`] alone.
+///
+/// Outcome-equivalent under [`overlap_with_bound`]'s contract: for every
+/// `(la, lb)` with this key, the result equals
+/// `required_overlap(measure, t, la, lb)` whenever that bound is
+/// reachable (`≤ min(la, lb)`), and exceeds `min(la, lb)` whenever the
+/// exact bound does — the two may then differ in value, but both refute
+/// the pair through the length filter. The score comparisons reuse the
+/// exact [`SetMeasure::from_overlap`] float expressions (integer sums
+/// and products below 2⁵³ are exact in `f64`), so the boundary is
+/// bit-for-bit the same.
+pub fn required_overlap_keyed(measure: SetMeasure, t: f64, key: usize) -> usize {
+    if t < 0.0 {
+        return 0;
+    }
+    if key == 0 {
+        // Only empty-sided pairs have key 0: nothing beats t ≥ 0.
+        return 1;
+    }
+    // The largest min(la, lb) any pair with this key can have — the walk
+    // cap that keeps unreachable results above every such pair's length
+    // filter.
+    let cap = match measure {
+        SetMeasure::Jaccard | SetMeasure::Dice => key / 2,
+        SetMeasure::Overlap => key,
+        SetMeasure::Cosine => isqrt(key),
+    };
+    let key_f = key as f64;
+    let f = |o: usize| -> f64 {
+        let of = o as f64;
+        match measure {
+            SetMeasure::Jaccard => of / (key_f - of),
+            SetMeasure::Cosine => of / key_f.sqrt(),
+            SetMeasure::Dice => 2.0 * of / key_f,
+            SetMeasure::Overlap => of / key_f,
+        }
+    };
+    let est = match measure {
+        SetMeasure::Jaccard => t * key_f / (1.0 + t),
+        SetMeasure::Cosine => t * key_f.sqrt(),
+        SetMeasure::Dice => t * key_f / 2.0,
+        SetMeasure::Overlap => t * key_f,
+    };
+    let mut o = (est.max(0.0).floor() as usize).min(cap + 1);
+    while o > 0 && f(o - 1) > t {
+        o -= 1;
+    }
+    while o <= cap && f(o) <= t {
+        o += 1;
+    }
+    o
+}
+
 /// The set-based similarity measures supported by the debugger's joins
 /// (Theorem 4.2: Jaccard, cosine, overlap, Dice).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,6 +271,19 @@ impl SetMeasure {
     /// Score of two sorted rank vectors.
     pub fn score(self, a: &[u32], b: &[u32]) -> f64 {
         self.from_overlap(multiset_overlap(a, b), a.len(), b.len())
+    }
+
+    /// Threshold-gated score: `Some(s)` **iff** `score(a, b) > t`
+    /// (strictly), with `s` bit-identical to [`SetMeasure::score`]; `None`
+    /// means the score is provably `<= t`, established with as little
+    /// merge work as possible ([`required_overlap`] length filter, then
+    /// [`overlap_with_bound`]). `t < 0` never refutes, so
+    /// `score_above(a, b, -1.0)` is an exact scoring path.
+    #[inline]
+    pub fn score_above(self, a: &[u32], b: &[u32], t: f64) -> Option<f64> {
+        let o_min = required_overlap(self, t, a.len(), b.len());
+        let o = overlap_with_bound(a, b, o_min)?;
+        Some(self.from_overlap(o, a.len(), b.len()))
     }
 
     /// Upper bound on the score of any **new** pair discovered when the
@@ -111,41 +332,42 @@ impl SetMeasure {
     ];
 }
 
-/// Levenshtein edit distance between two strings (character-level), using
-/// the classic two-row dynamic program. O(|a|·|b|) time, O(min) space.
+/// Levenshtein edit distance between two strings (character-level).
+///
+/// Implemented by iterative deepening over [`bounded_edit_distance`]: the
+/// band starts at the length difference (a lower bound on the distance)
+/// and doubles until the exact distance fits, so similar strings — the
+/// common case behind edit features and misspelling checks — cost
+/// O(d·min(|a|,|b|)) instead of the classic full O(|a|·|b|) table.
 pub fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
-    if b.is_empty() {
-        return a.len();
-    }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
-    for (i, ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, cb) in b.iter().enumerate() {
-            let cost = usize::from(ca != cb);
-            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    let mut k = la.abs_diff(lb).max(1).min(max.max(1));
+    loop {
+        if let Some(d) = bounded_edit_distance(a, b, k) {
+            return d;
         }
-        std::mem::swap(&mut prev, &mut cur);
+        // k = max always succeeds (the distance never exceeds max).
+        k = (k * 2).min(max);
     }
-    prev[b.len()]
 }
 
-/// True iff `edit_distance(a, b) ≤ k`, computed with a banded dynamic
-/// program in O(k·min(|a|,|b|)) — the hot path of `ed(…) ≤ k` blockers.
-pub fn within_edit_distance(a: &str, b: &str, k: usize) -> bool {
+/// The exact edit distance when it is `<= k`, else `None` — a banded
+/// dynamic program over the `|i − j| <= k` diagonal strip in
+/// O(k·min(|a|,|b|)). Cells with a true distance `<= k` never route
+/// through the strip's exterior (any such path costs more than `k`), so
+/// every returned value is exact.
+pub fn bounded_edit_distance(a: &str, b: &str, k: usize) -> Option<usize> {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
     if a.len() - b.len() > k {
-        return false;
+        return None;
     }
     if b.is_empty() {
-        return a.len() <= k;
+        return (a.len() <= k).then_some(a.len());
     }
-    // Banded DP: cell (i, j) only matters when |i − j| ≤ k.
     let inf = k + 1;
     let mut prev = vec![inf; b.len() + 1];
     let mut cur = vec![inf; b.len() + 1];
@@ -156,7 +378,7 @@ pub fn within_edit_distance(a: &str, b: &str, k: usize) -> bool {
         let lo = i.saturating_sub(k);
         let hi = (i + k).min(b.len() - 1);
         if lo > hi {
-            return false;
+            return None;
         }
         cur[lo] = if lo == 0 { i + 1 } else { inf };
         let mut row_min = cur[lo];
@@ -173,14 +395,20 @@ pub fn within_edit_distance(a: &str, b: &str, k: usize) -> bool {
             row_min = row_min.min(cur[j + 1]);
         }
         if row_min > k {
-            return false;
+            return None;
         }
         std::mem::swap(&mut prev, &mut cur);
         for c in cur.iter_mut() {
             *c = inf;
         }
     }
-    prev[b.len()] <= k
+    (prev[b.len()] <= k).then_some(prev[b.len()])
+}
+
+/// True iff `edit_distance(a, b) ≤ k` — the hot path of `ed(…) ≤ k`
+/// blockers, sharing the banded program of [`bounded_edit_distance`].
+pub fn within_edit_distance(a: &str, b: &str, k: usize) -> bool {
+    bounded_edit_distance(a, b, k).is_some()
 }
 
 /// Normalized edit similarity `1 − ed(a,b) / max(|a|,|b|)` ∈ [0, 1];
@@ -198,6 +426,172 @@ pub fn edit_similarity(a: &str, b: &str) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Classic full-table two-row DP — the reference the banded/deepening
+    /// paths are checked against.
+    fn edit_distance_dp(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+        if b.is_empty() {
+            return a.len();
+        }
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0usize; b.len() + 1];
+        for (i, ca) in a.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, cb) in b.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn overlap_with_bound_matches_exact_merge() {
+        let cases: [(&[u32], &[u32]); 6] = [
+            (&[1, 1, 2], &[1, 1, 1]),
+            (&[1, 2, 3], &[4, 5]),
+            (&[], &[1]),
+            (&[1, 2, 3], &[1, 2, 3]),
+            (&[1, 5, 9, 13], &[2, 5, 9, 20, 21, 22]),
+            (&[7], &[1, 2, 3, 4, 5, 6, 7]),
+        ];
+        for (a, b) in cases {
+            let o = multiset_overlap(a, b);
+            for o_min in 0..=(a.len().min(b.len()) + 2) {
+                let got = overlap_with_bound(a, b, o_min);
+                if o >= o_min {
+                    assert_eq!(got, Some(o), "a={a:?} b={b:?} o_min={o_min}");
+                } else {
+                    assert_eq!(got, None, "a={a:?} b={b:?} o_min={o_min}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_with_bound_gallops_through_skew() {
+        // One short record against a long run that forces galloping.
+        let a: Vec<u32> = vec![500, 1000, 2000];
+        let b: Vec<u32> = (0..1500u32).collect();
+        assert_eq!(overlap_with_bound(&a, &b, 0), Some(2));
+        assert_eq!(overlap_with_bound(&a, &b, 2), Some(2));
+        assert_eq!(overlap_with_bound(&a, &b, 3), None);
+        // Duplicates across a gallop boundary keep multiset semantics.
+        let c: Vec<u32> = vec![9, 9, 9];
+        let mut d: Vec<u32> = (0..100u32).collect();
+        d.extend([9, 9].iter());
+        d.sort_unstable();
+        assert_eq!(overlap_with_bound(&c, &d, 0), Some(3));
+    }
+
+    #[test]
+    fn required_overlap_is_minimal_and_strict() {
+        for m in SetMeasure::ALL {
+            for la in 1..=12usize {
+                for lb in 1..=12usize {
+                    for t10 in 0..=10 {
+                        let t = t10 as f64 / 10.0;
+                        let o_min = required_overlap(m, t, la, lb);
+                        let min_len = la.min(lb);
+                        assert!(o_min <= min_len + 1);
+                        if o_min > 0 {
+                            assert!(
+                                m.from_overlap(o_min - 1, la, lb) <= t,
+                                "{m:?} t={t} la={la} lb={lb}: o_min {o_min} not minimal"
+                            );
+                        }
+                        if o_min <= min_len {
+                            assert!(
+                                m.from_overlap(o_min, la, lb) > t,
+                                "{m:?} t={t} la={la} lb={lb}: o_min {o_min} not sufficient"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Negative gate never refutes; empty sides always refute.
+        assert_eq!(required_overlap(SetMeasure::Jaccard, -1.0, 4, 4), 0);
+        assert_eq!(required_overlap(SetMeasure::Jaccard, 0.0, 0, 4), 1);
+    }
+
+    #[test]
+    fn required_overlap_keyed_is_outcome_equivalent() {
+        // The keyed bound must equal the exact one whenever it is
+        // reachable, and both must exceed min(la, lb) whenever either is
+        // unreachable — the only distinction `overlap_with_bound` can
+        // observe.
+        for m in SetMeasure::ALL {
+            for la in 0..=14usize {
+                for lb in 0..=14usize {
+                    for t10 in -1..=10 {
+                        let t = t10 as f64 / 10.0;
+                        let exact = required_overlap(m, t, la, lb);
+                        let keyed = required_overlap_keyed(m, t, overlap_bound_key(m, la, lb));
+                        let min_len = la.min(lb);
+                        if exact <= min_len {
+                            assert_eq!(
+                                keyed, exact,
+                                "{m:?} t={t} la={la} lb={lb}: keyed diverges on reachable bound"
+                            );
+                        } else {
+                            assert!(
+                                keyed > min_len,
+                                "{m:?} t={t} la={la} lb={lb}: keyed {keyed} lets an \
+                                 unreachable bound ({exact}) through the length filter"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_above_agrees_bitwise_with_score() {
+        let recs: [&[u32]; 5] = [
+            &[1, 2, 3, 4],
+            &[1, 1, 2],
+            &[3, 4, 5, 6, 7],
+            &[9],
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+        ];
+        for m in SetMeasure::ALL {
+            for a in recs {
+                for b in recs {
+                    let s = m.score(a, b);
+                    for t in [-1.0, 0.0, 0.2, s, 0.99, 1.0] {
+                        match m.score_above(a, b, t) {
+                            Some(got) => {
+                                assert!(s > t, "{m:?} a={a:?} b={b:?} t={t}");
+                                assert_eq!(got.to_bits(), s.to_bits());
+                            }
+                            None => assert!(s <= t, "{m:?} a={a:?} b={b:?} t={t}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_edit_distance_agrees_with_full_dp() {
+        let words = ["smith", "smyth", "schmidt", "welson", "wilson", "", "w"];
+        for a in words {
+            for b in words {
+                let d = edit_distance_dp(a, b);
+                assert_eq!(edit_distance(a, b), d, "deepening a={a:?} b={b:?}");
+                for k in 0..8 {
+                    let got = bounded_edit_distance(a, b, k);
+                    assert_eq!(got, (d <= k).then_some(d), "a={a:?} b={b:?} k={k}");
+                }
+            }
+        }
+    }
 
     #[test]
     fn overlap_multiset_semantics() {

@@ -7,7 +7,10 @@ use matchcatcher::ssj::{
 };
 use mc_strsim::arena::RecordArena;
 use mc_strsim::join::{nested_loop_join, sim_join};
-use mc_strsim::measures::{edit_distance, within_edit_distance, SetMeasure};
+use mc_strsim::measures::{
+    edit_distance, multiset_overlap, overlap_with_bound, required_overlap, within_edit_distance,
+    SetMeasure,
+};
 use mc_table::PairSet;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
@@ -519,6 +522,113 @@ fn topk_list_holds_the_k_best() {
             );
         } else {
             assert_eq!(list.threshold(), 0.0, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn overlap_with_bound_agrees_with_naive_overlap() {
+    // The threshold-aware merge's full contract against the naive oracle:
+    // `overlap_with_bound(a, b, o_min)` returns `Some(multiset_overlap)`
+    // exactly when the bound is reachable and `None` otherwise — for
+    // measure-derived bounds across all four set measures and the
+    // adversarial corners (0, the exact overlap, one past it, and a bound
+    // no pair can meet).
+    let mut rng = StdRng::seed_from_u64(0x0B0DE);
+    let random_record = |rng: &mut StdRng| -> Vec<u32> {
+        let len = rng.random_range(0..12usize);
+        let mut v: Vec<u32> = (0..len).map(|_| rng.random_range(0..20u32)).collect();
+        v.sort_unstable();
+        v
+    };
+    for case in 0..CASES * 4 {
+        let a = random_record(&mut rng);
+        let b = random_record(&mut rng);
+        let o = multiset_overlap(&a, &b);
+        let check = |o_min: usize| {
+            assert_eq!(
+                overlap_with_bound(&a, &b, o_min),
+                (o >= o_min).then_some(o),
+                "case {case} o_min={o_min} a={a:?} b={b:?}"
+            );
+        };
+        // Adversarial corners.
+        for o_min in [0, o, o + 1, a.len().min(b.len()) + 1, usize::MAX] {
+            check(o_min);
+        }
+        // Measure-derived bounds, as the join computes them from the
+        // current top-k heap minimum.
+        for m in SetMeasure::ALL {
+            for t10 in 0..=10u32 {
+                check(required_overlap(m, f64::from(t10) / 10.0, a.len(), b.len()));
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_q_score_cache_matches_cache_off_join() {
+    // Cache-on / cache-off identity: a joint run whose main pass consumes
+    // the prelude-populated pair → score cache must produce bit-identical
+    // per-config lists (pairs, scores, tie-breaks) to a cache-free run at
+    // the same fixed q.
+    use matchcatcher::config::ConfigGenerator;
+    use matchcatcher::joint::{run_joint, JointParams, QStrategy};
+    use mc_datagen::profiles::DatasetProfile;
+    use mc_strsim::dict::TokenizedTable;
+    use mc_strsim::tokenize::Tokenizer;
+
+    let ds = DatasetProfile::FodorsZagats.generate_scaled(7, 0.3);
+    let generator = ConfigGenerator::default();
+    let promising = generator.promising(&ds.a, &ds.b);
+    let tree = generator.build_tree(&promising);
+    let (ta, tb, _) = TokenizedTable::build_pair(&ds.a, &ds.b, &promising.attrs, Tokenizer::Word);
+    let killed = PairSet::new();
+
+    let before = mc_obs::MetricsSnapshot::capture();
+    let auto = run_joint(
+        &ta,
+        &tb,
+        &killed,
+        &tree,
+        JointParams {
+            k: 60,
+            q: QStrategy::Auto {
+                max_q: 4,
+                prelude_k: 50,
+            },
+            ..Default::default()
+        },
+    );
+    let delta = mc_obs::MetricsSnapshot::capture().since(&before);
+    assert!(
+        delta.counter("mc.core.ssj.cache_hits") > 0,
+        "the prelude score cache must actually serve the main run"
+    );
+
+    let fixed = run_joint(
+        &ta,
+        &tb,
+        &killed,
+        &tree,
+        JointParams {
+            k: 60,
+            q: QStrategy::Fixed(auto.q_used),
+            ..Default::default()
+        },
+    );
+    assert_eq!(auto.q_used, fixed.q_used);
+    assert_eq!(auto.lists.len(), fixed.lists.len());
+    for (i, (la, lb)) in auto.lists.iter().zip(&fixed.lists).enumerate() {
+        let ea = la.sorted_entries();
+        let eb = lb.sorted_entries();
+        assert_eq!(ea.len(), eb.len(), "config {i}");
+        for ((sa, pa), (sb, pb)) in ea.iter().zip(&eb) {
+            assert_eq!(
+                (sa.to_bits(), pa),
+                (sb.to_bits(), pb),
+                "config {i}: cached score diverged from fresh computation"
+            );
         }
     }
 }

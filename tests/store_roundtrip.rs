@@ -15,7 +15,7 @@
 //! tests (which run cold pipelines) from contaminating its delta.
 
 use matchcatcher::debugger::{DebugReport, DebuggerParams, MatchCatcher};
-use matchcatcher::joint::CandidateUnion;
+use matchcatcher::joint::{CandidateUnion, QStrategy};
 use matchcatcher::oracle::GoldOracle;
 use matchcatcher::store_io;
 use matchcatcher::verify::IterationRecord;
@@ -70,11 +70,16 @@ fn summarize(r: &DebugReport) -> ReportSummary {
 }
 
 fn run_once(dir: &Path, threads: usize) -> (DebugReport, MetricsSnapshot) {
+    run_once_with(dir, threads, QStrategy::Fixed(1))
+}
+
+fn run_once_with(dir: &Path, threads: usize, q: QStrategy) -> (DebugReport, MetricsSnapshot) {
     let ds = DatasetProfile::FodorsZagats.generate_scaled(3, 0.4);
     let blocker = Blocker::Hash(KeyFunc::Attr(AttrId(0)));
     let c = blocker.apply(&ds.a, &ds.b);
     let mut params = DebuggerParams::small();
     params.joint.threads = threads;
+    params.joint.q = q;
     params.store = Some(StoreConfig::at(dir));
     let mc = MatchCatcher::new(params);
     let mut oracle = GoldOracle::exact(&ds.gold);
@@ -125,6 +130,44 @@ fn warm_run_is_byte_identical_and_skips_tokenization_and_arenas() {
             );
         }
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_start_round_trips_the_threshold_kernel_and_score_cache() {
+    // Audit for the scoring-kernel change: the candidate-union cache key
+    // needs no bump because the threshold-aware merge, the keyed-bound
+    // memo, and the prelude score cache all leave published scores
+    // bit-identical. A cold Auto-q run — whose preludes populate the
+    // cross-q pair → score cache and whose main run consumes it — must
+    // warm-start byte for byte and skip the joint stage entirely
+    // (`q_used` is part of the summarized report, so the empirically
+    // selected q round-trips through the artifact too).
+    let _guard = SERIAL.lock().unwrap();
+    let dir = temp_store_dir("kernel");
+    let q = QStrategy::Auto {
+        max_q: 3,
+        prelude_k: 30,
+    };
+
+    let (cold, cold_delta) = run_once_with(&dir, 2, q);
+    assert!(
+        cold_delta.counter("mc.core.ssj.cache_hits") > 0,
+        "cold Auto-q run must exercise the prelude score cache"
+    );
+
+    let (warm, delta) = run_once_with(&dir, 2, q);
+    assert_eq!(
+        summarize(&cold),
+        summarize(&warm),
+        "warm Auto-q report diverged"
+    );
+    assert!(delta.counter("mc.store.hits") > 0, "warm run must hit");
+    assert_eq!(
+        delta.span("mc.core.joint.run").count,
+        0,
+        "the union must be served from the store, not recomputed"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
