@@ -22,13 +22,18 @@
 //! non-zero on overrun.
 //!
 //! `MC_BENCH_SMOKE=1` switches the defaults to a quick configuration
-//! (`--scale 0.1 --runs 1`) for CI; explicit flags still override.
+//! (`--scale 0.1 --runs 1`) for CI; explicit flags still override. The
+//! JSON also carries the first (cold) repetition's allocation count from
+//! the counting global allocator — with `--threads` pinned it is a
+//! deterministic work counter `mc bench-compare` can budget.
 //!
 //! `cargo run --release -p mc-bench --bin ssj_baseline [--scale X]
-//!  [--runs N] [--out PATH] [--budget PATH]`
+//!  [--runs N] [--threads N] [--out PATH] [--budget PATH]`
 
 use matchcatcher::config::ConfigGenerator;
 use matchcatcher::joint::{run_joint, CandidateUnion, JointParams, QStrategy};
+use mc_bench::alloc::AllocStats;
+use mc_bench::env::BenchEnv;
 use mc_datagen::profiles::DatasetProfile;
 use mc_obs::MetricsSnapshot;
 use mc_strsim::dict::TokenizedTable;
@@ -50,6 +55,7 @@ struct ProfileReport {
     merge_aborts: u64,
     cache_hits: u64,
     scored_saved: u64,
+    allocs: AllocStats,
     auto_q: AutoQReport,
 }
 
@@ -69,6 +75,7 @@ fn run_profile(
     k: usize,
     seed: u64,
     runs: usize,
+    threads: usize,
 ) -> ProfileReport {
     let ds = profile.generate_scaled(seed, scale);
     let generator = ConfigGenerator::default();
@@ -83,17 +90,28 @@ fn run_profile(
         .total_us;
 
     let killed = PairSet::new();
-    let params = JointParams {
+    let mut params = JointParams {
         k,
         ..Default::default()
     };
+    if threads != 0 {
+        params.threads = threads;
+    }
 
     // Best-of-N joint executions (first run also warms allocators/caches).
+    // The allocation counter comes from the first (cold) repetition: with
+    // pinned threads it is deterministic, while warm repetitions depend
+    // on what the previous ones left cached.
     let mut best: Option<(u64, MetricsSnapshot, usize)> = None;
-    for _ in 0..runs.max(1) {
+    let mut allocs = AllocStats::capture();
+    for rep in 0..runs.max(1) {
+        let alloc_base = AllocStats::capture();
         let base = MetricsSnapshot::capture();
         let out = run_joint(&ta, &tb, &killed, &tree, params);
         let delta = MetricsSnapshot::capture().since(&base);
+        if rep == 0 {
+            allocs = AllocStats::capture().since(&alloc_base);
+        }
         let joint_us = delta.span("mc.core.joint.run").total_us;
         let candidates = CandidateUnion::build(&out.lists).len();
         if best.as_ref().is_none_or(|(b, _, _)| joint_us < *b) {
@@ -144,6 +162,7 @@ fn run_profile(
         merge_aborts: delta.counter("mc.core.ssj.merge_aborts"),
         cache_hits: delta.counter("mc.core.ssj.cache_hits"),
         scored_saved: delta.counter("mc.core.ssj.scored_saved"),
+        allocs,
         auto_q,
     }
 }
@@ -172,28 +191,34 @@ fn parse_budgets(text: &str) -> Vec<(String, u64)> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let get = |flag: &str| -> Option<&str> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .map(|s| s.as_str())
-    };
-    let smoke = std::env::var("MC_BENCH_SMOKE").is_ok_and(|v| v == "1");
-    let default_scale = if smoke { 0.1 } else { 1.0 };
-    let default_runs = if smoke { 1 } else { 3 };
-    let scale: f64 = get("--scale").map_or(default_scale, |v| v.parse().expect("bad --scale"));
-    let k: usize = get("--k").map_or(200, |v| v.parse().expect("bad --k"));
-    let seed: u64 = get("--seed").map_or(3, |v| v.parse().expect("bad --seed"));
-    let runs: usize = get("--runs").map_or(default_runs, |v| v.parse().expect("bad --runs"));
-    let out_path = get("--out").unwrap_or("BENCH_ssj.json");
-    let budget_path = get("--budget");
+    let env = BenchEnv::parse();
+    let scale = env.scale(1.0, 0.1);
+    let k: usize = env.value_or("--k", 200);
+    let seed = env.seed(3);
+    let runs = env.runs(3);
+    let threads = env.threads();
+    let out_path = env.out("BENCH_ssj.json");
+    let budget_path = env.flag("--budget");
 
     // Two contrasting profiles: long product records (reuse-friendly) and
     // short restaurant records (index-overhead-bound).
     let reports = [
-        run_profile(DatasetProfile::AmazonGoogle, 0.25 * scale, k, seed, runs),
-        run_profile(DatasetProfile::FodorsZagats, scale.min(1.0), k, seed, runs),
+        run_profile(
+            DatasetProfile::AmazonGoogle,
+            0.25 * scale,
+            k,
+            seed,
+            runs,
+            threads,
+        ),
+        run_profile(
+            DatasetProfile::FodorsZagats,
+            scale.min(1.0),
+            k,
+            seed,
+            runs,
+            threads,
+        ),
     ];
 
     let mut json = String::new();
@@ -208,6 +233,7 @@ fn main() {
              \"candidates\": {}, \"stages\": {{\"tokenize_us\": {}, \"joint_us\": {}, \
              \"config_us\": {}}}, \"counters\": {{\"events\": {}, \"scored\": {}, \
              \"merge_aborts\": {}, \"cache_hits\": {}, \"scored_saved\": {}}}, \
+             \"allocs\": {{\"count\": {}, \"bytes\": {}}}, \
              \"auto_q\": {{\"q_used\": {}, \"select_q_us\": {}, \"joint_us\": {}, \
              \"cache_hits\": {}}}}}",
             r.name,
@@ -223,6 +249,8 @@ fn main() {
             r.merge_aborts,
             r.cache_hits,
             r.scored_saved,
+            r.allocs.allocations,
+            r.allocs.bytes,
             r.auto_q.q_used,
             r.auto_q.select_q_us,
             r.auto_q.joint_us,
@@ -230,7 +258,7 @@ fn main() {
         );
     }
     json.push_str("\n  ]\n}\n");
-    std::fs::write(out_path, &json).expect("write BENCH_ssj.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_ssj.json");
 
     println!(
         "{:<16} {:>8} {:>6} {:>12} {:>12} {:>10} {:>10} {:>8}",

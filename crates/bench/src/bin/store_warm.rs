@@ -17,15 +17,19 @@
 //!   cross-process warm-start smoke;
 //! * `--assert-warm` — require that the *first* leg already hits the
 //!   store (only meaningful on the second run over a shared `--store`);
-//! * `--scale X`, `--seed N`, `--runs N`, `--out PATH` — as in the other
-//!   bench bins. Set `MC_BENCH_SMOKE=1` for a shrunk CI smoke run.
+//! * `--scale X`, `--seed N`, `--runs N`, `--threads N`, `--out PATH` —
+//!   as in the other bench bins. Set `MC_BENCH_SMOKE=1` for a shrunk CI
+//!   smoke run. Cold-leg and first-warm-leg allocation counts ride along
+//!   in the JSON for the `mc bench-compare` gate.
 //!
 //! `cargo run --release -p mc-bench --bin store_warm [--scale X]
 //!  [--runs N] [--store DIR] [--assert-warm] [--out PATH]`
 
 use matchcatcher::debugger::{DebugReport, MatchCatcher};
 use matchcatcher::oracle::GoldOracle;
+use mc_bench::alloc::AllocStats;
 use mc_bench::blockers::best_hash_blocker;
+use mc_bench::env::BenchEnv;
 use mc_bench::harness::paper_params;
 use mc_datagen::profiles::DatasetProfile;
 use mc_obs::MetricsSnapshot;
@@ -43,6 +47,8 @@ struct ProfileReport {
     cold_publishes: u64,
     warm_hits: u64,
     warm_misses: u64,
+    cold_allocs: AllocStats,
+    warm_allocs: AllocStats,
 }
 
 /// The result-bearing fields both legs must agree on.
@@ -55,6 +61,7 @@ fn run_profile(
     scale: f64,
     seed: u64,
     runs: usize,
+    threads: usize,
     store_dir: &Path,
     assert_warm: bool,
 ) -> ProfileReport {
@@ -69,19 +76,25 @@ fn run_profile(
 
     let mut params = paper_params();
     params.store = Some(StoreConfig::at(store_dir));
+    if threads != 0 {
+        params.joint.threads = threads;
+        params.verifier.forest.threads = threads;
+    }
     let mc = MatchCatcher::new(params);
 
     let leg = || {
         let mut oracle = GoldOracle::exact(&ds.gold);
+        let alloc_base = AllocStats::capture();
         let base = MetricsSnapshot::capture();
         let start = Instant::now();
         let report = mc.run(&ds.a, &ds.b, &c, &mut oracle);
         let us = start.elapsed().as_micros() as u64;
         let delta = MetricsSnapshot::capture().since(&base);
-        (us, report, delta)
+        let allocs = AllocStats::capture().since(&alloc_base);
+        (us, report, delta, allocs)
     };
 
-    let (cold_us, cold_report, cold_delta) = leg();
+    let (cold_us, cold_report, cold_delta, cold_allocs) = leg();
     let cold_hits = cold_delta.counter("mc.store.hits");
     if assert_warm {
         assert!(
@@ -92,9 +105,16 @@ fn run_profile(
         );
     }
 
+    // The warm allocation counter comes from the first warm leg: later
+    // repetitions see progressively warmer process caches, the first one
+    // is deterministic with pinned threads.
     let mut best: Option<(u64, MetricsSnapshot)> = None;
-    for _ in 0..runs.max(1) {
-        let (us, report, delta) = leg();
+    let mut warm_allocs = AllocStats::capture();
+    for rep in 0..runs.max(1) {
+        let (us, report, delta, allocs) = leg();
+        if rep == 0 {
+            warm_allocs = allocs;
+        }
         assert_eq!(
             fingerprint(&cold_report),
             fingerprint(&report),
@@ -121,29 +141,22 @@ fn run_profile(
         cold_publishes: cold_delta.counter("mc.store.publishes"),
         warm_hits: warm_delta.counter("mc.store.hits"),
         warm_misses: warm_delta.counter("mc.store.misses"),
+        cold_allocs,
+        warm_allocs,
     }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let get = |flag: &str| -> Option<&str> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .map(|s| s.as_str())
-    };
-    let smoke = std::env::var_os("MC_BENCH_SMOKE").is_some();
-    let default_scale = if smoke { 0.2 } else { 1.0 };
-    let scale: f64 = get("--scale").map_or(default_scale, |v| v.parse().expect("bad --scale"));
-    let seed: u64 = get("--seed").map_or(7, |v| v.parse().expect("bad --seed"));
-    let runs: usize = get("--runs").map_or(if smoke { 1 } else { 3 }, |v| {
-        v.parse().expect("bad --runs")
-    });
-    let out_path = get("--out").unwrap_or("BENCH_store.json");
-    let assert_warm = args.iter().any(|a| a == "--assert-warm");
+    let env = BenchEnv::parse();
+    let scale = env.scale(1.0, 0.2);
+    let seed = env.seed(7);
+    let runs = env.runs(3);
+    let threads = env.threads();
+    let out_path = env.out("BENCH_store.json");
+    let assert_warm = env.has("--assert-warm");
     // A shared --store dir persists across invocations; the default is a
     // fresh per-process temp dir, removed on exit.
-    let (store_dir, ephemeral) = match get("--store") {
+    let (store_dir, ephemeral) = match env.flag("--store") {
         Some(dir) => (PathBuf::from(dir), false),
         None => (
             std::env::temp_dir().join(format!("mc-store-bench-{}", std::process::id())),
@@ -157,6 +170,7 @@ fn main() {
             scale.min(1.0),
             seed,
             runs,
+            threads,
             &store_dir,
             assert_warm,
         ),
@@ -165,6 +179,7 @@ fn main() {
             0.25 * scale,
             seed,
             runs,
+            threads,
             &store_dir,
             assert_warm,
         ),
@@ -183,7 +198,9 @@ fn main() {
             json,
             "\n    {{\"name\": \"{}\", \"scale\": {}, \"cold_us\": {}, \"warm_us\": {}, \
              \"speedup\": {:.2}, \"store\": {{\"cold_hits\": {}, \"cold_publishes\": {}, \
-             \"warm_hits\": {}, \"warm_misses\": {}}}}}",
+             \"warm_hits\": {}, \"warm_misses\": {}}}, \
+             \"allocs\": {{\"cold_count\": {}, \"cold_bytes\": {}, \
+             \"warm_count\": {}, \"warm_bytes\": {}}}}}",
             r.name,
             r.scale,
             r.cold_us,
@@ -192,11 +209,15 @@ fn main() {
             r.cold_hits,
             r.cold_publishes,
             r.warm_hits,
-            r.warm_misses
+            r.warm_misses,
+            r.cold_allocs.allocations,
+            r.cold_allocs.bytes,
+            r.warm_allocs.allocations,
+            r.warm_allocs.bytes
         );
     }
     json.push_str("\n  ]\n}\n");
-    std::fs::write(out_path, &json).expect("write BENCH_store.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_store.json");
 
     println!(
         "{:<16} {:>8} {:>12} {:>12} {:>8} {:>10} {:>10}",

@@ -16,7 +16,9 @@
 //! * `per_iter_us` — `verify_us / iterations`, the interactive latency the
 //!   user sees between labeling rounds.
 //!
-//! Set `MC_BENCH_SMOKE=1` for a shrunk CI smoke run.
+//! Set `MC_BENCH_SMOKE=1` for a shrunk CI smoke run. The JSON also
+//! carries the first (cold) run's allocation count — deterministic with
+//! `--threads` pinned, budgeted by `mc bench-compare`.
 //!
 //! `cargo run --release -p mc-bench --bin verifier_baseline [--scale X]
 //!  [--runs N] [--threads N] [--out PATH]`
@@ -26,7 +28,9 @@ use matchcatcher::features::FeatureExtractor;
 use matchcatcher::joint::CandidateUnion;
 use matchcatcher::oracle::GoldOracle;
 use matchcatcher::verify::run_verifier;
+use mc_bench::alloc::AllocStats;
 use mc_bench::blockers::best_hash_blocker;
+use mc_bench::env::BenchEnv;
 use mc_bench::harness::paper_params;
 use mc_datagen::profiles::DatasetProfile;
 use mc_obs::MetricsSnapshot;
@@ -45,6 +49,7 @@ struct ProfileReport {
     predict_us: u64,
     verify_us: u64,
     per_iter_us: u64,
+    allocs: AllocStats,
 }
 
 fn run_profile(
@@ -85,13 +90,20 @@ fn run_profile(
 
     // Best-of-N verifier runs (first run also warms allocators/caches);
     // the oracle is rebuilt per run so every repetition labels the same
-    // pairs and the measured work is identical.
+    // pairs and the measured work is identical. The allocation counter
+    // comes from the first (cold) repetition, which is deterministic
+    // with pinned threads.
     let mut best: Option<(u64, MetricsSnapshot, usize, usize, usize)> = None;
-    for _ in 0..runs.max(1) {
+    let mut allocs = AllocStats::capture();
+    for rep in 0..runs.max(1) {
         let mut oracle = GoldOracle::exact(&ds.gold);
+        let alloc_base = AllocStats::capture();
         let base = MetricsSnapshot::capture();
         let out = run_verifier(&union, &fx, &mut oracle, &params.verifier);
         let delta = MetricsSnapshot::capture().since(&base);
+        if rep == 0 {
+            allocs = AllocStats::capture().since(&alloc_base);
+        }
         let verify_us = delta.span("mc.core.verify.run").total_us;
         if best.as_ref().is_none_or(|(b, ..)| verify_us < *b) {
             best = Some((
@@ -118,6 +130,7 @@ fn run_profile(
         predict_us: delta.span("mc.core.verify.forest_predict").total_us,
         verify_us,
         per_iter_us: verify_us / iterations.max(1) as u64,
+        allocs,
     }
 }
 
@@ -133,22 +146,12 @@ fn mc_ml_threads(requested: usize) -> usize {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let get = |flag: &str| -> Option<&str> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .map(|s| s.as_str())
-    };
-    let smoke = std::env::var_os("MC_BENCH_SMOKE").is_some();
-    let default_scale = if smoke { 0.2 } else { 1.0 };
-    let scale: f64 = get("--scale").map_or(default_scale, |v| v.parse().expect("bad --scale"));
-    let seed: u64 = get("--seed").map_or(7, |v| v.parse().expect("bad --seed"));
-    let runs: usize = get("--runs").map_or(if smoke { 1 } else { 3 }, |v| {
-        v.parse().expect("bad --runs")
-    });
-    let threads: usize = get("--threads").map_or(0, |v| v.parse().expect("bad --threads"));
-    let out_path = get("--out").unwrap_or("BENCH_verifier.json");
+    let env = BenchEnv::parse();
+    let scale = env.scale(1.0, 0.2);
+    let seed = env.seed(7);
+    let runs = env.runs(3);
+    let threads = env.threads();
+    let out_path = env.out("BENCH_verifier.json");
 
     // Two contrasting verification workloads: short restaurant records
     // (many near-ties, long verification) and long product records.
@@ -180,7 +183,8 @@ fn main() {
             "\n    {{\"name\": \"{}\", \"scale\": {}, \"candidates\": {}, \
              \"iterations\": {}, \"labeled\": {}, \"matches\": {}, \"threads\": {}, \
              \"stages\": {{\"feature_build_us\": {}, \"fit_us\": {}, \"predict_us\": {}, \
-             \"verify_us\": {}, \"per_iter_us\": {}}}}}",
+             \"verify_us\": {}, \"per_iter_us\": {}}}, \
+             \"allocs\": {{\"count\": {}, \"bytes\": {}}}}}",
             r.name,
             r.scale,
             r.candidates,
@@ -192,11 +196,13 @@ fn main() {
             r.fit_us,
             r.predict_us,
             r.verify_us,
-            r.per_iter_us
+            r.per_iter_us,
+            r.allocs.allocations,
+            r.allocs.bytes
         );
     }
     json.push_str("\n  ]\n}\n");
-    std::fs::write(out_path, &json).expect("write BENCH_verifier.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_verifier.json");
 
     println!(
         "{:<16} {:>8} {:>8} {:>6} {:>12} {:>12} {:>12} {:>12}",

@@ -1,0 +1,480 @@
+//! Perf-regression gate: diffs a fresh bench JSON against a committed
+//! baseline under per-metric tolerance budgets.
+//!
+//! The three bench binaries (`ssj_baseline`, `verifier_baseline`,
+//! `store_warm`) each write a JSON report mixing three kinds of numbers:
+//!
+//! * **work counters** (pairs scored, candidates, labels, store misses) —
+//!   deterministic given a fixed seed and pinned threads;
+//! * **allocation counts** (from [`crate::alloc`]) — deterministic under
+//!   the same conditions, catching "same answer, double the allocations"
+//!   regressions;
+//! * **wall-clock stage times** — machine-dependent and noisy.
+//!
+//! [`compare`] checks every budget rule in `ci/bench_budgets.json`
+//! against a `(baseline, fresh)` document pair. In smoke mode (CI) the
+//! wall-clock rules are skipped entirely — shared runners are far too
+//! noisy for them — so the gate only ever fails on the deterministic
+//! kinds, which makes it non-flaky by construction. A full local run
+//! (`mc bench-compare --full`) gates the time rules too.
+//!
+//! Documents are flattened to `dot.path → number` maps; array elements
+//! are keyed by their `"name"` member when present (so
+//! `profiles.fodors-zagats.counters.scored` is stable under profile
+//! reordering) and by index otherwise.
+
+use mc_obs::JsonValue;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What a budgeted metric measures — controls when the rule is gated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Deterministic work counter (pairs scored, labels, store misses).
+    Work,
+    /// Allocation count/bytes from the counting allocator.
+    Alloc,
+    /// Wall-clock duration — skipped in smoke mode.
+    Time,
+}
+
+impl MetricKind {
+    /// Parses the `"kind"` field of a budget rule.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "work" => Some(MetricKind::Work),
+            "alloc" => Some(MetricKind::Alloc),
+            "time" => Some(MetricKind::Time),
+            _ => None,
+        }
+    }
+
+    /// Whether rules of this kind still gate in smoke mode. Wall-clock
+    /// does not: CI runners are too noisy for it.
+    pub fn gated_in_smoke(self) -> bool {
+        !matches!(self, MetricKind::Time)
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            MetricKind::Work => "work",
+            MetricKind::Alloc => "alloc",
+            MetricKind::Time => "time",
+        }
+    }
+}
+
+/// One tolerance budget from `ci/bench_budgets.json`: fresh values at
+/// paths matching `path` must satisfy
+/// `fresh <= baseline * max_ratio + abs_slack`.
+///
+/// The additive `abs_slack` keeps ratio budgets meaningful for tiny
+/// baselines (a baseline of 3 with `max_ratio` 1.05 would otherwise
+/// forbid *any* increase).
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Which bench report the rule applies to (`ssj`, `verifier`, `store`).
+    pub bench: String,
+    /// Dot-path glob into the flattened report; `*` matches exactly one
+    /// segment (typically the profile name).
+    pub path: String,
+    /// Metric kind (gating behavior).
+    pub kind: MetricKind,
+    /// Multiplicative budget on the baseline value.
+    pub max_ratio: f64,
+    /// Additive slack on top of the ratio budget.
+    pub abs_slack: f64,
+}
+
+impl Rule {
+    /// True when `path` (a concrete flattened key) matches this rule's
+    /// glob: same number of `.`-separated segments, each equal or `*`.
+    pub fn matches(&self, path: &str) -> bool {
+        let mut pat = self.path.split('.');
+        let mut got = path.split('.');
+        loop {
+            match (pat.next(), got.next()) {
+                (None, None) => return true,
+                (Some(p), Some(g)) if p == "*" || p == g => {}
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// Parses `ci/bench_budgets.json` (schema `mc-bench-budgets/v1`).
+pub fn parse_budgets(text: &str) -> Result<Vec<Rule>, String> {
+    let doc = JsonValue::parse(text)?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some("mc-bench-budgets/v1") => {}
+        other => return Err(format!("unsupported budgets schema {other:?}")),
+    }
+    let rules = doc
+        .get("rules")
+        .and_then(JsonValue::as_array)
+        .ok_or("budgets: missing \"rules\" array")?;
+    let mut out = Vec::with_capacity(rules.len());
+    for (i, r) in rules.iter().enumerate() {
+        let field = |k: &str| {
+            r.get(k)
+                .ok_or_else(|| format!("budgets: rule {i} missing \"{k}\""))
+        };
+        let kind_str = field("kind")?
+            .as_str()
+            .ok_or_else(|| format!("budgets: rule {i} \"kind\" not a string"))?;
+        out.push(Rule {
+            bench: field("bench")?
+                .as_str()
+                .ok_or_else(|| format!("budgets: rule {i} \"bench\" not a string"))?
+                .to_string(),
+            path: field("path")?
+                .as_str()
+                .ok_or_else(|| format!("budgets: rule {i} \"path\" not a string"))?
+                .to_string(),
+            kind: MetricKind::parse(kind_str)
+                .ok_or_else(|| format!("budgets: rule {i} unknown kind {kind_str:?}"))?,
+            max_ratio: field("max_ratio")?
+                .as_f64()
+                .ok_or_else(|| format!("budgets: rule {i} \"max_ratio\" not a number"))?,
+            abs_slack: r
+                .get("abs_slack")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+        });
+    }
+    Ok(out)
+}
+
+/// Flattens a bench report into `dot.path → number`. Strings, booleans
+/// and nulls are dropped (the `schema` marker is not a metric); array
+/// elements are keyed by their `"name"` member when they have one.
+pub fn flatten(doc: &JsonValue) -> BTreeMap<String, f64> {
+    fn join(prefix: &str, seg: &str) -> String {
+        if prefix.is_empty() {
+            seg.to_string()
+        } else {
+            format!("{prefix}.{seg}")
+        }
+    }
+    fn walk(v: &JsonValue, prefix: String, out: &mut BTreeMap<String, f64>) {
+        match v {
+            JsonValue::Num(n) => {
+                out.insert(prefix, *n);
+            }
+            JsonValue::Obj(members) => {
+                for (k, v) in members {
+                    walk(v, join(&prefix, k), out);
+                }
+            }
+            JsonValue::Arr(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    let seg = item
+                        .get("name")
+                        .and_then(JsonValue::as_str)
+                        .map_or_else(|| i.to_string(), str::to_string);
+                    walk(item, join(&prefix, &seg), out);
+                }
+            }
+            JsonValue::Null | JsonValue::Bool(_) | JsonValue::Str(_) => {}
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(doc, String::new(), &mut out);
+    out
+}
+
+/// Outcome of one `(rule, metric)` check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckStatus {
+    /// Fresh value within budget.
+    Pass,
+    /// Fresh value exceeded `baseline * max_ratio + abs_slack`.
+    Regressed,
+    /// The metric exists in the baseline but not in the fresh report —
+    /// schema drift; regenerate the baseline deliberately, not silently.
+    MissingInFresh,
+    /// The rule matched nothing in the baseline — a stale budget that
+    /// would otherwise gate nothing.
+    RuleUnmatched,
+    /// Time rule skipped because the comparison ran in smoke mode.
+    SkippedSmoke,
+}
+
+/// One evaluated check, for rendering and for tests.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Concrete flattened metric path (or the rule's glob for
+    /// [`CheckStatus::RuleUnmatched`]).
+    pub path: String,
+    /// Kind of the governing rule.
+    pub kind: MetricKind,
+    /// Baseline value (0 when unmatched).
+    pub baseline: f64,
+    /// Fresh value (0 when missing).
+    pub fresh: f64,
+    /// The computed budget limit.
+    pub limit: f64,
+    /// Outcome.
+    pub status: CheckStatus,
+}
+
+/// The full result of comparing one bench report against its baseline.
+#[derive(Debug)]
+pub struct CompareReport {
+    /// Bench name the comparison ran for.
+    pub bench: String,
+    /// Whether time rules were skipped.
+    pub smoke: bool,
+    /// Every evaluated check, in budget-file order.
+    pub checks: Vec<Check>,
+}
+
+impl CompareReport {
+    /// True when any check regressed, lost a metric, or matched nothing.
+    pub fn failed(&self) -> bool {
+        self.checks.iter().any(|c| {
+            matches!(
+                c.status,
+                CheckStatus::Regressed | CheckStatus::MissingInFresh | CheckStatus::RuleUnmatched
+            )
+        })
+    }
+
+    /// Human-readable table of every check.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench-compare [{}]{}",
+            self.bench,
+            if self.smoke {
+                " (smoke: wall-clock rules skipped)"
+            } else {
+                ""
+            }
+        );
+        for c in &self.checks {
+            let verdict = match c.status {
+                CheckStatus::Pass => "ok",
+                CheckStatus::Regressed => "REGRESSED",
+                CheckStatus::MissingInFresh => "MISSING IN FRESH",
+                CheckStatus::RuleUnmatched => "RULE MATCHED NOTHING",
+                CheckStatus::SkippedSmoke => "skipped (smoke)",
+            };
+            let _ = writeln!(
+                out,
+                "  {:<9} {:<52} base {:>12} fresh {:>12} limit {:>12}  {}",
+                format!("[{}]", c.kind.label()),
+                c.path,
+                trim_num(c.baseline),
+                trim_num(c.fresh),
+                trim_num(c.limit),
+                verdict
+            );
+        }
+        out
+    }
+}
+
+/// Renders a number without a trailing `.0` for integral values.
+fn trim_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Evaluates every rule for `bench` against the flattened `baseline` and
+/// `fresh` documents. `smoke` downgrades time rules to
+/// [`CheckStatus::SkippedSmoke`]. Metrics present only in the fresh
+/// report are ignored — additive schema growth is not a regression.
+pub fn compare(
+    bench: &str,
+    baseline: &JsonValue,
+    fresh: &JsonValue,
+    rules: &[Rule],
+    smoke: bool,
+) -> CompareReport {
+    let base_flat = flatten(baseline);
+    let fresh_flat = flatten(fresh);
+    let mut checks = Vec::new();
+    for rule in rules.iter().filter(|r| r.bench == bench) {
+        let matched: Vec<_> = base_flat
+            .iter()
+            .filter(|(path, _)| rule.matches(path))
+            .collect();
+        if matched.is_empty() {
+            checks.push(Check {
+                path: rule.path.clone(),
+                kind: rule.kind,
+                baseline: 0.0,
+                fresh: 0.0,
+                limit: 0.0,
+                status: CheckStatus::RuleUnmatched,
+            });
+            continue;
+        }
+        for (path, &base) in matched {
+            let limit = base * rule.max_ratio + rule.abs_slack;
+            let (fresh_v, status) = match fresh_flat.get(path) {
+                None => (0.0, CheckStatus::MissingInFresh),
+                Some(&f) if smoke && !rule.kind.gated_in_smoke() => (f, CheckStatus::SkippedSmoke),
+                Some(&f) if f > limit => (f, CheckStatus::Regressed),
+                Some(&f) => (f, CheckStatus::Pass),
+            };
+            checks.push(Check {
+                path: path.clone(),
+                kind: rule.kind,
+                baseline: base,
+                fresh: fresh_v,
+                limit,
+                status,
+            });
+        }
+    }
+    CompareReport {
+        bench: bench.to_string(),
+        smoke,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGETS: &str = r#"{
+      "schema": "mc-bench-budgets/v1",
+      "rules": [
+        {"bench": "ssj", "path": "profiles.*.counters.scored",
+         "kind": "work", "max_ratio": 1.05, "abs_slack": 8},
+        {"bench": "ssj", "path": "profiles.*.allocs.count",
+         "kind": "alloc", "max_ratio": 1.2},
+        {"bench": "ssj", "path": "profiles.*.stages.joint_us",
+         "kind": "time", "max_ratio": 1.5, "abs_slack": 1000}
+      ]
+    }"#;
+
+    fn doc(scored: u64, allocs: u64, joint_us: u64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"schema": "mc-bench-ssj/v2", "profiles": [
+                 {{"name": "fodors-zagats",
+                   "counters": {{"scored": {scored}}},
+                   "allocs": {{"count": {allocs}}},
+                   "stages": {{"joint_us": {joint_us}}}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn budgets_parse() {
+        let rules = parse_budgets(BUDGETS).unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].kind, MetricKind::Work);
+        assert_eq!(rules[1].abs_slack, 0.0);
+        assert!(rules[0].matches("profiles.fodors-zagats.counters.scored"));
+        assert!(!rules[0].matches("profiles.x.y.counters.scored"));
+        assert!(!rules[0].matches("profiles.fodors-zagats.counters"));
+    }
+
+    #[test]
+    fn within_budget_passes() {
+        let rules = parse_budgets(BUDGETS).unwrap();
+        let report = compare(
+            "ssj",
+            &doc(1000, 5000, 80_000),
+            &doc(1040, 5500, 90_000),
+            &rules,
+            false,
+        );
+        assert!(!report.failed(), "{}", report.render());
+        assert!(report.checks.iter().all(|c| c.status == CheckStatus::Pass));
+    }
+
+    #[test]
+    fn injected_work_regression_fails() {
+        let rules = parse_budgets(BUDGETS).unwrap();
+        // 2× the scored work: the exact regression the gate exists for.
+        let report = compare(
+            "ssj",
+            &doc(1000, 5000, 80_000),
+            &doc(2000, 5000, 80_000),
+            &rules,
+            true,
+        );
+        assert!(report.failed());
+        let bad: Vec<_> = report
+            .checks
+            .iter()
+            .filter(|c| c.status == CheckStatus::Regressed)
+            .collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].path, "profiles.fodors-zagats.counters.scored");
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn smoke_skips_time_rules_but_full_gates_them() {
+        let rules = parse_budgets(BUDGETS).unwrap();
+        // Wall clock blows way past its budget; counters are unchanged.
+        let base = doc(1000, 5000, 1_000);
+        let fresh = doc(1000, 5000, 100_000);
+        let smoke = compare("ssj", &base, &fresh, &rules, true);
+        assert!(!smoke.failed(), "time noise must not fail a smoke gate");
+        assert!(smoke
+            .checks
+            .iter()
+            .any(|c| c.status == CheckStatus::SkippedSmoke));
+        let full = compare("ssj", &base, &fresh, &rules, false);
+        assert!(full.failed(), "a full run gates wall clock");
+    }
+
+    #[test]
+    fn missing_metric_and_stale_rule_fail() {
+        let rules = parse_budgets(BUDGETS).unwrap();
+        // Fresh report lost the allocs object entirely.
+        let fresh = JsonValue::parse(
+            r#"{"profiles": [{"name": "fodors-zagats",
+                 "counters": {"scored": 10},
+                 "stages": {"joint_us": 1}}]}"#,
+        )
+        .unwrap();
+        let report = compare("ssj", &doc(10, 100, 1), &fresh, &rules, true);
+        assert!(report.failed());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.status == CheckStatus::MissingInFresh));
+
+        // A rule over a bench whose baseline has none of its paths.
+        let stale = compare("ssj", &fresh, &fresh, &rules, true);
+        assert!(stale
+            .checks
+            .iter()
+            .any(|c| c.status == CheckStatus::RuleUnmatched));
+        assert!(stale.failed());
+    }
+
+    #[test]
+    fn abs_slack_protects_tiny_baselines() {
+        let rules = parse_budgets(BUDGETS).unwrap();
+        // scored 3 → 10: ratio alone (1.05) forbids it, slack of 8 allows.
+        let report = compare("ssj", &doc(3, 100, 1), &doc(10, 100, 1), &rules, true);
+        assert!(!report.failed(), "{}", report.render());
+        // …but 12 exceeds 3*1.05 + 8.
+        let report = compare("ssj", &doc(3, 100, 1), &doc(12, 100, 1), &rules, true);
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn flatten_keys_arrays_by_name() {
+        let doc =
+            JsonValue::parse(r#"{"xs": [{"name": "a", "v": 1}, {"v": 2}], "top": 3.5}"#).unwrap();
+        let flat = flatten(&doc);
+        assert_eq!(flat.get("xs.a.v"), Some(&1.0));
+        assert_eq!(flat.get("xs.1.v"), Some(&2.0));
+        assert_eq!(flat.get("top"), Some(&3.5));
+        assert_eq!(flat.len(), 3);
+    }
+}

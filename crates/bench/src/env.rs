@@ -1,0 +1,138 @@
+//! Shared CLI/environment plumbing for the bench binaries.
+//!
+//! Every `mc-bench` binary accepts the same flag family (`--scale`,
+//! `--seed`, `--runs`, `--threads`, `--out`, …) and honors the
+//! `MC_BENCH_SMOKE` environment switch that shrinks a run down to CI
+//! size. [`BenchEnv`] parses both once, so the binaries stop copying the
+//! same ad-hoc getter closure and smoke-detection line — and so the
+//! smoke semantics are uniform: the switch is *on* whenever
+//! `MC_BENCH_SMOKE` is set to anything other than the empty string or
+//! `"0"` (previously one binary required exactly `"1"` while the others
+//! accepted any set value, `0` included).
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parsed bench-binary environment: the raw CLI arguments plus the
+/// `MC_BENCH_SMOKE` switch.
+///
+/// Flag lookups are positional (`--flag value`), matching the historical
+/// behavior of the bench binaries: unknown flags are ignored, the first
+/// occurrence wins, and a malformed value aborts with the flag name.
+pub struct BenchEnv {
+    args: Vec<String>,
+    /// True when `MC_BENCH_SMOKE` selects the shrunk CI configuration.
+    pub smoke: bool,
+}
+
+impl BenchEnv {
+    /// Reads `std::env::args` and `MC_BENCH_SMOKE`.
+    pub fn parse() -> Self {
+        Self::from_parts(
+            std::env::args().collect(),
+            std::env::var("MC_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0"),
+        )
+    }
+
+    /// Builds from explicit parts — lets tests drive the parser without
+    /// touching the process environment.
+    pub fn from_parts(args: Vec<String>, smoke: bool) -> Self {
+        BenchEnv { args, smoke }
+    }
+
+    /// The value following `flag`, if present.
+    pub fn flag(&self, flag: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    /// True when the bare `flag` appears anywhere on the command line.
+    pub fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    /// Parses the value following `flag`, falling back to `default` when
+    /// the flag is absent. A malformed value aborts with the flag name.
+    pub fn value_or<T>(&self, flag: &str, default: T) -> T
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        match self.flag(flag) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("bad {flag} {v:?}: {e}")),
+        }
+    }
+
+    /// `--scale`: dataset scale factor, defaulting to `full` (or
+    /// `smoke_scale` under `MC_BENCH_SMOKE`).
+    pub fn scale(&self, full: f64, smoke_scale: f64) -> f64 {
+        self.value_or("--scale", if self.smoke { smoke_scale } else { full })
+    }
+
+    /// `--seed`: generation seed, with the binary's default.
+    pub fn seed(&self, default: u64) -> u64 {
+        self.value_or("--seed", default)
+    }
+
+    /// `--runs`: best-of-N repetitions — `full` normally, a single run
+    /// under smoke. Clamped to at least 1.
+    pub fn runs(&self, full: usize) -> usize {
+        self.value_or("--runs", if self.smoke { 1 } else { full })
+            .max(1)
+    }
+
+    /// `--threads`: worker threads, `0` meaning "the binary's default"
+    /// (usually all cores).
+    pub fn threads(&self) -> usize {
+        self.value_or("--threads", 0)
+    }
+
+    /// `--out`: output path, with the binary's default.
+    pub fn out(&self, default: &str) -> String {
+        self.flag("--out").unwrap_or(default).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(args: &[&str], smoke: bool) -> BenchEnv {
+        let mut v = vec!["bin".to_string()];
+        v.extend(args.iter().map(|s| s.to_string()));
+        BenchEnv::from_parts(v, smoke)
+    }
+
+    #[test]
+    fn flags_parse_with_defaults() {
+        let e = env(&["--scale", "0.5", "--seed", "9", "--assert-warm"], false);
+        assert_eq!(e.scale(1.0, 0.1), 0.5);
+        assert_eq!(e.seed(3), 9);
+        assert_eq!(e.runs(3), 3);
+        assert_eq!(e.threads(), 0);
+        assert!(e.has("--assert-warm"));
+        assert!(!e.has("--budget"));
+        assert_eq!(e.out("BENCH.json"), "BENCH.json");
+    }
+
+    #[test]
+    fn smoke_shrinks_the_defaults_but_flags_still_override() {
+        let e = env(&[], true);
+        assert_eq!(e.scale(1.0, 0.1), 0.1);
+        assert_eq!(e.runs(3), 1);
+        let e = env(&["--scale", "0.7", "--runs", "2"], true);
+        assert_eq!(e.scale(1.0, 0.1), 0.7);
+        assert_eq!(e.runs(3), 2);
+    }
+
+    #[test]
+    fn runs_clamps_to_one() {
+        assert_eq!(env(&["--runs", "0"], false).runs(3), 1);
+    }
+}

@@ -16,7 +16,16 @@
 //! Each table/figure has a binary (`table1`, `table3`, `figure9`, …); see
 //! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
+//!
+//! The perf-regression side of the harness lives in three support
+//! modules: [`env`] (the shared `--flag`/`MC_BENCH_SMOKE` parsing every
+//! bench binary uses), [`alloc`] (a counting global allocator that turns
+//! allocation pressure into a deterministic work counter), and
+//! [`compare`] (the tolerance-budget gate behind `mc bench-compare`).
 
+pub mod alloc;
 pub mod blockers;
+pub mod compare;
+pub mod env;
 pub mod harness;
 pub mod learned;

@@ -20,7 +20,7 @@ use crate::oracle::Oracle;
 use crate::ssj::TopKList;
 use crate::store_io;
 use crate::verify::{run_verifier, IterationRecord, VerifierParams, VerifyOutcome};
-use mc_obs::MetricsSnapshot;
+use mc_obs::{MetricsSnapshot, ObsContext};
 use mc_store::{ArtifactKind, Digest, Store, StoreConfig};
 use mc_strsim::arena::RecordArena;
 use mc_strsim::dict::TokenizedTable;
@@ -54,6 +54,12 @@ pub struct DebuggerParams {
     /// store silently degrades to a cold run (`mc.store.*` counters
     /// record what happened).
     pub store: Option<StoreConfig>,
+    /// Observability context the run records into. The default is the
+    /// process-global context (historical behaviour); give each
+    /// concurrent run its own [`ObsContext::session`] and
+    /// [`DebugReport::metrics`] becomes a fully isolated, per-run
+    /// snapshot while the global view still accounts for every run.
+    pub obs: ObsContext,
 }
 
 impl DebuggerParams {
@@ -147,8 +153,10 @@ impl Stage {
 pub trait RunObserver {
     /// A stage is about to run.
     fn stage_started(&mut self, _stage: Stage) {}
-    /// A stage finished; `metrics` is the registry delta accrued while it
-    /// ran (other threads' activity included — the registry is global).
+    /// A stage finished; `metrics` is the registry delta accrued while
+    /// it ran, scoped to the run's [`ObsContext`] (with the default
+    /// global context, concurrent activity elsewhere in the process is
+    /// included).
     fn stage_finished(&mut self, _stage: Stage, _metrics: &MetricsSnapshot) {}
 }
 
@@ -201,9 +209,11 @@ pub struct DebugReport {
     /// QJoin `q` used.
     pub q_used: usize,
     /// Everything the observability layer recorded during the run:
-    /// stage/config spans, join counters, verifier iteration events —
-    /// the registry delta between run start and end (activity of
-    /// concurrent runs in the same process is included).
+    /// stage/config spans (with p50/p95/p99), join counters, verifier
+    /// iteration events — the registry delta between run start and end,
+    /// scoped to [`DebuggerParams::obs`]. With a session context this is
+    /// exactly this run's activity; with the default global context,
+    /// concurrent runs in the same process are included.
     pub metrics: MetricsSnapshot,
 }
 
@@ -559,6 +569,9 @@ impl MatchCatcher {
         if let Err(e) = self.params.validate() {
             panic!("invalid DebuggerParams: {e}");
         }
+        // Everything below — including worker threads, which re-attach
+        // at their spawn sites — records into this run's context.
+        let _obs = self.params.obs.attach();
         let store = self.open_store();
         let baseline = MetricsSnapshot::capture();
         let (prepared, tok) = observed(observer, Stage::Prepare, || {

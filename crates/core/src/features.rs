@@ -197,9 +197,12 @@ impl FeatureMatrix {
             }
         } else {
             let per_worker = jobs.len().div_ceil(threads);
+            let obs = mc_obs::ObsContext::current();
             std::thread::scope(|s| {
                 for group in jobs.chunks_mut(per_worker) {
-                    s.spawn(|| {
+                    let obs = &obs;
+                    s.spawn(move || {
+                        let _obs = obs.attach();
                         for (c, chunk) in group.iter_mut() {
                             fill(*c, chunk);
                         }

@@ -595,19 +595,23 @@ pub fn build_arenas(
     let slots: Vec<OnceLock<(RecordArena, RecordArena)>> =
         (0..configs.len()).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
+    let obs = mc_obs::ObsContext::current();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(configs.len()).max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= configs.len() {
-                    break;
+            scope.spawn(|| {
+                let _obs = obs.attach();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= configs.len() {
+                        break;
+                    }
+                    let idx = configs[i].positions();
+                    let pair = (
+                        RecordArena::from_tokenized(tok_a, &idx),
+                        RecordArena::from_tokenized(tok_b, &idx),
+                    );
+                    slots[i].set(pair).expect("each slot filled once");
                 }
-                let idx = configs[i].positions();
-                let pair = (
-                    RecordArena::from_tokenized(tok_a, &idx),
-                    RecordArena::from_tokenized(tok_b, &idx),
-                );
-                slots[i].set(pair).expect("each slot filled once");
             });
         }
     });
@@ -716,9 +720,11 @@ pub fn run_joint_with_arenas(
 
     mc_obs::gauge!("mc.core.joint.workers").set(threads as i64);
     mc_obs::gauge!("mc.core.joint.q_used").set(q_used as i64);
+    let obs = mc_obs::ObsContext::current();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                let _obs = obs.attach();
                 // Per-thread work statistics, flushed when the worker
                 // retires. The join scratch is reused across every config
                 // this worker processes, so steady state allocates

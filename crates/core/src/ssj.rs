@@ -964,10 +964,13 @@ pub fn select_q_cached(
         return 1;
     }
     let _span = mc_obs::span!("mc.core.ssj.select_q");
+    let obs = mc_obs::ObsContext::current();
     let costs: Vec<(u64, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (1..=max_q)
             .map(|q| {
+                let obs = &obs;
                 scope.spawn(move || {
+                    let _obs = obs.attach();
                     let scorer: Box<dyn PairScorer> = match cache {
                         Some(cache) => Box::new(CachedExactScorer { measure, cache }),
                         None => Box::new(ExactScorer(measure)),

@@ -145,9 +145,11 @@ impl RandomForest {
         let slots: Vec<OnceLock<DecisionTree>> =
             (0..params.n_trees).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
+        let obs = mc_obs::ObsContext::current();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
+                    let _obs = obs.attach();
                     let mut scratch = TreeScratch::default();
                     loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
@@ -233,9 +235,12 @@ impl RandomForest {
             return;
         }
         let per_worker = jobs.len().div_ceil(threads);
+        let obs = mc_obs::ObsContext::current();
         std::thread::scope(|s| {
             for group in jobs.chunks_mut(per_worker) {
-                s.spawn(|| {
+                let obs = &obs;
+                s.spawn(move || {
+                    let _obs = obs.attach();
                     for (ids, outs) in group.iter_mut() {
                         score_chunk(ids, outs);
                     }

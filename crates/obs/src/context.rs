@@ -1,0 +1,286 @@
+//! [`ObsContext`] — the session-scoped observability plane.
+//!
+//! An `ObsContext` is a cheap, clonable handle bundling a
+//! [`Registry`] and a [`FlightRecorder`]. The process has one **global**
+//! context ([`ObsContext::global`]) that preserves the historical
+//! behaviour of `mc-obs` — every `counter!`/`span!` site resolves to it
+//! by default — and any number of **session** contexts
+//! ([`ObsContext::session`]) whose metrics are fully isolated from each
+//! other while still chaining into the global registry, so the merged
+//! process view accounts for every session.
+//!
+//! **Propagation.** The current context is thread-local:
+//! [`ObsContext::attach`] installs one for the enclosing scope (RAII
+//! guard), and code that spawns worker threads grabs
+//! [`ObsContext::current`] before the spawn and re-attaches inside each
+//! worker. `MatchCatcher::run` does exactly this for the whole pipeline,
+//! so two concurrent debugger runs with distinct contexts never bleed a
+//! single metric or span record into each other's snapshots.
+//!
+//! **Hot-path cost.** The `counter!`/`gauge!`/`histogram!` macros keep a
+//! per-call-site, per-thread cache keyed by the context's `epoch`, so
+//! steady-state resolution is one TLS read and an equality check — the
+//! registry mutex is touched once per site per context per thread.
+
+use crate::metrics::{Counter, Gauge, Histogram, Registry};
+use crate::snapshot::MetricsSnapshot;
+use crate::span::{FlightRecorder, FLIGHT_RECORDER_CAPACITY};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::LocalKey;
+
+/// Shared state of one observability scope.
+pub struct ObsInner {
+    epoch: u64,
+    registry: Registry,
+    recorder: FlightRecorder,
+}
+
+/// A cheap, clonable handle to one observability scope: a metrics
+/// [`Registry`] plus a [`FlightRecorder`]. See the module docs.
+#[derive(Clone)]
+pub struct ObsContext {
+    inner: Arc<ObsInner>,
+}
+
+fn next_epoch() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1); // 0 is the global context
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl ObsContext {
+    /// The process-global context: the historical process-wide registry
+    /// and flight recorder. This is what every instrumentation site
+    /// resolves to unless a session context is attached.
+    pub fn global() -> &'static ObsContext {
+        static GLOBAL: OnceLock<ObsContext> = OnceLock::new();
+        GLOBAL.get_or_init(|| ObsContext {
+            inner: Arc::new(ObsInner {
+                epoch: 0,
+                registry: Registry::new(),
+                recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            }),
+        })
+    }
+
+    /// A fresh session context: an empty registry whose metrics chain
+    /// into the global one, and a private flight recorder of the default
+    /// capacity.
+    pub fn session() -> ObsContext {
+        ObsContext::with_recorder_capacity(FLIGHT_RECORDER_CAPACITY)
+    }
+
+    /// [`ObsContext::session`] with an explicit flight-recorder capacity
+    /// (records). Small capacities make ring-buffer truncation — surfaced
+    /// as `mc.obs.flight.dropped` in snapshots — easy to exercise.
+    pub fn with_recorder_capacity(capacity: usize) -> ObsContext {
+        ObsContext {
+            inner: Arc::new(ObsInner {
+                epoch: next_epoch(),
+                registry: Registry::scoped(ObsContext::global().registry()),
+                recorder: FlightRecorder::new(capacity.max(1)),
+            }),
+        }
+    }
+
+    /// The thread's current context (the global one unless a session
+    /// context is attached).
+    pub fn current() -> ObsContext {
+        CURRENT.with(|c| {
+            c.borrow()
+                .clone()
+                .unwrap_or_else(|| ObsContext::global().clone())
+        })
+    }
+
+    /// Installs this context as the thread's current one; the returned
+    /// guard restores the previous context (and the span-parent cursor)
+    /// on drop. Worker threads spawned inside the scope must re-attach —
+    /// grab [`ObsContext::current`] before the spawn.
+    pub fn attach(&self) -> AttachGuard {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(self.clone()));
+        sync_epoch();
+        let prev_parent = crate::span::swap_parent_cursor(u64::MAX);
+        AttachGuard { prev, prev_parent }
+    }
+
+    /// This scope's metrics registry. Session registries chain into the
+    /// global one (updates land in both).
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// This scope's flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
+    }
+
+    /// A unique identifier for this scope (0 = global). Session epochs
+    /// are never reused within a process.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// Captures everything this scope has recorded; see
+    /// [`MetricsSnapshot::capture`] for the ambient-context variant.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::capture_from(self)
+    }
+
+    /// Whether two handles refer to the same scope.
+    pub fn same_as(&self, other: &ObsContext) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Default for ObsContext {
+    /// The global context.
+    fn default() -> Self {
+        ObsContext::global().clone()
+    }
+}
+
+impl std::fmt::Debug for ObsContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsContext")
+            .field("epoch", &self.inner.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+thread_local! {
+    /// `None` means "the global context" without forcing its init.
+    static CURRENT: RefCell<Option<ObsContext>> = const { RefCell::new(None) };
+}
+
+/// RAII guard returned by [`ObsContext::attach`].
+pub struct AttachGuard {
+    prev: Option<ObsContext>,
+    prev_parent: u64,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+        sync_epoch();
+        crate::span::swap_parent_cursor(self.prev_parent);
+    }
+}
+
+/// Per-call-site cache slot used by the `counter!`/`gauge!`/`histogram!`
+/// macros: `(context epoch, resolved handle)`, one per thread per site.
+pub type SiteSlot<T> = RefCell<(u64, Option<Arc<T>>)>;
+
+/// Fast-path epoch of the thread's current context, without cloning it.
+#[inline]
+fn current_epoch() -> u64 {
+    CURRENT_EPOCH.with(|e| e.get())
+}
+
+thread_local! {
+    /// Mirror of `CURRENT`'s epoch as a plain `Cell` so hot sites avoid
+    /// the `RefCell` borrow. Kept in sync by attach/detach.
+    static CURRENT_EPOCH: Cell<u64> = const { Cell::new(0) };
+}
+
+fn sync_epoch() {
+    let e = CURRENT.with(|c| c.borrow().as_ref().map_or(0, |ctx| ctx.epoch()));
+    CURRENT_EPOCH.with(|cell| cell.set(e));
+}
+
+macro_rules! site_resolver {
+    ($fn_name:ident, $ty:ty, $get:ident) => {
+        /// Macro support: resolves `name` in the current context through
+        /// the per-site cache. Not intended for direct use.
+        #[doc(hidden)]
+        pub fn $fn_name(name: &'static str, site: &'static LocalKey<SiteSlot<$ty>>) -> Arc<$ty> {
+            let epoch = current_epoch();
+            site.with(|slot| {
+                {
+                    let s = slot.borrow();
+                    if s.0 == epoch {
+                        if let Some(h) = &s.1 {
+                            return Arc::clone(h);
+                        }
+                    }
+                }
+                let ctx = ObsContext::current();
+                let h = ctx.registry().$get(name);
+                *slot.borrow_mut() = (epoch, Some(Arc::clone(&h)));
+                h
+            })
+        }
+    };
+}
+
+site_resolver!(site_counter, Counter, counter);
+site_resolver!(site_gauge, Gauge, gauge);
+site_resolver!(site_histogram, Histogram, histogram);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::registry;
+
+    #[test]
+    fn attach_scopes_and_restores() {
+        let before = ObsContext::current();
+        assert_eq!(before.epoch(), 0, "default is the global context");
+        let session = ObsContext::session();
+        {
+            let _g = session.attach();
+            assert!(ObsContext::current().same_as(&session));
+            // Nested attach restores the outer session, not the global.
+            let inner = ObsContext::session();
+            {
+                let _g2 = inner.attach();
+                assert!(ObsContext::current().same_as(&inner));
+            }
+            assert!(ObsContext::current().same_as(&session));
+        }
+        assert_eq!(ObsContext::current().epoch(), 0);
+    }
+
+    #[test]
+    fn session_metrics_chain_but_do_not_bleed() {
+        let a = ObsContext::session();
+        let b = ObsContext::session();
+        let global_before = registry().counter("mc.test.ctx.chain").get();
+        {
+            let _g = a.attach();
+            crate::counter!("mc.test.ctx.chain").add(3);
+        }
+        {
+            let _g = b.attach();
+            crate::counter!("mc.test.ctx.chain").add(4);
+        }
+        assert_eq!(a.registry().counter("mc.test.ctx.chain").get(), 3);
+        assert_eq!(b.registry().counter("mc.test.ctx.chain").get(), 4);
+        assert_eq!(
+            registry().counter("mc.test.ctx.chain").get(),
+            global_before + 7,
+            "global view accounts for both sessions"
+        );
+    }
+
+    #[test]
+    fn site_cache_tracks_context_switches() {
+        // The same call site must resolve to different handles under
+        // different contexts, including back-to-back switches.
+        let a = ObsContext::session();
+        let b = ObsContext::session();
+        for _ in 0..3 {
+            {
+                let _g = a.attach();
+                crate::counter!("mc.test.ctx.site").inc();
+            }
+            {
+                let _g = b.attach();
+                crate::counter!("mc.test.ctx.site").inc();
+            }
+        }
+        assert_eq!(a.registry().counter("mc.test.ctx.site").get(), 3);
+        assert_eq!(b.registry().counter("mc.test.ctx.site").get(), 3);
+    }
+}

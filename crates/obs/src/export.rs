@@ -1,0 +1,208 @@
+//! Exporters: Chrome/Perfetto trace JSON and Prometheus/OpenMetrics
+//! text, both rendered from a [`MetricsSnapshot`] (no live registry
+//! access, so they work on deltas and on snapshots read back from
+//! JSON).
+
+use crate::metrics::bucket_range;
+use crate::snapshot::{escape, MetricsSnapshot};
+use std::fmt::Write as _;
+
+impl MetricsSnapshot {
+    /// Renders the flight-recorder events as Chrome trace JSON (the
+    /// `chrome://tracing` / Perfetto "JSON array" flavour, wrapped in a
+    /// `traceEvents` object).
+    ///
+    /// Spans become complete (`"ph": "X"`) events with microsecond
+    /// timestamps relative to the recorder's creation; instant events
+    /// become `"ph": "i"`. The recording thread maps to `tid`, so
+    /// Perfetto reconstructs nesting from time containment per track —
+    /// `parent_seq` is also carried in `args` for exact parentage.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"traceEvents\": [");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ts = e.start_ns as f64 / 1e3;
+            if e.dur_ns > 0 {
+                let _ = write!(
+                    out,
+                    "\n  {{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {ts:.3}, \"dur\": {:.3}, \"pid\": 1, \"tid\": {}",
+                    escape(&e.name),
+                    e.dur_ns as f64 / 1e3,
+                    e.thread
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    "\n  {{\"name\": \"{}\", \"ph\": \"i\", \"ts\": {ts:.3}, \"s\": \"t\", \"pid\": 1, \"tid\": {}",
+                    escape(&e.name),
+                    e.thread
+                );
+            }
+            let _ = write!(out, ", \"args\": {{\"seq\": {}", e.seq);
+            if e.parent_seq != u64::MAX {
+                let _ = write!(out, ", \"parent_seq\": {}", e.parent_seq);
+            }
+            if e.label != u64::MAX {
+                let _ = write!(out, ", \"label\": {}", e.label);
+            }
+            if e.value != 0 {
+                let _ = write!(out, ", \"value\": {}", e.value);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Renders counters, gauges and histograms as OpenMetrics text
+    /// (Prometheus exposition format): dots in metric names become
+    /// underscores, counters gain the `_total` suffix, histograms emit
+    /// cumulative `le` buckets (upper edge of each non-empty log-linear
+    /// bucket, plus `+Inf`) with `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n}_total {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = 0u64;
+            for &(i, c) in &h.buckets {
+                cum += c;
+                let (_, hi) = bucket_range(i as usize);
+                let _ = writeln!(out, "{n}_bucket{{le=\"{hi}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// `mc.core.ssj.scored` → `mc_core_ssj_scored`; anything outside
+/// `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gains a prefix.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if valid { c } else { '_' });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::ObsContext;
+    use crate::span::Span;
+
+    fn populated_session() -> ObsContext {
+        let ctx = ObsContext::session();
+        let _g = ctx.attach();
+        {
+            let _outer = Span::enter("mc.test.export.outer");
+            let _inner = Span::enter_labeled("mc.test.export.inner", 3);
+            crate::event("mc.test.export.tick", 1, 42);
+        }
+        crate::counter!("mc.test.export.count").add(7);
+        crate::gauge!("mc.test.export.gauge").set(-2);
+        drop(_g);
+        ctx
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_nesting() {
+        let ctx = populated_session();
+        let trace = ctx.snapshot().to_chrome_trace();
+        let doc = crate::json::JsonValue::parse(&trace).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events.len() >= 3);
+        let find = |n: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(n))
+                .unwrap()
+        };
+        let outer = find("mc.test.export.outer");
+        let inner = find("mc.test.export.inner");
+        let tick = find("mc.test.export.tick");
+        assert_eq!(outer.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(tick.get("ph").unwrap().as_str(), Some("i"));
+        // Parentage both ways: explicit args and time containment.
+        assert_eq!(
+            inner
+                .get("args")
+                .unwrap()
+                .get("parent_seq")
+                .unwrap()
+                .as_u64(),
+            outer.get("args").unwrap().get("seq").unwrap().as_u64()
+        );
+        let (ots, odur) = (
+            outer.get("ts").unwrap().as_f64().unwrap(),
+            outer.get("dur").unwrap().as_f64().unwrap(),
+        );
+        let (its, idur) = (
+            inner.get("ts").unwrap().as_f64().unwrap(),
+            inner.get("dur").unwrap().as_f64().unwrap(),
+        );
+        assert!(its >= ots && its + idur <= ots + odur + 1e-3);
+        assert_eq!(
+            inner.get("args").unwrap().get("label").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            tick.get("args").unwrap().get("value").unwrap().as_u64(),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let ctx = populated_session();
+        let text = ctx.snapshot().to_prometheus();
+        assert!(text.ends_with("# EOF\n"));
+        assert!(text.contains("# TYPE mc_test_export_count counter"));
+        assert!(text.contains("mc_test_export_count_total 7"));
+        assert!(text.contains("mc_test_export_gauge -2"));
+        assert!(text.contains("# TYPE mc_test_export_outer histogram"));
+        assert!(text.contains("mc_test_export_outer_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("mc_test_export_outer_count 1"));
+        // Every sample line is `name{labels} value` or `name value`, and
+        // cumulative bucket counts are monotone.
+        let mut last_cum: Option<u64> = None;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').unwrap();
+            assert!(!name.is_empty());
+            let _: f64 = value.parse().unwrap();
+            if name.starts_with("mc_test_export_outer_bucket") {
+                let v: u64 = value.parse().unwrap();
+                assert!(
+                    last_cum.is_none_or(|p| v >= p),
+                    "buckets must be cumulative"
+                );
+                last_cum = Some(v);
+            }
+        }
+    }
+}

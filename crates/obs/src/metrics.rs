@@ -1,30 +1,47 @@
-//! Lock-free metric primitives and the global `&'static` registry.
+//! Lock-free metric primitives and the per-context [`Registry`].
 //!
 //! Metrics are append-only: once registered under a name they live for
-//! the life of the process (they are `Box::leak`ed into `&'static`
-//! references), so hot paths update a plain `AtomicU64` with no locking
-//! or lookup. Lookup (registration) takes a mutex, but every
-//! instrumentation site caches the returned `&'static` handle in a
-//! `OnceLock`, so the mutex is touched once per site per process.
+//! the life of their registry as `Arc`s, so hot paths update a plain
+//! `AtomicU64` with no locking or lookup. Lookup (registration) takes a
+//! mutex, but every instrumentation site caches the resolved handle per
+//! thread keyed by the owning [`ObsContext`](crate::ObsContext)'s epoch,
+//! so the mutex is touched once per site per context per thread.
+//!
+//! **Scoped → global chaining.** A session-scoped registry (see
+//! [`Registry::scoped`]) links every metric it creates to the same-named
+//! metric of its parent (the process-global registry): updates write
+//! both, so a session snapshot is perfectly isolated while the global
+//! view still accounts for every session.
 //!
 //! Naming scheme: `mc.<crate>.<stage>.<name>`, e.g.
 //! `mc.core.ssj.pairs_scored` (see DESIGN.md §Observability).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// A monotonically increasing event count.
 #[derive(Debug, Default)]
 pub struct Counter {
     value: AtomicU64,
+    parent: Option<Arc<Counter>>,
 }
 
 impl Counter {
-    /// Adds `n` to the counter.
+    fn chained(parent: Arc<Counter>) -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+            parent: Some(parent),
+        }
+    }
+
+    /// Adds `n` to the counter (and its chained parent, if any).
     #[inline]
     pub fn add(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.value.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Adds one.
@@ -45,19 +62,34 @@ impl Counter {
 #[derive(Debug, Default)]
 pub struct Gauge {
     value: AtomicI64,
+    parent: Option<Arc<Gauge>>,
 }
 
 impl Gauge {
-    /// Sets the gauge.
+    fn chained(parent: Arc<Gauge>) -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+            parent: Some(parent),
+        }
+    }
+
+    /// Sets the gauge (the chained parent sees the same value — last
+    /// writer wins across sessions).
     #[inline]
     pub fn set(&self, v: i64) {
         self.value.store(v, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.value.store(v, Ordering::Relaxed);
+        }
     }
 
     /// Adds `delta` (may be negative).
     #[inline]
     pub fn add(&self, delta: i64) {
         self.value.fetch_add(delta, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.value.fetch_add(delta, Ordering::Relaxed);
+        }
     }
 
     /// The current value.
@@ -68,47 +100,124 @@ impl Gauge {
 }
 
 /// Number of buckets in every [`Histogram`].
-pub const HISTOGRAM_BUCKETS: usize = 32;
-
-/// A fixed-bucket power-of-two histogram of `u64` observations.
 ///
-/// Bucket `i` counts observations `v` with `floor(log2(v + 1)) == i`
-/// (bucket 0 holds `v == 0`); the last bucket absorbs the tail. Records
-/// are a single atomic increment plus two atomic adds — no floating
-/// point, no locks.
+/// Values `0..=15` get exact buckets; above that each power-of-two
+/// octave (`2^4 ..= 2^63`) is split into [`HISTOGRAM_SUBBUCKETS`]
+/// log-linear sub-buckets: `16 + 60 × 8 = 496`.
+pub const HISTOGRAM_BUCKETS: usize = 496;
+
+/// Sub-buckets per power-of-two octave (3 mantissa bits → worst-case
+/// relative quantile error ≈ 6.7%).
+pub const HISTOGRAM_SUBBUCKETS: usize = 8;
+
+const EXACT_BUCKETS: usize = 16;
+const FIRST_OCTAVE: u32 = 4; // 2^4 = 16 is the first log-linear value
+
+/// Bucket index of an observation (shared by the live histogram and
+/// snapshot-side quantile math).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < EXACT_BUCKETS as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // ≥ FIRST_OCTAVE
+    let sub = (v >> (octave - 3)) & 0x7;
+    EXACT_BUCKETS + (octave - FIRST_OCTAVE) as usize * HISTOGRAM_SUBBUCKETS + sub as usize
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `i`.
+pub fn bucket_range(i: usize) -> (u64, u64) {
+    if i < EXACT_BUCKETS {
+        return (i as u64, i as u64);
+    }
+    let octave = FIRST_OCTAVE + ((i - EXACT_BUCKETS) / HISTOGRAM_SUBBUCKETS) as u32;
+    let sub = ((i - EXACT_BUCKETS) % HISTOGRAM_SUBBUCKETS) as u64;
+    let width = 1u64 << (octave - 3);
+    let lo = (1u64 << octave) + sub * width;
+    (lo, lo + (width - 1))
+}
+
+/// The representative value reported for bucket `i` (midpoint of its
+/// range; exact for `v < 16`).
+pub fn bucket_value(i: usize) -> u64 {
+    let (lo, hi) = bucket_range(i);
+    lo + (hi - lo) / 2
+}
+
+/// Nearest-rank quantile over a bucket-count array: the representative
+/// value of the bucket holding the `⌈q·count⌉`-th observation. Exact for
+/// values `< 16`, within ~6.7% above. Returns 0 when empty.
+pub fn quantile_from_buckets(buckets: &[u64], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as f64 * q.clamp(0.0, 1.0)).ceil() as u64).clamp(1, count);
+    if rank >= count {
+        // The top-ranked observation is the max, which is tracked
+        // exactly — no need to approximate it from the bucket.
+        return max;
+    }
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return bucket_value(i).min(max);
+        }
+    }
+    max
+}
+
+/// A fixed-bucket **log-linear** histogram of `u64` observations with
+/// quantile support.
+///
+/// Values `0..=15` are counted exactly; larger values land in one of 8
+/// sub-buckets per power-of-two octave (see [`bucket_of`]), bounding the
+/// relative error of [`Histogram::quantile`] at ~6.7%. Records are four
+/// relaxed atomic ops — no floating point, no locks.
 #[derive(Debug)]
 pub struct Histogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    buckets: Box<[AtomicU64; HISTOGRAM_BUCKETS]>,
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    parent: Option<Arc<Histogram>>,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: [0u64; HISTOGRAM_BUCKETS].map(AtomicU64::new),
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            parent: None,
         }
     }
 }
 
 impl Histogram {
-    /// Bucket index of an observation.
-    #[inline]
-    fn bucket_of(v: u64) -> usize {
-        ((64 - v.saturating_add(1).leading_zeros() as usize) - 1).min(HISTOGRAM_BUCKETS - 1)
+    fn chained(parent: Arc<Histogram>) -> Self {
+        Histogram {
+            parent: Some(parent),
+            ..Histogram::default()
+        }
     }
 
-    /// Records one observation.
     #[inline]
-    pub fn record(&self, v: u64) {
-        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    fn record_local(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records one observation (and forwards it to the chained parent).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_local(v);
+        if let Some(p) = &self.parent {
+            p.record_local(v);
+        }
     }
 
     /// Number of observations.
@@ -130,51 +239,90 @@ impl Histogram {
     }
 
     /// Per-bucket counts.
-    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
-        let mut out = [0u64; HISTOGRAM_BUCKETS];
-        for (o, b) in out.iter_mut().zip(&self.buckets) {
-            *o = b.load(Ordering::Relaxed);
-        }
-        out
+    pub fn buckets(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Nearest-rank quantile (`q ∈ [0, 1]`; `quantile(1.0)` is the max).
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_buckets(&self.buckets(), self.count(), self.max(), q)
     }
 }
 
 /// The set of metrics registered under names.
 ///
-/// There is one global registry (see [`registry`]); tests may build
-/// private ones.
+/// There is one process-global registry (see [`registry`]); every
+/// session [`ObsContext`](crate::ObsContext) owns a scoped one whose
+/// metrics chain to the global registry's.
 #[derive(Default)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
-    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
-    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    /// Set on scoped registries: the global registry whose same-named
+    /// metrics receive every update made through this one.
+    parent: Option<&'static Registry>,
 }
 
 impl Registry {
-    /// A new empty registry.
+    /// A new standalone registry (no chaining).
     pub fn new() -> Self {
         Registry::default()
     }
 
+    /// A registry whose metrics chain to `parent`'s: every update lands
+    /// in both, so `parent` keeps process-cumulative totals while this
+    /// registry sees only its own session's.
+    pub fn scoped(parent: &'static Registry) -> Self {
+        Registry {
+            parent: Some(parent),
+            ..Registry::default()
+        }
+    }
+
     /// The counter registered under `name`, creating it on first use.
-    pub fn counter(&self, name: &'static str) -> &'static Counter {
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
         let mut map = self.counters.lock().unwrap();
-        map.entry(name)
-            .or_insert_with(|| Box::leak(Box::new(Counter::default())))
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(match self.parent {
+            Some(p) => Counter::chained(p.counter(name)),
+            None => Counter::default(),
+        });
+        map.insert(name, Arc::clone(&c));
+        c
     }
 
     /// The gauge registered under `name`, creating it on first use.
-    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
         let mut map = self.gauges.lock().unwrap();
-        map.entry(name)
-            .or_insert_with(|| Box::leak(Box::new(Gauge::default())))
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(match self.parent {
+            Some(p) => Gauge::chained(p.gauge(name)),
+            None => Gauge::default(),
+        });
+        map.insert(name, Arc::clone(&g));
+        g
     }
 
     /// The histogram registered under `name`, creating it on first use.
-    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
         let mut map = self.histograms.lock().unwrap();
-        map.entry(name)
-            .or_insert_with(|| Box::leak(Box::new(Histogram::default())))
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(match self.parent {
+            Some(p) => Histogram::chained(p.histogram(name)),
+            None => Histogram::default(),
+        });
+        map.insert(name, Arc::clone(&h));
+        h
     }
 
     /// Snapshot of all counters as `(name, value)`.
@@ -197,19 +345,108 @@ impl Registry {
             .collect()
     }
 
-    /// Snapshot of all histograms as `(name, count, sum, max)`.
-    pub fn histogram_values(&self) -> Vec<(String, u64, u64, u64)> {
+    /// Snapshot of all histograms as `(name, count, sum, max, buckets)`.
+    #[allow(clippy::type_complexity)]
+    pub fn histogram_values(&self) -> Vec<(String, u64, u64, u64, Vec<u64>)> {
         self.histograms
             .lock()
             .unwrap()
             .iter()
-            .map(|(k, v)| (k.to_string(), v.count(), v.sum(), v.max()))
+            .map(|(k, v)| (k.to_string(), v.count(), v.sum(), v.max(), v.buckets()))
             .collect()
     }
 }
 
-/// The process-wide registry.
+/// The process-wide registry (the global
+/// [`ObsContext`](crate::ObsContext)'s).
 pub fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(Registry::new)
+    crate::context::ObsContext::global().registry()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_monotone_and_inverts() {
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            2,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1000,
+            1 << 20,
+            (1 << 20) + 12345,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_of(v);
+            assert!(i >= prev, "bucket_of must be monotone at {v}");
+            prev = i;
+            let (lo, hi) = bucket_range(i);
+            assert!(lo <= v && v <= hi, "v={v} outside bucket [{lo}, {hi}]");
+            assert!(i < HISTOGRAM_BUCKETS);
+        }
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((p50 as f64 - 500.0).abs() / 500.0 < 0.08, "p50 = {p50}");
+        assert!((p99 as f64 - 990.0).abs() / 990.0 < 0.08, "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+        // Exact range: values below 16 are exact.
+        let small = Histogram::default();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            small.record(v);
+        }
+        assert_eq!(small.quantile(0.5), 5);
+        assert_eq!(small.quantile(0.1), 1);
+    }
+
+    #[test]
+    fn scoped_registry_chains_to_parent() {
+        let scoped = Registry::scoped(registry());
+        let c = scoped.counter("mc.test.metrics.chain");
+        let global_before = registry().counter("mc.test.metrics.chain").get();
+        c.add(5);
+        assert_eq!(c.get(), 5);
+        assert_eq!(
+            registry().counter("mc.test.metrics.chain").get(),
+            global_before + 5
+        );
+        // A second scoped registry is isolated from the first.
+        let scoped2 = Registry::scoped(registry());
+        assert_eq!(scoped2.counter("mc.test.metrics.chain").get(), 0);
+
+        let h = scoped.histogram("mc.test.metrics.chain_hist");
+        let g_hist_before = registry().histogram("mc.test.metrics.chain_hist").count();
+        h.record(7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(
+            registry().histogram("mc.test.metrics.chain_hist").count(),
+            g_hist_before + 1
+        );
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
 }

@@ -4,17 +4,23 @@
 //! stack (so children know their parent), dropping records the duration
 //! into a per-name [`Histogram`](crate::metrics::Histogram) (in
 //! microseconds, under the span's name) and appends a [`SpanRecord`] to
-//! the global [`FlightRecorder`] — a fixed-capacity ring buffer holding
-//! the most recent completed spans, cheap enough to leave on in
-//! production and dump when a run needs debugging.
+//! the owning context's [`FlightRecorder`] — a fixed-capacity ring
+//! buffer holding the most recent completed spans, cheap enough to leave
+//! on in production and dump when a run needs debugging.
+//!
+//! Spans resolve their [`ObsContext`](crate::ObsContext) when entered,
+//! so a span opened inside an attached session scope lands in that
+//! session's recorder and histogram registry (and, via metric chaining,
+//! in the global histogram too). Each context owns its own recorder, so
+//! sessions never see each other's span records.
 
-use crate::metrics::registry;
+use crate::context::ObsContext;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::Mutex;
 use std::time::Instant;
 
-/// Capacity of the global flight recorder (events).
+/// Default capacity of a flight recorder (records).
 pub const FLIGHT_RECORDER_CAPACITY: usize = 4096;
 
 /// One completed span (or explicit event) in the flight recorder.
@@ -31,7 +37,7 @@ pub struct SpanRecord {
     pub dur_ns: u64,
     /// Recording thread, as an opaque small integer.
     pub thread: u64,
-    /// Monotone sequence number (global order of completion).
+    /// Monotone sequence number (per-recorder order of completion).
     pub seq: u64,
     /// Sequence number of the enclosing span, `u64::MAX` at root.
     pub parent_seq: u64,
@@ -48,13 +54,19 @@ pub struct FlightRecorder {
 }
 
 impl FlightRecorder {
-    fn new(capacity: usize) -> Self {
+    /// A recorder retaining the most recent `capacity` records.
+    pub fn new(capacity: usize) -> Self {
         FlightRecorder {
-            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
             next: AtomicUsize::new(0),
             seq: AtomicU64::new(0),
             epoch: Instant::now(),
         }
+    }
+
+    /// Number of records this recorder retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// Nanoseconds since the recorder was created.
@@ -77,6 +89,12 @@ impl FlightRecorder {
         self.seq.load(Ordering::Relaxed)
     }
 
+    /// Records lost to ring-buffer overwrites: everything pushed beyond
+    /// capacity. Surfaced in snapshots as `mc.obs.flight.dropped`.
+    pub fn dropped(&self) -> u64 {
+        self.pushed().saturating_sub(self.slots.len() as u64)
+    }
+
     /// The retained records, oldest first.
     pub fn drain_ordered(&self) -> Vec<SpanRecord> {
         let mut out: Vec<SpanRecord> = self
@@ -89,15 +107,23 @@ impl FlightRecorder {
     }
 }
 
-/// The process-wide flight recorder.
+/// The process-global flight recorder (the global
+/// [`ObsContext`](crate::ObsContext)'s).
 pub fn flight_recorder() -> &'static FlightRecorder {
-    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
-    RECORDER.get_or_init(|| FlightRecorder::new(FLIGHT_RECORDER_CAPACITY))
+    ObsContext::global().recorder()
 }
 
 thread_local! {
     static CURRENT_PARENT: Cell<u64> = const { Cell::new(u64::MAX) };
     static THREAD_TAG: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// Replaces the thread's span-parent cursor, returning the old value.
+/// Used by [`ObsContext::attach`] so spans opened under a freshly
+/// attached context are roots of that context, not children of whatever
+/// the outer scope had open.
+pub(crate) fn swap_parent_cursor(new: u64) -> u64 {
+    CURRENT_PARENT.with(|p| p.replace(new))
 }
 
 fn thread_tag() -> u64 {
@@ -121,6 +147,9 @@ pub struct Span {
     /// Sequence number reserved for this span, so children observed
     /// while it is open can point at it.
     my_seq: u64,
+    /// The context current at enter time; the drop records into it even
+    /// if the thread's context has changed since.
+    ctx: ObsContext,
 }
 
 impl Span {
@@ -131,18 +160,21 @@ impl Span {
 
     /// Enters a span carrying a numeric label (config index, iteration).
     pub fn enter_labeled(name: &'static str, label: u64) -> Span {
-        let rec = flight_recorder();
+        let ctx = ObsContext::current();
+        let rec = ctx.recorder();
         // Reserve a sequence number up front so children can reference
         // this span before it completes.
         let my_seq = rec.seq.fetch_add(1, Ordering::Relaxed);
         let parent_seq = CURRENT_PARENT.with(|p| p.replace(my_seq));
+        let start_ns = rec.now_ns();
         Span {
             name,
             label,
             start: Instant::now(),
-            start_ns: rec.now_ns(),
+            start_ns,
             parent_seq,
             my_seq,
+            ctx,
         }
     }
 
@@ -156,10 +188,11 @@ impl Drop for Span {
     fn drop(&mut self) {
         let dur = self.start.elapsed();
         CURRENT_PARENT.with(|p| p.set(self.parent_seq));
-        registry()
+        self.ctx
+            .registry()
             .histogram(self.name)
             .record(dur.as_micros() as u64);
-        let rec = flight_recorder();
+        let rec = self.ctx.recorder();
         let slot = rec.next.fetch_add(1, Ordering::Relaxed) % rec.slots.len();
         *rec.slots[slot].lock().unwrap() = Some(SpanRecord {
             name: self.name,
@@ -175,9 +208,11 @@ impl Drop for Span {
 }
 
 /// Records an instantaneous event (no duration) with a label and value —
-/// e.g. one verifier iteration with its label count.
+/// e.g. one verifier iteration with its label count — into the current
+/// context's recorder.
 pub fn event(name: &'static str, label: u64, value: u64) {
-    let rec = flight_recorder();
+    let ctx = ObsContext::current();
+    let rec = ctx.recorder();
     let parent_seq = CURRENT_PARENT.with(|p| p.get());
     rec.push(SpanRecord {
         name,
@@ -194,6 +229,7 @@ pub fn event(name: &'static str, label: u64, value: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::registry;
 
     #[test]
     fn spans_nest_and_record() {
@@ -225,8 +261,9 @@ mod tests {
     }
 
     #[test]
-    fn ring_overwrites_oldest() {
+    fn ring_overwrites_oldest_and_counts_drops() {
         let rec = FlightRecorder::new(4);
+        assert_eq!(rec.dropped(), 0);
         for i in 0..10u64 {
             rec.push(SpanRecord {
                 name: "mc.test.ring",
@@ -246,5 +283,33 @@ mod tests {
             vec![6, 7, 8, 9]
         );
         assert_eq!(rec.pushed(), 10);
+        assert_eq!(rec.dropped(), 6);
+    }
+
+    #[test]
+    fn session_spans_stay_in_their_recorder() {
+        let session = ObsContext::with_recorder_capacity(64);
+        {
+            let _g = session.attach();
+            let _root = Span::enter("mc.test.session_span");
+            event("mc.test.session_event", 1, 2);
+        }
+        let recs = session.recorder().drain_ordered();
+        assert!(recs.iter().any(|r| r.name == "mc.test.session_span"));
+        assert!(recs.iter().any(|r| r.name == "mc.test.session_event"));
+        // The global recorder saw none of the session's records...
+        let global_recs = flight_recorder().drain_ordered();
+        assert!(
+            !global_recs
+                .iter()
+                .any(|r| r.name == "mc.test.session_span" || r.name == "mc.test.session_event"),
+            "session records must not reach the global recorder"
+        );
+        // ...but the global histogram accounts for the span's duration.
+        assert!(registry().histogram("mc.test.session_span").count() >= 1);
+        assert_eq!(
+            session.registry().histogram("mc.test.session_span").count(),
+            1
+        );
     }
 }

@@ -12,7 +12,7 @@ use matchcatcher::debugger::{DebuggerParams, MatchCatcher, Stage};
 use matchcatcher::oracle::GoldOracle;
 use mc_blocking::{Blocker, KeyFunc};
 use mc_datagen::profiles::DatasetProfile;
-use mc_obs::MetricsSnapshot;
+use mc_obs::{MetricsSnapshot, ObsContext};
 use mc_strsim::tokenize::Tokenizer;
 use mc_strsim::SetMeasure;
 
@@ -148,6 +148,83 @@ fn every_stage_reports_a_nonzero_span() {
         );
     }
     let json = report.metrics.to_json();
-    assert!(json.contains("\"schema\": \"mc-obs/v1\""));
+    assert!(json.contains("\"schema\": \"mc-obs/v2\""));
     assert_eq!(json.matches('{').count(), json.matches('}').count());
+    // The v2 schema is self-describing: it must read back losslessly.
+    let back = mc_obs::MetricsSnapshot::from_json(&json).unwrap();
+    for stage in Stage::ALL {
+        assert_eq!(
+            back.span(stage.span_name()),
+            report.metrics.span(stage.span_name()),
+            "{stage:?} must survive the JSON round-trip"
+        );
+    }
+}
+
+/// The acceptance test for the session-scoped observability plane: two
+/// concurrent [`MatchCatcher::run`] calls with distinct session
+/// [`ObsContext`]s must produce *exactly* attributed snapshots — every
+/// assertion here is an equality, which was impossible when the registry
+/// was process-global — while the merged global view accounts for both.
+#[test]
+fn concurrent_sessions_do_not_bleed() {
+    let ds = DatasetProfile::FodorsZagats.generate_scaled(21, 0.5);
+    let city = ds.a.schema().expect_id("city");
+    let c = Blocker::Hash(KeyFunc::Attr(city)).apply(&ds.a, &ds.b);
+    let global_before = MetricsSnapshot::capture_from(ObsContext::global());
+
+    let run_one = || {
+        let mut params = DebuggerParams::small();
+        params.obs = ObsContext::session();
+        let obs = params.obs.clone();
+        let mc = MatchCatcher::new(params);
+        let mut oracle = GoldOracle::exact(&ds.gold);
+        (mc.run(&ds.a, &ds.b, &c, &mut oracle), obs)
+    };
+    let ((r1, obs1), (r2, obs2)) = std::thread::scope(|s| {
+        let h1 = s.spawn(run_one);
+        let h2 = s.spawn(run_one);
+        (h1.join().unwrap(), h2.join().unwrap())
+    });
+
+    for (r, obs) in [(&r1, &obs1), (&r2, &obs2)] {
+        let m = &r.metrics;
+        // One pipeline per session: stage spans appear exactly once.
+        for stage in Stage::ALL {
+            assert_eq!(m.span(stage.span_name()).count, 1, "{stage:?}");
+        }
+        // Work counters match this run's own report exactly.
+        assert_eq!(
+            m.counter("mc.core.joint.configs_executed"),
+            r.configs.len() as u64
+        );
+        assert_eq!(m.counter("mc.core.verify.labeled"), r.labeled as u64);
+        assert_eq!(
+            m.counter("mc.core.verify.iterations"),
+            r.iteration_count() as u64
+        );
+        // Flight-recorder attribution: the session recorder holds this
+        // run's per-iteration events, nothing more.
+        assert_eq!(
+            m.events_named("mc.core.verify.iteration").len(),
+            r.iteration_count()
+        );
+        // The session context's live registry agrees with the delta (the
+        // baseline was empty — nothing ran in this context before).
+        assert_eq!(
+            obs.registry()
+                .counter("mc.core.joint.configs_executed")
+                .get(),
+            r.configs.len() as u64
+        );
+    }
+
+    // The merged process-global view accounts for both sessions (>= in
+    // case other tests in this binary ran concurrently).
+    let g = MetricsSnapshot::capture_from(ObsContext::global()).since(&global_before);
+    assert!(
+        g.counter("mc.core.joint.configs_executed") >= (r1.configs.len() + r2.configs.len()) as u64
+    );
+    assert!(g.counter("mc.core.verify.labeled") >= (r1.labeled + r2.labeled) as u64);
+    assert!(g.span(Stage::TopK.span_name()).count >= 2);
 }
