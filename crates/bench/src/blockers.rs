@@ -201,6 +201,18 @@ pub fn table2_suite(profile: DatasetProfile, schema: &Schema) -> Vec<NamedBlocke
                 blocker: sim(schema, "title", Word, Cosine, 0.6),
             },
         ],
+        // Synthetic scale profile (not part of the paper's Table 2); a
+        // small suite so profile-generic harnesses keep working.
+        DatasetProfile::ZipfScale => vec![
+            NamedBlocker {
+                label: "HASH1",
+                blocker: hash(schema, "name"),
+            },
+            NamedBlocker {
+                label: "SIM1",
+                blocker: sim(schema, "name", Word, Jaccard, 0.5),
+            },
+        ],
     }
 }
 
@@ -240,6 +252,10 @@ pub fn best_hash_blocker(profile: DatasetProfile, schema: &Schema) -> Blocker {
             hash(schema, "title"),
             Blocker::Hash(KeyFunc::LastWord(schema.expect_id("authors"))),
         ]),
+        DatasetProfile::ZipfScale => Blocker::Union(vec![
+            hash(schema, "name"),
+            Blocker::Hash(KeyFunc::FirstWord(schema.expect_id("name"))),
+        ]),
     }
 }
 
@@ -276,6 +292,7 @@ pub fn repaired_hash_blocker(profile: DatasetProfile, schema: &Schema) -> Blocke
             },
         ],
         DatasetProfile::Papers => vec![sim(schema, "title", Word, Cosine, 0.55)],
+        DatasetProfile::ZipfScale => vec![sim(schema, "name", Word, Cosine, 0.5)],
     };
     let mut parts = vec![base];
     parts.extend(fixes);

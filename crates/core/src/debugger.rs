@@ -381,10 +381,28 @@ impl MatchCatcher {
         )
     }
 
-    /// Per-config record arenas, preferring store artifacts. With no
-    /// hits the whole set is built in parallel (the cold
-    /// `mc.core.joint.build_arenas` path) and published; partial hits —
-    /// possible after a gc evicted some files — fill only the gaps.
+    /// Restores one arena from the store, zero-copy first: a mapped
+    /// [`ArtifactKind::Postings`] payload is validated and borrowed in
+    /// place (no decode, no copy); on miss or validation failure
+    /// (counted under `mc.store.decode_failed`) the byte-codec
+    /// [`ArtifactKind::Arena`] artifact — written by older builds — is
+    /// tried before giving up.
+    fn restore_arena(s: &Store, key: Digest) -> Option<RecordArena> {
+        if let Some(mapped) = s.load_mapped(ArtifactKind::Postings, key) {
+            if let Some(arena) = decoded(store_io::map_arena(mapped)) {
+                return Some(arena);
+            }
+        }
+        s.load(ArtifactKind::Arena, key)
+            .and_then(|b| decoded(store_io::decode_arena(&b)))
+    }
+
+    /// Per-config record arenas, preferring store artifacts (mmapped
+    /// zero-copy payloads first, then the byte codec). With no hits the
+    /// whole set is built in parallel (the cold
+    /// `mc.core.joint.build_arenas` path) and published in the zero-copy
+    /// layout; partial hits — possible after a gc evicted some files —
+    /// fill only the gaps.
     fn assemble_arenas(
         &self,
         prepared: &Prepared,
@@ -414,21 +432,28 @@ impl MatchCatcher {
         let mut out: Vec<Option<(RecordArena, RecordArena)>> = keys
             .iter()
             .map(|&(ka, kb)| {
-                let la = s
-                    .load(ArtifactKind::Arena, ka)
-                    .and_then(|b| decoded(store_io::decode_arena(&b)))?;
-                let lb = s
-                    .load(ArtifactKind::Arena, kb)
-                    .and_then(|b| decoded(store_io::decode_arena(&b)))?;
+                let la = Self::restore_arena(s, ka)?;
+                let lb = Self::restore_arena(s, kb)?;
                 (la.len() == prepared.tok_a.rows() && lb.len() == prepared.tok_b.rows())
                     .then_some((la, lb))
             })
             .collect();
+        let publish_pair = |pair: &(RecordArena, RecordArena), ka: Digest, kb: Digest| {
+            s.publish(
+                ArtifactKind::Postings,
+                ka,
+                &store_io::encode_arena_zc(&pair.0),
+            );
+            s.publish(
+                ArtifactKind::Postings,
+                kb,
+                &store_io::encode_arena_zc(&pair.1),
+            );
+        };
         if out.iter().all(Option::is_none) {
             let built = build_arenas(&prepared.tok_a, &prepared.tok_b, &configs, threads);
             for (pair, &(ka, kb)) in built.iter().zip(&keys) {
-                s.publish(ArtifactKind::Arena, ka, &store_io::encode_arena(&pair.0));
-                s.publish(ArtifactKind::Arena, kb, &store_io::encode_arena(&pair.1));
+                publish_pair(pair, ka, kb);
             }
             return built;
         }
@@ -440,8 +465,7 @@ impl MatchCatcher {
                     RecordArena::from_tokenized(&prepared.tok_b, &pos),
                 );
                 let (ka, kb) = keys[i];
-                s.publish(ArtifactKind::Arena, ka, &store_io::encode_arena(&pair.0));
-                s.publish(ArtifactKind::Arena, kb, &store_io::encode_arena(&pair.1));
+                publish_pair(&pair, ka, kb);
                 *slot = Some(pair);
             }
         }

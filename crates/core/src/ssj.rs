@@ -70,10 +70,22 @@ impl Ord for Score {
 ///
 /// Maintains the k highest-scoring pairs seen so far; the *threshold* is
 /// the k-th best score once full (0 before), the join's pruning bar.
+///
+/// The kept set is **canonical**: entries are totally ordered by
+/// `(score descending, pair key ascending)` — the same tie-break
+/// [`select_q`] uses — and the list always holds the top k of everything
+/// ever offered under that order, regardless of offer order. This is
+/// what makes sharded joins mergeable bit-identically: each shard's list
+/// and the merged list are pure functions of the offered pair sets, not
+/// of event interleaving (see [`topk_join_sharded`]).
 #[derive(Debug, Clone)]
 pub struct TopKList {
     k: usize,
-    heap: BinaryHeap<Reverse<(Score, u64)>>,
+    /// Min-heap whose root is the *worst* entry under the canonical
+    /// order: lowest score, and among equal scores the largest pair key
+    /// (hence the inner `Reverse`). Eviction therefore removes the
+    /// canonical minimum, independent of arrival order.
+    heap: BinaryHeap<Reverse<(Score, Reverse<u64>)>>,
 }
 
 impl TopKList {
@@ -122,24 +134,42 @@ impl TopKList {
         }
     }
 
-    /// Offers an entry; keeps it only if it beats the threshold (or the
-    /// list is not yet full). Scores ≤ 0 are never kept.
+    /// The scorer gate: an offer can enter the list **iff** its score is
+    /// strictly above this value. One ulp below [`TopKList::threshold`]
+    /// once full, because a score exactly equal to the k-th best can
+    /// still displace a larger pair key under the canonical tie-break —
+    /// so `score > gate() ⟺ score ≥ threshold()`, and refuting at the
+    /// gate never drops a tie the canonical order would have kept.
+    pub fn gate(&self) -> f64 {
+        if self.heap.len() == self.k {
+            f64::next_down(self.threshold())
+        } else {
+            0.0
+        }
+    }
+
+    /// Offers an entry; keeps it only if it canonically beats the worst
+    /// held entry (or the list is not yet full). Scores ≤ 0 are never
+    /// kept. At equal scores the smaller pair key wins, so the kept set
+    /// never depends on offer order.
     pub fn insert(&mut self, score: f64, pair: u64) {
         if score <= 0.0 {
             return;
         }
         if self.heap.len() < self.k {
-            self.heap.push(Reverse((Score(score), pair)));
-        } else if score > self.threshold() {
-            self.heap.pop();
-            self.heap.push(Reverse((Score(score), pair)));
+            self.heap.push(Reverse((Score(score), Reverse(pair))));
+        } else if let Some(&Reverse((worst, Reverse(worst_pair)))) = self.heap.peek() {
+            if score > worst.0 || (score == worst.0 && pair < worst_pair) {
+                self.heap.pop();
+                self.heap.push(Reverse((Score(score), Reverse(pair))));
+            }
         }
     }
 
     /// Merges another list into this one (used when a child config adopts
     /// its parent's re-scored list, §4.2).
     pub fn merge(&mut self, other: &TopKList) {
-        for &Reverse((s, p)) in other.heap.iter() {
+        for &Reverse((s, Reverse(p))) in other.heap.iter() {
             self.insert(s.0, p);
         }
     }
@@ -147,7 +177,11 @@ impl TopKList {
     /// Entries sorted by descending score (ties by ascending pair key, so
     /// output order is deterministic).
     pub fn sorted_entries(&self) -> Vec<(f64, u64)> {
-        let mut v: Vec<(f64, u64)> = self.heap.iter().map(|Reverse((s, p))| (s.0, *p)).collect();
+        let mut v: Vec<(f64, u64)> = self
+            .heap
+            .iter()
+            .map(|Reverse((s, Reverse(p)))| (s.0, *p))
+            .collect();
         v.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         v
     }
@@ -460,15 +494,22 @@ enum Step {
     AlreadyScored,
 }
 
-/// The pair-state table behind the event loop: dense when `|A| × |B|`
-/// fits [`DENSE_STATES_MAX`], a hash map otherwise. Generation stamps
-/// make dense reuse across joins O(1) — `prepare` bumps the generation
-/// instead of clearing millions of slots.
+/// The pair-state table behind the event loop: dense when the join's
+/// `rows × |B|` fits the scratch's dense budget (default
+/// [`DENSE_STATES_MAX`]), a hash map otherwise. `rows` is the A-side
+/// *range* the join covers — a shard of a partitioned join sizes its
+/// dense table by its own row range, so sharding retires the global
+/// `|A| × |B|` cap: each shard only needs `(|A| / shards) × |B|` slots.
+/// Generation stamps make dense reuse across joins O(1) — `prepare`
+/// bumps the generation instead of clearing millions of slots.
 enum StateTable<'s> {
     Dense {
         slots: &'s mut [u64],
         gen: u64,
         nb: usize,
+        /// First A-record id of the covered range; dense rows are
+        /// indexed relative to it.
+        a_lo: TupleId,
     },
     Sparse {
         map: &'s mut FxHashMap<u64, PairState>,
@@ -481,8 +522,13 @@ impl StateTable<'_> {
     #[inline]
     fn advance(&mut self, a: TupleId, b: TupleId, q: usize, discovered: &mut u64) -> Step {
         match self {
-            StateTable::Dense { slots, gen, nb } => {
-                let slot = &mut slots[a as usize * *nb + b as usize];
+            StateTable::Dense {
+                slots,
+                gen,
+                nb,
+                a_lo,
+            } => {
+                let slot = &mut slots[(a - *a_lo) as usize * *nb + b as usize];
                 if (*slot >> 32) != *gen {
                     *discovered += 1;
                     *slot = *gen << 32;
@@ -526,9 +572,14 @@ impl StateTable<'_> {
     #[inline]
     fn seed(&mut self, key: u64) {
         match self {
-            StateTable::Dense { slots, gen, nb } => {
+            StateTable::Dense {
+                slots,
+                gen,
+                nb,
+                a_lo,
+            } => {
                 let (a, b) = split_pair_key(key);
-                slots[a as usize * *nb + b as usize] = (*gen << 32) | SCORED_BIT;
+                slots[(a - *a_lo) as usize * *nb + b as usize] = (*gen << 32) | SCORED_BIT;
             }
             StateTable::Sparse { map } => {
                 map.insert(
@@ -609,6 +660,10 @@ pub struct JoinScratch {
     /// Scoring attempts the most recent join served from a cache
     /// (score cache or overlap database) without a fresh merge.
     cache_served: u64,
+    /// Dense pair-state slot budget override; `0` means
+    /// [`DENSE_STATES_MAX`]. Exposed via [`JoinScratch::set_dense_cap`]
+    /// so tests can force the sparse fallback on small inputs.
+    dense_cap: usize,
 }
 
 impl JoinScratch {
@@ -634,9 +689,20 @@ impl JoinScratch {
             self.slot[side].resize(n, 0);
             self.postings[side].reset(rank_bound);
         }
-        self.dense = na
-            .checked_mul(nb)
-            .is_some_and(|c| c > 0 && c <= DENSE_STATES_MAX);
+        let cap = if self.dense_cap == 0 {
+            DENSE_STATES_MAX
+        } else {
+            self.dense_cap
+        };
+        let cells = na.checked_mul(nb);
+        self.dense = cells.is_some_and(|c| c > 0 && c <= cap);
+        if !self.dense && cells != Some(0) {
+            // The pair-state table exceeds its slot budget: this join
+            // takes the hash-map path (correct but slower per probe).
+            // Persistently high values at scale suggest sharding the join
+            // so each shard's row range fits the dense budget again.
+            mc_obs::counter!("mc.core.ssj.dense_fallback").inc();
+        }
         if self.dense {
             if self.dense_gen == u32::MAX {
                 // Generation wrap (once per 2³² joins): restart cleanly.
@@ -681,6 +747,19 @@ impl JoinScratch {
     pub fn last_cache_served(&self) -> u64 {
         self.cache_served
     }
+
+    /// Whether the most recent join on this scratch used the dense
+    /// pair-state table (false = hash-map fallback).
+    pub fn last_used_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// Overrides the dense pair-state slot budget (`0` restores the
+    /// default [`DENSE_STATES_MAX`]). Primarily a test hook for driving
+    /// the sparse fallback path on small inputs.
+    pub fn set_dense_cap(&mut self, cap: usize) {
+        self.dense_cap = cap;
+    }
 }
 
 /// Runs the top-k join with a fresh scratch. Prefer
@@ -711,10 +790,120 @@ pub fn topk_join_with_scratch(
     cancel: Option<&AtomicBool>,
     scratch: &mut JoinScratch,
 ) -> TopKList {
+    topk_join_in_range(
+        inst,
+        params,
+        scorer,
+        seed,
+        cancel,
+        scratch,
+        0,
+        inst.records_a.len() as TupleId,
+        None,
+    )
+}
+
+/// Slack for comparisons between a *prefix bound* and the list
+/// threshold. Bounds and scores are computed by different floating-point
+/// expression trees, so a bound that equals a later score in exact
+/// arithmetic can land one ulp below it after rounding (cosine's
+/// `o / sqrt(la·lb)` vs `sqrt(rem / la)`). Distinct rational
+/// score/bound values on integer token counts differ by far more than
+/// 1e-12 while rounding error stays below 1e-15, so the slack separates
+/// "really below" from "equal up to rounding" exactly. Score-vs-gate
+/// comparisons need no slack: both sides are the same expression.
+const BOUND_SLACK: f64 = 1e-12;
+
+/// The cross-shard pruning state of [`topk_join_sharded`]: one shared
+/// canonical [`TopKList`] holding the union of every shard's accepted
+/// entries, plus its current threshold cached as the bit pattern of a
+/// non-negative `f64` (for which integer `fetch_max` ordering coincides
+/// with numeric ordering) so the hot loop reads it with one relaxed
+/// load.
+///
+/// A shard's *local* threshold is the k-th best of its own range's pairs
+/// — far below the global k-th when the data is split many ways, so a
+/// shard pruning only with its local list overexplores superlinearly in
+/// the shard count. The shared list restores single-shard pruning
+/// quality: its threshold is the k-th best of *everything any shard has
+/// accepted so far*, which evolves like the unsharded run's threshold.
+///
+/// Soundness: every entry offered is a genuine pair score (seeds are
+/// pre-offered once, scored pairs are scored by exactly one shard), so
+/// the shared list is a canonical top-k of a subset of the final pair
+/// set and its threshold never exceeds the final global k-th score.
+/// Pruning events and gating scorers against it therefore only drops
+/// pairs that cannot appear in the merged top-k — the merged
+/// `sorted_entries()` stays bit-identical at every shard and thread
+/// count. Offers happen only for entries that pass the gate (a few per
+/// shard beyond k), so the mutex is effectively uncontended.
+struct SharedBound {
+    /// Bit pattern of the shared list's current threshold (0 until the
+    /// list fills). Monotone non-decreasing.
+    bits: AtomicU64,
+    /// Union of all shards' accepted entries, canonical order.
+    list: parking_lot::Mutex<TopKList>,
+}
+
+impl SharedBound {
+    fn new(k: usize) -> Self {
+        SharedBound {
+            bits: AtomicU64::new(0),
+            list: parking_lot::Mutex::new(TopKList::new(k)),
+        }
+    }
+
+    /// The current bound (0.0 until the shared list fills).
+    #[inline]
+    fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Offers an accepted entry to the shared list and publishes the
+    /// possibly-raised threshold.
+    fn offer(&self, score: f64, pair: u64) {
+        let mut list = self.list.lock();
+        list.insert(score, pair);
+        let thr = list.threshold();
+        drop(list);
+        if thr > 0.0 {
+            self.bits.fetch_max(thr.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// The event loop of [`topk_join_with_scratch`], restricted to A-records
+/// in `[a_lo, a_hi)` — the unit of work of one shard of
+/// [`topk_join_sharded`]. All of B participates: a pair `(a, b)` is
+/// discovered by whichever side's prefix event hits the other's posting
+/// list, and with A-postings holding only the range's records, exactly
+/// the pairs with `a ∈ [a_lo, a_hi)` are discovered. Per-pair work
+/// (state advance, scoring) is therefore perfectly partitioned across
+/// disjoint ranges; only B's per-event bookkeeping is repeated per
+/// shard. The full join is the `[0, |A|)` range.
+///
+/// `shared` is the cross-shard bound: folded into every prune and gate
+/// decision (max with the local threshold) and raised whenever this
+/// shard's own list fills. `None` for unsharded joins.
+#[allow(clippy::too_many_arguments)]
+fn topk_join_in_range(
+    inst: SsjInstance<'_>,
+    params: SsjParams,
+    scorer: &dyn PairScorer,
+    seed: &[(f64, u64)],
+    cancel: Option<&AtomicBool>,
+    scratch: &mut JoinScratch,
+    a_lo: TupleId,
+    a_hi: TupleId,
+    shared: Option<&SharedBound>,
+) -> TopKList {
     assert!(params.q >= 1, "q must be at least 1");
+    assert!(a_lo <= a_hi && a_hi as usize <= inst.records_a.len());
     let credit = params.q - 1;
     let rank_bound = inst.records_a.rank_bound().max(inst.records_b.rank_bound()) as usize;
-    scratch.prepare(inst.records_a.len(), inst.records_b.len(), rank_bound);
+    let rows = (a_hi - a_lo) as usize;
+    let a_off = a_lo as usize;
+    scratch.prepare(rows, inst.records_b.len(), rank_bound);
     let JoinScratch {
         pos,
         run,
@@ -730,6 +919,7 @@ pub fn topk_join_with_scratch(
         scored_tokens: scratch_scored_tokens,
         merge_aborts: scratch_merge_aborts,
         cache_served: scratch_cache_served,
+        dense_cap: _,
     } = scratch;
 
     let mut table = if *dense {
@@ -737,28 +927,43 @@ pub fn topk_join_with_scratch(
             slots: &mut dense_states[..],
             gen: *dense_gen as u64,
             nb: inst.records_b.len(),
+            a_lo,
         }
     } else {
         StateTable::Sparse { map: states }
     };
 
+    // Every seed raises the threshold (shards receive the full seed list
+    // for maximal pruning), but only in-range pairs exist in this range's
+    // state table — out-of-range pairs can never be rediscovered here.
     let mut k_list = TopKList::with_capacity_hint(params.k, seed.len());
     for &(score, pair) in seed {
         if !inst.killed.contains_key(pair) {
             k_list.insert(score, pair);
-            table.seed(pair);
+            let (a, _) = split_pair_key(pair);
+            if a >= a_lo && a < a_hi {
+                table.seed(pair);
+            }
         }
     }
 
-    for (side, arena) in [(0u8, inst.records_a), (1u8, inst.records_b)] {
-        for (r, rec) in arena.iter().enumerate() {
-            if !rec.is_empty() {
-                heap.push(Event {
-                    bound: Score(bound_with_credit(params.measure, rec.len(), 1, credit)),
-                    side,
-                    rec: r as TupleId,
-                });
-            }
+    for r in a_lo..a_hi {
+        let rec = inst.records_a.record(r);
+        if !rec.is_empty() {
+            heap.push(Event {
+                bound: Score(bound_with_credit(params.measure, rec.len(), 1, credit)),
+                side: 0,
+                rec: r,
+            });
+        }
+    }
+    for (r, rec) in inst.records_b.iter().enumerate() {
+        if !rec.is_empty() {
+            heap.push(Event {
+                bound: Score(bound_with_credit(params.measure, rec.len(), 1, credit)),
+                side: 1,
+                rec: r as TupleId,
+            });
         }
     }
 
@@ -778,8 +983,20 @@ pub fn topk_join_with_scratch(
 
     let mut since_cancel_check = 0u32;
     while let Some(ev) = heap.pop() {
-        if k_list.len() == k_list.k() && ev.bound.0 <= k_list.threshold() + 1e-12 {
-            // Everything still on the heap is pruned by the prefix bound.
+        // The pruning threshold: the local list's (0 until it fills),
+        // raised to the cross-shard bound when sharded. The shared bound
+        // never exceeds the final global k-th score, so folding it in
+        // keeps the merged result exact (see [`SharedBound`]).
+        let threshold = match shared {
+            Some(s) => k_list.threshold().max(s.get()),
+            None => k_list.threshold(),
+        };
+        if threshold > 0.0 && ev.bound.0 < threshold - BOUND_SLACK {
+            // Everything still on the heap is pruned by the prefix
+            // bound. Strictly below the threshold only: an event whose
+            // bound *equals* the threshold can still yield a tie that
+            // displaces a larger pair key under the canonical order, so
+            // it must be processed for shard-count invariance.
             n_bound_pruned += heap.len() as u64 + 1;
             break;
         }
@@ -801,18 +1018,24 @@ pub fn topk_join_with_scratch(
             inst.records_b
         };
         let rec = arena.record(ev.rec);
-        let p = pos[side][ev.rec as usize] as usize; // 0-indexed token to process
+        // Scratch arrays for side A cover only the `[a_lo, a_hi)` range.
+        let idx = if side == 0 {
+            ev.rec as usize - a_off
+        } else {
+            ev.rec as usize
+        };
+        let p = pos[side][idx] as usize; // 0-indexed token to process
         let tok = rec[p];
 
         // This is the `occ`-th occurrence of `tok` within our own prefix:
         // records are sorted, so occurrences are contiguous and the run
         // counter extends by one whenever the previous token repeats.
         let occ = if p > 0 && rec[p - 1] == tok {
-            run[side][ev.rec as usize] + 1
+            run[side][idx] + 1
         } else {
             1
         };
-        run[side][ev.rec as usize] = occ;
+        run[side][idx] = occ;
 
         let partners = &postings[other].lists[tok as usize];
         if !partners.is_empty() {
@@ -839,21 +1062,39 @@ pub fn topk_join_with_scratch(
                     let ra = inst.records_a.record(a);
                     let rb = inst.records_b.record(b);
                     n_scored_tokens += (ra.len() + rb.len()) as u64;
-                    // Gate on the current k-th score: the list only keeps
-                    // strictly greater scores (and never keeps ≤ 0, which
-                    // the 0.0 not-yet-full threshold encodes), so a
-                    // refuted attempt is exactly one the list would have
-                    // rejected — the outcome split never changes it.
-                    match scorer.score_above(a, b, ra, rb, k_list.threshold()) {
+                    // Gate one ulp below the current k-th score (see
+                    // `TopKList::gate`): a refuted attempt has
+                    // `score < threshold` and could never enter the
+                    // list, while exact threshold ties come through for
+                    // the canonical key tie-break — the outcome split
+                    // never changes the resulting list. When sharded,
+                    // the cross-shard bound raises the gate the same
+                    // way (one ulp below, ties still come through).
+                    let mut gate = k_list.gate();
+                    if let Some(s) = shared {
+                        let thr = s.get();
+                        if thr > 0.0 {
+                            gate = gate.max(f64::next_down(thr));
+                        }
+                    }
+                    let accepted = match scorer.score_above(a, b, ra, rb, gate) {
                         ScoreOutcome::Scored(s) => {
                             n_scored += 1;
                             k_list.insert(s, key);
+                            Some(s)
                         }
                         ScoreOutcome::Cached(s) => {
                             n_cached += 1;
                             k_list.insert(s, key);
+                            Some(s)
                         }
-                        ScoreOutcome::Refuted => n_aborted += 1,
+                        ScoreOutcome::Refuted => {
+                            n_aborted += 1;
+                            None
+                        }
+                    };
+                    if let (Some(score), Some(s)) = (accepted, shared) {
+                        s.offer(score, key);
                     }
                 }
             }
@@ -861,24 +1102,31 @@ pub fn topk_join_with_scratch(
         // Register this token in our own prefix index: a record posts
         // each distinct token once and bumps its posting's copy count for
         // duplicates (the slot stays valid because lists only grow).
-        if last_posted[side][ev.rec as usize] != tok {
-            last_posted[side][ev.rec as usize] = tok;
+        if last_posted[side][idx] != tok {
+            last_posted[side][idx] = tok;
             let list = &mut postings[side].lists[tok as usize];
             if list.is_empty() {
                 postings[side].touched.push(tok);
             }
-            slot[side][ev.rec as usize] = list.len() as u32;
+            slot[side][idx] = list.len() as u32;
             list.push((ev.rec, 1));
         } else {
-            let s = slot[side][ev.rec as usize] as usize;
+            let s = slot[side][idx] as usize;
             postings[side].lists[tok as usize][s].1 += 1;
         }
 
-        pos[side][ev.rec as usize] += 1;
+        pos[side][idx] += 1;
         let next_p = p + 1;
         if next_p < rec.len() {
             let b = bound_with_credit(params.measure, rec.len(), next_p + 1, credit);
-            if k_list.len() < k_list.k() || b > k_list.threshold() {
+            // Mirror the pop-side prune: re-enqueue while the bound can
+            // still reach the threshold (local or cross-shard), ties
+            // included.
+            let threshold = match shared {
+                Some(s) => k_list.threshold().max(s.get()),
+                None => k_list.threshold(),
+            };
+            if threshold == 0.0 || b >= threshold - BOUND_SLACK {
                 heap.push(Event {
                     bound: Score(b),
                     side: ev.side,
@@ -901,6 +1149,135 @@ pub fn topk_join_with_scratch(
     mc_obs::counter!("mc.core.ssj.killed_skipped").add(n_killed_skipped);
     mc_obs::counter!("mc.core.ssj.bound_pruned").add(n_bound_pruned);
     k_list
+}
+
+/// Runs the top-k join partitioned into `shards` contiguous A-record
+/// ranges executed by up to `threads` workers, then merges the per-shard
+/// lists canonically. The result's `sorted_entries()` is **bit-identical
+/// to the unsharded join at any shard/thread count**:
+///
+/// * pairs are partitioned by their A-record's range, so each shard's
+///   canonical list is a pure function of its own pair set;
+/// * every shard receives the full seed list (raising its threshold as
+///   early as possible); broadcast seeds are deduplicated by pair key at
+///   merge time, where duplicates carry identical scores;
+/// * the merge re-offers every shard entry to one canonical
+///   [`TopKList`], whose kept set is offer-order-independent.
+///
+/// `make_scorer` builds one scorer per shard on the worker thread that
+/// runs it (scorers are deliberately not `Sync`); it must be cheap and
+/// produce scorers that agree bit-for-bit on every pair.
+pub fn topk_join_sharded<S, F>(
+    inst: SsjInstance<'_>,
+    params: SsjParams,
+    make_scorer: F,
+    seed: &[(f64, u64)],
+    cancel: Option<&AtomicBool>,
+    shards: usize,
+    threads: usize,
+) -> TopKList
+where
+    S: PairScorer,
+    F: Fn(usize) -> S + Sync,
+{
+    let na = inst.records_a.len();
+    let shards = shards.clamp(1, na.max(1));
+    if shards == 1 {
+        let scorer = make_scorer(0);
+        return topk_join(inst, params, &scorer, seed, cancel);
+    }
+    let _span = mc_obs::span!("mc.core.ssj.sharded");
+    let bounds: Vec<(TupleId, TupleId)> = (0..shards)
+        .map(|i| {
+            (
+                (na * i / shards) as TupleId,
+                (na * (i + 1) / shards) as TupleId,
+            )
+        })
+        .collect();
+    let workers = threads.clamp(1, shards);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::OnceLock<(TopKList, u64)>> =
+        (0..shards).map(|_| std::sync::OnceLock::new()).collect();
+    // Cross-shard pruning state: one shared canonical top-k whose
+    // threshold every shard folds into its prune/gate decisions. Seeds
+    // are pre-offered exactly once here (shards would otherwise offer
+    // duplicates, and duplicate keys in the shared list would inflate
+    // its threshold past the true global k-th — an unsound prune).
+    let shared = SharedBound::new(params.k);
+    for &(score, pair) in seed {
+        if !inst.killed.contains_key(pair) {
+            shared.offer(score, pair);
+        }
+    }
+    let obs = mc_obs::ObsContext::current();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (next, results, bounds) = (&next, &results, &bounds);
+            let (make_scorer, obs, shared) = (&make_scorer, &obs, &shared);
+            scope.spawn(move || {
+                let _obs = obs.attach();
+                let mut scratch = JoinScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= shards {
+                        break;
+                    }
+                    let scorer = make_scorer(i);
+                    let (lo, hi) = bounds[i];
+                    // Per-thread CPU time, not wall time: on a host with
+                    // fewer cores than workers the scheduler interleaves
+                    // shards, and a wall clock would charge each shard
+                    // for time its siblings ran.
+                    let started = mc_obs::thread_cpu_us();
+                    let list = topk_join_in_range(
+                        inst,
+                        params,
+                        &scorer,
+                        seed,
+                        cancel,
+                        &mut scratch,
+                        lo,
+                        hi,
+                        Some(shared),
+                    );
+                    let busy = mc_obs::thread_cpu_us().saturating_sub(started);
+                    let _ = results[i].set((list, busy));
+                }
+            });
+        }
+    });
+    // The slowest shard's busy time is this join's parallel critical
+    // path — the wall clock the sharded stage takes once `threads >=
+    // shards`. Recorded so scale benches can report parallel scaling
+    // even when the bench machine has fewer cores than shards.
+    let critical_us = results
+        .iter()
+        .map(|slot| slot.get().expect("every shard produced a list").1)
+        .max()
+        .unwrap_or(0);
+    mc_obs::histogram!("mc.core.ssj.shard_critical_us").record(critical_us);
+    if std::env::var("MC_SSJ_SHARD_DEBUG").is_ok_and(|v| v == "1") {
+        let times: Vec<u64> = results
+            .iter()
+            .map(|slot| slot.get().expect("every shard produced a list").1)
+            .collect();
+        eprintln!("shard busy us: {times:?}");
+    }
+    // Canonical merge: offer every shard entry once (seeds were
+    // broadcast, so the same pair key may surface from several shards
+    // with an identical score — first offer wins, the rest are skipped).
+    let mut seen: FxHashMap<u64, ()> = fx_map();
+    let mut merged = TopKList::new(params.k);
+    for slot in &results {
+        let (list, _) = slot.get().expect("every shard produced a list");
+        for (score, pair) in list.sorted_entries() {
+            if seen.insert(pair, ()).is_none() {
+                merged.insert(score, pair);
+            }
+        }
+    }
+    merged
 }
 
 /// Brute-force reference: scores **every** cross pair with non-zero
@@ -1355,5 +1732,133 @@ mod tests {
             assert!(b2 >= b0);
             assert!(b2 <= 1.0 + 1e-12);
         }
+    }
+
+    #[test]
+    fn topk_list_kept_set_is_offer_order_independent() {
+        // Three equal-score offers at a k=2 boundary: whatever the offer
+        // order, the canonical list keeps the two smallest pair keys.
+        let offers = [(0.5, 10u64), (0.5, 7), (0.9, 3), (0.5, 8)];
+        let orders = [[0, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1], [1, 3, 0, 2]];
+        for order in orders {
+            let mut l = TopKList::new(3);
+            for i in order {
+                let (s, p) = offers[i];
+                l.insert(s, p);
+            }
+            assert_eq!(l.sorted_entries(), vec![(0.9, 3), (0.5, 7), (0.5, 8)]);
+        }
+    }
+
+    fn random_arena(seed: u64, n: usize, universe: u32, max_len: usize) -> RecordArena {
+        // Tiny deterministic LCG; no rand dependency in mc-core.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m.max(1)
+        };
+        let mut recs: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = next(max_len + 1);
+            let mut r: Vec<u32> = (0..len).map(|_| next(universe as usize) as u32).collect();
+            r.sort_unstable();
+            recs.push(r);
+        }
+        let views: Vec<&[u32]> = recs.iter().map(|r| r.as_slice()).collect();
+        RecordArena::from_records(&views)
+    }
+
+    #[test]
+    fn sharded_join_is_bit_identical_across_shard_and_thread_counts() {
+        let a = random_arena(11, 120, 40, 9);
+        let b = random_arena(23, 90, 40, 9);
+        let mut killed = PairSet::new();
+        killed.insert(3, 4);
+        killed.insert(17, 2);
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
+        let seed = [(0.75, pair_key(5, 5)), (0.4, pair_key(9, 1))];
+        for m in [
+            SetMeasure::Jaccard,
+            SetMeasure::Cosine,
+            SetMeasure::Dice,
+            SetMeasure::Overlap,
+        ] {
+            for (k, q) in [(10, 1), (50, 1), (10, 2)] {
+                let params = SsjParams { k, q, measure: m };
+                let baseline = topk_join(inst, params, &ExactScorer(m), &seed, None);
+                for shards in [1, 3, 4, 8, 200] {
+                    for threads in [1, 4] {
+                        let sharded = topk_join_sharded(
+                            inst,
+                            params,
+                            |_| ExactScorer(m),
+                            &seed,
+                            None,
+                            shards,
+                            threads,
+                        );
+                        assert_eq!(
+                            baseline.sorted_entries(),
+                            sharded.sorted_entries(),
+                            "{m:?} k={k} q={q} shards={shards} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_state_tables_agree_and_fallback_is_counted() {
+        // An isolated metrics context so concurrent tests can't bump the
+        // counter under us.
+        let ctx = mc_obs::ObsContext::session();
+        let _guard = ctx.attach();
+        let a = random_arena(5, 40, 24, 7);
+        let b = random_arena(6, 35, 24, 7);
+        let killed = PairSet::new();
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
+        let params = SsjParams {
+            k: 12,
+            q: 1,
+            measure: SetMeasure::Jaccard,
+        };
+        let scorer = ExactScorer(SetMeasure::Jaccard);
+
+        let base = mc_obs::MetricsSnapshot::capture();
+        let mut dense_scratch = JoinScratch::new();
+        let dense_list =
+            topk_join_with_scratch(inst, params, &scorer, &[], None, &mut dense_scratch);
+        assert!(
+            dense_scratch.last_used_dense(),
+            "40×35 fits the default cap"
+        );
+        let after_dense = mc_obs::MetricsSnapshot::capture().since(&base);
+        assert_eq!(after_dense.counter("mc.core.ssj.dense_fallback"), 0);
+
+        let mut sparse_scratch = JoinScratch::new();
+        sparse_scratch.set_dense_cap(8); // 40×35 ≫ 8: force the hash path
+        let sparse_list =
+            topk_join_with_scratch(inst, params, &scorer, &[], None, &mut sparse_scratch);
+        assert!(!sparse_scratch.last_used_dense());
+        let after_sparse = mc_obs::MetricsSnapshot::capture().since(&base);
+        assert_eq!(after_sparse.counter("mc.core.ssj.dense_fallback"), 1);
+
+        assert_eq!(dense_list.sorted_entries(), sparse_list.sorted_entries());
+        assert_eq!(
+            dense_scratch.last_events(),
+            sparse_scratch.last_events(),
+            "state representation must not change the event schedule"
+        );
     }
 }

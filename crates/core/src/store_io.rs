@@ -1,7 +1,7 @@
 //! Cache-key derivation and artifact codecs for the persistent store.
 //!
 //! This module is the bridge between the pipeline's in-memory state and
-//! `mc-store`'s content-addressed blobs. Three artifact kinds are
+//! `mc-store`'s content-addressed blobs. Four artifact kinds are
 //! persisted (see [`mc_store::ArtifactKind`]):
 //!
 //! * **Tokenization** — the shared token order (`id → rank` table) plus
@@ -11,6 +11,13 @@
 //!   entirely.
 //! * **Arena** — one side's flat CSR record arena for one config, keyed
 //!   by the tokenization key plus side and config positions.
+//! * **Postings** — the same arena/postings data in the alignment-padded
+//!   zero-copy layout ([`encode_arena_zc`]), under the same key: warm
+//!   starts memory-map the file and point the join at its pages in place
+//!   ([`map_arena`]) instead of decoding. New runs publish this kind;
+//!   the byte-codec **Arena** kind stays readable for stores written by
+//!   older builds and as the fallback when a mapped payload fails
+//!   validation.
 //! * **CandidateUnion** — the joint stage's entire output (config masks,
 //!   `q_used`, the deduplicated pair list and per-config score matrix),
 //!   keyed by the tokenization key, the config-tree shape, every
@@ -27,8 +34,8 @@
 
 use crate::config::{Config, ConfigTree};
 use crate::joint::{CandidateUnion, JointParams, QStrategy};
-use mc_store::{ByteReader, ByteWriter, Digest, DigestWriter};
-use mc_strsim::arena::RecordArena;
+use mc_store::{ByteReader, ByteWriter, Digest, DigestWriter, MappedPayload};
+use mc_strsim::arena::{RecordArena, StableBytes};
 use mc_strsim::dict::{TokenOrder, TokenizedTable};
 use mc_strsim::measures::SetMeasure;
 use mc_strsim::tokenize::Tokenizer;
@@ -120,7 +127,13 @@ pub fn union_key(tok: Digest, tree: &ConfigTree, params: &JointParams, killed: &
             w.write_u64(prelude_k as u64);
         }
     }
-    w.write_u8(params.reuse_overlaps as u8);
+    // Shard count and kernel are result-neutral (the sharded join is
+    // bit-identical at every shard count, and both kernels compute the
+    // same exact overlaps) — except that sharding forces the overlap
+    // database off. Key on the *effective* reuse flag so a sharded run
+    // shares its slot with an unsharded reuse-off run (their unions are
+    // bit-identical) and never aliases a reuse-on one.
+    w.write_u8((params.reuse_overlaps && params.shards <= 1) as u8);
     w.write_u8(params.reuse_topk as u8);
     w.write_f64(params.reuse_min_avg_tokens);
     // `PairSet` iterates in hash order; fold through the
@@ -235,6 +248,114 @@ pub fn decode_arena(bytes: &[u8]) -> Option<RecordArena> {
         return None;
     }
     RecordArena::from_parts(tokens, offsets)
+}
+
+/// Sub-magic of the zero-copy CSR payload ([`ArtifactKind::Postings`]
+/// files). Distinct from the store's file magic: the store header says
+/// "a valid artifact of kind Postings", this says "the payload is the
+/// alignment-padded CSR layout below".
+const ZC_MAGIC: &[u8; 8] = b"MCZCSR01";
+
+/// Zero-copy header length; also the offset of the first section, so
+/// sections are 64-byte aligned relative to the payload (and the payload
+/// itself starts 8-aligned — page-aligned under a real mmap).
+const ZC_HEADER: usize = 64;
+
+/// Encodes a record arena in the alignment-padded zero-copy layout
+/// ([`ArtifactKind::Postings`]): a 64-byte sub-header, the token section,
+/// padding to the next 64-byte boundary, then the offsets section. A
+/// warm start can hand the mapped payload to [`map_arena`] and use the
+/// sections in place — no decode, no copy. Values are little-endian; a
+/// big-endian reader refuses the payload and falls back to the byte
+/// codec.
+///
+/// ```text
+/// offset  size  field
+///      0     8  sub-magic "MCZCSR01"
+///      8     8  record count (LE u64)
+///     16     8  token count (LE u64)
+///     24     4  rank bound (LE u32)
+///     28     4  flags (0)
+///     32     8  token-section byte offset (LE u64, 64-aligned)
+///     40     8  offsets-section byte offset (LE u64, 64-aligned)
+///     48     8  total payload length (LE u64)
+///     56     8  reserved (0)
+/// ```
+pub fn encode_arena_zc(arena: &RecordArena) -> Vec<u8> {
+    let tokens = arena.tokens();
+    let offsets = arena.offsets();
+    let tokens_off = ZC_HEADER;
+    let offsets_off = (tokens_off + tokens.len() * 4).next_multiple_of(64);
+    let total = offsets_off + offsets.len() * 4;
+    let mut out = vec![0u8; total];
+    out[0..8].copy_from_slice(ZC_MAGIC);
+    out[8..16].copy_from_slice(&(arena.len() as u64).to_le_bytes());
+    out[16..24].copy_from_slice(&(tokens.len() as u64).to_le_bytes());
+    out[24..28].copy_from_slice(&arena.rank_bound().to_le_bytes());
+    out[32..40].copy_from_slice(&(tokens_off as u64).to_le_bytes());
+    out[40..48].copy_from_slice(&(offsets_off as u64).to_le_bytes());
+    out[48..56].copy_from_slice(&(total as u64).to_le_bytes());
+    put_u32_section(&mut out[tokens_off..], tokens);
+    put_u32_section(&mut out[offsets_off..], offsets);
+    out
+}
+
+/// Writes `vals` as little-endian `u32`s at the start of `dst`.
+fn put_u32_section(dst: &mut [u8], vals: &[u32]) {
+    for (chunk, v) in dst.chunks_exact_mut(4).zip(vals) {
+        chunk.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// The bridge between [`MappedPayload`] and [`StableBytes`]: the payload
+/// view is stable because the mapping (kernel pages or the pinned heap
+/// fallback buffer) never moves while the value is alive.
+struct MappedBacking(MappedPayload);
+
+// SAFETY: `MappedPayload::payload` derives from a pointer fixed at map
+// time (an mmap region or a heap buffer that is never reallocated), so
+// it returns the same pointer and length on every call, and the mapping
+// is read-only for its whole lifetime.
+unsafe impl StableBytes for MappedBacking {
+    fn bytes(&self) -> &[u8] {
+        self.0.payload()
+    }
+}
+
+/// Validates a zero-copy arena payload ([`encode_arena_zc`]'s layout)
+/// and borrows the record arena straight out of the mapping. `None` on
+/// any structural, alignment, length, or endianness violation — the
+/// caller falls back to the byte codec and counts a miss.
+pub fn map_arena(payload: MappedPayload) -> Option<RecordArena> {
+    let ranges = {
+        let b = payload.payload();
+        if b.len() < ZC_HEADER || &b[0..8] != ZC_MAGIC {
+            return None;
+        }
+        let le64 = |at: usize| u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+        let n_records = usize::try_from(le64(8)).ok()?;
+        let n_tokens = usize::try_from(le64(16)).ok()?;
+        let rank_bound = u32::from_le_bytes(b[24..28].try_into().unwrap());
+        let tokens_off = usize::try_from(le64(32)).ok()?;
+        let offsets_off = usize::try_from(le64(40)).ok()?;
+        if le64(48) != b.len() as u64 {
+            return None;
+        }
+        let tokens_end = tokens_off.checked_add(n_tokens.checked_mul(4)?)?;
+        let offsets_end = offsets_off.checked_add(n_records.checked_add(1)?.checked_mul(4)?)?;
+        (
+            tokens_off..tokens_end,
+            offsets_off..offsets_end,
+            n_records,
+            rank_bound,
+        )
+    };
+    let (tokens_range, offsets_range, n_records, rank_bound) = ranges;
+    let backing: std::sync::Arc<dyn StableBytes> = std::sync::Arc::new(MappedBacking(payload));
+    let arena = RecordArena::from_stable_parts(backing, tokens_range, offsets_range)?;
+    // Cross-check the header against what validation recomputed: a
+    // payload that disagrees with itself is corrupt, not just stale.
+    (arena.len() == n_records && arena.rank_bound() == rank_bound).then_some(arena)
 }
 
 /// Encodes the joint stage's output: `q_used`, config masks, the pair
@@ -373,6 +494,56 @@ mod tests {
             assert_eq!(back.record(t), arena.record(t));
         }
         assert!(decode_arena(&[1, 2, 3]).is_none(), "garbage payload");
+    }
+
+    #[test]
+    fn zero_copy_arena_maps_in_place_and_rejects_corruption() {
+        use mc_store::{ArtifactKind, Store, StoreConfig};
+        use mc_table::digest::digest_bytes;
+        let root = std::env::temp_dir().join(format!(
+            "mc_store_io_zc_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let store = Store::open(&StoreConfig::at(&root)).unwrap();
+        let arena = RecordArena::from_records(&[vec![1u32, 4, 9], vec![], vec![2, 2, 7, 1000]]);
+        let key = digest_bytes(b"zc-arena");
+        let payload = encode_arena_zc(&arena);
+        assert_eq!(payload.len() % 4, 0);
+        assert!(store.publish(ArtifactKind::Postings, key, &payload));
+
+        let mapped = store.load_mapped(ArtifactKind::Postings, key).expect("hit");
+        let back = map_arena(mapped).expect("valid zero-copy payload");
+        assert!(back.is_mapped(), "must borrow the mapping, not copy");
+        assert_eq!(back.len(), arena.len());
+        assert_eq!(back.rank_bound(), arena.rank_bound());
+        for t in 0..arena.len() as TupleId {
+            assert_eq!(back.record(t), arena.record(t));
+        }
+
+        // An old-codec payload under the Postings kind fails the
+        // sub-magic check and degrades to None (codec fallback path).
+        let legacy_key = digest_bytes(b"legacy");
+        store.publish(ArtifactKind::Postings, legacy_key, &encode_arena(&arena));
+        let legacy = store
+            .load_mapped(ArtifactKind::Postings, legacy_key)
+            .expect("store-level hit");
+        assert!(map_arena(legacy).is_none());
+
+        // Flipping a section-offset byte breaks alignment/bounds checks
+        // (the store checksum is recomputed so the file still "verifies").
+        let mut broken = payload.clone();
+        broken[32] ^= 0x01; // tokens_off 64 -> 65: misaligned
+        let broken_key = digest_bytes(b"broken");
+        store.publish(ArtifactKind::Postings, broken_key, &broken);
+        let broken = store
+            .load_mapped(ArtifactKind::Postings, broken_key)
+            .expect("store-level hit");
+        assert!(map_arena(broken).is_none());
+        std::fs::remove_dir_all(root).ok();
     }
 
     #[test]

@@ -414,6 +414,65 @@ impl EntityFactory for SongFactory {
     }
 }
 
+/// Synthetic scale-profile entities (the ZipfScale profile): `name,
+/// tags, category`, every token drawn from one shared vocabulary with a
+/// Zipfian rank-frequency law. The resulting document frequencies mirror
+/// real text (a handful of stopword-like tokens in most records, a long
+/// tail of rare ones), which is exactly the regime the SSJ prefix filter
+/// and the frequent-rank bitmap kernel are designed around.
+pub struct ZipfFactory {
+    pool: Vec<String>,
+    /// Cumulative (unnormalized) Zipf weights over `pool` ranks.
+    cum: Vec<f64>,
+}
+
+impl ZipfFactory {
+    /// A factory over `vocab` distinct words where rank `r` (0-based) is
+    /// drawn with weight `1 / (r + 1)^s`.
+    pub fn new(rng: &mut StdRng, vocab: usize, s: f64) -> Self {
+        assert!(vocab > 0);
+        let pool = vocab::synth_pool(rng, vocab);
+        let mut cum = Vec::with_capacity(vocab);
+        let mut total = 0.0;
+        for r in 0..vocab {
+            total += ((r + 1) as f64).powf(-s);
+            cum.push(total);
+        }
+        ZipfFactory { pool, cum }
+    }
+
+    fn word(&self, rng: &mut StdRng) -> &str {
+        let total = *self.cum.last().expect("non-empty vocabulary");
+        let x = rng.random_range(0.0..total);
+        let i = self.cum.partition_point(|&c| c <= x);
+        &self.pool[i.min(self.pool.len() - 1)]
+    }
+
+    fn phrase(&self, rng: &mut StdRng, lo: usize, hi: usize) -> String {
+        let n = rng.random_range(lo..=hi);
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(self.word(rng));
+        }
+        words.join(" ")
+    }
+}
+
+impl EntityFactory for ZipfFactory {
+    fn schema(&self) -> Schema {
+        Schema::from_names(["name", "tags", "category"])
+    }
+
+    fn generate(&mut self, rng: &mut StdRng) -> Entity {
+        let name = self.phrase(rng, 3, 7);
+        let tags = self.phrase(rng, 2, 5);
+        let category = self.phrase(rng, 1, 2);
+        Entity {
+            fields: vec![Some(name), Some(tags), Some(category)],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,7 @@
 
 use crate::entity::{
     BigPaperFactory, ElectronicsFactory, EntityFactory, PaperFactory, RestaurantFactory,
-    SoftwareProductFactory, SongFactory,
+    SoftwareProductFactory, SongFactory, ZipfFactory,
 };
 use crate::noise::{AppliedError, ErrorKind, Side};
 use crate::perturb::{
@@ -41,11 +41,17 @@ pub enum DatasetProfile {
     /// Large bibliographic records (456K × 628K, gold "unknown" in the
     /// paper; we generate it but experiments may ignore it).
     Papers,
+    /// Synthetic scale profile: short records drawn from a Zipfian token
+    /// distribution (60K × 60K at scale 1.0, and `generate_scaled` may go
+    /// above 1.0). Not in the paper's Table 1 — it exists so scale
+    /// benches can stress the joint SSJ stage with realistic token skew
+    /// at 10⁵–10⁶ records.
+    ZipfScale,
 }
 
 impl DatasetProfile {
-    /// All profiles in Table 1 order.
-    pub const ALL: [DatasetProfile; 7] = [
+    /// All profiles: Table 1 order, then the synthetic scale profile.
+    pub const ALL: [DatasetProfile; 8] = [
         DatasetProfile::AmazonGoogle,
         DatasetProfile::WalmartAmazon,
         DatasetProfile::AcmDblp,
@@ -53,6 +59,7 @@ impl DatasetProfile {
         DatasetProfile::Music1,
         DatasetProfile::Music2,
         DatasetProfile::Papers,
+        DatasetProfile::ZipfScale,
     ];
 
     /// Canonical lowercase name.
@@ -65,6 +72,7 @@ impl DatasetProfile {
             DatasetProfile::Music1 => "music1",
             DatasetProfile::Music2 => "music2",
             DatasetProfile::Papers => "papers",
+            DatasetProfile::ZipfScale => "zipf-scale",
         }
     }
 
@@ -78,6 +86,7 @@ impl DatasetProfile {
             DatasetProfile::Music1 => (100_000, 100_000, 2978),
             DatasetProfile::Music2 => (500_000, 500_000, 73_646),
             DatasetProfile::Papers => (455_996, 628_231, 60_000),
+            DatasetProfile::ZipfScale => (60_000, 60_000, 6_000),
         }
     }
 
@@ -88,9 +97,11 @@ impl DatasetProfile {
 
     /// Generates the dataset with table sizes multiplied by `scale`
     /// (match count scales proportionally; minimums keep tiny scales
-    /// usable).
+    /// usable). Scales above 1.0 grow the tables past the paper sizes —
+    /// the match count keeps scaling proportionally, so scale benches can
+    /// sweep the same profile from test-size to beyond-paper-size inputs.
     pub fn generate_scaled(self, seed: u64, scale: f64) -> EmDataset {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        assert!(scale > 0.0, "scale must be positive");
         let (na, nb, nm) = self.paper_sizes();
         let na = ((na as f64 * scale) as usize).max(20);
         let nb = ((nb as f64 * scale) as usize).max(20);
@@ -124,6 +135,14 @@ impl DatasetProfile {
             DatasetProfile::Papers => {
                 let extra = (approx_rows / 50).clamp(500, 20_000);
                 Box::new(BigPaperFactory::new(rng, extra))
+            }
+            DatasetProfile::ZipfScale => {
+                // Vocabulary grows with the table so up-scaling does not
+                // collapse every record onto the same few tokens; the
+                // exponent keeps the head heavy enough that the frequent
+                // ranks matter (they are what the bitmap kernel targets).
+                let vocab = (approx_rows / 4).clamp(1_000, 50_000);
+                Box::new(ZipfFactory::new(rng, vocab, 1.07))
             }
         }
     }
@@ -278,6 +297,22 @@ impl DatasetProfile {
                     .rule(NoiseRule::new(id("pages"), ErrorKind::MissingValue, 0.30));
                 (a, b)
             }
+            DatasetProfile::ZipfScale => {
+                let a = PerturbPlan::new()
+                    .rule(NoiseRule::new(id("name"), ErrorKind::CaseNoise, 0.15))
+                    .rule(NoiseRule::new(id("tags"), ErrorKind::ExtraTokens, 0.20));
+                let b = PerturbPlan::new()
+                    .rule(
+                        NoiseRule::new(id("name"), ErrorKind::TokenDrop, 0.25).with_magnitude(1.0),
+                    )
+                    .rule(NoiseRule::new(id("name"), ErrorKind::Misspelling, 0.08))
+                    .rule(NoiseRule::new(
+                        id("category"),
+                        ErrorKind::MissingValue,
+                        0.20,
+                    ));
+                (a, b)
+            }
         }
     }
 }
@@ -408,6 +443,48 @@ mod tests {
         assert_eq!(ds.a.len(), 1000);
         assert_eq!(ds.b.len(), 1000);
         assert!(ds.gold.len() >= 10);
+    }
+
+    #[test]
+    fn scaled_generation_grows_past_paper_sizes() {
+        let ds = DatasetProfile::FodorsZagats.generate_scaled(1, 2.0);
+        assert_eq!(ds.a.len(), 1066);
+        assert_eq!(ds.b.len(), 662);
+        // Match count scales proportionally (clamped by min(|A|, |B|)).
+        assert_eq!(ds.gold.len(), 224);
+        for (a, b) in ds.gold.iter() {
+            assert!((a as usize) < ds.a.len());
+            assert!((b as usize) < ds.b.len());
+        }
+    }
+
+    #[test]
+    fn zipf_scale_tokens_are_skewed() {
+        // The scale profile's whole point is a heavy-tailed token
+        // distribution: the most frequent token should appear in far more
+        // records than a uniform draw over the vocabulary would allow.
+        let ds = DatasetProfile::ZipfScale.generate_scaled(4, 0.02);
+        let mut df = std::collections::HashMap::new();
+        let schema = ds.a.schema().clone();
+        for id in ds.a.ids() {
+            let mut seen = std::collections::HashSet::new();
+            for attr in schema.attr_ids() {
+                if let Some(v) = ds.a.value(id, attr) {
+                    for w in v.split_whitespace() {
+                        if seen.insert(w.to_string()) {
+                            *df.entry(w.to_string()).or_insert(0usize) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let max_df = df.values().copied().max().unwrap_or(0);
+        let n = ds.a.len();
+        assert!(
+            max_df * 20 >= n,
+            "head token df {max_df} too small for {n} records"
+        );
+        assert!(df.len() > 100, "vocabulary collapsed: {} tokens", df.len());
     }
 
     #[test]

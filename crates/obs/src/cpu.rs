@@ -1,0 +1,133 @@
+//! Per-thread CPU-time clock.
+//!
+//! [`thread_cpu_us`] reads `CLOCK_THREAD_CPUTIME_ID` — the CPU time the
+//! *calling thread* has consumed — so busy-time measurements stay honest
+//! on oversubscribed machines: wall clocks charge a thread for time it
+//! spent descheduled while siblings ran, a per-thread CPU clock does
+//! not. The sharded SSJ uses it to record each shard's true busy time
+//! (and from that the parallel critical path) even when the bench host
+//! has fewer cores than shards.
+//!
+//! Like `mc-store`'s mmap layer, this crate links no libc, so on
+//! Linux/x86_64 and Linux/aarch64 the `clock_gettime` syscall is issued
+//! directly. Every other target falls back to a process-wide monotonic
+//! wall clock, which is identical to CPU time whenever threads don't
+//! contend for cores.
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    //! `clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts)` by direct
+    //! syscall; conventions as in `mc-store`'s `mmap::sys`. Errors come
+    //! back as `-errno` in `[-4095, -1]`.
+
+    const CLOCK_THREAD_CPUTIME_ID: usize = 3;
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn clock_gettime(clock: usize, ts: *mut Timespec) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 228isize => ret, // __NR_clock_gettime
+            in("rdi") clock,
+            in("rsi") ts,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn clock_gettime(clock: usize, ts: *mut Timespec) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") 113usize, // __NR_clock_gettime
+            inlateout("x0") clock => ret,
+            in("x1") ts,
+            options(nostack)
+        );
+        ret
+    }
+
+    /// This thread's consumed CPU time in microseconds, or `None` if the
+    /// syscall failed.
+    pub fn thread_cpu_us() -> Option<u64> {
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        let ret = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if ret < 0 {
+            return None;
+        }
+        Some(ts.tv_sec as u64 * 1_000_000 + ts.tv_nsec as u64 / 1_000)
+    }
+}
+
+/// Monotonic fallback shared by all threads: wall-clock microseconds
+/// since the first call. Used when the per-thread CPU clock is
+/// unavailable; equal to CPU time as long as the thread never waits.
+fn wall_us() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_micros() as u64
+}
+
+/// Microseconds of CPU time consumed by the calling thread.
+///
+/// Only differences between two readings **on the same thread** are
+/// meaningful. On non-Linux targets (or if the syscall fails) this
+/// degrades to a wall clock, which overcounts only when the thread is
+/// descheduled between the readings.
+pub fn thread_cpu_us() -> u64 {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    if let Some(us) = sys::thread_cpu_us() {
+        return us;
+    }
+    wall_us()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread_cpu_us;
+
+    #[test]
+    fn monotone_and_advances_under_load() {
+        let start = thread_cpu_us();
+        // Spin long enough that even a coarse clock must advance.
+        let mut acc = 0u64;
+        while thread_cpu_us() == start {
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        }
+        assert!(thread_cpu_us() >= start);
+    }
+
+    #[test]
+    fn sleeping_is_cheaper_than_spinning() {
+        // On Linux the thread clock must not charge for sleep time; the
+        // wall fallback would, so only assert the cheap direction.
+        let a = thread_cpu_us();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let b = thread_cpu_us();
+        assert!(b >= a);
+    }
+}

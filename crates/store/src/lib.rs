@@ -38,20 +38,31 @@
 //!   STORE_MARKER            "mc-store/v1\n"
 //!   objects/
 //!     tok/<key-hex>.mcs     tokenization artifacts
-//!     arena/<key-hex>.mcs   per-config record arenas
+//!     arena/<key-hex>.mcs   per-config record arenas (byte codec)
+//!     post/<key-hex>.mcs    zero-copy arena/postings payloads (mmap-ready)
 //!     union/<key-hex>.mcs   joint-stage candidate unions
 //! ```
+//!
+//! [`Store::load_mapped`] is the zero-copy sibling of [`Store::load`]:
+//! instead of reading the file into a `Vec`, it memory-maps it (see
+//! [`mmap`]), verifies the same 32-byte header against the mapped bytes,
+//! and hands back a [`MappedPayload`] whose payload view borrows the
+//! mapping. `mc-core`'s `store_io` layers an alignment-padded CSR layout
+//! on top so warm starts point the join at the file's pages directly.
 //!
 //! ## Metrics
 //!
 //! `mc.store.{hits,misses,publishes,corrupt,errors}` counters,
+//! `mc.store.{mmap_maps,mmap_fallbacks}` for the mapping path,
 //! `mc.store.{load,save}` spans, `mc.store.{bytes_on_disk,artifacts}`
 //! gauges (refreshed by [`Store::stats`]).
 
 pub mod codec;
+pub mod mmap;
 
 pub use codec::{ByteReader, ByteWriter};
 pub use mc_table::digest::{Digest, DigestWriter};
+pub use mmap::Mapping;
 
 use std::fs;
 use std::io::Write as _;
@@ -86,14 +97,19 @@ pub enum ArtifactKind {
     Arena,
     /// The joint stage's candidate union (pairs + per-config scores).
     CandidateUnion,
+    /// Zero-copy CSR arena/postings payload: alignment-padded sections
+    /// a warm start can memory-map and use in place (no decode pass).
+    /// See `mc-core`'s `store_io` for the layout.
+    Postings,
 }
 
 impl ArtifactKind {
     /// All kinds, in a stable order.
-    pub const ALL: [ArtifactKind; 3] = [
+    pub const ALL: [ArtifactKind; 4] = [
         ArtifactKind::Tokenization,
         ArtifactKind::Arena,
         ArtifactKind::CandidateUnion,
+        ArtifactKind::Postings,
     ];
 
     /// Subdirectory name under `objects/`.
@@ -102,6 +118,7 @@ impl ArtifactKind {
             ArtifactKind::Tokenization => "tok",
             ArtifactKind::Arena => "arena",
             ArtifactKind::CandidateUnion => "union",
+            ArtifactKind::Postings => "post",
         }
     }
 
@@ -111,6 +128,7 @@ impl ArtifactKind {
             ArtifactKind::Tokenization => 1,
             ArtifactKind::Arena => 2,
             ArtifactKind::CandidateUnion => 3,
+            ArtifactKind::Postings => 4,
         }
     }
 }
@@ -207,6 +225,34 @@ pub struct GcReport {
     pub kept_bytes: u64,
 }
 
+/// A verified artifact whose payload is a borrowed view of the backing
+/// file ([`Store::load_mapped`]) rather than an owned `Vec<u8>`.
+///
+/// The 32-byte header has already been checked (magic, version, kind
+/// tag, length, FNV-64); [`MappedPayload::payload`] exposes only the
+/// payload region. Because the header is exactly 32 bytes and the
+/// mapping base is at least 8-byte aligned (page-aligned when truly
+/// mmapped), the payload view always starts on an 8-byte boundary —
+/// the invariant zero-copy layouts build on.
+#[derive(Debug)]
+pub struct MappedPayload {
+    map: mmap::Mapping,
+    payload_at: usize,
+}
+
+impl MappedPayload {
+    /// The verified payload bytes (header stripped).
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.map.bytes()[self.payload_at..]
+    }
+
+    /// True when backed by a kernel mapping (false on the heap fallback).
+    pub fn is_mmap(&self) -> bool {
+        self.map.is_mmap()
+    }
+}
+
 /// A handle on an opened artifact store.
 ///
 /// All artifact-level operations are infallible by design: [`Store::load`]
@@ -293,6 +339,36 @@ impl Store {
                 let mut bytes = bytes;
                 bytes.drain(..payload_range);
                 Some(bytes)
+            }
+            None => {
+                mc_obs::counter!("mc.store.corrupt").inc();
+                mc_obs::counter!("mc.store.misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Zero-copy sibling of [`Store::load`]: memory-maps the artifact
+    /// file (heap-buffered on targets without mmap support) and runs the
+    /// same header verification against the mapped bytes. Counters
+    /// behave exactly like [`Store::load`]'s — a corrupt file counts
+    /// under `mc.store.corrupt` and degrades to a miss — so callers can
+    /// chain `load_mapped → load → rebuild` and every step is accounted.
+    pub fn load_mapped(&self, kind: ArtifactKind, key: Digest) -> Option<MappedPayload> {
+        let _span = mc_obs::span!("mc.store.load", kind.tag() as u64);
+        let path = self.object_path(kind, key);
+        let map = match mmap::Mapping::open(&path) {
+            Some(m) => m,
+            None => {
+                mc_obs::counter!("mc.store.misses").inc();
+                return None;
+            }
+        };
+        match verify_artifact(map.bytes(), kind) {
+            Some(payload_at) => {
+                mc_obs::counter!("mc.store.hits").inc();
+                mc_obs::counter!("mc.store.bytes_loaded").add(map.bytes().len() as u64);
+                Some(MappedPayload { map, payload_at })
             }
             None => {
                 mc_obs::counter!("mc.store.corrupt").inc();
@@ -628,6 +704,52 @@ mod tests {
         assert_eq!(store.load(ArtifactKind::Arena, keys[1]), None);
         assert!(store.load(ArtifactKind::Arena, keys[2]).is_some());
         assert!(store.load(ArtifactKind::Arena, keys[3]).is_some());
+        fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn load_mapped_verifies_header_and_exposes_aligned_payload() {
+        let (store, root) = temp_store();
+        let key = digest_bytes(b"zc");
+        let payload: Vec<u8> = (0..200u8).collect();
+        assert!(store.load_mapped(ArtifactKind::Postings, key).is_none());
+        assert!(store.publish(ArtifactKind::Postings, key, &payload));
+        let mapped = store.load_mapped(ArtifactKind::Postings, key).expect("hit");
+        assert_eq!(mapped.payload(), &payload[..]);
+        assert_eq!(
+            mapped.payload().as_ptr() as usize % 8,
+            0,
+            "payload must start 8-aligned (header is 32 bytes)"
+        );
+        // Kind confusion is rejected just like Store::load.
+        assert!(store.load_mapped(ArtifactKind::Arena, key).is_none());
+        // A flipped payload byte fails the FNV check.
+        let path = artifact_file(&store, ArtifactKind::Postings, key);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 3] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load_mapped(ArtifactKind::Postings, key).is_none());
+        fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn postings_kind_is_accounted_by_stats_and_gc() {
+        let (store, root) = temp_store();
+        store.publish(ArtifactKind::Postings, digest_bytes(b"p"), &[7u8; 64]);
+        store.publish(ArtifactKind::Arena, digest_bytes(b"a"), &[1u8; 32]);
+        let stats = store.stats();
+        assert_eq!(stats.files, 2);
+        let post = stats
+            .kinds
+            .iter()
+            .find(|(name, _)| *name == "post")
+            .expect("post kind listed");
+        assert_eq!(post.1.files, 1);
+        assert_eq!(post.1.bytes, 64 + HEADER_LEN as u64);
+        // gc sees postings files too: budget 0 removes both.
+        let report = store.gc(0);
+        assert_eq!(report.removed_files, 2);
+        assert_eq!(report.kept_bytes, 0);
         fs::remove_dir_all(root).ok();
     }
 

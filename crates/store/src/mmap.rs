@@ -1,0 +1,283 @@
+//! Read-only memory mapping without a libc dependency.
+//!
+//! Warm starts at 10⁵–10⁶-record scale spend real time copying and
+//! decoding arena artifacts that the join could consume in place. A
+//! [`Mapping`] makes the file's bytes addressable directly: on Linux
+//! (x86_64 / aarch64) it issues the `mmap`/`munmap` syscalls itself via
+//! inline assembly — the workspace deliberately carries no libc binding —
+//! and on every other target (or when the syscall fails) it falls back to
+//! reading the file into an 8-byte-aligned heap buffer, so callers get
+//! the same zero-copy *view* semantics everywhere and only the paging
+//! behaviour differs. `mc.store.mmap_maps` / `mc.store.mmap_fallbacks`
+//! count which path ran.
+//!
+//! The mapping is always `PROT_READ` + `MAP_PRIVATE`: the bytes are
+//! immutable for the mapping's lifetime, which is what makes handing
+//! `&[u8]` views (and the `Send + Sync` impls) sound.
+
+use std::path::Path;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    //! Direct Linux syscalls for the two calls we need. Numbers and
+    //! calling conventions per `man 2 syscall`:
+    //! x86_64: nr in `rax`, args in `rdi rsi rdx r10 r8 r9`, `syscall`
+    //! clobbers `rcx`/`r11`; aarch64: nr in `x8`, args in `x0..x5`,
+    //! trap via `svc 0`. Errors come back as `-errno` in `[-4095, -1]`.
+
+    pub const PROT_READ: usize = 1;
+    pub const MAP_PRIVATE: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    pub unsafe fn mmap(len: usize, prot: usize, flags: usize, fd: i32) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 9isize => ret, // __NR_mmap
+            in("rdi") 0usize,               // addr hint
+            in("rsi") len,
+            in("rdx") prot,
+            in("r10") flags,
+            in("r8") fd as isize,
+            in("r9") 0usize,                // offset
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    pub unsafe fn munmap(addr: *const u8, len: usize) {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 11isize => _, // __NR_munmap
+            in("rdi") addr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    pub unsafe fn mmap(len: usize, prot: usize, flags: usize, fd: i32) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") 222usize, // __NR_mmap
+            inlateout("x0") 0usize => ret,
+            in("x1") len,
+            in("x2") prot,
+            in("x3") flags,
+            in("x4") fd as isize,
+            in("x5") 0usize,
+            options(nostack)
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    pub unsafe fn munmap(addr: *const u8, len: usize) {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") 215usize, // __NR_munmap
+            inlateout("x0") addr => _,
+            in("x1") len,
+            options(nostack)
+        );
+    }
+}
+
+/// How a [`Mapping`]'s bytes are held.
+enum Backing {
+    /// Heap fallback: the file was read into an 8-byte-aligned buffer.
+    /// The `Vec` is held only to keep the allocation alive.
+    Heap { _buf: Vec<u64> },
+    /// A live kernel mapping; `Mapping::ptr`/`len` describe it and
+    /// `Drop` unmaps it.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Mmap,
+}
+
+/// A read-only view of one file's bytes, either memory-mapped or (as a
+/// fallback) heap-buffered. Either way [`Mapping::bytes`] starts at an
+/// address aligned to at least 8 bytes — mapped pages are page-aligned —
+/// so fixed offsets into the file keep their alignment guarantees.
+pub struct Mapping {
+    ptr: *const u8,
+    len: usize,
+    backing: Backing,
+}
+
+// SAFETY: the bytes behind `ptr` are immutable for the mapping's
+// lifetime (PROT_READ private mapping, or a heap buffer nothing else
+// references), so shared access from any thread is sound.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `path` read-only. Prefers a kernel mapping where supported;
+    /// otherwise (unsupported target, empty file, or syscall failure)
+    /// reads the file into an aligned heap buffer. `None` only when the
+    /// file cannot be read at all.
+    pub fn open(path: &Path) -> Option<Mapping> {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Some(m) = Mapping::map_native(path) {
+            mc_obs::counter!("mc.store.mmap_maps").inc();
+            return Some(m);
+        }
+        let m = Mapping::read_heap(path)?;
+        mc_obs::counter!("mc.store.mmap_fallbacks").inc();
+        Some(m)
+    }
+
+    /// The whole file's bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` is valid for `len` bytes for as long as the
+        // backing lives (mapping unmapped only in Drop; Vec held).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// True when the bytes come from a kernel mapping rather than the
+    /// heap fallback.
+    pub fn is_mmap(&self) -> bool {
+        !matches!(self.backing, Backing::Heap { .. })
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    fn map_native(path: &Path) -> Option<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::File::open(path).ok()?;
+        let len = usize::try_from(file.metadata().ok()?.len()).ok()?;
+        if len == 0 {
+            return None; // mmap of length 0 is EINVAL; heap handles it
+        }
+        // SAFETY: plain read-only private file mapping; the fd stays
+        // open for the duration of the call (the mapping outlives it by
+        // design — closing the fd does not tear down the mapping).
+        let ret = unsafe { sys::mmap(len, sys::PROT_READ, sys::MAP_PRIVATE, file.as_raw_fd()) };
+        // Failures return -errno in [-4095, -1].
+        if (-4095..=0).contains(&ret) {
+            return None;
+        }
+        Some(Mapping {
+            ptr: ret as *const u8,
+            len,
+            backing: Backing::Mmap,
+        })
+    }
+
+    fn read_heap(path: &Path) -> Option<Mapping> {
+        let bytes = std::fs::read(path).ok()?;
+        let len = bytes.len();
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        // SAFETY: `buf` holds at least `len` bytes; ranges are disjoint.
+        unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), buf.as_mut_ptr().cast(), len) };
+        Some(Mapping {
+            ptr: buf.as_ptr().cast(),
+            len,
+            backing: Backing::Heap { _buf: buf },
+        })
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if matches!(self.backing, Backing::Mmap) {
+            // SAFETY: exactly the region returned by mmap, unmapped once.
+            unsafe { sys::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping")
+            .field("len", &self.len)
+            .field("mmap", &self.is_mmap())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_file(contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "mc-mmap-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, contents).expect("write temp file");
+        path
+    }
+
+    #[test]
+    fn mapping_exposes_file_bytes_and_alignment() {
+        let body: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let path = temp_file(&body);
+        let m = Mapping::open(&path).expect("map");
+        assert_eq!(m.bytes(), &body[..]);
+        assert_eq!(m.bytes().as_ptr() as usize % 8, 0, "base alignment");
+        drop(m);
+        // Mapping again after drop still works (no fd/map leak issues).
+        let m2 = Mapping::open(&path).expect("remap");
+        assert_eq!(m2.bytes().len(), body.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_view() {
+        let path = temp_file(&[]);
+        let m = Mapping::open(&path).expect("map empty");
+        assert!(m.bytes().is_empty());
+        assert!(!m.is_mmap(), "empty files take the heap path");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let path = std::env::temp_dir().join("mc-mmap-test-definitely-missing");
+        assert!(Mapping::open(&path).is_none());
+    }
+
+    #[test]
+    fn mapping_is_usable_across_threads() {
+        let body = vec![0xabu8; 4096 * 3 + 17];
+        let path = temp_file(&body);
+        let m = std::sync::Arc::new(Mapping::open(&path).expect("map"));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || m.bytes().iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        let expect = body.iter().map(|&b| b as u64).sum::<u64>();
+        for h in handles {
+            assert_eq!(h.join().expect("join"), expect);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

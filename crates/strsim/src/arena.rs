@@ -13,77 +13,81 @@
 //! holds ([`RecordArena::rank_bound`]); ranks are dense dictionary
 //! indexes, so the bound lets the join engine use `Vec`-indexed postings
 //! arrays instead of hash maps.
+//!
+//! An arena's buffers are either **owned** `Vec`s or **borrowed** from a
+//! [`StableBytes`] backing (a memory-mapped artifact file): warm starts
+//! can point the join straight at the file's pages with zero decode and
+//! zero copy ([`RecordArena::from_stable_parts`]). Either way the hot
+//! accessors cost the same — a pointer and a length, resolved once at
+//! construction.
 
 use crate::dict::TokenizedTable;
 use mc_table::TupleId;
+use std::sync::Arc;
+
+/// A byte buffer whose address is stable for the value's whole lifetime.
+///
+/// Implemented by zero-copy artifact backings (memory-mapped files,
+/// pinned heap buffers) so a [`RecordArena`] can cache raw pointers into
+/// the bytes at construction and skip per-access indirection.
+///
+/// # Safety
+///
+/// Implementors must guarantee that `bytes()` returns the same pointer
+/// and length on every call for the lifetime of `self` (the buffer never
+/// moves, grows, or shrinks), and that the bytes are never mutated while
+/// `self` is alive.
+pub unsafe trait StableBytes: Send + Sync {
+    /// The backing bytes.
+    fn bytes(&self) -> &[u8];
+}
+
+/// What keeps a [`RecordArena`]'s buffers alive.
+enum Backing {
+    /// The arena owns its buffers (the pointers point into these Vecs;
+    /// a Vec's heap buffer does not move when the Vec itself moves).
+    Owned { tokens: Vec<u32>, offsets: Vec<u32> },
+    /// The buffers live inside a stable byte backing (e.g. an mmapped
+    /// store artifact); the Arc keeps it alive.
+    Mapped(Arc<dyn StableBytes>),
+}
 
 /// Records stored back-to-back in one token buffer (CSR layout).
 ///
 /// Record `i` is `tokens[offsets[i] .. offsets[i + 1]]`, a sorted rank
 /// multiset exactly as [`TokenizedTable::merged`] would produce it.
-#[derive(Debug, Clone, Default)]
 pub struct RecordArena {
+    tokens: *const u32,
+    n_tokens: usize,
+    offsets: *const u32,
+    n_offsets: usize,
+    rank_bound: u32,
+    backing: Backing,
+}
+
+// SAFETY: the buffers behind the raw pointers are immutable after
+// construction and owned/kept alive by `backing` (Vecs, or an Arc to a
+// Send + Sync StableBytes), so sharing or moving the arena across
+// threads is sound.
+unsafe impl Send for RecordArena {}
+unsafe impl Sync for RecordArena {}
+
+/// Accumulates owned CSR buffers, then seals them into a [`RecordArena`].
+struct ArenaBuilder {
     tokens: Vec<u32>,
     offsets: Vec<u32>,
     rank_bound: u32,
 }
 
-impl RecordArena {
-    /// An empty arena.
-    pub fn new() -> Self {
-        RecordArena {
-            tokens: Vec::new(),
-            offsets: vec![0],
+impl ArenaBuilder {
+    fn with_capacity(total_tokens: usize, rows: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        ArenaBuilder {
+            tokens: Vec::with_capacity(total_tokens),
+            offsets,
             rank_bound: 0,
         }
-    }
-
-    /// Builds the arena for one config directly from a tokenized table:
-    /// record `t` is the sorted merge of `attr_indexes`' rank vectors of
-    /// tuple `t` (identical to [`TokenizedTable::merged`], without the
-    /// per-record allocation).
-    pub fn from_tokenized(tok: &TokenizedTable, attr_indexes: &[usize]) -> Self {
-        let _span = mc_obs::span!("mc.strsim.arena.build");
-        let rows = tok.rows();
-        let total: usize = (0..rows as TupleId)
-            .map(|t| tok.merged_len(attr_indexes, t))
-            .sum();
-        let mut arena = RecordArena {
-            tokens: Vec::with_capacity(total),
-            offsets: Vec::with_capacity(rows + 1),
-            rank_bound: 0,
-        };
-        arena.offsets.push(0);
-        for t in 0..rows as TupleId {
-            let start = arena.tokens.len();
-            for &i in attr_indexes {
-                arena.tokens.extend_from_slice(tok.ranks(i, t));
-            }
-            arena.tokens[start..].sort_unstable();
-            arena.close_record();
-        }
-        mc_obs::counter!("mc.strsim.arena.builds").inc();
-        mc_obs::counter!("mc.strsim.arena.tokens").add(arena.tokens.len() as u64);
-        arena
-    }
-
-    /// Builds an arena from materialized records (tests, ad-hoc callers).
-    /// Each record must already be sorted ascending.
-    pub fn from_records<R: AsRef<[u32]>>(records: &[R]) -> Self {
-        let total: usize = records.iter().map(|r| r.as_ref().len()).sum();
-        let mut arena = RecordArena {
-            tokens: Vec::with_capacity(total),
-            offsets: Vec::with_capacity(records.len() + 1),
-            rank_bound: 0,
-        };
-        arena.offsets.push(0);
-        for r in records {
-            let r = r.as_ref();
-            debug_assert!(r.windows(2).all(|w| w[0] <= w[1]), "records must be sorted");
-            arena.tokens.extend_from_slice(r);
-            arena.close_record();
-        }
-        arena
     }
 
     /// Seals the tokens appended since the last record boundary as one
@@ -99,10 +103,74 @@ impl RecordArena {
         self.offsets.push(self.tokens.len() as u32);
     }
 
+    fn finish(self) -> RecordArena {
+        RecordArena::from_owned(self.tokens, self.offsets, self.rank_bound)
+    }
+}
+
+impl RecordArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        RecordArena::from_owned(Vec::new(), vec![0], 0)
+    }
+
+    /// Seals owned buffers into an arena, caching the data pointers.
+    /// Invariants (offsets shape, sortedness) are the caller's problem —
+    /// this is the private trusted constructor.
+    fn from_owned(tokens: Vec<u32>, offsets: Vec<u32>, rank_bound: u32) -> RecordArena {
+        debug_assert!(!offsets.is_empty());
+        RecordArena {
+            tokens: tokens.as_ptr(),
+            n_tokens: tokens.len(),
+            offsets: offsets.as_ptr(),
+            n_offsets: offsets.len(),
+            rank_bound,
+            backing: Backing::Owned { tokens, offsets },
+        }
+    }
+
+    /// Builds the arena for one config directly from a tokenized table:
+    /// record `t` is the sorted merge of `attr_indexes`' rank vectors of
+    /// tuple `t` (identical to [`TokenizedTable::merged`], without the
+    /// per-record allocation).
+    pub fn from_tokenized(tok: &TokenizedTable, attr_indexes: &[usize]) -> Self {
+        let _span = mc_obs::span!("mc.strsim.arena.build");
+        let rows = tok.rows();
+        let total: usize = (0..rows as TupleId)
+            .map(|t| tok.merged_len(attr_indexes, t))
+            .sum();
+        let mut b = ArenaBuilder::with_capacity(total, rows);
+        for t in 0..rows as TupleId {
+            let start = b.tokens.len();
+            for &i in attr_indexes {
+                b.tokens.extend_from_slice(tok.ranks(i, t));
+            }
+            b.tokens[start..].sort_unstable();
+            b.close_record();
+        }
+        mc_obs::counter!("mc.strsim.arena.builds").inc();
+        mc_obs::counter!("mc.strsim.arena.tokens").add(b.tokens.len() as u64);
+        b.finish()
+    }
+
+    /// Builds an arena from materialized records (tests, ad-hoc callers).
+    /// Each record must already be sorted ascending.
+    pub fn from_records<R: AsRef<[u32]>>(records: &[R]) -> Self {
+        let total: usize = records.iter().map(|r| r.as_ref().len()).sum();
+        let mut b = ArenaBuilder::with_capacity(total, records.len());
+        for r in records {
+            let r = r.as_ref();
+            debug_assert!(r.windows(2).all(|w| w[0] <= w[1]), "records must be sorted");
+            b.tokens.extend_from_slice(r);
+            b.close_record();
+        }
+        b.finish()
+    }
+
     /// Number of records.
     #[inline]
     pub fn len(&self) -> usize {
-        self.offsets.len() - 1
+        self.n_offsets - 1
     }
 
     /// True if the arena holds no records.
@@ -114,16 +182,18 @@ impl RecordArena {
     /// Record `i` as a sorted rank slice.
     #[inline]
     pub fn record(&self, i: TupleId) -> &[u32] {
-        let lo = self.offsets[i as usize] as usize;
-        let hi = self.offsets[i as usize + 1] as usize;
-        &self.tokens[lo..hi]
+        let offsets = self.offsets();
+        let lo = offsets[i as usize] as usize;
+        let hi = offsets[i as usize + 1] as usize;
+        &self.tokens()[lo..hi]
     }
 
     /// Iterates over all records in order.
     pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
-        self.offsets
+        let tokens = self.tokens();
+        self.offsets()
             .windows(2)
-            .map(move |w| &self.tokens[w[0] as usize..w[1] as usize])
+            .map(move |w| &tokens[w[0] as usize..w[1] as usize])
     }
 
     /// Exclusive upper bound on the token ranks held (`max rank + 1`;
@@ -136,19 +206,28 @@ impl RecordArena {
     /// Total token count across all records (multiset cardinality).
     #[inline]
     pub fn total_tokens(&self) -> usize {
-        self.tokens.len()
+        self.n_tokens
+    }
+
+    /// True when the buffers are borrowed from a [`StableBytes`] backing
+    /// rather than owned (diagnostics; behaviour is identical).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
     }
 
     /// The flat token buffer (for serialization; see `mc-store`).
     #[inline]
     pub fn tokens(&self) -> &[u32] {
-        &self.tokens
+        // SAFETY: pointer + length were derived from the live backing at
+        // construction; the backing is immutable and owned by `self`.
+        unsafe { std::slice::from_raw_parts(self.tokens, self.n_tokens) }
     }
 
     /// The record offsets array, length `len() + 1` (for serialization).
     #[inline]
     pub fn offsets(&self) -> &[u32] {
-        &self.offsets
+        // SAFETY: as for `tokens()`.
+        unsafe { std::slice::from_raw_parts(self.offsets, self.n_offsets) }
     }
 
     /// Rebuilds an arena from raw CSR parts, validating the offsets
@@ -156,30 +235,112 @@ impl RecordArena {
     /// and recomputing the rank bound. Returns `None` on any violation,
     /// so corrupt store artifacts degrade to cache misses.
     pub fn from_parts(tokens: Vec<u32>, offsets: Vec<u32>) -> Option<RecordArena> {
-        if offsets.first() != Some(&0) {
-            return None;
+        let rank_bound = validate_csr(&tokens, &offsets)?;
+        Some(RecordArena::from_owned(tokens, offsets, rank_bound))
+    }
+
+    /// Zero-copy sibling of [`RecordArena::from_parts`]: borrows the
+    /// tokens and offsets arrays directly from `backing`'s bytes (given
+    /// as byte ranges into [`StableBytes::bytes`]) instead of copying
+    /// them out. Runs the full structural validation — plus alignment
+    /// and little-endian checks, since the bytes are reinterpreted in
+    /// place — and returns `None` on any violation, so corrupt or
+    /// foreign-endian artifacts degrade to cache misses.
+    pub fn from_stable_parts(
+        backing: Arc<dyn StableBytes>,
+        tokens_bytes: std::ops::Range<usize>,
+        offsets_bytes: std::ops::Range<usize>,
+    ) -> Option<RecordArena> {
+        if cfg!(target_endian = "big") {
+            return None; // in-place reinterpretation assumes LE files
         }
-        if *offsets.last().expect("checked non-empty") as usize != tokens.len() {
-            return None;
-        }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return None;
-        }
-        // Every record must be a sorted rank multiset — the join's run
-        // counters and postings depend on it.
-        if offsets.windows(2).any(|w| {
-            tokens[w[0] as usize..w[1] as usize]
-                .windows(2)
-                .any(|t| t[0] > t[1])
-        }) {
-            return None;
-        }
-        let rank_bound = tokens.iter().max().map_or(0, |&m| m + 1);
-        Some(RecordArena {
-            tokens,
-            offsets,
+        let bytes = backing.bytes();
+        let tokens = u32_view(bytes, tokens_bytes)?;
+        let offsets = u32_view(bytes, offsets_bytes)?;
+        let rank_bound = validate_csr(tokens, offsets)?;
+        let arena = RecordArena {
+            tokens: tokens.as_ptr(),
+            n_tokens: tokens.len(),
+            offsets: offsets.as_ptr(),
+            n_offsets: offsets.len(),
             rank_bound,
-        })
+            backing: Backing::Mapped(backing),
+        };
+        Some(arena)
+    }
+}
+
+/// Checks a byte range is in bounds, 4-aligned and a whole number of
+/// `u32`s, and reinterprets it. Little-endian targets only (checked by
+/// the caller).
+fn u32_view(bytes: &[u8], range: std::ops::Range<usize>) -> Option<&[u32]> {
+    let view = bytes.get(range)?;
+    if !(view.as_ptr() as usize).is_multiple_of(std::mem::align_of::<u32>())
+        || !view.len().is_multiple_of(4)
+    {
+        return None;
+    }
+    // SAFETY: in-bounds, aligned, correctly sized; u32 has no invalid
+    // bit patterns; the backing is immutable for its lifetime.
+    Some(unsafe { std::slice::from_raw_parts(view.as_ptr().cast(), view.len() / 4) })
+}
+
+/// Validates CSR invariants shared by owned and mapped arenas; returns
+/// the recomputed rank bound.
+fn validate_csr(tokens: &[u32], offsets: &[u32]) -> Option<u32> {
+    if offsets.first() != Some(&0) {
+        return None;
+    }
+    if *offsets.last().expect("checked non-empty") as usize != tokens.len() {
+        return None;
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return None;
+    }
+    // Every record must be a sorted rank multiset — the join's run
+    // counters and postings depend on it.
+    if offsets.windows(2).any(|w| {
+        tokens[w[0] as usize..w[1] as usize]
+            .windows(2)
+            .any(|t| t[0] > t[1])
+    }) {
+        return None;
+    }
+    Some(tokens.iter().max().map_or(0, |&m| m + 1))
+}
+
+impl Default for RecordArena {
+    fn default() -> Self {
+        RecordArena::new()
+    }
+}
+
+impl Clone for RecordArena {
+    fn clone(&self) -> Self {
+        match &self.backing {
+            Backing::Owned { tokens, offsets } => {
+                RecordArena::from_owned(tokens.clone(), offsets.clone(), self.rank_bound)
+            }
+            Backing::Mapped(arc) => RecordArena {
+                tokens: self.tokens,
+                n_tokens: self.n_tokens,
+                offsets: self.offsets,
+                n_offsets: self.n_offsets,
+                rank_bound: self.rank_bound,
+                backing: Backing::Mapped(Arc::clone(arc)),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for RecordArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordArena")
+            .field("records", &self.len())
+            .field("tokens", &self.total_tokens())
+            .field("rank_bound", &self.rank_bound)
+            .field("mapped", &self.is_mapped())
+            .finish()
     }
 }
 
@@ -238,5 +399,86 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A stable backing over an 8-aligned heap buffer, as the store's
+    /// heap fallback produces.
+    struct PinnedWords(Vec<u64>, usize);
+
+    unsafe impl StableBytes for PinnedWords {
+        fn bytes(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.0.as_ptr().cast(), self.1) }
+        }
+    }
+
+    fn pinned(bytes: &[u8]) -> Arc<dyn StableBytes> {
+        let mut buf = vec![0u64; bytes.len().div_ceil(8)];
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), buf.as_mut_ptr().cast(), bytes.len())
+        };
+        Arc::new(PinnedWords(buf, bytes.len()))
+    }
+
+    fn le_bytes(vals: &[u32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn from_stable_parts_borrows_and_matches_owned() {
+        let records: Vec<Vec<u32>> = vec![vec![3, 5, 5, 90], vec![], vec![0, 7]];
+        let owned = RecordArena::from_records(&records);
+        // Lay out [offsets | tokens] in one buffer, offsets first so the
+        // token range starts at a non-zero offset.
+        let mut raw = le_bytes(owned.offsets());
+        let tokens_at = raw.len();
+        raw.extend(le_bytes(owned.tokens()));
+        let backing = pinned(&raw);
+        let mapped = RecordArena::from_stable_parts(
+            Arc::clone(&backing),
+            tokens_at..raw.len(),
+            0..tokens_at,
+        )
+        .expect("valid layout maps");
+        assert!(mapped.is_mapped());
+        assert!(!owned.is_mapped());
+        assert_eq!(mapped.len(), owned.len());
+        assert_eq!(mapped.rank_bound(), owned.rank_bound());
+        assert_eq!(mapped.total_tokens(), owned.total_tokens());
+        for t in 0..owned.len() as TupleId {
+            assert_eq!(mapped.record(t), owned.record(t));
+        }
+        // Clones share the backing and keep working after the original
+        // and the local Arc are gone.
+        let clone = mapped.clone();
+        drop(mapped);
+        drop(backing);
+        assert_eq!(clone.record(0), &[3, 5, 5, 90]);
+        let sent = std::thread::spawn(move || clone.record(2).to_vec())
+            .join()
+            .expect("cross-thread use");
+        assert_eq!(sent, vec![0, 7]);
+    }
+
+    #[test]
+    fn from_stable_parts_rejects_structural_and_alignment_violations() {
+        let tokens = le_bytes(&[1, 2, 3]);
+        let good_offsets = le_bytes(&[0, 2, 3]);
+        let mut raw = good_offsets.clone();
+        raw.extend(&tokens);
+        let backing = pinned(&raw);
+        let ok = |t: std::ops::Range<usize>, o: std::ops::Range<usize>| {
+            RecordArena::from_stable_parts(Arc::clone(&backing), t, o).is_some()
+        };
+        assert!(ok(12..24, 0..12), "baseline is valid");
+        assert!(!ok(12..24, 0..8), "offsets not ending at n_tokens");
+        assert!(!ok(12..25, 0..12), "token range out of bounds");
+        assert!(!ok(12..23, 0..12), "token bytes not a multiple of 4");
+        assert!(!ok(13..21, 0..12), "misaligned token range");
+        assert!(!ok(12..24, 0..0), "empty offsets");
+        // Unsorted record: tokens [2, 1] with offsets [0, 2].
+        let mut bad = le_bytes(&[0, 2]);
+        bad.extend(le_bytes(&[2, 1]));
+        let bad = pinned(&bad);
+        assert!(RecordArena::from_stable_parts(bad, 8..16, 0..8).is_none());
     }
 }

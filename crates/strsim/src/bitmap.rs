@@ -1,0 +1,195 @@
+//! Bitset fast path for high-frequency token intersection.
+//!
+//! [`crate::dict::TokenDict`] assigns ranks ascending by document
+//! frequency, so the most frequent tokens occupy the **top** of the rank
+//! space — and, because records are sorted, they form a contiguous
+//! *suffix* of every record. A [`BitmapIndex`] materializes that suffix
+//! as a fixed-width bitset per record; the intersection of two suffixes
+//! then costs a handful of `AND` + popcount words
+//! ([`word_intersection_count`]) instead of a merge crawling through
+//! exactly the tokens most likely to collide. The rare low-rank prefix
+//! still runs the scalar merge+gallop kernel — with the residual bound,
+//! so the merge-abort pruning of [`overlap_with_bound`] is preserved.
+//!
+//! Bitsets are sets, not multisets: any record whose suffix holds a
+//! duplicate rank is flagged at build time and its pairs take the scalar
+//! kernel wholesale, keeping [`overlap_with_bound_bitmap`] *exactly*
+//! equivalent to [`overlap_with_bound`] (same `Some`/`None` outcome,
+//! same overlap integer — and therefore bit-identical scores).
+
+use crate::arena::RecordArena;
+use crate::measures::{overlap_with_bound, word_intersection_count};
+use mc_table::TupleId;
+
+/// Default width (in token ranks) of the frequent suffix each bitset
+/// covers: 512 ranks = 8 words per record.
+pub const DEFAULT_FREQ_BITS: u32 = 512;
+
+/// Per-record bitsets over the top `freq_bits` ranks of a shared rank
+/// space, plus the bookkeeping needed to fall back exactly.
+pub struct BitmapIndex {
+    /// Ranks `>= cut` are represented in the bitsets.
+    cut: u32,
+    /// Words per record (`span.div_ceil(64)`).
+    words_per_record: usize,
+    /// Concatenated per-record bitsets (`len * words_per_record`).
+    words: Vec<u64>,
+    /// Index within each record where the frequent suffix starts.
+    suffix_start: Vec<u32>,
+    /// Whether the record's suffix is duplicate-free (bitset usable).
+    clean: Vec<bool>,
+}
+
+impl BitmapIndex {
+    /// Builds the index over `arena` for the shared rank space
+    /// `[0, rank_bound)`, covering its top `freq_bits` ranks.
+    ///
+    /// Two indexes are only compatible when built with the same
+    /// `rank_bound` and `freq_bits` — pass the max of both sides' arena
+    /// bounds (exactly what the join engine sizes its postings with) so
+    /// the cut agrees.
+    pub fn build(arena: &RecordArena, rank_bound: u32, freq_bits: u32) -> BitmapIndex {
+        let _span = mc_obs::span!("mc.strsim.bitmap.build");
+        debug_assert!(rank_bound >= arena.rank_bound());
+        let cut = rank_bound.saturating_sub(freq_bits);
+        let span = (rank_bound - cut) as usize;
+        let wpr = span.div_ceil(64);
+        let n = arena.len();
+        let mut idx = BitmapIndex {
+            cut,
+            words_per_record: wpr,
+            words: vec![0u64; n * wpr],
+            suffix_start: Vec::with_capacity(n),
+            clean: Vec::with_capacity(n),
+        };
+        for (i, rec) in arena.iter().enumerate() {
+            let s = rec.partition_point(|&t| t < cut);
+            idx.suffix_start.push(s as u32);
+            let suffix = &rec[s..];
+            let clean = suffix.windows(2).all(|w| w[0] < w[1]);
+            idx.clean.push(clean);
+            if clean {
+                let words = &mut idx.words[i * wpr..(i + 1) * wpr];
+                for &t in suffix {
+                    let bit = (t - cut) as usize;
+                    words[bit / 64] |= 1u64 << (bit % 64);
+                }
+            }
+        }
+        mc_obs::counter!("mc.strsim.bitmap.builds").inc();
+        idx
+    }
+
+    /// The rank below which tokens stay on the scalar prefix path.
+    #[inline]
+    pub fn cut(&self) -> u32 {
+        self.cut
+    }
+
+    /// Number of records indexed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.suffix_start.len()
+    }
+
+    /// True if the index covers no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.suffix_start.is_empty()
+    }
+
+    #[inline]
+    fn words(&self, i: TupleId) -> &[u64] {
+        let w = self.words_per_record;
+        &self.words[i as usize * w..(i as usize + 1) * w]
+    }
+}
+
+/// Drop-in equivalent of [`overlap_with_bound`] for arena records `ia`
+/// (indexed by `a`) and `ib` (indexed by `b`): returns `Some(o)` — the
+/// exact multiset overlap of `ra` and `rb` — **iff** `o >= o_min`, and
+/// `None` otherwise.
+///
+/// The frequent-suffix overlap comes from the bitset AND; the rare
+/// prefix runs the scalar merge with the residual bound
+/// `o_min − suffix_overlap`, so an unreachable bound still aborts the
+/// merge early. Pairs touching a duplicate-carrying suffix take the
+/// scalar kernel wholesale.
+pub fn overlap_with_bound_bitmap(
+    a: &BitmapIndex,
+    b: &BitmapIndex,
+    ra: &[u32],
+    rb: &[u32],
+    ia: TupleId,
+    ib: TupleId,
+    o_min: usize,
+) -> Option<usize> {
+    if ra.len().min(rb.len()) < o_min {
+        return None;
+    }
+    if !a.clean[ia as usize] || !b.clean[ib as usize] {
+        return overlap_with_bound(ra, rb, o_min);
+    }
+    debug_assert_eq!(a.cut, b.cut, "indexes must share one rank space");
+    let o_s = word_intersection_count(a.words(ia), b.words(ib));
+    let sa = a.suffix_start[ia as usize] as usize;
+    let sb = b.suffix_start[ib as usize] as usize;
+    let o_p = overlap_with_bound(&ra[..sa], &rb[..sb], o_min.saturating_sub(o_s))?;
+    let o = o_s + o_p;
+    (o >= o_min).then_some(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::multiset_overlap;
+
+    fn arena(data: &[&[u32]]) -> RecordArena {
+        RecordArena::from_records(data)
+    }
+
+    #[test]
+    fn bitmap_overlap_matches_scalar_contract() {
+        // Mixed records: some entirely below the cut, some straddling it,
+        // one with duplicate high ranks (dirty suffix).
+        let recs_a: [&[u32]; 4] = [&[1, 2, 30, 31], &[0, 1, 2], &[29, 30, 31], &[30, 30, 31]];
+        let recs_b: [&[u32]; 3] = [&[2, 30, 31], &[0, 5], &[28, 29, 30, 31]];
+        let (a, b) = (arena(&recs_a), arena(&recs_b));
+        let bound = a.rank_bound().max(b.rank_bound());
+        for bits in [0u32, 1, 4, 64, 65, 512] {
+            let ba = BitmapIndex::build(&a, bound, bits);
+            let bb = BitmapIndex::build(&b, bound, bits);
+            assert_eq!(ba.cut(), bb.cut());
+            for (i, ra) in recs_a.iter().enumerate() {
+                for (j, rb) in recs_b.iter().enumerate() {
+                    let o = multiset_overlap(ra, rb);
+                    for o_min in 0..=(ra.len().min(rb.len()) + 2) {
+                        let got = overlap_with_bound_bitmap(
+                            &ba,
+                            &bb,
+                            ra,
+                            rb,
+                            i as TupleId,
+                            j as TupleId,
+                            o_min,
+                        );
+                        assert_eq!(
+                            got,
+                            (o >= o_min).then_some(o),
+                            "bits={bits} pair=({i},{j}) o_min={o_min}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_arena_and_zero_bound() {
+        let a = arena(&[]);
+        let idx = BitmapIndex::build(&a, 0, 512);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.cut(), 0);
+    }
+}

@@ -226,7 +226,7 @@ fn stale_format_version_is_a_silent_miss() {
 
     // Bump the format-version field (bytes 4..8 of the header) of every
     // artifact of every kind.
-    for kind in ["tok", "arena", "union"] {
+    for kind in ["tok", "arena", "union", "post"] {
         let d = dir.join("objects").join(kind);
         for entry in std::fs::read_dir(&d).expect("kind dir") {
             let path = entry.expect("entry").path();
@@ -241,6 +241,76 @@ fn stale_format_version_is_a_silent_miss() {
         delta.counter("mc.store.hits"),
         0,
         "version-mismatched artifacts must all miss"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_copy_arenas_mmap_warm_and_fall_back_on_corruption() {
+    let _guard = SERIAL.lock().unwrap();
+    let dir = temp_store_dir("zc");
+    let (cold, _) = run_once(&dir, 2);
+
+    // The cold run published arenas in the zero-copy layout.
+    let post_dir = dir.join("objects").join("post");
+    let post_files: Vec<PathBuf> = std::fs::read_dir(&post_dir)
+        .expect("post dir exists")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "mcs"))
+        .collect();
+    assert!(!post_files.is_empty(), "zero-copy arenas must be published");
+
+    // Drop the unions so the next run must reach the arena path, then
+    // warm-run: arenas come from the mapping, never from a rebuild.
+    let drop_unions = || {
+        for entry in std::fs::read_dir(dir.join("objects").join("union")).expect("union dir") {
+            std::fs::remove_file(entry.expect("entry").path()).expect("remove union");
+        }
+    };
+    drop_unions();
+    let (warm, delta) = run_once(&dir, 2);
+    assert_eq!(summarize(&cold), summarize(&warm), "mapped warm diverged");
+    assert!(
+        delta.counter("mc.store.mmap_maps") > 0,
+        "warm arenas must come from a mapping"
+    );
+    assert_eq!(
+        delta.span("mc.strsim.arena.build").count,
+        0,
+        "no arena rebuild on the mapped path"
+    );
+
+    // Corrupt the zero-copy *payload* while keeping the store header
+    // valid (recompute the FNV): the store hits, `map_arena` refuses,
+    // and with no byte-codec fallback artifact the arenas rebuild —
+    // with identical results.
+    for path in &post_files {
+        let mut bytes = std::fs::read(path).expect("read post artifact");
+        bytes[32] ^= 0xff; // first payload byte: breaks the sub-magic
+        let sum = mc_table::digest::fnv64(&bytes[32..]);
+        bytes[24..32].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(path, bytes).expect("write mangled");
+    }
+    drop_unions();
+    let (rebuilt, delta2) = run_once(&dir, 2);
+    assert_eq!(summarize(&cold), summarize(&rebuilt), "fallback diverged");
+    assert!(
+        delta2.counter("mc.store.decode_failed") > 0,
+        "refused zero-copy payloads must be counted"
+    );
+    assert!(
+        delta2.span("mc.strsim.arena.build").count > 0,
+        "arenas must rebuild after the mapped payload is refused"
+    );
+
+    // The rebuild republished; a third run maps cleanly again.
+    drop_unions();
+    let (third, delta3) = run_once(&dir, 2);
+    assert_eq!(summarize(&cold), summarize(&third));
+    assert_eq!(
+        delta3.span("mc.strsim.arena.build").count,
+        0,
+        "mapped again"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
