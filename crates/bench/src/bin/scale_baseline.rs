@@ -83,6 +83,10 @@ fn params_for(k: usize, threads: usize, shards: usize, kernel: SsjKernel) -> Joi
         // Equal footing: sharding forces the overlap database off, so the
         // single-shard reference runs without it too.
         reuse_overlaps: false,
+        // The committed baseline's work counters and the shard-identity
+        // sweep must see the *requested* shard counts on every machine,
+        // including boxes with fewer cores than shards.
+        clamp_shards: false,
         ..Default::default()
     };
     if threads != 0 {

@@ -60,6 +60,10 @@ pub struct DebuggerParams {
     /// [`DebugReport::metrics`] becomes a fully isolated, per-run
     /// snapshot while the global view still accounts for every run.
     pub obs: ObsContext,
+    /// Incremental-session knobs ([`MatchCatcher::start_session`]):
+    /// top-k maintenance margin and arena compaction threshold. Ignored
+    /// by the one-shot [`MatchCatcher::run`] path.
+    pub incr: crate::incr::IncrParams,
 }
 
 impl DebuggerParams {

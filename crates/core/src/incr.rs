@@ -1,0 +1,943 @@
+//! Incremental debugging sessions: delta-patched tables and killed-set
+//! diffs instead of full re-runs.
+//!
+//! A debugging loop rarely restarts from scratch. The user fixes a few
+//! rows, re-runs the blocker, or only *changes the blocker* (a new
+//! killed set `C` over unchanged tables) — and the paper's pipeline
+//! would re-tokenize both tables, rebuild every arena and re-join every
+//! config. A [`DebugSession`] instead keeps the pipeline's state alive
+//! between runs and patches it in place:
+//!
+//! * **Tables** are edited through [`TableDelta`]s (insert / delete /
+//!   update batches). Deletes tombstone rows so every [`TupleId`] — and
+//!   with it every pair key, gold match and killed entry — stays valid.
+//! * **Tokenization** is maintained by an [`IncrementalDict`]: the cold
+//!   build's interning dictionary plus its frozen rank order, extended
+//!   append-only as edited rows introduce new tokens. Frozen ranks are
+//!   *not* the document-frequency order a cold rebuild would choose, but
+//!   every similarity measure is a function of multiset overlaps and
+//!   record lengths, which relabeling ranks cannot change — so results
+//!   are bit-identical anyway (rank-permutation invariance).
+//! * **Arenas** are patched record-by-record
+//!   ([`RecordArena::patch_record`]): tombstone + append into a spill
+//!   region, compacted back into one contiguous buffer when the garbage
+//!   ratio passes [`IncrParams::compact_threshold`].
+//! * **Top-k lists** are maintained, not recomputed. Each config keeps
+//!   `K = k + margin` entries; a rerun drops the entries that touch
+//!   changed records (or were newly killed), re-joins only the changed
+//!   slices of the cross product via *masked arena views*, re-scores
+//!   un-killed pairs directly, and merges — the scoring kernel runs only
+//!   for pairs touching the delta. When the surviving prefix falls below
+//!   the report size `k`, that config falls back to one full join
+//!   *seeded* with the survivors (still much cheaper than cold: seeds
+//!   raise the pruning threshold immediately).
+//! * **Killed-set-only diffs** are the fast path: every join is reused
+//!   verbatim; newly-killed pairs are dropped from the lists and
+//!   un-killed pairs are re-scored directly against the cached arenas.
+//!
+//! ## Exactness
+//!
+//! [`DebugSession::rerun`] returns a [`DebugReport`] **byte-identical**
+//! (metrics aside) to a cold run on the patched tables with the same
+//! normalized parameters, at any thread or shard count. The argument,
+//! config by config, with `v` valid entries before the rerun and `v′`
+//! survivors after dropping the `d` entries that touch the delta:
+//!
+//! * Survivors' scores are unchanged (their records are untouched), and
+//!   every survivor canonically outranks every untouched pair *missing*
+//!   from the kept list — missing pairs were already outranked by the
+//!   old list's last valid entry.
+//! * The delta joins cover exactly the pairs whose scores may have
+//!   changed: `changed_A × B` and `(A ∖ changed_A) × changed_B`; direct
+//!   re-scoring covers un-killed untouched pairs. Entries these produce
+//!   beyond their own `K` capacity are outranked by ≥ `K ≥ v′` merged
+//!   entries, so they cannot enter the merged top-`v′`.
+//! * Therefore the canonical top-`v′` of (survivors ∪ delta joins ∪
+//!   re-scored un-killed pairs) equals the cold K-run's top-`v′`, and
+//!   since `v′ ≥ k` whenever this path is taken, the report's top-`k`
+//!   prefix is exact. Otherwise the config re-joins fully (seeded), which
+//!   is exact by construction.
+//!
+//! Sessions **require** a fixed QJoin `q` ([`QStrategy::Fixed`]): `Auto`
+//! re-selects `q` from prelude-join costs, which the patched state
+//! cannot reproduce bit-identically. The overlap database is likewise
+//! forced off (`reuse_overlaps = false`) — its decomposed-score
+//! approximation depends on which pairs a writer config scored, which
+//! differs between a cold and an incremental execution. Parent→child
+//! top-k seeding is forced off too (`reuse_topk = false`): seeds are
+//! inserted into a child's list verbatim, so with `q > 1` a parent can
+//! leak pairs below the child's q-overlap floor into its list — pairs no
+//! q-join over the child's own universe can rediscover, which makes each
+//! list depend on the whole ancestor chain instead of being the top-K of
+//! one config's candidate universe. With both knobs off, every list is a
+//! pure function of (arena contents, killed set, `k`, `q`, measure) —
+//! the property all of the maintenance above relies on.
+//!
+//! Everything the session computes is instrumented under
+//! `mc.core.incr.*` (see the metrics catalog in `DESIGN.md`).
+
+use crate::config::{ConfigGenerator, ConfigTree, PromisingAttrs};
+use crate::debugger::{DebugReport, DebuggerParams, MatchCatcher, Stage};
+use crate::explain::{explain_match, MatchExplanation};
+use crate::features::FeatureExtractor;
+use crate::joint::{build_arenas, run_joint_with_arenas, CandidateUnion, QStrategy};
+use crate::oracle::Oracle;
+use crate::ssj::{
+    topk_join_sharded, topk_semi_join, ExactScorer, JoinScratchPool, SsjInstance, SsjParams,
+    TopKList,
+};
+use crate::store_io;
+use crate::verify::run_verifier;
+use mc_obs::MetricsSnapshot;
+use mc_store::{ArtifactKind, Digest, Store};
+use mc_strsim::arena::RecordArena;
+use mc_strsim::dict::{IncrementalDict, TokenizedTable};
+use mc_strsim::measures::multiset_overlap;
+use mc_strsim::tokenize::Tokenizer;
+use mc_table::hash::{fx_set, FxHashSet};
+use mc_table::{split_pair_key, IncrTableStats, PairSet, Table, TableDelta, TupleId};
+
+/// Tuning knobs of the incremental update path.
+#[derive(Debug, Clone, Copy)]
+pub struct IncrParams {
+    /// Extra top-k slack per config: sessions maintain `K = k + margin`
+    /// entries so that dropping delta-touched entries usually leaves at
+    /// least `k` survivors (no full re-join). Larger margins make
+    /// re-joins rarer but cost memory and cold-start work.
+    pub margin: usize,
+    /// Arena compaction trigger: when a patched arena's dead-token
+    /// fraction ([`RecordArena::garbage_ratio`]) exceeds this, the arena
+    /// is compacted back into one contiguous buffer.
+    pub compact_threshold: f64,
+}
+
+impl Default for IncrParams {
+    fn default() -> Self {
+        IncrParams {
+            margin: 256,
+            compact_threshold: 0.4,
+        }
+    }
+}
+
+/// A live incremental debugging session: the pipeline's state, kept
+/// between runs so that [`DebugSession::rerun`] can patch it instead of
+/// recomputing it. Created by [`MatchCatcher::start_session`].
+pub struct DebugSession {
+    /// Normalized parameters (fixed `q`, overlap reuse off).
+    params: DebuggerParams,
+    a: Table,
+    b: Table,
+    killed: PairSet,
+    promising: PromisingAttrs,
+    tree: ConfigTree,
+    configs: Vec<crate::config::Config>,
+    tok_a: TokenizedTable,
+    tok_b: TokenizedTable,
+    dict: IncrementalDict,
+    arenas: Vec<(RecordArena, RecordArena)>,
+    /// Per-config maintained entries, canonically sorted (score
+    /// descending, pair key ascending), at most `K = k + margin` long.
+    lists: Vec<Vec<(f64, u64)>>,
+    /// Per-config count of *valid* leading entries: the prefix proven
+    /// equal to a cold K-run's. Entries beyond it may be incomplete
+    /// after incremental rounds and are never reported.
+    valid: Vec<usize>,
+    q: usize,
+    /// Per-table statistics counters, maintained under deltas so a rerun
+    /// reproduces the cold run's promising-attribute selection without
+    /// rescanning two full tables ([`IncrTableStats::snapshot`] equals a
+    /// fresh [`mc_table::TableStats::compute`] exactly).
+    stats_a: IncrTableStats,
+    stats_b: IncrTableStats,
+    /// Warm per-worker join scratches for the maintenance joins; dense
+    /// pair-state capped low because delta joins are candidate-sparse.
+    pool: JoinScratchPool,
+    /// Union key of the most recently published candidate union, the
+    /// `derived_from` provenance of the next one.
+    base_union: Option<Digest>,
+}
+
+/// Canonical entry order: score descending, pair key ascending — the
+/// same total order [`TopKList`] keeps.
+fn canonical_sort(entries: &mut [(f64, u64)]) {
+    entries.sort_unstable_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
+}
+
+/// Dense pair-state budget for the session pool's scratches. Delta joins
+/// pair a handful of changed records against a full table: their
+/// discovered-pair sets are tiny, so the sparse state map wins on memory
+/// (a full-range dense table would be `|A|·|B|/shards` slots) while small
+/// cold-sized rejoins still fit under this cap and stay dense.
+const SESSION_DENSE_CAP: usize = 1 << 20;
+
+impl MatchCatcher {
+    /// Starts an incremental debugging session: runs the full pipeline
+    /// cold (at list size `K = k + margin`) and returns the live session
+    /// plus the first [`DebugReport`].
+    ///
+    /// The session normalizes parameters for incremental exactness:
+    /// `reuse_overlaps` is forced off, and a [`QStrategy::Auto`] `q` is
+    /// rejected (panic) — fix `q` explicitly for sessions. The returned
+    /// report is byte-identical (metrics aside) to [`MatchCatcher::run`]
+    /// with the same normalized parameters.
+    pub fn start_session(
+        &self,
+        a: Table,
+        b: Table,
+        killed: PairSet,
+        oracle: &mut dyn Oracle,
+    ) -> (DebugSession, DebugReport) {
+        if let Err(e) = self.params.validate() {
+            panic!("invalid DebuggerParams: {e}");
+        }
+        let mut params = self.params.clone();
+        let q = match params.joint.q {
+            QStrategy::Fixed(q) => q.max(1),
+            QStrategy::Auto { .. } => panic!(
+                "incremental sessions require QStrategy::Fixed: Auto re-selects q from \
+                 prelude-join costs, which a patched session cannot reproduce bit-identically"
+            ),
+        };
+        params.joint.q = QStrategy::Fixed(q);
+        // The overlap DB's decomposed-score approximation depends on
+        // which pairs each writer scored — execution-order state no
+        // incremental rerun can reproduce. Off, every score comes from
+        // the one exact kernel.
+        params.joint.reuse_overlaps = false;
+        // Parent→child seeding inserts parent pairs verbatim, letting
+        // sub-q-overlap pairs leak into a child's list (see the module
+        // docs); each list must be the top-K of its own config's
+        // universe for incremental maintenance to be exact.
+        params.joint.reuse_topk = false;
+
+        let _obs = params.obs.attach();
+        let baseline = MetricsSnapshot::capture();
+        let (stats_a, stats_b, promising, tree) = {
+            let _span = mc_obs::Span::enter(Stage::Prepare.span_name());
+            let stats_a = IncrTableStats::compute(&a);
+            let stats_b = IncrTableStats::compute(&b);
+            let generator = ConfigGenerator::new(params.config);
+            let promising =
+                generator.promising_from_stats(&a, &stats_a.snapshot(&a), &stats_b.snapshot(&b));
+            assert!(
+                !promising.attrs.is_empty(),
+                "no promising attributes — tables have no usable string/categorical columns"
+            );
+            let tree = generator.build_tree(&promising);
+            (stats_a, stats_b, promising, tree)
+        };
+        let (tok_a, tok_b, dict) = {
+            let _span = mc_obs::Span::enter(Stage::Prepare.span_name());
+            let (tok_a, tok_b, order, dict) =
+                TokenizedTable::build_pair_retained(&a, &b, &promising.attrs, Tokenizer::Word);
+            (tok_a, tok_b, IncrementalDict::new(dict, &order))
+        };
+        let configs = tree.configs();
+        let pool = JoinScratchPool::new(params.joint.threads.max(1));
+        pool.set_dense_cap(SESSION_DENSE_CAP);
+        let mut session = DebugSession {
+            params,
+            a,
+            b,
+            killed,
+            promising,
+            tree,
+            configs,
+            tok_a,
+            tok_b,
+            dict,
+            arenas: Vec::new(),
+            lists: Vec::new(),
+            valid: Vec::new(),
+            q,
+            stats_a,
+            stats_b,
+            pool,
+            base_union: None,
+        };
+        session.cold_joint();
+        let report = session.finish(oracle, baseline);
+        (session, report)
+    }
+}
+
+impl DebugSession {
+    /// The session's normalized parameters.
+    pub fn params(&self) -> &DebuggerParams {
+        &self.params
+    }
+
+    /// Current (patched) table A.
+    pub fn table_a(&self) -> &Table {
+        &self.a
+    }
+
+    /// Current (patched) table B.
+    pub fn table_b(&self) -> &Table {
+        &self.b
+    }
+
+    /// Current killed set `C`.
+    pub fn killed(&self) -> &PairSet {
+        &self.killed
+    }
+
+    /// The maintained list size `K = k + margin`.
+    fn cap(&self) -> usize {
+        self.params.joint.k + self.params.incr.margin
+    }
+
+    /// Builds arenas and runs the joint stage cold at capacity `K`,
+    /// replacing the session's arenas and lists.
+    fn cold_joint(&mut self) {
+        let _span = mc_obs::Span::enter(Stage::TopK.span_name());
+        let threads = self.params.joint.threads.max(1);
+        self.arenas = build_arenas(&self.tok_a, &self.tok_b, &self.configs, threads);
+        let mut jp = self.params.joint;
+        jp.k = self.cap();
+        let out = run_joint_with_arenas(
+            &self.tok_a,
+            &self.tok_b,
+            &self.killed,
+            &self.tree,
+            jp,
+            &self.arenas,
+        );
+        self.q = out.q_used;
+        self.lists = out.lists.iter().map(TopKList::sorted_entries).collect();
+        self.valid = self.lists.iter().map(Vec::len).collect();
+    }
+
+    /// Re-runs the debugger against patched state.
+    ///
+    /// `delta_a` / `delta_b` edit the tables (pass
+    /// [`TableDelta::new()`] for "unchanged"); `new_killed` replaces the
+    /// killed set (`None` keeps the current one — with empty deltas that
+    /// makes the rerun a pure replay). Both deltas are validated before
+    /// either is applied, so an error leaves the session untouched.
+    ///
+    /// The returned report is byte-identical (metrics aside) to a cold
+    /// run on the patched tables with the session's parameters.
+    pub fn rerun(
+        &mut self,
+        delta_a: &TableDelta,
+        delta_b: &TableDelta,
+        new_killed: Option<PairSet>,
+        oracle: &mut dyn Oracle,
+    ) -> Result<DebugReport, mc_table::DeltaError> {
+        let _obs = self.params.obs.attach();
+        let baseline = MetricsSnapshot::capture();
+        let _span = mc_obs::span!("mc.core.incr.rerun");
+        mc_obs::counter!("mc.core.incr.reruns").inc();
+
+        delta_a.validate(&self.a)?;
+        delta_b.validate(&self.b)?;
+
+        // Killed-set diff, computed against the *current* killed set
+        // before it is replaced. Sorted for deterministic iteration.
+        let (newly_killed, unkilled) = match &new_killed {
+            Some(nk) => {
+                let _span = mc_obs::span!("mc.core.incr.killed_diff");
+                let mut newly: Vec<u64> = nk
+                    .iter()
+                    .filter(|&(x, y)| !self.killed.contains(x, y))
+                    .map(|(x, y)| mc_table::pair_key(x, y))
+                    .collect();
+                let mut unk: Vec<u64> = self
+                    .killed
+                    .iter()
+                    .filter(|&(x, y)| !nk.contains(x, y))
+                    .map(|(x, y)| mc_table::pair_key(x, y))
+                    .collect();
+                newly.sort_unstable();
+                unk.sort_unstable();
+                (newly, unk)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        let tables_changed = !delta_a.is_empty() || !delta_b.is_empty();
+        if !tables_changed && new_killed.is_some() {
+            mc_obs::counter!("mc.core.incr.killed_fast_path").inc();
+        }
+
+        let (changed_a, changed_b) = if tables_changed {
+            // Fold the deltas into the stats counters against the
+            // pre-patch rows, then patch the tables.
+            self.stats_a.apply_delta(&self.a, delta_a);
+            self.stats_b.apply_delta(&self.b, delta_b);
+            let ca = delta_a.apply(&mut self.a)?;
+            let cb = delta_b.apply(&mut self.b)?;
+            mc_obs::counter!("mc.core.incr.records_patched").add((ca.len() + cb.len()) as u64);
+            (ca, cb)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        if let Some(nk) = new_killed {
+            self.killed = nk;
+        }
+
+        if tables_changed {
+            // The promising attribute set and the config tree are
+            // functions of table statistics, so edits can change them.
+            // Recompute both; if either differs from the session's, the
+            // maintained lists describe the wrong configs — fall back to
+            // a full cold rebuild (exact by construction).
+            let generator = ConfigGenerator::new(self.params.config);
+            let promising = {
+                let _span = mc_obs::span!("mc.core.incr.promising");
+                generator.promising_from_stats(
+                    &self.a,
+                    &self.stats_a.snapshot(&self.a),
+                    &self.stats_b.snapshot(&self.b),
+                )
+            };
+            assert!(
+                !promising.attrs.is_empty(),
+                "no promising attributes left after patching"
+            );
+            let tree = generator.build_tree(&promising);
+            let same_shape = promising.attrs == self.promising.attrs
+                && tree.configs() == self.configs
+                && (0..tree.len()).all(|i| tree.parent(i) == self.tree.parent(i));
+            if !same_shape {
+                mc_obs::counter!("mc.core.incr.full_rebuilds").inc();
+                self.promising = promising;
+                self.tree = tree;
+                self.configs = self.tree.configs();
+                let (tok_a, tok_b, order, dict) = TokenizedTable::build_pair_retained(
+                    &self.a,
+                    &self.b,
+                    &self.promising.attrs,
+                    Tokenizer::Word,
+                );
+                self.tok_a = tok_a;
+                self.tok_b = tok_b;
+                self.dict = IncrementalDict::new(dict, &order);
+                self.cold_joint();
+                return Ok(self.finish(oracle, baseline));
+            }
+            // Stats (e-scores, average token counts) may still have
+            // drifted; adopt the recomputed set so the session's view
+            // matches what a cold run would report.
+            self.promising = promising;
+            self.patch_tokenized(&changed_a, &changed_b);
+        }
+
+        let changed_a: FxHashSet<TupleId> = changed_a.into_iter().collect();
+        let changed_b: FxHashSet<TupleId> = changed_b.into_iter().collect();
+        self.maintain_lists(&changed_a, &changed_b, &newly_killed, &unkilled);
+        Ok(self.finish(oracle, baseline))
+    }
+
+    /// Patches the tokenized tables and every config arena for the
+    /// changed rows, compacting arenas whose garbage ratio passed the
+    /// threshold.
+    fn patch_tokenized(&mut self, changed_a: &[TupleId], changed_b: &[TupleId]) {
+        let _span = mc_obs::span!("mc.core.incr.patch");
+        let attrs = self.promising.attrs.clone();
+        // `apply` reports updates/deletes first, then inserts in
+        // ascending id order, so `push_row` ids line up.
+        for &id in changed_a {
+            let per_attr = self
+                .dict
+                .retokenize_row(&self.a, id, &attrs, Tokenizer::Word);
+            if (id as usize) < self.tok_a.rows() {
+                self.tok_a.set_row(id, per_attr);
+            } else {
+                let nid = self.tok_a.push_row(per_attr);
+                debug_assert_eq!(nid, id, "insert ids must be dense");
+            }
+        }
+        for &id in changed_b {
+            let per_attr = self
+                .dict
+                .retokenize_row(&self.b, id, &attrs, Tokenizer::Word);
+            if (id as usize) < self.tok_b.rows() {
+                self.tok_b.set_row(id, per_attr);
+            } else {
+                let nid = self.tok_b.push_row(per_attr);
+                debug_assert_eq!(nid, id, "insert ids must be dense");
+            }
+        }
+        let threshold = self.params.incr.compact_threshold;
+        for (ci, (arena_a, arena_b)) in self.arenas.iter_mut().enumerate() {
+            let pos = self.configs[ci].positions();
+            for (arena, tok, changed) in [
+                (&mut *arena_a, &self.tok_a, changed_a),
+                (&mut *arena_b, &self.tok_b, changed_b),
+            ] {
+                for &id in changed {
+                    let merged = tok.merged(&pos, id);
+                    if (id as usize) < arena.len() {
+                        arena.patch_record(id, &merged);
+                    } else {
+                        let nid = arena.push_record(&merged);
+                        debug_assert_eq!(nid, id, "arena inserts must be dense");
+                    }
+                }
+                if arena.garbage_ratio() > threshold {
+                    arena.compact();
+                    mc_obs::counter!("mc.core.incr.compactions").inc();
+                }
+            }
+        }
+    }
+
+    /// Incrementally maintains every config's top-K entries after a
+    /// patch and/or killed-set diff. See the module docs for the
+    /// exactness argument.
+    fn maintain_lists(
+        &mut self,
+        changed_a: &FxHashSet<TupleId>,
+        changed_b: &FxHashSet<TupleId>,
+        newly_killed: &[u64],
+        unkilled: &[u64],
+    ) {
+        let _span = mc_obs::Span::enter(Stage::TopK.span_name());
+        let cap = self.cap();
+        let k = self.params.joint.k;
+        let ssj = SsjParams {
+            k: cap,
+            q: self.q,
+            measure: self.params.joint.measure,
+        };
+        let measure = self.params.joint.measure;
+        let newly_killed: FxHashSet<u64> = newly_killed.iter().copied().collect();
+        let threads = self.params.joint.threads.max(1);
+        let mut rescored = 0u64;
+        let mut reused = 0u64;
+        let mut rejoins = 0u64;
+
+        for i in 0..self.configs.len() {
+            let (arena_a, arena_b) = &self.arenas[i];
+            let survivors: Vec<(f64, u64)> = self.lists[i][..self.valid[i]]
+                .iter()
+                .copied()
+                .filter(|&(_, p)| {
+                    let (x, y) = split_pair_key(p);
+                    !changed_a.contains(&x) && !changed_b.contains(&y) && !newly_killed.contains(&p)
+                })
+                .collect();
+            reused += survivors.len() as u64;
+
+            if survivors.len() < k {
+                // Too few survivors to guarantee an exact top-k prefix
+                // from merging: one full join, seeded with the
+                // survivors (their scores are still valid, so the
+                // threshold starts high).
+                rejoins += 1;
+                let inst = SsjInstance {
+                    records_a: arena_a,
+                    records_b: arena_b,
+                    killed: &self.killed,
+                };
+                // Fresh-merge counts come from the kernel's own counter:
+                // per-scratch counters are out of reach inside the
+                // sharded workers.
+                let scored_before = MetricsSnapshot::capture();
+                let list = topk_join_sharded(
+                    inst,
+                    ssj,
+                    |_| ExactScorer(measure),
+                    &survivors,
+                    None,
+                    threads,
+                    threads,
+                    Some(&self.pool),
+                );
+                rescored += MetricsSnapshot::capture()
+                    .since(&scored_before)
+                    .counter("mc.core.ssj.scored");
+                self.lists[i] = list.sorted_entries();
+                self.valid[i] = self.lists[i].len();
+                continue;
+            }
+
+            // Delta joins over masked views: every pair whose score may
+            // have changed has an endpoint in a changed set, and the two
+            // views partition those pairs (changed_A × B, then
+            // unchanged_A × changed_B). Each join is seeded with the
+            // best entries known so far — exactness does not need the
+            // seeds, only the thresholds they raise. Both run the
+            // heap-free semi-join with the changed set as the posted
+            // side: the full table streams past a tiny postings index,
+            // which beats the event kernel's per-token heap ops by an
+            // order of magnitude and is bit-identical to it.
+            let mut contributions: Vec<(f64, u64)> = Vec::new();
+            let mut scratch = self.pool.lock_slot(0);
+            if !changed_a.is_empty() {
+                let masked = {
+                    let _s = mc_obs::span!("mc.core.incr.mask");
+                    arena_a.masked_view(|t| changed_a.contains(&t))
+                };
+                let inst = SsjInstance {
+                    records_a: &masked,
+                    records_b: arena_b,
+                    killed: &self.killed,
+                };
+                let _s = mc_obs::span!("mc.core.incr.j1");
+                let j1 = topk_semi_join(
+                    inst,
+                    ssj,
+                    &ExactScorer(measure),
+                    &survivors,
+                    None,
+                    &mut scratch,
+                    0,
+                );
+                rescored += scratch.last_scored();
+                contributions.extend(j1.sorted_entries());
+            }
+            if !changed_b.is_empty() {
+                let (masked_a, masked_b) = {
+                    let _s = mc_obs::span!("mc.core.incr.mask");
+                    (
+                        arena_a.masked_view(|t| !changed_a.contains(&t)),
+                        arena_b.masked_view(|t| changed_b.contains(&t)),
+                    )
+                };
+                let inst = SsjInstance {
+                    records_a: &masked_a,
+                    records_b: &masked_b,
+                    killed: &self.killed,
+                };
+                let seed = if contributions.is_empty() {
+                    &survivors
+                } else {
+                    &contributions
+                };
+                let _s = mc_obs::span!("mc.core.incr.j2");
+                let j2 = topk_semi_join(
+                    inst,
+                    ssj,
+                    &ExactScorer(measure),
+                    seed,
+                    None,
+                    &mut scratch,
+                    1,
+                );
+                rescored += scratch.last_scored();
+                contributions.extend(j2.sorted_entries());
+            }
+            drop(scratch);
+            // Un-killed untouched pairs re-enter the candidate universe;
+            // delta joins already cover un-killed pairs with a changed
+            // endpoint. Membership mirrors QJoin: at least `q` common
+            // tokens (any pair beating the final threshold with ≥ q
+            // common tokens is guaranteed discovered by a cold join, so
+            // over-covering below the threshold is harmless — such pairs
+            // cannot enter the valid prefix).
+            for &p in unkilled {
+                let (x, y) = split_pair_key(p);
+                if (x as usize) >= arena_a.len()
+                    || (y as usize) >= arena_b.len()
+                    || changed_a.contains(&x)
+                    || changed_b.contains(&y)
+                    || self.killed.contains_key(p)
+                {
+                    continue;
+                }
+                let (ra, rb) = (arena_a.record(x), arena_b.record(y));
+                let o = multiset_overlap(ra, rb);
+                if o >= self.q {
+                    rescored += 1;
+                    contributions.push((measure.from_overlap(o, ra.len(), rb.len()), p));
+                }
+            }
+
+            // Merge, dedup by pair key (duplicate keys always carry the
+            // same score — every path computes the one exact kernel),
+            // and keep the canonical top K. Only the top `v′` prefix is
+            // proven exact; the tail stays as future merge fodder but is
+            // never reported.
+            let v2 = survivors.len();
+            let mut seen: FxHashSet<u64> = fx_set();
+            let mut merged: Vec<(f64, u64)> = Vec::with_capacity(v2 + contributions.len());
+            for (s, p) in survivors.into_iter().chain(contributions) {
+                if seen.insert(p) {
+                    merged.push((s, p));
+                }
+            }
+            canonical_sort(&mut merged);
+            merged.truncate(cap);
+            self.lists[i] = merged;
+            self.valid[i] = v2.min(self.lists[i].len());
+        }
+        mc_obs::counter!("mc.core.incr.pairs_rescored").add(rescored);
+        mc_obs::counter!("mc.core.incr.pairs_reused").add(reused);
+        mc_obs::counter!("mc.core.incr.full_rejoins").add(rejoins);
+    }
+
+    /// Builds the report from the maintained lists: truncate each
+    /// config's valid prefix to `k`, build the union, verify, explain,
+    /// publish. Identical to what [`MatchCatcher::run`]'s tail does with
+    /// a cold joint output.
+    fn finish(&mut self, oracle: &mut dyn Oracle, baseline: MetricsSnapshot) -> DebugReport {
+        let k = self.params.joint.k;
+        let union = {
+            let k_lists: Vec<TopKList> = self
+                .lists
+                .iter()
+                .zip(&self.valid)
+                .map(|(entries, &valid)| {
+                    let mut l = TopKList::new(k);
+                    for &(s, p) in &entries[..valid] {
+                        l.insert(s, p);
+                    }
+                    l
+                })
+                .collect();
+            CandidateUnion::build(&k_lists)
+        };
+        let outcome = {
+            let _span = mc_obs::Span::enter(Stage::Verify.span_name());
+            let fx = FeatureExtractor::new(
+                &self.a,
+                &self.b,
+                &self.promising.attrs,
+                &self.tok_a,
+                &self.tok_b,
+            );
+            run_verifier(&union, &fx, oracle, &self.params.verifier)
+        };
+        let (confirmed, explanations, problems) = {
+            let _span = mc_obs::Span::enter(Stage::Explain.span_name());
+            let confirmed: Vec<(TupleId, TupleId)> =
+                outcome.matches.iter().map(|&p| split_pair_key(p)).collect();
+            let explanations: Vec<MatchExplanation> = confirmed
+                .iter()
+                .map(|&(x, y)| explain_match(&self.a, &self.b, x, y))
+                .collect();
+            let problems = crate::explain::summarize_problems(&explanations, self.a.schema());
+            (confirmed, explanations, problems)
+        };
+        self.publish_union(&union);
+        let metrics = MetricsSnapshot::capture().since(&baseline);
+        DebugReport {
+            promising: self.promising.attrs.clone(),
+            configs: self.configs.clone(),
+            e_size: union.len(),
+            confirmed_matches: confirmed,
+            iterations: outcome.iterations,
+            labeled: outcome.labeled,
+            explanations,
+            problems,
+            q_used: self.q,
+            metrics,
+        }
+    }
+
+    /// Publishes the candidate union under the *patched* tables' content
+    /// keys, recording the previous union's key as its `derived_from`
+    /// provenance — store tooling can walk an incremental chain back to
+    /// its cold ancestor. No-op without a configured store; store
+    /// failures degrade silently (counted), exactly like the cold path.
+    fn publish_union(&mut self, union: &CandidateUnion) {
+        let Some(config) = self.params.store.as_ref() else {
+            return;
+        };
+        let store = match Store::open(config) {
+            Ok(s) => s,
+            Err(_) => {
+                mc_obs::counter!("mc.store.open_failed").inc();
+                return;
+            }
+        };
+        let tok = store_io::tok_key(
+            self.a.content_digest(),
+            self.b.content_digest(),
+            &self.promising.attrs,
+            Tokenizer::Word,
+        );
+        // Keyed at the *report* k with the session's normalized params:
+        // the published bytes are exactly what a cold run with these
+        // params would produce, so the key must be the one that cold run
+        // would derive.
+        let ukey = store_io::union_key(tok, &self.tree, &self.params.joint, &self.killed);
+        store.publish(
+            ArtifactKind::CandidateUnion,
+            ukey,
+            &store_io::encode_union_with_base(&self.configs, self.q, union, self.base_union),
+        );
+        self.base_union = Some(ukey);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GoldOracle;
+    use crate::verify::IterationRecord;
+    use mc_blocking::{Blocker, KeyFunc};
+    use mc_datagen::profiles::DatasetProfile;
+    use mc_table::{AttrId, RowEdit};
+
+    /// The result-bearing report fields, metrics excluded.
+    type Summary = (
+        Vec<(TupleId, TupleId)>,
+        usize,
+        usize,
+        usize,
+        Vec<IterationRecord>,
+        Vec<(String, usize)>,
+    );
+
+    fn summarize(r: &DebugReport) -> Summary {
+        (
+            r.confirmed_matches.clone(),
+            r.e_size,
+            r.q_used,
+            r.labeled,
+            r.iterations.clone(),
+            r.problems.clone(),
+        )
+    }
+
+    fn fixture() -> (Table, Table, PairSet, mc_table::GoldMatches) {
+        let ds = DatasetProfile::FodorsZagats.generate_scaled(11, 0.4);
+        let killed = Blocker::Hash(KeyFunc::Attr(AttrId(0))).apply(&ds.a, &ds.b);
+        (ds.a, ds.b, killed, ds.gold)
+    }
+
+    fn params() -> DebuggerParams {
+        let mut p = DebuggerParams::small();
+        p.incr.margin = 16;
+        p
+    }
+
+    #[test]
+    fn session_start_matches_one_shot_run() {
+        let (a, b, killed, gold) = fixture();
+        let mc = MatchCatcher::new(params());
+        let mut normalized = params();
+        normalized.joint.reuse_overlaps = false;
+        normalized.joint.reuse_topk = false;
+        let cold =
+            MatchCatcher::new(normalized).run(&a, &b, &killed, &mut GoldOracle::exact(&gold));
+        let (_, start) = mc.start_session(a, b, killed, &mut GoldOracle::exact(&gold));
+        assert_eq!(summarize(&cold), summarize(&start));
+        assert!(
+            !start.confirmed_matches.is_empty(),
+            "fixture recovers matches"
+        );
+    }
+
+    #[test]
+    fn empty_rerun_replays_identically() {
+        let (a, b, killed, gold) = fixture();
+        let mc = MatchCatcher::new(params());
+        let mut oracle = GoldOracle::exact(&gold);
+        let (mut session, start) = mc.start_session(a, b, killed, &mut oracle);
+        let again = session
+            .rerun(&TableDelta::new(), &TableDelta::new(), None, &mut oracle)
+            .unwrap();
+        assert_eq!(summarize(&start), summarize(&again));
+    }
+
+    #[test]
+    fn delta_rerun_matches_cold_session_on_patched_tables() {
+        let (a, b, killed, gold) = fixture();
+        let mc = MatchCatcher::new(params());
+        let mut oracle = GoldOracle::exact(&gold);
+        let (mut session, _) = mc.start_session(a, b, killed, &mut oracle);
+
+        // Update one A row, delete another, insert a B row.
+        let donor_a = session.table_a().tuple(1).clone();
+        let donor_b = session.table_b().tuple(0).clone();
+        let delta_a = TableDelta {
+            updates: vec![RowEdit {
+                id: 0,
+                tuple: donor_a,
+            }],
+            deletes: vec![3],
+            inserts: Vec::new(),
+        };
+        let delta_b = TableDelta {
+            updates: Vec::new(),
+            deletes: Vec::new(),
+            inserts: vec![donor_b],
+        };
+        let incr = session
+            .rerun(&delta_a, &delta_b, None, &mut oracle)
+            .unwrap();
+
+        let (_, cold) = mc.start_session(
+            session.table_a().clone(),
+            session.table_b().clone(),
+            session.killed().clone(),
+            &mut GoldOracle::exact(&gold),
+        );
+        assert_eq!(summarize(&cold), summarize(&incr));
+    }
+
+    #[test]
+    fn killed_only_rerun_matches_cold_session() {
+        let (a, b, killed, gold) = fixture();
+        let mc = MatchCatcher::new(params());
+        let mut oracle = GoldOracle::exact(&gold);
+        let (mut session, _) = mc.start_session(a, b, killed.clone(), &mut oracle);
+
+        // Shrink and grow the killed set: un-kill half, kill fresh pairs.
+        let mut nk = PairSet::new();
+        for (i, (x, y)) in killed.iter().enumerate() {
+            if i % 2 == 0 {
+                nk.insert(x, y);
+            }
+        }
+        nk.insert(0, 0);
+        nk.insert(1, 1);
+        let before = MetricsSnapshot::capture();
+        let incr = session
+            .rerun(
+                &TableDelta::new(),
+                &TableDelta::new(),
+                Some(nk),
+                &mut oracle,
+            )
+            .unwrap();
+        let delta = MetricsSnapshot::capture().since(&before);
+        assert!(delta.counter("mc.core.incr.killed_fast_path") > 0);
+
+        let (_, cold) = mc.start_session(
+            session.table_a().clone(),
+            session.table_b().clone(),
+            session.killed().clone(),
+            &mut GoldOracle::exact(&gold),
+        );
+        assert_eq!(summarize(&cold), summarize(&incr));
+    }
+
+    #[test]
+    #[should_panic(expected = "QStrategy::Fixed")]
+    fn auto_q_is_rejected() {
+        let (a, b, killed, gold) = fixture();
+        let mut p = params();
+        p.joint.q = QStrategy::Auto {
+            max_q: 3,
+            prelude_k: 50,
+        };
+        MatchCatcher::new(p).start_session(a, b, killed, &mut GoldOracle::exact(&gold));
+    }
+
+    #[test]
+    fn invalid_delta_leaves_session_intact() {
+        let (a, b, killed, gold) = fixture();
+        let mc = MatchCatcher::new(params());
+        let mut oracle = GoldOracle::exact(&gold);
+        let (mut session, start) = mc.start_session(a, b, killed, &mut oracle);
+        let bad = TableDelta {
+            updates: Vec::new(),
+            deletes: vec![TupleId::MAX],
+            inserts: Vec::new(),
+        };
+        assert!(session
+            .rerun(&bad, &TableDelta::new(), None, &mut oracle)
+            .is_err());
+        let again = session
+            .rerun(&TableDelta::new(), &TableDelta::new(), None, &mut oracle)
+            .unwrap();
+        assert_eq!(summarize(&start), summarize(&again));
+    }
+}

@@ -44,7 +44,7 @@
 use crate::config::{Config, ConfigTree};
 use crate::ssj::{
     select_q_cached, topk_join_sharded, topk_join_with_scratch, ExactScorer, JoinScratch,
-    PairScorer, ScoreCache, ScoreOutcome, SsjInstance, SsjParams, TopKList,
+    JoinScratchPool, PairScorer, ScoreCache, ScoreOutcome, SsjInstance, SsjParams, TopKList,
 };
 use mc_strsim::arena::RecordArena;
 use mc_strsim::bitmap::{overlap_with_bound_bitmap, BitmapIndex};
@@ -462,6 +462,20 @@ impl PairScorer for ReuseScorer<'_> {
             }
         }
         self.misses.set(self.misses.get() + 1);
+        // The prelude score cache is consulted before the writer branch:
+        // writer roots (the common case when reuse is engaged) would
+        // otherwise never reach it and re-merge every prelude-scored
+        // pair. A cached pair skips the cell computation too — its cells
+        // are simply absent from the writer's DB, which is safe (children
+        // miss and recompute exactly) and deterministic (the cache's
+        // contents are fixed by the prelude join before this run starts,
+        // so the subtree's hit/miss pattern still does not depend on any
+        // transient top-k threshold).
+        if let Some(cache) = self.score_cache {
+            if let Some(s) = cache.get(key) {
+                return ScoreOutcome::Cached(s);
+            }
+        }
         if let Some(own) = self.own_db {
             // A writer computes the full cell matrix for every fresh pair
             // regardless of the gate — its subtree's hit/miss pattern
@@ -482,13 +496,6 @@ impl PairScorer for ReuseScorer<'_> {
             );
             own.insert(key, scratch.cells.as_slice().into());
             return ScoreOutcome::Scored(self.measure.from_overlap(overlap, ra.len(), rb.len()));
-        }
-        // Read-only configs can consult the prelude score cache — their
-        // scores are throwaway, so skipping the merge is always safe.
-        if let Some(cache) = self.score_cache {
-            if let Some(s) = cache.get(key) {
-                return ScoreOutcome::Cached(s);
-            }
         }
         // Same kernel as `SetMeasure::score_above`, with the required
         // overlap served from the per-gate memo (bit-identical boundary;
@@ -618,6 +625,16 @@ pub struct JointParams {
     /// Minimum average merged record length (tokens) for overlap reuse to
     /// engage (the paper's `t = 20`).
     pub reuse_min_avg_tokens: f64,
+    /// Clamp the effective shard count to the machine's available
+    /// parallelism (default `true`). Requesting more shards than cores
+    /// only adds scratch/merge overhead — the scale bench measured a
+    /// 0.66× *slowdown* at 8 shards on a 1-core host — so the executor
+    /// runs `min(shards, max(cores, 2))` instead; the floor of 2 keeps a
+    /// sharded request sharded (same reuse-off semantics, so results
+    /// stay machine-independent). Results are bit-identical at every
+    /// shard count, so the clamp never changes output — benches that
+    /// record shard-dependent work counters opt out for reproducibility.
+    pub clamp_shards: bool,
 }
 
 impl Default for JointParams {
@@ -632,6 +649,7 @@ impl Default for JointParams {
             reuse_overlaps: true,
             reuse_topk: true,
             reuse_min_avg_tokens: 20.0,
+            clamp_shards: true,
         }
     }
 }
@@ -766,7 +784,24 @@ pub fn run_joint_with_arenas(
     // would vary with the shard count. With the DB off, every score
     // comes from the same exact kernel and the output is bit-identical
     // at every shard count (`topk_join_sharded`'s guarantee).
-    let shards = params.shards.max(1);
+    let shards_requested = params.shards.max(1);
+    // Shard clamp (`JointParams::clamp_shards`): more shards than cores
+    // is pure overhead. The floor of 2 matters for semantics, not speed:
+    // `shards == 1` re-enables the overlap DB, so clamping a sharded
+    // request all the way to 1 on a small machine would change which
+    // score path runs — and with it the output — by host. Keeping a
+    // sharded request at ≥ 2 shards preserves the reuse-off contract,
+    // and sharded results are bit-identical at every shard count.
+    let shards = if params.clamp_shards && shards_requested > 1 {
+        let cores = std::thread::available_parallelism().map_or(shards_requested, |p| p.get());
+        shards_requested.min(cores.max(2))
+    } else {
+        shards_requested
+    };
+    mc_obs::gauge!("mc.core.joint.shards_effective").set(shards as i64);
+    if shards < shards_requested {
+        mc_obs::counter!("mc.core.joint.shards_clamped").inc();
+    }
     let reuse = params.reuse_overlaps && shards == 1 && avg_len >= params.reuse_min_avg_tokens;
 
     // One overlap DB per writer (expanded) config.
@@ -814,8 +849,13 @@ pub fn run_joint_with_arenas(
     let misses = AtomicUsize::new(0);
 
     // Under sharding, parallelism moves inside each join: one config at
-    // a time, `threads` workers over its record-range shards.
+    // a time, `threads` workers over its record-range shards. The
+    // scratch pool is shared by every config's sharded join — building
+    // a fresh `JoinScratch` per shard per config was the scale bench's
+    // dominant allocation source (each scratch's dense postings index
+    // is one `Vec` per token rank).
     let workers = if shards > 1 { 1 } else { threads };
+    let scratch_pool = (shards > 1).then(|| JoinScratchPool::new(threads.clamp(1, shards)));
 
     mc_obs::gauge!("mc.core.joint.workers").set(threads as i64);
     mc_obs::gauge!("mc.core.joint.q_used").set(q_used as i64);
@@ -955,6 +995,7 @@ pub fn run_joint_with_arenas(
                             None,
                             shards,
                             threads,
+                            scratch_pool.as_ref(),
                         )
                     } else {
                         topk_join_with_scratch(inst, ssj_params, &scorer, &seed, None, &mut scratch)

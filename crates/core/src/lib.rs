@@ -68,6 +68,7 @@ pub mod config;
 pub mod debugger;
 pub mod explain;
 pub mod features;
+pub mod incr;
 pub mod joint;
 pub mod oracle;
 pub mod pervasive;
@@ -78,5 +79,6 @@ pub mod verify;
 
 pub use config::{Config, ConfigGenerator, ConfigTree};
 pub use debugger::{DebugReport, DebuggerParams, MatchCatcher};
+pub use incr::{DebugSession, IncrParams};
 pub use oracle::{GoldOracle, Oracle};
 pub use ssj::{SsjParams, TopKList};

@@ -484,6 +484,10 @@ const DENSE_STATES_MAX: usize = 1 << 23;
 const SCORED_BIT: u64 = 1 << 31;
 const COMMON_MASK: u64 = SCORED_BIT - 1;
 
+/// Scored flag of [`topk_semi_join`]'s per-probe-record pair states
+/// (low bits hold the pair's common-token count).
+const SEMI_SCORED: u32 = 1 << 31;
+
 /// What a per-incidence state advance tells the event loop to do.
 enum Step {
     /// The pair has fewer than `q` common tokens so far.
@@ -510,6 +514,9 @@ enum StateTable<'s> {
         /// First A-record id of the covered range; dense rows are
         /// indexed relative to it.
         a_lo: TupleId,
+        /// First B-record id of the covered range (`nb` counts records
+        /// from here); dense columns are indexed relative to it.
+        b_lo: TupleId,
     },
     Sparse {
         map: &'s mut FxHashMap<u64, PairState>,
@@ -527,8 +534,9 @@ impl StateTable<'_> {
                 gen,
                 nb,
                 a_lo,
+                b_lo,
             } => {
-                let slot = &mut slots[(a - *a_lo) as usize * *nb + b as usize];
+                let slot = &mut slots[(a - *a_lo) as usize * *nb + (b - *b_lo) as usize];
                 if (*slot >> 32) != *gen {
                     *discovered += 1;
                     *slot = *gen << 32;
@@ -577,9 +585,11 @@ impl StateTable<'_> {
                 gen,
                 nb,
                 a_lo,
+                b_lo,
             } => {
                 let (a, b) = split_pair_key(key);
-                slots[(a - *a_lo) as usize * *nb + b as usize] = (*gen << 32) | SCORED_BIT;
+                slots[(a - *a_lo) as usize * *nb + (b - *b_lo) as usize] =
+                    (*gen << 32) | SCORED_BIT;
             }
             StateTable::Sparse { map } => {
                 map.insert(
@@ -657,9 +667,23 @@ pub struct JoinScratch {
     scored_tokens: u64,
     /// Scoring attempts the most recent join refuted via merge abort.
     merge_aborts: u64,
+    /// Pairs the most recent join actually scored (completed merges that
+    /// produced a fresh score, cache hits and aborts excluded).
+    scored: u64,
     /// Scoring attempts the most recent join served from a cache
     /// (score cache or overlap database) without a fresh merge.
     cache_served: u64,
+    /// [`topk_semi_join`] pair state, indexed by post-side record id:
+    /// the probe generation that last touched the pair and its
+    /// common-token count (high bit = scored). Valid only while one
+    /// probe record's scan is live — one-directional processing means a
+    /// pair's incidences never span two probe records — so two flat
+    /// arrays replace the event loop's whole state table.
+    semi_stamp: Vec<u32>,
+    semi_common: Vec<u32>,
+    /// Current probe generation (bumped per probe record; wrapping
+    /// clears the stamps).
+    semi_gen: u32,
     /// Dense pair-state slot budget override; `0` means
     /// [`DENSE_STATES_MAX`]. Exposed via [`JoinScratch::set_dense_cap`]
     /// so tests can force the sparse fallback on small inputs.
@@ -722,6 +746,25 @@ impl JoinScratch {
         self.events = 0;
         self.scored_tokens = 0;
         self.merge_aborts = 0;
+        self.scored = 0;
+        self.cache_served = 0;
+    }
+
+    /// Clears the subset of the scratch [`topk_semi_join`] uses: the
+    /// post side's postings, the semi pair-state arrays (generation
+    /// bump), and the work counters. The event loop's per-record arrays,
+    /// state table and heap stay untouched — the semi-join never reads
+    /// them, so delta joins skip megabytes of memsets per call.
+    fn prepare_semi(&mut self, post: usize, n_post: usize, rank_bound: usize) {
+        self.postings[post].reset(rank_bound);
+        if self.semi_stamp.len() < n_post {
+            self.semi_stamp.resize(n_post, 0);
+            self.semi_common.resize(n_post, 0);
+        }
+        self.events = 0;
+        self.scored_tokens = 0;
+        self.merge_aborts = 0;
+        self.scored = 0;
         self.cache_served = 0;
     }
 
@@ -743,6 +786,13 @@ impl JoinScratch {
         self.merge_aborts
     }
 
+    /// Pairs the most recent join scored with a completed merge (fresh
+    /// scores only — cache hits and refuted merges excluded). The
+    /// incremental debugger reads this to account re-scoring work.
+    pub fn last_scored(&self) -> u64 {
+        self.scored
+    }
+
     /// Scoring attempts the most recent join answered from a cache.
     pub fn last_cache_served(&self) -> u64 {
         self.cache_served
@@ -759,6 +809,52 @@ impl JoinScratch {
     /// the sparse fallback path on small inputs.
     pub fn set_dense_cap(&mut self, cap: usize) {
         self.dense_cap = cap;
+    }
+}
+
+/// A pool of [`JoinScratch`] buffers shared across consecutive
+/// [`topk_join_sharded`] calls.
+///
+/// Without a pool every sharded join allocates one fresh scratch per
+/// worker, and a scratch is *expensive* to warm up: its dense postings
+/// index holds one `Vec` per token rank (hundreds of thousands on real
+/// vocabularies). A joint run executes one sharded join per config, so
+/// `shards × configs` scratches were built and thrown away. The joint
+/// executor instead builds one pool sized to its worker count and passes
+/// it to every config's join; worker `w` of each join locks slot `w`, so
+/// locks are uncontended and each slot's buffers stay warm across
+/// configs (the same steady-state-allocation-free contract
+/// [`topk_join_with_scratch`] gives single-threaded callers).
+pub struct JoinScratchPool {
+    slots: Vec<parking_lot::Mutex<JoinScratch>>,
+}
+
+impl JoinScratchPool {
+    /// A pool with `workers` slots (at least one).
+    pub fn new(workers: usize) -> Self {
+        JoinScratchPool {
+            slots: (0..workers.max(1))
+                .map(|_| parking_lot::Mutex::new(JoinScratch::new()))
+                .collect(),
+        }
+    }
+
+    /// Locks the slot for worker `w` (wrapping if the pool is smaller
+    /// than the caller's worker count).
+    pub(crate) fn lock_slot(&self, w: usize) -> parking_lot::MutexGuard<'_, JoinScratch> {
+        self.slots[w % self.slots.len()].lock()
+    }
+
+    /// Overrides every slot's dense pair-state budget (see
+    /// [`JoinScratch::set_dense_cap`]). The incremental debugger caps
+    /// its session pool: delta joins pair a handful of changed records
+    /// with a full table, so their candidate sets are sparse and a
+    /// full-range dense table would be tens of megabytes per slot for
+    /// no probe-speed win.
+    pub fn set_dense_cap(&self, cap: usize) {
+        for slot in &self.slots {
+            slot.lock().set_dense_cap(cap);
+        }
     }
 }
 
@@ -799,8 +895,26 @@ pub fn topk_join_with_scratch(
         scratch,
         0,
         inst.records_a.len() as TupleId,
+        0,
+        inst.records_b.len() as TupleId,
         None,
     )
+}
+
+/// Which side's record range [`topk_join_sharded_on`] partitions.
+///
+/// Per-pair work splits across shards either way (a pair lands in
+/// exactly one shard); what repeats per shard is the *other* side's
+/// per-event bookkeeping. Shard the side whose records dominate the
+/// event count: the incremental debugger joins a handful of changed
+/// records against a full table, and picks the axis that puts the full
+/// table's events into the partitioned side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardAxis {
+    /// Partition `[0, |A|)` into contiguous A-record ranges.
+    A,
+    /// Partition `[0, |B|)` into contiguous B-record ranges.
+    B,
 }
 
 /// Slack for comparisons between a *prefix bound* and the list
@@ -873,14 +987,16 @@ impl SharedBound {
 }
 
 /// The event loop of [`topk_join_with_scratch`], restricted to A-records
-/// in `[a_lo, a_hi)` — the unit of work of one shard of
-/// [`topk_join_sharded`]. All of B participates: a pair `(a, b)` is
-/// discovered by whichever side's prefix event hits the other's posting
-/// list, and with A-postings holding only the range's records, exactly
-/// the pairs with `a ∈ [a_lo, a_hi)` are discovered. Per-pair work
-/// (state advance, scoring) is therefore perfectly partitioned across
-/// disjoint ranges; only B's per-event bookkeeping is repeated per
-/// shard. The full join is the `[0, |A|)` range.
+/// in `[a_lo, a_hi)` and B-records in `[b_lo, b_hi)` — the unit of work
+/// of one shard of [`topk_join_sharded_on`] (which restricts exactly one
+/// of the two ranges per shard). A pair `(a, b)` is discovered by
+/// whichever side's prefix event hits the other's posting list, and with
+/// each side's postings holding only its range's records, exactly the
+/// pairs with `a ∈ [a_lo, a_hi) ∧ b ∈ [b_lo, b_hi)` are discovered.
+/// Per-pair work (state advance, scoring) is therefore perfectly
+/// partitioned across disjoint ranges; only the unrestricted side's
+/// per-event bookkeeping is repeated per shard. The full join is the
+/// `[0, |A|) × [0, |B|)` range.
 ///
 /// `shared` is the cross-shard bound: folded into every prune and gate
 /// decision (max with the local threshold) and raised whenever this
@@ -895,15 +1011,20 @@ fn topk_join_in_range(
     scratch: &mut JoinScratch,
     a_lo: TupleId,
     a_hi: TupleId,
+    b_lo: TupleId,
+    b_hi: TupleId,
     shared: Option<&SharedBound>,
 ) -> TopKList {
     assert!(params.q >= 1, "q must be at least 1");
     assert!(a_lo <= a_hi && a_hi as usize <= inst.records_a.len());
+    assert!(b_lo <= b_hi && b_hi as usize <= inst.records_b.len());
     let credit = params.q - 1;
     let rank_bound = inst.records_a.rank_bound().max(inst.records_b.rank_bound()) as usize;
     let rows = (a_hi - a_lo) as usize;
     let a_off = a_lo as usize;
-    scratch.prepare(rows, inst.records_b.len(), rank_bound);
+    let cols = (b_hi - b_lo) as usize;
+    let b_off = b_lo as usize;
+    scratch.prepare(rows, cols, rank_bound);
     let JoinScratch {
         pos,
         run,
@@ -918,16 +1039,18 @@ fn topk_join_in_range(
         events: scratch_events,
         scored_tokens: scratch_scored_tokens,
         merge_aborts: scratch_merge_aborts,
+        scored: scratch_scored,
         cache_served: scratch_cache_served,
-        dense_cap: _,
+        ..
     } = scratch;
 
     let mut table = if *dense {
         StateTable::Dense {
             slots: &mut dense_states[..],
             gen: *dense_gen as u64,
-            nb: inst.records_b.len(),
+            nb: cols,
             a_lo,
+            b_lo,
         }
     } else {
         StateTable::Sparse { map: states }
@@ -940,8 +1063,8 @@ fn topk_join_in_range(
     for &(score, pair) in seed {
         if !inst.killed.contains_key(pair) {
             k_list.insert(score, pair);
-            let (a, _) = split_pair_key(pair);
-            if a >= a_lo && a < a_hi {
+            let (a, b) = split_pair_key(pair);
+            if a >= a_lo && a < a_hi && b >= b_lo && b < b_hi {
                 table.seed(pair);
             }
         }
@@ -957,12 +1080,13 @@ fn topk_join_in_range(
             });
         }
     }
-    for (r, rec) in inst.records_b.iter().enumerate() {
+    for r in b_lo..b_hi {
+        let rec = inst.records_b.record(r);
         if !rec.is_empty() {
             heap.push(Event {
                 bound: Score(bound_with_credit(params.measure, rec.len(), 1, credit)),
                 side: 1,
-                rec: r as TupleId,
+                rec: r,
             });
         }
     }
@@ -1018,11 +1142,11 @@ fn topk_join_in_range(
             inst.records_b
         };
         let rec = arena.record(ev.rec);
-        // Scratch arrays for side A cover only the `[a_lo, a_hi)` range.
+        // Scratch arrays cover only each side's covered range.
         let idx = if side == 0 {
             ev.rec as usize - a_off
         } else {
-            ev.rec as usize
+            ev.rec as usize - b_off
         };
         let p = pos[side][idx] as usize; // 0-indexed token to process
         let tok = rec[p];
@@ -1140,6 +1264,7 @@ fn topk_join_in_range(
     *scratch_events = n_events;
     *scratch_scored_tokens = n_scored_tokens;
     *scratch_merge_aborts = n_aborted;
+    *scratch_scored = n_scored;
     *scratch_cache_served = n_cached;
     mc_obs::counter!("mc.core.ssj.events").add(n_events);
     mc_obs::counter!("mc.core.ssj.candidates").add(n_discovered);
@@ -1167,6 +1292,12 @@ fn topk_join_in_range(
 /// `make_scorer` builds one scorer per shard on the worker thread that
 /// runs it (scorers are deliberately not `Sync`); it must be cheap and
 /// produce scorers that agree bit-for-bit on every pair.
+///
+/// `pool` optionally supplies per-worker [`JoinScratch`] buffers reused
+/// across calls (see [`JoinScratchPool`]); `None` allocates fresh
+/// scratches as before. The pool never affects results — scratches are
+/// fully re-prepared per join.
+#[allow(clippy::too_many_arguments)]
 pub fn topk_join_sharded<S, F>(
     inst: SsjInstance<'_>,
     params: SsjParams,
@@ -1175,24 +1306,74 @@ pub fn topk_join_sharded<S, F>(
     cancel: Option<&AtomicBool>,
     shards: usize,
     threads: usize,
+    pool: Option<&JoinScratchPool>,
+) -> TopKList
+where
+    S: PairScorer,
+    F: Fn(usize) -> S + Sync,
+{
+    topk_join_sharded_on(
+        inst,
+        params,
+        make_scorer,
+        seed,
+        cancel,
+        shards,
+        threads,
+        pool,
+        ShardAxis::A,
+    )
+}
+
+/// [`topk_join_sharded`] with an explicit shard [`ShardAxis`]: `A`
+/// partitions A-record ranges (the default), `B` partitions B-record
+/// ranges. The bit-identity contract is symmetric — every pair lands in
+/// exactly one shard either way, and the canonical merge is
+/// offer-order-independent — so the axis never changes the result, only
+/// which side's per-event bookkeeping is repeated per shard.
+#[allow(clippy::too_many_arguments)]
+pub fn topk_join_sharded_on<S, F>(
+    inst: SsjInstance<'_>,
+    params: SsjParams,
+    make_scorer: F,
+    seed: &[(f64, u64)],
+    cancel: Option<&AtomicBool>,
+    shards: usize,
+    threads: usize,
+    pool: Option<&JoinScratchPool>,
+    axis: ShardAxis,
 ) -> TopKList
 where
     S: PairScorer,
     F: Fn(usize) -> S + Sync,
 {
     let na = inst.records_a.len();
-    let shards = shards.clamp(1, na.max(1));
+    let nb = inst.records_b.len();
+    let sharded_n = match axis {
+        ShardAxis::A => na,
+        ShardAxis::B => nb,
+    };
+    let shards = shards.clamp(1, sharded_n.max(1));
     if shards == 1 {
         let scorer = make_scorer(0);
-        return topk_join(inst, params, &scorer, seed, cancel);
+        return match pool {
+            Some(p) => {
+                topk_join_with_scratch(inst, params, &scorer, seed, cancel, &mut p.lock_slot(0))
+            }
+            None => topk_join(inst, params, &scorer, seed, cancel),
+        };
     }
     let _span = mc_obs::span!("mc.core.ssj.sharded");
-    let bounds: Vec<(TupleId, TupleId)> = (0..shards)
+    // Each shard covers the full range of one side and a contiguous
+    // slice of the other.
+    let bounds: Vec<(TupleId, TupleId, TupleId, TupleId)> = (0..shards)
         .map(|i| {
-            (
-                (na * i / shards) as TupleId,
-                (na * (i + 1) / shards) as TupleId,
-            )
+            let lo = (sharded_n * i / shards) as TupleId;
+            let hi = (sharded_n * (i + 1) / shards) as TupleId;
+            match axis {
+                ShardAxis::A => (lo, hi, 0, nb as TupleId),
+                ShardAxis::B => (0, na as TupleId, lo, hi),
+            }
         })
         .collect();
     let workers = threads.clamp(1, shards);
@@ -1212,19 +1393,27 @@ where
     }
     let obs = mc_obs::ObsContext::current();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let (next, results, bounds) = (&next, &results, &bounds);
             let (make_scorer, obs, shared) = (&make_scorer, &obs, &shared);
             scope.spawn(move || {
                 let _obs = obs.attach();
-                let mut scratch = JoinScratch::new();
+                // Worker `w` owns pool slot `w`: uncontended, and the
+                // slot's buffers stay warm across consecutive sharded
+                // joins that share the pool.
+                let mut local = None;
+                let mut leased = None;
+                let scratch: &mut JoinScratch = match pool {
+                    Some(p) => &mut *leased.insert(p.lock_slot(w)),
+                    None => local.insert(JoinScratch::new()),
+                };
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= shards {
                         break;
                     }
                     let scorer = make_scorer(i);
-                    let (lo, hi) = bounds[i];
+                    let (a_lo, a_hi, b_lo, b_hi) = bounds[i];
                     // Per-thread CPU time, not wall time: on a host with
                     // fewer cores than workers the scheduler interleaves
                     // shards, and a wall clock would charge each shard
@@ -1236,9 +1425,11 @@ where
                         &scorer,
                         seed,
                         cancel,
-                        &mut scratch,
-                        lo,
-                        hi,
+                        scratch,
+                        a_lo,
+                        a_hi,
+                        b_lo,
+                        b_hi,
                         Some(shared),
                     );
                     let busy = mc_obs::thread_cpu_us().saturating_sub(started);
@@ -1278,6 +1469,275 @@ where
         }
     }
     merged
+}
+
+/// Heap-free one-directional variant of the top-k join for asymmetric
+/// instances: one side is tiny (the incremental debugger's changed set),
+/// the other is a full table.
+///
+/// The event heap exists to interleave both sides' prefix tokens in
+/// global bound order so the list threshold rises as early as possible.
+/// A delta join starts with a threshold that is already near-final — its
+/// seed list is the surviving top-K of the previous run — so the global
+/// ordering buys almost nothing while charging a `log(|A| + |B|)` heap
+/// operation per token. This variant drops the heap entirely and runs
+/// two flat passes:
+///
+/// 1. the **post** side (the small changed set) streams each record's
+///    prefix into the postings index, probing nothing;
+/// 2. the **probe** side (the full table) streams each record's prefix
+///    against the completed postings, advancing pair states and scoring
+///    at the `q`-th common token exactly like the event loop.
+///
+/// Every common-prefix incidence is counted exactly once — by the probe
+/// side against the post side's *final* copy counts, which equals the
+/// event loop's "whichever side posts the occurrence level second"
+/// accounting because `min(copies, copies)` is order-free. Both passes
+/// stop each record once its credit-adjusted prefix bound falls below
+/// `threshold − BOUND_SLACK`; the threshold only rises, so any pair
+/// skipped by a stopped prefix provably cannot beat the final threshold
+/// (the same soundness argument as the heap loop's prune, applied
+/// per-record instead of globally). Seeds, killed-pair handling and
+/// threshold gating are identical to [`topk_join_with_scratch`], so the
+/// returned `sorted_entries()` is **bit-identical** to it: both produce
+/// the canonical top-k of the same pair universe.
+///
+/// `post_side` picks which side's prefixes are indexed: `0` posts A and
+/// probes with B, `1` posts B and probes with A. Always post the small
+/// side — partner lists stay short and the probe pass degenerates to a
+/// streaming scan with almost-always-empty postings lookups. The scratch
+/// counters record probed + posted prefix tokens as this join's events.
+#[allow(clippy::too_many_arguments)]
+pub fn topk_semi_join(
+    inst: SsjInstance<'_>,
+    params: SsjParams,
+    scorer: &dyn PairScorer,
+    seed: &[(f64, u64)],
+    cancel: Option<&AtomicBool>,
+    scratch: &mut JoinScratch,
+    post_side: u8,
+) -> TopKList {
+    assert!(params.q >= 1, "q must be at least 1");
+    assert!(post_side <= 1, "post_side is 0 (A) or 1 (B)");
+    let credit = params.q - 1;
+    let measure = params.measure;
+    let rank_bound = inst.records_a.rank_bound().max(inst.records_b.rank_bound()) as usize;
+    let post = post_side as usize;
+    let post_arena = if post == 0 {
+        inst.records_a
+    } else {
+        inst.records_b
+    };
+    scratch.prepare_semi(post, post_arena.len(), rank_bound);
+    let JoinScratch {
+        postings,
+        semi_stamp,
+        semi_common,
+        semi_gen,
+        events: scratch_events,
+        scored_tokens: scratch_scored_tokens,
+        merge_aborts: scratch_merge_aborts,
+        scored: scratch_scored,
+        cache_served: scratch_cache_served,
+        ..
+    } = scratch;
+
+    // Seeds are never rescored. The event loop marks them in its state
+    // table; here the per-record pair state is rebuilt per probe record,
+    // so the live seeds are indexed by their probe-side endpoint and
+    // pre-stamped as scored when that record's scan opens.
+    let mut k_list = TopKList::with_capacity_hint(params.k, seed.len());
+    let mut seed_pairs: Vec<(TupleId, TupleId)> = Vec::with_capacity(seed.len());
+    for &(score, pair) in seed {
+        if !inst.killed.contains_key(pair) {
+            k_list.insert(score, pair);
+            let (a, b) = split_pair_key(pair);
+            let (probe_rec, post_rec) = if post == 0 { (b, a) } else { (a, b) };
+            if (post_rec as usize) < post_arena.len() {
+                seed_pairs.push((probe_rec, post_rec));
+            }
+        }
+    }
+    seed_pairs.sort_unstable();
+
+    let mut n_tokens = 0u64;
+    let mut n_discovered = 0u64;
+    let mut n_scored = 0u64;
+    let mut n_cached = 0u64;
+    let mut n_aborted = 0u64;
+    let mut n_scored_tokens = 0u64;
+    let mut n_killed_skipped = 0u64;
+    let mut n_bound_pruned = 0u64;
+    let no_killed = inst.killed.is_empty();
+
+    // Pass 1: index the post side's prefixes. No insert happens here, so
+    // the threshold is fixed for the whole pass; each record posts until
+    // its bound falls below it. Records are processed contiguously, so
+    // the kernel's per-record posting arrays collapse to two locals.
+    let threshold = k_list.threshold();
+    for r in 0..post_arena.len() as TupleId {
+        let rec = post_arena.record(r);
+        let len = rec.len();
+        let mut last_tok = u32::MAX;
+        let mut slot_idx = 0usize;
+        for (p, &tok) in rec.iter().enumerate() {
+            if threshold > 0.0
+                && bound_with_credit(measure, len, p + 1, credit) < threshold - BOUND_SLACK
+            {
+                n_bound_pruned += (len - p) as u64;
+                break;
+            }
+            n_tokens += 1;
+            if last_tok != tok {
+                last_tok = tok;
+                let list = &mut postings[post].lists[tok as usize];
+                if list.is_empty() {
+                    postings[post].touched.push(tok);
+                }
+                slot_idx = list.len();
+                list.push((r, 1));
+            } else {
+                postings[post].lists[tok as usize][slot_idx].1 += 1;
+            }
+        }
+    }
+
+    // Pass 2: stream the probe side against the completed index. The
+    // threshold can rise mid-pass as contributions land, so it is
+    // re-read per token like the event loop does per event.
+    let probe_arena = if post == 0 {
+        inst.records_b
+    } else {
+        inst.records_a
+    };
+    let mut seed_cursor = 0usize;
+    let mut since_cancel_check = 0u32;
+    'probe: for r in 0..probe_arena.len() as TupleId {
+        // Open this record's pair-state generation and pre-stamp its
+        // seeds as scored.
+        *semi_gen = semi_gen.wrapping_add(1);
+        if *semi_gen == 0 {
+            semi_stamp.fill(0);
+            *semi_gen = 1;
+        }
+        let gen = *semi_gen;
+        while seed_cursor < seed_pairs.len() && seed_pairs[seed_cursor].0 == r {
+            let o = seed_pairs[seed_cursor].1 as usize;
+            semi_stamp[o] = gen;
+            semi_common[o] = SEMI_SCORED;
+            seed_cursor += 1;
+        }
+        let rec = probe_arena.record(r);
+        let len = rec.len();
+        let mut occ = 0u32;
+        for (p, &tok) in rec.iter().enumerate() {
+            let threshold = k_list.threshold();
+            if threshold > 0.0
+                && bound_with_credit(measure, len, p + 1, credit) < threshold - BOUND_SLACK
+            {
+                n_bound_pruned += (len - p) as u64;
+                break;
+            }
+            n_tokens += 1;
+            if let Some(flag) = cancel {
+                since_cancel_check += 1;
+                if since_cancel_check >= 1024 {
+                    since_cancel_check = 0;
+                    if flag.load(Ordering::Relaxed) {
+                        break 'probe;
+                    }
+                }
+            }
+            // `occ`-th copy of `tok` within our own prefix (records are
+            // sorted, so copies are contiguous).
+            occ = if p > 0 && rec[p - 1] == tok {
+                occ + 1
+            } else {
+                1
+            };
+            let partners = &postings[post].lists[tok as usize];
+            if partners.is_empty() {
+                continue;
+            }
+            // Stale-but-sound gate for the length pre-gate below: read
+            // once per token, so inserts inside the partner loop make it
+            // conservative (too low), never unsound.
+            let len_gate = k_list.gate();
+            for &(o, o_count) in partners {
+                // Same multiset accounting as the event loop: this
+                // incidence advances the pair iff the partner's prefix
+                // holds at least `occ` copies.
+                if o_count < occ {
+                    continue;
+                }
+                let oi = o as usize;
+                if semi_stamp[oi] != gen {
+                    semi_stamp[oi] = gen;
+                    n_discovered += 1;
+                    // Length pre-gate, applied once at the pair's first
+                    // incidence: `from_overlap` is monotone in `o`
+                    // (also under f64 rounding), so the score at full
+                    // containment caps the pair's achievable score. At
+                    // or below the gate the scorer would refute the
+                    // attempt anyway — mark the pair scored so every
+                    // later incidence skips on the stamp alone.
+                    // (Vacuous for the overlap measure, whose
+                    // containment score is always 1.)
+                    let plen = post_arena.record(o).len();
+                    if measure.from_overlap(len.min(plen), len, plen) <= len_gate {
+                        semi_common[oi] = SEMI_SCORED;
+                        continue;
+                    }
+                    semi_common[oi] = 0;
+                }
+                let c = semi_common[oi];
+                if c & SEMI_SCORED != 0 {
+                    continue;
+                }
+                let c = c + 1;
+                if (c as usize) < params.q {
+                    semi_common[oi] = c;
+                    continue;
+                }
+                semi_common[oi] = c | SEMI_SCORED;
+                let (a, b) = if post == 0 { (o, r) } else { (r, o) };
+                let key = pair_key(a, b);
+                if !no_killed && inst.killed.contains_key(key) {
+                    n_killed_skipped += 1;
+                    continue;
+                }
+                let ra = inst.records_a.record(a);
+                let rb = inst.records_b.record(b);
+                n_scored_tokens += (ra.len() + rb.len()) as u64;
+                match scorer.score_above(a, b, ra, rb, k_list.gate()) {
+                    ScoreOutcome::Scored(s) => {
+                        n_scored += 1;
+                        k_list.insert(s, key);
+                    }
+                    ScoreOutcome::Cached(s) => {
+                        n_cached += 1;
+                        k_list.insert(s, key);
+                    }
+                    ScoreOutcome::Refuted => {
+                        n_aborted += 1;
+                    }
+                }
+            }
+        }
+    }
+    *scratch_events = n_tokens;
+    *scratch_scored_tokens = n_scored_tokens;
+    *scratch_merge_aborts = n_aborted;
+    *scratch_scored = n_scored;
+    *scratch_cache_served = n_cached;
+    mc_obs::counter!("mc.core.ssj.events").add(n_tokens);
+    mc_obs::counter!("mc.core.ssj.candidates").add(n_discovered);
+    mc_obs::counter!("mc.core.ssj.scored").add(n_scored);
+    mc_obs::counter!("mc.core.ssj.merge_aborts").add(n_aborted);
+    mc_obs::counter!("mc.core.ssj.scored_saved").add(n_aborted + n_cached);
+    mc_obs::counter!("mc.core.ssj.killed_skipped").add(n_killed_skipped);
+    mc_obs::counter!("mc.core.ssj.bound_pruned").add(n_bound_pruned);
+    k_list
 }
 
 /// Brute-force reference: scores **every** cross pair with non-zero
@@ -1794,6 +2254,9 @@ mod tests {
                 let baseline = topk_join(inst, params, &ExactScorer(m), &seed, None);
                 for shards in [1, 3, 4, 8, 200] {
                     for threads in [1, 4] {
+                        // Alternate pooled and pool-free scratches to
+                        // cover both paths of the reuse machinery.
+                        let pool = (shards % 2 == 0).then(|| JoinScratchPool::new(threads));
                         let sharded = topk_join_sharded(
                             inst,
                             params,
@@ -1802,6 +2265,7 @@ mod tests {
                             None,
                             shards,
                             threads,
+                            pool.as_ref(),
                         );
                         assert_eq!(
                             baseline.sorted_entries(),
@@ -1860,5 +2324,87 @@ mod tests {
             sparse_scratch.last_events(),
             "state representation must not change the event schedule"
         );
+    }
+
+    #[test]
+    fn semi_join_is_bit_identical_to_event_loop() {
+        let a = random_arena(31, 110, 36, 9);
+        let b = random_arena(47, 85, 36, 9);
+        let mut killed = PairSet::new();
+        killed.insert(2, 9);
+        killed.insert(40, 11);
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
+        let seed = [(0.8, pair_key(7, 3)), (0.35, pair_key(12, 12))];
+        for m in [
+            SetMeasure::Jaccard,
+            SetMeasure::Cosine,
+            SetMeasure::Dice,
+            SetMeasure::Overlap,
+        ] {
+            for (k, q) in [(10, 1), (60, 1), (10, 2), (25, 3)] {
+                for seeds in [&seed[..], &[]] {
+                    let params = SsjParams { k, q, measure: m };
+                    let baseline = topk_join(inst, params, &ExactScorer(m), seeds, None);
+                    for post_side in [0u8, 1] {
+                        // Cover the dense and the sparse state table.
+                        for cap in [0usize, 8] {
+                            let mut scratch = JoinScratch::new();
+                            scratch.set_dense_cap(cap);
+                            let semi = topk_semi_join(
+                                inst,
+                                params,
+                                &ExactScorer(m),
+                                seeds,
+                                None,
+                                &mut scratch,
+                                post_side,
+                            );
+                            assert_eq!(
+                                baseline.sorted_entries(),
+                                semi.sorted_entries(),
+                                "{m:?} k={k} q={q} post_side={post_side} cap={cap}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn semi_join_handles_empty_and_masked_records() {
+        // Empty records on both sides (as masked delta views produce)
+        // must be skipped without disturbing discovery.
+        let a = arena(&[&[], &[1, 2, 3], &[], &[2, 5, 8]]);
+        let b = arena(&[&[1, 2, 4], &[], &[2, 5, 9], &[]]);
+        let killed = PairSet::new();
+        let inst = SsjInstance {
+            records_a: &a,
+            records_b: &b,
+            killed: &killed,
+        };
+        let params = SsjParams {
+            k: 5,
+            q: 1,
+            measure: SetMeasure::Jaccard,
+        };
+        let baseline = topk_join(inst, params, &ExactScorer(SetMeasure::Jaccard), &[], None);
+        for post_side in [0u8, 1] {
+            let mut scratch = JoinScratch::new();
+            let semi = topk_semi_join(
+                inst,
+                params,
+                &ExactScorer(SetMeasure::Jaccard),
+                &[],
+                None,
+                &mut scratch,
+                post_side,
+            );
+            assert_eq!(baseline.sorted_entries(), semi.sorted_entries());
+        }
     }
 }

@@ -362,6 +362,21 @@ pub fn map_arena(payload: MappedPayload) -> Option<RecordArena> {
 /// list, and per-config scores as a presence bitmap plus the present
 /// `f64` bit patterns (scores round-trip bit-exactly).
 pub fn encode_union(configs: &[Config], q_used: usize, union: &CandidateUnion) -> Vec<u8> {
+    encode_union_with_base(configs, q_used, union, None)
+}
+
+/// [`encode_union`] with optional provenance: `base` records the union
+/// key of the artifact this one was *derived from* by an incremental
+/// rerun (delta-patched tables or a killed-set diff), so store tooling
+/// can trace a chain of incremental results back to its cold-start
+/// ancestor. `None` encodes exactly like [`encode_union`] (the trailing
+/// presence byte makes old payloads, which lack it, decodable too).
+pub fn encode_union_with_base(
+    configs: &[Config],
+    q_used: usize,
+    union: &CandidateUnion,
+    base: Option<Digest>,
+) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(q_used as u64);
     let masks: Vec<u32> = configs.iter().map(|c| c.mask()).collect();
@@ -382,11 +397,27 @@ pub fn encode_union(configs: &[Config], q_used: usize, union: &CandidateUnion) -
             w.put_f64(*s);
         }
     }
+    if let Some(d) = base {
+        w.put_u8(1);
+        w.put_u64(d.hi);
+        w.put_u64(d.lo);
+    }
     w.into_bytes()
 }
 
-/// Decodes a candidate-union artifact into `(configs, q_used, union)`.
+/// Decodes a candidate-union artifact into `(configs, q_used, union)`,
+/// discarding any provenance digest. See [`decode_union_full`].
 pub fn decode_union(bytes: &[u8]) -> Option<(Vec<Config>, usize, CandidateUnion)> {
+    decode_union_full(bytes).map(|(c, q, u, _)| (c, q, u))
+}
+
+/// Decodes a candidate-union artifact including the optional
+/// derived-from provenance digest written by
+/// [`encode_union_with_base`]. Artifacts written before provenance
+/// existed (no trailing bytes) decode with `None`.
+pub fn decode_union_full(
+    bytes: &[u8],
+) -> Option<(Vec<Config>, usize, CandidateUnion, Option<Digest>)> {
     let mut r = ByteReader::new(bytes);
     let q_used = usize::try_from(r.get_u64()?).ok()?;
     if q_used == 0 {
@@ -423,10 +454,20 @@ pub fn decode_union(bytes: &[u8]) -> Option<(Vec<Config>, usize, CandidateUnion)
         }
         scores.push(row);
     }
+    let base = if r.is_exhausted() {
+        None
+    } else {
+        if r.get_u8()? != 1 {
+            return None;
+        }
+        let hi = r.get_u64()?;
+        let lo = r.get_u64()?;
+        Some(Digest { hi, lo })
+    };
     if !r.is_exhausted() {
         return None;
     }
-    Some((configs, q_used, CandidateUnion { pairs, scores }))
+    Some((configs, q_used, CandidateUnion { pairs, scores }, base))
 }
 
 #[cfg(test)]

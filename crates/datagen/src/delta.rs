@@ -1,0 +1,162 @@
+//! Randomized [`TableDelta`]s and killed-set perturbations, for
+//! exercising the incremental debugging path (`DebugSession`) against
+//! realistic edit batches.
+//!
+//! The generators draw all material from the table being edited: updates
+//! splice attribute values between rows (simulating a data fix that makes
+//! two records more or less alike), inserts mix-and-match columns of
+//! existing rows, deletes tombstone random rows. That keeps the token
+//! vocabulary realistic — an edit usually *moves* tokens between records
+//! rather than inventing fresh ones, which is exactly the regime where
+//! incremental top-k maintenance has to work hardest (scores of untouched
+//! records' competitors shift).
+
+use mc_table::hash::fx_set;
+use mc_table::{PairSet, RowEdit, Table, TableDelta, Tuple, TupleId};
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+
+/// Size of a random delta: how many rows to update, delete, and insert.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaSpec {
+    /// Rows to rewrite in place.
+    pub updates: usize,
+    /// Rows to tombstone.
+    pub deletes: usize,
+    /// Fresh rows to append.
+    pub inserts: usize,
+}
+
+impl DeltaSpec {
+    /// A spec touching roughly `frac` of `rows` (half updates, a quarter
+    /// deletes, a quarter inserts), at least one update.
+    pub fn fraction_of(rows: usize, frac: f64) -> Self {
+        let touched = ((rows as f64 * frac) as usize).max(1);
+        DeltaSpec {
+            updates: (touched / 2).max(1),
+            deletes: touched / 4,
+            inserts: touched - (touched / 2).max(1) - touched / 4,
+        }
+    }
+}
+
+/// Draws a random valid [`TableDelta`] against `table`.
+///
+/// Update/delete targets are distinct (the delta validates cleanly);
+/// updated rows get one attribute value spliced in from a random donor
+/// row (or blanked, with small probability); inserted rows sample each
+/// attribute independently from a random row. Deterministic in `rng`.
+pub fn random_delta(table: &Table, spec: DeltaSpec, rng: &mut StdRng) -> TableDelta {
+    let rows = table.len();
+    assert!(rows > 0, "cannot edit an empty table");
+    let n_attrs = table.schema().len();
+    let want = (spec.updates + spec.deletes).min(rows);
+    let mut targets = fx_set();
+    let mut picked: Vec<TupleId> = Vec::with_capacity(want);
+    while picked.len() < want {
+        let id = rng.random_range(0..rows as u32);
+        if targets.insert(id) {
+            picked.push(id);
+        }
+    }
+    let updates: Vec<RowEdit> = picked[..spec.updates.min(picked.len())]
+        .iter()
+        .map(|&id| {
+            let mut tuple = table.tuple(id).clone();
+            let attr = mc_table::AttrId(rng.random_range(0..n_attrs as u16));
+            if rng.random_bool(0.1) {
+                tuple.set(attr, None);
+            } else {
+                let donor = rng.random_range(0..rows as u32);
+                let value = table.value(donor, attr).map(str::to_owned);
+                tuple.set(attr, value);
+            }
+            RowEdit { id, tuple }
+        })
+        .collect();
+    let deletes: Vec<TupleId> = picked[spec.updates.min(picked.len())..].to_vec();
+    let inserts: Vec<Tuple> = (0..spec.inserts)
+        .map(|_| {
+            Tuple::new(
+                (0..n_attrs)
+                    .map(|a| {
+                        let donor = rng.random_range(0..rows as u32);
+                        table
+                            .value(donor, mc_table::AttrId(a as u16))
+                            .map(str::to_owned)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    TableDelta {
+        updates,
+        deletes,
+        inserts,
+    }
+}
+
+/// Perturbs a killed set: drops each existing pair with probability
+/// `unkill_rate` and adds `kills` random fresh pairs over the id ranges
+/// `n_a × n_b`. Deterministic in `rng`.
+pub fn perturb_killed(
+    killed: &PairSet,
+    n_a: u32,
+    n_b: u32,
+    unkill_rate: f64,
+    kills: usize,
+    rng: &mut StdRng,
+) -> PairSet {
+    let mut out = PairSet::with_capacity(killed.len() + kills);
+    for (a, b) in killed.iter() {
+        if !rng.random_bool(unkill_rate) {
+            out.insert(a, b);
+        }
+    }
+    for _ in 0..kills {
+        out.insert(rng.random_range(0..n_a), rng.random_range(0..n_b));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DatasetProfile;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_delta_validates_and_applies() {
+        let ds = DatasetProfile::FodorsZagats.generate_scaled(5, 0.3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let spec = DeltaSpec::fraction_of(ds.a.len(), 0.05);
+        let delta = random_delta(&ds.a, spec, &mut rng);
+        assert!(delta.validate(&ds.a).is_ok());
+        let mut patched = ds.a.clone();
+        let changed = delta.apply(&mut patched).unwrap();
+        assert_eq!(changed.len(), delta.len());
+        assert_eq!(patched.len(), ds.a.len() + delta.inserts.len());
+    }
+
+    #[test]
+    fn perturb_killed_changes_membership() {
+        let ds = DatasetProfile::FodorsZagats.generate_scaled(5, 0.3);
+        let mut killed = PairSet::new();
+        for i in 0..50u32 {
+            killed.insert(i % ds.a.len() as u32, (i * 7) % ds.b.len() as u32);
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let nk = perturb_killed(
+            &killed,
+            ds.a.len() as u32,
+            ds.b.len() as u32,
+            0.3,
+            20,
+            &mut rng,
+        );
+        let dropped = killed.iter().filter(|&(a, b)| !nk.contains(a, b)).count();
+        let added = nk.iter().filter(|&(a, b)| !killed.contains(a, b)).count();
+        assert!(dropped > 0, "some pairs must be un-killed");
+        assert!(added > 0, "some fresh pairs must be killed");
+    }
+}

@@ -26,6 +26,7 @@
 //! which perturbations were applied where, so experiments can check the
 //! debugger's *explanations* (Table 4) against ground truth.
 
+pub mod delta;
 pub mod entity;
 pub mod noise;
 pub mod perturb;

@@ -5,21 +5,40 @@
 //! across the heap (one allocation per record) and makes per-config
 //! materialization in the joint executor allocate `|A| + |B|` vectors
 //! per config. A [`RecordArena`] instead keeps **one contiguous token
-//! buffer plus an offsets array** — records come out as `&[u32]` slices,
-//! the whole table is two allocations, and sequential scans are
-//! prefetch-friendly.
+//! buffer plus per-record bounds** — records come out as `&[u32]`
+//! slices, the whole table is a handful of allocations, and sequential
+//! scans are prefetch-friendly.
 //!
 //! The arena also tracks the exclusive upper bound of the token ranks it
 //! holds ([`RecordArena::rank_bound`]); ranks are dense dictionary
 //! indexes, so the bound lets the join engine use `Vec`-indexed postings
 //! arrays instead of hash maps.
 //!
-//! An arena's buffers are either **owned** `Vec`s or **borrowed** from a
-//! [`StableBytes`] backing (a memory-mapped artifact file): warm starts
-//! can point the join straight at the file's pages with zero decode and
-//! zero copy ([`RecordArena::from_stable_parts`]). Either way the hot
-//! accessors cost the same — a pointer and a length, resolved once at
-//! construction.
+//! Internally every record is addressed through two raw pointers,
+//! `starts` and `ends`: record `i` is `tokens[starts[i] .. ends[i]]`.
+//! Three backings provide those pointers:
+//!
+//! * **Owned** — a compact CSR pair (`tokens` + `offsets`); `starts`
+//!   aliases `offsets[0..]` and `ends` aliases `offsets[1..]`, so the
+//!   classic layout costs nothing extra.
+//! * **Mapped** — the same CSR layout borrowed from a [`StableBytes`]
+//!   backing (a memory-mapped artifact file): warm starts point the
+//!   join straight at the file's pages with zero decode and zero copy
+//!   ([`RecordArena::from_stable_parts`]).
+//! * **Split** — independent `starts`/`ends` arrays over a shared
+//!   (`Arc`) token buffer. This is the **patchable** form used by
+//!   incremental debugging sessions: [`RecordArena::patch_record`]
+//!   tombstones the old span and appends the new tokens,
+//!   [`RecordArena::tombstone`] empties a record in O(1), and
+//!   [`RecordArena::masked_view`] derives a view sharing the token
+//!   buffer in which inactive records are empty — empty records never
+//!   enter the join's event heap, so a view restricts a join to a
+//!   record subset without the join engine knowing. Garbage from
+//!   patches accumulates until [`RecordArena::compact`] rebuilds the
+//!   compact CSR form (see [`RecordArena::garbage_ratio`]).
+//!
+//! Either way the hot accessors cost the same — two pointers and a
+//! length, resolved once at construction.
 
 use crate::dict::TokenizedTable;
 use mc_table::TupleId;
@@ -44,31 +63,44 @@ pub unsafe trait StableBytes: Send + Sync {
 
 /// What keeps a [`RecordArena`]'s buffers alive.
 enum Backing {
-    /// The arena owns its buffers (the pointers point into these Vecs;
-    /// a Vec's heap buffer does not move when the Vec itself moves).
+    /// The arena owns a compact CSR pair (the pointers point into these
+    /// Vecs; a Vec's heap buffer does not move when the Vec itself
+    /// moves).
     Owned { tokens: Vec<u32>, offsets: Vec<u32> },
     /// The buffers live inside a stable byte backing (e.g. an mmapped
     /// store artifact); the Arc keeps it alive.
     Mapped(Arc<dyn StableBytes>),
+    /// Patchable form: independent per-record bounds over a shared
+    /// token buffer. Tombstoned/patched spans leave garbage in the
+    /// buffer; `masked_view` clones the Arc instead of the tokens.
+    Split {
+        tokens: Arc<Vec<u32>>,
+        starts: Vec<u32>,
+        ends: Vec<u32>,
+    },
 }
 
-/// Records stored back-to-back in one token buffer (CSR layout).
+/// Records stored back-to-back in one token buffer.
 ///
-/// Record `i` is `tokens[offsets[i] .. offsets[i + 1]]`, a sorted rank
-/// multiset exactly as [`TokenizedTable::merged`] would produce it.
+/// Record `i` is `tokens[starts[i] .. ends[i]]`, a sorted rank multiset
+/// exactly as [`TokenizedTable::merged`] would produce it.
 pub struct RecordArena {
     tokens: *const u32,
+    /// Physical buffer length, *including* garbage left by patches.
     n_tokens: usize,
-    offsets: *const u32,
-    n_offsets: usize,
+    starts: *const u32,
+    ends: *const u32,
+    n_records: usize,
+    /// Tokens reachable through live records (excludes patch garbage).
+    live_tokens: usize,
     rank_bound: u32,
     backing: Backing,
 }
 
-// SAFETY: the buffers behind the raw pointers are immutable after
-// construction and owned/kept alive by `backing` (Vecs, or an Arc to a
-// Send + Sync StableBytes), so sharing or moving the arena across
-// threads is sound.
+// SAFETY: the buffers behind the raw pointers are immutable while shared
+// and owned/kept alive by `backing` (Vecs, or an Arc to a Send + Sync
+// StableBytes); every `&mut self` mutation re-derives the pointers
+// before returning. Sharing or moving the arena across threads is sound.
 unsafe impl Send for RecordArena {}
 unsafe impl Sync for RecordArena {}
 
@@ -119,13 +151,48 @@ impl RecordArena {
     /// this is the private trusted constructor.
     fn from_owned(tokens: Vec<u32>, offsets: Vec<u32>, rank_bound: u32) -> RecordArena {
         debug_assert!(!offsets.is_empty());
-        RecordArena {
-            tokens: tokens.as_ptr(),
-            n_tokens: tokens.len(),
-            offsets: offsets.as_ptr(),
-            n_offsets: offsets.len(),
+        let mut arena = RecordArena {
+            tokens: std::ptr::null(),
+            n_tokens: 0,
+            starts: std::ptr::null(),
+            ends: std::ptr::null(),
+            n_records: 0,
+            live_tokens: tokens.len(),
             rank_bound,
             backing: Backing::Owned { tokens, offsets },
+        };
+        arena.refresh_ptrs();
+        arena
+    }
+
+    /// Re-derives the cached data pointers from the backing. Must be
+    /// called after every mutation that may move a backing buffer.
+    fn refresh_ptrs(&mut self) {
+        match &self.backing {
+            Backing::Owned { tokens, offsets } => {
+                self.tokens = tokens.as_ptr();
+                self.n_tokens = tokens.len();
+                self.starts = offsets.as_ptr();
+                // SAFETY: `offsets` is non-empty, so one element in is in
+                // bounds or one-past-the-end; with `n_records =
+                // offsets.len() - 1` reads stay inside the Vec.
+                self.ends = unsafe { offsets.as_ptr().add(1) };
+                self.n_records = offsets.len() - 1;
+            }
+            // Mapped pointers target the stable mapping, not the Arc
+            // itself; they never move.
+            Backing::Mapped(_) => {}
+            Backing::Split {
+                tokens,
+                starts,
+                ends,
+            } => {
+                self.tokens = tokens.as_ptr();
+                self.n_tokens = tokens.len();
+                self.starts = starts.as_ptr();
+                self.ends = ends.as_ptr();
+                self.n_records = starts.len();
+            }
         }
     }
 
@@ -170,7 +237,7 @@ impl RecordArena {
     /// Number of records.
     #[inline]
     pub fn len(&self) -> usize {
-        self.n_offsets - 1
+        self.n_records
     }
 
     /// True if the arena holds no records.
@@ -182,31 +249,39 @@ impl RecordArena {
     /// Record `i` as a sorted rank slice.
     #[inline]
     pub fn record(&self, i: TupleId) -> &[u32] {
-        let offsets = self.offsets();
-        let lo = offsets[i as usize] as usize;
-        let hi = offsets[i as usize + 1] as usize;
-        &self.tokens()[lo..hi]
+        let i = i as usize;
+        assert!(i < self.n_records, "record {i} out of bounds");
+        // SAFETY: `i < n_records` puts both bound reads in range; the
+        // backing guarantees `starts[i] <= ends[i] <= n_tokens` (CSR
+        // validation or the patch methods' bookkeeping), so the slice is
+        // inside the live token buffer.
+        unsafe {
+            let lo = *self.starts.add(i) as usize;
+            let hi = *self.ends.add(i) as usize;
+            debug_assert!(lo <= hi && hi <= self.n_tokens);
+            std::slice::from_raw_parts(self.tokens.add(lo), hi - lo)
+        }
     }
 
     /// Iterates over all records in order.
     pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
-        let tokens = self.tokens();
-        self.offsets()
-            .windows(2)
-            .map(move |w| &tokens[w[0] as usize..w[1] as usize])
+        (0..self.n_records).map(move |i| self.record(i as TupleId))
     }
 
     /// Exclusive upper bound on the token ranks held (`max rank + 1`;
-    /// 0 when every record is empty). Sizes dense postings arrays.
+    /// 0 when every record is empty). Sizes dense postings arrays. For
+    /// patched arenas this is an upper bound — patches only ever grow
+    /// it; [`RecordArena::compact`] re-tightens it.
     #[inline]
     pub fn rank_bound(&self) -> u32 {
         self.rank_bound
     }
 
-    /// Total token count across all records (multiset cardinality).
+    /// Total token count across all live records (multiset cardinality;
+    /// excludes garbage left behind by patches).
     #[inline]
     pub fn total_tokens(&self) -> usize {
-        self.n_tokens
+        self.live_tokens
     }
 
     /// True when the buffers are borrowed from a [`StableBytes`] backing
@@ -215,19 +290,251 @@ impl RecordArena {
         matches!(self.backing, Backing::Mapped(_))
     }
 
+    /// True when the arena is in compact CSR form (records laid out
+    /// back-to-back, no patch garbage) — the only form the store codecs
+    /// accept. Patched or masked arenas answer `false` until
+    /// [`RecordArena::compact`].
+    pub fn is_compact(&self) -> bool {
+        !matches!(self.backing, Backing::Split { .. })
+    }
+
     /// The flat token buffer (for serialization; see `mc-store`).
+    ///
+    /// # Panics
+    ///
+    /// If the arena is not compact ([`RecordArena::is_compact`]): a
+    /// patched buffer contains garbage spans that must not be persisted.
     #[inline]
     pub fn tokens(&self) -> &[u32] {
+        assert!(
+            self.is_compact(),
+            "tokens() requires a compact arena; call compact() first"
+        );
         // SAFETY: pointer + length were derived from the live backing at
-        // construction; the backing is immutable and owned by `self`.
+        // construction; the backing is immutable while shared.
         unsafe { std::slice::from_raw_parts(self.tokens, self.n_tokens) }
     }
 
     /// The record offsets array, length `len() + 1` (for serialization).
+    ///
+    /// # Panics
+    ///
+    /// If the arena is not compact — a Split backing has no single
+    /// offsets array.
     #[inline]
     pub fn offsets(&self) -> &[u32] {
-        // SAFETY: as for `tokens()`.
-        unsafe { std::slice::from_raw_parts(self.offsets, self.n_offsets) }
+        assert!(
+            self.is_compact(),
+            "offsets() requires a compact arena; call compact() first"
+        );
+        // SAFETY: for compact backings `starts` points at the offsets
+        // array of length `n_records + 1`.
+        unsafe { std::slice::from_raw_parts(self.starts, self.n_records + 1) }
+    }
+
+    /// Converts the arena to the patchable Split backing in place. A
+    /// no-op when already patchable; mapped arenas copy their tokens out
+    /// of the mapping once. Call before a batch of
+    /// [`RecordArena::patch_record`]s to make [`RecordArena::masked_view`]
+    /// share the buffer instead of copying it.
+    pub fn make_patchable(&mut self) {
+        if let Backing::Split { .. } = self.backing {
+            return;
+        }
+        // For both compact backings `starts` currently points at the
+        // offsets array (length n_records + 1).
+        // SAFETY: see `offsets()`.
+        let offsets = unsafe { std::slice::from_raw_parts(self.starts, self.n_records + 1) };
+        let starts = offsets[..self.n_records].to_vec();
+        let ends = offsets[1..].to_vec();
+        let placeholder = Backing::Owned {
+            tokens: Vec::new(),
+            offsets: vec![0],
+        };
+        let tokens = match std::mem::replace(&mut self.backing, placeholder) {
+            // Reuse the owned buffer without copying.
+            Backing::Owned { tokens, .. } => Arc::new(tokens),
+            mapped @ Backing::Mapped(_) => {
+                // Copy out of the mapping while the Arc (bound as
+                // `mapped`) still keeps the pages alive.
+                // SAFETY: see `tokens()`.
+                let buf =
+                    unsafe { std::slice::from_raw_parts(self.tokens, self.n_tokens) }.to_vec();
+                drop(mapped);
+                Arc::new(buf)
+            }
+            Backing::Split { .. } => unreachable!("handled above"),
+        };
+        self.backing = Backing::Split {
+            tokens,
+            starts,
+            ends,
+        };
+        self.refresh_ptrs();
+    }
+
+    /// Replaces record `i`'s tokens: the old span is tombstoned (left as
+    /// garbage in the buffer) and the new tokens are appended. The new
+    /// record must be sorted ascending. Converts to the patchable
+    /// backing on first use.
+    pub fn patch_record(&mut self, i: TupleId, new_tokens: &[u32]) {
+        debug_assert!(
+            new_tokens.windows(2).all(|w| w[0] <= w[1]),
+            "records must be sorted"
+        );
+        self.make_patchable();
+        let Backing::Split {
+            tokens,
+            starts,
+            ends,
+        } = &mut self.backing
+        else {
+            unreachable!("make_patchable guarantees Split");
+        };
+        let i = i as usize;
+        assert!(i < starts.len(), "record {i} out of bounds");
+        self.live_tokens -= (ends[i] - starts[i]) as usize;
+        if new_tokens.is_empty() {
+            ends[i] = starts[i];
+        } else {
+            let buf = Arc::make_mut(tokens);
+            let lo = buf.len();
+            assert!(
+                lo + new_tokens.len() < u32::MAX as usize,
+                "token buffer overflow"
+            );
+            buf.extend_from_slice(new_tokens);
+            starts[i] = lo as u32;
+            ends[i] = buf.len() as u32;
+            self.live_tokens += new_tokens.len();
+            self.rank_bound = self
+                .rank_bound
+                .max(new_tokens.last().expect("non-empty") + 1);
+        }
+        self.refresh_ptrs();
+    }
+
+    /// Empties record `i`, leaving its old tokens as garbage. The id
+    /// stays allocated — empty records never enter a join.
+    pub fn tombstone(&mut self, i: TupleId) {
+        self.patch_record(i, &[]);
+    }
+
+    /// Appends a new record (sorted ascending), returning its id.
+    pub fn push_record(&mut self, new_tokens: &[u32]) -> TupleId {
+        debug_assert!(
+            new_tokens.windows(2).all(|w| w[0] <= w[1]),
+            "records must be sorted"
+        );
+        self.make_patchable();
+        let Backing::Split {
+            tokens,
+            starts,
+            ends,
+        } = &mut self.backing
+        else {
+            unreachable!("make_patchable guarantees Split");
+        };
+        assert!(starts.len() < u32::MAX as usize, "arena full");
+        let buf = Arc::make_mut(tokens);
+        let lo = buf.len();
+        assert!(
+            lo + new_tokens.len() < u32::MAX as usize,
+            "token buffer overflow"
+        );
+        buf.extend_from_slice(new_tokens);
+        starts.push(lo as u32);
+        ends.push(buf.len() as u32);
+        self.live_tokens += new_tokens.len();
+        if let Some(&max) = new_tokens.last() {
+            self.rank_bound = self.rank_bound.max(max + 1);
+        }
+        let id = (starts.len() - 1) as TupleId;
+        self.refresh_ptrs();
+        id
+    }
+
+    /// Fraction of the physical token buffer occupied by garbage
+    /// (tombstoned or superseded spans). 0 for compact arenas.
+    pub fn garbage_ratio(&self) -> f64 {
+        if self.n_tokens == 0 {
+            0.0
+        } else {
+            (self.n_tokens - self.live_tokens) as f64 / self.n_tokens as f64
+        }
+    }
+
+    /// Rebuilds the compact CSR form in place: records re-laid
+    /// back-to-back, garbage dropped, rank bound re-tightened. A no-op
+    /// when already compact.
+    pub fn compact(&mut self) {
+        if self.is_compact() {
+            return;
+        }
+        let mut tokens = Vec::with_capacity(self.live_tokens);
+        let mut offsets = Vec::with_capacity(self.n_records + 1);
+        offsets.push(0u32);
+        let mut bound = 0u32;
+        for i in 0..self.n_records {
+            let rec = self.record(i as TupleId);
+            tokens.extend_from_slice(rec);
+            if let Some(&max) = rec.last() {
+                bound = bound.max(max + 1);
+            }
+            offsets.push(tokens.len() as u32);
+        }
+        self.live_tokens = tokens.len();
+        self.rank_bound = bound;
+        self.backing = Backing::Owned { tokens, offsets };
+        self.refresh_ptrs();
+    }
+
+    /// A view of this arena in which records failing `active` are empty
+    /// (and therefore invisible to the join engine — empty records post
+    /// no events and are never discovered). Ids and live records'
+    /// contents are unchanged. When the arena is already patchable the
+    /// view shares the token buffer via `Arc`; compact arenas pay one
+    /// buffer copy — call [`RecordArena::make_patchable`] first to avoid
+    /// it.
+    pub fn masked_view(&self, active: impl Fn(TupleId) -> bool) -> RecordArena {
+        let mut starts = Vec::with_capacity(self.n_records);
+        let mut ends = Vec::with_capacity(self.n_records);
+        let mut live = 0usize;
+        for i in 0..self.n_records {
+            // SAFETY: i < n_records, as in `record()`.
+            let (lo, hi) = unsafe { (*self.starts.add(i), *self.ends.add(i)) };
+            starts.push(lo);
+            if active(i as TupleId) {
+                ends.push(hi);
+                live += (hi - lo) as usize;
+            } else {
+                ends.push(lo);
+            }
+        }
+        let tokens = match &self.backing {
+            Backing::Split { tokens, .. } => Arc::clone(tokens),
+            // SAFETY: see `tokens()` — compact backings expose the full
+            // buffer.
+            _ => {
+                Arc::new(unsafe { std::slice::from_raw_parts(self.tokens, self.n_tokens) }.to_vec())
+            }
+        };
+        let mut view = RecordArena {
+            tokens: std::ptr::null(),
+            n_tokens: 0,
+            starts: std::ptr::null(),
+            ends: std::ptr::null(),
+            n_records: 0,
+            live_tokens: live,
+            rank_bound: self.rank_bound,
+            backing: Backing::Split {
+                tokens,
+                starts,
+                ends,
+            },
+        };
+        view.refresh_ptrs();
+        view
     }
 
     /// Rebuilds an arena from raw CSR parts, validating the offsets
@@ -261,8 +568,13 @@ impl RecordArena {
         let arena = RecordArena {
             tokens: tokens.as_ptr(),
             n_tokens: tokens.len(),
-            offsets: offsets.as_ptr(),
-            n_offsets: offsets.len(),
+            starts: offsets.as_ptr(),
+            // SAFETY: `offsets` is non-empty (validate_csr checked its
+            // first element), so one element in is in bounds or
+            // one-past-the-end.
+            ends: unsafe { offsets.as_ptr().add(1) },
+            n_records: offsets.len() - 1,
+            live_tokens: tokens.len(),
             rank_bound,
             backing: Backing::Mapped(backing),
         };
@@ -317,19 +629,35 @@ impl Default for RecordArena {
 
 impl Clone for RecordArena {
     fn clone(&self) -> Self {
-        match &self.backing {
-            Backing::Owned { tokens, offsets } => {
-                RecordArena::from_owned(tokens.clone(), offsets.clone(), self.rank_bound)
-            }
-            Backing::Mapped(arc) => RecordArena {
-                tokens: self.tokens,
-                n_tokens: self.n_tokens,
-                offsets: self.offsets,
-                n_offsets: self.n_offsets,
-                rank_bound: self.rank_bound,
-                backing: Backing::Mapped(Arc::clone(arc)),
+        let mut clone = RecordArena {
+            tokens: self.tokens,
+            n_tokens: self.n_tokens,
+            starts: self.starts,
+            ends: self.ends,
+            n_records: self.n_records,
+            live_tokens: self.live_tokens,
+            rank_bound: self.rank_bound,
+            backing: match &self.backing {
+                Backing::Owned { tokens, offsets } => Backing::Owned {
+                    tokens: tokens.clone(),
+                    offsets: offsets.clone(),
+                },
+                Backing::Mapped(arc) => Backing::Mapped(Arc::clone(arc)),
+                Backing::Split {
+                    tokens,
+                    starts,
+                    ends,
+                } => Backing::Split {
+                    tokens: Arc::clone(tokens),
+                    starts: starts.clone(),
+                    ends: ends.clone(),
+                },
             },
-        }
+        };
+        // Point at the clone's buffers (no-op for Mapped, whose
+        // pointers target the shared stable mapping).
+        clone.refresh_ptrs();
+        clone
     }
 }
 
@@ -340,6 +668,7 @@ impl std::fmt::Debug for RecordArena {
             .field("tokens", &self.total_tokens())
             .field("rank_bound", &self.rank_bound)
             .field("mapped", &self.is_mapped())
+            .field("compact", &self.is_compact())
             .finish()
     }
 }
@@ -401,6 +730,94 @@ mod tests {
         }
     }
 
+    #[test]
+    fn patch_tombstone_push_and_compact() {
+        let mut arena = RecordArena::from_records(&[vec![1u32, 5], vec![2, 3, 8], vec![4]]);
+        assert!(arena.is_compact());
+        arena.patch_record(1, &[0, 9, 20]);
+        assert!(!arena.is_compact());
+        assert_eq!(arena.record(0), &[1, 5]);
+        assert_eq!(arena.record(1), &[0, 9, 20]);
+        assert_eq!(arena.record(2), &[4]);
+        assert_eq!(arena.rank_bound(), 21);
+        assert_eq!(arena.total_tokens(), 6);
+        assert!(arena.garbage_ratio() > 0.0, "old span became garbage");
+
+        arena.tombstone(0);
+        assert_eq!(arena.record(0), &[] as &[u32]);
+        assert_eq!(arena.total_tokens(), 4);
+
+        let id = arena.push_record(&[7, 7]);
+        assert_eq!(id, 3);
+        assert_eq!(arena.record(3), &[7, 7]);
+        assert_eq!(arena.len(), 4);
+        assert_eq!(arena.total_tokens(), 6);
+
+        let garbage_before = arena.garbage_ratio();
+        assert!(garbage_before > 0.0);
+        arena.compact();
+        assert!(arena.is_compact());
+        assert_eq!(arena.garbage_ratio(), 0.0);
+        assert_eq!(arena.record(0), &[] as &[u32]);
+        assert_eq!(arena.record(1), &[0, 9, 20]);
+        assert_eq!(arena.record(2), &[4]);
+        assert_eq!(arena.record(3), &[7, 7]);
+        assert_eq!(arena.rank_bound(), 21);
+        // Compact form round-trips through the store codec accessors.
+        assert_eq!(arena.offsets(), &[0, 0, 3, 4, 6]);
+        assert_eq!(arena.tokens(), &[0, 9, 20, 4, 7, 7]);
+    }
+
+    #[test]
+    fn compact_retightens_rank_bound() {
+        let mut arena = RecordArena::from_records(&[vec![1u32], vec![99]]);
+        assert_eq!(arena.rank_bound(), 100);
+        arena.tombstone(1);
+        assert_eq!(arena.rank_bound(), 100, "tombstone keeps the bound");
+        arena.compact();
+        assert_eq!(arena.rank_bound(), 2, "compaction recomputes it");
+    }
+
+    #[test]
+    fn masked_view_hides_records_and_shares_buffer() {
+        let mut arena = RecordArena::from_records(&[vec![1u32, 5], vec![2, 3], vec![4]]);
+        arena.make_patchable();
+        let view = arena.masked_view(|i| i == 1);
+        assert_eq!(view.len(), 3, "ids are preserved");
+        assert_eq!(view.record(0), &[] as &[u32]);
+        assert_eq!(view.record(1), &[2, 3]);
+        assert_eq!(view.record(2), &[] as &[u32]);
+        assert_eq!(view.total_tokens(), 2);
+        assert_eq!(view.rank_bound(), arena.rank_bound());
+        // The view stays valid after the source is dropped (shared Arc).
+        drop(arena);
+        assert_eq!(view.record(1), &[2, 3]);
+        // Views of compact arenas work too (one-time copy).
+        let compact = RecordArena::from_records(&[vec![0u32], vec![6]]);
+        let v2 = compact.masked_view(|i| i == 0);
+        assert_eq!(v2.record(0), &[0]);
+        assert_eq!(v2.record(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn patched_clone_is_independent() {
+        let mut arena = RecordArena::from_records(&[vec![1u32], vec![2]]);
+        arena.patch_record(0, &[8]);
+        let clone = arena.clone();
+        arena.patch_record(1, &[9]);
+        assert_eq!(clone.record(0), &[8]);
+        assert_eq!(clone.record(1), &[2], "clone unaffected by later patch");
+        assert_eq!(arena.record(1), &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a compact arena")]
+    fn offsets_on_patched_arena_panics() {
+        let mut arena = RecordArena::from_records(&[vec![1u32]]);
+        arena.tombstone(0);
+        let _ = arena.offsets();
+    }
+
     /// A stable backing over an 8-aligned heap buffer, as the store's
     /// heap fallback produces.
     struct PinnedWords(Vec<u64>, usize);
@@ -457,6 +874,22 @@ mod tests {
             .join()
             .expect("cross-thread use");
         assert_eq!(sent, vec![0, 7]);
+    }
+
+    #[test]
+    fn mapped_arena_becomes_patchable_by_copying() {
+        let owned = RecordArena::from_records(&[vec![1u32, 2], vec![3]]);
+        let mut raw = le_bytes(owned.offsets());
+        let tokens_at = raw.len();
+        raw.extend(le_bytes(owned.tokens()));
+        let backing = pinned(&raw);
+        let mut mapped =
+            RecordArena::from_stable_parts(backing, tokens_at..raw.len(), 0..tokens_at)
+                .expect("valid layout maps");
+        mapped.patch_record(0, &[5, 6, 7]);
+        assert!(!mapped.is_mapped(), "patching detaches from the mapping");
+        assert_eq!(mapped.record(0), &[5, 6, 7]);
+        assert_eq!(mapped.record(1), &[3]);
     }
 
     #[test]

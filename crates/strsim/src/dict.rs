@@ -154,6 +154,19 @@ impl TokenizedTable {
         attrs: &[AttrId],
         tokenizer: Tokenizer,
     ) -> (TokenizedTable, TokenizedTable, TokenOrder) {
+        let (ta, tb, order, _) = TokenizedTable::build_pair_retained(a, b, attrs, tokenizer);
+        (ta, tb, order)
+    }
+
+    /// Like [`TokenizedTable::build_pair`], but also returns the interning
+    /// dictionary so an incremental session ([`IncrementalDict`]) can keep
+    /// tokenizing edited records consistently with the frozen order.
+    pub fn build_pair_retained(
+        a: &Table,
+        b: &Table,
+        attrs: &[AttrId],
+        tokenizer: Tokenizer,
+    ) -> (TokenizedTable, TokenizedTable, TokenOrder, TokenDict) {
         let _span = mc_obs::span!("mc.strsim.dict.build");
         let mut dict = TokenDict::new();
         // First pass: intern with df counting, storing raw ids.
@@ -167,6 +180,7 @@ impl TokenizedTable {
             TokenizedTable::from_raw(raw_a, &order, a.len()),
             TokenizedTable::from_raw(raw_b, &order, b.len()),
             order,
+            dict,
         )
     }
 
@@ -234,6 +248,118 @@ impl TokenizedTable {
             return None;
         }
         Some(TokenizedTable { cols, rows })
+    }
+
+    /// Replaces one tuple's rank vectors (one sorted vector per
+    /// attribute, in the same attribute order the table was built with).
+    /// Used by incremental sessions after a row edit.
+    pub fn set_row(&mut self, tuple: TupleId, per_attr: Vec<Vec<u32>>) {
+        assert_eq!(per_attr.len(), self.cols.len(), "attr count mismatch");
+        debug_assert!(per_attr.iter().all(|v| v.windows(2).all(|w| w[0] <= w[1])));
+        for (col, ranks) in self.cols.iter_mut().zip(per_attr) {
+            col[tuple as usize] = ranks;
+        }
+    }
+
+    /// Appends a new tuple's rank vectors, returning its id.
+    pub fn push_row(&mut self, per_attr: Vec<Vec<u32>>) -> TupleId {
+        assert_eq!(per_attr.len(), self.cols.len(), "attr count mismatch");
+        debug_assert!(per_attr.iter().all(|v| v.windows(2).all(|w| w[0] <= w[1])));
+        for (col, ranks) in self.cols.iter_mut().zip(per_attr) {
+            col.push(ranks);
+        }
+        let id = self.rows as TupleId;
+        self.rows += 1;
+        id
+    }
+}
+
+/// Session-owned tokenizer state for incremental re-tokenization.
+///
+/// A cold [`TokenizedTable::build_pair`] orders tokens by ascending
+/// document frequency. An incremental session cannot re-derive that
+/// order after an edit — re-sorting by the drifted frequencies would
+/// renumber every record — so it **freezes** the original ranks and
+/// assigns tokens first seen after the freeze the next ranks in order
+/// of first appearance. Frequency drift only degrades how selective the
+/// rare-first prefix is (a work heuristic); the joins' *results* are
+/// rank-permutation-invariant, because every similarity measure is a
+/// function of multiset overlaps and lengths, which relabeling token
+/// ranks cannot change.
+#[derive(Debug)]
+pub struct IncrementalDict {
+    dict: TokenDict,
+    /// `id → rank`; a permutation of `0..len` extended append-only.
+    rank_of: Vec<u32>,
+}
+
+impl IncrementalDict {
+    /// Adopts the dictionary and frozen order of a cold build
+    /// ([`TokenizedTable::build_pair_retained`]).
+    pub fn new(dict: TokenDict, order: &TokenOrder) -> Self {
+        assert_eq!(dict.len(), order.len(), "dict and order disagree");
+        IncrementalDict {
+            dict,
+            rank_of: order.rank_table().to_vec(),
+        }
+    }
+
+    /// Number of distinct tokens known (original + post-freeze).
+    pub fn len(&self) -> usize {
+        self.rank_of.len()
+    }
+
+    /// True if no tokens are known.
+    pub fn is_empty(&self) -> bool {
+        self.rank_of.is_empty()
+    }
+
+    /// The current `id → rank` table (frozen prefix + appended ranks).
+    pub fn rank_table(&self) -> &[u32] {
+        &self.rank_of
+    }
+
+    /// Tokenizes one value into a sorted rank vector, interning tokens
+    /// first seen now at the next free ranks. `None` (missing value)
+    /// yields an empty vector.
+    pub fn ranks_of_value(&mut self, value: Option<&str>, tokenizer: Tokenizer) -> Vec<u32> {
+        let Some(v) = value else {
+            return Vec::new();
+        };
+        let mut ranks: Vec<u32> = tokenizer
+            .tokens(v)
+            .iter()
+            .map(|t| {
+                let id = self.dict.intern(t);
+                if id as usize == self.rank_of.len() {
+                    // First appearance after the freeze: new ids are
+                    // dense, so `id == len` exactly when fresh, and the
+                    // next free rank equals the table length.
+                    self.rank_of.push(id);
+                }
+                self.rank_of[id as usize]
+            })
+            .collect();
+        ranks.sort_unstable();
+        ranks
+    }
+
+    /// Re-tokenizes one row of a table over the session's attributes,
+    /// returning one sorted rank vector per attribute — the shape
+    /// [`TokenizedTable::set_row`] and [`TokenizedTable::push_row`]
+    /// take.
+    pub fn retokenize_row(
+        &mut self,
+        table: &Table,
+        id: TupleId,
+        attrs: &[AttrId],
+        tokenizer: Tokenizer,
+    ) -> Vec<Vec<u32>> {
+        let tuple = table.tuple(id);
+        attrs
+            .iter()
+            .map(|&attr| self.ranks_of_value(tuple.value(attr), tokenizer))
+            .collect()
     }
 }
 
@@ -337,6 +463,45 @@ mod tests {
         assert_eq!(m.len(), 4); // joe welson new york
         assert!(m.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(ta.merged_len(&[0, 1], 1), 4);
+    }
+
+    #[test]
+    fn incremental_dict_freezes_old_ranks_and_appends_new() {
+        let (a, b) = demo_tables();
+        let attrs = [AttrId(0), AttrId(1)];
+        let (ta, _tb, order, dict) =
+            TokenizedTable::build_pair_retained(&a, &b, &attrs, Tokenizer::Word);
+        let old_bound = order.len() as u32;
+        let mut incr = IncrementalDict::new(dict, &order);
+        // Re-tokenizing an unchanged row reproduces the cold vectors.
+        let row0 = incr.retokenize_row(&a, 0, &attrs, Tokenizer::Word);
+        assert_eq!(row0[0], ta.ranks(0, 0));
+        assert_eq!(row0[1], ta.ranks(1, 0));
+        // Unseen tokens get fresh ranks beyond the old bound, in first
+        // appearance order, deterministically.
+        let novel = incr.ranks_of_value(Some("zz yy zz"), Tokenizer::Word);
+        assert_eq!(novel.len(), 3);
+        assert!(novel.iter().all(|&r| r >= old_bound));
+        assert!(novel.windows(2).all(|w| w[0] <= w[1]));
+        let again = incr.ranks_of_value(Some("zz yy zz"), Tokenizer::Word);
+        assert_eq!(novel, again, "ranks are stable once assigned");
+        assert_eq!(incr.len(), order.len() + 2);
+        // Missing values tokenize to empty.
+        assert!(incr.ranks_of_value(None, Tokenizer::Word).is_empty());
+    }
+
+    #[test]
+    fn tokenized_table_set_and_push_row() {
+        let (a, b) = demo_tables();
+        let attrs = [AttrId(0), AttrId(1)];
+        let (mut ta, _tb, _order) = TokenizedTable::build_pair(&a, &b, &attrs, Tokenizer::Word);
+        ta.set_row(1, vec![vec![0, 3], vec![]]);
+        assert_eq!(ta.ranks(0, 1), &[0, 3]);
+        assert!(ta.ranks(1, 1).is_empty());
+        let id = ta.push_row(vec![vec![7], vec![1, 2]]);
+        assert_eq!(id, 2);
+        assert_eq!(ta.rows(), 3);
+        assert_eq!(ta.ranks(1, 2), &[1, 2]);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! types.
 
 pub mod csv;
+pub mod delta;
 pub mod digest;
 pub mod gold;
 pub mod hash;
@@ -33,9 +34,10 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 
+pub use delta::{DeltaError, RowEdit, TableDelta};
 pub use digest::{digest_bytes, Digest, DigestWriter};
 pub use gold::GoldMatches;
 pub use pair::{pair_key, split_pair_key, PairSet};
 pub use schema::{AttrId, AttrType, Attribute, Schema};
-pub use stats::{AttrStats, TableStats};
+pub use stats::{AttrStats, IncrTableStats, TableStats};
 pub use table::{Table, Tuple, TupleId};

@@ -10,9 +10,10 @@
 //! * the set of distinct values (to compare categorical domains between
 //!   tables A and B).
 
-use crate::hash::{fx_set, FxHashSet};
+use crate::delta::TableDelta;
+use crate::hash::{fx_map, fx_set, FxHashMap, FxHashSet};
 use crate::schema::{AttrId, AttrType};
-use crate::table::Table;
+use crate::table::{Table, Tuple};
 
 /// Fraction of parseable values above which an undeclared attribute is
 /// classified as numeric.
@@ -26,7 +27,7 @@ const CATEGORICAL_MAX_DISTINCT: usize = 32;
 const CATEGORICAL_UNIQUE_RATIO: f64 = 0.02;
 
 /// Statistics for one attribute of one table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttrStats {
     /// The attribute these statistics describe.
     pub attr: AttrId,
@@ -79,7 +80,7 @@ impl AttrStats {
 }
 
 /// Statistics for every attribute of a table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableStats {
     attrs: Vec<AttrStats>,
 }
@@ -158,6 +159,187 @@ impl TableStats {
         let inter = a.iter().filter(|v| b.contains(*v)).count();
         let union = a.len() + b.len() - inter;
         inter as f64 / union as f64
+    }
+}
+
+/// Incrementally maintained counters behind one attribute's
+/// [`AttrStats`]: everything [`TableStats::compute`]'s scan accumulates,
+/// plus the full value *multiset* (not just the distinct set) so removals
+/// can decide when a value's last occurrence disappears.
+#[derive(Debug, Clone)]
+struct IncrAttrStats {
+    attr: AttrId,
+    non_missing: usize,
+    token_total: usize,
+    numeric_hits: usize,
+    boolean_hits: usize,
+    /// Lowercased non-missing values with occurrence counts.
+    counts: FxHashMap<String, u32>,
+}
+
+impl IncrAttrStats {
+    /// Accounts one non-missing occurrence of `v` (already trimmed).
+    fn add_value(&mut self, v: &str) {
+        self.non_missing += 1;
+        self.token_total += v.split_whitespace().count();
+        if parse_numeric(v) {
+            self.numeric_hits += 1;
+        }
+        if parse_boolean(v) {
+            self.boolean_hits += 1;
+        }
+        *self.counts.entry(v.to_ascii_lowercase()).or_insert(0) += 1;
+    }
+
+    /// Reverses [`IncrAttrStats::add_value`] for one occurrence of `v`.
+    fn remove_value(&mut self, v: &str) {
+        self.non_missing -= 1;
+        self.token_total -= v.split_whitespace().count();
+        if parse_numeric(v) {
+            self.numeric_hits -= 1;
+        }
+        if parse_boolean(v) {
+            self.boolean_hits -= 1;
+        }
+        let key = v.to_ascii_lowercase();
+        let n = self
+            .counts
+            .get_mut(&key)
+            .expect("removed value must have been added");
+        if *n == 1 {
+            self.counts.remove(&key);
+        } else {
+            *n -= 1;
+        }
+    }
+}
+
+/// [`TableStats`] maintained under [`TableDelta`] edits.
+///
+/// [`IncrTableStats::compute`] performs the same single pass as
+/// [`TableStats::compute`]; [`IncrTableStats::apply_delta`] then keeps
+/// the counters in step with a table patch in time proportional to the
+/// delta, and [`IncrTableStats::snapshot`] converts them back into a
+/// `TableStats` **equal** to recomputing from scratch on the patched
+/// table: every counter is integer arithmetic, the derived ratios divide
+/// the same integers, and the distinct-value set is the multiset's key
+/// set. The incremental debugger relies on this equality to reproduce a
+/// cold run's promising-attribute selection without rescanning two large
+/// tables on every rerun.
+#[derive(Debug, Clone)]
+pub struct IncrTableStats {
+    rows: usize,
+    attrs: Vec<IncrAttrStats>,
+}
+
+impl IncrTableStats {
+    /// Builds the counters with one pass over `table`.
+    pub fn compute(table: &Table) -> Self {
+        let schema = table.schema();
+        let mut attrs: Vec<IncrAttrStats> = schema
+            .attr_ids()
+            .map(|attr| IncrAttrStats {
+                attr,
+                non_missing: 0,
+                token_total: 0,
+                numeric_hits: 0,
+                boolean_hits: 0,
+                counts: fx_map(),
+            })
+            .collect();
+        for (_, tuple) in table.iter() {
+            for st in &mut attrs {
+                if let Some(v) = trimmed(tuple, st.attr) {
+                    st.add_value(v);
+                }
+            }
+        }
+        IncrTableStats {
+            rows: table.len(),
+            attrs,
+        }
+    }
+
+    /// Folds a delta into the counters. Must be called with the
+    /// **pre-patch** table (the old values of updated and deleted rows
+    /// are read from it) and a delta that [`TableDelta::validate`]s
+    /// against it.
+    pub fn apply_delta(&mut self, table: &Table, delta: &TableDelta) {
+        for edit in &delta.updates {
+            self.remove_row(table.tuple(edit.id));
+            self.add_row(&edit.tuple);
+        }
+        for &id in &delta.deletes {
+            // Deletes tombstone the row to all-`None`: the slot (and the
+            // row count) stays, its values go.
+            self.remove_row(table.tuple(id));
+        }
+        for t in &delta.inserts {
+            self.add_row(t);
+            self.rows += 1;
+        }
+    }
+
+    fn add_row(&mut self, tuple: &Tuple) {
+        for st in &mut self.attrs {
+            if let Some(v) = trimmed(tuple, st.attr) {
+                st.add_value(v);
+            }
+        }
+    }
+
+    fn remove_row(&mut self, tuple: &Tuple) {
+        for st in &mut self.attrs {
+            if let Some(v) = trimmed(tuple, st.attr) {
+                st.remove_value(v);
+            }
+        }
+    }
+
+    /// Converts the counters into the [`TableStats`] a fresh
+    /// [`TableStats::compute`] over the same rows would produce.
+    pub fn snapshot(&self, table: &Table) -> TableStats {
+        let schema = table.schema();
+        let attrs = self
+            .attrs
+            .iter()
+            .map(|st| {
+                let distinct = st.counts.len();
+                let attr_type = schema.attr(st.attr).declared.unwrap_or_else(|| {
+                    infer_type(st.non_missing, distinct, st.numeric_hits, st.boolean_hits)
+                });
+                let keep_values = matches!(attr_type, AttrType::Categorical | AttrType::Boolean);
+                AttrStats {
+                    attr: st.attr,
+                    rows: self.rows,
+                    non_missing: st.non_missing,
+                    distinct,
+                    avg_tokens: if st.non_missing == 0 {
+                        0.0
+                    } else {
+                        st.token_total as f64 / st.non_missing as f64
+                    },
+                    attr_type,
+                    value_set: if keep_values {
+                        st.counts.keys().cloned().collect()
+                    } else {
+                        fx_set()
+                    },
+                }
+            })
+            .collect();
+        TableStats { attrs }
+    }
+}
+
+/// The trimmed non-missing value of `attr`, or `None` when the cell is
+/// missing or whitespace — the same missing test the full scan applies.
+fn trimmed(tuple: &Tuple, attr: AttrId) -> Option<&str> {
+    let v = tuple.value(attr)?.trim();
+    if v.is_empty() {
+        None
+    } else {
+        Some(v)
     }
 }
 
@@ -297,6 +479,54 @@ mod tests {
         assert_eq!(sa.value_set_jaccard(&sb, AttrId(0)), 0.0);
         let sa2 = TableStats::compute(&a);
         assert_eq!(sa.value_set_jaccard(&sa2, AttrId(0)), 1.0);
+    }
+
+    #[test]
+    fn incremental_stats_match_full_recompute() {
+        use crate::delta::{RowEdit, TableDelta};
+        let mut t = table_of(
+            "A",
+            &["name", "city", "price"],
+            &[
+                &[Some("dave smith"), Some("atlanta"), Some("10")],
+                &[Some("joe"), Some("ny"), Some("12.5")],
+                &[Some("sue b"), Some("atlanta"), None],
+                &[None, Some("sf"), Some("99")],
+            ],
+        );
+        let mut incr = IncrTableStats::compute(&t);
+        assert_eq!(incr.snapshot(&t), TableStats::compute(&t));
+
+        // One round of each edit kind, including a value that vanishes
+        // from the distinct set and a type-changing column.
+        let delta = TableDelta {
+            inserts: vec![
+                Tuple::from_present(["ann lee", "boston", "not a number"]),
+                Tuple::new(vec![None, None, None]),
+            ],
+            deletes: vec![2],
+            updates: vec![RowEdit {
+                id: 0,
+                tuple: Tuple::new(vec![Some("dave".into()), Some("ATLANTA ".into()), None]),
+            }],
+        };
+        incr.apply_delta(&t, &delta);
+        delta.apply(&mut t).unwrap();
+        assert_eq!(incr.snapshot(&t), TableStats::compute(&t));
+
+        // A second round on the patched table (exercises insert ids and
+        // repeated adds/removes of the same value).
+        let delta2 = TableDelta {
+            inserts: vec![Tuple::from_present(["joe", "ny", "12.5"])],
+            deletes: vec![0, 4],
+            updates: vec![RowEdit {
+                id: 1,
+                tuple: Tuple::from_present(["joe", "ny", "12.5"]),
+            }],
+        };
+        incr.apply_delta(&t, &delta2);
+        delta2.apply(&mut t).unwrap();
+        assert_eq!(incr.snapshot(&t), TableStats::compute(&t));
     }
 
     #[test]

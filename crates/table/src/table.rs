@@ -186,6 +186,15 @@ impl Table {
         id
     }
 
+    /// Replaces the row with the given id, returning the old row. The
+    /// source digest is cleared: the table's content no longer matches
+    /// the ingested file, so [`Table::content_digest`] must re-hash.
+    pub fn replace(&mut self, id: TupleId, tuple: Tuple) -> Tuple {
+        assert_eq!(tuple.len(), self.schema.len(), "row width mismatch");
+        self.source_digest = None;
+        std::mem::replace(&mut self.rows[id as usize], tuple)
+    }
+
     /// The row with the given id.
     #[inline]
     pub fn tuple(&self, id: TupleId) -> &Tuple {

@@ -1,0 +1,227 @@
+//! Randomized exactness oracle for the incremental debugging path.
+//!
+//! The contract under test ([`matchcatcher::incr`]): after any sequence
+//! of table deltas and killed-set diffs, `DebugSession::rerun` produces a
+//! `DebugReport` **byte-identical** (metrics aside) to a cold
+//! `start_session` on the patched tables with the same killed set and
+//! parameters — for every similarity measure, at shard counts 1 and 4,
+//! and for `q > 1`. The comparison covers every result-bearing field:
+//! ranked candidates (via `e_size`), confirmed matches in discovery
+//! order, per-iteration verifier records, label counts, and the problem
+//! summary.
+
+use matchcatcher::debugger::{DebugReport, DebuggerParams, MatchCatcher};
+use matchcatcher::joint::QStrategy;
+use matchcatcher::oracle::GoldOracle;
+use matchcatcher::verify::IterationRecord;
+use mc_blocking::{Blocker, KeyFunc};
+use mc_datagen::delta::{perturb_killed, random_delta, DeltaSpec};
+use mc_datagen::profiles::DatasetProfile;
+use mc_obs::MetricsSnapshot;
+use mc_strsim::measures::SetMeasure;
+use mc_table::{AttrId, GoldMatches, PairSet, Table, TableDelta, TupleId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The result-bearing fields of a [`DebugReport`] — everything the user
+/// sees, minus the metrics snapshot.
+type ReportSummary = (
+    Vec<(TupleId, TupleId)>,
+    usize,
+    usize,
+    usize,
+    Vec<IterationRecord>,
+    Vec<(String, usize)>,
+);
+
+fn summarize(r: &DebugReport) -> ReportSummary {
+    (
+        r.confirmed_matches.clone(),
+        r.e_size,
+        r.q_used,
+        r.labeled,
+        r.iterations.clone(),
+        r.problems.clone(),
+    )
+}
+
+fn fixture(seed: u64) -> (Table, Table, PairSet, GoldMatches) {
+    let ds = DatasetProfile::FodorsZagats.generate_scaled(seed, 0.35);
+    let killed = Blocker::Hash(KeyFunc::Attr(AttrId(0))).apply(&ds.a, &ds.b);
+    (ds.a, ds.b, killed, ds.gold)
+}
+
+fn session_params(measure: SetMeasure, q: usize, shards: usize) -> DebuggerParams {
+    let mut p = DebuggerParams::small();
+    p.joint.measure = measure;
+    p.joint.q = QStrategy::Fixed(q);
+    p.joint.shards = shards;
+    // Exercise the requested shard count even on small CI machines.
+    p.joint.clamp_shards = false;
+    p.incr.margin = 32;
+    p
+}
+
+/// Runs `rounds` random deltas through one live session, checking each
+/// report against a cold session on the patched state.
+fn check_incremental_exactness(params: DebuggerParams, seed: u64, rounds: usize) {
+    let (a, b, killed, gold) = fixture(seed);
+    let mc = MatchCatcher::new(params);
+    let mut oracle = GoldOracle::exact(&gold);
+    let (mut session, start) = mc.start_session(a, b, killed, &mut oracle);
+    assert!(start.e_size > 0, "fixture produces candidates");
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    for round in 0..rounds {
+        let spec_a = DeltaSpec::fraction_of(session.table_a().len(), 0.03);
+        let spec_b = DeltaSpec::fraction_of(session.table_b().len(), 0.03);
+        let delta_a = random_delta(session.table_a(), spec_a, &mut rng);
+        let delta_b = random_delta(session.table_b(), spec_b, &mut rng);
+        let nk = perturb_killed(
+            session.killed(),
+            (session.table_a().len() + delta_a.inserts.len()) as u32,
+            (session.table_b().len() + delta_b.inserts.len()) as u32,
+            0.05,
+            8,
+            &mut rng,
+        );
+        let incr = session
+            .rerun(&delta_a, &delta_b, Some(nk), &mut oracle)
+            .expect("generated deltas are valid");
+
+        let (_, cold) = mc.start_session(
+            session.table_a().clone(),
+            session.table_b().clone(),
+            session.killed().clone(),
+            &mut GoldOracle::exact(&gold),
+        );
+        assert_eq!(
+            summarize(&cold),
+            summarize(&incr),
+            "incremental report diverged from cold run at round {round}"
+        );
+    }
+}
+
+#[test]
+fn incremental_matches_cold_jaccard() {
+    check_incremental_exactness(session_params(SetMeasure::Jaccard, 1, 1), 3, 3);
+}
+
+#[test]
+fn incremental_matches_cold_cosine() {
+    check_incremental_exactness(session_params(SetMeasure::Cosine, 1, 1), 4, 3);
+}
+
+#[test]
+fn incremental_matches_cold_dice() {
+    check_incremental_exactness(session_params(SetMeasure::Dice, 1, 1), 5, 3);
+}
+
+#[test]
+fn incremental_matches_cold_overlap() {
+    check_incremental_exactness(session_params(SetMeasure::Overlap, 1, 1), 6, 3);
+}
+
+#[test]
+fn incremental_matches_cold_sharded() {
+    check_incremental_exactness(session_params(SetMeasure::Jaccard, 1, 4), 7, 3);
+}
+
+#[test]
+fn incremental_matches_cold_q2() {
+    check_incremental_exactness(session_params(SetMeasure::Jaccard, 2, 1), 8, 3);
+}
+
+/// The killed-only fast path must reuse every join: zero pairs rescored
+/// by delta joins beyond the direct re-scores, and an identical report.
+#[test]
+fn killed_only_diff_reuses_joins() {
+    let (a, b, killed, gold) = fixture(9);
+    let mc = MatchCatcher::new(session_params(SetMeasure::Jaccard, 1, 1));
+    let mut oracle = GoldOracle::exact(&gold);
+    let (mut session, _) = mc.start_session(a, b, killed, &mut oracle);
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let nk = perturb_killed(
+        session.killed(),
+        session.table_a().len() as u32,
+        session.table_b().len() as u32,
+        0.2,
+        10,
+        &mut rng,
+    );
+    let before = MetricsSnapshot::capture();
+    let incr = session
+        .rerun(
+            &TableDelta::new(),
+            &TableDelta::new(),
+            Some(nk),
+            &mut oracle,
+        )
+        .unwrap();
+    let delta = MetricsSnapshot::capture().since(&before);
+    assert!(
+        delta.counter("mc.core.incr.killed_fast_path") > 0,
+        "killed-only diff must take the fast path"
+    );
+    assert!(
+        delta.counter("mc.core.incr.pairs_reused") > 0,
+        "fast path must reuse maintained entries"
+    );
+    assert_eq!(
+        delta.counter("mc.core.incr.records_patched"),
+        0,
+        "no records may be patched on a killed-only diff"
+    );
+
+    let (_, cold) = mc.start_session(
+        session.table_a().clone(),
+        session.table_b().clone(),
+        session.killed().clone(),
+        &mut GoldOracle::exact(&gold),
+    );
+    assert_eq!(summarize(&cold), summarize(&incr));
+}
+
+/// Repeated deletes must eventually trip arena compaction, and the
+/// session must stay exact across it.
+#[test]
+fn compaction_preserves_exactness() {
+    let (a, b, killed, gold) = fixture(10);
+    let mut params = session_params(SetMeasure::Jaccard, 1, 1);
+    params.incr.compact_threshold = 0.05;
+    let mc = MatchCatcher::new(params);
+    let mut oracle = GoldOracle::exact(&gold);
+    let (mut session, _) = mc.start_session(a, b, killed, &mut oracle);
+
+    let mut rng = StdRng::seed_from_u64(1010);
+    let before = MetricsSnapshot::capture();
+    for _ in 0..4 {
+        let spec = DeltaSpec {
+            updates: session.table_a().len() / 10,
+            deletes: 2,
+            inserts: 2,
+        };
+        let delta_a = random_delta(session.table_a(), spec, &mut rng);
+        session
+            .rerun(&delta_a, &TableDelta::new(), None, &mut oracle)
+            .unwrap();
+    }
+    let delta = MetricsSnapshot::capture().since(&before);
+    assert!(
+        delta.counter("mc.core.incr.compactions") > 0,
+        "aggressive threshold must trigger compaction"
+    );
+
+    let (_, cold) = mc.start_session(
+        session.table_a().clone(),
+        session.table_b().clone(),
+        session.killed().clone(),
+        &mut GoldOracle::exact(&gold),
+    );
+    let replay = session
+        .rerun(&TableDelta::new(), &TableDelta::new(), None, &mut oracle)
+        .unwrap();
+    assert_eq!(summarize(&cold), summarize(&replay));
+}
