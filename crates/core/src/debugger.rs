@@ -79,10 +79,17 @@ impl DebuggerParams {
         p
     }
 
+    /// Upper bound on `joint.k + incr.margin` accepted by
+    /// [`DebuggerParams::validate`]. Each session keeps `K = k + margin`
+    /// `(f64, u64)` entries *per config*, so a oversized cap turns one
+    /// `open` request into gigabytes of resident list state.
+    pub const MAX_LIST_CAP: usize = 1 << 22;
+
     /// Rejects parameter combinations that would silently produce a
     /// degenerate run. Called by [`MatchCatcher::run`] and
     /// [`MatchCatcher::topk`]; call it directly when constructing params
-    /// from user input.
+    /// from user input (`mc-serve` mirrors these checks in
+    /// `ServeParams::validate`).
     pub fn validate(&self) -> Result<(), String> {
         if self.joint.k == 0 {
             return Err("joint.k = 0: every top-k list would be empty, so the \
@@ -105,6 +112,16 @@ impl DebuggerParams {
             return Err("verifier.n_per_iter = 0: no pairs would ever be shown \
                         to the user (the paper uses n = 20)"
                 .into());
+        }
+        let cap = self.joint.k.saturating_add(self.incr.margin);
+        if cap > Self::MAX_LIST_CAP {
+            return Err(format!(
+                "joint.k + incr.margin = {cap} exceeds the per-config list \
+                 capacity limit of {} entries: a server holding a handful of \
+                 such sessions resident would exhaust memory on list state \
+                 alone (the paper uses k = 1000)",
+                Self::MAX_LIST_CAP
+            ));
         }
         Ok(())
     }
@@ -385,99 +402,6 @@ impl MatchCatcher {
         )
     }
 
-    /// Restores one arena from the store, zero-copy first: a mapped
-    /// [`ArtifactKind::Postings`] payload is validated and borrowed in
-    /// place (no decode, no copy); on miss or validation failure
-    /// (counted under `mc.store.decode_failed`) the byte-codec
-    /// [`ArtifactKind::Arena`] artifact — written by older builds — is
-    /// tried before giving up.
-    fn restore_arena(s: &Store, key: Digest) -> Option<RecordArena> {
-        if let Some(mapped) = s.load_mapped(ArtifactKind::Postings, key) {
-            if let Some(arena) = decoded(store_io::map_arena(mapped)) {
-                return Some(arena);
-            }
-        }
-        s.load(ArtifactKind::Arena, key)
-            .and_then(|b| decoded(store_io::decode_arena(&b)))
-    }
-
-    /// Per-config record arenas, preferring store artifacts (mmapped
-    /// zero-copy payloads first, then the byte codec). With no hits the
-    /// whole set is built in parallel (the cold
-    /// `mc.core.joint.build_arenas` path) and published in the zero-copy
-    /// layout; partial hits — possible after a gc evicted some files —
-    /// fill only the gaps.
-    fn assemble_arenas(
-        &self,
-        prepared: &Prepared,
-        store: Option<&Store>,
-        tok: Option<Digest>,
-    ) -> Vec<(RecordArena, RecordArena)> {
-        let configs = prepared.tree.configs();
-        let threads = if self.params.joint.threads == 0 {
-            std::thread::available_parallelism().map_or(4, |p| p.get())
-        } else {
-            self.params.joint.threads
-        };
-        let (s, tok) = match (store, tok) {
-            (Some(s), Some(tok)) => (s, tok),
-            _ => return build_arenas(&prepared.tok_a, &prepared.tok_b, &configs, threads),
-        };
-        let keys: Vec<(Digest, Digest)> = configs
-            .iter()
-            .map(|c| {
-                let pos = c.positions();
-                (
-                    store_io::arena_key(tok, 0, &pos),
-                    store_io::arena_key(tok, 1, &pos),
-                )
-            })
-            .collect();
-        let mut out: Vec<Option<(RecordArena, RecordArena)>> = keys
-            .iter()
-            .map(|&(ka, kb)| {
-                let la = Self::restore_arena(s, ka)?;
-                let lb = Self::restore_arena(s, kb)?;
-                (la.len() == prepared.tok_a.rows() && lb.len() == prepared.tok_b.rows())
-                    .then_some((la, lb))
-            })
-            .collect();
-        let publish_pair = |pair: &(RecordArena, RecordArena), ka: Digest, kb: Digest| {
-            s.publish(
-                ArtifactKind::Postings,
-                ka,
-                &store_io::encode_arena_zc(&pair.0),
-            );
-            s.publish(
-                ArtifactKind::Postings,
-                kb,
-                &store_io::encode_arena_zc(&pair.1),
-            );
-        };
-        if out.iter().all(Option::is_none) {
-            let built = build_arenas(&prepared.tok_a, &prepared.tok_b, &configs, threads);
-            for (pair, &(ka, kb)) in built.iter().zip(&keys) {
-                publish_pair(pair, ka, kb);
-            }
-            return built;
-        }
-        for (i, slot) in out.iter_mut().enumerate() {
-            if slot.is_none() {
-                let pos = configs[i].positions();
-                let pair = (
-                    RecordArena::from_tokenized(&prepared.tok_a, &pos),
-                    RecordArena::from_tokenized(&prepared.tok_b, &pos),
-                );
-                let (ka, kb) = keys[i];
-                publish_pair(&pair, ka, kb);
-                *slot = Some(pair);
-            }
-        }
-        out.into_iter()
-            .map(|o| o.expect("all slots filled"))
-            .collect()
-    }
-
     /// Store-aware top-k stage. A candidate-union hit returns without
     /// touching arenas or running a single join; a miss runs the joint
     /// stage over (possibly restored) arenas and publishes the result.
@@ -509,7 +433,14 @@ impl MatchCatcher {
                 mc_obs::counter!("mc.store.decode_failed").inc();
             }
         }
-        let arenas = self.assemble_arenas(prepared, store, tok);
+        let arenas = assemble_arenas_cached(
+            &prepared.tok_a,
+            &prepared.tok_b,
+            &prepared.tree.configs(),
+            self.params.joint.threads,
+            store,
+            tok,
+        );
         let out = run_joint_with_arenas(
             &prepared.tok_a,
             &prepared.tok_b,
@@ -639,6 +570,102 @@ impl MatchCatcher {
     }
 }
 
+/// Restores one arena from the store, zero-copy first: a mapped
+/// [`ArtifactKind::Postings`] payload is validated and borrowed in
+/// place (no decode, no copy); on miss or validation failure
+/// (counted under `mc.store.decode_failed`) the byte-codec
+/// [`ArtifactKind::Arena`] artifact — written by older builds — is
+/// tried before giving up.
+fn restore_arena(s: &Store, key: Digest) -> Option<RecordArena> {
+    if let Some(mapped) = s.load_mapped(ArtifactKind::Postings, key) {
+        if let Some(arena) = decoded(store_io::map_arena(mapped)) {
+            return Some(arena);
+        }
+    }
+    s.load(ArtifactKind::Arena, key)
+        .and_then(|b| decoded(store_io::decode_arena(&b)))
+}
+
+/// Per-config record arenas, preferring store artifacts (mmapped
+/// zero-copy payloads first, then the byte codec). With no hits the
+/// whole set is built in parallel (the cold
+/// `mc.core.joint.build_arenas` path) and published in the zero-copy
+/// layout; partial hits — possible after a gc evicted some files —
+/// fill only the gaps. Shared by the one-shot warm path
+/// ([`MatchCatcher::run`]) and incremental sessions
+/// ([`MatchCatcher::start_session`], whose patches copy a mapped arena
+/// out on first write).
+pub(crate) fn assemble_arenas_cached(
+    tok_a: &TokenizedTable,
+    tok_b: &TokenizedTable,
+    configs: &[Config],
+    threads: usize,
+    store: Option<&Store>,
+    tok: Option<Digest>,
+) -> Vec<(RecordArena, RecordArena)> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |p| p.get())
+    } else {
+        threads
+    };
+    let (s, tok) = match (store, tok) {
+        (Some(s), Some(tok)) => (s, tok),
+        _ => return build_arenas(tok_a, tok_b, configs, threads),
+    };
+    let keys: Vec<(Digest, Digest)> = configs
+        .iter()
+        .map(|c| {
+            let pos = c.positions();
+            (
+                store_io::arena_key(tok, 0, &pos),
+                store_io::arena_key(tok, 1, &pos),
+            )
+        })
+        .collect();
+    let mut out: Vec<Option<(RecordArena, RecordArena)>> = keys
+        .iter()
+        .map(|&(ka, kb)| {
+            let la = restore_arena(s, ka)?;
+            let lb = restore_arena(s, kb)?;
+            (la.len() == tok_a.rows() && lb.len() == tok_b.rows()).then_some((la, lb))
+        })
+        .collect();
+    let publish_pair = |pair: &(RecordArena, RecordArena), ka: Digest, kb: Digest| {
+        s.publish(
+            ArtifactKind::Postings,
+            ka,
+            &store_io::encode_arena_zc(&pair.0),
+        );
+        s.publish(
+            ArtifactKind::Postings,
+            kb,
+            &store_io::encode_arena_zc(&pair.1),
+        );
+    };
+    if out.iter().all(Option::is_none) {
+        let built = build_arenas(tok_a, tok_b, configs, threads);
+        for (pair, &(ka, kb)) in built.iter().zip(&keys) {
+            publish_pair(pair, ka, kb);
+        }
+        return built;
+    }
+    for (i, slot) in out.iter_mut().enumerate() {
+        if slot.is_none() {
+            let pos = configs[i].positions();
+            let pair = (
+                RecordArena::from_tokenized(tok_a, &pos),
+                RecordArena::from_tokenized(tok_b, &pos),
+            );
+            let (ka, kb) = keys[i];
+            publish_pair(&pair, ka, kb);
+            *slot = Some(pair);
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -743,6 +770,19 @@ mod tests {
     fn default_and_small_params_validate() {
         assert!(DebuggerParams::default().validate().is_ok());
         assert!(DebuggerParams::small().validate().is_ok());
+    }
+
+    #[test]
+    fn oversized_list_cap_is_rejected() {
+        let mut params = DebuggerParams::small();
+        params.incr.margin = DebuggerParams::MAX_LIST_CAP;
+        let err = params.validate().unwrap_err();
+        assert!(err.contains("list"), "unexpected error: {err}");
+        params.incr.margin = 0;
+        params.joint.k = DebuggerParams::MAX_LIST_CAP + 1;
+        assert!(params.validate().is_err());
+        params.joint.k = DebuggerParams::MAX_LIST_CAP;
+        assert!(params.validate().is_ok());
     }
 
     #[test]

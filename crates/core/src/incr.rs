@@ -80,7 +80,7 @@ use crate::config::{ConfigGenerator, ConfigTree, PromisingAttrs};
 use crate::debugger::{DebugReport, DebuggerParams, MatchCatcher, Stage};
 use crate::explain::{explain_match, MatchExplanation};
 use crate::features::FeatureExtractor;
-use crate::joint::{build_arenas, run_joint_with_arenas, CandidateUnion, QStrategy};
+use crate::joint::{run_joint_with_arenas, CandidateUnion, QStrategy};
 use crate::oracle::Oracle;
 use crate::ssj::{
     topk_join_sharded, topk_semi_join, ExactScorer, JoinScratchPool, SsjInstance, SsjParams,
@@ -288,12 +288,90 @@ impl DebugSession {
         self.params.joint.k + self.params.incr.margin
     }
 
+    /// Estimated resident heap footprint of the session's pipeline
+    /// state, in bytes: raw tables, tokenized rank vectors, per-config
+    /// arenas (mapped pages count like owned bytes — eviction cares
+    /// about address-space pressure either way), and maintained top-K
+    /// lists. An *estimate* for eviction budgeting (`mc-serve`'s
+    /// max-resident-bytes policy), not an allocator-exact accounting:
+    /// per-allocation headers and `Vec` slack are approximated by a
+    /// flat per-row constant.
+    pub fn resident_bytes(&self) -> usize {
+        const PER_VEC: usize = 24; // Vec header (ptr, len, cap)
+        let mut total = 0usize;
+        for table in [&self.a, &self.b] {
+            for id in 0..table.len() as TupleId {
+                for a in 0..table.schema().len() {
+                    total += PER_VEC
+                        + table
+                            .value(id, mc_table::AttrId(a as u16))
+                            .map_or(0, str::len);
+                }
+            }
+        }
+        for tok in [&self.tok_a, &self.tok_b] {
+            for attr in 0..tok.attr_count() {
+                for row in 0..tok.rows() as TupleId {
+                    total += PER_VEC + tok.ranks(attr, row).len() * 4;
+                }
+            }
+        }
+        for (arena_a, arena_b) in &self.arenas {
+            for arena in [arena_a, arena_b] {
+                // `total_tokens` counts live tokens and is valid on
+                // patched (non-compact) arenas, where the raw buffer
+                // accessor would refuse; garbage spans pending
+                // compaction are deliberately not billed.
+                total += arena.total_tokens() * 4 + (arena.len() + 1) * 8;
+            }
+        }
+        for list in &self.lists {
+            total += PER_VEC + list.len() * 16;
+        }
+        total += self.dict.len() * 32; // interned token strings + rank table
+        total
+    }
+
     /// Builds arenas and runs the joint stage cold at capacity `K`,
     /// replacing the session's arenas and lists.
+    ///
+    /// With a configured store the arenas come through the warm path
+    /// first — zero-copy mmapped `Postings` payloads, byte-codec
+    /// fallback — and misses are built cold and published, exactly like
+    /// the one-shot [`MatchCatcher::run`]. A warm-loaded arena stays
+    /// mapped until the first delta patches it
+    /// ([`RecordArena::make_patchable`] copies it out then), so a
+    /// session that only edits the killed set never pays the copy.
     fn cold_joint(&mut self) {
         let _span = mc_obs::Span::enter(Stage::TopK.span_name());
         let threads = self.params.joint.threads.max(1);
-        self.arenas = build_arenas(&self.tok_a, &self.tok_b, &self.configs, threads);
+        let store = self
+            .params
+            .store
+            .as_ref()
+            .and_then(|c| match Store::open(c) {
+                Ok(s) => Some(s),
+                Err(_) => {
+                    mc_obs::counter!("mc.store.open_failed").inc();
+                    None
+                }
+            });
+        let tok_key = store.as_ref().map(|_| {
+            store_io::tok_key(
+                self.a.content_digest(),
+                self.b.content_digest(),
+                &self.promising.attrs,
+                Tokenizer::Word,
+            )
+        });
+        self.arenas = crate::debugger::assemble_arenas_cached(
+            &self.tok_a,
+            &self.tok_b,
+            &self.configs,
+            threads,
+            store.as_ref(),
+            tok_key,
+        );
         let mut jp = self.params.joint;
         jp.k = self.cap();
         let out = run_joint_with_arenas(
@@ -907,6 +985,72 @@ mod tests {
             &mut GoldOracle::exact(&gold),
         );
         assert_eq!(summarize(&cold), summarize(&incr));
+    }
+
+    #[test]
+    fn warm_session_start_reuses_store_arenas_identically() {
+        use mc_store::StoreConfig;
+        let root = std::env::temp_dir().join(format!(
+            "mc_incr_warm_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let (a, b, killed, gold) = fixture();
+        let with_store = |root: &std::path::Path| {
+            let mut p = params();
+            p.store = Some(StoreConfig::at(root));
+            p.obs = mc_obs::ObsContext::session();
+            p
+        };
+        let (_, cold) = MatchCatcher::new(with_store(&root)).start_session(
+            a.clone(),
+            b.clone(),
+            killed.clone(),
+            &mut GoldOracle::exact(&gold),
+        );
+        assert!(
+            cold.metrics.counter("mc.store.publishes") > 0,
+            "cold session publishes arenas"
+        );
+        // A second session over the same inputs warm-loads the arenas.
+        let (mut warm_session, warm) = MatchCatcher::new(with_store(&root)).start_session(
+            a,
+            b,
+            killed,
+            &mut GoldOracle::exact(&gold),
+        );
+        assert_eq!(summarize(&cold), summarize(&warm));
+        assert!(
+            warm.metrics.counter("mc.store.hits") > 0,
+            "warm session hits store artifacts"
+        );
+        assert!(warm_session.resident_bytes() > 0);
+        // Mapped arenas stay fully patchable: a delta rerun on the warm
+        // session matches a cold session over the patched tables.
+        let donor = warm_session.table_b().tuple(0).clone();
+        let delta_b = TableDelta {
+            updates: Vec::new(),
+            deletes: Vec::new(),
+            inserts: vec![donor],
+        };
+        let mut oracle = GoldOracle::exact(&gold);
+        let incr = warm_session
+            .rerun(&TableDelta::new(), &delta_b, None, &mut oracle)
+            .unwrap();
+        let (_, reference) = MatchCatcher::new(params()).start_session(
+            warm_session.table_a().clone(),
+            warm_session.table_b().clone(),
+            warm_session.killed().clone(),
+            &mut GoldOracle::exact(&gold),
+        );
+        assert_eq!(summarize(&reference), summarize(&incr));
+        // Footprint estimation must survive patched (non-compact)
+        // arenas — serve polls it after every rerun for eviction.
+        assert!(warm_session.resident_bytes() > 0);
+        std::fs::remove_dir_all(root).ok();
     }
 
     #[test]

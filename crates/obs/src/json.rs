@@ -101,6 +101,125 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Serializes the value as a compact JSON document.
+    ///
+    /// The output round-trips through [`JsonValue::parse`]: strings are
+    /// escaped (including control characters in hostile names), integral
+    /// numbers up to 2^53 print without a fractional part, and non-finite
+    /// numbers — which JSON cannot represent — serialize as `null`.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => write_num(*n, out),
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Num(n)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+fn write_num(n: f64, out: &mut String) {
+    use std::fmt::Write;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= (1u64 << 53) as f64 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // `{}` on f64 prints the shortest representation that parses
+        // back to the same bits.
+        let _ = write!(out, "{n}");
+    }
+}
+
+/// Escapes a string for embedding in a JSON document (adds no quotes).
+///
+/// Shared by every emitter in the workspace: snapshot/report writers,
+/// the Prometheus/trace exporters, and the `mc-serve` wire codec.
+pub fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 struct Parser<'a> {
@@ -326,6 +445,51 @@ mod tests {
         ] {
             assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn serializer_round_trips() {
+        let doc = JsonValue::Obj(vec![
+            ("n".into(), JsonValue::Num(-2.5)),
+            ("i".into(), JsonValue::Num((1u64 << 53) as f64)),
+            (
+                "s".into(),
+                JsonValue::Str("hostile \"name\"\\with\nctl\u{1}".into()),
+            ),
+            (
+                "a".into(),
+                JsonValue::Arr(vec![JsonValue::Null, JsonValue::Bool(true)]),
+            ),
+            ("o".into(), JsonValue::Obj(vec![])),
+        ]);
+        let text = doc.to_json_string();
+        assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+        // Integral values print without a fraction; escapes are emitted.
+        assert!(text.contains("\"i\":9007199254740992"));
+        assert!(text.contains("\\\"name\\\""));
+        assert!(text.contains("\\u0001"));
+    }
+
+    #[test]
+    fn serializer_maps_non_finite_to_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).to_json_string(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_json_string(), "null");
+        // Non-integral floats keep full round-trip precision.
+        let v = JsonValue::Num(0.1 + 0.2);
+        let back = JsonValue::parse(&v.to_json_string()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn from_impls_build_values() {
+        let v = JsonValue::Obj(vec![
+            ("a".into(), 3u64.into()),
+            ("b".into(), "x".into()),
+            ("c".into(), true.into()),
+        ]);
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(true));
     }
 
     #[test]

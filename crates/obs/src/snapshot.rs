@@ -488,17 +488,7 @@ fn fmt_us(us: u64) -> String {
     }
 }
 
-pub(crate) fn escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            '\n' => "\\n".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
+pub(crate) use crate::json::escape;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,8 @@
+//! `mcd` — the standalone MatchCatcher debug daemon. Equivalent to
+//! `mc serve`; see `mc_serve::cli::USAGE` and DESIGN.md §"Debug
+//! service".
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(mc_serve::cli::run(&args));
+}

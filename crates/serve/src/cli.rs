@@ -1,0 +1,105 @@
+//! The daemon's command line, shared by the `mcd` binary and the
+//! `mc serve` subcommand.
+
+use crate::{Daemon, ServeParams};
+
+/// Usage text (flags accepted by [`run`]).
+pub const USAGE: &str = "usage: mcd [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+     \x20          [--max-frame-bytes N] [--max-sessions N] [--max-resident-bytes N]\n\
+     \x20          [--timeout-ms N] [--store DIR]\n\
+     \x20   port 0 picks an ephemeral port; the bound address is printed as\n\
+     \x20   'mcd listening on HOST:PORT' once the daemon accepts connections.\n\
+     \x20   Stop it with the `shutdown` verb (graceful drain).";
+
+/// Parses flags into [`ServeParams`].
+pub fn parse_args(args: &[String]) -> Result<ServeParams, String> {
+    let mut params = ServeParams::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parse = |v: &str| -> Result<usize, String> {
+            v.parse().map_err(|_| format!("{flag}: bad number {v:?}"))
+        };
+        match flag {
+            "--addr" => params.addr = value()?.clone(),
+            "--workers" => params.workers = parse(value()?)?,
+            "--queue-depth" => params.queue_depth = parse(value()?)?,
+            "--max-frame-bytes" => params.max_frame_bytes = parse(value()?)?,
+            "--max-sessions" => params.max_sessions = parse(value()?)?,
+            "--max-resident-bytes" => params.max_resident_bytes = parse(value()?)?,
+            "--timeout-ms" => params.request_timeout_ms = parse(value()?)? as u64,
+            "--store" => params.store_root = Some(value()?.into()),
+            _ => return Err(format!("unknown flag {flag}")),
+        }
+        i += 2;
+    }
+    params.validate()?;
+    Ok(params)
+}
+
+/// Parses, spawns, prints the bound address, and blocks until a
+/// `shutdown` frame drains the daemon. Returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let params = match parse_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mcd: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let daemon = match Daemon::spawn(params) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("mcd: {e}");
+            return 1;
+        }
+    };
+    println!("mcd listening on {}", daemon.addr());
+    let (requests, protocol_errors) = daemon.wait();
+    println!("mcd drained: {requests} requests served, {protocol_errors} protocol errors");
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_map_onto_params() {
+        let args: Vec<String> = [
+            "--addr",
+            "127.0.0.1:7070",
+            "--workers",
+            "3",
+            "--queue-depth",
+            "9",
+            "--max-sessions",
+            "5",
+            "--timeout-ms",
+            "1234",
+        ]
+        .map(String::from)
+        .to_vec();
+        let p = parse_args(&args).unwrap();
+        assert_eq!(p.addr, "127.0.0.1:7070");
+        assert_eq!((p.workers, p.queue_depth, p.max_sessions), (3, 9, 5));
+        assert_eq!(p.request_timeout_ms, 1234);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        for bad in [
+            &["--nope"][..],
+            &["--workers"],
+            &["--workers", "x"],
+            &["--workers", "0"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(parse_args(&args).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! A blocking client for the daemon protocol — what `mc serve
+//! --script`, the `serve_load` bench, and the integration tests speak.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use mc_obs::JsonValue;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a daemon. Requests on a single client are a
+/// sequential script: `call` writes a frame and blocks for its reply.
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects. `timeout` bounds the connect and every subsequent
+    /// reply wait.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Client, String> {
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| e.to_string())?
+            .next()
+            .ok_or("address resolved to nothing")?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout).map_err(|e| e.to_string())?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| e.to_string())?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| e.to_string())?;
+        Ok(Client {
+            stream,
+            max_frame_bytes: 64 << 20,
+        })
+    }
+
+    /// Sends one request frame and blocks for the response frame.
+    pub fn call(&mut self, request: &JsonValue) -> Result<JsonValue, String> {
+        write_frame(&mut self.stream, request).map_err(|e| format!("send: {e}"))?;
+        loop {
+            match read_frame(&mut self.stream, self.max_frame_bytes, 10_000) {
+                Ok(v) => return Ok(v),
+                // The socket read timeout doubles as the reply wait here;
+                // `Idle` between frames just means the worker is still
+                // executing — keep waiting (the daemon's own deadline
+                // produces a `timeout` error frame eventually).
+                Err(FrameError::Idle) => continue,
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+    }
+
+    /// `call` + protocol check: returns the payload of an `ok` response,
+    /// or `Err((code, message))` for a structured error.
+    pub fn call_ok(&mut self, request: &JsonValue) -> Result<JsonValue, (String, String)> {
+        let resp = self
+            .call(request)
+            .map_err(|e| ("transport".to_string(), e))?;
+        if resp.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+            return Ok(resp);
+        }
+        let code = resp
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let message = resp
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?")
+            .to_string();
+        Err((code, message))
+    }
+
+    /// Requests a graceful drain.
+    pub fn shutdown(&mut self) -> Result<JsonValue, String> {
+        self.call(&JsonValue::Obj(vec![("verb".into(), "shutdown".into())]))
+    }
+}

@@ -1,0 +1,216 @@
+//! The wire codec: length-prefixed JSON frames.
+//!
+//! One frame = a 4-byte little-endian payload length followed by that
+//! many bytes of UTF-8 JSON. JSON values are serialized with
+//! [`JsonValue::to_json_string`] — the satellite-promoted emitter shared
+//! with the `mc-obs` snapshot writers — so hostile strings (quotes,
+//! control characters) are escaped identically everywhere.
+//!
+//! The reader distinguishes a **clean close** (EOF on a frame boundary)
+//! from a truncated frame, rejects frames above the negotiated cap
+//! before reading their body (the connection must then close — the
+//! stream cannot be resynchronized past an unread body), and treats the
+//! socket's read timeout as an *idle poll*: between frames it simply
+//! reports [`FrameError::Idle`] so the connection loop can check the
+//! daemon's shutdown flag, while a timeout *inside* a frame only fails
+//! the read after `stall_ms` of no progress.
+
+use mc_obs::JsonValue;
+use std::io::{ErrorKind, Read, Write};
+use std::time::Instant;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection on a frame boundary.
+    Closed,
+    /// The socket's read timeout fired with no frame in progress.
+    Idle,
+    /// I/O failure (including EOF or stall mid-frame).
+    Io(std::io::Error),
+    /// The announced payload length exceeds the frame cap.
+    TooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+    /// The payload was not valid JSON (or not valid UTF-8).
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Idle => write!(f, "idle (read timeout between frames)"),
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::TooLarge { len, cap } => {
+                write!(f, "frame of {len} bytes exceeds the {cap}-byte cap")
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Serializes `value` and writes it as one frame.
+pub fn write_frame(w: &mut impl Write, value: &JsonValue) -> std::io::Result<()> {
+    let body = value.to_json_string();
+    let mut buf = Vec::with_capacity(4 + body.len());
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(body.as_bytes());
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame, allowing up to `cap` payload bytes.
+///
+/// `stall_ms` bounds how long a *started* frame may sit without
+/// progress before the read fails (`0` = fail on the first in-frame
+/// timeout). A read timeout before any byte of the frame arrives
+/// returns [`FrameError::Idle`] instead — the caller's poll point.
+pub fn read_frame(r: &mut impl Read, cap: usize, stall_ms: u64) -> Result<JsonValue, FrameError> {
+    let mut len_buf = [0u8; 4];
+    read_full(r, &mut len_buf, true, stall_ms)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > cap {
+        return Err(FrameError::TooLarge { len, cap });
+    }
+    let mut body = vec![0u8; len];
+    read_full(r, &mut body, false, stall_ms)?;
+    let text = std::str::from_utf8(&body).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    JsonValue::parse(text).map_err(FrameError::Malformed)
+}
+
+/// Fills `buf`, tolerating short reads and — until the first byte when
+/// `boundary` — timeouts and clean EOF.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    boundary: bool,
+    stall_ms: u64,
+) -> Result<(), FrameError> {
+    let mut filled = 0usize;
+    let mut last_progress: Option<Instant> = None;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if boundary && filled == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ))
+                });
+            }
+            Ok(n) => {
+                filled += n;
+                last_progress = Some(Instant::now());
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if boundary && filled == 0 && last_progress.is_none() {
+                    return Err(FrameError::Idle);
+                }
+                let stalled = last_progress
+                    .map(|t| t.elapsed().as_millis() as u64)
+                    .unwrap_or(u64::MAX);
+                if stalled >= stall_ms {
+                    return Err(FrameError::Io(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "frame stalled mid-read",
+                    )));
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes(v: &JsonValue) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, v).unwrap();
+        out
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let v = JsonValue::Obj(vec![
+            ("verb".into(), "open".into()),
+            ("hostile".into(), "a\"b\\c\nd\u{1}".into()),
+            (
+                "nums".into(),
+                JsonValue::Arr(vec![0u64.into(), JsonValue::Num(-1.5)]),
+            ),
+        ]);
+        let bytes = frame_bytes(&v);
+        assert_eq!(
+            u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize,
+            bytes.len() - 4
+        );
+        let mut cur = Cursor::new(bytes);
+        let back = read_frame(&mut cur, 1 << 20, 0).unwrap();
+        assert_eq!(back, v);
+        // EOF on the boundary is a clean close.
+        assert!(matches!(
+            read_frame(&mut cur, 1 << 20, 0),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn multiple_frames_stream_back_to_back() {
+        let a = JsonValue::Obj(vec![("n".into(), 1u64.into())]);
+        let b = JsonValue::Obj(vec![("n".into(), 2u64.into())]);
+        let mut bytes = frame_bytes(&a);
+        bytes.extend(frame_bytes(&b));
+        let mut cur = Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cur, 1 << 20, 0).unwrap(), a);
+        assert_eq!(read_frame(&mut cur, 1 << 20, 0).unwrap(), b);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_the_body() {
+        let mut bytes = (1_000_000u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"x"); // body never sent in full
+        let mut cur = Cursor::new(bytes);
+        match read_frame(&mut cur, 1024, 0) {
+            Err(FrameError::TooLarge { len, cap }) => {
+                assert_eq!((len, cap), (1_000_000, 1024));
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_an_io_error() {
+        let full = frame_bytes(&JsonValue::Obj(vec![("k".into(), "value".into())]));
+        for cut in [2, 5, full.len() - 1] {
+            let mut cur = Cursor::new(full[..cut].to_vec());
+            assert!(
+                matches!(read_frame(&mut cur, 1 << 20, 0), Err(FrameError::Io(_))),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_payload_is_malformed() {
+        let mut bytes = (3u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"{{{");
+        let mut cur = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cur, 1 << 20, 0),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

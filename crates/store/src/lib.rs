@@ -54,6 +54,7 @@
 //!
 //! `mc.store.{hits,misses,publishes,corrupt,errors}` counters,
 //! `mc.store.{mmap_maps,mmap_fallbacks}` for the mapping path,
+//! `mc.store.gc.{reclaimed_bytes,skipped_live}` for collection passes,
 //! `mc.store.{load,save}` spans, `mc.store.{bytes_on_disk,artifacts}`
 //! gauges (refreshed by [`Store::stats`]).
 
@@ -64,10 +65,12 @@ pub use codec::{ByteReader, ByteWriter};
 pub use mc_table::digest::{Digest, DigestWriter};
 pub use mmap::Mapping;
 
+use std::collections::HashMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// On-disk format version; bumping it invalidates every stored artifact.
 pub const FORMAT_VERSION: u32 = 1;
@@ -223,6 +226,40 @@ pub struct GcReport {
     pub removed_tmp: u64,
     /// Bytes remaining after the pass.
     pub kept_bytes: u64,
+    /// Artifacts left in place because a live [`MappedPayload`] still
+    /// borrows their pages (see [`Store::gc`]).
+    pub skipped_live: u64,
+}
+
+/// Process-wide registry of artifact files with outstanding
+/// [`MappedPayload`] handles. [`Store::load_mapped`] registers the path;
+/// the payload's `Drop` releases it. [`Store::gc`] consults this table so
+/// it never unlinks a file some session is still reading through — the
+/// portable guarantee (on Linux an unlinked mapping stays valid, but
+/// skipping live objects also keeps warm artifacts resident for reuse
+/// instead of silently discarding them mid-session).
+fn live_mappings() -> &'static Mutex<HashMap<PathBuf, usize>> {
+    static LIVE: OnceLock<Mutex<HashMap<PathBuf, usize>>> = OnceLock::new();
+    LIVE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn live_acquire(path: &Path) {
+    let mut table = live_mappings().lock().unwrap();
+    *table.entry(path.to_path_buf()).or_insert(0) += 1;
+}
+
+fn live_release(path: &Path) {
+    let mut table = live_mappings().lock().unwrap();
+    if let Some(count) = table.get_mut(path) {
+        *count -= 1;
+        if *count == 0 {
+            table.remove(path);
+        }
+    }
+}
+
+fn live_contains(path: &Path) -> bool {
+    live_mappings().lock().unwrap().contains_key(path)
 }
 
 /// A verified artifact whose payload is a borrowed view of the backing
@@ -238,6 +275,9 @@ pub struct GcReport {
 pub struct MappedPayload {
     map: mmap::Mapping,
     payload_at: usize,
+    /// Registered in [`live_mappings`] until drop so [`Store::gc`] skips
+    /// the backing file while this handle is alive.
+    path: PathBuf,
 }
 
 impl MappedPayload {
@@ -250,6 +290,12 @@ impl MappedPayload {
     /// True when backed by a kernel mapping (false on the heap fallback).
     pub fn is_mmap(&self) -> bool {
         self.map.is_mmap()
+    }
+}
+
+impl Drop for MappedPayload {
+    fn drop(&mut self) {
+        live_release(&self.path);
     }
 }
 
@@ -368,7 +414,12 @@ impl Store {
             Some(payload_at) => {
                 mc_obs::counter!("mc.store.hits").inc();
                 mc_obs::counter!("mc.store.bytes_loaded").add(map.bytes().len() as u64);
-                Some(MappedPayload { map, payload_at })
+                live_acquire(&path);
+                Some(MappedPayload {
+                    map,
+                    payload_at,
+                    path,
+                })
             }
             None => {
                 mc_obs::counter!("mc.store.corrupt").inc();
@@ -443,7 +494,12 @@ impl Store {
     /// bytes: stray temp files always go, then whole artifacts are
     /// removed oldest-modification-first (path as a deterministic
     /// tie-break) until the budget is met. Artifacts are re-creatable by
-    /// construction, so eviction is always safe.
+    /// construction, so eviction is always safe — **except** files some
+    /// concurrent reader still holds a [`MappedPayload`] over, which are
+    /// skipped (and counted under `mc.store.gc.skipped_live`) so a
+    /// long-running session never loses its warm pages mid-read. Skipped
+    /// files keep counting toward `kept_bytes`, so a store full of live
+    /// artifacts can legitimately end a pass above budget.
     pub fn gc(&self, max_bytes: u64) -> GcReport {
         let mut report = GcReport::default();
         let mut entries: Vec<StoreEntry> = Vec::new();
@@ -464,6 +520,10 @@ impl Store {
             if total <= max_bytes {
                 break;
             }
+            if live_contains(&entry.path) {
+                report.skipped_live += 1;
+                continue;
+            }
             if fs::remove_file(&entry.path).is_ok() {
                 report.removed_files += 1;
                 report.removed_bytes += entry.len;
@@ -472,6 +532,8 @@ impl Store {
         }
         report.kept_bytes = total;
         mc_obs::counter!("mc.store.gc_removed").add(report.removed_files);
+        mc_obs::counter!("mc.store.gc.reclaimed_bytes").add(report.removed_bytes);
+        mc_obs::counter!("mc.store.gc.skipped_live").add(report.skipped_live);
         mc_obs::gauge!("mc.store.bytes_on_disk").set(total as i64);
         report
     }
@@ -749,6 +811,53 @@ mod tests {
         // gc sees postings files too: budget 0 removes both.
         let report = store.gc(0);
         assert_eq!(report.removed_files, 2);
+        assert_eq!(report.kept_bytes, 0);
+        fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn gc_skips_artifacts_with_live_mapped_handles() {
+        let (store, root) = temp_store();
+        let live_key = digest_bytes(b"live artifact");
+        let dead_key = digest_bytes(b"dead artifact");
+        store.publish(ArtifactKind::Postings, live_key, &[1u8; 128]);
+        store.publish(ArtifactKind::Postings, dead_key, &[2u8; 128]);
+        // Make the live artifact the *older* one so oldest-first eviction
+        // would pick it absent the live-handle guard.
+        for (key, secs) in [(live_key, 1_000u64), (dead_key, 2_000)] {
+            let path = artifact_file(&store, ArtifactKind::Postings, key);
+            let f = fs::File::options().append(true).open(&path).unwrap();
+            f.set_modified(
+                std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(secs),
+            )
+            .unwrap();
+        }
+        let ctx = mc_obs::ObsContext::session();
+        let mapped = {
+            let _g = ctx.attach();
+            store.load_mapped(ArtifactKind::Postings, live_key).unwrap()
+        };
+        let report = {
+            let _g = ctx.attach();
+            store.gc(0)
+        };
+        assert_eq!(report.skipped_live, 1);
+        assert_eq!(report.removed_files, 1, "only the unmapped artifact goes");
+        let artifact_len = 128 + HEADER_LEN as u64;
+        assert_eq!(report.removed_bytes, artifact_len);
+        assert_eq!(report.kept_bytes, artifact_len);
+        // The mapped payload is still fully readable after the pass.
+        assert_eq!(mapped.payload(), &[1u8; 128]);
+        assert!(store.load(ArtifactKind::Postings, live_key).is_some());
+        assert_eq!(store.load(ArtifactKind::Postings, dead_key), None);
+        let snap = ctx.snapshot();
+        assert_eq!(snap.counter("mc.store.gc.skipped_live"), 1);
+        assert_eq!(snap.counter("mc.store.gc.reclaimed_bytes"), artifact_len);
+        // Dropping the handle releases the guard; the next pass collects.
+        drop(mapped);
+        let report = store.gc(0);
+        assert_eq!(report.skipped_live, 0);
+        assert_eq!(report.removed_files, 1);
         assert_eq!(report.kept_bytes, 0);
         fs::remove_dir_all(root).ok();
     }

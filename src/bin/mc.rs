@@ -12,6 +12,7 @@
 //! mc store-init DIR
 //! mc store-stats DIR
 //! mc store-gc DIR --max-bytes N
+//! mc serve [--addr HOST:PORT] [--workers N] [--store DIR] ...
 //! ```
 //!
 //! `obs-report` runs the full debugging pipeline (prepare → top-k →
@@ -43,6 +44,12 @@
 //! `store-init` creates (and validates) it, `store-stats` prints its
 //! per-kind file/byte counts, and `store-gc` evicts oldest-first down to
 //! a byte budget.
+//!
+//! `serve` starts the persistent debug daemon (identical to the `mcd`
+//! binary): concurrent sessions over a length-prefixed JSON socket
+//! protocol, each backed by an incrementally-rerun
+//! [`DebugSession`](matchcatcher::DebugSession). See DESIGN.md §"Debug
+//! service" for the protocol and `mc_serve::cli::USAGE` for the flags.
 
 use matchcatcher::debugger::{DebugReport, DebuggerParams, MatchCatcher, RunObserver, Stage};
 use matchcatcher::oracle::GoldOracle;
@@ -60,6 +67,7 @@ fn usage() -> ! {
          \x20      mc store-init DIR\n\
          \x20      mc store-stats DIR\n\
          \x20      mc store-gc DIR --max-bytes N\n\
+         \x20      mc serve [--addr HOST:PORT] [--workers N] [--store DIR] ...\n\
          profiles: {}",
         DatasetProfile::ALL.map(|p| p.name()).join(", ")
     );
@@ -391,6 +399,7 @@ fn main() {
         "store-init" => cmd_store_init(rest),
         "store-stats" => cmd_store_stats(rest),
         "store-gc" => cmd_store_gc(rest),
+        "serve" => std::process::exit(mc_serve::cli::run(rest)),
         _ => usage(),
     }
 }
