@@ -141,7 +141,8 @@ fn timed(
     resp
 }
 
-/// One scripted session: open → reruns → page → metrics → close.
+/// One scripted session: open → reruns → page → explain → pervade →
+/// metrics → close.
 fn run_script(
     addr: std::net::SocketAddr,
     scale: f64,
@@ -178,6 +179,35 @@ fn run_script(
             ("limit", 5u64.into()),
         ]),
         &mut samples,
+    );
+    let resp = timed(
+        &mut client,
+        "explain",
+        &obj(vec![
+            ("verb", "explain".into()),
+            ("session", session.into()),
+            ("limit", 5u64.into()),
+        ]),
+        &mut samples,
+    );
+    assert_eq!(
+        resp.get("schema").and_then(|v| v.as_str()),
+        Some("mc-explain/v1"),
+        "explain schema tag"
+    );
+    let resp = timed(
+        &mut client,
+        "pervade",
+        &obj(vec![
+            ("verb", "pervade".into()),
+            ("session", session.into()),
+            ("limit", 10u64.into()),
+        ]),
+        &mut samples,
+    );
+    assert!(
+        resp.get("union_size").and_then(|v| v.as_u64()).is_some(),
+        "pervade reports union size"
     );
     timed(
         &mut client,
@@ -274,23 +304,25 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 fn verb_stats(samples: &[Sample]) -> Vec<VerbStats> {
-    ["open", "rerun", "page", "metrics", "close"]
-        .iter()
-        .map(|&verb| {
-            let mut us: Vec<u64> = samples
-                .iter()
-                .filter(|s| s.verb == verb)
-                .map(|s| s.us)
-                .collect();
-            us.sort_unstable();
-            VerbStats {
-                verb,
-                count: us.len(),
-                p50_us: percentile(&us, 0.50),
-                p99_us: percentile(&us, 0.99),
-            }
-        })
-        .collect()
+    [
+        "open", "rerun", "page", "explain", "pervade", "metrics", "close",
+    ]
+    .iter()
+    .map(|&verb| {
+        let mut us: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.verb == verb)
+            .map(|s| s.us)
+            .collect();
+        us.sort_unstable();
+        VerbStats {
+            verb,
+            count: us.len(),
+            p50_us: percentile(&us, 0.50),
+            p99_us: percentile(&us, 0.99),
+        }
+    })
+    .collect()
 }
 
 fn main() {

@@ -11,7 +11,7 @@
 //! caller-supplied [`RunObserver`].
 
 use crate::config::{Config, ConfigGenerator, ConfigGeneratorParams, ConfigTree, PromisingAttrs};
-use crate::explain::{explain_match, summarize_problems, MatchExplanation};
+use crate::explain::MatchExplanation;
 use crate::features::FeatureExtractor;
 use crate::joint::{
     build_arenas, run_joint, run_joint_with_arenas, CandidateUnion, JointOutput, JointParams,
@@ -25,7 +25,7 @@ use mc_store::{ArtifactKind, Digest, Store, StoreConfig};
 use mc_strsim::arena::RecordArena;
 use mc_strsim::dict::TokenizedTable;
 use mc_strsim::tokenize::Tokenizer;
-use mc_table::{split_pair_key, AttrId, PairSet, Table, TupleId};
+use mc_table::{AttrId, PairSet, Table, TupleId};
 use std::time::Duration;
 
 /// All debugger tuning knobs.
@@ -227,6 +227,17 @@ pub struct DebugReport {
     pub explanations: Vec<MatchExplanation>,
     /// Aggregated "blocker problems" (Table 4 right column).
     pub problems: Vec<(String, usize)>,
+    /// Pervasiveness groups over the *full* candidate union (batch
+    /// explain engine): blocking-similar pairs clustered by problem
+    /// signature, most pervasive first.
+    pub pervasive: Vec<crate::pervasive::ProblemGroup>,
+    /// Per explanation (aligned with `explanations`), the pair's score
+    /// in each config's top-k list (`None` = not on that list) — the
+    /// per-measure score contributions of `mc-explain/v1`.
+    pub explanation_scores: Vec<Vec<Option<f64>>>,
+    /// Per config, the lowest score still on its top-k list; a pair's
+    /// distance above this floor is its "threshold gap".
+    pub config_floors: Vec<Option<f64>>,
     /// QJoin `q` used.
     pub q_used: usize,
     /// Everything the observability layer recorded during the run:
@@ -543,15 +554,14 @@ impl MatchCatcher {
             self.verify_union(a, b, &prepared, &union, oracle)
         });
 
-        let (confirmed, explanations, problems) = observed(observer, Stage::Explain, || {
-            let confirmed: Vec<(TupleId, TupleId)> =
-                outcome.matches.iter().map(|&k| split_pair_key(k)).collect();
-            let explanations: Vec<MatchExplanation> = confirmed
-                .iter()
-                .map(|&(x, y)| explain_match(a, b, x, y))
-                .collect();
-            let problems = summarize_problems(&explanations, a.schema());
-            (confirmed, explanations, problems)
+        let ex = observed(observer, Stage::Explain, || {
+            crate::explain_batch::explain_stage(
+                a,
+                b,
+                &union,
+                &outcome.matches,
+                self.params.joint.threads,
+            )
         });
         let metrics = MetricsSnapshot::capture().since(&baseline);
 
@@ -559,11 +569,14 @@ impl MatchCatcher {
             promising: prepared.promising.attrs.clone(),
             configs,
             e_size: union.len(),
-            confirmed_matches: confirmed,
+            confirmed_matches: ex.confirmed,
             iterations: outcome.iterations,
             labeled: outcome.labeled,
-            explanations,
-            problems,
+            explanations: ex.explanations,
+            problems: ex.problems,
+            pervasive: ex.pervasive,
+            explanation_scores: ex.explanation_scores,
+            config_floors: ex.config_floors,
             q_used,
             metrics,
         }

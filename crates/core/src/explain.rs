@@ -7,9 +7,11 @@
 //! summaries ("blocker problems") aggregating diagnoses across all found
 //! matches.
 
+use mc_strsim::dict::is_strict_sorted_subset;
 use mc_strsim::measures::bounded_edit_distance;
 use mc_strsim::tokenize::word_tokens;
 use mc_table::{AttrId, Schema, Table, TupleId};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// How a pair of attribute values relate.
@@ -41,19 +43,20 @@ pub enum Diagnosis {
 }
 
 impl Diagnosis {
-    /// Human-readable label.
-    pub fn label(self) -> String {
+    /// Human-readable label. Every variant except [`Diagnosis::SmallEdit`]
+    /// is a static string, so the common case allocates nothing.
+    pub fn label(self) -> Cow<'static, str> {
         match self {
-            Diagnosis::Exact => "equal".into(),
-            Diagnosis::CaseOrPunct => "case/punctuation difference".into(),
-            Diagnosis::MissingOneSide => "missing value on one side".into(),
-            Diagnosis::MissingBoth => "missing on both sides".into(),
-            Diagnosis::Abbreviation => "abbreviation".into(),
-            Diagnosis::WordReorder => "word reorder".into(),
-            Diagnosis::TokenSubset => "extra/missing tokens".into(),
-            Diagnosis::SmallEdit(d) => format!("misspelling (edit distance {d})"),
-            Diagnosis::NumericClose => "small numeric difference".into(),
-            Diagnosis::Different => "different values".into(),
+            Diagnosis::Exact => Cow::Borrowed("equal"),
+            Diagnosis::CaseOrPunct => Cow::Borrowed("case/punctuation difference"),
+            Diagnosis::MissingOneSide => Cow::Borrowed("missing value on one side"),
+            Diagnosis::MissingBoth => Cow::Borrowed("missing on both sides"),
+            Diagnosis::Abbreviation => Cow::Borrowed("abbreviation"),
+            Diagnosis::WordReorder => Cow::Borrowed("word reorder"),
+            Diagnosis::TokenSubset => Cow::Borrowed("extra/missing tokens"),
+            Diagnosis::SmallEdit(d) => Cow::Owned(format!("misspelling (edit distance {d})")),
+            Diagnosis::NumericClose => Cow::Borrowed("small numeric difference"),
+            Diagnosis::Different => Cow::Borrowed("different values"),
         }
     }
 
@@ -96,7 +99,7 @@ pub fn diagnose_values(va: Option<&str>, vb: Option<&str>) -> Diagnosis {
     if sa == sb {
         return Diagnosis::WordReorder;
     }
-    if is_subset(&sa, &sb) || is_subset(&sb, &sa) {
+    if is_strict_sorted_subset(&sa, &sb) || is_strict_sorted_subset(&sb, &sa) {
         return Diagnosis::TokenSubset;
     }
     // Abbreviation: initialism of the longer equals the shorter, or the
@@ -123,23 +126,6 @@ pub fn diagnose_values(va: Option<&str>, vb: Option<&str>) -> Diagnosis {
         }
     }
     Diagnosis::Different
-}
-
-fn is_subset(sorted_a: &[String], sorted_b: &[String]) -> bool {
-    if sorted_a.len() >= sorted_b.len() {
-        return false;
-    }
-    let mut j = 0;
-    for a in sorted_a {
-        while j < sorted_b.len() && &sorted_b[j] < a {
-            j += 1;
-        }
-        if j >= sorted_b.len() || &sorted_b[j] != a {
-            return false;
-        }
-        j += 1;
-    }
-    true
 }
 
 /// `words` is abbreviated by `short` if the initialism of `words` equals
@@ -207,7 +193,7 @@ pub fn summarize_problems(
     for e in explanations {
         for (attr, d) in e.problems() {
             let norm = match d {
-                Diagnosis::SmallEdit(_) => "misspelling".to_string(),
+                Diagnosis::SmallEdit(_) => Cow::Borrowed("misspelling"),
                 other => other.label(),
             };
             *counts

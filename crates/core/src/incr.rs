@@ -78,7 +78,6 @@
 
 use crate::config::{ConfigGenerator, ConfigTree, PromisingAttrs};
 use crate::debugger::{DebugReport, DebuggerParams, MatchCatcher, Stage};
-use crate::explain::{explain_match, MatchExplanation};
 use crate::features::FeatureExtractor;
 use crate::joint::{run_joint_with_arenas, CandidateUnion, QStrategy};
 use crate::oracle::Oracle;
@@ -780,16 +779,15 @@ impl DebugSession {
             );
             run_verifier(&union, &fx, oracle, &self.params.verifier)
         };
-        let (confirmed, explanations, problems) = {
+        let ex = {
             let _span = mc_obs::Span::enter(Stage::Explain.span_name());
-            let confirmed: Vec<(TupleId, TupleId)> =
-                outcome.matches.iter().map(|&p| split_pair_key(p)).collect();
-            let explanations: Vec<MatchExplanation> = confirmed
-                .iter()
-                .map(|&(x, y)| explain_match(&self.a, &self.b, x, y))
-                .collect();
-            let problems = crate::explain::summarize_problems(&explanations, self.a.schema());
-            (confirmed, explanations, problems)
+            crate::explain_batch::explain_stage(
+                &self.a,
+                &self.b,
+                &union,
+                &outcome.matches,
+                self.params.joint.threads,
+            )
         };
         self.publish_union(&union);
         let metrics = MetricsSnapshot::capture().since(&baseline);
@@ -797,11 +795,14 @@ impl DebugSession {
             promising: self.promising.attrs.clone(),
             configs: self.configs.clone(),
             e_size: union.len(),
-            confirmed_matches: confirmed,
+            confirmed_matches: ex.confirmed,
             iterations: outcome.iterations,
             labeled: outcome.labeled,
-            explanations,
-            problems,
+            explanations: ex.explanations,
+            problems: ex.problems,
+            pervasive: ex.pervasive,
+            explanation_scores: ex.explanation_scores,
+            config_floors: ex.config_floors,
             q_used: self.q,
             metrics,
         }

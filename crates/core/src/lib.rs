@@ -67,6 +67,7 @@
 pub mod config;
 pub mod debugger;
 pub mod explain;
+pub mod explain_batch;
 pub mod features;
 pub mod incr;
 pub mod joint;
@@ -79,6 +80,7 @@ pub mod verify;
 
 pub use config::{Config, ConfigGenerator, ConfigTree};
 pub use debugger::{DebugReport, DebuggerParams, MatchCatcher};
+pub use explain_batch::{DiagnosisKernel, ExplainOutput};
 pub use incr::{DebugSession, IncrParams};
 pub use oracle::{GoldOracle, Oracle};
 pub use ssj::{SsjParams, TopKList};

@@ -87,6 +87,15 @@ impl Signature {
         Signature(v)
     }
 
+    /// Builds a signature from already-collected disagreements, sorting
+    /// into the same canonical form as [`Signature::of`]. This is the
+    /// batch-kernel entry point: `DiagnosisKernel` collects per-attribute
+    /// problem classes columnwise and canonicalizes here.
+    pub fn from_problems(mut v: Vec<(AttrId, ProblemClass)>) -> Signature {
+        v.sort_unstable();
+        Signature(v)
+    }
+
     /// The disagreements in this signature.
     pub fn problems(&self) -> &[(AttrId, ProblemClass)] {
         &self.0

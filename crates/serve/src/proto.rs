@@ -14,6 +14,11 @@ use mc_table::{RowEdit, Schema, TableDelta, Tuple, TupleId};
 /// Protocol schema tag, included in `open` responses.
 pub const PROTO_VERSION: &str = "mc-serve/v1";
 
+/// Schema tag of the batch explain payloads (`explain` / `pervade`
+/// responses): per-attribute diagnosis, per-config score contributions
+/// and threshold gaps, signature aggregates.
+pub const EXPLAIN_VERSION: &str = "mc-explain/v1";
+
 /// Structured error codes carried in `"error": {"code": ...}`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -174,6 +179,31 @@ pub enum Request {
         /// The label.
         is_match: bool,
     },
+    /// Batch explain: page through the last report's explanations in
+    /// the `mc-explain/v1` schema (per-attribute diagnosis, per-config
+    /// score contributions, threshold gap).
+    Explain {
+        /// Session id.
+        session: u64,
+        /// First explanation index.
+        offset: usize,
+        /// Maximum explanations returned.
+        limit: usize,
+    },
+    /// Pervasiveness aggregates over the full candidate union: problem
+    /// signatures with pair counts and "this problem kills N matches"
+    /// confirmed counts.
+    Pervade {
+        /// Session id.
+        session: u64,
+        /// Maximum groups returned (most pervasive first).
+        limit: usize,
+    },
+    /// Run [`mc_store::Store::gc`] on the daemon's shared warm tier.
+    Gc {
+        /// Byte budget the store is trimmed down to.
+        max_bytes: u64,
+    },
     /// The session's metrics snapshot.
     Metrics {
         /// Session id.
@@ -195,6 +225,9 @@ impl Request {
             Request::Open { .. } => "open",
             Request::Rerun { .. } => "rerun",
             Request::Page { .. } => "page",
+            Request::Explain { .. } => "explain",
+            Request::Pervade { .. } => "pervade",
+            Request::Gc { .. } => "gc",
             Request::Label { .. } => "label",
             Request::Metrics { .. } => "metrics",
             Request::Close { .. } => "close",
@@ -395,6 +428,18 @@ pub fn parse_request(v: &JsonValue) -> Result<Request, String> {
             offset: opt_usize(v, "offset")?.unwrap_or(0),
             limit: opt_usize(v, "limit")?.unwrap_or(20),
         }),
+        "explain" => Ok(Request::Explain {
+            session: want_u64(v, "session")?,
+            offset: opt_usize(v, "offset")?.unwrap_or(0),
+            limit: opt_usize(v, "limit")?.unwrap_or(20),
+        }),
+        "pervade" => Ok(Request::Pervade {
+            session: want_u64(v, "session")?,
+            limit: opt_usize(v, "limit")?.unwrap_or(20),
+        }),
+        "gc" => Ok(Request::Gc {
+            max_bytes: want_u64(v, "max_bytes")?,
+        }),
         "label" => {
             let pair = pair_list(v, "pair").and_then(|p| {
                 (p.len() == 1)
@@ -518,11 +563,111 @@ pub fn explanation_json(exp: &MatchExplanation, schema: &Schema) -> JsonValue {
                         JsonValue::Obj(vec![
                             ("attr".into(), (attr.0 as u64).into()),
                             ("name".into(), schema.name(attr).into()),
-                            ("diagnosis".into(), diag.label().into()),
+                            ("diagnosis".into(), diag.label().into_owned().into()),
                         ])
                     })
                     .collect(),
             ),
+        ),
+    ])
+}
+
+/// One explanation in the `mc-explain/v1` schema: the per-attribute
+/// diagnoses of [`explanation_json`] plus an `agreement` flag per
+/// attribute and, per config, the pair's score contribution, the
+/// config's top-k floor, and the gap above it.
+pub fn explain_item_json(report: &DebugReport, idx: usize, schema: &Schema) -> JsonValue {
+    let exp = &report.explanations[idx];
+    let attrs = JsonValue::Arr(
+        exp.per_attr
+            .iter()
+            .map(|&(attr, diag)| {
+                JsonValue::Obj(vec![
+                    ("attr".into(), (attr.0 as u64).into()),
+                    ("name".into(), schema.name(attr).into()),
+                    ("diagnosis".into(), diag.label().into_owned().into()),
+                    ("agreement".into(), diag.is_agreement().into()),
+                ])
+            })
+            .collect(),
+    );
+    let opt_num = |v: Option<f64>| match v {
+        Some(x) => JsonValue::Num(x),
+        None => JsonValue::Null,
+    };
+    let scores = JsonValue::Arr(
+        report
+            .configs
+            .iter()
+            .enumerate()
+            .map(|(c, config)| {
+                let attrs_label = config
+                    .positions()
+                    .iter()
+                    .filter_map(|&p| report.promising.get(p))
+                    .map(|&a| schema.name(a).to_string())
+                    .collect::<Vec<_>>()
+                    .join("+");
+                let score = report
+                    .explanation_scores
+                    .get(idx)
+                    .and_then(|s| s.get(c).copied().flatten());
+                let floor = report.config_floors.get(c).copied().flatten();
+                let gap = match (score, floor) {
+                    (Some(s), Some(f)) => Some(s - f),
+                    _ => None,
+                };
+                JsonValue::Obj(vec![
+                    ("config".into(), (c as u64).into()),
+                    ("attrs".into(), attrs_label.into()),
+                    ("score".into(), opt_num(score)),
+                    ("floor".into(), opt_num(floor)),
+                    ("gap".into(), opt_num(gap)),
+                ])
+            })
+            .collect(),
+    );
+    JsonValue::Obj(vec![
+        (
+            "pair".into(),
+            JsonValue::Arr(vec![(exp.pair.0 as u64).into(), (exp.pair.1 as u64).into()]),
+        ),
+        ("attrs".into(), attrs),
+        ("scores".into(), scores),
+    ])
+}
+
+/// One pervasiveness group in the `mc-explain/v1` schema: the shared
+/// problem signature, how many candidate pairs exhibit it, and how many
+/// confirmed killed-off matches it kills.
+pub fn pervade_group_json(
+    group: &matchcatcher::pervasive::ProblemGroup,
+    schema: &Schema,
+) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("signature".into(), group.signature.describe(schema).into()),
+        (
+            "problems".into(),
+            JsonValue::Arr(
+                group
+                    .signature
+                    .problems()
+                    .iter()
+                    .map(|&(attr, class)| {
+                        JsonValue::Obj(vec![
+                            ("attr".into(), (attr.0 as u64).into()),
+                            ("name".into(), schema.name(attr).into()),
+                            ("class".into(), class.label().into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("pairs".into(), group.pairs.len().into()),
+        ("kills".into(), group.confirmed.into()),
+        (
+            "sample".into(),
+            pairs_json(group.pairs.iter().copied().take(3)),
         ),
     ])
 }
@@ -634,9 +779,46 @@ mod tests {
             r#"{"verb":"rerun"}"#,
             r#"{"verb":"label","session":1,"a":0,"b":1}"#,
             r#"{"verb":"page"}"#,
+            r#"{"verb":"explain"}"#,
+            r#"{"verb":"pervade"}"#,
+            r#"{"verb":"gc"}"#,
         ] {
             assert!(parse(bad).is_err(), "{bad} should fail");
         }
+    }
+
+    #[test]
+    fn parses_explain_pervade_gc() {
+        let req = parse(r#"{"verb":"explain","session":3,"offset":10,"limit":5}"#).unwrap();
+        assert!(matches!(
+            req,
+            Request::Explain {
+                session: 3,
+                offset: 10,
+                limit: 5
+            }
+        ));
+        // Paging defaults: offset 0, limit 20.
+        let req = parse(r#"{"verb":"explain","session":3}"#).unwrap();
+        assert!(matches!(
+            req,
+            Request::Explain {
+                session: 3,
+                offset: 0,
+                limit: 20
+            }
+        ));
+        let req = parse(r#"{"verb":"pervade","session":8}"#).unwrap();
+        assert!(matches!(
+            req,
+            Request::Pervade {
+                session: 8,
+                limit: 20
+            }
+        ));
+        let req = parse(r#"{"verb":"gc","max_bytes":4096}"#).unwrap();
+        assert!(matches!(req, Request::Gc { max_bytes: 4096 }));
+        assert_eq!(req.verb(), "gc");
     }
 
     #[test]

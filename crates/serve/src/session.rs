@@ -18,8 +18,9 @@
 //! `unknown_session` they would get for an id that never existed.
 
 use crate::proto::{
-    explanation_json, ok_response, pairs_json, report_summary, ErrorCode, OpenParams, ReqDelta,
-    ReqKilled, Request, TableSource, PROTO_VERSION,
+    explain_item_json, explanation_json, ok_response, pairs_json, pervade_group_json,
+    report_summary, ErrorCode, OpenParams, ReqDelta, ReqKilled, Request, TableSource,
+    EXPLAIN_VERSION, PROTO_VERSION,
 };
 use matchcatcher::joint::QStrategy;
 use matchcatcher::{DebugReport, DebugSession, DebuggerParams, MatchCatcher, Oracle};
@@ -137,6 +138,13 @@ impl SessionManager {
                 b,
                 is_match,
             } => self.label(*session, *a, *b, *is_match),
+            Request::Explain {
+                session,
+                offset,
+                limit,
+            } => self.explain(*session, *offset, *limit),
+            Request::Pervade { session, limit } => self.pervade(*session, *limit),
+            Request::Gc { max_bytes } => self.gc(*max_bytes),
             Request::Metrics { session } => self.metrics(*session),
             Request::Close { session } => self.close(*session),
             Request::Shutdown => Err((
@@ -377,6 +385,74 @@ impl SessionManager {
             ("total".into(), total.into()),
             ("offset".into(), offset.into()),
             ("items".into(), JsonValue::Arr(items)),
+        ])
+    }
+
+    /// Pages the batch explain output in `mc-explain/v1`: per-attribute
+    /// diagnoses plus per-config score contributions and threshold gap.
+    fn explain(&self, id: u64, offset: usize, limit: usize) -> VerbResult {
+        let slot = self.slot(id)?;
+        let inner = self.lock_inner(&slot)?;
+        let total = inner.last.explanations.len();
+        let schema = inner.session.table_a().schema().as_ref();
+        let items: Vec<JsonValue> = (offset..total.min(offset + limit))
+            .map(|i| explain_item_json(&inner.last, i, schema))
+            .collect();
+        mc_obs::counter!("mc.serve.explains").inc();
+        Ok(vec![
+            ("session".into(), id.into()),
+            ("schema".into(), EXPLAIN_VERSION.into()),
+            ("total".into(), total.into()),
+            ("offset".into(), offset.into()),
+            ("items".into(), JsonValue::Arr(items)),
+        ])
+    }
+
+    /// Returns the pervasiveness aggregates: problem signatures over the
+    /// full candidate union, each with its candidate-pair population and
+    /// "kills N confirmed matches" count.
+    fn pervade(&self, id: u64, limit: usize) -> VerbResult {
+        let slot = self.slot(id)?;
+        let inner = self.lock_inner(&slot)?;
+        let schema = inner.session.table_a().schema().as_ref();
+        let total = inner.last.pervasive.len();
+        let groups: Vec<JsonValue> = inner
+            .last
+            .pervasive
+            .iter()
+            .take(limit)
+            .map(|g| pervade_group_json(g, schema))
+            .collect();
+        mc_obs::counter!("mc.serve.pervades").inc();
+        Ok(vec![
+            ("session".into(), id.into()),
+            ("schema".into(), EXPLAIN_VERSION.into()),
+            ("union_size".into(), inner.last.e_size.into()),
+            ("total".into(), total.into()),
+            ("groups".into(), JsonValue::Arr(groups)),
+        ])
+    }
+
+    /// Runs [`mc_store::Store::gc`] on the shared warm tier backing this
+    /// daemon. Errors with `bad_request` when the daemon was started
+    /// without a store root.
+    fn gc(&self, max_bytes: u64) -> VerbResult {
+        let root = self.store_root.as_ref().ok_or_else(|| {
+            (
+                ErrorCode::BadRequest,
+                "no store configured: start the daemon with a store root to gc".into(),
+            )
+        })?;
+        let store = mc_store::Store::open(&StoreConfig::at(root))
+            .map_err(|e| (ErrorCode::Internal, format!("store open failed: {e}")))?;
+        let report = store.gc(max_bytes);
+        mc_obs::counter!("mc.serve.gcs").inc();
+        Ok(vec![
+            ("removed_files".into(), report.removed_files.into()),
+            ("removed_bytes".into(), report.removed_bytes.into()),
+            ("removed_tmp".into(), report.removed_tmp.into()),
+            ("kept_bytes".into(), report.kept_bytes.into()),
+            ("skipped_live".into(), report.skipped_live.into()),
         ])
     }
 

@@ -363,6 +363,80 @@ impl IncrementalDict {
     }
 }
 
+/// Interns whole attribute *values* (not tokens) to dense `u32` ids, in
+/// first-seen order.
+///
+/// The batch explain kernel shares one `ValueDict` per attribute across
+/// both tables, so id equality ⟺ byte equality and every per-value
+/// preparation (tokenization, normalization, numeric parse) runs once
+/// per *distinct* value instead of once per row — on Zipfian data the
+/// distinct count is a small fraction of the row count.
+///
+/// Keys borrow from the tables being interned; the dict is a build-time
+/// scratch structure, dropped once the columnar ids are materialized.
+#[derive(Debug, Default)]
+pub struct ValueDict<'a> {
+    ids: FxHashMap<&'a str, u32>,
+}
+
+impl<'a> ValueDict<'a> {
+    /// The column sentinel for a missing (`None`) value.
+    pub const MISSING: u32 = u32::MAX;
+
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        ValueDict::default()
+    }
+
+    /// Interns `v`, returning its dense id (assigned in first-seen
+    /// order). Returns the existing id on re-interning the same bytes.
+    pub fn intern(&mut self, v: &'a str) -> u32 {
+        let next = self.ids.len() as u32;
+        assert!(next < Self::MISSING, "value dict overflow");
+        *self.ids.entry(v).or_insert(next)
+    }
+
+    /// Interns an optional value, mapping `None` to [`ValueDict::MISSING`].
+    pub fn intern_opt(&mut self, v: Option<&'a str>) -> u32 {
+        match v {
+            Some(v) => self.intern(v),
+            None => Self::MISSING,
+        }
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// True when sorted multiset `a` is a *strict* sub-multiset of sorted
+/// multiset `b` (every element of `a`, with multiplicity, occurs in `b`,
+/// and `a` is strictly smaller). Both slices must be sorted by the same
+/// total order; the answer is order-independent, so token *ids* sorted
+/// by id work as well as token strings sorted lexicographically.
+pub fn is_strict_sorted_subset<T: Ord>(a: &[T], b: &[T]) -> bool {
+    if a.len() >= b.len() {
+        return false;
+    }
+    let mut j = 0;
+    for x in a {
+        while j < b.len() && b[j] < *x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != *x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
 fn raw_tokenize(
     table: &Table,
     attrs: &[AttrId],
@@ -401,6 +475,29 @@ mod tests {
         let mut b = Table::new("B", schema);
         b.push(Tuple::from_present(["david smith", "atlanta"]));
         (a, b)
+    }
+
+    #[test]
+    fn value_dict_interns_distinct_values_densely() {
+        let mut d = ValueDict::new();
+        assert!(d.is_empty());
+        assert_eq!(d.intern("atlanta"), 0);
+        assert_eq!(d.intern("boston"), 1);
+        assert_eq!(d.intern("atlanta"), 0);
+        assert_eq!(d.intern_opt(None), ValueDict::MISSING);
+        assert_eq!(d.intern_opt(Some("boston")), 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn strict_sorted_subset_semantics() {
+        assert!(is_strict_sorted_subset(&[1u32, 3], &[1, 2, 3]));
+        assert!(!is_strict_sorted_subset(&[1u32, 2, 3], &[1, 2, 3])); // equal: not strict
+        assert!(!is_strict_sorted_subset(&[1u32, 4], &[1, 2, 3]));
+        assert!(!is_strict_sorted_subset::<u32>(&[], &[])); // empty vs empty
+        assert!(is_strict_sorted_subset(&[2u32], &[2, 2]));
+        // Multiplicity matters: [2, 2] ⊄ [2, 3].
+        assert!(!is_strict_sorted_subset(&[2u32, 2], &[2, 3]));
     }
 
     #[test]

@@ -388,6 +388,29 @@ pub fn edit_distance(a: &str, b: &str) -> usize {
 pub fn bounded_edit_distance(a: &str, b: &str, k: usize) -> Option<usize> {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    let mut scratch = EditScratch::default();
+    bounded_edit_distance_chars(&a, &b, k, &mut scratch)
+}
+
+/// Reusable row buffers for [`bounded_edit_distance_chars`], so batch
+/// callers diagnosing millions of pairs pay zero allocations per call
+/// after the first.
+#[derive(Debug, Default)]
+pub struct EditScratch {
+    prev: Vec<usize>,
+    cur: Vec<usize>,
+}
+
+/// [`bounded_edit_distance`] over pre-collected char slices with
+/// caller-owned scratch — the allocation-free kernel batch engines call
+/// in their hot loop. Semantics are identical to the string version
+/// (which delegates here).
+pub fn bounded_edit_distance_chars(
+    a: &[char],
+    b: &[char],
+    k: usize,
+    scratch: &mut EditScratch,
+) -> Option<usize> {
     let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
     if a.len() - b.len() > k {
         return None;
@@ -396,8 +419,11 @@ pub fn bounded_edit_distance(a: &str, b: &str, k: usize) -> Option<usize> {
         return (a.len() <= k).then_some(a.len());
     }
     let inf = k + 1;
-    let mut prev = vec![inf; b.len() + 1];
-    let mut cur = vec![inf; b.len() + 1];
+    scratch.prev.clear();
+    scratch.prev.resize(b.len() + 1, inf);
+    scratch.cur.clear();
+    scratch.cur.resize(b.len() + 1, inf);
+    let (mut prev, mut cur) = (&mut scratch.prev, &mut scratch.cur);
     for (j, p) in prev.iter_mut().enumerate().take(k.min(b.len()) + 1) {
         *p = j;
     }

@@ -3,15 +3,17 @@
 //! After a debugging session finds killed-off matches, the user wants to
 //! fix the *most pervasive* problems first. This example debugs a hash
 //! blocker on the restaurants dataset, groups the candidate pairs by
-//! problem signature, and for one confirmed killed match lists the other
-//! pairs suffering from the same problem.
+//! problem signature with the batch [`DiagnosisKernel`], and for one
+//! confirmed killed match lists the other pairs suffering from the same
+//! problem. The same scenario is asserted in
+//! `tests/pervasiveness_example.rs`, so this output can't silently rot.
 //!
 //! Run with: `cargo run --release --example pervasiveness`
 
 use matchcatcher::debugger::{DebuggerParams, MatchCatcher};
 use matchcatcher::joint::CandidateUnion;
 use matchcatcher::oracle::GoldOracle;
-use matchcatcher::pervasive::{pervasiveness, similar_pairs};
+use matchcatcher::DiagnosisKernel;
 use mc_blocking::{Blocker, KeyFunc};
 use mc_datagen::profiles::DatasetProfile;
 
@@ -40,9 +42,12 @@ fn main() {
         confirmed.len()
     );
 
-    // Group all candidates by problem signature, most pervasive first.
+    // Group all candidates by problem signature, most pervasive first —
+    // one columnar pass over the whole union via the batch kernel.
     let union2 = CandidateUnion::build(&joint.lists);
-    let groups = pervasiveness(&ds.a, &ds.b, &union2, &confirmed);
+    let kernel = DiagnosisKernel::build(&ds.a, &ds.b, 0);
+    let groups = kernel.pervasiveness(&union2, &confirmed);
+    assert!(!groups.is_empty(), "a lossy blocker must surface problems");
     println!("top problem groups across E = {} candidates:", union.len());
     for g in groups.iter().take(6) {
         println!(
@@ -52,10 +57,17 @@ fn main() {
             g.signature.describe(&schema)
         );
     }
+    let stats = kernel.stats();
+    println!(
+        "\nkernel: {} diagnoses served from {} cached value pairs ({} hits)",
+        stats.lookups,
+        stats.cache_entries,
+        stats.cache_hits()
+    );
 
     // Drill into the first confirmed match.
     if let Some(&m) = confirmed.first() {
-        let sim = similar_pairs(&ds.a, &ds.b, &union2, m);
+        let sim = kernel.similar_pairs(&union2, m);
         let name = schema.expect_id("name");
         println!(
             "\nkilled match (a{}, b{}) = {:?} / {:?}",

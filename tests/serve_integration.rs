@@ -363,3 +363,60 @@ fn error_codes_are_precise() {
     assert_eq!(handle.protocol_errors(), 1);
     drop(daemon);
 }
+
+#[test]
+fn gc_verb_requires_a_store_and_collects_the_warm_tier() {
+    // Without a store root, gc is a precise bad_request, not a panic.
+    let daemon = Daemon::spawn(ServeParams::default()).expect("spawn");
+    let mut client = connect(&daemon);
+    let err = client
+        .call_ok(&obj(vec![
+            ("verb", "gc".into()),
+            ("max_bytes", 0u64.into()),
+        ]))
+        .expect_err("gc without a store must fail");
+    assert_eq!(err.0, "bad_request");
+    drop(daemon);
+
+    // With a store root: opening a session persists warm artifacts;
+    // gc(0) then sweeps every unpinned byte and reports what it removed.
+    let root = temp_dir("gc");
+    let daemon = Daemon::spawn(ServeParams {
+        store_root: Some(root.clone()),
+        ..ServeParams::default()
+    })
+    .expect("spawn");
+    let mut client = connect(&daemon);
+    let resp = client.call_ok(&open_profile_request()).expect("open");
+    let session = resp.get("session").unwrap().as_u64().unwrap();
+    client
+        .call_ok(&obj(vec![
+            ("verb", "close".into()),
+            ("session", session.into()),
+        ]))
+        .expect("close");
+    let resp = client
+        .call_ok(&obj(vec![
+            ("verb", "gc".into()),
+            ("max_bytes", 0u64.into()),
+        ]))
+        .expect("gc with a store");
+    let removed_files = resp.get("removed_files").unwrap().as_u64().unwrap();
+    let removed_bytes = resp.get("removed_bytes").unwrap().as_u64().unwrap();
+    assert!(removed_files > 0, "open must have persisted warm artifacts");
+    assert!(removed_bytes > 0);
+    assert_eq!(resp.get("kept_bytes").unwrap().as_u64(), Some(0));
+
+    // Idempotent: a second sweep finds an already-empty tier.
+    let resp = client
+        .call_ok(&obj(vec![
+            ("verb", "gc".into()),
+            ("max_bytes", 0u64.into()),
+        ]))
+        .expect("second gc");
+    assert_eq!(resp.get("removed_files").unwrap().as_u64(), Some(0));
+
+    let (_, protocol_errors) = daemon.shutdown();
+    assert_eq!(protocol_errors, 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
